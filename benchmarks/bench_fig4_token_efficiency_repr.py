@@ -1,0 +1,10 @@
+"""Figure 4 — zero-shot token efficiency.
+
+Regenerates the paper artifact 'figure4' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_figure4(regenerate):
+    regenerate("figure4")

@@ -1,0 +1,10 @@
+"""Figure 5 — few-shot token efficiency.
+
+Regenerates the paper artifact 'figure5' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_figure5(regenerate):
+    regenerate("figure5")

@@ -1,0 +1,10 @@
+"""Figure 6 — accuracy vs number of examples.
+
+Regenerates the paper artifact 'figure6' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_figure6(regenerate):
+    regenerate("figure6")

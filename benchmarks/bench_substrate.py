@@ -1,0 +1,83 @@
+"""Substrate micro-benchmarks: parser, skeleton, linker, EM, execution.
+
+Unlike the artifact benches (one expensive regeneration each), these are
+classic multi-round timings of the hot inner loops — the costs every
+experiment pays thousands of times.
+"""
+
+import pytest
+
+from repro.dataset.generator.corpus import CorpusConfig, build_corpus
+from repro.eval.exact_match import exact_match
+from repro.schema.linker import SchemaLinker
+from repro.sql.parser import parse
+from repro.sql.skeleton import skeleton_similarity, sql_skeleton
+from repro.sql.unparse import unparse
+
+QUERIES = [
+    "SELECT name FROM singer WHERE age > 20 ORDER BY age DESC LIMIT 3",
+    ("SELECT T1.name, count(*) FROM singer AS T1 JOIN concert AS T2 "
+     "ON T1.id = T2.singer_id GROUP BY T1.name HAVING count(*) > 2"),
+    "SELECT name FROM stadium WHERE id NOT IN (SELECT stadium_id FROM concert)",
+    "SELECT country FROM singer WHERE age > 40 INTERSECT "
+    "SELECT country FROM singer WHERE age < 30",
+]
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+    yield corpus
+    corpus.close()
+
+
+def test_parse_throughput(benchmark):
+    def run():
+        for sql in QUERIES:
+            parse(sql)
+    benchmark(run)
+
+
+def test_roundtrip_throughput(benchmark):
+    def run():
+        for sql in QUERIES:
+            unparse(parse(sql))
+    benchmark(run)
+
+
+def test_skeleton_throughput(benchmark):
+    benchmark(lambda: [sql_skeleton(sql) for sql in QUERIES])
+
+
+def test_skeleton_similarity_cached(benchmark):
+    # Post-warmup this is the memoised path the selection strategies hit.
+    skeleton_similarity(QUERIES[0], QUERIES[1])
+    benchmark(lambda: skeleton_similarity(QUERIES[0], QUERIES[1]))
+
+
+def test_exact_match_throughput(benchmark):
+    benchmark(lambda: [exact_match(sql, sql) for sql in QUERIES])
+
+
+def test_linker_throughput(benchmark, small_corpus):
+    schema = small_corpus.dev.schema(small_corpus.dev.db_ids()[0])
+    linker = SchemaLinker(schema)
+    question = "List the name of the 3 singers with the highest age."
+    benchmark(lambda: linker.link(question))
+
+
+def test_execution_throughput(benchmark, small_corpus):
+    db_id = small_corpus.dev.db_ids()[0]
+    database = small_corpus.pool().get(db_id)
+    example = next(e for e in small_corpus.dev if e.db_id == db_id)
+    benchmark(lambda: database.execute(example.query))
+
+
+def test_corpus_generation(benchmark):
+    def run():
+        corpus = build_corpus(
+            CorpusConfig(seed=99, train_per_db=4, dev_per_db=3,
+                         domains=["pets_1", "orchestra_hall"])
+        )
+        corpus.close()
+    benchmark.pedantic(run, rounds=3, iterations=1)

@@ -1,0 +1,8 @@
+"""Supplementary — outcome-model reliability diagram.
+
+Regenerates the supplementary artifact 'calibration' on the canonical corpus.
+"""
+
+
+def test_calibration(regenerate):
+    regenerate("calibration")

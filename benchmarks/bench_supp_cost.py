@@ -1,0 +1,8 @@
+"""Supplementary — monetary cost of the leaderboard.
+
+Regenerates the supplementary artifact 'cost' on the canonical corpus.
+"""
+
+
+def test_cost(regenerate):
+    regenerate("cost")

@@ -1,0 +1,8 @@
+"""Supplementary — DAIL skeleton-threshold ablation.
+
+Regenerates the supplementary artifact 'dail_threshold' on the canonical corpus.
+"""
+
+
+def test_dail_threshold(regenerate):
+    regenerate("dail_threshold")

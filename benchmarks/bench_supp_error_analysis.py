@@ -1,0 +1,8 @@
+"""Supplementary — failure-mode breakdown.
+
+Regenerates the supplementary artifact 'errors' on the canonical corpus.
+"""
+
+
+def test_errors(regenerate):
+    regenerate("errors")

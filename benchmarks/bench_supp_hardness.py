@@ -1,0 +1,8 @@
+"""Supplementary — EX by hardness level.
+
+Regenerates the supplementary artifact 'hardness' on the canonical corpus.
+"""
+
+
+def test_hardness(regenerate):
+    regenerate("hardness")

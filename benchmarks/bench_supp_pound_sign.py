@@ -1,0 +1,8 @@
+"""Supplementary — the pound-sign anecdote (OD_P without '#').
+
+Regenerates the supplementary artifact 'pound_sign' on the canonical corpus.
+"""
+
+
+def test_pound_sign(regenerate):
+    regenerate("pound_sign")

@@ -1,0 +1,8 @@
+"""Supplementary — self-consistency sample sweep.
+
+Regenerates the supplementary artifact 'sc_sweep' on the canonical corpus.
+"""
+
+
+def test_sc_sweep(regenerate):
+    regenerate("sc_sweep")

@@ -1,0 +1,8 @@
+"""Supplementary — execution-feedback self-correction.
+
+Regenerates the supplementary artifact 'self_correction' on the canonical corpus.
+"""
+
+
+def test_self_correction(regenerate):
+    regenerate("self_correction")

@@ -1,0 +1,8 @@
+"""Supplementary — DAIL-SQL under a prompt-token budget.
+
+Regenerates the supplementary artifact 'token_budget' on the canonical corpus.
+"""
+
+
+def test_token_budget(regenerate):
+    regenerate("token_budget")

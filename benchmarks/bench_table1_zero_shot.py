@@ -1,0 +1,10 @@
+"""Table 1 — zero-shot representations × LLMs (EX/EM).
+
+Regenerates the paper artifact 'table1' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table1(regenerate):
+    regenerate("table1")

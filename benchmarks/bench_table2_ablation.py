@@ -1,0 +1,10 @@
+"""Table 2 — foreign-key and rule-implication ablations.
+
+Regenerates the paper artifact 'table2' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table2(regenerate):
+    regenerate("table2")

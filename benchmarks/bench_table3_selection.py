@@ -1,0 +1,10 @@
+"""Table 3 — example selection strategies.
+
+Regenerates the paper artifact 'table3' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table3(regenerate):
+    regenerate("table3")

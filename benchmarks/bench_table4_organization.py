@@ -1,0 +1,10 @@
+"""Table 4 — example organization strategies.
+
+Regenerates the paper artifact 'table4' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table4(regenerate):
+    regenerate("table4")

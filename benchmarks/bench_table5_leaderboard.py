@@ -1,0 +1,10 @@
+"""Table 5 — Spider leaderboard comparison.
+
+Regenerates the paper artifact 'table5' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table5(regenerate):
+    regenerate("table5")

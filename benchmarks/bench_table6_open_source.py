@@ -1,0 +1,10 @@
+"""Table 6 — open-source LLMs in-context learning.
+
+Regenerates the paper artifact 'table6' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table6(regenerate):
+    regenerate("table6")

@@ -1,0 +1,10 @@
+"""Table 7 — SFT per representation.
+
+Regenerates the paper artifact 'table7' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table7(regenerate):
+    regenerate("table7")

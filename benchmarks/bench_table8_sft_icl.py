@@ -1,0 +1,10 @@
+"""Table 8 — ICL degradation after SFT.
+
+Regenerates the paper artifact 'table8' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table8(regenerate):
+    regenerate("table8")

@@ -1,0 +1,10 @@
+"""Table 9 — Spider-Realistic robustness.
+
+Regenerates the paper artifact 'table9' end-to-end on the canonical
+synthetic corpus and prints the reproduced table (run with -s to see it).
+See EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+
+def test_table9(regenerate):
+    regenerate("table9")

@@ -1,0 +1,40 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper artifact (table or figure) on the
+canonical corpus and prints it; pytest-benchmark records the wall-clock of
+the regeneration.  The corpus and databases are built once per session so
+individual benches time the experiment grid, not corpus generation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import get_context
+
+
+@pytest.fixture(scope="session", autouse=True)
+def warm_context():
+    """Build the canonical corpus once before any bench runs."""
+    get_context(fast=False)
+    yield
+
+
+@pytest.fixture()
+def regenerate(benchmark):
+    """Run an experiment driver once under the benchmark timer and print
+    the reproduced artifact."""
+
+    def run(artifact_id: str, **kwargs):
+        from repro.experiments import run_experiment
+
+        result = benchmark.pedantic(
+            run_experiment, args=(artifact_id,), kwargs=kwargs,
+            rounds=1, iterations=1,
+        )
+        print()
+        print(result.render())
+        assert result.rows, f"{artifact_id} produced no rows"
+        return result
+
+    return run

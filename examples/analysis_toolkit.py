@@ -1,0 +1,86 @@
+"""Analysis toolkit tour: significance, error analysis, TS accuracy,
+cost, calibration and report persistence.
+
+Run:  python examples/analysis_toolkit.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.dataset.generator.domains import domain_by_id
+from repro.eval import (
+    RunConfig,
+    TestSuite,
+    compare_reports,
+    cost_per_question_usd,
+    error_breakdown,
+    format_table,
+    test_suite_accuracy,
+)
+from repro.eval.calibration import model_calibration
+from repro.eval.persistence import load_report, save_report
+from repro.experiments import get_context
+from repro.llm import make_llm
+
+
+def main() -> None:
+    context = get_context(fast=True)
+    runner = context.runner
+
+    dail = runner.run(RunConfig(
+        model="gpt-4", representation="CR_P", organization="DAIL_O",
+        selection="DAIL_S", k=5, foreign_keys=True, label="DAIL-SQL",
+    ))
+    zero = runner.run(RunConfig(
+        model="gpt-4", representation="CR_P", label="zero-shot",
+    ))
+
+    # 1. Is the improvement statistically meaningful?
+    comparison = compare_reports(dail, zero)
+    print("=== Paired significance (DAIL-SQL vs zero-shot) ===")
+    print(f"EX {dail.execution_accuracy:.3f} vs {zero.execution_accuracy:.3f}"
+          f" | delta {comparison.delta:+.3f}"
+          f" | McNemar p={comparison.p_value:.4f}"
+          f" | 95% CI [{comparison.ci_low:+.3f}, {comparison.ci_high:+.3f}]")
+
+    # 2. Where do the remaining failures come from?
+    print("\n=== Error breakdown (zero-shot failures) ===")
+    for category, count in error_breakdown(zero.records).items():
+        print(f"  {category:14s} {count}")
+
+    # 3. Test-suite accuracy: execution match on re-populated instances.
+    db_id = context.dev.db_ids()[0]
+    records = [r for r in zero.records if r.db_id == db_id]
+    with TestSuite([domain_by_id(db_id)], n_instances=4,
+                   base_seed=context.corpus.config.seed) as suite:
+        ts = test_suite_accuracy(suite, records)
+    ex = sum(r.exec_match for r in records) / len(records)
+    print(f"\n=== Test-suite accuracy on {db_id} ===")
+    print(f"plain EX {ex:.3f}  →  TS over 4 instances {ts:.3f}")
+
+    # 4. What does each run cost in dollars?
+    print("\n=== Cost ===")
+    for report in (dail, zero):
+        usd = cost_per_question_usd(report, "gpt-4")
+        print(f"  {report.label:10s} ${usd:.4f}/question")
+
+    # 5. Is the simulator calibrated?
+    llm = make_llm("gpt-4", runner.oracle)
+    calibration = model_calibration(
+        llm, context.dev, runner, RunConfig(model="gpt-4", representation="CR_P")
+    )
+    print("\n=== Calibration (predicted p vs realised EX) ===")
+    print(format_table(calibration.rows()))
+    print(f"ECE={calibration.expected_calibration_error:.3f}  "
+          f"Brier={calibration.brier_score:.3f}")
+
+    # 6. Persist and reload the runs.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = save_report(dail, Path(tmp) / "dail.json")
+        back = load_report(path)
+        print(f"\nsaved+reloaded report: EX={back.execution_accuracy:.3f} "
+              f"({len(back.records)} records) at {path.name}")
+
+
+if __name__ == "__main__":
+    main()

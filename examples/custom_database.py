@@ -1,0 +1,104 @@
+"""Use DAIL-SQL machinery on your own database schema.
+
+Defines a custom bookstore schema, loads data into SQLite, builds prompts
+with every representation, and runs the full pipeline against it.
+
+Run:  python examples/custom_database.py
+"""
+
+from repro.core.dail_sql import DailSQL
+from repro.dataset import CorpusConfig, build_corpus
+from repro.db import Database
+from repro.llm import GoldOracle, make_llm
+from repro.prompt import get_representation
+from repro.schema import Column, DatabaseSchema, ForeignKey, Table
+
+
+def build_bookstore_schema() -> DatabaseSchema:
+    """A schema the benchmark has never seen."""
+    author = Table(
+        name="author",
+        columns=(
+            Column("author_id", "number", is_integer=True),
+            Column("name", "text"),
+            Column("country", "text"),
+        ),
+        primary_key="author_id",
+    )
+    book = Table(
+        name="book",
+        columns=(
+            Column("book_id", "number", is_integer=True),
+            Column("title", "text"),
+            Column("price", "number"),
+            Column("author_id", "number", is_integer=True),
+        ),
+        primary_key="book_id",
+    )
+    return DatabaseSchema(
+        db_id="bookstore",
+        tables=(author, book),
+        foreign_keys=(
+            ForeignKey(table="book", column="author_id",
+                       ref_table="author", ref_column="author_id"),
+        ),
+    )
+
+
+ROWS = {
+    "author": [
+        {"author_id": 1, "name": "Iris Vane", "country": "Ireland"},
+        {"author_id": 2, "name": "Marco Sol", "country": "Spain"},
+    ],
+    "book": [
+        {"book_id": 1, "title": "Glass Rivers", "price": 18.0, "author_id": 1},
+        {"book_id": 2, "title": "Night Orchard", "price": 24.5, "author_id": 1},
+        {"book_id": 3, "title": "Salt Road", "price": 12.0, "author_id": 2},
+    ],
+}
+
+
+def main() -> None:
+    schema = build_bookstore_schema()
+    question = "List the title of books written by Iris Vane."
+
+    # Every paper representation renders your schema directly.
+    print("=== The five question representations on a custom schema ===")
+    for rep_id in ("BS_P", "TR_P", "OD_P", "CR_P", "AS_P"):
+        rep = get_representation(rep_id)
+        text = rep.render_question(schema, question)
+        first_lines = "\n".join(text.splitlines()[:3])
+        print(f"\n[{rep_id}] ({rep.name})\n{first_lines}\n...")
+
+    # The pipeline needs a cross-domain example pool — reuse the generated
+    # benchmark's train split — and an LLM client (simulated here; swap in
+    # a real API client in production).
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=15, dev_per_db=5))
+    oracle = GoldOracle(corpus.train)   # our question is NOT in the oracle
+    llm = make_llm("gpt-4", oracle)
+    pipeline = DailSQL(llm, candidates=corpus.train, k=3)
+
+    result = pipeline.generate_sql(schema, question)
+    print("\n=== DAIL-SQL on the custom database ===")
+    print("(note: the bundled LLM is the benchmark *simulator* — on a "
+          "database outside the benchmark it falls back to a guess; the "
+          "point here is the prompt construction, example selection and "
+          "execution plumbing, which are identical for a real API client)")
+    print(f"question: {question}")
+    print(f"prompt tokens: {result.prompt_tokens}, "
+          f"examples selected: {result.n_examples}")
+    print(f"predicted SQL: {result.sql}")
+
+    # Execute against the real SQLite database.
+    with Database.build(schema, ROWS) as database:
+        rows = database.try_execute(result.sql)
+        print(f"rows: {rows}")
+        gold = ("SELECT book.title FROM book JOIN author "
+                "ON book.author_id = author.author_id "
+                "WHERE author.name = 'Iris Vane'")
+        print(f"gold rows: {database.execute(gold)}")
+    corpus.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Fine-tune an open-source LLM and reproduce the two SFT findings.
+
+1. The representation used for fine-tuning matters (plain TR_P beats the
+   instruction-heavy OD_P).
+2. In-context learning degrades after fine-tuning: examples stop helping.
+
+Run:  python examples/finetune_open_source.py
+"""
+
+from repro.dataset import CorpusConfig, build_corpus
+from repro.eval import BenchmarkRunner, RunConfig
+from repro.llm import finetune
+
+
+def main() -> None:
+    corpus = build_corpus(CorpusConfig(seed=11, train_per_db=25, dev_per_db=12))
+    runner = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool())
+    model = "llama-13b"
+
+    print(f"=== Fine-tuning {model} on {len(corpus.train)} examples ===\n")
+
+    # -- finding 1: representation matters for SFT -------------------------
+    print("representation | base EX | SFT EX | final loss")
+    for rep_id in ("TR_P", "AS_P", "CR_P", "OD_P"):
+        state, report = finetune(model, corpus.train, rep_id, epochs=3)
+        base = runner.run(RunConfig(model=model, representation=rep_id))
+        tuned = runner.run(RunConfig(model=model, representation=rep_id,
+                                     sft_state=state))
+        print(f"{rep_id:14s} | {base.execution_accuracy:7.3f} "
+              f"| {tuned.execution_accuracy:6.3f} | {report.final_loss:.3f}")
+
+    # -- finding 2: ICL degrades after SFT ---------------------------------
+    print("\nk-shot after SFT (TR_P):")
+    state, _ = finetune(model, corpus.train, "TR_P", epochs=3)
+    print("k | untuned EX | fine-tuned EX")
+    for k in (0, 1, 3, 5):
+        base = runner.run(RunConfig(
+            model=model, representation="TR_P",
+            selection="DAIL_S" if k else None, k=k))
+        tuned = runner.run(RunConfig(
+            model=model, representation="TR_P",
+            selection="DAIL_S" if k else None, k=k, sft_state=state))
+        print(f"{k} | {base.execution_accuracy:10.3f} "
+              f"| {tuned.execution_accuracy:.3f}")
+
+    print("\nTakeaway: SFT turns a weak open-source model into a strong "
+          "zero-shot solver, but examples no longer help it — match the "
+          "evaluation representation to the training one and skip ICL.")
+    corpus.close()
+
+
+if __name__ == "__main__":
+    main()

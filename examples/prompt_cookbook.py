@@ -1,0 +1,81 @@
+"""Prompt cookbook: every representation × organization, with token costs.
+
+Walks through the paper's full prompt-engineering space on one example:
+the five question representations, the three example organizations, the
+four selection strategies, and the token budget mechanics.
+
+Run:  python examples/prompt_cookbook.py
+"""
+
+from repro.dataset import CorpusConfig, build_corpus
+from repro.prompt import (
+    ORGANIZATION_IDS,
+    REPRESENTATION_IDS,
+    PromptBuilder,
+    get_organization,
+    get_representation,
+)
+from repro.selection import SELECTION_IDS, get_selection
+from repro.tokenizer import count_tokens
+
+
+def main() -> None:
+    corpus = build_corpus(CorpusConfig(seed=9, train_per_db=15, dev_per_db=5))
+    target = corpus.dev.examples[0]
+    schema = corpus.dev.schema(target.db_id)
+    print(f"target question ({target.db_id}): {target.question}\n")
+
+    # --- representations: same question, five formats, five costs --------
+    print("=== Question representations (zero-shot) ===")
+    for rep_id in REPRESENTATION_IDS:
+        rep = get_representation(rep_id)
+        text = rep.render_question(schema, target.question)
+        print(f"{rep_id}: {count_tokens(text):4d} tokens "
+              f"({len(text.splitlines())} lines)")
+
+    # --- selection strategies: who picks which examples -------------------
+    print("\n=== Example selection (k=3) ===")
+    for sel_id in SELECTION_IDS:
+        strategy = get_selection(sel_id, corpus.train)
+        if hasattr(strategy, "set_target_dataset"):
+            strategy.set_target_dataset(corpus.dev)
+        predicted = target.query if sel_id == "DAIL_S" else None
+        blocks = strategy.select(target.question, target.db_id, 3,
+                                 predicted_sql=predicted)
+        print(f"\n[{sel_id}] {strategy.name}")
+        for block in blocks:
+            print(f"  - {block.question}")
+
+    # --- organizations: what each example contributes ---------------------
+    print("\n=== Example organizations (3 DAIL-selected examples) ===")
+    dail = get_selection("DAIL_S", corpus.train)
+    dail.set_target_dataset(corpus.dev)
+    blocks = dail.select(target.question, target.db_id, 3,
+                         predicted_sql=target.query)
+    representation = get_representation("CR_P")
+    for org_id in ORGANIZATION_IDS:
+        organization = get_organization(org_id)
+        section = organization.render(blocks, representation)
+        print(f"{org_id}: {count_tokens(section):4d} tokens in the "
+              "examples section")
+
+    # --- token budget: examples dropped front-first -----------------------
+    print("\n=== Token budget ===")
+    for budget in (None, 900, 500, 350):
+        builder = PromptBuilder(representation, get_organization("DAIL_O"),
+                                max_tokens=budget)
+        prompt = builder.build(schema, target.question, blocks)
+        label = budget if budget is not None else "unlimited"
+        print(f"budget {label!s:>9}: kept {prompt.n_examples} examples, "
+              f"{prompt.token_count} tokens")
+
+    # --- the full DAIL-SQL prompt, printed -------------------------------
+    print("\n=== Full DAIL-SQL prompt ===")
+    builder = PromptBuilder(representation, get_organization("DAIL_O"))
+    prompt = builder.build(schema, target.question, blocks)
+    print(prompt.text)
+    corpus.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro — reproduction of "Text-to-SQL Empowered by Large Language Models:
+A Benchmark Evaluation" (DAIL-SQL, VLDB 2024).
+
+Public API highlights (see README.md for a tour):
+
+* :mod:`repro.sql` — SQL parsing, skeletons, hardness.
+* :mod:`repro.schema` — schema model, serialisation, schema linking.
+* :mod:`repro.dataset` — Spider-format corpora and the synthetic generator.
+* :mod:`repro.db` — SQLite execution backend.
+* :mod:`repro.prompt` — question representations and example organisations.
+* :mod:`repro.selection` — example-selection strategies.
+* :mod:`repro.llm` — the (simulated) LLM substrate, profiles, SFT.
+* :mod:`repro.core` — the DAIL-SQL pipeline and baselines.
+* :mod:`repro.eval` — exact-match / execution-accuracy evaluation harness.
+* :mod:`repro.experiments` — one driver per paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+# Headline API, importable straight off the package: the things the
+# README quickstart uses.  Subsystem internals stay in their modules.
+from .core.dail_sql import DailSQL
+from .dataset.generator.corpus import CorpusConfig, build_corpus
+from .dataset.spider import Example, SpiderDataset
+from .eval.harness import BenchmarkRunner, RunConfig
+from .llm.oracle import GoldOracle
+from .llm.simulated import make_llm
+from .errors import (
+    DatasetError,
+    EvaluationError,
+    ExecutionError,
+    ExperimentError,
+    ModelError,
+    PromptError,
+    ReproError,
+    SchemaError,
+    SQLSyntaxError,
+)
+
+__all__ = [
+    "__version__",
+    "DailSQL", "CorpusConfig", "build_corpus", "Example", "SpiderDataset",
+    "BenchmarkRunner", "RunConfig", "GoldOracle", "make_llm",
+    "DatasetError", "EvaluationError", "ExecutionError", "ExperimentError",
+    "ModelError", "PromptError", "ReproError", "SchemaError",
+    "SQLSyntaxError",
+]

@@ -1,0 +1,259 @@
+"""Command-line interface: ``dail-sql``.
+
+Subcommands:
+
+* ``experiment <artifact>`` — run one paper table/figure and print it
+  (``--fast`` for the reduced corpus, ``--limit N`` for a smoke run).
+* ``experiments`` — run every paper artifact.
+* ``generate`` — write the synthetic Spider-format corpus
+  (``--databases`` adds the SQLite files in the full Spider layout).
+* ``validate`` — check a Spider-layout directory (gold queries parse and
+  reference known tables/columns).
+* ``compare`` — run two configurations and report the paired McNemar /
+  bootstrap significance of the difference.
+* ``report`` — regenerate every artifact into one Markdown document.
+* ``ask`` — translate one question with the DAIL-SQL pipeline against a
+  benchmark database.
+* ``models`` — list available model profiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from . import __version__
+from .errors import ReproError
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import run_experiment
+
+    result = run_experiment(args.artifact, fast=args.fast, limit=args.limit)
+    print(result.render())
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import run_all
+
+    for result in run_all(fast=args.fast, limit=args.limit):
+        print(result.render())
+        print()
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .dataset import CorpusConfig, build_corpus
+
+    corpus = build_corpus(
+        CorpusConfig(
+            seed=args.seed,
+            train_per_db=args.train_per_db,
+            dev_per_db=args.dev_per_db,
+        )
+    )
+    if args.databases:
+        from .dataset.export import export_spider_layout
+
+        export_spider_layout(corpus, args.output)
+        extra = " (full Spider layout incl. SQLite databases)"
+    else:
+        corpus.train.save(args.output)
+        corpus.dev.save(args.output)
+        extra = ""
+    print(
+        f"wrote {len(corpus.train)} train / {len(corpus.dev)} dev examples "
+        f"over {len(corpus.rows)} databases to {args.output}{extra}"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    """Run two configurations and test the paired difference."""
+    from .eval.harness import RunConfig
+    from .eval.significance import compare_reports
+    from .experiments.context import get_context
+
+    context = get_context(fast=args.fast)
+
+    def parse_config(spec: str) -> RunConfig:
+        # spec: model:representation[:selection+organization@k]
+        parts = spec.split(":")
+        model, representation = parts[0], parts[1] if len(parts) > 1 else "CR_P"
+        selection = organization = None
+        k = 0
+        if len(parts) > 2 and parts[2]:
+            strategy, _, shot = parts[2].partition("@")
+            selection, _, organization = strategy.partition("+")
+            k = int(shot or 5)
+        return RunConfig(
+            model=model, representation=representation,
+            selection=selection or None,
+            organization=organization or "FI_O", k=k,
+        )
+
+    config_a = parse_config(args.a)
+    config_b = parse_config(args.b)
+    report_a = context.runner.run(config_a, limit=args.limit)
+    report_b = context.runner.run(config_b, limit=args.limit)
+    comparison = compare_reports(report_a, report_b)
+    print(f"A: {config_a.resolved_label()}  EX={report_a.execution_accuracy:.3f}")
+    print(f"B: {config_b.resolved_label()}  EX={report_b.execution_accuracy:.3f}")
+    print(
+        f"delta={comparison.delta:+.3f}  "
+        f"discordant A-only/B-only={comparison.a_only}/{comparison.b_only}  "
+        f"McNemar p={comparison.p_value:.4f}  "
+        f"95% CI [{comparison.ci_low:+.3f}, {comparison.ci_high:+.3f}]  "
+        f"{'SIGNIFICANT' if comparison.significant else 'not significant'}"
+    )
+    return 0
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    from .core.dail_sql import DailSQL
+    from .experiments.context import get_context
+    from .llm.oracle import GoldOracle
+    from .llm.simulated import make_llm
+
+    context = get_context(fast=args.fast)
+    oracle = GoldOracle(context.dev, context.train)
+    llm = make_llm(args.model, oracle)
+    pipeline = DailSQL(llm, context.train, k=args.k)
+    schema = context.dev.schema(args.db)
+    database = context.corpus.pool().get(args.db)
+    result = pipeline.generate_sql(schema, args.question, database=database)
+    print(f"-- model: {args.model}, examples used: {result.n_examples}")
+    print(result.sql)
+    rows = database.try_execute(result.sql)
+    if rows is not None:
+        for row in rows[:10]:
+            print(row)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    """Validate a Spider-layout directory (ours or a real download)."""
+    from .dataset.export import load_spider_layout
+    from .dataset.spider import validate_dataset
+
+    train, dev, databases = load_spider_layout(args.directory)
+    problems = validate_dataset(train) + validate_dataset(dev)
+    print(f"{len(train)} train / {len(dev)} dev examples, "
+          f"{len(databases)} database files")
+    if problems:
+        for problem in problems[:args.max_problems]:
+            print(f"  PROBLEM: {problem}")
+        print(f"{len(problems)} problem(s) found")
+        return 1
+    print("all gold queries parse and reference known tables/columns")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .experiments.markdown import write_report
+
+    path = write_report(
+        args.output, fast=args.fast, limit=args.limit,
+        include_supplementary=not args.paper_only,
+    )
+    print(f"wrote benchmark report to {path}")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    from .llm.profiles import get_profile, list_models
+
+    for model_id in list_models():
+        profile = get_profile(model_id)
+        print(
+            f"{model_id:18s} family={profile.family:7s} "
+            f"scale={profile.scale_b:>7.0f}B alignment={profile.alignment:.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dail-sql",
+        description="DAIL-SQL benchmark reproduction (VLDB 2024)",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiment", help="run one paper table/figure")
+    p_exp.add_argument("artifact", help="e.g. table1, figure4")
+    p_exp.add_argument("--fast", action="store_true")
+    p_exp.add_argument("--limit", type=int, default=None)
+    p_exp.set_defaults(func=_cmd_experiment)
+
+    p_all = sub.add_parser("experiments", help="run every paper artifact")
+    p_all.add_argument("--fast", action="store_true")
+    p_all.add_argument("--limit", type=int, default=None)
+    p_all.set_defaults(func=_cmd_experiments)
+
+    p_gen = sub.add_parser("generate", help="write the synthetic corpus")
+    p_gen.add_argument("output", help="output directory")
+    p_gen.add_argument("--seed", type=int, default=7)
+    p_gen.add_argument("--train-per-db", type=int, default=30)
+    p_gen.add_argument("--dev-per-db", type=int, default=24)
+    p_gen.add_argument(
+        "--databases", action="store_true",
+        help="also write SQLite files in the full Spider layout",
+    )
+    p_gen.set_defaults(func=_cmd_generate)
+
+    p_cmp = sub.add_parser(
+        "compare",
+        help="paired significance test between two configurations "
+             "(spec: model:representation[:selection+organization@k])",
+    )
+    p_cmp.add_argument("a", help="e.g. gpt-4:CR_P:DAIL_S+DAIL_O@5")
+    p_cmp.add_argument("b", help="e.g. gpt-4:CR_P")
+    p_cmp.add_argument("--fast", action="store_true")
+    p_cmp.add_argument("--limit", type=int, default=None)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_ask = sub.add_parser("ask", help="run DAIL-SQL on one question")
+    p_ask.add_argument("db", help="database id, e.g. concert_singer")
+    p_ask.add_argument("question")
+    p_ask.add_argument("--model", default="gpt-4")
+    p_ask.add_argument("--k", type=int, default=5)
+    p_ask.add_argument("--fast", action="store_true")
+    p_ask.set_defaults(func=_cmd_ask)
+
+    p_val = sub.add_parser(
+        "validate", help="validate a Spider-layout directory"
+    )
+    p_val.add_argument("directory")
+    p_val.add_argument("--max-problems", type=int, default=20)
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_report = sub.add_parser(
+        "report", help="regenerate all artifacts into a Markdown report"
+    )
+    p_report.add_argument("output", help="output .md path")
+    p_report.add_argument("--fast", action="store_true")
+    p_report.add_argument("--limit", type=int, default=None)
+    p_report.add_argument("--paper-only", action="store_true",
+                          help="skip the supplementary analyses")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_models = sub.add_parser("models", help="list model profiles")
+    p_models.set_defaults(func=_cmd_models)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,379 @@
+"""A rule-based semantic parser baseline (no LLM).
+
+Before LLMs, Text-to-SQL baselines composed a query sketch from keyword
+heuristics and schema linking.  This parser does exactly that, end-to-end:
+
+1. link the question against the schema (tables / columns / values);
+2. detect the *intent*: count, aggregate (avg/sum/min/max), or projection;
+3. detect *filters*: comparison phrases ("greater than 30", "is "France""),
+   containment ("contains the word"), attached to linked columns;
+4. detect *ordering*: "highest/lowest/most", "top k" → ORDER BY + LIMIT;
+5. pick the FROM table (the most-referenced one) and add a single FK join
+   when a referenced column lives in a neighbouring table.
+
+It emits a real AST and is evaluated with the same EX/EM harness as the
+LLM systems — the leaderboard's "pre-LLM baseline" row, and a stress test
+for the schema linker.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import Counter
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..schema.linker import SchemaLinker, SchemaLinking
+from ..schema.model import DatabaseSchema, Table
+from ..sql.ast_nodes import (
+    AndCondition,
+    ColumnRef,
+    Comparison,
+    FromClause,
+    FuncCall,
+    Join,
+    LikeCondition,
+    Literal,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    TableRef,
+)
+from ..sql.unparse import unparse
+
+_NUMBER_RE = re.compile(r"^\d+(\.\d+)?$")
+
+#: (trigger phrase, aggregate function) — checked in order.
+_AGG_TRIGGERS = (
+    ("how many different", "COUNT_DISTINCT"),
+    ("how many distinct", "COUNT_DISTINCT"),
+    ("how many", "COUNT"),
+    ("count the", "COUNT"),
+    ("number of", "COUNT"),
+    ("total number", "COUNT"),
+    ("average", "AVG"),
+    ("total", "SUM"),
+    ("sum of", "SUM"),
+    ("minimum", "MIN"),
+    ("lowest", "MIN"),
+    ("maximum", "MAX"),
+    ("highest", "MAX"),
+)
+
+_GT_PHRASES = ("greater than", "more than", "above", "over", "older than",
+               "bigger than", "larger than")
+_LT_PHRASES = ("less than", "fewer than", "below", "under", "younger than",
+               "smaller than")
+
+
+@dataclass
+class ParseResult:
+    """Outcome of the rule-based parser."""
+
+    query: Optional[Query]
+    confidence: float
+
+    @property
+    def sql(self) -> str:
+        if self.query is None:
+            return ""
+        return unparse(self.query)
+
+
+class RuleBasedParser:
+    """Keyword + schema-linking semantic parser for one database."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self.linker = SchemaLinker(schema)
+
+    # -- public ---------------------------------------------------------------
+
+    def parse(self, question: str) -> ParseResult:
+        """Translate a question; returns a low-confidence fallback when the
+        heuristics find nothing to anchor on."""
+        lowered = question.lower()
+        linking = self.linker.link(question)
+
+        table = self._main_table(linking)
+        if table is None:
+            return ParseResult(query=None, confidence=0.0)
+
+        where, join_table, filter_columns = self._filters(lowered, linking, table)
+        select_items, agg_used = self._select_items(
+            lowered, linking, table, filter_columns
+        )
+        order_by, limit = self._ordering(lowered, linking, table, agg_used)
+
+        from_clause = self._from_clause(table, join_table)
+        core = SelectCore(
+            items=tuple(select_items),
+            from_clause=from_clause,
+            where=where,
+            order_by=order_by,
+            limit=limit,
+        )
+        confidence = self._confidence(linking, agg_used, where is not None)
+        return ParseResult(query=Query(core=core), confidence=confidence)
+
+    # -- stages ------------------------------------------------------------------
+
+    def _main_table(self, linking: SchemaLinking) -> Optional[Table]:
+        """The most-referenced table; fall back to a column's table."""
+        counts: Counter = Counter()
+        for mention in linking.mentions:
+            if mention.kind == "table":
+                counts[mention.target.lower()] += 2
+            elif mention.kind == "column":
+                counts[mention.target.split(".", 1)[0].lower()] += 1
+        if not counts:
+            return None
+        return self.schema.table(counts.most_common(1)[0][0])
+
+    def _select_items(
+        self,
+        lowered: str,
+        linking: SchemaLinking,
+        table: Table,
+        filter_columns: frozenset = frozenset(),
+    ) -> Tuple[List[SelectItem], Optional[str]]:
+        agg = None
+        for phrase, func in _AGG_TRIGGERS:
+            if phrase not in lowered:
+                continue
+            # "the 3 singers with the highest age" is a ranking, not an
+            # aggregate — superlatives only aggregate in "what is the
+            # highest ..." style openings.
+            is_superlative = func in ("MIN", "MAX") and phrase in ("highest", "lowest")
+            if is_superlative and not lowered.startswith(
+                ("what is", "what are", "show the")
+            ):
+                continue
+            agg = func
+            break
+
+        columns = [
+            target.split(".", 1)[1]
+            for target in sorted(
+                {m.target for m in linking.mentions if m.kind == "column"}
+            )
+            if target.split(".", 1)[0].lower() == table.name.lower()
+        ]
+        # Columns consumed by WHERE are usually not projected ("singers
+        # whose age > 30" asks for names, not ages) — drop them unless they
+        # are all we have.
+        projected = [c for c in columns if c.lower() not in filter_columns]
+        if projected:
+            columns = projected
+
+        if agg in ("COUNT", "COUNT_DISTINCT"):
+            if agg == "COUNT_DISTINCT" and columns:
+                item = SelectItem(FuncCall(
+                    "COUNT", ColumnRef(column=columns[0]), distinct=True))
+            else:
+                item = SelectItem(FuncCall("COUNT", ColumnRef(column="*")))
+            return [item], agg
+
+        if agg in ("AVG", "SUM", "MIN", "MAX"):
+            numeric = self._numeric_column(columns, table)
+            if numeric is not None:
+                return [SelectItem(FuncCall(agg, ColumnRef(column=numeric)))], agg
+            agg = None  # aggregate word without a numeric column: project
+
+        if columns:
+            return [SelectItem(ColumnRef(column=c)) for c in columns[:3]], agg
+        # No column linked: project the human-readable name column or '*'.
+        name_col = self._name_column(table)
+        if name_col is not None:
+            return [SelectItem(ColumnRef(column=name_col))], agg
+        return [SelectItem(ColumnRef(column="*"))], agg
+
+    def _filters(
+        self, lowered: str, linking: SchemaLinking, table: Table
+    ):
+        """Comparison/LIKE filters from value mentions and trigger phrases.
+
+        Returns (condition, join table, lower-cased filter column names).
+        """
+        conditions = []
+        join_table: Optional[Table] = None
+        filter_columns = set()
+        seen = set()
+        values = [m for m in linking.mentions if m.kind == "value"]
+        table_starts = {
+            m.start for m in linking.mentions if m.kind == "table"
+        }
+
+        for mention in values:
+            if _NUMBER_RE.match(mention.target) and mention.end in table_starts:
+                # "the 3 singers ..." — a count of rows, not a cell value;
+                # the ordering stage consumes it as LIMIT.
+                continue
+            column, owner = self._column_for_value(mention, linking, table)
+            if column is None:
+                continue
+            if owner is not None and owner.name.lower() != table.name.lower():
+                join_table = owner
+            ref = ColumnRef(
+                column=column,
+                table=owner.name if owner is not None
+                and owner.name.lower() != table.name.lower() else None,
+            )
+            if _NUMBER_RE.match(mention.target):
+                op = "="
+                if any(p in lowered for p in _GT_PHRASES):
+                    op = ">"
+                elif any(p in lowered for p in _LT_PHRASES):
+                    op = "<"
+                condition = Comparison(op=op, left=ref,
+                                       right=Literal(mention.target, "number"))
+            elif "contain" in lowered:
+                condition = LikeCondition(
+                    expr=ref, pattern=Literal(f"%{mention.target}%", "string"))
+            else:
+                literal = self._string_value(mention.target, linking)
+                condition = Comparison(op="=", left=ref,
+                                       right=Literal(literal, "string"))
+            key = (ref.key(), getattr(condition, "op", "like"),
+                   str(getattr(condition, "right", getattr(condition, "pattern", ""))))
+            if key in seen:
+                continue
+            seen.add(key)
+            filter_columns.add(column.lower())
+            conditions.append(condition)
+
+        if not conditions:
+            return None, join_table, frozenset(filter_columns)
+        if len(conditions) == 1:
+            return conditions[0], join_table, frozenset(filter_columns)
+        return (AndCondition(operands=tuple(conditions[:2])), join_table,
+                frozenset(filter_columns))
+
+    def _ordering(self, lowered, linking, table, agg_used):
+        """'top k' / 'highest X' → ORDER BY; skip when X was aggregated."""
+        if agg_used in ("MAX", "MIN", "AVG", "SUM", "COUNT", "COUNT_DISTINCT"):
+            return (), None
+        numeric = self._numeric_column(
+            [m.target.split(".", 1)[1] for m in linking.mentions
+             if m.kind == "column"
+             and m.target.split(".", 1)[0].lower() == table.name.lower()],
+            table,
+        )
+        if numeric is None:
+            return (), None
+
+        # "in ascending/descending order (of X)": sort everything, no limit.
+        if "ascending order" in lowered:
+            return (OrderItem(ColumnRef(column=numeric), direction="ASC"),), None
+        if "descending order" in lowered:
+            return (OrderItem(ColumnRef(column=numeric), direction="DESC"),), None
+
+        # "at least / at most" are comparison phrases, not ranking ones.
+        cleaned = lowered.replace("at least", " ").replace("at most", " ")
+        direction = None
+        if any(p in cleaned for p in ("highest", "most", "largest", "top")):
+            direction = "DESC"
+        elif any(p in cleaned for p in ("lowest", "least", "smallest")):
+            direction = "ASC"
+        if direction is None:
+            return (), None
+        limit = 1
+        match = re.search(r"\b(\d+)\b", cleaned)
+        if match and int(match.group(1)) <= 20:
+            limit = int(match.group(1))
+        return (OrderItem(ColumnRef(column=numeric), direction=direction),), limit
+
+    def _from_clause(self, table: Table, join_table: Optional[Table]) -> FromClause:
+        source = TableRef(name=table.name)
+        if join_table is None:
+            return FromClause(source=source)
+        fk = self.schema.fk_between(table.name, join_table.name)
+        if fk is None:
+            return FromClause(source=source)
+        on = Comparison(
+            op="=",
+            left=ColumnRef(column=fk.column, table=fk.table),
+            right=ColumnRef(column=fk.ref_column, table=fk.ref_table),
+        )
+        return FromClause(
+            source=source,
+            joins=(Join(source=TableRef(name=join_table.name), condition=on),),
+        )
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _numeric_column(self, preferred: List[str], table: Table) -> Optional[str]:
+        for name in preferred:
+            if table.has_column(name) and table.column(name).ctype == "number" \
+                    and not name.lower().endswith("id"):
+                return name
+        for column in table.columns:
+            if column.ctype == "number" and not column.name.lower().endswith("id"):
+                return column.name
+        return None
+
+    def _name_column(self, table: Table) -> Optional[str]:
+        for column in table.columns:
+            if column.ctype == "text":
+                return column.name
+        return None
+
+    def _column_for_value(self, mention, linking: SchemaLinking, table: Table):
+        """Which column should a value filter attach to?
+
+        The nearest column mention *preceding* the value wins ("whose
+        country is France" attaches France to country, not to an earlier
+        projection column); type compatibility filters the candidates.
+        """
+        value = mention.target
+        want_number = bool(_NUMBER_RE.match(value))
+        candidates = []
+        for m in linking.mentions:
+            if m.kind != "column":
+                continue
+            tname, cname = m.target.split(".", 1)
+            owner = self.schema.table(tname)
+            column = owner.column(cname)
+            if want_number:
+                type_ok = (column.ctype == "number"
+                           and not cname.lower().endswith("id"))
+            else:
+                type_ok = column.ctype == "text"
+            if type_ok:
+                candidates.append((m.start, cname, owner))
+        preceding = [c for c in candidates if c[0] < mention.start]
+        chosen = max(preceding) if preceding else (min(candidates) if candidates else None)
+        if chosen is not None:
+            return chosen[1], chosen[2]
+        if want_number:
+            numeric = self._numeric_column([], table)
+            return (numeric, table) if numeric else (None, None)
+        text = self._name_column(table)
+        return (text, table) if text else (None, None)
+
+    def _string_value(self, mention: str, linking: SchemaLinking) -> str:
+        """Expand a single-token value mention to the full quoted span."""
+        quoted = re.findall(r'"([^"]+)"', linking.question)
+        for span in quoted:
+            if mention in span.split():
+                return span
+        # Multi-word proper nouns: join adjacent capitalised value mentions.
+        values = [m for m in linking.mentions if m.kind == "value"]
+        parts = []
+        for m in values:
+            if m.target[:1].isupper():
+                parts.append((m.start, m.target))
+        parts.sort()
+        run = [t for _, t in parts]
+        if mention in run and len(run) > 1:
+            return " ".join(run)
+        return mention
+
+    def _confidence(self, linking: SchemaLinking, agg, has_filter) -> float:
+        score = 0.3 + 0.4 * linking.coverage()
+        if agg:
+            score += 0.1
+        if has_filter:
+            score += 0.1
+        return min(score, 1.0)

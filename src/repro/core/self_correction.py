@@ -1,0 +1,89 @@
+"""Execution-feedback self-correction (the DIN-SQL-style correction pass).
+
+A thin wrapper around any pipeline: execute the predicted SQL; if it fails
+(syntax error, unknown column, ...), re-prompt the model with the error
+message appended and try again, up to ``max_attempts``.  This is the
+self-correction mechanism DIN-SQL popularised and the paper discusses as a
+complementary axis to prompt engineering.
+
+The retry prompt embeds the failed SQL and the database error verbatim, so
+a real LLM sees exactly what a production self-correction loop would send;
+the simulated LLM sees a changed prompt and redraws its sample stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from ..db.sqlite_backend import Database
+from ..errors import ExecutionError
+from ..llm.extract import extract_sql
+from ..llm.interface import LLMClient
+from ..prompt.builder import Prompt
+from ..tokenizer.counter import count_tokens
+
+
+@dataclass
+class CorrectionTrace:
+    """What happened across correction attempts."""
+
+    attempts: List[str] = field(default_factory=list)
+    errors: List[str] = field(default_factory=list)
+    corrected: bool = False
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+
+class SelfCorrector:
+    """Retry loop: execute, on error re-prompt with the failure appended."""
+
+    def __init__(self, llm: LLMClient, max_attempts: int = 2):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.llm = llm
+        self.max_attempts = max_attempts
+
+    def generate(self, prompt: Prompt, database: Database):
+        """Generate SQL with up to ``max_attempts`` execution-guided retries.
+
+        Returns:
+            (sql, CorrectionTrace) — the final SQL (last attempt if none
+            executed) and the attempt history.
+        """
+        trace = CorrectionTrace()
+        current = prompt
+        sql = ""
+        for attempt in range(self.max_attempts):
+            tag = "" if attempt == 0 else f"fix-{attempt}"
+            result = self.llm.generate(current, sample_tag=tag)
+            sql = extract_sql(result.text, current.response_prefix)
+            trace.attempts.append(sql)
+            error = self._execution_error(database, sql)
+            if error is None:
+                trace.corrected = attempt > 0
+                return sql, trace
+            trace.errors.append(error)
+            current = self._retry_prompt(prompt, sql, error)
+        return sql, trace
+
+    @staticmethod
+    def _execution_error(database: Database, sql: str) -> Optional[str]:
+        try:
+            database.execute(sql)
+            return None
+        except ExecutionError as exc:
+            return str(exc)
+
+    @staticmethod
+    def _retry_prompt(prompt: Prompt, failed_sql: str, error: str) -> Prompt:
+        """The original prompt plus the failure transcript."""
+        feedback = (
+            f"{prompt.text} {failed_sql}\n"
+            f"-- The query above failed with: {error}\n"
+            f"-- Fix the query.\n"
+            "SELECT"
+        )
+        return replace(prompt, text=feedback, token_count=count_tokens(feedback))

@@ -1,0 +1,17 @@
+"""Spider-format datasets, the synthetic corpus generator, and
+Spider-layout export/load."""
+
+from .export import export_spider_layout, load_spider_layout
+from .generator import (
+    Corpus,
+    CorpusConfig,
+    build_corpus,
+    spider_realistic,
+)
+from .spider import Example, SpiderDataset, validate_dataset
+
+__all__ = [
+    "export_spider_layout", "load_spider_layout", "Corpus", "CorpusConfig",
+    "build_corpus", "spider_realistic", "Example", "SpiderDataset",
+    "validate_dataset",
+]

@@ -1,0 +1,19 @@
+"""Synthetic Spider-format corpus generation."""
+
+from .corpus import (
+    Corpus,
+    CorpusConfig,
+    REALISTIC_SYNONYMS,
+    build_corpus,
+    spider_realistic,
+)
+from .domains import DOMAINS, ColSpec, DomainSpec, TableSpec, build_schema
+from .populate import populate
+from .questions import GeneratedExample, TEMPLATES, generate_examples
+
+__all__ = [
+    "Corpus", "CorpusConfig", "REALISTIC_SYNONYMS", "build_corpus",
+    "spider_realistic", "DOMAINS", "ColSpec", "DomainSpec", "TableSpec",
+    "build_schema", "populate", "GeneratedExample", "TEMPLATES",
+    "generate_examples",
+]

@@ -1,0 +1,813 @@
+"""Domain specifications for the synthetic Spider-format corpus.
+
+Each :class:`DomainSpec` declares one database: tables, typed columns with
+value sources, and foreign keys.  ``build_schema`` converts a spec into the
+:class:`~repro.schema.model.DatabaseSchema` the rest of the library uses.
+
+The catalogue below covers the kind of domains the Spider benchmark draws on
+(concerts, pets, flights, universities, shops, movies, ...), split between
+*train* and *dev* groups so that generated splits are cross-domain like
+Spider's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ...errors import SchemaError
+from ...schema.model import Column, DatabaseSchema, ForeignKey, Table
+
+
+@dataclass(frozen=True)
+class ColSpec:
+    """Column specification.
+
+    Attributes:
+        name: column identifier.
+        ctype: ``text`` / ``number`` / ``time`` / ``boolean``.
+        pool: value-pool name for text columns (see
+            :mod:`repro.dataset.generator.pools`).
+        low / high: numeric range for number columns.
+        integer: whether numeric values are integers.
+        pk: this column is the table's primary key.
+        unique: values must be unique across rows.
+        natural: natural-language name override.
+    """
+
+    name: str
+    ctype: str = "text"
+    pool: Optional[str] = None
+    low: float = 0
+    high: float = 100
+    integer: bool = True
+    pk: bool = False
+    unique: bool = False
+    natural: str = ""
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Table specification: name, columns, approximate row count."""
+
+    name: str
+    cols: Tuple[ColSpec, ...]
+    rows: int = 24
+    natural: str = ""
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """One synthetic database domain.
+
+    Attributes:
+        db_id: database identifier.
+        tables: table specs in creation order (parents before children).
+        fks: foreign keys as ``("child.col", "parent.col")`` pairs.
+        group: ``"train"`` or ``"dev"`` — which split the domain belongs to.
+    """
+
+    db_id: str
+    tables: Tuple[TableSpec, ...]
+    fks: Tuple[Tuple[str, str], ...] = ()
+    group: str = "train"
+
+
+def _id(name: str) -> ColSpec:
+    return ColSpec(name=name, ctype="number", pk=True, unique=True,
+                   low=1, high=10_000)
+
+
+def _fk(name: str) -> ColSpec:
+    return ColSpec(name=name, ctype="number", low=1, high=10_000)
+
+
+def build_schema(spec: DomainSpec) -> DatabaseSchema:
+    """Convert a :class:`DomainSpec` to a :class:`DatabaseSchema`.
+
+    Raises:
+        SchemaError: for dangling foreign keys or duplicate names.
+    """
+    tables = []
+    for tspec in spec.tables:
+        columns = tuple(
+            Column(
+                name=c.name,
+                ctype=c.ctype,
+                natural_name=c.natural,
+                is_integer=c.integer if c.ctype == "number" else False,
+            )
+            for c in tspec.cols
+        )
+        pk = next((c.name for c in tspec.cols if c.pk), None)
+        tables.append(
+            Table(name=tspec.name, columns=columns, primary_key=pk,
+                  natural_name=tspec.natural)
+        )
+    fks = []
+    for child, parent in spec.fks:
+        ct, cc = child.split(".")
+        pt, pc = parent.split(".")
+        fks.append(ForeignKey(table=ct, column=cc, ref_table=pt, ref_column=pc))
+    return DatabaseSchema(db_id=spec.db_id, tables=tuple(tables),
+                          foreign_keys=tuple(fks))
+
+
+def colspec(spec: DomainSpec, table: str, column: str) -> ColSpec:
+    """Find the :class:`ColSpec` for ``table.column``.
+
+    Raises:
+        SchemaError: if the table or column is missing from the spec.
+    """
+    for tspec in spec.tables:
+        if tspec.name == table:
+            for c in tspec.cols:
+                if c.name == column:
+                    return c
+            raise SchemaError(f"no column {column} in spec table {table}")
+    raise SchemaError(f"no table {table} in spec {spec.db_id}")
+
+
+# ---------------------------------------------------------------------------
+# Domain catalogue
+# ---------------------------------------------------------------------------
+
+DOMAINS: List[DomainSpec] = [
+    DomainSpec(
+        db_id="concert_singer",
+        group="dev",
+        tables=(
+            TableSpec("stadium", (
+                _id("stadium_id"),
+                ColSpec("name", pool="stadiums", unique=True),
+                ColSpec("location", pool="cities"),
+                ColSpec("capacity", "number", low=500, high=80_000),
+                ColSpec("average_attendance", "number", low=100, high=60_000),
+            ), rows=14),
+            TableSpec("singer", (
+                _id("singer_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("country", pool="countries"),
+                ColSpec("age", "number", low=18, high=70),
+                ColSpec("genre", pool="genres"),
+            ), rows=30),
+            TableSpec("concert", (
+                _id("concert_id"),
+                ColSpec("concert_name", pool="adjectives"),
+                ColSpec("year", "number", low=2010, high=2023),
+                _fk("stadium_id"),
+                _fk("singer_id"),
+            ), rows=40),
+        ),
+        fks=(
+            ("concert.stadium_id", "stadium.stadium_id"),
+            ("concert.singer_id", "singer.singer_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="pets_1",
+        group="dev",
+        tables=(
+            TableSpec("student", (
+                _id("student_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("age", "number", low=17, high=30),
+                ColSpec("major", pool="majors"),
+                ColSpec("city", pool="cities"),
+            ), rows=28),
+            TableSpec("pet", (
+                _id("pet_id"),
+                ColSpec("pet_type", pool="pet_types"),
+                ColSpec("pet_age", "number", low=1, high=15),
+                ColSpec("weight", "number", low=1, high=60, integer=False),
+                _fk("owner_id"),
+            ), rows=34),
+        ),
+        fks=(("pet.owner_id", "student.student_id"),),
+    ),
+    DomainSpec(
+        db_id="flight_company",
+        group="dev",
+        tables=(
+            TableSpec("airline", (
+                _id("airline_id"),
+                ColSpec("name", pool="airlines", unique=True),
+                ColSpec("country", pool="countries"),
+                ColSpec("fleet_size", "number", low=5, high=900),
+            ), rows=15),
+            TableSpec("airport", (
+                _id("airport_id"),
+                ColSpec("code", pool="airports", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("elevation", "number", low=0, high=2500),
+            ), rows=20),
+            TableSpec("flight", (
+                _id("flight_id"),
+                ColSpec("distance", "number", low=100, high=9000),
+                ColSpec("price", "number", low=49, high=1800, integer=False),
+                ColSpec("departure_date", "time"),
+                _fk("airline_id"),
+                _fk("airport_id"),
+            ), rows=46),
+        ),
+        fks=(
+            ("flight.airline_id", "airline.airline_id"),
+            ("flight.airport_id", "airport.airport_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="employee_hire",
+        group="dev",
+        tables=(
+            TableSpec("department", (
+                _id("department_id"),
+                ColSpec("name", pool="departments", unique=True),
+                ColSpec("budget", "number", low=100_000, high=9_000_000),
+                ColSpec("city", pool="cities"),
+            ), rows=12),
+            TableSpec("employee", (
+                _id("employee_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("title", pool="job_titles"),
+                ColSpec("salary", "number", low=35_000, high=220_000),
+                ColSpec("age", "number", low=21, high=65),
+                ColSpec("hire_date", "time"),
+                _fk("department_id"),
+            ), rows=42),
+        ),
+        fks=(("employee.department_id", "department.department_id"),),
+    ),
+    DomainSpec(
+        db_id="world_geo",
+        group="dev",
+        tables=(
+            TableSpec("country", (
+                _id("country_id"),
+                ColSpec("name", pool="countries", unique=True),
+                ColSpec("population", "number", low=1_000_000, high=1_400_000_000),
+                ColSpec("area", "number", low=10_000, high=17_000_000),
+                ColSpec("continent", pool="categories"),
+            ), rows=24),
+            TableSpec("city", (
+                _id("city_id"),
+                ColSpec("name", pool="cities", unique=True),
+                ColSpec("population", "number", low=50_000, high=38_000_000),
+                ColSpec("is_capital", "boolean"),
+                _fk("country_id"),
+            ), rows=40),
+        ),
+        fks=(("city.country_id", "country.country_id"),),
+    ),
+    # ------------------------------------------------------------------ train
+    DomainSpec(
+        db_id="orchestra_hall",
+        tables=(
+            TableSpec("orchestra", (
+                _id("orchestra_id"),
+                ColSpec("name", pool="teams", unique=True),
+                ColSpec("founded_year", "number", low=1850, high=2015),
+                ColSpec("city", pool="cities"),
+            ), rows=14),
+            TableSpec("musician", (
+                _id("musician_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("instrument", pool="instruments"),
+                ColSpec("age", "number", low=20, high=75),
+                ColSpec("salary", "number", low=30_000, high=150_000),
+                _fk("orchestra_id"),
+            ), rows=40),
+        ),
+        fks=(("musician.orchestra_id", "orchestra.orchestra_id"),),
+    ),
+    DomainSpec(
+        db_id="online_store",
+        tables=(
+            TableSpec("product", (
+                _id("product_id"),
+                ColSpec("name", pool="products", unique=True),
+                ColSpec("category", pool="categories"),
+                ColSpec("price", "number", low=5, high=2500, integer=False),
+                ColSpec("stock", "number", low=0, high=500),
+            ), rows=28),
+            TableSpec("customer", (
+                _id("customer_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("age", "number", low=18, high=80),
+            ), rows=26),
+            TableSpec("purchase", (
+                _id("purchase_id"),
+                ColSpec("quantity", "number", low=1, high=12),
+                ColSpec("purchase_date", "time"),
+                ColSpec("total_amount", "number", low=5, high=9000, integer=False),
+                _fk("product_id"),
+                _fk("customer_id"),
+            ), rows=50),
+        ),
+        fks=(
+            ("purchase.product_id", "product.product_id"),
+            ("purchase.customer_id", "customer.customer_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="university_enrollment",
+        tables=(
+            TableSpec("department", (
+                _id("department_id"),
+                ColSpec("name", pool="majors", unique=True),
+                ColSpec("building", pool="stadiums"),
+                ColSpec("budget", "number", low=200_000, high=5_000_000),
+            ), rows=12),
+            TableSpec("course", (
+                _id("course_id"),
+                ColSpec("title", pool="courses", unique=True),
+                ColSpec("credits", "number", low=1, high=6),
+                _fk("department_id"),
+            ), rows=18),
+            TableSpec("student", (
+                _id("student_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("year", "number", low=1, high=5),
+                ColSpec("gpa", "number", low=2, high=4, integer=False),
+                _fk("department_id"),
+            ), rows=34),
+            TableSpec("enrollment", (
+                _id("enrollment_id"),
+                ColSpec("grade", "number", low=50, high=100),
+                ColSpec("semester", pool="adjectives"),
+                _fk("student_id"),
+                _fk("course_id"),
+            ), rows=60),
+        ),
+        fks=(
+            ("course.department_id", "department.department_id"),
+            ("student.department_id", "department.department_id"),
+            ("enrollment.student_id", "student.student_id"),
+            ("enrollment.course_id", "course.course_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="movie_review",
+        tables=(
+            TableSpec("director", (
+                _id("director_id"),
+                ColSpec("name", pool="directors", unique=True),
+                ColSpec("country", pool="countries"),
+                ColSpec("age", "number", low=28, high=80),
+            ), rows=10),
+            TableSpec("movie", (
+                _id("movie_id"),
+                ColSpec("title", pool="movies", unique=True),
+                ColSpec("release_year", "number", low=1980, high=2023),
+                ColSpec("rating", "number", low=1, high=10, integer=False),
+                ColSpec("budget", "number", low=100_000, high=300_000_000),
+                _fk("director_id"),
+            ), rows=20),
+            TableSpec("review", (
+                _id("review_id"),
+                ColSpec("reviewer_name", pool="full_names"),
+                ColSpec("score", "number", low=1, high=10),
+                ColSpec("review_date", "time"),
+                _fk("movie_id"),
+            ), rows=45),
+        ),
+        fks=(
+            ("movie.director_id", "director.director_id"),
+            ("review.movie_id", "movie.movie_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="library_loan",
+        tables=(
+            TableSpec("author", (
+                _id("author_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("country", pool="countries"),
+                ColSpec("birth_year", "number", low=1900, high=1995),
+            ), rows=14),
+            TableSpec("book", (
+                _id("book_id"),
+                ColSpec("title", pool="books", unique=True),
+                ColSpec("publisher", pool="publishers"),
+                ColSpec("pages", "number", low=80, high=1200),
+                ColSpec("publication_year", "number", low=1950, high=2023),
+                _fk("author_id"),
+            ), rows=26),
+            TableSpec("loan", (
+                _id("loan_id"),
+                ColSpec("borrower_name", pool="full_names"),
+                ColSpec("loan_date", "time"),
+                ColSpec("days_kept", "number", low=1, high=90),
+                _fk("book_id"),
+            ), rows=44),
+        ),
+        fks=(
+            ("book.author_id", "author.author_id"),
+            ("loan.book_id", "book.book_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="hotel_booking",
+        tables=(
+            TableSpec("hotel", (
+                _id("hotel_id"),
+                ColSpec("name", pool="hotels", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("stars", "number", low=1, high=5),
+                ColSpec("room_count", "number", low=20, high=800),
+            ), rows=12),
+            TableSpec("guest", (
+                _id("guest_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("country", pool="countries"),
+                ColSpec("age", "number", low=18, high=85),
+            ), rows=28),
+            TableSpec("booking", (
+                _id("booking_id"),
+                ColSpec("check_in", "time"),
+                ColSpec("nights", "number", low=1, high=21),
+                ColSpec("price", "number", low=60, high=4200, integer=False),
+                _fk("hotel_id"),
+                _fk("guest_id"),
+            ), rows=48),
+        ),
+        fks=(
+            ("booking.hotel_id", "hotel.hotel_id"),
+            ("booking.guest_id", "guest.guest_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="sports_league",
+        tables=(
+            TableSpec("team", (
+                _id("team_id"),
+                ColSpec("name", pool="teams", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("founded_year", "number", low=1900, high=2015),
+                ColSpec("championships", "number", low=0, high=25),
+            ), rows=15),
+            TableSpec("player", (
+                _id("player_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("position", pool="job_titles"),
+                ColSpec("age", "number", low=18, high=40),
+                ColSpec("goals", "number", low=0, high=60),
+                ColSpec("salary", "number", low=50_000, high=5_000_000),
+                _fk("team_id"),
+            ), rows=45),
+        ),
+        fks=(("player.team_id", "team.team_id"),),
+    ),
+    DomainSpec(
+        db_id="restaurant_orders",
+        tables=(
+            TableSpec("restaurant", (
+                _id("restaurant_id"),
+                ColSpec("name", pool="hotels", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("cuisine", pool="categories"),
+                ColSpec("rating", "number", low=1, high=5, integer=False),
+            ), rows=14),
+            TableSpec("dish", (
+                _id("dish_id"),
+                ColSpec("name", pool="products", unique=True),
+                ColSpec("price", "number", low=4, high=90, integer=False),
+                ColSpec("calories", "number", low=100, high=1500),
+                _fk("restaurant_id"),
+            ), rows=30),
+        ),
+        fks=(("dish.restaurant_id", "restaurant.restaurant_id"),),
+    ),
+    DomainSpec(
+        db_id="bank_accounts",
+        tables=(
+            TableSpec("branch", (
+                _id("branch_id"),
+                ColSpec("name", pool="stadiums", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("assets", "number", low=1_000_000, high=500_000_000),
+            ), rows=10),
+            TableSpec("customer", (
+                _id("customer_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("age", "number", low=18, high=90),
+                ColSpec("credit_score", "number", low=300, high=850),
+                _fk("branch_id"),
+            ), rows=32),
+            TableSpec("account", (
+                _id("account_id"),
+                ColSpec("balance", "number", low=0, high=2_000_000, integer=False),
+                ColSpec("account_type", pool="categories"),
+                ColSpec("open_date", "time"),
+                _fk("customer_id"),
+            ), rows=44),
+        ),
+        fks=(
+            ("customer.branch_id", "branch.branch_id"),
+            ("account.customer_id", "customer.customer_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="car_dealership",
+        tables=(
+            TableSpec("manufacturer", (
+                _id("manufacturer_id"),
+                ColSpec("name", pool="publishers", unique=True),
+                ColSpec("country", pool="countries"),
+                ColSpec("founded_year", "number", low=1900, high=2010),
+            ), rows=10),
+            TableSpec("car", (
+                _id("car_id"),
+                ColSpec("model", pool="movies", unique=True),
+                ColSpec("color", pool="colors"),
+                ColSpec("price", "number", low=12_000, high=250_000),
+                ColSpec("horsepower", "number", low=70, high=900),
+                ColSpec("year", "number", low=2005, high=2024),
+                _fk("manufacturer_id"),
+            ), rows=34),
+        ),
+        fks=(("car.manufacturer_id", "manufacturer.manufacturer_id"),),
+    ),
+    DomainSpec(
+        db_id="hospital_visits",
+        tables=(
+            TableSpec("doctor", (
+                _id("doctor_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("specialty", pool="departments"),
+                ColSpec("years_experience", "number", low=1, high=40),
+            ), rows=16),
+            TableSpec("patient", (
+                _id("patient_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("age", "number", low=1, high=95),
+                ColSpec("city", pool="cities"),
+            ), rows=30),
+            TableSpec("visit", (
+                _id("visit_id"),
+                ColSpec("visit_date", "time"),
+                ColSpec("cost", "number", low=50, high=12_000, integer=False),
+                ColSpec("duration_minutes", "number", low=5, high=180),
+                _fk("doctor_id"),
+                _fk("patient_id"),
+            ), rows=52),
+        ),
+        fks=(
+            ("visit.doctor_id", "doctor.doctor_id"),
+            ("visit.patient_id", "patient.patient_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="music_festival",
+        tables=(
+            TableSpec("band", (
+                _id("band_id"),
+                ColSpec("name", pool="teams", unique=True),
+                ColSpec("genre", pool="genres"),
+                ColSpec("formed_year", "number", low=1970, high=2020),
+                ColSpec("members", "number", low=2, high=9),
+            ), rows=16),
+            TableSpec("performance", (
+                _id("performance_id"),
+                ColSpec("festival_name", pool="stadiums"),
+                ColSpec("year", "number", low=2012, high=2024),
+                ColSpec("attendance", "number", low=200, high=90_000),
+                _fk("band_id"),
+            ), rows=40),
+        ),
+        fks=(("performance.band_id", "band.band_id"),),
+    ),
+    DomainSpec(
+        db_id="shipping_logistics",
+        tables=(
+            TableSpec("warehouse", (
+                _id("warehouse_id"),
+                ColSpec("name", pool="stadiums", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("capacity", "number", low=1000, high=200_000),
+            ), rows=12),
+            TableSpec("shipment", (
+                _id("shipment_id"),
+                ColSpec("weight", "number", low=1, high=20_000, integer=False),
+                ColSpec("destination", pool="cities"),
+                ColSpec("ship_date", "time"),
+                ColSpec("is_express", "boolean"),
+                _fk("warehouse_id"),
+            ), rows=46),
+        ),
+        fks=(("shipment.warehouse_id", "warehouse.warehouse_id"),),
+    ),
+    DomainSpec(
+        db_id="tv_network",
+        tables=(
+            TableSpec("network", (
+                _id("network_id"),
+                ColSpec("name", pool="publishers", unique=True),
+                ColSpec("country", pool="countries"),
+                ColSpec("launch_year", "number", low=1950, high=2015),
+            ), rows=9),
+            TableSpec("show", (
+                _id("show_id"),
+                ColSpec("title", pool="books", unique=True),
+                ColSpec("seasons", "number", low=1, high=25),
+                ColSpec("episodes", "number", low=6, high=500),
+                ColSpec("rating", "number", low=1, high=10, integer=False),
+                _fk("network_id"),
+            ), rows=28),
+        ),
+        fks=(("show.network_id", "network.network_id"),),
+    ),
+    DomainSpec(
+        db_id="gym_membership",
+        tables=(
+            TableSpec("gym", (
+                _id("gym_id"),
+                ColSpec("name", pool="hotels", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("monthly_fee", "number", low=15, high=200, integer=False),
+            ), rows=10),
+            TableSpec("member", (
+                _id("member_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("age", "number", low=16, high=80),
+                ColSpec("join_date", "time"),
+                ColSpec("sessions_attended", "number", low=0, high=400),
+                _fk("gym_id"),
+            ), rows=38),
+        ),
+        fks=(("member.gym_id", "gym.gym_id"),),
+    ),
+    DomainSpec(
+        db_id="museum_visit",
+        group="dev",
+        tables=(
+            TableSpec("museum", (
+                _id("museum_id"),
+                ColSpec("name", pool="hotels", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("founded_year", "number", low=1800, high=2010),
+                ColSpec("annual_visitors", "number", low=10_000, high=5_000_000),
+            ), rows=12),
+            TableSpec("exhibit", (
+                _id("exhibit_id"),
+                ColSpec("title", pool="books", unique=True),
+                ColSpec("theme", pool="categories"),
+                ColSpec("artifact_count", "number", low=5, high=900),
+                _fk("museum_id"),
+            ), rows=30),
+            TableSpec("visit", (
+                _id("visit_id"),
+                ColSpec("visitor_name", pool="full_names"),
+                ColSpec("visit_date", "time"),
+                ColSpec("ticket_price", "number", low=0, high=60, integer=False),
+                _fk("exhibit_id"),
+            ), rows=48),
+        ),
+        fks=(
+            ("exhibit.museum_id", "museum.museum_id"),
+            ("visit.exhibit_id", "exhibit.exhibit_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="music_streaming",
+        tables=(
+            TableSpec("artist", (
+                _id("artist_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("genre", pool="genres"),
+                ColSpec("followers", "number", low=1000, high=80_000_000),
+            ), rows=16),
+            TableSpec("album", (
+                _id("album_id"),
+                ColSpec("title", pool="movies", unique=True),
+                ColSpec("release_year", "number", low=1990, high=2024),
+                _fk("artist_id"),
+            ), rows=28),
+            TableSpec("track", (
+                _id("track_id"),
+                ColSpec("title", pool="books"),
+                ColSpec("duration_seconds", "number", low=90, high=900),
+                ColSpec("play_count", "number", low=0, high=90_000_000),
+                _fk("album_id"),
+            ), rows=56),
+        ),
+        fks=(
+            ("album.artist_id", "artist.artist_id"),
+            ("track.album_id", "album.album_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="real_estate",
+        tables=(
+            TableSpec("agency", (
+                _id("agency_id"),
+                ColSpec("name", pool="publishers", unique=True),
+                ColSpec("city", pool="cities"),
+                ColSpec("founded_year", "number", low=1950, high=2020),
+            ), rows=10),
+            TableSpec("agent", (
+                _id("agent_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("commission_rate", "number", low=1, high=6, integer=False),
+                ColSpec("sales_count", "number", low=0, high=120),
+                _fk("agency_id"),
+            ), rows=26),
+            TableSpec("property", (
+                _id("property_id"),
+                ColSpec("address", pool="stadiums"),
+                ColSpec("price", "number", low=80_000, high=4_000_000),
+                ColSpec("bedrooms", "number", low=1, high=8),
+                ColSpec("listing_date", "time"),
+                _fk("agent_id"),
+            ), rows=44),
+        ),
+        fks=(
+            ("agent.agency_id", "agency.agency_id"),
+            ("property.agent_id", "agent.agent_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="energy_grid",
+        tables=(
+            TableSpec("region", (
+                _id("region_id"),
+                ColSpec("name", pool="countries", unique=True),
+                ColSpec("population", "number", low=100_000, high=40_000_000),
+            ), rows=10),
+            TableSpec("plant", (
+                _id("plant_id"),
+                ColSpec("name", pool="stadiums", unique=True),
+                ColSpec("fuel_type", pool="categories"),
+                ColSpec("capacity_mw", "number", low=10, high=4000),
+                ColSpec("commission_year", "number", low=1960, high=2023),
+                _fk("region_id"),
+            ), rows=32),
+        ),
+        fks=(("plant.region_id", "region.region_id"),),
+    ),
+    DomainSpec(
+        db_id="conference_papers",
+        tables=(
+            TableSpec("conference", (
+                _id("conference_id"),
+                ColSpec("name", pool="universities", unique=True),
+                ColSpec("field", pool="majors"),
+                ColSpec("acceptance_rate", "number", low=5, high=50, integer=False),
+            ), rows=12),
+            TableSpec("author", (
+                _id("author_id"),
+                ColSpec("name", pool="full_names", unique=True),
+                ColSpec("affiliation", pool="universities"),
+                ColSpec("h_index", "number", low=1, high=120),
+            ), rows=30),
+            TableSpec("paper", (
+                _id("paper_id"),
+                ColSpec("title", pool="books"),
+                ColSpec("year", "number", low=2000, high=2024),
+                ColSpec("citations", "number", low=0, high=9000),
+                _fk("conference_id"),
+                _fk("author_id"),
+            ), rows=52),
+        ),
+        fks=(
+            ("paper.conference_id", "conference.conference_id"),
+            ("paper.author_id", "author.author_id"),
+        ),
+    ),
+    DomainSpec(
+        db_id="farm_production",
+        tables=(
+            TableSpec("farm", (
+                _id("farm_id"),
+                ColSpec("name", pool="stadiums", unique=True),
+                ColSpec("region", pool="countries"),
+                ColSpec("hectares", "number", low=5, high=5000),
+            ), rows=12),
+            TableSpec("crop", (
+                _id("crop_id"),
+                ColSpec("name", pool="products", unique=True),
+                ColSpec("yield_tons", "number", low=1, high=900, integer=False),
+                ColSpec("harvest_year", "number", low=2015, high=2024),
+                _fk("farm_id"),
+            ), rows=34),
+        ),
+        fks=(("crop.farm_id", "farm.farm_id"),),
+    ),
+]
+
+
+def domain_by_id(db_id: str) -> DomainSpec:
+    """Find a domain spec by ``db_id``.
+
+    Raises:
+        SchemaError: if no such domain exists.
+    """
+    for spec in DOMAINS:
+        if spec.db_id == db_id:
+            return spec
+    raise SchemaError(f"unknown domain {db_id!r}")
+
+
+def domains_for_group(group: str) -> List[DomainSpec]:
+    """All domains assigned to a split group (``train`` / ``dev``)."""
+    return [spec for spec in DOMAINS if spec.group == group]

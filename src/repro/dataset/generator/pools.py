@@ -1,0 +1,229 @@
+"""Static value pools for synthetic database population.
+
+Each pool is a deterministic list of realistic values; the populator samples
+from them with a seeded RNG, so corpora are reproducible.  Pools are referred
+to by name from :mod:`repro.dataset.generator.domains` column specs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+FIRST_NAMES = [
+    "James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+    "Linda", "David", "Elizabeth", "William", "Barbara", "Richard", "Susan",
+    "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen", "Christopher",
+    "Lisa", "Daniel", "Nancy", "Matthew", "Betty", "Anthony", "Margaret",
+    "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul",
+    "Emily", "Andrew", "Donna", "Joshua", "Michelle", "Kenneth", "Carol",
+    "Kevin", "Amanda", "Brian", "Dorothy", "George", "Melissa", "Timothy",
+    "Deborah", "Wei", "Yuki", "Amara", "Sofia", "Liam", "Noah", "Olivia",
+    "Emma", "Ava", "Lucas", "Mia", "Elena", "Hassan", "Priya", "Chen",
+]
+
+LAST_NAMES = [
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+    "Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+    "Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+    "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+    "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+    "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+    "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Kim", "Chen", "Singh", "Kumar", "Ali", "Tanaka",
+]
+
+CITIES = [
+    "New York", "Los Angeles", "Chicago", "Houston", "Phoenix", "Boston",
+    "Seattle", "Denver", "Austin", "Portland", "Atlanta", "Miami", "Dallas",
+    "San Diego", "San Jose", "Detroit", "Memphis", "Nashville", "Baltimore",
+    "Milwaukee", "London", "Paris", "Berlin", "Madrid", "Rome", "Vienna",
+    "Amsterdam", "Dublin", "Lisbon", "Prague", "Tokyo", "Osaka", "Seoul",
+    "Beijing", "Shanghai", "Singapore", "Sydney", "Melbourne", "Toronto",
+    "Vancouver", "Montreal", "Mexico City", "Sao Paulo", "Buenos Aires",
+    "Cairo", "Lagos", "Nairobi", "Mumbai", "Delhi", "Bangkok",
+]
+
+COUNTRIES = [
+    "United States", "United Kingdom", "France", "Germany", "Spain", "Italy",
+    "Netherlands", "Ireland", "Portugal", "Austria", "Japan", "South Korea",
+    "China", "Singapore", "Australia", "Canada", "Mexico", "Brazil",
+    "Argentina", "Egypt", "Nigeria", "Kenya", "India", "Thailand", "Sweden",
+    "Norway", "Denmark", "Finland", "Poland", "Switzerland",
+]
+
+COLORS = [
+    "Red", "Blue", "Green", "Yellow", "Black", "White", "Silver", "Gold",
+    "Purple", "Orange", "Brown", "Gray", "Pink", "Cyan", "Magenta",
+]
+
+GENRES = [
+    "Rock", "Pop", "Jazz", "Classical", "Hip Hop", "Country", "Blues",
+    "Electronic", "Folk", "Reggae", "Metal", "Soul", "Funk", "Latin",
+    "Indie",
+]
+
+INSTRUMENTS = [
+    "Guitar", "Piano", "Violin", "Drums", "Bass", "Saxophone", "Trumpet",
+    "Cello", "Flute", "Clarinet", "Harp", "Accordion",
+]
+
+DEPARTMENTS = [
+    "Engineering", "Marketing", "Sales", "Finance", "Human Resources",
+    "Research", "Operations", "Legal", "Support", "Design", "Security",
+    "Logistics", "Procurement", "Quality Assurance",
+]
+
+JOB_TITLES = [
+    "Engineer", "Manager", "Analyst", "Director", "Coordinator", "Designer",
+    "Consultant", "Technician", "Specialist", "Administrator", "Developer",
+    "Architect", "Accountant", "Scientist",
+]
+
+PRODUCT_NAMES = [
+    "Laptop", "Smartphone", "Headphones", "Monitor", "Keyboard", "Mouse",
+    "Tablet", "Camera", "Printer", "Speaker", "Router", "Microphone",
+    "Charger", "Webcam", "Projector", "Scanner", "Drone", "Smartwatch",
+    "Desk Lamp", "Backpack", "Water Bottle", "Notebook", "Pen Set",
+    "Coffee Maker", "Blender", "Toaster", "Vacuum", "Fan", "Heater",
+]
+
+CATEGORIES = [
+    "Electronics", "Furniture", "Clothing", "Food", "Toys", "Books",
+    "Sports", "Garden", "Automotive", "Health", "Beauty", "Office",
+]
+
+AIRLINES = [
+    "United Airlines", "Delta Air Lines", "American Airlines", "JetBlue",
+    "Southwest Airlines", "Alaska Airlines", "British Airways", "Lufthansa",
+    "Air France", "KLM", "Qantas", "Emirates", "Singapore Airlines",
+    "Cathay Pacific", "ANA",
+]
+
+AIRPORTS = [
+    "JFK", "LAX", "ORD", "ATL", "DFW", "DEN", "SFO", "SEA", "MIA", "BOS",
+    "LHR", "CDG", "FRA", "AMS", "MAD", "NRT", "ICN", "PEK", "SIN", "SYD",
+]
+
+UNIVERSITIES = [
+    "State University", "Tech Institute", "City College",
+    "Riverside University", "Lakeside College", "Mountain University",
+    "Central Academy", "Coastal University", "Valley College",
+    "Northern Institute", "Southern University", "Eastern College",
+    "Western Academy",
+]
+
+COURSES = [
+    "Calculus", "Linear Algebra", "Databases", "Operating Systems",
+    "Algorithms", "Statistics", "Physics", "Chemistry", "Biology",
+    "Economics", "Psychology", "Philosophy", "History", "Literature",
+    "Machine Learning", "Networks", "Compilers", "Graphics",
+]
+
+MAJORS = [
+    "Computer Science", "Mathematics", "Physics", "Chemistry", "Biology",
+    "Economics", "Psychology", "History", "English", "Engineering",
+    "Business", "Art", "Music", "Philosophy",
+]
+
+PET_TYPES = ["Dog", "Cat", "Bird", "Fish", "Rabbit", "Hamster", "Turtle", "Lizard"]
+
+DOG_BREEDS = [
+    "Labrador", "Poodle", "Bulldog", "Beagle", "Terrier", "Husky",
+    "Dachshund", "Boxer", "Collie", "Retriever", "Spaniel", "Shepherd",
+]
+
+TEAM_NAMES = [
+    "Tigers", "Eagles", "Sharks", "Wolves", "Falcons", "Lions", "Bears",
+    "Panthers", "Hawks", "Dragons", "Raptors", "Knights", "Titans",
+    "Rangers", "Comets",
+]
+
+STADIUM_NAMES = [
+    "Memorial Stadium", "Victory Arena", "Riverside Park", "Grand Coliseum",
+    "Sunset Field", "Harbor Stadium", "Union Grounds", "Liberty Arena",
+    "Summit Park", "Eagle Field", "Crystal Dome", "Horizon Stadium",
+]
+
+HOTEL_NAMES = [
+    "Grand Plaza", "Seaside Inn", "Mountain Lodge", "City Central Hotel",
+    "Riverside Suites", "The Palms", "Harbor View", "Golden Gate Inn",
+    "Royal Crown", "Park Regency", "Blue Lagoon Resort", "Summit Hotel",
+]
+
+MOVIE_TITLES = [
+    "The Last Voyage", "Midnight Sun", "Silent Echo", "Crimson Tide Rising",
+    "The Glass Tower", "Forgotten Shores", "Steel Horizon", "Paper Moon",
+    "The Ninth Gate", "Winter Light", "Electric Dreams", "The Long Road",
+    "Shadow Play", "Golden Hour", "The Quiet Storm", "Broken Arrow",
+    "Emerald City", "The Final Act", "Northern Lights", "Desert Bloom",
+]
+
+DIRECTOR_NAMES = [
+    "Ava Chen", "Marcus Webb", "Sofia Ruiz", "James Okafor", "Nina Petrov",
+    "Daniel Park", "Lucia Moreno", "Henry Walsh", "Mei Lin", "Omar Farouk",
+]
+
+BOOK_TITLES = [
+    "The Silent River", "Echoes of Tomorrow", "A Winter's Tale",
+    "The Cartographer", "Beneath the Surface", "The Last Library",
+    "Songs of the Valley", "The Clockmaker's Daughter", "Distant Shores",
+    "The Amber Room", "Letters from Nowhere", "The Fifth Season",
+    "Garden of Stones", "The Night Circus", "Salt and Light",
+]
+
+PUBLISHERS = [
+    "Harbor Press", "Northfield Books", "Crescent Publishing", "Oakwood",
+    "Silverline Press", "Meridian House", "Bluebird Books", "Stonegate",
+]
+
+ADJECTIVES = [
+    "quick", "bright", "calm", "eager", "gentle", "happy", "keen", "lively",
+    "merry", "noble", "proud", "quiet", "swift", "warm", "wise", "bold",
+]
+
+DATE_YEARS = list(range(1990, 2024))
+
+POOLS: Dict[str, List[str]] = {
+    "first_names": FIRST_NAMES,
+    "last_names": LAST_NAMES,
+    "full_names": [],  # filled below
+    "cities": CITIES,
+    "countries": COUNTRIES,
+    "colors": COLORS,
+    "genres": GENRES,
+    "instruments": INSTRUMENTS,
+    "departments": DEPARTMENTS,
+    "job_titles": JOB_TITLES,
+    "products": PRODUCT_NAMES,
+    "categories": CATEGORIES,
+    "airlines": AIRLINES,
+    "airports": AIRPORTS,
+    "universities": UNIVERSITIES,
+    "courses": COURSES,
+    "majors": MAJORS,
+    "pet_types": PET_TYPES,
+    "dog_breeds": DOG_BREEDS,
+    "teams": TEAM_NAMES,
+    "stadiums": STADIUM_NAMES,
+    "hotels": HOTEL_NAMES,
+    "movies": MOVIE_TITLES,
+    "directors": DIRECTOR_NAMES,
+    "books": BOOK_TITLES,
+    "publishers": PUBLISHERS,
+    "adjectives": ADJECTIVES,
+}
+
+# Cross product of a subset of first/last names; ~3.5k distinct values.
+POOLS["full_names"] = [
+    f"{first} {last}" for first in FIRST_NAMES for last in LAST_NAMES[:56:2]
+]
+
+
+def pool(name: str) -> List[str]:
+    """Look up a value pool by name.
+
+    Raises:
+        KeyError: for unknown pool names (programming error in a domain
+            spec, surfaced loudly).
+    """
+    return POOLS[name]

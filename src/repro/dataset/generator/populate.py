@@ -1,0 +1,128 @@
+"""Deterministic population of synthetic databases.
+
+Given a :class:`~repro.dataset.generator.domains.DomainSpec` and a seed,
+produce concrete rows for every table, respecting primary keys (sequential),
+foreign keys (sampled from parent keys so joins always hit) and uniqueness
+constraints.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ...errors import DatasetError
+from ...utils.rng import rng_from
+from .domains import ColSpec, DomainSpec, TableSpec
+from .pools import pool
+
+Row = Dict[str, object]
+
+
+def populate(spec: DomainSpec, seed: int = 0) -> Dict[str, List[Row]]:
+    """Generate rows for every table of a domain.
+
+    Tables are filled in declaration order, so parents are populated before
+    the children whose foreign keys reference them.
+
+    Raises:
+        DatasetError: if a foreign key references a not-yet-populated table.
+    """
+    rng = rng_from("populate", spec.db_id, str(seed))
+    data: Dict[str, List[Row]] = {}
+    fk_targets = {child: parent for child, parent in spec.fks}
+
+    for tspec in spec.tables:
+        rows: List[Row] = []
+        unique_seen: Dict[str, set] = {c.name: set() for c in tspec.cols if c.unique}
+        for index in range(tspec.rows):
+            row: Row = {}
+            for col in tspec.cols:
+                qualified = f"{tspec.name}.{col.name}"
+                parent = fk_targets.get(qualified)
+                if col.pk:
+                    row[col.name] = index + 1
+                elif parent is not None:
+                    row[col.name] = _sample_parent_key(data, parent, rng)
+                else:
+                    row[col.name] = _generate_value(col, index, rng, unique_seen)
+            rows.append(row)
+        data[tspec.name] = rows
+    return data
+
+
+def _sample_parent_key(
+    data: Dict[str, List[Row]], parent: str, rng: random.Random
+) -> object:
+    parent_table, parent_column = parent.split(".")
+    if parent_table not in data:
+        raise DatasetError(
+            f"foreign key references {parent_table}, which is declared after "
+            "its child; order tables parents-first"
+        )
+    parent_rows = data[parent_table]
+    if not parent_rows:
+        raise DatasetError(f"parent table {parent_table} is empty")
+    # Skew towards earlier parents so per-parent counts vary (some parents
+    # get many children, some get none) — needed by GROUP BY / NOT IN
+    # questions to have interesting answers.
+    index = min(
+        rng.randrange(len(parent_rows)),
+        rng.randrange(len(parent_rows)) + 1,
+    )
+    index = min(index, len(parent_rows) - 1)
+    return parent_rows[index][parent_column]
+
+
+def _generate_value(
+    col: ColSpec,
+    index: int,
+    rng: random.Random,
+    unique_seen: Dict[str, set],
+) -> object:
+    if col.ctype == "text":
+        value = _text_value(col, index, rng)
+        if col.unique:
+            seen = unique_seen[col.name]
+            base = value
+            bump = 2
+            while value in seen:
+                value = f"{base} {_roman(bump)}"
+                bump += 1
+            seen.add(value)
+        return value
+    if col.ctype == "number":
+        if col.unique:
+            # Unique numbers: stride the range deterministically.
+            span = max(int(col.high - col.low), 1)
+            return int(col.low) + (index * 17) % span
+        if col.integer:
+            return rng.randint(int(col.low), int(col.high))
+        return round(rng.uniform(col.low, col.high), 2)
+    if col.ctype == "time":
+        year = rng.randint(1995, 2023)
+        month = rng.randint(1, 12)
+        day = rng.randint(1, 28)
+        return f"{year:04d}-{month:02d}-{day:02d}"
+    if col.ctype == "boolean":
+        return rng.randint(0, 1)
+    raise DatasetError(f"cannot generate values for column type {col.ctype!r}")
+
+
+def _text_value(col: ColSpec, index: int, rng: random.Random) -> str:
+    if col.pool:
+        values = pool(col.pool)
+        if col.unique and index < len(values):
+            # Walk the pool in a seeded order to keep values distinct.
+            offset = rng.randrange(len(values)) if index == 0 else 0
+            return values[(index + offset) % len(values)]
+        return values[rng.randrange(len(values))]
+    return f"{col.name}_{index}"
+
+
+def _roman(n: int) -> str:
+    """Tiny roman-numeral suffix for de-duplicating names (2 → II)."""
+    numerals = ["", "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X"]
+    if n < len(numerals):
+        return numerals[n]
+    return str(n)

@@ -1,0 +1,14 @@
+"""SQLite execution backend and result comparison."""
+
+from .execution import (
+    query_is_ordered,
+    results_match,
+    rows_equal_ordered,
+    rows_equal_unordered,
+)
+from .sqlite_backend import MAX_ROWS, Database, DatabasePool
+
+__all__ = [
+    "query_is_ordered", "results_match", "rows_equal_ordered",
+    "rows_equal_unordered", "MAX_ROWS", "Database", "DatabasePool",
+]

@@ -1,0 +1,79 @@
+"""Execution-result comparison (the EX metric's core).
+
+Follows the Spider execution-accuracy convention:
+
+* results are compared as **multisets of rows** when the query has no ORDER
+  BY, and as **sequences** when it does;
+* column order within a row matters;
+* floats compare with a small tolerance;
+* ``None`` (NULL) only equals ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..sql.ast_nodes import Query
+from ..sql.parser import try_parse
+
+Row = Tuple
+ResultRows = List[Row]
+
+_FLOAT_TOL = 1e-6
+
+
+def _canonical_cell(value):
+    """Fold ints/floats together so ``2`` equals ``2.0``."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, float):
+        if value.is_integer():
+            return int(value)
+        return round(value, 6)
+    return value
+
+
+def _canonical_row(row: Row) -> Row:
+    return tuple(_canonical_cell(cell) for cell in row)
+
+
+def rows_equal_unordered(a: ResultRows, b: ResultRows) -> bool:
+    """Multiset equality of two result sets."""
+    if len(a) != len(b):
+        return False
+    canon_a = sorted(map(_repr_row, map(_canonical_row, a)))
+    canon_b = sorted(map(_repr_row, map(_canonical_row, b)))
+    return canon_a == canon_b
+
+
+def rows_equal_ordered(a: ResultRows, b: ResultRows) -> bool:
+    """Sequence equality of two result sets."""
+    if len(a) != len(b):
+        return False
+    return all(
+        _canonical_row(ra) == _canonical_row(rb) for ra, rb in zip(a, b)
+    )
+
+
+def _repr_row(row: Row) -> str:
+    # Mixed-type rows (NULL vs int vs str) are not orderable in Python 3;
+    # compare via a stable textual key instead.
+    return repr(row)
+
+
+def query_is_ordered(sql: str) -> bool:
+    """Whether a query's top level has ORDER BY (order-sensitive compare).
+
+    Falls back to a keyword scan when the query does not parse.
+    """
+    parsed: Optional[Query] = try_parse(sql)
+    if parsed is not None:
+        return any(core.order_by for _, core in parsed.flatten_set_ops())
+    return "order by" in sql.lower()
+
+
+def results_match(gold_rows: ResultRows, pred_rows: ResultRows, gold_sql: str) -> bool:
+    """Spider-style execution match between gold and predicted results."""
+    if query_is_ordered(gold_sql):
+        return rows_equal_ordered(gold_rows, pred_rows)
+    return rows_equal_unordered(gold_rows, pred_rows)

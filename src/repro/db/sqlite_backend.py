@@ -1,0 +1,228 @@
+"""SQLite execution backend.
+
+Creates real SQLite databases from a schema plus rows, and executes queries
+against them with defensive limits (statement whitelist, row cap, timeout).
+Execution accuracy in the benchmark is computed on these databases, exactly
+as the Spider evaluation executes against its ``database/*.sqlite`` files.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..errors import ExecutionError
+from ..schema.model import DatabaseSchema
+
+Row = Tuple
+ResultRows = List[Row]
+
+#: Hard cap on fetched rows; gold queries in the corpus stay far below this.
+MAX_ROWS = 10_000
+
+#: Per-query progress-handler budget (VM steps), a cheap timeout substitute.
+MAX_VM_STEPS = 5_000_000
+
+
+class Database:
+    """One SQLite database built from a schema and row data.
+
+    Use as a context manager or call :meth:`close` explicitly::
+
+        with Database.build(schema, rows) as db:
+            result = db.execute("SELECT count(*) FROM singer")
+    """
+
+    def __init__(self, connection: sqlite3.Connection, db_id: str):
+        self._conn = connection
+        self.db_id = db_id
+        self._closed = False
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        schema: DatabaseSchema,
+        rows: Dict[str, List[dict]],
+        path: Optional[Union[str, Path]] = None,
+    ) -> "Database":
+        """Create a database (in memory by default) and load rows.
+
+        Args:
+            schema: the schema to create tables for.
+            rows: mapping table name → list of row dicts.
+            path: when given, the database is written to this file.
+
+        Raises:
+            ExecutionError: if DDL or inserts fail.
+        """
+        target = str(path) if path is not None else ":memory:"
+        conn = sqlite3.connect(target)
+        db = cls(conn, schema.db_id)
+        try:
+            db._create_tables(schema)
+            db._insert_rows(schema, rows)
+        except sqlite3.Error as exc:
+            conn.close()
+            raise ExecutionError(f"failed to build {schema.db_id}: {exc}") from exc
+        return db
+
+    @classmethod
+    def open(cls, path: Union[str, Path], db_id: str = "") -> "Database":
+        """Open an existing SQLite file read-only.
+
+        Raises:
+            ExecutionError: if the file cannot be opened.
+        """
+        path = Path(path)
+        if not path.exists():
+            raise ExecutionError(f"no such database file: {path}")
+        try:
+            conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"cannot open {path}: {exc}") from exc
+        return cls(conn, db_id or path.stem)
+
+    def _create_tables(self, schema: DatabaseSchema) -> None:
+        cursor = self._conn.cursor()
+        for table in schema.tables:
+            columns = []
+            for column in table.columns:
+                decl = f'"{column.name}" {column.sqlite_type()}'
+                columns.append(decl)
+            if table.primary_key:
+                columns.append(f'PRIMARY KEY ("{table.primary_key}")')
+            for fk in schema.foreign_keys:
+                if fk.table.lower() == table.name.lower():
+                    columns.append(
+                        f'FOREIGN KEY ("{fk.column}") REFERENCES '
+                        f'"{fk.ref_table}"("{fk.ref_column}")'
+                    )
+            ddl = f'CREATE TABLE "{table.name}" ({", ".join(columns)})'
+            cursor.execute(ddl)
+        self._conn.commit()
+
+    def _insert_rows(
+        self, schema: DatabaseSchema, rows: Dict[str, List[dict]]
+    ) -> None:
+        cursor = self._conn.cursor()
+        for table in schema.tables:
+            table_rows = rows.get(table.name, [])
+            if not table_rows:
+                continue
+            names = [c.name for c in table.columns]
+            placeholders = ", ".join("?" for _ in names)
+            quoted = ", ".join(f'"{n}"' for n in names)
+            statement = (
+                f'INSERT INTO "{table.name}" ({quoted}) VALUES ({placeholders})'
+            )
+            values = [tuple(row.get(n) for n in names) for row in table_rows]
+            cursor.executemany(statement, values)
+        self._conn.commit()
+
+    # -- execution -------------------------------------------------------------
+
+    def execute(self, sql: str, max_rows: int = MAX_ROWS) -> ResultRows:
+        """Run one SELECT and return its rows.
+
+        Raises:
+            ExecutionError: for non-SELECT statements, SQL errors, or
+                queries exceeding the row/step budget.
+        """
+        if self._closed:
+            raise ExecutionError("database is closed")
+        stripped = sql.lstrip().lower()
+        if not (stripped.startswith("select") or stripped.startswith("with")):
+            raise ExecutionError("only SELECT statements may be executed")
+        steps = {"n": 0}
+
+        def guard():
+            steps["n"] += 1
+            if steps["n"] > MAX_VM_STEPS // 1000:
+                return 1
+            return 0
+
+        self._conn.set_progress_handler(guard, 1000)
+        try:
+            cursor = self._conn.execute(sql)
+            rows = cursor.fetchmany(max_rows + 1)
+        except sqlite3.Error as exc:
+            raise ExecutionError(f"execution failed: {exc}") from exc
+        finally:
+            self._conn.set_progress_handler(None, 0)
+        if len(rows) > max_rows:
+            raise ExecutionError(f"query returned more than {max_rows} rows")
+        return [tuple(row) for row in rows]
+
+    def try_execute(self, sql: str) -> Optional[ResultRows]:
+        """Like :meth:`execute` but returns ``None`` on any failure."""
+        try:
+            return self.execute(sql)
+        except ExecutionError:
+            return None
+
+    def table_rows(self, table: str) -> ResultRows:
+        """All rows of one table (used by tests and the value sampler)."""
+        return self.execute(f'SELECT * FROM "{table}"')
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._closed:
+            self._conn.close()
+            self._closed = True
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class DatabasePool:
+    """Lazily built, cached databases for a whole dataset.
+
+    The evaluation harness executes thousands of queries; building each
+    database once and keeping the connection open makes EX evaluation fast.
+    """
+
+    def __init__(self):
+        self._databases: Dict[str, Database] = {}
+
+    def add(self, schema: DatabaseSchema, rows: Dict[str, List[dict]]) -> Database:
+        """Build (or replace) the database for ``schema.db_id``."""
+        if schema.db_id in self._databases:
+            self._databases[schema.db_id].close()
+        database = Database.build(schema, rows)
+        self._databases[schema.db_id] = database
+        return database
+
+    def get(self, db_id: str) -> Database:
+        """Fetch a database by id.
+
+        Raises:
+            ExecutionError: if the database was never added.
+        """
+        try:
+            return self._databases[db_id]
+        except KeyError as exc:
+            raise ExecutionError(f"no database {db_id!r} in pool") from exc
+
+    def __contains__(self, db_id: str) -> bool:
+        return db_id in self._databases
+
+    def db_ids(self) -> List[str]:
+        return sorted(self._databases)
+
+    def close(self) -> None:
+        for database in self._databases.values():
+            database.close()
+        self._databases.clear()
+
+    def __enter__(self) -> "DatabasePool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,5 @@
+"""Deterministic text embeddings for example selection."""
+
+from .tfidf import TfidfEmbedder, cosine, hash_feature, top_k
+
+__all__ = ["TfidfEmbedder", "cosine", "hash_feature", "top_k"]

@@ -1,0 +1,107 @@
+"""TF-IDF text embeddings (the similarity substrate for example selection).
+
+The paper embeds questions with a pretrained sentence encoder; offline we
+substitute a deterministic TF-IDF model over word unigrams, bigrams and
+character trigrams.  What selection strategies need from the embedder is
+only that *similar questions land close in the vector space*, which TF-IDF
+n-gram cosine preserves.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..utils.text import char_ngrams, word_tokenize
+
+Vector = Dict[int, float]
+
+
+def _features(text: str) -> List[str]:
+    """Word unigrams + bigrams + char trigrams of a text."""
+    words = word_tokenize(text)
+    feats = list(words)
+    feats.extend(f"{a}_{b}" for a, b in zip(words, words[1:]))
+    feats.extend(char_ngrams(text, 3))
+    return feats
+
+
+class TfidfEmbedder:
+    """Fit on a corpus, then embed texts as L2-normalised sparse vectors.
+
+    Unseen features at transform time fall back to the median IDF, so
+    queries from new domains still embed reasonably.
+    """
+
+    def __init__(self):
+        self._idf: Dict[str, float] = {}
+        self._index: Dict[str, int] = {}
+        self._default_idf: float = 1.0
+        self._fitted = False
+
+    def fit(self, texts: Sequence[str]) -> "TfidfEmbedder":
+        """Learn vocabulary and IDF weights from ``texts``."""
+        doc_freq: Counter = Counter()
+        for text in texts:
+            doc_freq.update(set(_features(text)))
+        n_docs = max(len(texts), 1)
+        self._idf = {
+            feat: math.log((1 + n_docs) / (1 + df)) + 1.0
+            for feat, df in doc_freq.items()
+        }
+        self._index = {feat: i for i, feat in enumerate(sorted(self._idf))}
+        if self._idf:
+            values = sorted(self._idf.values())
+            self._default_idf = values[len(values) // 2]
+        self._fitted = True
+        return self
+
+    def transform(self, text: str) -> Vector:
+        """Embed one text. Unknown features hash onto extended indices."""
+        counts = Counter(_features(text))
+        vector: Vector = {}
+        base = len(self._index)
+        for feat, count in counts.items():
+            idf = self._idf.get(feat, self._default_idf)
+            index = self._index.get(feat)
+            if index is None:
+                index = base + (hash_feature(feat) % 4096)
+            weight = (1 + math.log(count)) * idf
+            vector[index] = vector.get(index, 0.0) + weight
+        norm = math.sqrt(sum(w * w for w in vector.values()))
+        if norm > 0:
+            vector = {i: w / norm for i, w in vector.items()}
+        return vector
+
+    def fit_transform(self, texts: Sequence[str]) -> List[Vector]:
+        self.fit(texts)
+        return [self.transform(t) for t in texts]
+
+    @property
+    def fitted(self) -> bool:
+        return self._fitted
+
+
+def hash_feature(feature: str) -> int:
+    """Stable non-negative hash of a feature string."""
+    value = 2166136261
+    for ch in feature.encode("utf-8"):
+        value = ((value ^ ch) * 16777619) & 0xFFFFFFFF
+    return value
+
+
+def cosine(a: Vector, b: Vector) -> float:
+    """Cosine similarity of two sparse vectors (already normalised → dot)."""
+    if len(a) > len(b):
+        a, b = b, a
+    return sum(w * b.get(i, 0.0) for i, w in a.items())
+
+
+def top_k(query: Vector, candidates: Sequence[Vector], k: int) -> List[int]:
+    """Indices of the ``k`` candidates most similar to ``query`` (desc)."""
+    scores = np.array([cosine(query, cand) for cand in candidates])
+    order = np.argsort(-scores, kind="stable")
+    return [int(i) for i in order[:k]]

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries while the library
+itself raises the most specific subclass available.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SQLSyntaxError(ReproError):
+    """Raised when SQL text cannot be tokenized or parsed.
+
+    Attributes:
+        sql: the offending SQL text.
+        position: best-effort token index where parsing failed, or ``None``.
+    """
+
+    def __init__(self, message: str, sql: str = "", position: int | None = None):
+        super().__init__(message)
+        self.sql = sql
+        self.position = position
+
+
+class SchemaError(ReproError):
+    """Raised for inconsistent schema definitions (unknown table/column,
+    dangling foreign key, duplicate names, ...)."""
+
+
+class DatasetError(ReproError):
+    """Raised for malformed Spider-format files or corpus-generation issues."""
+
+
+class ExecutionError(ReproError):
+    """Raised when a query cannot be executed against a database."""
+
+
+class PromptError(ReproError):
+    """Raised for invalid prompt-construction requests (unknown
+    representation/organization, over-budget prompts that cannot shrink)."""
+
+
+class ModelError(ReproError):
+    """Raised for unknown model ids or invalid generation requests."""
+
+
+class EvaluationError(ReproError):
+    """Raised when an evaluation cannot be computed (mismatched lengths,
+    missing gold data)."""
+
+
+class ExperimentError(ReproError):
+    """Raised for invalid experiment configurations."""

@@ -1,0 +1,137 @@
+"""Calibration diagnostics for the simulated LLM's outcome model.
+
+The simulator asserts `P(correct) = p`; with the item-response design the
+realised outcome is `1[p > u]` for a uniform per-question `u`, so over
+many questions the frequency of success inside a probability bucket
+should track the bucket's mean `p` (a reliability diagram).  This module
+computes that diagram — both a sanity check on the substrate and a
+reusable tool for calibrating any probabilistic Text-to-SQL scorer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import EvaluationError
+
+
+@dataclass(frozen=True)
+class CalibrationBucket:
+    """One reliability-diagram bucket."""
+
+    low: float
+    high: float
+    count: int
+    mean_predicted: float
+    observed_rate: float
+
+    @property
+    def gap(self) -> float:
+        """Observed minus predicted (positive = under-confident)."""
+        return self.observed_rate - self.mean_predicted
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Reliability diagram plus summary statistics."""
+
+    buckets: Tuple[CalibrationBucket, ...]
+    expected_calibration_error: float
+    brier_score: float
+
+    def rows(self) -> List[dict]:
+        """Tabular form for reporting."""
+        return [
+            {
+                "bucket": f"[{b.low:.1f},{b.high:.1f})",
+                "n": b.count,
+                "mean p": round(b.mean_predicted, 3),
+                "observed": round(b.observed_rate, 3),
+                "gap": round(b.gap, 3),
+            }
+            for b in self.buckets
+        ]
+
+
+def calibration_report(
+    probabilities: Sequence[float],
+    outcomes: Sequence[bool],
+    n_buckets: int = 10,
+) -> CalibrationReport:
+    """Build a reliability diagram from (predicted p, outcome) pairs.
+
+    Raises:
+        EvaluationError: on empty or mismatched inputs.
+    """
+    if len(probabilities) != len(outcomes):
+        raise EvaluationError("probabilities and outcomes differ in length")
+    if not probabilities:
+        raise EvaluationError("nothing to calibrate")
+
+    edges = [i / n_buckets for i in range(n_buckets + 1)]
+    buckets: List[CalibrationBucket] = []
+    ece_weighted = 0.0
+    for low, high in zip(edges, edges[1:]):
+        members = [
+            (p, o) for p, o in zip(probabilities, outcomes)
+            if low <= p < high or (high == 1.0 and p == 1.0)
+        ]
+        if not members:
+            continue
+        mean_p = sum(p for p, _ in members) / len(members)
+        rate = sum(1 for _, o in members if o) / len(members)
+        buckets.append(CalibrationBucket(
+            low=low, high=high, count=len(members),
+            mean_predicted=mean_p, observed_rate=rate,
+        ))
+        ece_weighted += abs(rate - mean_p) * len(members)
+
+    brier = sum(
+        (p - (1.0 if o else 0.0)) ** 2
+        for p, o in zip(probabilities, outcomes)
+    ) / len(probabilities)
+
+    return CalibrationReport(
+        buckets=tuple(buckets),
+        expected_calibration_error=ece_weighted / len(probabilities),
+        brier_score=brier,
+    )
+
+
+def model_calibration(
+    llm,
+    dataset,
+    runner,
+    config,
+    limit: Optional[int] = None,
+) -> CalibrationReport:
+    """Reliability of a simulated model's `success_probability` against the
+    realised EX outcomes of an actual run.
+
+    Args:
+        llm: a :class:`~repro.llm.simulated.SimulatedLLM`.
+        dataset: the evaluation dataset the run used.
+        runner: the :class:`~repro.eval.harness.BenchmarkRunner`.
+        config: the run configuration to score.
+        limit: evaluate only the first ``limit`` examples.
+    """
+    from ..prompt.builder import PromptBuilder
+    from ..prompt.organization import get_organization
+    from ..prompt.representation import RepresentationOptions, get_representation
+
+    report = runner.run(config, limit=limit)
+    representation = get_representation(
+        config.representation,
+        RepresentationOptions(foreign_keys=config.foreign_keys,
+                              rule_implication=config.rule_implication),
+    )
+    builder = PromptBuilder(representation, get_organization(config.organization))
+    probabilities = []
+    outcomes = []
+    examples = dataset.examples[:limit] if limit else dataset.examples
+    for example, record in zip(examples, report.records):
+        prompt = builder.build(dataset.schema(example.db_id), example.question)
+        probabilities.append(llm.success_probability(prompt))
+        outcomes.append(record.exec_match)
+    return calibration_report(probabilities, outcomes)

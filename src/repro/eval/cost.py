@@ -1,0 +1,88 @@
+"""Monetary cost accounting for LLM calls.
+
+The paper's efficiency argument is ultimately about money: OpenAI API
+calls are priced per 1k tokens, so a strategy that matches FI_O accuracy
+at a third of the tokens is three times cheaper per question.  This module
+prices an :class:`~repro.eval.metrics.EvalReport` with the public
+mid-2023 price sheet the paper's experiments paid (open-source models cost
+only amortised compute, approximated per 1k tokens).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import EvaluationError
+from .metrics import EvalReport
+
+
+@dataclass(frozen=True)
+class PriceSheet:
+    """USD per 1k tokens, split prompt/completion (OpenAI convention)."""
+
+    prompt_per_1k: float
+    completion_per_1k: float
+
+
+#: Mid-2023 public API prices (USD / 1k tokens); open-source entries
+#: approximate amortised GPU cost for self-hosting.
+PRICES: Dict[str, PriceSheet] = {
+    "gpt-4": PriceSheet(0.03, 0.06),
+    "gpt-3.5-turbo": PriceSheet(0.0015, 0.002),
+    "text-davinci-003": PriceSheet(0.02, 0.02),
+    "llama-7b": PriceSheet(0.0002, 0.0002),
+    "llama-13b": PriceSheet(0.0004, 0.0004),
+    "llama-33b": PriceSheet(0.0009, 0.0009),
+    "falcon-40b": PriceSheet(0.0011, 0.0011),
+    "vicuna-7b": PriceSheet(0.0002, 0.0002),
+    "vicuna-13b": PriceSheet(0.0004, 0.0004),
+    "vicuna-33b": PriceSheet(0.0009, 0.0009),
+}
+
+
+def price_sheet(model_id: str) -> PriceSheet:
+    """Price sheet for a model (fine-tuned ids map to their base model).
+
+    Raises:
+        EvaluationError: for unknown models.
+    """
+    base = model_id.split("+", 1)[0]
+    try:
+        return PRICES[base]
+    except KeyError as exc:
+        raise EvaluationError(f"no price sheet for model {model_id!r}") from exc
+
+
+def report_cost_usd(report: EvalReport, model_id: str, n_samples: int = 1) -> float:
+    """Total USD cost of the report's API calls.
+
+    ``n_samples`` multiplies completion cost (self-consistency resamples
+    share the prompt when the API supports n>1 sampling, so the prompt is
+    charged once — the OpenAI billing model).
+    """
+    sheet = price_sheet(model_id)
+    prompt_tokens = sum(r.prompt_tokens for r in report.records)
+    completion_tokens = sum(r.completion_tokens for r in report.records)
+    return (
+        prompt_tokens / 1000.0 * sheet.prompt_per_1k
+        + completion_tokens * max(n_samples, 1) / 1000.0 * sheet.completion_per_1k
+    )
+
+
+def cost_per_question_usd(report: EvalReport, model_id: str,
+                          n_samples: int = 1) -> float:
+    """Average USD per evaluated question."""
+    if len(report) == 0:
+        raise EvaluationError("report has no records")
+    return report_cost_usd(report, model_id, n_samples) / len(report)
+
+
+def accuracy_per_dollar(report: EvalReport, model_id: str,
+                        n_samples: int = 1) -> float:
+    """Execution-accuracy points bought per dollar of spend (the paper's
+    economic-efficiency framing)."""
+    cost = report_cost_usd(report, model_id, n_samples)
+    if cost <= 0:
+        return float("inf")
+    return report.execution_accuracy * len(report) / cost

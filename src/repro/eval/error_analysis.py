@@ -1,0 +1,144 @@
+"""Failure-mode analysis of Text-to-SQL predictions.
+
+The paper's discussion sections classify errors by *where* the prediction
+diverges from gold; this module re-implements that analysis by diffing the
+predicted AST against the gold AST per clause:
+
+* ``unparseable``   — the prediction is not valid SQL;
+* ``wrong-table``   — FROM references different tables;
+* ``wrong-select``  — projection/aggregate differs;
+* ``wrong-where``   — filter set differs (condition structure);
+* ``wrong-value``   — same structure, different literal values;
+* ``wrong-group``   — GROUP BY / HAVING differs;
+* ``wrong-order``   — ORDER BY / LIMIT differs;
+* ``wrong-nesting`` — set operations / subquery structure differs;
+* ``semantic``      — every clause matches the EM comparison yet execution
+  differs (value-masked EM hides a value error, or DISTINCT semantics).
+
+One failure can exhibit several divergences; the *primary* category is the
+first in the order above, which mirrors how the paper attributes errors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..sql.ast_nodes import Literal, Query, iter_conditions, iter_subqueries
+from ..sql.normalize import resolve_aliases
+from ..sql.parser import try_parse
+from .exact_match import component_match
+from .metrics import PredictionRecord
+
+#: Categories in attribution priority order.
+ERROR_CATEGORIES = (
+    "unparseable",
+    "wrong-table",
+    "wrong-select",
+    "wrong-nesting",
+    "wrong-where",
+    "wrong-group",
+    "wrong-order",
+    "wrong-value",
+    "semantic",
+)
+
+
+@dataclass(frozen=True)
+class ErrorDiagnosis:
+    """Categorised failure for one prediction."""
+
+    example_id: str
+    primary: str
+    divergences: tuple
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.example_id}: {self.primary} {self.divergences}"
+
+
+def _literal_values(query: Query) -> List[str]:
+    values = []
+    for _, core in query.flatten_set_ops():
+        for cond in (core.where, core.having):
+            for leaf in iter_conditions(cond):
+                for attr in ("right", "pattern", "low", "high"):
+                    value = getattr(leaf, attr, None)
+                    if isinstance(value, Literal):
+                        values.append(f"{value.kind}:{value.value}")
+                values_attr = getattr(leaf, "values", None)
+                if isinstance(values_attr, tuple):
+                    values.extend(f"{v.kind}:{v.value}" for v in values_attr)
+    for sub in iter_subqueries(query):
+        for _, core in sub.flatten_set_ops():
+            for cond in (core.where, core.having):
+                for leaf in iter_conditions(cond):
+                    value = getattr(leaf, "right", None)
+                    if isinstance(value, Literal):
+                        values.append(f"{value.kind}:{value.value}")
+    return sorted(values)
+
+
+def diagnose(record: PredictionRecord) -> Optional[ErrorDiagnosis]:
+    """Categorise one failed prediction (``None`` for correct ones)."""
+    if record.exec_match:
+        return None
+    pred_query = try_parse(record.predicted_sql)
+    if pred_query is None:
+        return ErrorDiagnosis(record.example_id, "unparseable", ("unparseable",))
+    gold_query = try_parse(record.gold_sql)
+    if gold_query is None:  # pragma: no cover - benchmark gold always parses
+        return ErrorDiagnosis(record.example_id, "semantic", ("gold-unparseable",))
+
+    divergences = []
+    verdict = component_match(record.gold_sql, record.predicted_sql)
+    assert verdict is not None  # both parsed above
+
+    if not verdict["from"]:
+        divergences.append("wrong-table")
+    if not verdict["select"]:
+        divergences.append("wrong-select")
+    if not verdict["set_op"]:
+        divergences.append("wrong-nesting")
+    if not verdict["where"]:
+        divergences.append("wrong-where")
+    if not (verdict["group"] and verdict["having"]):
+        divergences.append("wrong-group")
+    if not (verdict["order"] and verdict["limit"]):
+        divergences.append("wrong-order")
+
+    gold_values = _literal_values(resolve_aliases(gold_query))
+    pred_values = _literal_values(resolve_aliases(pred_query))
+    if gold_values != pred_values:
+        divergences.append("wrong-value")
+
+    if not divergences:
+        divergences.append("semantic")
+
+    primary = next(c for c in ERROR_CATEGORIES if c in divergences)
+    return ErrorDiagnosis(record.example_id, primary, tuple(divergences))
+
+
+def error_breakdown(records: Sequence[PredictionRecord]) -> Dict[str, int]:
+    """Primary-category histogram over a run's failures."""
+    counts: Counter = Counter()
+    for record in records:
+        diagnosis = diagnose(record)
+        if diagnosis is not None:
+            counts[diagnosis.primary] += 1
+    return {c: counts.get(c, 0) for c in ERROR_CATEGORIES if counts.get(c)}
+
+
+def breakdown_rows(
+    breakdowns: Dict[str, Dict[str, int]]
+) -> List[Dict[str, object]]:
+    """Tabulate several systems' breakdowns (system → category counts)."""
+    rows = []
+    for system, counts in breakdowns.items():
+        total = sum(counts.values())
+        row: Dict[str, object] = {"system": system, "failures": total}
+        for category in ERROR_CATEGORIES:
+            if any(category in c for c in breakdowns.values()):
+                row[category] = counts.get(category, 0)
+        rows.append(row)
+    return rows

@@ -1,0 +1,89 @@
+"""ASCII rendering of figure data (scatter / line charts in plain text).
+
+The paper's figures are cost-accuracy scatters and accuracy-vs-k curves;
+the experiment drivers produce their data as rows.  These helpers render
+that data as terminal charts so ``dail-sql experiment figure4`` shows a
+picture, not only a table — no plotting dependency required.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+_MARKS = "ox+*#@%&"
+
+
+def ascii_scatter(
+    points: Sequence[dict],
+    x: str,
+    y: str,
+    label: str,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Scatter plot of dict rows; one mark character per label series.
+
+    Values are linearly scaled into the plot box; the legend maps marks to
+    series labels.
+    """
+    if not points:
+        return "(no data)"
+    xs = [float(p[x]) for p in points]
+    ys = [float(p[y]) for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    labels = list(dict.fromkeys(str(p[label]) for p in points))
+    mark_of = {name: _MARKS[i % len(_MARKS)] for i, name in enumerate(labels)}
+
+    grid = [[" "] * width for _ in range(height)]
+    for point in points:
+        col = int((float(point[x]) - x_min) / x_span * (width - 1))
+        row = int((float(point[y]) - y_min) / y_span * (height - 1))
+        grid[height - 1 - row][col] = mark_of[str(point[label])]
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_max:g}"
+    bottom_label = f"{y_min:g}"
+    pad = max(len(top_label), len(bottom_label))
+    for index, row_cells in enumerate(grid):
+        if index == 0:
+            prefix = top_label.rjust(pad)
+        elif index == height - 1:
+            prefix = bottom_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row_cells)}|")
+    axis = f"{' ' * pad} +{'-' * width}+"
+    lines.append(axis)
+    lines.append(
+        f"{' ' * pad}  {f'{x_min:g}'.ljust(width // 2)}"
+        f"{f'{x_max:g}'.rjust(width // 2)}"
+    )
+    lines.append(f"{' ' * pad}  x: {x}, y: {y}")
+    legend = ", ".join(f"{mark_of[name]}={name}" for name in labels)
+    lines.append(f"{' ' * pad}  {legend}")
+    return "\n".join(lines)
+
+
+def ascii_lines(
+    points: Sequence[dict],
+    x: str,
+    y: str,
+    series: str,
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+) -> str:
+    """Line-ish chart: scatter of (x, y) per series plus per-series tables.
+
+    For small discrete x domains (k = 0,1,3,5,…) a scatter communicates
+    the curve; callers wanting exact values read the accompanying table.
+    """
+    return ascii_scatter(points, x=x, y=y, label=series,
+                         width=width, height=height, title=title)

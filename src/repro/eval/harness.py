@@ -1,0 +1,276 @@
+"""The benchmark harness: run a (model × prompt-strategy) configuration
+over an evaluation split and score it.
+
+One :class:`BenchmarkRunner` owns an evaluation dataset, a cross-domain
+candidate pool for in-context examples, and the databases for execution-
+accuracy scoring.  :meth:`BenchmarkRunner.run` evaluates one
+:class:`RunConfig` end-to-end:
+
+    select examples → build prompt → generate → extract SQL →
+    execute both queries → EX + EM → aggregate report
+
+Gold execution results, selection strategies and fitted embedders are
+cached across runs, so parameter sweeps (the experiment grids) stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..dataset.spider import Example, SpiderDataset
+from ..db.execution import results_match
+from ..db.sqlite_backend import DatabasePool
+from ..errors import EvaluationError
+from ..llm.extract import extract_sql
+from ..llm.finetune import SFTState
+from ..llm.oracle import GoldOracle
+from ..llm.simulated import SimulatedLLM, make_llm
+from ..prompt.builder import PromptBuilder
+from ..prompt.organization import get_organization
+from ..prompt.representation import RepresentationOptions, get_representation
+from ..selection.strategies import (
+    DailSelection,
+    MaskedQuestionSimilaritySelection,
+    SelectionStrategy,
+    get_selection,
+)
+from .exact_match import exact_match
+from .metrics import EvalReport, PredictionRecord
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One point of the benchmark grid.
+
+    ``selection=None`` (or ``k=0``) is the zero-shot setting.
+    ``max_tokens`` bounds the prompt; examples are dropped to fit.
+    """
+
+    model: str
+    representation: str = "CR_P"
+    organization: str = "FI_O"
+    selection: Optional[str] = None
+    k: int = 0
+    foreign_keys: Optional[bool] = None
+    rule_implication: bool = False
+    max_tokens: Optional[int] = None
+    sft_state: Optional[SFTState] = None
+    label: str = ""
+
+    def resolved_label(self) -> str:
+        if self.label:
+            return self.label
+        parts = [self.model, self.representation]
+        if self.selection and self.k > 0:
+            parts.append(f"{self.selection}+{self.organization}@{self.k}")
+        else:
+            parts.append("0-shot")
+        if self.sft_state is not None:
+            parts.append("sft")
+        return " ".join(parts)
+
+
+class BenchmarkRunner:
+    """Evaluates run configurations over one dataset."""
+
+    def __init__(
+        self,
+        eval_dataset: SpiderDataset,
+        candidates: Optional[SpiderDataset],
+        pool: DatabasePool,
+        seed: int = 0,
+    ):
+        self.eval_dataset = eval_dataset
+        self.candidates = candidates
+        self.pool = pool
+        self.seed = seed
+        self.oracle = GoldOracle(eval_dataset)
+        if candidates is not None:
+            self.oracle.add_dataset(candidates)
+        self._gold_rows: Dict[str, object] = {}
+        self._selections: Dict[str, SelectionStrategy] = {}
+        self._preliminary: Dict[tuple, str] = {}
+
+    # -- caches ------------------------------------------------------------
+
+    def _gold_result(self, example: Example):
+        cached = self._gold_rows.get(example.example_id)
+        if cached is None:
+            database = self.pool.get(example.db_id)
+            cached = database.execute(example.query)
+            self._gold_rows[example.example_id] = cached
+        return cached
+
+    def _selection(self, sel_id: str) -> SelectionStrategy:
+        strategy = self._selections.get(sel_id)
+        if strategy is None:
+            if self.candidates is None:
+                raise EvaluationError(
+                    "few-shot run requested but the runner has no candidate pool"
+                )
+            strategy = get_selection(sel_id, self.candidates, seed=self.seed)
+            if isinstance(strategy, MaskedQuestionSimilaritySelection):
+                strategy.set_target_dataset(self.eval_dataset)
+            self._selections[sel_id] = strategy
+        return strategy
+
+    # -- generation helpers ---------------------------------------------------
+
+    def _build_llm(self, config: RunConfig) -> SimulatedLLM:
+        return make_llm(config.model, self.oracle, sft_state=config.sft_state)
+
+    def _preliminary_sql(
+        self, config: RunConfig, llm: SimulatedLLM, example: Example
+    ) -> str:
+        """Zero-shot prediction used by DAIL_S's skeleton matching."""
+        key = (config.model, config.representation, example.example_id)
+        cached = self._preliminary.get(key)
+        if cached is not None:
+            return cached
+        representation = get_representation(
+            config.representation,
+            RepresentationOptions(
+                foreign_keys=config.foreign_keys,
+                rule_implication=config.rule_implication,
+            ),
+        )
+        builder = PromptBuilder(representation, get_organization("FI_O"))
+        schema = self.eval_dataset.schema(example.db_id)
+        prompt = builder.build(schema, example.question)
+        result = llm.generate(prompt, sample_tag="preliminary")
+        sql = extract_sql(result.text, prompt.response_prefix)
+        self._preliminary[key] = sql
+        return sql
+
+    # -- main entry -------------------------------------------------------------
+
+    def run(
+        self,
+        config: RunConfig,
+        limit: Optional[int] = None,
+        n_samples: int = 1,
+    ) -> EvalReport:
+        """Evaluate one configuration.
+
+        Args:
+            config: the grid point.
+            limit: evaluate only the first ``limit`` examples (smoke runs).
+            n_samples: >1 enables execution-majority self-consistency.
+
+        Raises:
+            EvaluationError: on misconfiguration (few-shot without a
+                candidate pool, gold queries that fail to execute).
+        """
+        representation = get_representation(
+            config.representation,
+            RepresentationOptions(
+                foreign_keys=config.foreign_keys,
+                rule_implication=config.rule_implication,
+            ),
+        )
+        organization = get_organization(config.organization)
+        builder = PromptBuilder(
+            representation, organization, max_tokens=config.max_tokens
+        )
+        llm = self._build_llm(config)
+        strategy = (
+            self._selection(config.selection)
+            if config.selection and config.k > 0
+            else None
+        )
+
+        report = EvalReport(label=config.resolved_label())
+        examples = self.eval_dataset.examples[:limit] if limit else self.eval_dataset.examples
+        for example in examples:
+            record = self._evaluate_example(
+                example, config, builder, llm, strategy, n_samples
+            )
+            report.add(record)
+        return report
+
+    def _evaluate_example(
+        self,
+        example: Example,
+        config: RunConfig,
+        builder: PromptBuilder,
+        llm: SimulatedLLM,
+        strategy: Optional[SelectionStrategy],
+        n_samples: int,
+    ) -> PredictionRecord:
+        schema = self.eval_dataset.schema(example.db_id)
+        blocks = []
+        if strategy is not None:
+            predicted = None
+            if isinstance(strategy, DailSelection):
+                predicted = self._preliminary_sql(config, llm, example)
+            blocks = strategy.select(
+                example.question, example.db_id, config.k, predicted_sql=predicted
+            )
+        prompt = builder.build(schema, example.question, blocks)
+
+        if n_samples <= 1:
+            result = llm.generate(prompt)
+            predicted_sql = extract_sql(result.text, prompt.response_prefix)
+            raw = result.text
+            completion_tokens = result.completion_tokens
+        else:
+            raw, predicted_sql, completion_tokens = self._self_consistency(
+                llm, prompt, example, n_samples
+            )
+
+        exec_ok = self._execution_match(example, predicted_sql)
+        em_ok = exact_match(example.query, predicted_sql)
+        return PredictionRecord(
+            example_id=example.example_id,
+            db_id=example.db_id,
+            question=example.question,
+            gold_sql=example.query,
+            raw_output=raw,
+            predicted_sql=predicted_sql,
+            exec_match=exec_ok,
+            exact_match=em_ok,
+            hardness=example.hardness,
+            prompt_tokens=prompt.token_count,
+            completion_tokens=completion_tokens,
+            n_examples=prompt.n_examples,
+        )
+
+    def _self_consistency(self, llm, prompt, example, n_samples):
+        """Execution-majority voting over several samples (DAIL-SQL+SC)."""
+        database = self.pool.get(example.db_id)
+        votes: Dict[str, List[str]] = {}
+        first_raw = ""
+        total_completion = 0
+        for index in range(n_samples):
+            result = llm.generate(prompt, sample_tag=f"sc-{index}")
+            total_completion += result.completion_tokens
+            if index == 0:
+                first_raw = result.text
+            sql = extract_sql(result.text, prompt.response_prefix)
+            rows = database.try_execute(sql)
+            key = "<error>" if rows is None else repr(sorted(map(repr, rows)))
+            votes.setdefault(key, []).append(sql)
+        # Majority result set wins; errors never win unless unanimous.
+        def vote_rank(item):
+            key, sqls = item
+            return (key != "<error>", len(sqls))
+        best_key, best_sqls = max(votes.items(), key=vote_rank)
+        return first_raw, best_sqls[0], total_completion
+
+    def _execution_match(self, example: Example, predicted_sql: str) -> bool:
+        gold_rows = self._gold_result(example)
+        database = self.pool.get(example.db_id)
+        pred_rows = database.try_execute(predicted_sql)
+        if pred_rows is None:
+            return False
+        return results_match(gold_rows, pred_rows, example.query)
+
+
+def run_grid(
+    runner: BenchmarkRunner,
+    configs: List[RunConfig],
+    limit: Optional[int] = None,
+) -> List[EvalReport]:
+    """Evaluate a list of configurations in order."""
+    return [runner.run(config, limit=limit) for config in configs]

@@ -1,0 +1,159 @@
+"""Prediction records and aggregate metrics.
+
+An :class:`EvalReport` aggregates per-example :class:`PredictionRecord`
+entries into the numbers every paper table reports: execution accuracy
+(EX), exact-match accuracy (EM), per-hardness breakdowns, and the token
+statistics the token-efficiency figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..errors import EvaluationError
+from ..sql.hardness import HARDNESS_LEVELS
+
+
+@dataclass
+class PredictionRecord:
+    """Everything recorded for one evaluated example."""
+
+    example_id: str
+    db_id: str
+    question: str
+    gold_sql: str
+    raw_output: str
+    predicted_sql: str
+    exec_match: bool
+    exact_match: bool
+    hardness: str
+    prompt_tokens: int
+    completion_tokens: int
+    n_examples: int
+
+
+@dataclass
+class EvalReport:
+    """Aggregate over one benchmark run."""
+
+    records: List[PredictionRecord] = field(default_factory=list)
+    label: str = ""
+
+    def add(self, record: PredictionRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- headline metrics ---------------------------------------------------
+
+    @property
+    def execution_accuracy(self) -> float:
+        """EX: fraction of predictions whose execution results match gold."""
+        self._require_records()
+        return sum(r.exec_match for r in self.records) / len(self.records)
+
+    @property
+    def exact_match_accuracy(self) -> float:
+        """EM: fraction passing Spider exact-set-match."""
+        self._require_records()
+        return sum(r.exact_match for r in self.records) / len(self.records)
+
+    # -- breakdowns ----------------------------------------------------------
+
+    def by_hardness(self, metric: str = "exec") -> Dict[str, float]:
+        """Per-hardness accuracy; levels with no examples are omitted."""
+        self._require_records()
+        out: Dict[str, float] = {}
+        for level in HARDNESS_LEVELS:
+            bucket = [r for r in self.records if r.hardness == level]
+            if not bucket:
+                continue
+            if metric == "exec":
+                out[level] = sum(r.exec_match for r in bucket) / len(bucket)
+            elif metric == "exact":
+                out[level] = sum(r.exact_match for r in bucket) / len(bucket)
+            else:
+                raise EvaluationError(f"unknown metric {metric!r}")
+        return out
+
+    def by_database(self, metric: str = "exec") -> Dict[str, float]:
+        """Per-database accuracy (db_id → accuracy)."""
+        self._require_records()
+        buckets: Dict[str, List[PredictionRecord]] = {}
+        for record in self.records:
+            buckets.setdefault(record.db_id, []).append(record)
+        out: Dict[str, float] = {}
+        for db_id, records in sorted(buckets.items()):
+            if metric == "exec":
+                out[db_id] = sum(r.exec_match for r in records) / len(records)
+            elif metric == "exact":
+                out[db_id] = sum(r.exact_match for r in records) / len(records)
+            else:
+                raise EvaluationError(f"unknown metric {metric!r}")
+        return out
+
+    def merge(self, other: "EvalReport") -> "EvalReport":
+        """Concatenate two reports (e.g. shards of one run).
+
+        Raises:
+            EvaluationError: if the shards share example ids.
+        """
+        mine = {r.example_id for r in self.records}
+        theirs = {r.example_id for r in other.records}
+        overlap = mine & theirs
+        if overlap:
+            raise EvaluationError(
+                f"cannot merge overlapping reports: {sorted(overlap)[:3]}..."
+            )
+        return EvalReport(
+            records=self.records + other.records,
+            label=self.label or other.label,
+        )
+
+    # -- token statistics -----------------------------------------------------
+
+    @property
+    def avg_prompt_tokens(self) -> float:
+        self._require_records()
+        return sum(r.prompt_tokens for r in self.records) / len(self.records)
+
+    @property
+    def total_tokens(self) -> int:
+        return sum(r.prompt_tokens + r.completion_tokens for r in self.records)
+
+    @property
+    def avg_examples(self) -> float:
+        self._require_records()
+        return sum(r.n_examples for r in self.records) / len(self.records)
+
+    def token_efficiency(self) -> float:
+        """Execution accuracy per 1k average prompt tokens — the paper's
+        cost-effectiveness axis."""
+        tokens = self.avg_prompt_tokens
+        if tokens == 0:
+            return 0.0
+        return self.execution_accuracy / (tokens / 1000.0)
+
+    # -- misc -------------------------------------------------------------------
+
+    def failures(self) -> List[PredictionRecord]:
+        """Records that missed on execution accuracy."""
+        return [r for r in self.records if not r.exec_match]
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for tabulation/serialisation."""
+        return {
+            "label": self.label,
+            "n": len(self.records),
+            "ex": round(self.execution_accuracy, 4),
+            "em": round(self.exact_match_accuracy, 4),
+            "avg_prompt_tokens": round(self.avg_prompt_tokens, 1),
+            "avg_examples": round(self.avg_examples, 2),
+            "efficiency": round(self.token_efficiency(), 4),
+        }
+
+    def _require_records(self) -> None:
+        if not self.records:
+            raise EvaluationError("report has no records")

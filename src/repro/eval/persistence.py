@@ -1,0 +1,100 @@
+"""Persist and reload evaluation reports.
+
+Long grids are expensive to recompute; persisting
+:class:`~repro.eval.metrics.EvalReport` objects as JSON lets analyses
+(error breakdowns, significance tests, cost accounting) run later without
+re-running models — and makes runs diffable artifacts for regression
+tracking.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+from ..errors import EvaluationError
+from .metrics import EvalReport, PredictionRecord
+
+#: Format version written into every file (bump on schema changes).
+FORMAT_VERSION = 1
+
+
+def report_to_dict(report: EvalReport) -> Dict:
+    """JSON-ready dict of a report."""
+    return {
+        "version": FORMAT_VERSION,
+        "label": report.label,
+        "records": [asdict(record) for record in report.records],
+    }
+
+
+def report_from_dict(payload: Dict) -> EvalReport:
+    """Rebuild a report from :func:`report_to_dict` output.
+
+    Raises:
+        EvaluationError: on version mismatch or malformed payloads.
+    """
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise EvaluationError(
+            f"unsupported report format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    try:
+        records = [PredictionRecord(**entry) for entry in payload["records"]]
+        label = payload.get("label", "")
+    except (KeyError, TypeError) as exc:
+        raise EvaluationError(f"malformed report payload: {exc}") from exc
+    return EvalReport(records=records, label=label)
+
+
+def save_report(report: EvalReport, path: Union[str, Path]) -> Path:
+    """Write a report to a JSON file (parents created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report_to_dict(report), indent=1))
+    return path
+
+
+def load_report(path: Union[str, Path]) -> EvalReport:
+    """Read a report back.
+
+    Raises:
+        EvaluationError: if the file is missing or malformed.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise EvaluationError(f"no such report file: {path}")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise EvaluationError(f"malformed JSON in {path}: {exc}") from exc
+    return report_from_dict(payload)
+
+
+def save_reports(
+    reports: List[EvalReport], directory: Union[str, Path]
+) -> List[Path]:
+    """Write several reports, one file per label, into a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for index, report in enumerate(reports):
+        slug = _slugify(report.label) or f"report-{index}"
+        paths.append(save_report(report, directory / f"{slug}.json"))
+    return paths
+
+
+def load_reports(directory: Union[str, Path]) -> List[EvalReport]:
+    """Read every ``*.json`` report in a directory (sorted by filename)."""
+    directory = Path(directory)
+    if not directory.exists():
+        raise EvaluationError(f"no such directory: {directory}")
+    return [load_report(p) for p in sorted(directory.glob("*.json"))]
+
+
+def _slugify(label: str) -> str:
+    safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in label)
+    return safe.strip("-").lower()

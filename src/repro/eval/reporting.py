@@ -1,0 +1,90 @@
+"""Plain-text table/series rendering for experiment outputs.
+
+Every experiment driver prints its paper artifact (table or figure series)
+through these helpers, so benchmark output is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows ``columns`` when given, else the first row's keys.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[_cell(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered))
+        for i, col in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_matrix(
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    values: Dict[tuple, object],
+    title: str = "",
+    corner: str = "",
+) -> str:
+    """Render a (row × column) matrix, e.g. representation × model."""
+    rows = []
+    for row_label in row_labels:
+        row = {corner or " ": row_label}
+        for col_label in col_labels:
+            row[col_label] = values.get((row_label, col_label), "-")
+        rows.append(row)
+    return format_table(rows, columns=[corner or " "] + list(col_labels), title=title)
+
+
+def format_series(
+    points: Sequence[Dict[str, object]],
+    x: str,
+    y: str,
+    series: str,
+    title: str = "",
+) -> str:
+    """Render figure data as one table per series (x, y columns)."""
+    by_series: Dict[object, List[Dict[str, object]]] = {}
+    for point in points:
+        by_series.setdefault(point[series], []).append(point)
+    blocks = []
+    if title:
+        blocks.append(title)
+    for name in sorted(by_series, key=str):
+        blocks.append(f"[{series} = {name}]")
+        blocks.append(
+            format_table(
+                [{x: p[x], y: p[y]} for p in by_series[name]],
+                columns=[x, y],
+            )
+        )
+    return "\n".join(blocks)
+
+
+def percent(value: float) -> str:
+    """Format a 0–1 accuracy as a percentage string."""
+    return f"{100.0 * value:.1f}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

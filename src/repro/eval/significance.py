@@ -1,0 +1,125 @@
+"""Paired significance testing between two benchmark runs.
+
+Benchmark grids compare strategies on the *same* dev set, so the right
+test is paired: McNemar's exact test on the per-question win/loss table,
+plus a paired bootstrap on the accuracy difference.  Experiment drivers
+and downstream users can call :func:`compare_reports` to know whether
+"DAIL_S beats RD_S by 2.5 points" clears noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import EvaluationError
+from ..utils.rng import rng_from
+from .metrics import EvalReport
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Result of a paired comparison between two runs.
+
+    Attributes:
+        delta: accuracy(a) − accuracy(b).
+        a_only / b_only: discordant counts (a correct & b wrong / reverse).
+        p_value: McNemar exact two-sided p-value on the discordant pairs.
+        ci_low / ci_high: 95% paired-bootstrap interval for ``delta``.
+    """
+
+    delta: float
+    a_only: int
+    b_only: int
+    p_value: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def significant(self) -> bool:
+        """True when the difference clears α = 0.05."""
+        return self.p_value < 0.05
+
+
+def _paired_outcomes(a: EvalReport, b: EvalReport, metric: str):
+    if len(a) != len(b):
+        raise EvaluationError(
+            f"reports cover different example counts ({len(a)} vs {len(b)})"
+        )
+    if len(a) == 0:
+        raise EvaluationError("cannot compare empty reports")
+    pairs = []
+    for ra, rb in zip(a.records, b.records):
+        if ra.example_id != rb.example_id:
+            raise EvaluationError(
+                "reports are not aligned: "
+                f"{ra.example_id} vs {rb.example_id}"
+            )
+        if metric == "exec":
+            pairs.append((ra.exec_match, rb.exec_match))
+        elif metric == "exact":
+            pairs.append((ra.exact_match, rb.exact_match))
+        else:
+            raise EvaluationError(f"unknown metric {metric!r}")
+    return pairs
+
+
+def mcnemar_exact(a_only: int, b_only: int) -> float:
+    """Two-sided exact McNemar p-value from the discordant counts.
+
+    Under H0 the discordant pairs are Binomial(n, 1/2); the p-value is the
+    probability of a split at least as extreme as observed.
+    """
+    n = a_only + b_only
+    if n == 0:
+        return 1.0
+    k = min(a_only, b_only)
+    # P(X <= k) + P(X >= n - k) for X ~ Bin(n, 1/2).
+    tail = sum(math.comb(n, i) for i in range(0, k + 1)) / 2 ** n
+    p = min(1.0, 2.0 * tail)
+    return p
+
+
+def paired_bootstrap_ci(
+    pairs, n_resamples: int = 2000, seed: str = "bootstrap"
+) -> Tuple[float, float]:
+    """95% bootstrap interval for the paired accuracy difference."""
+    rng = rng_from("significance", seed, str(len(pairs)))
+    n = len(pairs)
+    deltas = []
+    for _ in range(n_resamples):
+        diff = 0
+        for _ in range(n):
+            wa, wb = pairs[rng.randrange(n)]
+            diff += int(wa) - int(wb)
+        deltas.append(diff / n)
+    deltas.sort()
+    low = deltas[int(0.025 * n_resamples)]
+    high = deltas[min(int(0.975 * n_resamples), n_resamples - 1)]
+    return low, high
+
+
+def compare_reports(
+    a: EvalReport, b: EvalReport, metric: str = "exec",
+    n_resamples: int = 2000,
+) -> Comparison:
+    """Paired comparison of two runs over the same evaluation set.
+
+    Raises:
+        EvaluationError: if the reports are empty, differently sized, or
+            not aligned example-by-example.
+    """
+    pairs = _paired_outcomes(a, b, metric)
+    a_only = sum(1 for wa, wb in pairs if wa and not wb)
+    b_only = sum(1 for wa, wb in pairs if wb and not wa)
+    delta = (sum(int(wa) for wa, _ in pairs) - sum(int(wb) for _, wb in pairs)) / len(pairs)
+    ci_low, ci_high = paired_bootstrap_ci(pairs, n_resamples=n_resamples)
+    return Comparison(
+        delta=delta,
+        a_only=a_only,
+        b_only=b_only,
+        p_value=mcnemar_exact(a_only, b_only),
+        ci_low=ci_low,
+        ci_high=ci_high,
+    )

@@ -1,0 +1,118 @@
+"""Test-suite execution accuracy (the TS metric).
+
+Plain execution accuracy can be fooled: a wrong query may coincidentally
+return the gold result on one database instance.  Zhong et al.'s
+*test-suite accuracy* — used by the Spider leaderboard alongside EX — runs
+both queries on **many database instances** with different contents and
+requires the results to match on every one.
+
+``TestSuite`` materialises N extra instances of each database by
+re-populating its domain spec with derived seeds, then scores predictions
+against the whole suite.  A coincidental match on the primary instance
+rarely survives five re-populations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..dataset.generator.domains import DomainSpec, build_schema, domain_by_id
+from ..dataset.generator.populate import populate
+from ..db.execution import results_match
+from ..db.sqlite_backend import Database
+from ..errors import EvaluationError
+
+
+class TestSuite:
+    """A set of database instances per db_id for distilled execution checks.
+
+    Args:
+        domains: the domain specs to build suites for.
+        n_instances: how many instances per database (the primary instance
+            plus ``n_instances - 1`` re-populations).
+        base_seed: seed of the primary instance (must match the corpus
+            seed so instance 0 equals the benchmark database).
+    """
+
+    def __init__(
+        self,
+        domains: Sequence[DomainSpec],
+        n_instances: int = 5,
+        base_seed: int = 0,
+    ):
+        if n_instances < 1:
+            raise EvaluationError("test suite needs at least one instance")
+        self.n_instances = n_instances
+        self._databases: Dict[str, List[Database]] = {}
+        for spec in domains:
+            schema = build_schema(spec)
+            instances = []
+            for index in range(n_instances):
+                seed = base_seed if index == 0 else base_seed * 1000 + 7919 * index
+                rows = populate(spec, seed=seed)
+                instances.append(Database.build(schema, rows))
+            self._databases[spec.db_id] = instances
+
+    @classmethod
+    def for_db_ids(cls, db_ids: Sequence[str], n_instances: int = 5,
+                   base_seed: int = 0) -> "TestSuite":
+        """Build a suite from catalogue db_ids."""
+        return cls([domain_by_id(db_id) for db_id in db_ids],
+                   n_instances=n_instances, base_seed=base_seed)
+
+    def instances(self, db_id: str) -> List[Database]:
+        """All instances of one database.
+
+        Raises:
+            EvaluationError: for unknown db_ids.
+        """
+        try:
+            return self._databases[db_id]
+        except KeyError as exc:
+            raise EvaluationError(f"no test suite for {db_id!r}") from exc
+
+    def matches(self, db_id: str, gold_sql: str, predicted_sql: str) -> bool:
+        """True iff the prediction matches gold on *every* instance.
+
+        Gold must execute on every instance (it is the benchmark's own
+        query); a gold failure raises.  A prediction failure on any
+        instance scores False.
+        """
+        for database in self.instances(db_id):
+            gold_rows = database.execute(gold_sql)
+            pred_rows = database.try_execute(predicted_sql)
+            if pred_rows is None:
+                return False
+            if not results_match(gold_rows, pred_rows, gold_sql):
+                return False
+        return True
+
+    def close(self) -> None:
+        for instances in self._databases.values():
+            for database in instances:
+                database.close()
+        self._databases.clear()
+
+    def __enter__(self) -> "TestSuite":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def test_suite_accuracy(
+    suite: TestSuite,
+    records,
+) -> float:
+    """TS accuracy of an :class:`~repro.eval.metrics.EvalReport`'s records.
+
+    Re-scores each prediction against the full suite; returns the fraction
+    passing on every instance.  Always ≤ the report's plain EX.
+    """
+    if not records:
+        raise EvaluationError("no records to score")
+    passed = 0
+    for record in records:
+        if suite.matches(record.db_id, record.gold_sql, record.predicted_sql):
+            passed += 1
+    return passed / len(records)

@@ -1,0 +1,10 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation."""
+
+from .base import ExperimentResult
+from .context import ExperimentContext, clear_cache, get_context
+from .registry import EXPERIMENTS, run_all, run_experiment
+
+__all__ = [
+    "ExperimentResult", "ExperimentContext", "clear_cache", "get_context",
+    "EXPERIMENTS", "run_all", "run_experiment",
+]

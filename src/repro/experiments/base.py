@@ -1,0 +1,35 @@
+"""Experiment result container shared by all drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..eval.reporting import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver (one paper table or figure).
+
+    Attributes:
+        artifact_id: paper artifact id, e.g. ``"table1"`` / ``"figure4"``.
+        title: human-readable description.
+        rows: tabular data (list of dicts) — the reproduced artifact.
+        notes: qualitative expectations from the paper, for the report.
+    """
+
+    artifact_id: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: str = ""
+    #: Optional ASCII chart (figure artifacts set this).
+    chart: str = ""
+
+    def render(self, columns: Optional[Sequence[str]] = None) -> str:
+        text = format_table(self.rows, columns=columns, title=self.title)
+        if self.chart:
+            text += f"\n\n{self.chart}"
+        if self.notes:
+            text += f"\n\nPaper shape: {self.notes}"
+        return text

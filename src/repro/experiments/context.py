@@ -1,0 +1,62 @@
+"""Shared experiment context: corpus + runner, built once and cached.
+
+Every experiment driver and benchmark evaluates against the same generated
+benchmark (seed-pinned), so numbers are comparable across tables and runs.
+``fast=True`` shrinks the corpus for smoke tests and CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..dataset.generator.corpus import Corpus, CorpusConfig, build_corpus
+from ..eval.harness import BenchmarkRunner
+
+#: Seed of the canonical benchmark corpus.
+BENCHMARK_SEED = 7
+
+#: Canonical corpus size (144 dev questions over 6 unseen databases,
+#: 600 cross-domain candidates over 20 databases).
+FULL_CONFIG = CorpusConfig(seed=BENCHMARK_SEED, train_per_db=30, dev_per_db=24)
+
+#: Reduced corpus for smoke tests.
+FAST_CONFIG = CorpusConfig(seed=BENCHMARK_SEED, train_per_db=10, dev_per_db=6)
+
+
+@dataclass
+class ExperimentContext:
+    """Corpus, runner and derived datasets shared by experiments."""
+
+    corpus: Corpus
+    runner: BenchmarkRunner
+
+    @property
+    def dev(self):
+        return self.corpus.dev
+
+    @property
+    def train(self):
+        return self.corpus.train
+
+
+_CACHE: Dict[bool, ExperimentContext] = {}
+
+
+def get_context(fast: bool = False) -> ExperimentContext:
+    """The shared experiment context (cached per size)."""
+    context = _CACHE.get(fast)
+    if context is None:
+        corpus = build_corpus(FAST_CONFIG if fast else FULL_CONFIG)
+        runner = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(),
+                                 seed=BENCHMARK_SEED)
+        context = ExperimentContext(corpus=corpus, runner=runner)
+        _CACHE[fast] = context
+    return context
+
+
+def clear_cache() -> None:
+    """Drop cached contexts (frees the SQLite pools)."""
+    for context in _CACHE.values():
+        context.corpus.close()
+    _CACHE.clear()

@@ -1,0 +1,50 @@
+"""Table 6 — open-source LLMs, in-context learning.
+
+LLaMA 7B/13B/33B, Falcon-40B and Vicuna 7B/13B/33B at k ∈ {0, 1, 3, 5}
+with the DAIL-SQL prompt (CR_P + DAIL_S + DAIL_O).
+
+Paper shape: accuracy grows with model scale; alignment matters — Vicuna
+(instruction-tuned LLaMA) beats LLaMA at every scale; Falcon-40B
+underperforms its size; all remain far below OpenAI models.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..eval.harness import RunConfig
+from ..eval.reporting import percent
+from ..llm.profiles import OPEN_SOURCE_MODELS
+from .base import ExperimentResult
+from .context import get_context
+
+SHOT_COUNTS = (0, 1, 3, 5)
+
+
+def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
+    context = get_context(fast)
+    rows: List[dict] = []
+    for model in OPEN_SOURCE_MODELS:
+        row = {"model": model}
+        for k in SHOT_COUNTS:
+            config = RunConfig(
+                model=model, representation="CR_P",
+                organization="DAIL_O",
+                selection="DAIL_S" if k > 0 else None, k=k,
+            )
+            report = context.runner.run(config, limit=limit)
+            row[f"EX k={k}"] = percent(report.execution_accuracy)
+        rows.append(row)
+    return ExperimentResult(
+        artifact_id="table6",
+        title="Table 6: open-source LLMs, in-context learning EX (%)",
+        rows=rows,
+        notes=(
+            "Scale helps (LLaMA 7B<13B<33B); alignment helps (Vicuna > "
+            "LLaMA per scale); Falcon-40B underperforms its size."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().render())

@@ -1,0 +1,108 @@
+"""Figures 4 & 5 — token efficiency.
+
+Figure 4: zero-shot — execution accuracy against average prompt tokens for
+each question representation (GPT-4 and GPT-3.5-TURBO).
+
+Figure 5: few-shot — EX vs tokens for every (selection × organization)
+pair at k = 5 (GPT-4), the cost-effectiveness frontier the paper uses to
+justify DAIL-SQL.
+
+Paper shape (F4): BS_P/TR_P are short, CR_P longest; OD_P sits at a good
+accuracy-per-token point.  (F5): DAIL_S+DAIL_O dominates — FI_O pays ~3×
+the tokens for no accuracy gain; SQL_O is cheap but loses accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..eval.figures import ascii_scatter
+from ..eval.harness import RunConfig
+from ..eval.reporting import percent
+from ..prompt.organization import ORGANIZATION_IDS
+from ..prompt.representation import REPRESENTATION_IDS
+from ..selection.strategies import SELECTION_IDS
+from .base import ExperimentResult
+from .context import get_context
+
+F4_MODELS = ("gpt-4", "gpt-3.5-turbo")
+
+
+def run_figure4(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
+    context = get_context(fast)
+    rows: List[dict] = []
+    for model in F4_MODELS:
+        for rep_id in REPRESENTATION_IDS:
+            report = context.runner.run(
+                RunConfig(model=model, representation=rep_id), limit=limit
+            )
+            rows.append({
+                "model": model,
+                "representation": rep_id,
+                "avg prompt tokens": round(report.avg_prompt_tokens, 1),
+                "EX": percent(report.execution_accuracy),
+                "EX per 1k tokens": round(report.token_efficiency(), 2),
+            })
+    chart = ascii_scatter(
+        [{"tokens": r["avg prompt tokens"], "EX": r["EX"],
+          "model": r["model"]} for r in rows],
+        x="tokens", y="EX", label="model",
+        title="EX vs prompt tokens (each point is one representation)",
+    )
+    return ExperimentResult(
+        artifact_id="figure4",
+        title="Figure 4: zero-shot token efficiency (EX vs prompt tokens)",
+        rows=rows,
+        chart=chart,
+        notes=(
+            "BS_P/TR_P shortest, CR_P longest; OD_P balances accuracy "
+            "and cost."
+        ),
+    )
+
+
+def run_figure5(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
+    context = get_context(fast)
+    rows: List[dict] = []
+    for sel_id in SELECTION_IDS:
+        for org_id in ORGANIZATION_IDS:
+            report = context.runner.run(
+                RunConfig(
+                    model="gpt-4", representation="CR_P",
+                    organization=org_id, selection=sel_id, k=5,
+                ),
+                limit=limit,
+            )
+            rows.append({
+                "selection": sel_id,
+                "organization": org_id,
+                "avg prompt tokens": round(report.avg_prompt_tokens, 1),
+                "EX": percent(report.execution_accuracy),
+                "EX per 1k tokens": round(report.token_efficiency(), 2),
+            })
+    chart = ascii_scatter(
+        [{"tokens": r["avg prompt tokens"], "EX": r["EX"],
+          "organization": r["organization"]} for r in rows],
+        x="tokens", y="EX", label="organization",
+        title="EX vs prompt tokens (points: selection strategies per organization)",
+    )
+    return ExperimentResult(
+        artifact_id="figure5",
+        title="Figure 5: few-shot token efficiency, k=5, GPT-4",
+        rows=rows,
+        chart=chart,
+        notes=(
+            "DAIL_S+DAIL_O dominates the accuracy-per-token frontier; "
+            "FI_O pays ~3x tokens for no gain; SQL_O cheap but weaker."
+        ),
+    )
+
+
+def run(fast: bool = False, limit: Optional[int] = None):
+    return [run_figure4(fast=fast, limit=limit), run_figure5(fast=fast, limit=limit)]
+
+
+if __name__ == "__main__":
+    for result in run():
+        print(result.render())
+        print()

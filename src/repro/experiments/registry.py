@@ -1,0 +1,82 @@
+"""Registry mapping paper artifacts to experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from ..errors import ExperimentError
+from . import (
+    exp_ablation,
+    exp_extras,
+    exp_fewshot_curve,
+    exp_leaderboard,
+    exp_open_source,
+    exp_organization,
+    exp_realistic,
+    exp_selection,
+    exp_sft,
+    exp_token_efficiency,
+    exp_zero_shot,
+)
+from .base import ExperimentResult
+
+#: artifact id → zero-argument-style driver (accepts fast/limit kwargs).
+EXPERIMENTS: Dict[str, Callable] = {
+    "table1": exp_zero_shot.run,
+    "table2": exp_ablation.run,
+    "table3": exp_selection.run,
+    "table4": exp_organization.run,
+    "table5": exp_leaderboard.run,
+    "table6": exp_open_source.run,
+    "table7": exp_sft.run_representation_table,
+    "table8": exp_sft.run_icl_table,
+    "table9": exp_realistic.run,
+    "figure4": exp_token_efficiency.run_figure4,
+    "figure5": exp_token_efficiency.run_figure5,
+    "figure6": exp_fewshot_curve.run,
+    # Supplementary analyses (not numbered artifacts of the paper).
+    "hardness": exp_extras.run_hardness,
+    "cost": exp_extras.run_cost,
+    "sc_sweep": exp_extras.run_sc_sweep,
+    "dail_threshold": exp_extras.run_dail_threshold,
+    "self_correction": exp_extras.run_self_correction,
+    "errors": exp_extras.run_error_analysis,
+    "calibration": exp_extras.run_calibration,
+    "pound_sign": exp_extras.run_pound_sign,
+    "token_budget": exp_extras.run_token_budget,
+}
+
+#: The paper's numbered artifacts (subset of EXPERIMENTS).
+PAPER_ARTIFACTS = (
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "table7", "table8", "table9", "figure4", "figure5", "figure6",
+)
+
+
+def run_experiment(
+    artifact_id: str, fast: bool = False, limit: Optional[int] = None
+) -> ExperimentResult:
+    """Run one experiment by artifact id.
+
+    Raises:
+        ExperimentError: for unknown ids.
+    """
+    try:
+        driver = EXPERIMENTS[artifact_id]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown experiment {artifact_id!r}; known: {sorted(EXPERIMENTS)}"
+        ) from exc
+    return driver(fast=fast, limit=limit)
+
+
+def run_all(
+    fast: bool = False,
+    limit: Optional[int] = None,
+    include_supplementary: bool = False,
+) -> List[ExperimentResult]:
+    """Run every paper artifact (and optionally the supplementary ones)."""
+    artifacts = list(PAPER_ARTIFACTS)
+    if include_supplementary:
+        artifacts += sorted(set(EXPERIMENTS) - set(PAPER_ARTIFACTS))
+    return [run_experiment(a, fast=fast, limit=limit) for a in artifacts]

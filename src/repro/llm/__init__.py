@@ -1,0 +1,31 @@
+"""The (simulated) LLM substrate: profiles, generation, SFT, extraction."""
+
+from .api_client import ApiLLMClient, RetryPolicy, TransportError
+from .extract import extract_sql
+from .finetune import (
+    REPRESENTATION_MISMATCH_PENALTY,
+    SFT_REPRESENTATION_AFFINITY,
+    SFTState,
+    TrainingReport,
+    finetune,
+    sft_gain,
+)
+from .interface import GenerationResult, LLMClient
+from .oracle import GoldOracle
+from .profiles import (
+    ALL_MODELS,
+    OPEN_SOURCE_MODELS,
+    OPENAI_MODELS,
+    ModelProfile,
+    get_profile,
+    list_models,
+)
+from .simulated import SimulatedLLM, make_llm
+
+__all__ = [
+    "ApiLLMClient", "RetryPolicy", "TransportError", "extract_sql", "REPRESENTATION_MISMATCH_PENALTY",
+    "SFT_REPRESENTATION_AFFINITY", "SFTState", "TrainingReport", "finetune",
+    "sft_gain", "GenerationResult", "LLMClient", "GoldOracle", "ALL_MODELS",
+    "OPEN_SOURCE_MODELS", "OPENAI_MODELS", "ModelProfile", "get_profile",
+    "list_models", "SimulatedLLM", "make_llm",
+]

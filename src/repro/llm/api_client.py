@@ -1,0 +1,152 @@
+"""OpenAI-compatible API client adapter.
+
+The benchmark's default models are simulated, but every pipeline in this
+library drives the :class:`~repro.llm.interface.LLMClient` protocol — so a
+real deployment only needs this adapter.  ``ApiLLMClient`` formats a
+:class:`~repro.prompt.builder.Prompt` as a chat-completions request,
+handles retries with exponential backoff and rate-limit waits, and returns
+a :class:`~repro.llm.interface.GenerationResult`.
+
+The HTTP layer is an injected *transport* callable, so the adapter is
+fully testable offline (and swappable for any OpenAI-compatible server).
+A transport takes the request dict and returns the response dict, raising
+:class:`TransportError` on failures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..errors import ModelError
+from ..prompt.builder import Prompt
+from ..tokenizer.counter import count_tokens
+from .interface import GenerationResult
+
+#: request dict → response dict.
+Transport = Callable[[Dict], Dict]
+
+
+class TransportError(Exception):
+    """Raised by transports on network/API failure.
+
+    Attributes:
+        retryable: whether the adapter should retry.
+        retry_after: optional server-suggested wait in seconds.
+    """
+
+    def __init__(self, message: str, retryable: bool = True,
+                 retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retryable = retryable
+        self.retry_after = retry_after
+
+
+@dataclass
+class RetryPolicy:
+    """Backoff configuration for the adapter."""
+
+    max_attempts: int = 4
+    base_delay: float = 1.0
+    max_delay: float = 30.0
+    backoff: float = 2.0
+
+    def delay(self, attempt: int) -> float:
+        return min(self.base_delay * self.backoff ** attempt, self.max_delay)
+
+
+@dataclass
+class ApiLLMClient:
+    """Drives any OpenAI-compatible chat-completions endpoint.
+
+    Args:
+        model_id: remote model name (also reported in results).
+        transport: request → response callable (the HTTP layer).
+        system_message: optional system prompt prepended to every request.
+        temperature: sampling temperature; self-consistency callers pass
+            sample tags, which map to distinct request seeds.
+        retry: retry/backoff policy.
+        sleep: injectable sleep function (tests pass a stub).
+    """
+
+    model_id: str
+    transport: Transport
+    system_message: str = (
+        "You are a Text-to-SQL assistant. Answer with a single SQL query."
+    )
+    temperature: float = 0.0
+    max_completion_tokens: int = 512
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    sleep: Callable[[float], None] = time.sleep
+
+    # -- request construction ------------------------------------------------
+
+    def build_request(self, prompt: Prompt, sample_tag: str = "") -> Dict:
+        """The chat-completions request body for a prompt."""
+        messages: List[Dict[str, str]] = []
+        if self.system_message:
+            messages.append({"role": "system", "content": self.system_message})
+        messages.append({"role": "user", "content": prompt.text})
+        request: Dict = {
+            "model": self.model_id,
+            "messages": messages,
+            "temperature": self.temperature if sample_tag else 0.0,
+            "max_tokens": self.max_completion_tokens,
+        }
+        if sample_tag:
+            # Distinct deterministic seeds per sample for self-consistency.
+            request["seed"] = abs(hash(sample_tag)) % 2**31
+            request["temperature"] = max(self.temperature, 0.7)
+        return request
+
+    @staticmethod
+    def parse_response(response: Dict) -> str:
+        """Extract the completion text.
+
+        Raises:
+            ModelError: on malformed responses.
+        """
+        try:
+            return response["choices"][0]["message"]["content"]
+        except (KeyError, IndexError, TypeError) as exc:
+            raise ModelError(f"malformed API response: {response!r}") from exc
+
+    # -- LLMClient -------------------------------------------------------------
+
+    def generate(self, prompt: Prompt, sample_tag: str = "") -> GenerationResult:
+        """Send the request, retrying on transient failures.
+
+        Raises:
+            ModelError: when retries are exhausted or the failure is not
+                retryable.
+        """
+        request = self.build_request(prompt, sample_tag)
+        last_error: Optional[TransportError] = None
+        for attempt in range(self.retry.max_attempts):
+            try:
+                response = self.transport(request)
+            except TransportError as exc:
+                last_error = exc
+                if not exc.retryable:
+                    raise ModelError(f"API call failed: {exc}") from exc
+                if attempt + 1 < self.retry.max_attempts:
+                    wait = exc.retry_after
+                    if wait is None:
+                        wait = self.retry.delay(attempt)
+                    self.sleep(wait)
+                continue
+            text = self.parse_response(response)
+            usage = response.get("usage", {})
+            return GenerationResult(
+                text=text,
+                prompt_tokens=usage.get("prompt_tokens", prompt.token_count),
+                completion_tokens=usage.get(
+                    "completion_tokens", count_tokens(text)
+                ),
+                model_id=self.model_id,
+            )
+        raise ModelError(
+            f"API call failed after {self.retry.max_attempts} attempts: "
+            f"{last_error}"
+        )

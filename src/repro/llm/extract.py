@@ -1,0 +1,71 @@
+"""Extract SQL from raw model output.
+
+Real LLM responses wrap SQL in code fences, prefix it with prose, or emit a
+bare completion of the prompt's ``SELECT`` lead-in.  This module implements
+the post-processing every LLM Text-to-SQL pipeline ships: find the query,
+strip decoration, reattach the lead-in.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+_CODE_FENCE_RE = re.compile(r"```(?:sql)?\s*(.*?)```", re.DOTALL | re.IGNORECASE)
+_SELECT_RE = re.compile(r"\bSELECT\b", re.IGNORECASE)
+
+
+def extract_sql(text: str, response_prefix: str = "SELECT") -> str:
+    """Pull the SQL query out of a model response.
+
+    Strategy, in order: fenced code block → first SELECT onwards → treat
+    the whole text as a completion of ``response_prefix``.
+
+    Returns the best-effort SQL string (possibly invalid — evaluation
+    scores that as a failure, it is not this function's job to repair it).
+    """
+    text = text.strip()
+    if not text:
+        return ""
+
+    fence = _CODE_FENCE_RE.search(text)
+    if fence:
+        text = fence.group(1).strip()
+
+    match = _SELECT_RE.search(text)
+    if match:
+        candidate = text[match.start():]
+        return _truncate_at_boundary(candidate)
+
+    if response_prefix:
+        # The model completed the prompt's lead-in ("SELECT" was in the
+        # prompt, the response starts mid-query).
+        return _truncate_at_boundary(f"{response_prefix} {text}")
+    return _truncate_at_boundary(text)
+
+
+def _truncate_at_boundary(sql: str) -> str:
+    """Cut the query at a semicolon or an obvious prose boundary."""
+    semicolon = sql.find(";")
+    if semicolon != -1:
+        sql = sql[:semicolon]
+    # Drop trailing prose that starts on a new line without SQL keywords.
+    lines = sql.splitlines()
+    kept = []
+    for line in lines:
+        stripped = line.strip()
+        if kept and stripped and _looks_like_prose(stripped):
+            break
+        kept.append(line)
+    return "\n".join(kept).strip()
+
+
+_PROSE_STARTERS = (
+    "this query", "the query", "explanation", "note:", "here", "it ",
+    "i ", "above", "in this",
+)
+
+
+def _looks_like_prose(line: str) -> bool:
+    lowered = line.lower()
+    return any(lowered.startswith(p) for p in _PROSE_STARTERS)

@@ -1,0 +1,46 @@
+"""LLM client interface and generation result types.
+
+Every model in the benchmark — simulated OpenAI models, simulated
+open-source models, fine-tuned variants — implements :class:`LLMClient`.
+Swapping in a real API client requires only this interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+from ..prompt.builder import Prompt
+
+
+@dataclass(frozen=True)
+class GenerationResult:
+    """One model response.
+
+    Attributes:
+        text: raw model output (may include prose, code fences, ...).
+        prompt_tokens: tokens consumed by the prompt.
+        completion_tokens: tokens in the response.
+        model_id: which model produced it.
+    """
+
+    text: str
+    prompt_tokens: int
+    completion_tokens: int
+    model_id: str
+
+    @property
+    def total_tokens(self) -> int:
+        return self.prompt_tokens + self.completion_tokens
+
+
+@runtime_checkable
+class LLMClient(Protocol):
+    """Anything that can answer a prompt."""
+
+    model_id: str
+
+    def generate(self, prompt: Prompt, sample_tag: str = "") -> GenerationResult:
+        """Answer a prompt.  ``sample_tag`` distinguishes repeated samples
+        of the same prompt (self-consistency)."""
+        ...

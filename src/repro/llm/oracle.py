@@ -1,0 +1,47 @@
+"""Gold-answer oracle for the simulated LLM.
+
+The simulator is an *outcome model*: it decides whether a generation
+succeeds from prompt features and, on success, must emit the gold SQL (on
+failure, a realistic perturbation of it).  The oracle is the lookup from
+(db_id, question) to that gold example.  It is strictly part of the
+simulation substrate — no benchmark component other than
+:class:`~repro.llm.simulated.SimulatedLLM` may consult it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..dataset.spider import Example, SpiderDataset
+from ..schema.model import DatabaseSchema
+from ..utils.text import normalize_whitespace
+
+
+class GoldOracle:
+    """Maps (db_id, question) to the gold example and its schema."""
+
+    def __init__(self, *datasets: SpiderDataset):
+        self._examples: Dict[Tuple[str, str], Example] = {}
+        self._schemas: Dict[str, DatabaseSchema] = {}
+        for dataset in datasets:
+            self.add_dataset(dataset)
+
+    def add_dataset(self, dataset: SpiderDataset) -> None:
+        for example in dataset:
+            key = self._key(example.db_id, example.question)
+            self._examples[key] = example
+        self._schemas.update(dataset.schemas)
+
+    @staticmethod
+    def _key(db_id: str, question: str) -> Tuple[str, str]:
+        return (db_id, normalize_whitespace(question).lower())
+
+    def lookup(self, db_id: str, question: str) -> Optional[Example]:
+        """The gold example for a question, or ``None`` if unknown."""
+        return self._examples.get(self._key(db_id, question))
+
+    def schema(self, db_id: str) -> Optional[DatabaseSchema]:
+        return self._schemas.get(db_id)
+
+    def __len__(self) -> int:
+        return len(self._examples)

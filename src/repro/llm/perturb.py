@@ -1,0 +1,429 @@
+"""Realistic SQL error modes for the simulated LLM.
+
+When the outcome model decides a generation fails, the output should look
+like the *kinds* of mistakes real LLMs make — wrong column, dropped
+predicate, wrong aggregate, off-by-a-bit literal, flipped sort order,
+hallucinated table, or outright malformed text — rather than random noise.
+These perturbations feed the evaluator exactly the failure distribution the
+paper's error analysis describes, including near-misses where execution
+accuracy and exact match disagree.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace as dc_replace
+from typing import Callable, List, Optional
+
+from ..schema.model import DatabaseSchema
+from ..sql.ast_nodes import (
+    AndCondition,
+    ColumnRef,
+    Comparison,
+    FromClause,
+    FuncCall,
+    Join,
+    Literal,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+)
+from ..sql.parser import try_parse
+from ..sql.unparse import unparse
+
+#: Aggregate swap map (COUNT↔SUM-style confusions).
+_AGG_SWAP = {"COUNT": "SUM", "SUM": "AVG", "AVG": "SUM", "MAX": "MIN", "MIN": "MAX"}
+
+
+def _with_core(query: Query, core: SelectCore) -> Query:
+    return Query(core=core, set_op=query.set_op, set_query=query.set_query)
+
+
+def _wrong_column(query: Query, schema: DatabaseSchema, rng: random.Random
+                  ) -> Optional[Query]:
+    """Replace the first projected column with a sibling column."""
+    core = query.core
+    if not core.items:
+        return None
+    item = core.items[0]
+    if not isinstance(item.expr, ColumnRef) or item.expr.column == "*":
+        return None
+    tables = core.from_clause.table_names() if core.from_clause else ()
+    if not tables:
+        return None
+    table_name = item.expr.table or tables[0]
+    if not schema.has_table(table_name):
+        return None
+    table = schema.table(table_name)
+    others = [
+        c.name for c in table.columns
+        if c.name.lower() != item.expr.column.lower()
+    ]
+    if not others:
+        return None
+    new_col = rng.choice(others)
+    new_item = SelectItem(
+        expr=ColumnRef(column=new_col, table=item.expr.table), alias=item.alias
+    )
+    return _with_core(query, dc_replace(core, items=(new_item,) + core.items[1:]))
+
+
+def _drop_condition(query: Query, schema: DatabaseSchema, rng: random.Random
+                    ) -> Optional[Query]:
+    """Drop one conjunct of the WHERE clause (or the whole clause)."""
+    core = query.core
+    if core.where is None:
+        return None
+    if isinstance(core.where, AndCondition) and len(core.where.operands) > 1:
+        keep = list(core.where.operands)
+        keep.pop(rng.randrange(len(keep)))
+        new_where = keep[0] if len(keep) == 1 else AndCondition(tuple(keep))
+        return _with_core(query, dc_replace(core, where=new_where))
+    return _with_core(query, dc_replace(core, where=None))
+
+
+def _wrong_aggregate(query: Query, schema: DatabaseSchema, rng: random.Random
+                     ) -> Optional[Query]:
+    core = query.core
+    for index, item in enumerate(core.items):
+        if isinstance(item.expr, FuncCall) and item.expr.name in _AGG_SWAP:
+            swapped = FuncCall(
+                name=_AGG_SWAP[item.expr.name],
+                arg=item.expr.arg,
+                distinct=item.expr.distinct,
+            )
+            items = list(core.items)
+            items[index] = SelectItem(expr=swapped, alias=item.alias)
+            return _with_core(query, dc_replace(core, items=tuple(items)))
+    return None
+
+
+def _wrong_literal(query: Query, schema: DatabaseSchema, rng: random.Random
+                   ) -> Optional[Query]:
+    """Corrupt the first literal in WHERE.
+
+    Numbers shift by a third of their magnitude (enough to change the
+    matched rows on realistic data); strings are mangled so equality
+    filters stop matching.
+    """
+    core = query.core
+    if core.where is None:
+        return None
+
+    changed = {"done": False}
+
+    def fix(cond):
+        if changed["done"]:
+            return cond
+        if isinstance(cond, Comparison) and isinstance(cond.right, Literal):
+            lit = cond.right
+            if lit.kind == "number":
+                value = lit.python_value()
+                magnitude = max(abs(value) * 0.34, 2)
+                delta = magnitude if rng.random() < 0.5 else -magnitude
+                shifted = value + delta
+                if isinstance(value, int):
+                    shifted = int(shifted)
+                new = Literal(str(shifted), "number")
+            elif lit.kind == "string" and len(lit.value) > 2:
+                # A hallucinated value: scramble enough that it misses.
+                new = Literal(lit.value[: len(lit.value) // 2] or "x", "string")
+            else:
+                return cond
+            changed["done"] = True
+            return Comparison(op=cond.op, left=cond.left, right=new)
+        if isinstance(cond, AndCondition):
+            return AndCondition(tuple(fix(op) for op in cond.operands))
+        return cond
+
+    new_where = fix(core.where)
+    if not changed["done"]:
+        return None
+    return _with_core(query, dc_replace(core, where=new_where))
+
+
+def _flip_order(query: Query, schema: DatabaseSchema, rng: random.Random
+                ) -> Optional[Query]:
+    core = query.core
+    if not core.order_by:
+        return None
+    first = core.order_by[0]
+    flipped = OrderItem(
+        expr=first.expr,
+        direction="ASC" if first.direction == "DESC" else "DESC",
+    )
+    return _with_core(
+        query, dc_replace(core, order_by=(flipped,) + core.order_by[1:])
+    )
+
+
+def _drop_limit(query: Query, schema: DatabaseSchema, rng: random.Random
+                ) -> Optional[Query]:
+    core = query.core
+    if core.limit is None:
+        return None
+    return _with_core(query, dc_replace(core, limit=None))
+
+
+def _toggle_distinct(query: Query, schema: DatabaseSchema, rng: random.Random
+                     ) -> Optional[Query]:
+    """Near-miss: flip DISTINCT — often execution-equal, never EM-equal."""
+    core = query.core
+    return _with_core(query, dc_replace(core, distinct=not core.distinct))
+
+
+def _wrong_join_key(query: Query, schema: DatabaseSchema, rng: random.Random
+                    ) -> Optional[Query]:
+    """Join on a wrong column — the classic multi-table failure."""
+    core = query.core
+    if core.from_clause is None or not core.from_clause.joins:
+        return None
+    joins = list(core.from_clause.joins)
+    index = rng.randrange(len(joins))
+    join = joins[index]
+    if not isinstance(join.condition, Comparison):
+        return None
+    left = join.condition.left
+    if not isinstance(left, ColumnRef) or left.table is None:
+        return None
+    if not schema.has_table(left.table):
+        return None
+    table = schema.table(left.table)
+    others = [c.name for c in table.columns if c.name.lower() != left.column.lower()]
+    if not others:
+        return None
+    new_condition = Comparison(
+        op=join.condition.op,
+        left=ColumnRef(column=rng.choice(others), table=left.table),
+        right=join.condition.right,
+    )
+    joins[index] = Join(source=join.source, condition=new_condition,
+                        kind=join.kind)
+    new_from = FromClause(source=core.from_clause.source, joins=tuple(joins))
+    return _with_core(query, dc_replace(core, from_clause=new_from))
+
+
+def _drop_group_by(query: Query, schema: DatabaseSchema, rng: random.Random
+                   ) -> Optional[Query]:
+    """Forget the GROUP BY (and its HAVING) — aggregates collapse."""
+    core = query.core
+    if not core.group_by:
+        return None
+    return _with_core(query, dc_replace(core, group_by=(), having=None))
+
+
+def _hallucinate_table(query: Query, schema: DatabaseSchema, rng: random.Random
+                       ) -> Optional[Query]:
+    """Reference a column that does not exist — executes with an error."""
+    core = query.core
+    if not core.items:
+        return None
+    fake = ColumnRef(column=f"{core.items[0].expr.column}_value"
+                     if isinstance(core.items[0].expr, ColumnRef) else "value")
+    items = (SelectItem(expr=fake),) + core.items[1:]
+    return _with_core(query, dc_replace(core, items=items))
+
+
+#: Near perturbations: plausible answers, still executable.
+NEAR_MODES: List[Callable] = [
+    _wrong_literal, _flip_order, _drop_limit, _wrong_aggregate,
+]
+
+#: Far perturbations: structural mistakes.
+FAR_MODES: List[Callable] = [
+    _wrong_column, _drop_condition, _wrong_aggregate, _hallucinate_table,
+    _wrong_join_key, _drop_group_by,
+]
+
+
+def perturb_sql(
+    gold_sql: str,
+    schema: DatabaseSchema,
+    rng: random.Random,
+    severity: float,
+) -> str:
+    """Produce a realistically wrong SQL for a failed generation.
+
+    Args:
+        gold_sql: the gold query (the mistake is an edit of it).
+        schema: schema of the target database.
+        rng: seeded RNG (deterministic per model/prompt).
+        severity: 0–1; low severity prefers near-misses, high severity
+            structural errors and occasionally malformed output.
+
+    Returns:
+        SQL text (possibly invalid — that's a real failure mode too).
+    """
+    query = try_parse(gold_sql)
+    if query is None:
+        return gold_sql  # cannot edit what we cannot parse
+
+    if severity > 0.85 and rng.random() < 0.3:
+        # Malformed output: truncate mid-query.
+        words = gold_sql.split()
+        cut = max(2, int(len(words) * rng.uniform(0.3, 0.8)))
+        return " ".join(words[:cut])
+
+    modes = list(NEAR_MODES if severity < 0.35 else FAR_MODES + NEAR_MODES)
+    rng.shuffle(modes)
+    n_edits = 1 if severity < 0.7 else rng.choice([1, 2])
+    edited = query
+    applied = 0
+    for mode in modes:
+        if applied >= n_edits:
+            break
+        candidate = mode(edited, schema, rng)
+        if candidate is not None and candidate != edited:
+            edited = candidate
+            applied += 1
+    if applied == 0:
+        # Fall back: structural edit first, DISTINCT flip as last resort.
+        for mode in FAR_MODES:
+            candidate = mode(query, schema, rng)
+            if candidate is not None and candidate != query:
+                return unparse(candidate)
+        edited = _toggle_distinct(query, schema, rng) or query
+    return unparse(edited)
+
+
+# ---------------------------------------------------------------------------
+# Execution-preserving rewrites (success-path surface variation)
+# ---------------------------------------------------------------------------
+
+
+def _rewrite_count_star(query: Query, schema: DatabaseSchema, rng: random.Random
+                        ) -> Optional[Query]:
+    """``COUNT(*)`` → ``COUNT(pk)`` — same result on non-null keys."""
+    core = query.core
+    if core.from_clause is None:
+        return None
+    tables = core.from_clause.table_names()
+    if len(tables) != 1 or not schema.has_table(tables[0]):
+        return None
+    pk = schema.table(tables[0]).primary_key
+    if pk is None:
+        return None
+    for index, item in enumerate(core.items):
+        expr = item.expr
+        if (
+            isinstance(expr, FuncCall) and expr.name == "COUNT"
+            and isinstance(expr.arg, ColumnRef) and expr.arg.column == "*"
+            and not expr.distinct
+        ):
+            items = list(core.items)
+            items[index] = SelectItem(
+                expr=FuncCall("COUNT", ColumnRef(column=pk)), alias=item.alias
+            )
+            return _with_core(query, dc_replace(core, items=tuple(items)))
+    return None
+
+
+def _rewrite_integer_bound(query: Query, schema: DatabaseSchema,
+                           rng: random.Random) -> Optional[Query]:
+    """``x > 5`` → ``x >= 6`` (integers) — identical rows, different text."""
+    core = query.core
+    if core.where is None:
+        return None
+    changed = {"done": False}
+
+    def is_integer_column(expr) -> bool:
+        if not isinstance(expr, ColumnRef) or expr.column == "*":
+            return False
+        tables = core.from_clause.table_names() if core.from_clause else ()
+        names = [expr.table] if expr.table else list(tables)
+        for name in names:
+            if name and schema.has_table(name):
+                table = schema.table(name)
+                if table.has_column(expr.column):
+                    column = table.column(expr.column)
+                    return column.ctype == "number" and column.is_integer
+        return False
+
+    def fix(cond):
+        if changed["done"]:
+            return cond
+        if (
+            isinstance(cond, Comparison)
+            and cond.op in (">", "<")
+            and isinstance(cond.right, Literal)
+            and cond.right.kind == "number"
+            and "." not in cond.right.value
+            and is_integer_column(cond.left)
+        ):
+            value = int(cond.right.value)
+            changed["done"] = True
+            if cond.op == ">":
+                return Comparison(op=">=", left=cond.left,
+                                  right=Literal(str(value + 1), "number"))
+            return Comparison(op="<=", left=cond.left,
+                              right=Literal(str(value - 1), "number"))
+        if isinstance(cond, AndCondition):
+            return AndCondition(tuple(fix(op) for op in cond.operands))
+        return cond
+
+    new_where = fix(core.where)
+    if not changed["done"]:
+        return None
+    return _with_core(query, dc_replace(core, where=new_where))
+
+
+def _rewrite_flip_comparison(query: Query, schema: DatabaseSchema,
+                             rng: random.Random) -> Optional[Query]:
+    """``col > 5`` → ``5 < col`` — identical rows, different component key.
+
+    Real models routinely phrase comparisons the other way round; the
+    Spider exact-set-match keys on the textual component, so this is the
+    most common benign EM miss.
+    """
+    _FLIP = {">": "<", "<": ">", ">=": "<=", "<=": ">=", "=": "=", "!=": "!="}
+    core = query.core
+    if core.where is None:
+        return None
+    changed = {"done": False}
+
+    def fix(cond):
+        if changed["done"]:
+            return cond
+        if (
+            isinstance(cond, Comparison)
+            and isinstance(cond.right, Literal)
+            and not isinstance(cond.left, Literal)
+        ):
+            changed["done"] = True
+            return Comparison(op=_FLIP[cond.op], left=cond.right,
+                              right=cond.left)
+        if isinstance(cond, AndCondition):
+            return AndCondition(tuple(fix(op) for op in cond.operands))
+        return cond
+
+    new_where = fix(core.where)
+    if not changed["done"]:
+        return None
+    return _with_core(query, dc_replace(core, where=new_where))
+
+
+#: Surface rewrites that keep execution results identical but break
+#: exact-set-match — how a real model answers correctly "in its own words".
+EQUIVALENT_REWRITES: List[Callable] = [
+    _rewrite_count_star, _rewrite_integer_bound, _rewrite_flip_comparison,
+]
+
+
+def equivalent_rewrite(
+    gold_sql: str, schema: DatabaseSchema, rng: random.Random
+) -> str:
+    """Rewrite a correct query into an execution-equivalent variant.
+
+    Returns the gold SQL unchanged when no rewrite applies.
+    """
+    query = try_parse(gold_sql)
+    if query is None:
+        return gold_sql
+    modes = list(EQUIVALENT_REWRITES)
+    rng.shuffle(modes)
+    for mode in modes:
+        candidate = mode(query, schema, rng)
+        if candidate is not None:
+            return unparse(candidate)
+    return gold_sql

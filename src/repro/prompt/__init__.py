@@ -1,0 +1,32 @@
+"""Prompt engineering: question representations, example organizations,
+and budgeted prompt assembly."""
+
+from .builder import Prompt, PromptBuilder
+from .organization import (
+    ORGANIZATION_IDS,
+    DailOrganization,
+    ExampleBlock,
+    FullInformation,
+    Organization,
+    SqlOnly,
+    get_organization,
+)
+from .representation import (
+    REPRESENTATION_IDS,
+    AlpacaSFT,
+    BasicPrompt,
+    CodeRepresentation,
+    OpenAIDemonstration,
+    Representation,
+    RepresentationOptions,
+    TextRepresentation,
+    get_representation,
+)
+
+__all__ = [
+    "Prompt", "PromptBuilder", "ORGANIZATION_IDS", "DailOrganization",
+    "ExampleBlock", "FullInformation", "Organization", "SqlOnly",
+    "get_organization", "REPRESENTATION_IDS", "AlpacaSFT", "BasicPrompt",
+    "CodeRepresentation", "OpenAIDemonstration", "Representation",
+    "RepresentationOptions", "TextRepresentation", "get_representation",
+]

@@ -1,0 +1,116 @@
+"""Example organization strategies (paper Section 3.2 / Table 4).
+
+Given the selected in-context examples, an organization decides what of
+each example enters the prompt:
+
+* ``FI_O`` — Full Information: every example keeps its own schema,
+  question and gold SQL in the target representation's format.  Maximal
+  signal, maximal tokens.
+* ``SQL_O`` — SQL Only: only the gold SQL queries are shown.  Cheapest,
+  but drops the question→SQL mapping.
+* ``DAIL_O`` — DAIL Organization: question–SQL *pairs* without schema —
+  keeps the mapping the model learns from while dropping the cross-domain
+  schema tokens.  The DAIL-SQL choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Type
+
+from ..errors import PromptError
+from ..schema.model import DatabaseSchema
+from .representation import Representation
+
+#: Canonical organization ids in paper order.
+ORGANIZATION_IDS = ("FI_O", "SQL_O", "DAIL_O")
+
+
+@dataclass(frozen=True)
+class ExampleBlock:
+    """One selected example, resolved to everything organizations need."""
+
+    question: str
+    sql: str
+    schema: DatabaseSchema
+
+
+class Organization:
+    """Base class: renders a list of examples into one prompt section."""
+
+    id: str = ""
+    name: str = ""
+
+    def render(
+        self, examples: Sequence[ExampleBlock], representation: Representation
+    ) -> str:
+        """Render the examples section (empty string for zero examples)."""
+        raise NotImplementedError
+
+
+class FullInformation(Organization):
+    """FI_O — each example in the full representation format."""
+
+    id = "FI_O"
+    name = "Full Information"
+
+    def render(self, examples, representation) -> str:
+        if not examples:
+            return ""
+        blocks = [
+            representation.render_example(e.schema, e.question, e.sql)
+            for e in examples
+        ]
+        return "\n\n".join(blocks)
+
+
+class SqlOnly(Organization):
+    """SQL_O — gold SQL only, prefixed by a short header."""
+
+    id = "SQL_O"
+    name = "SQL Only"
+
+    def render(self, examples, representation) -> str:
+        if not examples:
+            return ""
+        lines = ["/* Some SQL examples are provided based on similar problems: */"]
+        lines.extend(e.sql.rstrip(";") + ";" for e in examples)
+        return "\n".join(lines)
+
+
+class DailOrganization(Organization):
+    """DAIL_O — question–SQL pairs, no schema."""
+
+    id = "DAIL_O"
+    name = "DAIL Organization"
+
+    def render(self, examples, representation) -> str:
+        if not examples:
+            return ""
+        lines = [
+            "/* Some example questions and corresponding SQL queries "
+            "are provided based on similar problems: */"
+        ]
+        for example in examples:
+            lines.append(f"/* Answer the following: {example.question} */")
+            lines.append(example.sql.rstrip(";") + ";")
+        return "\n".join(lines)
+
+
+_REGISTRY: Dict[str, Type[Organization]] = {
+    cls.id: cls for cls in (FullInformation, SqlOnly, DailOrganization)
+}
+
+
+def get_organization(org_id: str) -> Organization:
+    """Instantiate an organization by id.
+
+    Raises:
+        PromptError: for unknown ids.
+    """
+    try:
+        return _REGISTRY[org_id]()
+    except KeyError as exc:
+        raise PromptError(
+            f"unknown organization {org_id!r}; expected one of {sorted(_REGISTRY)}"
+        ) from exc

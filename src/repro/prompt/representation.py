@@ -1,0 +1,292 @@
+"""The paper's five question representations.
+
+Each representation renders (schema, question) into prompt text for the
+zero-shot setting, and also renders full in-context examples for the
+Full-Information organization:
+
+* ``BS_P`` — Basic Prompt: bare ``Table ...`` schema lines, ``Q:`` / ``A:``.
+* ``TR_P`` — Text Representation: natural-language instruction + schema.
+* ``OD_P`` — OpenAI Demonstration: pound-sign comments and the
+  "Complete sqlite SQL query only and with no explanation" rule.
+* ``CR_P`` — Code Representation: ``CREATE TABLE`` DDL (with foreign keys),
+  question in SQL comments — the DAIL-SQL choice.
+* ``AS_P`` — Alpaca SFT: the markdown instruction format used for
+  supervised fine-tuning.
+
+Two ablation switches mirror the paper's Table 2: ``foreign_keys`` adds or
+removes FK information, and ``rule_implication`` adds the "with no
+explanation" rule to representations that lack it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Type
+
+from ..errors import PromptError
+from ..schema.model import DatabaseSchema
+from ..schema.serialize import (
+    basic_schema,
+    create_table_schema,
+    foreign_key_text,
+    openai_schema,
+    text_schema,
+)
+
+#: Canonical representation ids in paper order.
+REPRESENTATION_IDS = ("BS_P", "TR_P", "OD_P", "CR_P", "AS_P")
+
+_NO_EXPLANATION_RULE = (
+    "Complete sqlite SQL query only and with no explanation."
+)
+
+
+@dataclass(frozen=True)
+class RepresentationOptions:
+    """Ablation switches for a representation.
+
+    ``foreign_keys=None`` means "the representation's default" (CR_P
+    includes FKs by default, the rest do not — as in the paper).
+    """
+
+    foreign_keys: Optional[bool] = None
+    rule_implication: bool = False
+
+
+class Representation:
+    """Base class: subclasses override the three ``render_*`` hooks."""
+
+    id: str = ""
+    name: str = ""
+    #: Whether the representation includes FK info when options don't say.
+    default_foreign_keys: bool = False
+    #: Text the LLM's answer is expected to start with (e.g. "SELECT").
+    response_prefix: str = "SELECT"
+
+    def __init__(self, options: RepresentationOptions = RepresentationOptions()):
+        self.options = options
+
+    # -- hooks -------------------------------------------------------------
+
+    def render_schema(self, schema: DatabaseSchema) -> str:
+        raise NotImplementedError
+
+    def render_question(self, schema: DatabaseSchema, question: str) -> str:
+        """The target block: schema + question + answer lead-in."""
+        raise NotImplementedError
+
+    def render_example(
+        self, schema: DatabaseSchema, question: str, sql: str
+    ) -> str:
+        """A full in-context example (schema + question + gold SQL)."""
+        return f"{self.render_question(schema, question)} {sql}"
+
+    # -- shared helpers ------------------------------------------------------
+
+    @property
+    def include_foreign_keys(self) -> bool:
+        if self.options.foreign_keys is None:
+            return self.default_foreign_keys
+        return self.options.foreign_keys
+
+    def _fk_suffix(self, schema: DatabaseSchema) -> str:
+        if self.include_foreign_keys and schema.foreign_keys:
+            return "\n" + foreign_key_text(schema)
+        return ""
+
+    def _rule_line(self) -> str:
+        return _NO_EXPLANATION_RULE if self.options.rule_implication else ""
+
+
+class BasicPrompt(Representation):
+    """BS_P — no instruction, bare schema listing."""
+
+    id = "BS_P"
+    name = "Basic Prompt"
+
+    def render_schema(self, schema: DatabaseSchema) -> str:
+        return basic_schema(schema) + self._fk_suffix(schema)
+
+    def render_question(self, schema: DatabaseSchema, question: str) -> str:
+        parts = [self.render_schema(schema)]
+        rule = self._rule_line()
+        if rule:
+            parts.append(rule)
+        parts.append(f"Q: {question}")
+        parts.append("A: SELECT")
+        return "\n".join(parts)
+
+    def render_example(self, schema, question, sql) -> str:
+        body = self.render_question(schema, question)
+        return body + " " + _strip_select(sql)
+
+
+class TextRepresentation(Representation):
+    """TR_P — natural-language instruction plus compact schema."""
+
+    id = "TR_P"
+    name = "Text Representation"
+
+    def render_schema(self, schema: DatabaseSchema) -> str:
+        return text_schema(schema) + self._fk_suffix(schema)
+
+    def render_question(self, schema: DatabaseSchema, question: str) -> str:
+        parts = ["Given the following database schema:", self.render_schema(schema)]
+        rule = self._rule_line()
+        if rule:
+            parts.append(rule)
+        parts.append(f"Answer the following: {question}")
+        parts.append("SELECT")
+        return "\n".join(parts)
+
+    def render_example(self, schema, question, sql) -> str:
+        body = self.render_question(schema, question)
+        return body + " " + _strip_select(sql)
+
+
+class OpenAIDemonstration(Representation):
+    """OD_P — the pound-sign style of OpenAI's SQL-translate demo."""
+
+    id = "OD_P"
+    name = "OpenAI Demonstration"
+    # OD_P carries the no-explanation rule natively.
+
+    def render_schema(self, schema: DatabaseSchema) -> str:
+        text = openai_schema(schema)
+        if self.include_foreign_keys and schema.foreign_keys:
+            text += "\n# " + foreign_key_text(schema)
+        return text
+
+    def render_question(self, schema: DatabaseSchema, question: str) -> str:
+        parts = [f"### {_NO_EXPLANATION_RULE}", self.render_schema(schema)]
+        parts.append(f"### {question}")
+        parts.append("SELECT")
+        return "\n".join(parts)
+
+    def render_example(self, schema, question, sql) -> str:
+        body = self.render_question(schema, question)
+        return body + " " + _strip_select(sql)
+
+
+class OpenAIDemonstrationNoPound(OpenAIDemonstration):
+    """ODX_P — OD_P with the pound-sign comment markers stripped.
+
+    Reproduces the anecdote in the paper's introduction: OpenAI's demo
+    prompt uses ``#`` to separate prompt from response, and removing it
+    significantly drops performance.  Identical content, no markers.
+    """
+
+    id = "ODX_P"
+    name = "OpenAI Demonstration (no pound signs)"
+
+    def render_schema(self, schema: DatabaseSchema) -> str:
+        return _strip_pound(super().render_schema(schema))
+
+    def render_question(self, schema: DatabaseSchema, question: str) -> str:
+        return _strip_pound(super().render_question(schema, question))
+
+
+def _strip_pound(text: str) -> str:
+    lines = []
+    for line in text.splitlines():
+        stripped = line.lstrip("#").lstrip()
+        if stripped or not line.startswith("#"):
+            lines.append(stripped if line.startswith("#") else line)
+    return "\n".join(lines)
+
+
+class CodeRepresentation(Representation):
+    """CR_P — CREATE TABLE DDL; the representation DAIL-SQL uses."""
+
+    id = "CR_P"
+    name = "Code Representation"
+    default_foreign_keys = True
+
+    def render_schema(self, schema: DatabaseSchema) -> str:
+        return create_table_schema(
+            schema, include_foreign_keys=self.include_foreign_keys
+        )
+
+    def render_question(self, schema: DatabaseSchema, question: str) -> str:
+        parts = [
+            "/* Given the following database schema: */",
+            self.render_schema(schema),
+        ]
+        rule = self._rule_line()
+        if rule:
+            parts.append(f"-- {rule}")
+        parts.append(
+            "-- Using valid SQLite, answer the following questions "
+            "for the tables provided above."
+        )
+        parts.append(f"-- {question}")
+        parts.append("SELECT")
+        return "\n".join(parts)
+
+    def render_example(self, schema, question, sql) -> str:
+        body = self.render_question(schema, question)
+        return body + " " + _strip_select(sql)
+
+
+class AlpacaSFT(Representation):
+    """AS_P — the Alpaca instruction-tuning markdown format."""
+
+    id = "AS_P"
+    name = "Alpaca SFT Prompt"
+    response_prefix = ""
+
+    def render_schema(self, schema: DatabaseSchema) -> str:
+        return text_schema(schema) + self._fk_suffix(schema)
+
+    def render_question(self, schema: DatabaseSchema, question: str) -> str:
+        rule = self._rule_line()
+        instruction = (
+            "Below is an instruction that describes a task, paired with an "
+            "input that provides further context. Write a response that "
+            "appropriately completes the request."
+        )
+        parts = [
+            instruction,
+            "### Instruction:",
+            f'Write a sql to answer the question "{question}"',
+        ]
+        if rule:
+            parts.append(rule)
+        parts.extend(["### Input:", self.render_schema(schema), "### Response:"])
+        return "\n".join(parts)
+
+    def render_example(self, schema, question, sql) -> str:
+        return f"{self.render_question(schema, question)}\n{sql}"
+
+
+_REGISTRY: Dict[str, Type[Representation]] = {
+    cls.id: cls
+    for cls in (BasicPrompt, TextRepresentation, OpenAIDemonstration,
+                OpenAIDemonstrationNoPound, CodeRepresentation, AlpacaSFT)
+}
+
+
+def get_representation(
+    rep_id: str, options: RepresentationOptions = RepresentationOptions()
+) -> Representation:
+    """Instantiate a representation by id.
+
+    Raises:
+        PromptError: for unknown ids.
+    """
+    try:
+        cls = _REGISTRY[rep_id]
+    except KeyError as exc:
+        raise PromptError(
+            f"unknown representation {rep_id!r}; expected one of "
+            f"{sorted(_REGISTRY)}"
+        ) from exc
+    return cls(options)
+
+
+def _strip_select(sql: str) -> str:
+    """Drop a leading SELECT so the example completes the 'SELECT' lead-in."""
+    stripped = sql.strip()
+    if stripped.upper().startswith("SELECT"):
+        return stripped[len("SELECT"):].strip()
+    return stripped

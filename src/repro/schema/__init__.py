@@ -1,0 +1,28 @@
+"""Schema model, Spider-format conversion, serialisation, and linking."""
+
+from .linker import MASK_TOKEN, Mention, SchemaLinker, SchemaLinking
+from .model import (
+    COLUMN_TYPES,
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    Table,
+    schema_from_spider_entry,
+    schema_to_spider_entry,
+)
+from .serialize import (
+    basic_schema,
+    create_table_schema,
+    foreign_key_text,
+    openai_schema,
+    serialize_schema,
+    text_schema,
+)
+
+__all__ = [
+    "MASK_TOKEN", "Mention", "SchemaLinker", "SchemaLinking",
+    "COLUMN_TYPES", "Column", "DatabaseSchema", "ForeignKey", "Table",
+    "schema_from_spider_entry", "schema_to_spider_entry",
+    "basic_schema", "create_table_schema", "foreign_key_text",
+    "openai_schema", "serialize_schema", "text_schema",
+]

@@ -1,0 +1,308 @@
+"""Relational schema model in Spider's format.
+
+A :class:`DatabaseSchema` mirrors one entry of Spider's ``tables.json``:
+tables with original and natural-language names, typed columns, primary keys
+and foreign keys.  It is the single schema object every other subsystem
+(serialisers, linker, dataset generator, execution backend, prompt
+representations) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SchemaError
+from ..utils.text import snake_to_words
+
+#: Column types used by Spider (SQLite affinity in parentheses).
+COLUMN_TYPES = ("text", "number", "time", "boolean", "others")
+
+_SQLITE_TYPE = {
+    "text": "TEXT",
+    "number": "REAL",
+    "time": "TEXT",
+    "boolean": "INTEGER",
+    "others": "TEXT",
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table.
+
+    Attributes:
+        name: original identifier, e.g. ``stadium_id``.
+        ctype: one of :data:`COLUMN_TYPES`.
+        natural_name: human-readable name (Spider's ``column_names``);
+            derived from ``name`` when not given.
+        is_integer: for ``number`` columns, whether values are integral
+            (affects SQLite affinity and synthetic data generation).
+    """
+
+    name: str
+    ctype: str = "text"
+    natural_name: str = ""
+    is_integer: bool = False
+
+    def __post_init__(self):
+        if self.ctype not in COLUMN_TYPES:
+            raise SchemaError(f"unknown column type {self.ctype!r} for {self.name}")
+        if not self.natural_name:
+            object.__setattr__(
+                self, "natural_name", " ".join(snake_to_words(self.name))
+            )
+
+    def sqlite_type(self) -> str:
+        """SQLite column affinity for CREATE TABLE."""
+        if self.ctype == "number" and self.is_integer:
+            return "INTEGER"
+        return _SQLITE_TYPE[self.ctype]
+
+
+@dataclass(frozen=True)
+class Table:
+    """One table: name, columns, primary key.
+
+    Attributes:
+        name: original identifier, e.g. ``concert``.
+        columns: ordered columns.
+        primary_key: name of the PK column, or ``None``.
+        natural_name: human-readable table name.
+    """
+
+    name: str
+    columns: Tuple[Column, ...]
+    primary_key: Optional[str] = None
+    natural_name: str = ""
+
+    def __post_init__(self):
+        if not self.columns:
+            raise SchemaError(f"table {self.name} has no columns")
+        names = [c.name.lower() for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {self.name}")
+        if self.primary_key is not None and self.primary_key.lower() not in names:
+            raise SchemaError(
+                f"primary key {self.primary_key} not a column of {self.name}"
+            )
+        if not self.natural_name:
+            object.__setattr__(
+                self, "natural_name", " ".join(snake_to_words(self.name))
+            )
+
+    def column(self, name: str) -> Column:
+        """Look up a column by (case-insensitive) name.
+
+        Raises:
+            SchemaError: if the column does not exist.
+        """
+        lowered = name.lower()
+        for col in self.columns:
+            if col.name.lower() == lowered:
+                return col
+        raise SchemaError(f"no column {name} in table {self.name}")
+
+    def has_column(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(c.name.lower() == lowered for c in self.columns)
+
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key edge ``table.column → ref_table.ref_column``."""
+
+    table: str
+    column: str
+    ref_table: str
+    ref_column: str
+
+    def as_pair(self) -> Tuple[str, str]:
+        return (f"{self.table}.{self.column}", f"{self.ref_table}.{self.ref_column}")
+
+
+@dataclass(frozen=True)
+class DatabaseSchema:
+    """A full database schema (one Spider ``db_id``)."""
+
+    db_id: str
+    tables: Tuple[Table, ...]
+    foreign_keys: Tuple[ForeignKey, ...] = ()
+
+    def __post_init__(self):
+        names = [t.name.lower() for t in self.tables]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate table names in {self.db_id}")
+        for fk in self.foreign_keys:
+            src = self.table(fk.table)
+            dst = self.table(fk.ref_table)
+            if not src.has_column(fk.column):
+                raise SchemaError(f"dangling FK source {fk.table}.{fk.column}")
+            if not dst.has_column(fk.ref_column):
+                raise SchemaError(
+                    f"dangling FK target {fk.ref_table}.{fk.ref_column}"
+                )
+
+    def table(self, name: str) -> Table:
+        """Look up a table by (case-insensitive) name.
+
+        Raises:
+            SchemaError: if the table does not exist.
+        """
+        lowered = name.lower()
+        for table in self.tables:
+            if table.name.lower() == lowered:
+                return table
+        raise SchemaError(f"no table {name} in database {self.db_id}")
+
+    def has_table(self, name: str) -> bool:
+        lowered = name.lower()
+        return any(t.name.lower() == lowered for t in self.tables)
+
+    def table_names(self) -> List[str]:
+        return [t.name for t in self.tables]
+
+    def all_columns(self) -> List[Tuple[str, Column]]:
+        """All (table name, column) pairs in schema order."""
+        return [(t.name, c) for t in self.tables for c in t.columns]
+
+    def find_column(self, column: str) -> List[str]:
+        """Names of all tables containing ``column``."""
+        lowered = column.lower()
+        return [t.name for t in self.tables if t.has_column(lowered)]
+
+    def fk_graph(self) -> Dict[str, List[str]]:
+        """Adjacency list over tables induced by foreign keys (undirected)."""
+        graph: Dict[str, List[str]] = {t.name.lower(): [] for t in self.tables}
+        for fk in self.foreign_keys:
+            a, b = fk.table.lower(), fk.ref_table.lower()
+            if b not in graph[a]:
+                graph[a].append(b)
+            if a not in graph[b]:
+                graph[b].append(a)
+        return graph
+
+    def join_path(self, start: str, goal: str) -> Optional[List[str]]:
+        """Shortest FK path between two tables (inclusive), or ``None``."""
+        start, goal = start.lower(), goal.lower()
+        if start == goal:
+            return [start]
+        graph = self.fk_graph()
+        if start not in graph or goal not in graph:
+            return None
+        frontier = [[start]]
+        seen = {start}
+        while frontier:
+            path = frontier.pop(0)
+            for neighbour in graph[path[-1]]:
+                if neighbour in seen:
+                    continue
+                next_path = path + [neighbour]
+                if neighbour == goal:
+                    return next_path
+                seen.add(neighbour)
+                frontier.append(next_path)
+        return None
+
+    def fk_between(self, a: str, b: str) -> Optional[ForeignKey]:
+        """The FK connecting tables ``a`` and ``b`` in either direction."""
+        a, b = a.lower(), b.lower()
+        for fk in self.foreign_keys:
+            if (fk.table.lower(), fk.ref_table.lower()) in ((a, b), (b, a)):
+                return fk
+        return None
+
+
+def schema_from_spider_entry(entry: dict) -> DatabaseSchema:
+    """Build a :class:`DatabaseSchema` from one Spider ``tables.json`` entry.
+
+    Raises:
+        SchemaError: on malformed entries.
+    """
+    try:
+        table_names = entry["table_names_original"]
+        natural_tables = entry.get("table_names", table_names)
+        column_pairs = entry["column_names_original"]
+        natural_columns = entry.get("column_names", column_pairs)
+        column_types = entry["column_types"]
+        primary_keys = set(entry.get("primary_keys", []))
+        fk_pairs = entry.get("foreign_keys", [])
+        db_id = entry["db_id"]
+    except KeyError as exc:
+        raise SchemaError(f"missing key in tables.json entry: {exc}") from exc
+
+    per_table: Dict[int, List[Column]] = {i: [] for i in range(len(table_names))}
+    pk_by_table: Dict[int, str] = {}
+    for idx, (tidx, cname) in enumerate(column_pairs):
+        if tidx < 0:  # the "*" pseudo-column
+            continue
+        ctype = column_types[idx] if idx < len(column_types) else "text"
+        natural = natural_columns[idx][1] if idx < len(natural_columns) else ""
+        is_integer = cname.lower().endswith("id") or ctype == "boolean"
+        per_table[tidx].append(
+            Column(name=cname, ctype=ctype, natural_name=natural,
+                   is_integer=is_integer and ctype == "number")
+        )
+        if idx in primary_keys:
+            pk_by_table[tidx] = cname
+
+    tables = tuple(
+        Table(
+            name=table_names[i],
+            columns=tuple(per_table[i]),
+            primary_key=pk_by_table.get(i),
+            natural_name=natural_tables[i] if i < len(natural_tables) else "",
+        )
+        for i in range(len(table_names))
+    )
+
+    fks = []
+    for src_idx, dst_idx in fk_pairs:
+        src_t, src_c = column_pairs[src_idx]
+        dst_t, dst_c = column_pairs[dst_idx]
+        fks.append(
+            ForeignKey(
+                table=table_names[src_t], column=src_c,
+                ref_table=table_names[dst_t], ref_column=dst_c,
+            )
+        )
+    return DatabaseSchema(db_id=db_id, tables=tables, foreign_keys=tuple(fks))
+
+
+def schema_to_spider_entry(schema: DatabaseSchema) -> dict:
+    """Serialise a schema back to the Spider ``tables.json`` format."""
+    table_names = [t.name for t in schema.tables]
+    natural_tables = [t.natural_name for t in schema.tables]
+    column_pairs: List[List] = [[-1, "*"]]
+    natural_columns: List[List] = [[-1, "*"]]
+    column_types: List[str] = ["text"]
+    index_of: Dict[Tuple[str, str], int] = {}
+    primary_keys: List[int] = []
+    for tidx, table in enumerate(schema.tables):
+        for column in table.columns:
+            index_of[(table.name.lower(), column.name.lower())] = len(column_pairs)
+            if table.primary_key and column.name.lower() == table.primary_key.lower():
+                primary_keys.append(len(column_pairs))
+            column_pairs.append([tidx, column.name])
+            natural_columns.append([tidx, column.natural_name])
+            column_types.append(column.ctype)
+    foreign_keys = [
+        [
+            index_of[(fk.table.lower(), fk.column.lower())],
+            index_of[(fk.ref_table.lower(), fk.ref_column.lower())],
+        ]
+        for fk in schema.foreign_keys
+    ]
+    return {
+        "db_id": schema.db_id,
+        "table_names_original": table_names,
+        "table_names": natural_tables,
+        "column_names_original": column_pairs,
+        "column_names": natural_columns,
+        "column_types": column_types,
+        "primary_keys": primary_keys,
+        "foreign_keys": foreign_keys,
+    }

@@ -1,0 +1,121 @@
+"""Textual schema serialisations used by the question representations.
+
+Each function renders a :class:`~repro.schema.model.DatabaseSchema` in the
+style one of the paper's five question representations expects:
+
+* :func:`basic_schema` — ``Table singer, columns = [ id , name , age ]``
+  (Basic Prompt, BS_P).
+* :func:`text_schema` — ``singer: id, name, age`` lines (Text
+  Representation, TR_P / Alpaca SFT, AS_P).
+* :func:`openai_schema` — ``# singer ( id , name , age )`` comment lines
+  (OpenAI Demonstration, OD_P).
+* :func:`create_table_schema` — full ``CREATE TABLE`` DDL with primary and
+  foreign keys (Code Representation, CR_P — the DAIL-SQL choice).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .model import DatabaseSchema, Table
+
+
+def basic_schema(schema: DatabaseSchema) -> str:
+    """One ``Table ..., columns = [...]`` line per table."""
+    lines = []
+    for table in schema.tables:
+        columns = " , ".join(c.name for c in table.columns)
+        lines.append(f"Table {table.name}, columns = [ {columns} ]")
+    return "\n".join(lines)
+
+
+def text_schema(schema: DatabaseSchema) -> str:
+    """Compact ``table: col, col, ...`` lines."""
+    return "\n".join(
+        f"{table.name}: {', '.join(c.name for c in table.columns)}"
+        for table in schema.tables
+    )
+
+
+def openai_schema(schema: DatabaseSchema) -> str:
+    """Pound-sign commented table list, as in OpenAI's SQL-translate demo."""
+    lines = ["### SQLite SQL tables, with their properties:", "#"]
+    for table in schema.tables:
+        columns = ", ".join(c.name for c in table.columns)
+        lines.append(f"# {table.name} ( {columns} )")
+    lines.append("#")
+    return "\n".join(lines)
+
+
+def create_table_schema(
+    schema: DatabaseSchema,
+    include_foreign_keys: bool = True,
+    include_types: bool = True,
+) -> str:
+    """Full DDL: one ``CREATE TABLE`` statement per table.
+
+    Args:
+        include_foreign_keys: emit ``FOREIGN KEY`` clauses (the paper's FK
+            ablation toggles this).
+        include_types: emit column affinities; disabling gives the bare
+            column-name style some prior work uses.
+    """
+    statements = [
+        _create_table(schema, table, include_foreign_keys, include_types)
+        for table in schema.tables
+    ]
+    return "\n".join(statements)
+
+
+def _create_table(
+    schema: DatabaseSchema,
+    table: Table,
+    include_foreign_keys: bool,
+    include_types: bool,
+) -> str:
+    lines: List[str] = []
+    for column in table.columns:
+        if include_types:
+            lines.append(f"    {column.name} {column.sqlite_type()}")
+        else:
+            lines.append(f"    {column.name}")
+    if table.primary_key:
+        lines.append(f"    PRIMARY KEY ({table.primary_key})")
+    if include_foreign_keys:
+        for fk in schema.foreign_keys:
+            if fk.table.lower() == table.name.lower():
+                lines.append(
+                    f"    FOREIGN KEY ({fk.column}) "
+                    f"REFERENCES {fk.ref_table}({fk.ref_column})"
+                )
+    body = ",\n".join(lines)
+    return f"CREATE TABLE {table.name} (\n{body}\n);"
+
+
+def foreign_key_text(schema: DatabaseSchema) -> str:
+    """``Foreign_keys = [a.x = b.y, ...]`` line used by BS_P/TR_P ablations."""
+    if not schema.foreign_keys:
+        return "Foreign_keys = []"
+    pairs = ", ".join(
+        f"{fk.table}.{fk.column} = {fk.ref_table}.{fk.ref_column}"
+        for fk in schema.foreign_keys
+    )
+    return f"Foreign_keys = [ {pairs} ]"
+
+
+def serialize_schema(schema: DatabaseSchema, style: str, **kwargs) -> str:
+    """Dispatch on a style name: ``basic`` / ``text`` / ``openai`` /
+    ``create_table``.
+
+    Raises:
+        ValueError: for an unknown style.
+    """
+    if style == "basic":
+        return basic_schema(schema)
+    if style == "text":
+        return text_schema(schema)
+    if style == "openai":
+        return openai_schema(schema)
+    if style == "create_table":
+        return create_table_schema(schema, **kwargs)
+    raise ValueError(f"unknown schema serialisation style {style!r}")

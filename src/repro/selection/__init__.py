@@ -1,0 +1,18 @@
+"""Example-selection strategies for few-shot prompting."""
+
+from .strategies import (
+    DAIL_SKELETON_THRESHOLD,
+    SELECTION_IDS,
+    DailSelection,
+    MaskedQuestionSimilaritySelection,
+    QuestionSimilaritySelection,
+    RandomSelection,
+    SelectionStrategy,
+    get_selection,
+)
+
+__all__ = [
+    "DAIL_SKELETON_THRESHOLD", "SELECTION_IDS", "DailSelection",
+    "MaskedQuestionSimilaritySelection", "QuestionSimilaritySelection",
+    "RandomSelection", "SelectionStrategy", "get_selection",
+]

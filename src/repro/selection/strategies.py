@@ -1,0 +1,236 @@
+"""Example selection strategies (paper Section 3.2 / Table 3).
+
+Given a target question, pick ``k`` in-context examples from a cross-domain
+candidate pool:
+
+* ``RD_S`` — Random: seeded uniform sample (the baseline).
+* ``QTS_S`` — Question Similarity: nearest neighbours of the *raw*
+  question in embedding space.
+* ``MQS_S`` — Masked Question Similarity: nearest neighbours after
+  domain-specific words are masked out, so matching is on intent.
+* ``DAIL_S`` — DAIL Selection: masked-question similarity *and* skeleton
+  similarity between each candidate's gold SQL and a preliminary predicted
+  SQL for the target — the paper's verified hypothesis that LLMs learn the
+  question→SQL-skeleton mapping.
+
+All strategies return examples in **prompt order** (least similar first,
+most similar adjacent to the target question).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..dataset.spider import Example, SpiderDataset
+from ..embed.tfidf import TfidfEmbedder, cosine
+from ..errors import PromptError
+from ..prompt.organization import ExampleBlock
+from ..sql.skeleton import skeleton_similarity
+from ..utils.rng import rng_from
+
+#: Canonical selection ids in paper order.
+SELECTION_IDS = ("RD_S", "QTS_S", "MQS_S", "DAIL_S")
+
+#: Skeleton-similarity threshold for DAIL_S's structural pre-filter.
+DAIL_SKELETON_THRESHOLD = 0.35
+
+
+class SelectionStrategy:
+    """Base class; subclasses implement :meth:`rank`."""
+
+    id: str = ""
+    name: str = ""
+
+    def __init__(self, candidates: SpiderDataset, seed: int = 0):
+        self.candidates = candidates
+        self.seed = seed
+
+    def rank(
+        self,
+        question: str,
+        db_id: str,
+        predicted_sql: Optional[str] = None,
+    ) -> List[int]:
+        """Candidate indices, best match first."""
+        raise NotImplementedError
+
+    def select(
+        self,
+        question: str,
+        db_id: str,
+        k: int,
+        predicted_sql: Optional[str] = None,
+    ) -> List[ExampleBlock]:
+        """Top-``k`` examples in prompt order (most similar last)."""
+        if k <= 0:
+            return []
+        order = self.rank(question, db_id, predicted_sql)[:k]
+        blocks = []
+        for index in reversed(order):
+            example = self.candidates[index]
+            blocks.append(
+                ExampleBlock(
+                    question=example.question,
+                    sql=example.query,
+                    schema=self.candidates.schema(example.db_id),
+                )
+            )
+        return blocks
+
+
+class RandomSelection(SelectionStrategy):
+    """RD_S — seeded uniform sample, deterministic per target question."""
+
+    id = "RD_S"
+    name = "Random"
+
+    def rank(self, question, db_id, predicted_sql=None) -> List[int]:
+        rng = rng_from("random-selection", str(self.seed), db_id, question)
+        order = list(range(len(self.candidates)))
+        rng.shuffle(order)
+        return order
+
+
+class _EmbeddingSelection(SelectionStrategy):
+    """Shared machinery: embed candidates once, rank targets by cosine."""
+
+    masked: bool = False
+
+    def __init__(self, candidates: SpiderDataset, seed: int = 0):
+        super().__init__(candidates, seed)
+        self._embedder = TfidfEmbedder()
+        texts = [self._candidate_text(e) for e in candidates]
+        self._vectors = self._embedder.fit_transform(texts)
+
+    def _candidate_text(self, example: Example) -> str:
+        if self.masked:
+            return self.candidates.masked_question(example)
+        return example.question
+
+    def _target_text(self, question: str, db_id: str) -> str:
+        return question
+
+    def _similarities(self, question: str, db_id: str) -> List[float]:
+        target = self._embedder.transform(self._target_text(question, db_id))
+        return [cosine(target, vector) for vector in self._vectors]
+
+    def rank(self, question, db_id, predicted_sql=None) -> List[int]:
+        scores = self._similarities(question, db_id)
+        return sorted(range(len(scores)), key=lambda i: (-scores[i], i))
+
+
+class QuestionSimilaritySelection(_EmbeddingSelection):
+    """QTS_S — nearest neighbours of the raw question."""
+
+    id = "QTS_S"
+    name = "Question Similarity"
+    masked = False
+
+
+class MaskedQuestionSimilaritySelection(_EmbeddingSelection):
+    """MQS_S — nearest neighbours after masking domain words.
+
+    The target question is masked with *its own* database's linker, the
+    candidates with theirs — mirroring the paper's cross-domain masking.
+    """
+
+    id = "MQS_S"
+    name = "Masked Question Similarity"
+    masked = True
+
+    def __init__(self, candidates: SpiderDataset, seed: int = 0):
+        super().__init__(candidates, seed)
+        self._target_linkers: Dict[str, object] = {}
+
+    def mask_target(self, question: str, db_id: str) -> str:
+        linker = self._target_linkers.get(db_id)
+        if linker is None:
+            # The target db is usually not in the candidate pool (Spider is
+            # cross-domain); build a linker from the candidate set if it is,
+            # otherwise fall back to raw text.
+            if db_id in self.candidates.schemas:
+                linker = self.candidates.linker(db_id)
+            self._target_linkers[db_id] = linker
+        if linker is None:
+            return question
+        return linker.mask_question(question)
+
+    def set_target_dataset(self, dataset: SpiderDataset) -> None:
+        """Provide the evaluation dataset so target questions can be masked
+        with their own schemas' linkers."""
+        for db_id in dataset.schemas:
+            self._target_linkers[db_id] = dataset.linker(db_id)
+
+    def _target_text(self, question: str, db_id: str) -> str:
+        return self.mask_target(question, db_id)
+
+
+class DailSelection(MaskedQuestionSimilaritySelection):
+    """DAIL_S — masked-question similarity gated by skeleton similarity.
+
+    Candidates whose gold-SQL skeleton is similar (≥ threshold) to the
+    preliminary predicted SQL are ranked ahead of the rest; ties broken by
+    masked-question similarity.  Without a predicted SQL this degrades to
+    MQS_S, as in the paper's ablation.
+    """
+
+    id = "DAIL_S"
+    name = "DAIL Selection"
+
+    def __init__(
+        self,
+        candidates: SpiderDataset,
+        seed: int = 0,
+        skeleton_threshold: float = DAIL_SKELETON_THRESHOLD,
+    ):
+        super().__init__(candidates, seed)
+        self.skeleton_threshold = skeleton_threshold
+
+    def rank(self, question, db_id, predicted_sql=None) -> List[int]:
+        question_scores = self._similarities(question, db_id)
+        if predicted_sql is None:
+            return sorted(
+                range(len(question_scores)),
+                key=lambda i: (-question_scores[i], i),
+            )
+        skeleton_scores = [
+            skeleton_similarity(predicted_sql, self.candidates[i].query)
+            for i in range(len(self.candidates))
+        ]
+        passes = [s >= self.skeleton_threshold for s in skeleton_scores]
+        return sorted(
+            range(len(question_scores)),
+            key=lambda i: (
+                not passes[i],                                   # gate first
+                -(0.5 * question_scores[i] + 0.5 * skeleton_scores[i]),
+                i,
+            ),
+        )
+
+
+_REGISTRY = {
+    cls.id: cls
+    for cls in (
+        RandomSelection,
+        QuestionSimilaritySelection,
+        MaskedQuestionSimilaritySelection,
+        DailSelection,
+    )
+}
+
+
+def get_selection(
+    sel_id: str, candidates: SpiderDataset, seed: int = 0
+) -> SelectionStrategy:
+    """Instantiate a selection strategy by id.
+
+    Raises:
+        PromptError: for unknown ids.
+    """
+    try:
+        cls = _REGISTRY[sel_id]
+    except KeyError as exc:
+        raise PromptError(
+            f"unknown selection {sel_id!r}; expected one of {sorted(_REGISTRY)}"
+        ) from exc
+    return cls(candidates, seed=seed)

@@ -1,0 +1,56 @@
+"""SQL toolkit: tokenizer, parser, AST, unparser, normaliser, skeletons,
+and the Spider hardness rubric."""
+
+from .ast_nodes import (
+    AndCondition,
+    BetweenCondition,
+    BinaryExpr,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Condition,
+    ExistsCondition,
+    Expr,
+    FromClause,
+    FuncCall,
+    InCondition,
+    IsNullCondition,
+    Join,
+    LikeCondition,
+    Literal,
+    NotCondition,
+    OrCondition,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    SubqueryTable,
+    TableRef,
+    iter_column_refs,
+    iter_conditions,
+    iter_subqueries,
+)
+from .hardness import HARDNESS_LEVELS, hardness
+from .normalize import normalize_sql, queries_equal, resolve_aliases
+from .parser import parse, try_parse
+from .skeleton import (
+    query_signature,
+    skeleton_similarity,
+    skeleton_tokens,
+    sql_skeleton,
+)
+from .tokens import Token, TokenType, tokenize
+from .unparse import unparse
+
+__all__ = [
+    "AndCondition", "BetweenCondition", "BinaryExpr", "CaseExpr", "ColumnRef",
+    "Comparison", "Condition", "ExistsCondition", "Expr", "FromClause",
+    "FuncCall", "InCondition", "IsNullCondition", "Join", "LikeCondition",
+    "Literal", "NotCondition", "OrCondition", "OrderItem", "Query",
+    "SelectCore", "SelectItem", "SubqueryTable", "TableRef",
+    "iter_column_refs", "iter_conditions", "iter_subqueries",
+    "HARDNESS_LEVELS", "hardness", "normalize_sql", "queries_equal",
+    "resolve_aliases", "parse", "try_parse", "query_signature",
+    "skeleton_similarity", "skeleton_tokens", "sql_skeleton",
+    "Token", "TokenType", "tokenize", "unparse",
+]

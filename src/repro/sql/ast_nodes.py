@@ -1,0 +1,419 @@
+"""AST node definitions for the Spider SQL subset.
+
+The tree is a faithful structural model of the SQL accepted by
+:mod:`repro.sql.parser`:
+
+* ``Query`` — one SELECT core plus an optional set operation tail
+  (``UNION`` / ``INTERSECT`` / ``EXCEPT``).
+* ``SelectCore`` — SELECT / FROM / WHERE / GROUP BY / HAVING / ORDER BY /
+  LIMIT.
+* Expressions — column references, literals, aggregate and scalar function
+  calls, arithmetic.
+* Conditions — comparisons (possibly against subqueries), ``IN``, ``LIKE``,
+  ``BETWEEN``, ``IS NULL``, ``EXISTS``, and ``AND`` / ``OR`` / ``NOT``
+  combinations.
+
+All nodes are frozen dataclasses: they hash and compare structurally, which
+the exact-match evaluator and the skeleton extractor rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A (possibly qualified) column reference; ``column`` may be ``"*"``."""
+
+    column: str
+    table: Optional[str] = None
+
+    def key(self) -> str:
+        """Lower-cased ``table.column`` key used for comparisons."""
+        if self.table:
+            return f"{self.table.lower()}.{self.column.lower()}"
+        return self.column.lower()
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A literal constant.
+
+    Attributes:
+        value: the literal's text — numbers keep their source spelling so
+            unparsing round-trips exactly.
+        kind: ``"number"``, ``"string"`` or ``"null"``.
+    """
+
+    value: str
+    kind: str
+
+    def python_value(self) -> Union[int, float, str, None]:
+        """The literal as a Python value."""
+        if self.kind == "null":
+            return None
+        if self.kind == "number":
+            return float(self.value) if "." in self.value else int(self.value)
+        return self.value
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Aggregate or scalar function application.
+
+    ``COUNT(*)`` is represented as ``FuncCall("COUNT", ColumnRef("*"))``.
+    """
+
+    name: str
+    arg: "Expr"
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class BinaryExpr:
+    """Arithmetic expression ``left op right`` with op in ``+ - * / %``."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class CaseExpr:
+    """``CASE WHEN cond THEN expr [...] [ELSE expr] END``."""
+
+    whens: Tuple[Tuple["Condition", "Expr"], ...]
+    else_: Optional["Expr"] = None
+
+
+Expr = Union[ColumnRef, Literal, FuncCall, BinaryExpr, CaseExpr]
+
+
+# ---------------------------------------------------------------------------
+# Conditions
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``left op right`` where op is one of ``= != < > <= >=``.
+
+    ``right`` may be an expression or a scalar subquery.
+    """
+
+    op: str
+    left: Expr
+    right: Union[Expr, "Query"]
+
+
+@dataclass(frozen=True)
+class InCondition:
+    """``expr [NOT] IN (values... | subquery)``."""
+
+    expr: Expr
+    values: Union[Tuple[Literal, ...], "Query"]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class LikeCondition:
+    """``expr [NOT] LIKE pattern``."""
+
+    expr: Expr
+    pattern: Literal
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class BetweenCondition:
+    """``expr [NOT] BETWEEN low AND high``."""
+
+    expr: Expr
+    low: Union[Expr, "Query"]
+    high: Union[Expr, "Query"]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNullCondition:
+    """``expr IS [NOT] NULL``."""
+
+    expr: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsCondition:
+    """``[NOT] EXISTS (subquery)``."""
+
+    query: "Query"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class NotCondition:
+    """Logical negation of an arbitrary condition."""
+
+    operand: "Condition"
+
+
+@dataclass(frozen=True)
+class AndCondition:
+    """Conjunction of two or more conditions."""
+
+    operands: Tuple["Condition", ...]
+
+
+@dataclass(frozen=True)
+class OrCondition:
+    """Disjunction of two or more conditions."""
+
+    operands: Tuple["Condition", ...]
+
+
+Condition = Union[
+    Comparison,
+    InCondition,
+    LikeCondition,
+    BetweenCondition,
+    IsNullCondition,
+    ExistsCondition,
+    NotCondition,
+    AndCondition,
+    OrCondition,
+]
+
+
+# ---------------------------------------------------------------------------
+# FROM clause
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A base table in FROM, with optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    def binding(self) -> str:
+        """The name this source is referred to by (alias wins)."""
+        return (self.alias or self.name).lower()
+
+
+@dataclass(frozen=True)
+class SubqueryTable:
+    """A derived table ``(SELECT ...) AS alias`` in FROM."""
+
+    query: "Query"
+    alias: Optional[str] = None
+
+    def binding(self) -> str:
+        return (self.alias or "__subquery__").lower()
+
+
+TableSource = Union[TableRef, SubqueryTable]
+
+
+@dataclass(frozen=True)
+class Join:
+    """One ``JOIN source ON condition`` step.
+
+    ``kind`` is ``"JOIN"`` (inner) or ``"LEFT JOIN"``; ``condition`` may be
+    ``None`` for Spider-style comma/implicit joins turned explicit.
+    """
+
+    source: TableSource
+    condition: Optional[Condition] = None
+    kind: str = "JOIN"
+
+
+@dataclass(frozen=True)
+class FromClause:
+    """First source plus zero or more joins."""
+
+    source: TableSource
+    joins: Tuple[Join, ...] = ()
+
+    def sources(self) -> Tuple[TableSource, ...]:
+        """All table sources in order of appearance."""
+        return (self.source,) + tuple(j.source for j in self.joins)
+
+    def table_names(self) -> Tuple[str, ...]:
+        """Lower-cased base-table names (subqueries excluded)."""
+        return tuple(
+            s.name.lower() for s in self.sources() if isinstance(s, TableRef)
+        )
+
+
+# ---------------------------------------------------------------------------
+# SELECT core and query
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    """One projected expression with an optional alias."""
+
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    """One ORDER BY key; ``direction`` is ``"ASC"`` or ``"DESC"``."""
+
+    expr: Expr
+    direction: str = "ASC"
+
+
+@dataclass(frozen=True)
+class SelectCore:
+    """A single SELECT statement without set operations."""
+
+    items: Tuple[SelectItem, ...]
+    from_clause: Optional[FromClause] = None
+    where: Optional[Condition] = None
+    group_by: Tuple[Expr, ...] = ()
+    having: Optional[Condition] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Query:
+    """A full query: SELECT core plus optional set-operation tail."""
+
+    core: SelectCore
+    set_op: Optional[str] = None       # "UNION" | "UNION ALL" | "INTERSECT" | "EXCEPT"
+    set_query: Optional["Query"] = None
+
+    def flatten_set_ops(self) -> Tuple[Tuple[Optional[str], SelectCore], ...]:
+        """All (operator, core) pairs left to right; first operator is None."""
+        parts = [(None, self.core)]
+        node = self
+        while node.set_op is not None and node.set_query is not None:
+            parts.append((node.set_op, node.set_query.core))
+            node = node.set_query
+        return tuple(parts)  # type: ignore[return-value]
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def iter_conditions(condition: Optional[Condition]):
+    """Yield every leaf predicate in a condition tree (AND/OR/NOT expanded)."""
+    if condition is None:
+        return
+    stack = [condition]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (AndCondition, OrCondition)):
+            stack.extend(node.operands)
+        elif isinstance(node, NotCondition):
+            stack.append(node.operand)
+        else:
+            yield node
+
+
+def iter_subqueries(query: Query):
+    """Yield every nested :class:`Query` inside ``query`` (not query itself)."""
+    for _, core in query.flatten_set_ops():
+        yield from _iter_core_subqueries(core)
+
+
+def _iter_core_subqueries(core: SelectCore):
+    if core.from_clause is not None:
+        for source in core.from_clause.sources():
+            if isinstance(source, SubqueryTable):
+                yield source.query
+                yield from iter_subqueries(source.query)
+        for join in core.from_clause.joins:
+            yield from _iter_condition_subqueries(join.condition)
+    yield from _iter_condition_subqueries(core.where)
+    yield from _iter_condition_subqueries(core.having)
+
+
+def _iter_condition_subqueries(condition: Optional[Condition]):
+    for leaf in iter_conditions(condition):
+        if isinstance(leaf, Comparison) and isinstance(leaf.right, Query):
+            yield leaf.right
+            yield from iter_subqueries(leaf.right)
+        elif isinstance(leaf, InCondition) and isinstance(leaf.values, Query):
+            yield leaf.values
+            yield from iter_subqueries(leaf.values)
+        elif isinstance(leaf, ExistsCondition):
+            yield leaf.query
+            yield from iter_subqueries(leaf.query)
+        elif isinstance(leaf, BetweenCondition):
+            for side in (leaf.low, leaf.high):
+                if isinstance(side, Query):
+                    yield side
+                    yield from iter_subqueries(side)
+
+
+def iter_column_refs(query: Query):
+    """Yield every :class:`ColumnRef` appearing anywhere in ``query``,
+    including inside nested subqueries."""
+    cores = [core for _, core in query.flatten_set_ops()]
+    for sub in iter_subqueries(query):
+        cores.extend(core for _, core in sub.flatten_set_ops())
+    for core in cores:
+        yield from _core_columns(core)
+
+
+def _core_columns(core: SelectCore):
+    for item in core.items:
+        yield from _expr_columns(item.expr)
+    for expr in core.group_by:
+        yield from _expr_columns(expr)
+    for order in core.order_by:
+        yield from _expr_columns(order.expr)
+    for cond in (core.where, core.having):
+        for leaf in iter_conditions(cond):
+            yield from _leaf_columns(leaf)
+    if core.from_clause is not None:
+        for join in core.from_clause.joins:
+            for leaf in iter_conditions(join.condition):
+                yield from _leaf_columns(leaf)
+
+
+def _expr_columns(expr: Expr):
+    if isinstance(expr, ColumnRef):
+        yield expr
+    elif isinstance(expr, FuncCall):
+        yield from _expr_columns(expr.arg)
+    elif isinstance(expr, BinaryExpr):
+        yield from _expr_columns(expr.left)
+        yield from _expr_columns(expr.right)
+    elif isinstance(expr, CaseExpr):
+        for condition, value in expr.whens:
+            for leaf in iter_conditions(condition):
+                yield from _leaf_columns(leaf)
+            yield from _expr_columns(value)
+        if expr.else_ is not None:
+            yield from _expr_columns(expr.else_)
+
+
+def _leaf_columns(leaf: Condition):
+    if isinstance(leaf, Comparison):
+        yield from _expr_columns(leaf.left)
+        if not isinstance(leaf.right, Query):
+            yield from _expr_columns(leaf.right)
+    elif isinstance(leaf, (InCondition, LikeCondition, IsNullCondition)):
+        yield from _expr_columns(leaf.expr)
+    elif isinstance(leaf, BetweenCondition):
+        yield from _expr_columns(leaf.expr)
+        if not isinstance(leaf.low, Query):
+            yield from _expr_columns(leaf.low)  # type: ignore[arg-type]
+        if not isinstance(leaf.high, Query):
+            yield from _expr_columns(leaf.high)  # type: ignore[arg-type]

@@ -1,0 +1,143 @@
+"""Spider-style query hardness classification.
+
+Re-implements the official Spider evaluation rubric (easy / medium / hard /
+extra) on our AST.  The rubric counts three component groups:
+
+* **component-1**: WHERE present, GROUP BY keys, ORDER BY present, LIMIT,
+  joins (FROM with more than one table), OR, LIKE;
+* **component-2**: nesting — set operators and subqueries;
+* **others**: number of aggregates > 1, select columns > 1, WHERE
+  conditions > 1, GROUP BY keys > 1.
+
+and buckets exactly as the official ``evaluation.py`` does.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .ast_nodes import (
+    Comparison,
+    FuncCall,
+    InCondition,
+    LikeCondition,
+    OrCondition,
+    Query,
+    iter_conditions,
+    iter_subqueries,
+)
+from .parser import parse
+
+HARDNESS_LEVELS = ("easy", "medium", "hard", "extra")
+
+
+def count_component1(query: Query) -> int:
+    """WHERE / GROUP BY / ORDER BY / LIMIT / JOIN / OR / LIKE occurrences."""
+    count = 0
+    for _, core in query.flatten_set_ops():
+        if core.where is not None:
+            count += 1
+        count += len(core.group_by)
+        if core.order_by:
+            count += 1
+        if core.limit is not None:
+            count += 1
+        if core.from_clause is not None and len(core.from_clause.sources()) > 1:
+            count += len(core.from_clause.sources()) - 1
+        for cond in (core.where, core.having):
+            count += _count_or(cond)
+            count += _count_like(cond)
+    return count
+
+
+def _count_or(condition) -> int:
+    if condition is None:
+        return 0
+    total = 0
+    stack = [condition]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, OrCondition):
+            total += len(node.operands) - 1
+            stack.extend(node.operands)
+        elif hasattr(node, "operands"):
+            stack.extend(node.operands)
+        elif hasattr(node, "operand"):
+            stack.append(node.operand)
+    return total
+
+
+def _count_like(condition) -> int:
+    return sum(
+        1 for leaf in iter_conditions(condition) if isinstance(leaf, LikeCondition)
+    )
+
+
+def count_component2(query: Query) -> int:
+    """Set operations plus nested subqueries."""
+    count = 0
+    node = query
+    while node.set_op is not None and node.set_query is not None:
+        count += 1
+        node = node.set_query
+    count += sum(1 for _ in iter_subqueries(query))
+    return count
+
+
+def count_others(query: Query) -> int:
+    """Secondary complexity: >1 aggregates / select columns / conditions / keys."""
+    agg_count = 0
+    select_count = 0
+    where_count = 0
+    group_count = 0
+    for _, core in query.flatten_set_ops():
+        select_count += len(core.items)
+        for item in core.items:
+            if isinstance(item.expr, FuncCall):
+                agg_count += 1
+        for order in core.order_by:
+            if isinstance(order.expr, FuncCall):
+                agg_count += 1
+        for cond in (core.where, core.having):
+            for leaf in iter_conditions(cond):
+                where_count += 1
+                if isinstance(leaf, Comparison) and isinstance(leaf.left, FuncCall):
+                    agg_count += 1
+        group_count += len(core.group_by)
+
+    count = 0
+    if agg_count > 1:
+        count += 1
+    if select_count > 1:
+        count += 1
+    if where_count > 1:
+        count += 1
+    if group_count > 1:
+        count += 1
+    return count
+
+
+def hardness(query: Union[str, Query]) -> str:
+    """Classify a query as ``easy`` / ``medium`` / ``hard`` / ``extra``.
+
+    Follows the official Spider bucketing rules.
+    """
+    if isinstance(query, str):
+        query = parse(query)
+    comp1 = count_component1(query)
+    comp2 = count_component2(query)
+    others = count_others(query)
+
+    if comp1 <= 1 and others == 0 and comp2 == 0:
+        return "easy"
+    if (others <= 2 and comp1 <= 1 and comp2 == 0) or (
+        comp1 <= 2 and others < 2 and comp2 == 0
+    ):
+        return "medium"
+    if (
+        (others > 2 and comp1 <= 2 and comp2 == 0)
+        or (2 < comp1 <= 3 and others <= 2 and comp2 == 0)
+        or (comp1 <= 1 and others == 0 and comp2 <= 1)
+    ):
+        return "hard"
+    return "extra"

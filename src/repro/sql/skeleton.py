@@ -1,0 +1,215 @@
+"""SQL skeleton extraction.
+
+The DAIL selection strategy ranks candidate examples by the similarity of
+their *SQL skeletons* — the query with all schema identifiers and literal
+values masked out, keeping only keywords and structure::
+
+    SELECT name FROM singer WHERE age > 20 ORDER BY age DESC LIMIT 3
+    →  SELECT _ FROM _ WHERE _ > _ ORDER BY _ DESC LIMIT _
+
+Two skeletons are produced:
+
+* :func:`sql_skeleton` — token-level mask, robust to unparseable SQL.
+* :func:`query_signature` — AST-level structural signature used by the
+  simulated LLM to measure example relevance (clause multiset).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Set, Union
+
+from .ast_nodes import (
+    BetweenCondition,
+    Comparison,
+    ExistsCondition,
+    FuncCall,
+    InCondition,
+    IsNullCondition,
+    LikeCondition,
+    Query,
+    iter_conditions,
+    iter_subqueries,
+)
+from .parser import try_parse
+from .tokens import Token, TokenType, tokenize
+from .unparse import unparse
+
+_MASK = "_"
+
+
+def sql_skeleton(sql: Union[str, Query]) -> str:
+    """Mask identifiers and literals, keeping keywords and operators.
+
+    Consecutive masked tokens (including ``.`` and ``,`` between them) are
+    collapsed into a single ``_``, and ``AS`` aliases are dropped, so column
+    lists and qualified names of any length produce identical skeletons.
+    """
+    text = unparse(sql) if isinstance(sql, Query) else sql
+    try:
+        tokens = tokenize(text)
+    except Exception:
+        return text.strip().upper()
+
+    masked: List[str] = []
+    skip_next_ident = False
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            break
+        if token.type is TokenType.KEYWORD and token.value == "AS":
+            skip_next_ident = True
+            continue
+        if token.type in (TokenType.IDENT, TokenType.NUMBER, TokenType.STRING):
+            if skip_next_ident:
+                skip_next_ident = False
+                continue
+            masked.append(_MASK)
+        elif token.type is TokenType.PUNCT and token.value in (".", ","):
+            masked.append(token.value)
+        elif token.type is TokenType.PUNCT and token.value == "*":
+            masked.append(_MASK)
+        else:
+            skip_next_ident = False
+            masked.append(token.value)
+
+    collapsed: List[str] = []
+    for piece in masked:
+        if piece == _MASK and collapsed and collapsed[-1] == _MASK:
+            continue
+        if piece in (".", ","):
+            # Swallow separators between masked slots: "_ . _" and "_ , _"
+            # both collapse to "_".
+            if collapsed and collapsed[-1] == _MASK:
+                continue
+        collapsed.append(piece)
+    # A separator may now be followed by a mask again ("_ , _" became
+    # ["_", "_"] handled above); also drop masks following a swallowed comma.
+    result: List[str] = []
+    for piece in collapsed:
+        if piece == _MASK and result and result[-1] == _MASK:
+            continue
+        result.append(piece)
+    return " ".join(result)
+
+
+def skeleton_tokens(sql: Union[str, Query]) -> List[str]:
+    """The skeleton as a token list (for similarity computations)."""
+    return sql_skeleton(sql).split()
+
+
+def query_signature(query: Union[str, Query]) -> Set[str]:
+    """Structural feature set of a query.
+
+    Features include clause presence (``where``, ``group``, ``order:desc``,
+    ``limit``…), aggregate usage (``agg:count``…), predicate operators
+    (``pred:>``, ``pred:like``…), join arity, set operators and nesting
+    depth.  Used to measure how structurally close an in-context example is
+    to the target query.
+    """
+    if isinstance(query, str):
+        parsed = try_parse(query)
+        if parsed is None:
+            return {f"tok:{t}" for t in skeleton_tokens(query)}
+        query = parsed
+
+    features: Set[str] = set()
+    for op, core in query.flatten_set_ops():
+        if op:
+            features.add(f"setop:{op.lower()}")
+        if core.distinct:
+            features.add("distinct")
+        features.add(f"select:{len(core.items)}")
+        for item in core.items:
+            if isinstance(item.expr, FuncCall):
+                features.add(f"agg:{item.expr.name.lower()}")
+        if core.from_clause is not None:
+            n_tables = len(core.from_clause.sources())
+            if n_tables > 1:
+                features.add(f"join:{n_tables}")
+        if core.where is not None:
+            features.add("where")
+            for leaf in iter_conditions(core.where):
+                features.add(f"pred:{_leaf_op(leaf)}")
+        if core.group_by:
+            features.add("group")
+        if core.having is not None:
+            features.add("having")
+            for leaf in iter_conditions(core.having):
+                if isinstance(leaf, Comparison) and isinstance(leaf.left, FuncCall):
+                    features.add(f"having-agg:{leaf.left.name.lower()}")
+        for order in core.order_by:
+            features.add(f"order:{order.direction.lower()}")
+            if isinstance(order.expr, FuncCall):
+                features.add(f"order-agg:{order.expr.name.lower()}")
+        if core.limit is not None:
+            features.add("limit")
+    nested = list(iter_subqueries(query))
+    if nested:
+        features.add(f"nested:{min(len(nested), 3)}")
+    return features
+
+
+def _leaf_op(leaf) -> str:
+    if isinstance(leaf, Comparison):
+        suffix = ":sub" if isinstance(leaf.right, Query) else ""
+        return leaf.op + suffix
+    if isinstance(leaf, InCondition):
+        return "in:sub" if isinstance(leaf.values, Query) else "in"
+    if isinstance(leaf, LikeCondition):
+        return "like"
+    if isinstance(leaf, BetweenCondition):
+        return "between"
+    if isinstance(leaf, IsNullCondition):
+        return "isnull"
+    if isinstance(leaf, ExistsCondition):
+        return "exists"
+    return "other"
+
+
+@lru_cache(maxsize=100_000)
+def _features_cached(sql: str):
+    """(signature, skeleton bigrams) of a SQL string, memoised.
+
+    Selection strategies compare every target against every candidate;
+    candidates repeat across targets, so caching turns the quadratic
+    parse cost into a linear one.
+    """
+    return frozenset(query_signature(sql)), frozenset(_bigrams(skeleton_tokens(sql)))
+
+
+def _features(query: Union[str, Query]):
+    if isinstance(query, str):
+        return _features_cached(query)
+    return (
+        frozenset(query_signature(query)),
+        frozenset(_bigrams(skeleton_tokens(query))),
+    )
+
+
+def skeleton_similarity(a: Union[str, Query], b: Union[str, Query]) -> float:
+    """Similarity of two queries' structure in ``[0, 1]``.
+
+    The score blends Jaccard similarity of :func:`query_signature` features
+    with Jaccard similarity of skeleton-token bigrams, so both clause
+    composition and token order matter.  String inputs are memoised.
+    """
+    sig_a, bi_a = _features(a)
+    sig_b, bi_b = _features(b)
+    sig_score = _jaccard(sig_a, sig_b)
+    bigram_score = _jaccard(bi_a, bi_b)
+    return 0.6 * sig_score + 0.4 * bigram_score
+
+
+def _bigrams(tokens: List[str]) -> Set[str]:
+    if len(tokens) < 2:
+        return set(tokens)
+    return {f"{tokens[i]} {tokens[i + 1]}" for i in range(len(tokens) - 1)}
+
+
+def _jaccard(a: Set[str], b: Set[str]) -> float:
+    if not a and not b:
+        return 1.0
+    union = a | b
+    if not union:
+        return 1.0
+    return len(a & b) / len(union)

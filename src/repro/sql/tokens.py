@@ -1,0 +1,153 @@
+"""SQL tokenizer for the Spider SQL subset.
+
+Produces a flat list of typed :class:`Token` objects.  The tokenizer is
+shared by the parser, the skeleton extractor and the token-efficiency
+accounting, so it is deliberately strict: any character it does not
+understand raises :class:`~repro.errors.SQLSyntaxError` rather than being
+silently skipped.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from ..errors import SQLSyntaxError
+
+#: Keywords of the Spider SQL subset.  Matching is case-insensitive; the
+#: canonical (upper-case) spelling is stored in :attr:`Token.value`.
+KEYWORDS = frozenset(
+    """SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT JOIN INNER LEFT RIGHT
+    OUTER ON AS AND OR NOT IN LIKE BETWEEN EXISTS IS NULL DISTINCT UNION
+    INTERSECT EXCEPT ASC DESC COUNT SUM AVG MIN MAX CAST ABS ROUND LENGTH
+    CASE WHEN THEN ELSE END ALL""".split()
+)
+
+#: Aggregate function names (subset of KEYWORDS used as function heads).
+AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+#: Scalar function names accepted in expressions.
+SCALAR_FUNCTIONS = frozenset({"ABS", "ROUND", "LENGTH", "CAST"})
+
+
+class TokenType(enum.Enum):
+    """Lexical category of a token."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OP = "op"          # comparison and arithmetic operators
+    PUNCT = "punct"    # ( ) , . ; *
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    Attributes:
+        type: lexical category.
+        value: canonical text — keywords upper-cased, identifiers as written
+            (quotes stripped), strings without their surrounding quotes.
+        position: character offset in the source text.
+    """
+
+    type: TokenType
+    value: str
+    position: int = 0
+
+    def is_keyword(self, *names: str) -> bool:
+        """True if this token is one of the given keywords."""
+        return self.type is TokenType.KEYWORD and self.value in names
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.type.value}:{self.value}"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<string>'(?:[^']|'')*'|"(?:[^"]|"")*")
+  | (?P<number>\d+\.\d+|\.\d+|\d+)
+  | (?P<word>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<quoted_ident>`[^`]+`|\[[^\]]+\])
+  | (?P<op><>|!=|>=|<=|=|<|>|\|\||[+\-*/%])
+  | (?P<punct>[(),.;])
+    """,
+    re.VERBOSE,
+)
+
+# Double-quoted text is an identifier in standard SQL but Spider corpora use
+# it for string literals; we follow Spider and treat both quote styles as
+# string literals.  Backticks/brackets are always identifiers.
+
+
+def tokenize(sql: str) -> List[Token]:
+    """Tokenize SQL text into a list ending with an EOF token.
+
+    Raises:
+        SQLSyntaxError: on any character sequence outside the grammar.
+    """
+    tokens: List[Token] = []
+    pos = 0
+    length = len(sql)
+    while pos < length:
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SQLSyntaxError(
+                f"unexpected character {sql[pos]!r} at offset {pos}",
+                sql=sql,
+                position=pos,
+            )
+        start = pos
+        pos = match.end()
+        kind = match.lastgroup
+        text = match.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "string":
+            quote = text[0]
+            body = text[1:-1].replace(quote * 2, quote)
+            tokens.append(Token(TokenType.STRING, body, start))
+        elif kind == "number":
+            tokens.append(Token(TokenType.NUMBER, text, start))
+        elif kind == "word":
+            upper = text.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, text, start))
+        elif kind == "quoted_ident":
+            tokens.append(Token(TokenType.IDENT, text[1:-1], start))
+        elif kind == "op":
+            canonical = "!=" if text == "<>" else text
+            tokens.append(Token(TokenType.OP, canonical, start))
+        elif kind == "punct":
+            if text == "*":
+                tokens.append(Token(TokenType.PUNCT, "*", start))
+            else:
+                tokens.append(Token(TokenType.PUNCT, text, start))
+        else:  # pragma: no cover - regex groups are exhaustive
+            raise SQLSyntaxError(f"unhandled token kind {kind}", sql=sql)
+    # '*' is matched by the op group; re-tag it as punctuation so the parser
+    # can treat SELECT * and COUNT(*) uniformly.
+    tokens = [
+        Token(TokenType.PUNCT, "*", t.position)
+        if t.type is TokenType.OP and t.value == "*"
+        else t
+        for t in tokens
+    ]
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens
+
+
+def iter_significant(tokens: List[Token]) -> Iterator[Token]:
+    """Yield all tokens except the trailing EOF."""
+    for token in tokens:
+        if token.type is TokenType.EOF:
+            return
+        yield token

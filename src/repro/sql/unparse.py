@@ -1,0 +1,200 @@
+"""Render an AST back to SQL text.
+
+``parse(unparse(q)) == q`` holds structurally for every query the parser
+accepts (property-tested in ``tests/sql/test_roundtrip.py``).  The output is
+valid SQLite SQL, which is what the execution backend runs.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from .ast_nodes import (
+    AndCondition,
+    BetweenCondition,
+    BinaryExpr,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Condition,
+    ExistsCondition,
+    Expr,
+    FromClause,
+    FuncCall,
+    InCondition,
+    IsNullCondition,
+    LikeCondition,
+    Literal,
+    NotCondition,
+    OrCondition,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    SubqueryTable,
+    TableRef,
+    TableSource,
+)
+
+
+def unparse(query: Query) -> str:
+    """Render a query AST as a SQL string."""
+    text = _core(query.core)
+    if query.set_op is not None and query.set_query is not None:
+        text = f"{text} {query.set_op} {unparse(query.set_query)}"
+    return text
+
+
+def _core(core: SelectCore) -> str:
+    parts = ["SELECT"]
+    if core.distinct:
+        parts.append("DISTINCT")
+    parts.append(", ".join(_select_item(item) for item in core.items))
+    if core.from_clause is not None:
+        parts.append("FROM")
+        parts.append(_from(core.from_clause))
+    if core.where is not None:
+        parts.append("WHERE")
+        parts.append(condition_text(core.where))
+    if core.group_by:
+        parts.append("GROUP BY")
+        parts.append(", ".join(expr_text(e) for e in core.group_by))
+    if core.having is not None:
+        parts.append("HAVING")
+        parts.append(condition_text(core.having))
+    if core.order_by:
+        parts.append("ORDER BY")
+        parts.append(", ".join(_order_item(o) for o in core.order_by))
+    if core.limit is not None:
+        parts.append(f"LIMIT {core.limit}")
+    return " ".join(parts)
+
+
+def _select_item(item: SelectItem) -> str:
+    text = expr_text(item.expr)
+    if item.alias:
+        text = f"{text} AS {item.alias}"
+    return text
+
+
+def _order_item(item: OrderItem) -> str:
+    text = expr_text(item.expr)
+    if item.direction == "DESC":
+        text = f"{text} DESC"
+    return text
+
+
+def _from(clause: FromClause) -> str:
+    parts = [_source(clause.source)]
+    for join in clause.joins:
+        if join.condition is None and join.kind == "JOIN":
+            parts.append(f"JOIN {_source(join.source)}")
+        elif join.condition is None:
+            parts.append(f"{join.kind} {_source(join.source)}")
+        else:
+            parts.append(
+                f"{join.kind} {_source(join.source)} ON {condition_text(join.condition)}"
+            )
+    return " ".join(parts)
+
+
+def _source(source: TableSource) -> str:
+    if isinstance(source, TableRef):
+        if source.alias:
+            return f"{source.name} AS {source.alias}"
+        return source.name
+    inner = unparse(source.query)
+    if source.alias:
+        return f"({inner}) AS {source.alias}"
+    return f"({inner})"
+
+
+def expr_text(expr: Expr) -> str:
+    """Render an expression."""
+    if isinstance(expr, ColumnRef):
+        if expr.table:
+            return f"{expr.table}.{expr.column}"
+        return expr.column
+    if isinstance(expr, Literal):
+        return literal_text(expr)
+    if isinstance(expr, FuncCall):
+        inner = expr_text(expr.arg)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    if isinstance(expr, BinaryExpr):
+        left = _maybe_paren(expr.left)
+        right = _maybe_paren(expr.right)
+        return f"{left} {expr.op} {right}"
+    if isinstance(expr, CaseExpr):
+        parts = ["CASE"]
+        for condition, value in expr.whens:
+            parts.append(f"WHEN {condition_text(condition)} THEN {expr_text(value)}")
+        if expr.else_ is not None:
+            parts.append(f"ELSE {expr_text(expr.else_)}")
+        parts.append("END")
+        return " ".join(parts)
+    raise TypeError(f"not an expression: {expr!r}")
+
+
+def _maybe_paren(expr: Expr) -> str:
+    if isinstance(expr, BinaryExpr):
+        return f"({expr_text(expr)})"
+    return expr_text(expr)
+
+
+def literal_text(literal: Literal) -> str:
+    """Render a literal with SQL quoting."""
+    if literal.kind == "string":
+        escaped = literal.value.replace("'", "''")
+        return f"'{escaped}'"
+    if literal.kind == "null":
+        return "NULL"
+    return literal.value
+
+
+def _operand(value: Union[Expr, Query]) -> str:
+    if isinstance(value, Query):
+        return f"({unparse(value)})"
+    return expr_text(value)
+
+
+def condition_text(condition: Condition) -> str:
+    """Render a condition tree."""
+    if isinstance(condition, Comparison):
+        return f"{expr_text(condition.left)} {condition.op} {_operand(condition.right)}"
+    if isinstance(condition, InCondition):
+        if isinstance(condition.values, Query):
+            values = unparse(condition.values)
+        else:
+            values = ", ".join(literal_text(v) for v in condition.values)
+        op = "NOT IN" if condition.negated else "IN"
+        return f"{expr_text(condition.expr)} {op} ({values})"
+    if isinstance(condition, LikeCondition):
+        op = "NOT LIKE" if condition.negated else "LIKE"
+        return f"{expr_text(condition.expr)} {op} {literal_text(condition.pattern)}"
+    if isinstance(condition, BetweenCondition):
+        op = "NOT BETWEEN" if condition.negated else "BETWEEN"
+        return (
+            f"{expr_text(condition.expr)} {op} "
+            f"{_operand(condition.low)} AND {_operand(condition.high)}"
+        )
+    if isinstance(condition, IsNullCondition):
+        op = "IS NOT NULL" if condition.negated else "IS NULL"
+        return f"{expr_text(condition.expr)} {op}"
+    if isinstance(condition, ExistsCondition):
+        prefix = "NOT EXISTS" if condition.negated else "EXISTS"
+        return f"{prefix} ({unparse(condition.query)})"
+    if isinstance(condition, NotCondition):
+        return f"NOT ({condition_text(condition.operand)})"
+    if isinstance(condition, AndCondition):
+        return " AND ".join(_group(op) for op in condition.operands)
+    if isinstance(condition, OrCondition):
+        return " OR ".join(_group(op) for op in condition.operands)
+    raise TypeError(f"not a condition: {condition!r}")
+
+
+def _group(condition: Condition) -> str:
+    if isinstance(condition, (AndCondition, OrCondition)):
+        return f"({condition_text(condition)})"
+    return condition_text(condition)

@@ -1,0 +1,5 @@
+"""Deterministic GPT-style token counting."""
+
+from .counter import TokenCounter, count_tokens, tokenize_pieces
+
+__all__ = ["TokenCounter", "count_tokens", "tokenize_pieces"]

@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic randomness and text helpers."""
+
+from .rng import rng_from, stable_choice, stable_hash, stable_shuffle, stable_unit
+from .text import (
+    STOPWORDS,
+    char_ngrams,
+    content_words,
+    indent_block,
+    join_nonempty,
+    normalize_whitespace,
+    snake_to_words,
+    strip_accents,
+    truncate_middle,
+    word_tokenize,
+)
+
+__all__ = [
+    "rng_from", "stable_choice", "stable_hash", "stable_shuffle",
+    "stable_unit", "STOPWORDS", "char_ngrams", "content_words",
+    "indent_block", "join_nonempty", "normalize_whitespace",
+    "snake_to_words", "strip_accents", "truncate_middle", "word_tokenize",
+]

@@ -1,0 +1,53 @@
+"""Deterministic randomness helpers.
+
+All stochastic behaviour in the library flows through these helpers so that a
+run is reproducible bit-for-bit given its seeds.  The simulated LLM derives a
+random stream from a *content hash* of (model id, prompt text), which makes
+generation deterministic yet sensitive to every character of the prompt —
+exactly the property the benchmark needs (changing the representation, the
+selected examples, or even a pound sign changes the stream).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Iterable
+
+
+def stable_hash(*parts: str) -> int:
+    """Return a 64-bit integer hash of the given string parts.
+
+    Unlike :func:`hash`, this is stable across processes and Python versions
+    (``PYTHONHASHSEED`` does not affect it).
+    """
+    digest = hashlib.sha256("\x1f".join(parts).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rng_from(*parts: str) -> random.Random:
+    """Build a :class:`random.Random` seeded from a stable content hash."""
+    return random.Random(stable_hash(*parts))
+
+
+def stable_unit(*parts: str) -> float:
+    """Deterministically map string parts to a float in ``[0, 1)``."""
+    return stable_hash(*parts) / 2**64
+
+
+def stable_choice(items: list, *parts: str):
+    """Deterministically choose one element of ``items`` from a content hash.
+
+    Raises:
+        IndexError: if ``items`` is empty.
+    """
+    if not items:
+        raise IndexError("stable_choice on empty sequence")
+    return items[stable_hash(*parts) % len(items)]
+
+
+def stable_shuffle(items: Iterable, *parts: str) -> list:
+    """Return a deterministically shuffled copy of ``items``."""
+    out = list(items)
+    rng_from(*parts).shuffle(out)
+    return out

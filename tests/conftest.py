@@ -1,0 +1,85 @@
+"""Shared fixtures: a small generated corpus, runner, and common objects.
+
+The corpus is session-scoped — generation takes ~100 ms and every suite
+shares the same benchmark, keeping the full test run fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.generator.corpus import CorpusConfig, build_corpus
+from repro.eval.harness import BenchmarkRunner
+from repro.llm.oracle import GoldOracle
+from repro.schema.model import Column, DatabaseSchema, ForeignKey, Table
+
+
+@pytest.fixture(scope="session")
+def corpus():
+    corpus = build_corpus(CorpusConfig(seed=3, train_per_db=12, dev_per_db=8))
+    yield corpus
+    corpus.close()
+
+
+@pytest.fixture(scope="session")
+def runner(corpus):
+    return BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(), seed=3)
+
+
+@pytest.fixture(scope="session")
+def oracle(corpus):
+    return GoldOracle(corpus.dev, corpus.train)
+
+
+@pytest.fixture(scope="session")
+def dev_example(corpus):
+    return corpus.dev.examples[0]
+
+
+@pytest.fixture()
+def toy_schema():
+    """A small hand-built schema used by unit tests."""
+    singer = Table(
+        name="singer",
+        columns=(
+            Column("singer_id", "number", is_integer=True),
+            Column("name", "text"),
+            Column("age", "number", is_integer=True),
+            Column("country", "text"),
+        ),
+        primary_key="singer_id",
+    )
+    concert = Table(
+        name="concert",
+        columns=(
+            Column("concert_id", "number", is_integer=True),
+            Column("title", "text"),
+            Column("singer_id", "number", is_integer=True),
+            Column("attendance", "number", is_integer=True),
+        ),
+        primary_key="concert_id",
+    )
+    return DatabaseSchema(
+        db_id="toy_concerts",
+        tables=(singer, concert),
+        foreign_keys=(
+            ForeignKey(table="concert", column="singer_id",
+                       ref_table="singer", ref_column="singer_id"),
+        ),
+    )
+
+
+@pytest.fixture()
+def toy_rows():
+    return {
+        "singer": [
+            {"singer_id": 1, "name": "Ava Lee", "age": 30, "country": "France"},
+            {"singer_id": 2, "name": "Ben Cho", "age": 45, "country": "Japan"},
+            {"singer_id": 3, "name": "Cleo Diaz", "age": 27, "country": "France"},
+        ],
+        "concert": [
+            {"concert_id": 1, "title": "Spring Fest", "singer_id": 1, "attendance": 500},
+            {"concert_id": 2, "title": "Summer Jam", "singer_id": 1, "attendance": 800},
+            {"concert_id": 3, "title": "Fall Gala", "singer_id": 2, "attendance": 300},
+        ],
+    }

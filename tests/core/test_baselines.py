@@ -1,0 +1,37 @@
+"""Leaderboard baseline config tests."""
+
+from repro.core.baselines import LeaderboardEntry, leaderboard_entries
+
+
+class TestEntries:
+    def test_required_systems_present(self):
+        names = [e.name for e in leaderboard_entries()]
+        assert any("DAIL-SQL + SC" in n for n in names)
+        assert any(n == "DAIL-SQL (GPT-4)" for n in names)
+        assert any("DIN-SQL" in n for n in names)
+        assert any("C3" in n for n in names)
+
+    def test_dail_sql_configuration(self):
+        entry = next(
+            e for e in leaderboard_entries() if e.name == "DAIL-SQL (GPT-4)"
+        )
+        config = entry.config
+        assert config.model == "gpt-4"
+        assert config.representation == "CR_P"
+        assert config.organization == "DAIL_O"
+        assert config.selection == "DAIL_S"
+        assert config.k == 5
+        assert config.foreign_keys is True
+
+    def test_sc_entry_samples(self):
+        entry = next(e for e in leaderboard_entries() if "SC" in e.name)
+        assert entry.n_samples > 1
+
+    def test_c3_is_zero_shot(self):
+        entry = next(e for e in leaderboard_entries() if "C3" in e.name)
+        assert entry.config.k == 0
+        assert entry.config.rule_implication
+
+    def test_unique_labels(self):
+        labels = [e.config.resolved_label() for e in leaderboard_entries()]
+        assert len(set(labels)) == len(labels)

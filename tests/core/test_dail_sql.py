@@ -1,0 +1,100 @@
+"""DAIL-SQL pipeline tests."""
+
+import pytest
+
+from repro.core.dail_sql import DailSQL
+from repro.llm.simulated import make_llm
+
+
+@pytest.fixture(scope="module")
+def pipeline(corpus, oracle):
+    llm = make_llm("gpt-4", oracle)
+    return DailSQL(llm, corpus.train, k=4)
+
+
+class TestPipeline:
+    def test_generate_sql(self, pipeline, corpus):
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        result = pipeline.generate_sql(schema, example.question)
+        assert result.sql.upper().startswith("SELECT")
+        assert result.n_examples == 4
+        assert result.preliminary_sql
+
+    def test_prompt_uses_dail_organization(self, pipeline, corpus):
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        result = pipeline.generate_sql(schema, example.question)
+        assert result.prompt.organization_id == "DAIL_O"
+        assert result.prompt.representation_id == "CR_P"
+        assert result.prompt.includes_foreign_keys
+
+    def test_deterministic(self, pipeline, corpus):
+        example = corpus.dev.examples[1]
+        schema = corpus.dev.schema(example.db_id)
+        a = pipeline.generate_sql(schema, example.question)
+        b = pipeline.generate_sql(schema, example.question)
+        assert a.sql == b.sql
+
+    def test_examples_are_cross_domain(self, pipeline, corpus):
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        result = pipeline.generate_sql(schema, example.question)
+        for block in result.prompt.examples:
+            assert block.schema.db_id != example.db_id
+
+    def test_max_tokens_respected(self, corpus, oracle):
+        llm = make_llm("gpt-4", oracle)
+        tight = DailSQL(llm, corpus.train, k=6, max_tokens=420)
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        result = tight.generate_sql(schema, example.question)
+        assert result.prompt.token_count <= 420
+        assert result.n_examples < 6
+
+
+class TestSelfConsistency:
+    def test_voting_runs(self, corpus, oracle):
+        llm = make_llm("gpt-4", oracle)
+        pipeline = DailSQL(llm, corpus.train, k=3, n_samples=4)
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        database = corpus.pool().get(example.db_id)
+        result = pipeline.generate_sql(schema, example.question, database=database)
+        assert len(result.samples) == 4
+        assert result.sql in result.samples
+
+    def test_without_database_first_sample(self, corpus, oracle):
+        llm = make_llm("gpt-4", oracle)
+        pipeline = DailSQL(llm, corpus.train, k=3, n_samples=4)
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        result = pipeline.generate_sql(schema, example.question)
+        assert len(result.samples) == 1
+
+
+class TestAccuracy:
+    def test_beats_zero_shot(self, corpus, oracle):
+        """The integrated pipeline must beat its own zero-shot pass."""
+        llm = make_llm("gpt-4", oracle)
+        pipeline = DailSQL(llm, corpus.train, k=5)
+        pool = corpus.pool()
+        from repro.db.execution import results_match
+
+        few_correct = 0
+        zero_correct = 0
+        for example in corpus.dev.examples:
+            schema = corpus.dev.schema(example.db_id)
+            database = pool.get(example.db_id)
+            gold_rows = database.execute(example.query)
+
+            result = pipeline.generate_sql(schema, example.question)
+            rows = database.try_execute(result.sql)
+            if rows is not None and results_match(gold_rows, rows, example.query):
+                few_correct += 1
+
+            zero_sql = pipeline.preliminary_sql(schema, example.question)
+            rows = database.try_execute(zero_sql)
+            if rows is not None and results_match(gold_rows, rows, example.query):
+                zero_correct += 1
+        assert few_correct > zero_correct

@@ -1,0 +1,90 @@
+"""Self-correction (execution-feedback retry) tests."""
+
+import pytest
+
+from repro.core.self_correction import CorrectionTrace, SelfCorrector
+from repro.llm.interface import GenerationResult
+from repro.llm.simulated import make_llm
+from repro.prompt.builder import PromptBuilder
+from repro.prompt.organization import get_organization
+from repro.prompt.representation import get_representation
+
+
+class _ScriptedLLM:
+    """Returns scripted outputs in order, tracking the prompts it saw."""
+
+    model_id = "scripted"
+
+    def __init__(self, outputs):
+        self.outputs = list(outputs)
+        self.prompts = []
+
+    def generate(self, prompt, sample_tag=""):
+        self.prompts.append((prompt.text, sample_tag))
+        text = self.outputs.pop(0)
+        return GenerationResult(text=text, prompt_tokens=prompt.token_count,
+                                completion_tokens=5, model_id=self.model_id)
+
+
+@pytest.fixture()
+def prompt(corpus):
+    example = corpus.dev.examples[0]
+    builder = PromptBuilder(get_representation("CR_P"), get_organization("FI_O"))
+    return builder.build(corpus.dev.schema(example.db_id), example.question)
+
+
+@pytest.fixture()
+def database(corpus):
+    return corpus.pool().get(corpus.dev.examples[0].db_id)
+
+
+class TestSelfCorrector:
+    def test_valid_first_attempt_no_retry(self, corpus, prompt, database):
+        gold = corpus.dev.examples[0].query
+        llm = _ScriptedLLM([gold])
+        corrector = SelfCorrector(llm, max_attempts=3)
+        sql, trace = corrector.generate(prompt, database)
+        assert sql == gold
+        assert trace.n_attempts == 1
+        assert not trace.corrected
+
+    def test_broken_then_fixed(self, corpus, prompt, database):
+        gold = corpus.dev.examples[0].query
+        llm = _ScriptedLLM(["SELECT nonexistent_col FROM nowhere", gold])
+        corrector = SelfCorrector(llm, max_attempts=2)
+        sql, trace = corrector.generate(prompt, database)
+        assert sql == gold
+        assert trace.corrected
+        assert trace.n_attempts == 2
+        assert trace.errors  # the first error was recorded
+
+    def test_retry_prompt_contains_error(self, corpus, prompt, database):
+        gold = corpus.dev.examples[0].query
+        llm = _ScriptedLLM(["SELECT bad_col FROM nowhere", gold])
+        corrector = SelfCorrector(llm, max_attempts=2)
+        corrector.generate(prompt, database)
+        retry_text, retry_tag = llm.prompts[1]
+        assert "failed with" in retry_text
+        assert "bad_col" in retry_text
+        assert retry_tag == "fix-1"
+
+    def test_gives_up_after_max_attempts(self, prompt, database):
+        llm = _ScriptedLLM(["SELECT x FROM nowhere"] * 3)
+        corrector = SelfCorrector(llm, max_attempts=3)
+        sql, trace = corrector.generate(prompt, database)
+        assert trace.n_attempts == 3
+        assert len(trace.errors) == 3
+        assert not trace.corrected
+
+    def test_invalid_max_attempts(self):
+        with pytest.raises(ValueError):
+            SelfCorrector(_ScriptedLLM([]), max_attempts=0)
+
+    def test_with_simulated_llm(self, corpus, oracle, prompt, database):
+        """End-to-end with the real simulated model: never crashes and
+        never lowers executable-rate."""
+        llm = make_llm("vicuna-33b", oracle)
+        corrector = SelfCorrector(llm, max_attempts=2)
+        sql, trace = corrector.generate(prompt, database)
+        assert sql
+        assert 1 <= trace.n_attempts <= 2

@@ -1,0 +1,72 @@
+"""Spider-layout export/load tests."""
+
+import json
+
+import pytest
+
+from repro.dataset.export import export_spider_layout, load_spider_layout
+from repro.db.sqlite_backend import Database
+from repro.errors import DatasetError
+
+
+@pytest.fixture(scope="module")
+def exported(corpus, tmp_path_factory):
+    directory = tmp_path_factory.mktemp("spider_layout")
+    export_spider_layout(corpus, directory)
+    return directory
+
+
+class TestExport:
+    def test_layout_files(self, exported):
+        assert (exported / "tables.json").exists()
+        assert (exported / "train.json").exists()
+        assert (exported / "dev.json").exists()
+        assert (exported / "database").is_dir()
+
+    def test_database_per_db_id(self, exported, corpus):
+        for db_id in list(corpus.train.schemas) + list(corpus.dev.schemas):
+            assert (exported / "database" / db_id / f"{db_id}.sqlite").exists()
+
+    def test_databases_queryable(self, exported, corpus):
+        example = corpus.dev.examples[0]
+        path = exported / "database" / example.db_id / f"{example.db_id}.sqlite"
+        with Database.open(path) as database:
+            rows = database.execute(example.query)
+        assert rows == corpus.pool().get(example.db_id).execute(example.query)
+
+    def test_tables_json_covers_all_schemas(self, exported, corpus):
+        entries = json.loads((exported / "tables.json").read_text())
+        ids = {e["db_id"] for e in entries}
+        assert ids == set(corpus.train.schemas) | set(corpus.dev.schemas)
+
+    def test_export_idempotent(self, exported, corpus):
+        # Re-export over the same directory must succeed (overwrite).
+        export_spider_layout(corpus, exported)
+
+
+class TestLoad:
+    def test_roundtrip(self, exported, corpus):
+        train, dev, databases = load_spider_layout(exported)
+        assert len(train) == len(corpus.train)
+        assert len(dev) == len(corpus.dev)
+        assert set(databases) >= set(corpus.dev.schemas)
+
+    def test_loaded_gold_executes(self, exported, corpus):
+        _, dev, databases = load_spider_layout(exported)
+        example = dev.examples[0]
+        with Database.open(databases[example.db_id]) as database:
+            assert database.try_execute(example.query) is not None
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_spider_layout(tmp_path)
+
+    def test_missing_database_detected(self, exported, corpus, tmp_path):
+        import shutil
+
+        broken = tmp_path / "broken"
+        shutil.copytree(exported, broken)
+        victim = sorted((broken / "database").iterdir())[0]
+        shutil.rmtree(victim)
+        with pytest.raises(DatasetError):
+            load_spider_layout(broken)

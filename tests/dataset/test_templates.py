@@ -1,0 +1,229 @@
+"""Per-template unit tests: each question template produces the SQL shape
+it promises."""
+
+import pytest
+
+from repro.dataset.generator import questions as q
+from repro.dataset.generator.domains import build_schema, domain_by_id
+from repro.dataset.generator.populate import populate
+from repro.sql.ast_nodes import (
+    AndCondition,
+    BetweenCondition,
+    Comparison,
+    FuncCall,
+    InCondition,
+    LikeCondition,
+    OrCondition,
+    Query,
+)
+from repro.sql.parser import parse
+from repro.utils.rng import rng_from
+
+
+def make_ctx(db_id="university_enrollment", seed=0):
+    spec = domain_by_id(db_id)
+    schema = build_schema(spec)
+    data = populate(spec, seed=seed)
+    return q.TemplateContext(schema, data, rng_from("template-test", db_id, str(seed)))
+
+
+def first_success(template, ctx, tries=30):
+    for _ in range(tries):
+        example = template(ctx)
+        if example is not None:
+            return example
+    pytest.fail(f"{template.__name__} never produced an example")
+
+
+@pytest.fixture()
+def ctx():
+    return make_ctx()
+
+
+class TestEasyTemplates:
+    def test_list_column(self, ctx):
+        example = first_success(q.t_list_column, ctx)
+        query = parse(example.sql)
+        assert query.core.where is None
+        assert len(query.core.items) == 1
+
+    def test_two_columns(self, ctx):
+        example = first_success(q.t_two_columns, ctx)
+        assert len(parse(example.sql).core.items) == 2
+
+    def test_count_all(self, ctx):
+        example = first_success(q.t_count_all, ctx)
+        expr = parse(example.sql).core.items[0].expr
+        assert isinstance(expr, FuncCall) and expr.name == "COUNT"
+
+    def test_distinct(self, ctx):
+        example = first_success(q.t_distinct, ctx)
+        assert parse(example.sql).core.distinct
+
+    def test_count_distinct(self, ctx):
+        example = first_success(q.t_count_distinct, ctx)
+        expr = parse(example.sql).core.items[0].expr
+        assert expr.name == "COUNT" and expr.distinct
+
+    def test_simple_agg(self, ctx):
+        example = first_success(q.t_simple_agg, ctx)
+        expr = parse(example.sql).core.items[0].expr
+        assert expr.name in ("AVG", "MIN", "MAX", "SUM")
+
+
+class TestMediumTemplates:
+    def test_filter_numeric(self, ctx):
+        example = first_success(q.t_filter_numeric, ctx)
+        where = parse(example.sql).core.where
+        assert isinstance(where, Comparison) and where.op in (">", "<")
+
+    def test_filter_text_value_in_question(self, ctx):
+        example = first_success(q.t_filter_text, ctx)
+        where = parse(example.sql).core.where
+        assert isinstance(where, Comparison) and where.op == "="
+        assert where.right.value in example.question
+
+    def test_order_limit(self, ctx):
+        example = first_success(q.t_order_limit, ctx)
+        core = parse(example.sql).core
+        assert core.order_by and core.limit is not None
+
+    def test_order_all_no_limit(self, ctx):
+        example = first_success(q.t_order_all, ctx)
+        core = parse(example.sql).core
+        assert core.order_by and core.limit is None
+
+    def test_group_count(self, ctx):
+        example = first_success(q.t_group_count, ctx)
+        core = parse(example.sql).core
+        assert core.group_by
+        assert any(isinstance(i.expr, FuncCall) for i in core.items)
+
+    def test_agg_filtered(self, ctx):
+        example = first_success(q.t_agg_filtered, ctx)
+        core = parse(example.sql).core
+        assert isinstance(core.items[0].expr, FuncCall)
+        assert core.where is not None
+
+    def test_like(self, ctx):
+        example = first_success(q.t_like, ctx)
+        where = parse(example.sql).core.where
+        assert isinstance(where, LikeCondition)
+        assert where.pattern.value.startswith("%")
+
+    def test_between(self, ctx):
+        example = first_success(q.t_between, ctx)
+        assert isinstance(parse(example.sql).core.where, BetweenCondition)
+
+    def test_join_filter(self, ctx):
+        example = first_success(q.t_join_filter, ctx)
+        core = parse(example.sql).core
+        assert len(core.from_clause.sources()) == 2
+        assert core.where is not None
+
+
+class TestHardTemplates:
+    def test_group_having(self, ctx):
+        example = first_success(q.t_group_having, ctx)
+        core = parse(example.sql).core
+        assert core.group_by and core.having is not None
+
+    def test_argmax_group(self, ctx):
+        example = first_success(q.t_argmax_group, ctx)
+        core = parse(example.sql).core
+        assert core.group_by and core.limit == 1
+        assert isinstance(core.order_by[0].expr, FuncCall)
+
+    def test_above_average_subquery(self, ctx):
+        example = first_success(q.t_above_average, ctx)
+        where = parse(example.sql).core.where
+        assert isinstance(where.right, Query)
+
+    def test_eq_extreme_subquery(self, ctx):
+        example = first_success(q.t_eq_extreme, ctx)
+        where = parse(example.sql).core.where
+        assert where.op == "=" and isinstance(where.right, Query)
+
+    def test_two_conditions(self, ctx):
+        example = first_success(q.t_two_conditions, ctx)
+        assert isinstance(parse(example.sql).core.where, AndCondition)
+
+    def test_or_conditions(self, ctx):
+        example = first_success(q.t_or_conditions, ctx)
+        assert isinstance(parse(example.sql).core.where, OrCondition)
+
+    def test_join_group_count(self, ctx):
+        example = first_success(q.t_join_group_count, ctx)
+        core = parse(example.sql).core
+        assert len(core.from_clause.sources()) == 2 and core.group_by
+
+
+class TestExtraTemplates:
+    def test_not_in(self, ctx):
+        example = first_success(q.t_not_in, ctx)
+        where = parse(example.sql).core.where
+        assert isinstance(where, InCondition) and where.negated
+        assert isinstance(where.values, Query)
+
+    def test_in_subquery(self, ctx):
+        example = first_success(q.t_in_subquery, ctx)
+        where = parse(example.sql).core.where
+        assert isinstance(where, InCondition) and not where.negated
+
+    def test_intersect(self, ctx):
+        example = first_success(q.t_intersect, ctx)
+        assert parse(example.sql).set_op == "INTERSECT"
+
+    def test_union(self, ctx):
+        example = first_success(q.t_union, ctx)
+        assert parse(example.sql).set_op == "UNION"
+
+    def test_except(self, ctx):
+        example = first_success(q.t_except, ctx)
+        assert parse(example.sql).set_op == "EXCEPT"
+
+    def test_join_having(self, ctx):
+        example = first_success(q.t_join_having, ctx)
+        core = parse(example.sql).core
+        assert len(core.from_clause.sources()) == 2
+        assert core.having is not None
+
+    def test_join3_three_tables(self, ctx):
+        example = first_success(q.t_join3, ctx)
+        core = parse(example.sql).core
+        assert len(core.from_clause.sources()) == 3
+        assert core.distinct
+
+    def test_year_filter(self):
+        ctx = make_ctx("hotel_booking")  # has a time column
+        example = first_success(q.t_year_filter, ctx)
+        where = parse(example.sql).core.where
+        assert isinstance(where, LikeCondition)
+        assert where.pattern.value.endswith("%")
+        year = where.pattern.value[:4]
+        assert year in example.question
+
+
+class TestTemplateGuards:
+    def test_templates_handle_fk_free_schema(self):
+        """FK-dependent templates return None rather than crash."""
+        from repro.schema.model import Column, DatabaseSchema, Table
+
+        bare = DatabaseSchema(
+            db_id="bare",
+            tables=(Table(name="only", columns=(Column("val", "number"),)),),
+        )
+        ctx = q.TemplateContext(bare, {"only": [{"val": 1}]},
+                                rng_from("bare-test"))
+        for template in (q.t_join_filter, q.t_not_in, q.t_join3,
+                         q.t_most_children, q.t_join_having):
+            assert template(ctx) is None
+
+    def test_all_registered_templates_callable(self, ctx):
+        produced = 0
+        for template, _weight in q.TEMPLATES:
+            example = template(ctx)
+            if example is not None:
+                parse(example.sql)  # must be valid SQL
+                produced += 1
+        assert produced >= len(q.TEMPLATES) // 2

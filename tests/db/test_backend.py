@@ -1,0 +1,104 @@
+"""SQLite backend tests: build, execute, limits, pool."""
+
+import pytest
+
+from repro.db.sqlite_backend import Database, DatabasePool
+from repro.errors import ExecutionError
+
+
+@pytest.fixture()
+def database(toy_schema, toy_rows):
+    with Database.build(toy_schema, toy_rows) as db:
+        yield db
+
+
+class TestBuild:
+    def test_tables_created(self, database):
+        assert len(database.table_rows("singer")) == 3
+        assert len(database.table_rows("concert")) == 3
+
+    def test_build_to_file(self, toy_schema, toy_rows, tmp_path):
+        path = tmp_path / "toy.sqlite"
+        with Database.build(toy_schema, toy_rows, path=path):
+            pass
+        assert path.exists()
+        with Database.open(path) as db:
+            assert len(db.table_rows("singer")) == 3
+
+    def test_open_missing_file(self, tmp_path):
+        with pytest.raises(ExecutionError):
+            Database.open(tmp_path / "nope.sqlite")
+
+    def test_missing_table_rows_ok(self, toy_schema):
+        with Database.build(toy_schema, {"singer": []}) as db:
+            assert db.table_rows("concert") == []
+
+
+class TestExecute:
+    def test_simple_select(self, database):
+        rows = database.execute("SELECT count(*) FROM singer")
+        assert rows == [(3,)]
+
+    def test_join(self, database):
+        rows = database.execute(
+            "SELECT singer.name, count(*) FROM singer "
+            "JOIN concert ON singer.singer_id = concert.singer_id "
+            "GROUP BY singer.name ORDER BY count(*) DESC"
+        )
+        assert rows[0] == ("Ava Lee", 2)
+
+    def test_only_select_allowed(self, database):
+        with pytest.raises(ExecutionError):
+            database.execute("DROP TABLE singer")
+        with pytest.raises(ExecutionError):
+            database.execute("INSERT INTO singer VALUES (9, 'x', 1, 'y')")
+
+    def test_syntax_error_raises(self, database):
+        with pytest.raises(ExecutionError):
+            database.execute("SELECT FROM WHERE")
+
+    def test_unknown_column_raises(self, database):
+        with pytest.raises(ExecutionError):
+            database.execute("SELECT salary FROM singer")
+
+    def test_try_execute_none_on_error(self, database):
+        assert database.try_execute("SELECT nope FROM singer") is None
+        assert database.try_execute("SELECT name FROM singer") is not None
+
+    def test_row_cap(self, database):
+        with pytest.raises(ExecutionError):
+            database.execute("SELECT * FROM singer", max_rows=2)
+
+    def test_closed_database_raises(self, toy_schema, toy_rows):
+        db = Database.build(toy_schema, toy_rows)
+        db.close()
+        with pytest.raises(ExecutionError):
+            db.execute("SELECT 1 FROM singer")
+
+    def test_double_close_ok(self, toy_schema, toy_rows):
+        db = Database.build(toy_schema, toy_rows)
+        db.close()
+        db.close()
+
+
+class TestPool:
+    def test_add_and_get(self, toy_schema, toy_rows):
+        with DatabasePool() as pool:
+            pool.add(toy_schema, toy_rows)
+            assert "toy_concerts" in pool
+            assert pool.get("toy_concerts").execute("SELECT count(*) FROM singer")
+
+    def test_get_missing(self):
+        with DatabasePool() as pool:
+            with pytest.raises(ExecutionError):
+                pool.get("missing")
+
+    def test_replace_existing(self, toy_schema, toy_rows):
+        with DatabasePool() as pool:
+            pool.add(toy_schema, toy_rows)
+            pool.add(toy_schema, {"singer": toy_rows["singer"][:1], "concert": []})
+            assert pool.get("toy_concerts").execute("SELECT count(*) FROM singer") == [(1,)]
+
+    def test_db_ids_sorted(self, corpus):
+        pool = corpus.pool()
+        assert pool.db_ids() == sorted(pool.db_ids())

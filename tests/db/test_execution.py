@@ -1,0 +1,85 @@
+"""Result-comparison semantics tests (the EX core)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.execution import (
+    query_is_ordered,
+    results_match,
+    rows_equal_ordered,
+    rows_equal_unordered,
+)
+
+
+class TestUnordered:
+    def test_permutation_equal(self):
+        assert rows_equal_unordered([(1,), (2,)], [(2,), (1,)])
+
+    def test_multiset_semantics(self):
+        assert not rows_equal_unordered([(1,), (1,)], [(1,), (2,)])
+        assert rows_equal_unordered([(1,), (1,)], [(1,), (1,)])
+
+    def test_length_mismatch(self):
+        assert not rows_equal_unordered([(1,)], [(1,), (1,)])
+
+    def test_column_order_matters(self):
+        assert not rows_equal_unordered([(1, 2)], [(2, 1)])
+
+    def test_int_float_folded(self):
+        assert rows_equal_unordered([(2,)], [(2.0,)])
+
+    def test_null_handling(self):
+        assert rows_equal_unordered([(None,)], [(None,)])
+        assert not rows_equal_unordered([(None,)], [(0,)])
+
+    def test_mixed_types_sortable(self):
+        # Rows mixing None/str/int must not raise on sorting.
+        assert not rows_equal_unordered([(None,), ("a",)], [(1,), (2,)])
+
+    def test_empty_equal(self):
+        assert rows_equal_unordered([], [])
+
+
+class TestOrdered:
+    def test_order_respected(self):
+        assert rows_equal_ordered([(1,), (2,)], [(1,), (2,)])
+        assert not rows_equal_ordered([(1,), (2,)], [(2,), (1,)])
+
+    def test_float_tolerance(self):
+        assert rows_equal_ordered([(1.0000001,)], [(1.0000002,)])
+
+
+class TestQueryIsOrdered:
+    def test_order_by_detected(self):
+        assert query_is_ordered("SELECT a FROM t ORDER BY a")
+        assert not query_is_ordered("SELECT a FROM t")
+
+    def test_fallback_on_unparseable(self):
+        assert query_is_ordered("bad ( order by x")
+        assert not query_is_ordered("bad ( nothing")
+
+
+class TestResultsMatch:
+    def test_unordered_gold(self):
+        assert results_match([(1,), (2,)], [(2,), (1,)], "SELECT a FROM t")
+
+    def test_ordered_gold(self):
+        assert not results_match(
+            [(1,), (2,)], [(2,), (1,)], "SELECT a FROM t ORDER BY a"
+        )
+
+
+@given(st.lists(st.tuples(st.integers(), st.text(max_size=3)), max_size=6))
+@settings(deadline=None)
+def test_reflexive(rows):
+    assert rows_equal_unordered(rows, rows)
+    assert rows_equal_ordered(rows, rows)
+
+
+@given(
+    st.lists(st.tuples(st.integers()), max_size=5),
+    st.lists(st.tuples(st.integers()), max_size=5),
+)
+@settings(deadline=None)
+def test_symmetric(a, b):
+    assert rows_equal_unordered(a, b) == rows_equal_unordered(b, a)

@@ -1,0 +1,91 @@
+"""TF-IDF embedding tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embed.tfidf import TfidfEmbedder, cosine, hash_feature, top_k
+
+CORPUS = [
+    "How many singers are there?",
+    "How many concerts are there?",
+    "List the name of all singers.",
+    "What is the average age of singers?",
+    "Show the capacity of each stadium.",
+    "Which stadium has the most concerts?",
+]
+
+
+@pytest.fixture()
+def embedder():
+    return TfidfEmbedder().fit(CORPUS)
+
+
+class TestEmbedding:
+    def test_normalised(self, embedder):
+        vector = embedder.transform("How many singers are there?")
+        norm = sum(w * w for w in vector.values()) ** 0.5
+        assert norm == pytest.approx(1.0)
+
+    def test_self_similarity_one(self, embedder):
+        vector = embedder.transform(CORPUS[0])
+        assert cosine(vector, vector) == pytest.approx(1.0)
+
+    def test_similar_questions_closer(self, embedder):
+        target = embedder.transform("How many singers are there?")
+        close = embedder.transform("How many concerts are there?")
+        far = embedder.transform("Show the capacity of each stadium.")
+        assert cosine(target, close) > cosine(target, far)
+
+    def test_unseen_words_handled(self, embedder):
+        vector = embedder.transform("completely novel zebra question")
+        assert vector  # non-empty, hashed onto extension indices
+
+    def test_empty_text(self, embedder):
+        assert embedder.transform("") == {}
+
+    def test_fit_transform(self):
+        embedder = TfidfEmbedder()
+        vectors = embedder.fit_transform(CORPUS)
+        assert len(vectors) == len(CORPUS)
+        assert embedder.fitted
+
+
+class TestTopK:
+    def test_ranks_by_similarity(self, embedder):
+        vectors = [embedder.transform(t) for t in CORPUS]
+        query = embedder.transform("How many singers are there?")
+        order = top_k(query, vectors, 3)
+        assert order[0] == 0  # itself first
+
+    def test_k_larger_than_pool(self, embedder):
+        vectors = [embedder.transform(t) for t in CORPUS[:2]]
+        query = embedder.transform(CORPUS[0])
+        assert len(top_k(query, vectors, 10)) == 2
+
+    def test_deterministic_ties(self, embedder):
+        vectors = [embedder.transform("x"), embedder.transform("x")]
+        query = embedder.transform("y")
+        assert top_k(query, vectors, 2) == top_k(query, vectors, 2)
+
+
+class TestHashFeature:
+    def test_stable(self):
+        assert hash_feature("abc") == hash_feature("abc")
+
+    def test_nonnegative(self):
+        for text in ("", "a", "xyz", "ünïcode"):
+            assert hash_feature(text) >= 0
+
+    @given(st.text(max_size=20))
+    @settings(deadline=None)
+    def test_in_32bit_range(self, text):
+        assert 0 <= hash_feature(text) < 2 ** 32
+
+
+@given(st.text(max_size=40), st.text(max_size=40))
+@settings(deadline=None, max_examples=60)
+def test_cosine_bounded(a, b):
+    embedder = TfidfEmbedder().fit(CORPUS)
+    score = cosine(embedder.transform(a), embedder.transform(b))
+    assert -1e-9 <= score <= 1.0 + 1e-9

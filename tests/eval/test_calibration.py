@@ -1,0 +1,61 @@
+"""Calibration diagnostics tests."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.calibration import calibration_report, model_calibration
+
+
+class TestReliability:
+    def test_perfectly_calibrated(self):
+        # p=0.25 bucket with 25% successes, p=0.75 with 75%.
+        probabilities = [0.25] * 40 + [0.75] * 40
+        outcomes = [True] * 10 + [False] * 30 + [True] * 30 + [False] * 10
+        report = calibration_report(probabilities, outcomes)
+        assert report.expected_calibration_error < 1e-9
+        for bucket in report.buckets:
+            assert abs(bucket.gap) < 1e-9
+
+    def test_overconfident_detected(self):
+        probabilities = [0.95] * 50
+        outcomes = [True] * 25 + [False] * 25
+        report = calibration_report(probabilities, outcomes)
+        assert report.expected_calibration_error == pytest.approx(0.45)
+        assert report.buckets[0].gap == pytest.approx(-0.45)
+
+    def test_brier_score(self):
+        report = calibration_report([1.0, 0.0], [True, False])
+        assert report.brier_score == 0.0
+        report = calibration_report([1.0, 0.0], [False, True])
+        assert report.brier_score == 1.0
+
+    def test_rows_shape(self):
+        report = calibration_report([0.5] * 4, [True, False, True, False])
+        rows = report.rows()
+        assert rows[0]["n"] == 4
+        assert "gap" in rows[0]
+
+    def test_p_equal_one_bucketed(self):
+        report = calibration_report([1.0], [True])
+        assert report.buckets[-1].count == 1
+
+    def test_errors(self):
+        with pytest.raises(EvaluationError):
+            calibration_report([], [])
+        with pytest.raises(EvaluationError):
+            calibration_report([0.5], [])
+
+
+class TestModelCalibration:
+    def test_simulator_is_calibrated(self, corpus, runner, oracle):
+        """The item-response simulator should be near-calibrated on its own
+        dev set (ECE well below a coin-flip's)."""
+        from repro.eval.harness import RunConfig
+        from repro.llm.simulated import make_llm
+
+        config = RunConfig(model="gpt-4", representation="CR_P")
+        llm = make_llm("gpt-4", oracle)
+        report = model_calibration(llm, corpus.dev, runner, config)
+        assert report.expected_calibration_error < 0.25
+        assert 0 < report.brier_score < 0.4
+        assert sum(b.count for b in report.buckets) == len(corpus.dev)

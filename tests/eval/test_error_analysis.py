@@ -1,0 +1,129 @@
+"""Error-analysis tests."""
+
+import pytest
+
+from repro.eval.error_analysis import (
+    ERROR_CATEGORIES,
+    breakdown_rows,
+    diagnose,
+    error_breakdown,
+)
+from repro.eval.metrics import PredictionRecord
+
+
+def record(gold, pred, exec_match=False):
+    return PredictionRecord(
+        example_id="e", db_id="d", question="q", gold_sql=gold,
+        raw_output=pred, predicted_sql=pred, exec_match=exec_match,
+        exact_match=False, hardness="easy", prompt_tokens=10,
+        completion_tokens=2, n_examples=0,
+    )
+
+
+class TestDiagnose:
+    def test_correct_prediction_none(self):
+        assert diagnose(record("SELECT a FROM t", "SELECT a FROM t",
+                               exec_match=True)) is None
+
+    def test_unparseable(self):
+        diagnosis = diagnose(record("SELECT a FROM t", "SELECT FROM ((("))
+        assert diagnosis.primary == "unparseable"
+
+    def test_wrong_table(self):
+        diagnosis = diagnose(record("SELECT a FROM t", "SELECT a FROM u"))
+        assert diagnosis.primary == "wrong-table"
+
+    def test_wrong_select(self):
+        diagnosis = diagnose(record("SELECT a FROM t", "SELECT b FROM t"))
+        assert diagnosis.primary == "wrong-select"
+
+    def test_wrong_aggregate_is_select(self):
+        diagnosis = diagnose(record("SELECT max(a) FROM t", "SELECT min(a) FROM t"))
+        assert diagnosis.primary == "wrong-select"
+
+    def test_wrong_where(self):
+        diagnosis = diagnose(record(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE x = 1",
+        ))
+        assert diagnosis.primary == "wrong-where"
+
+    def test_wrong_value_only(self):
+        diagnosis = diagnose(record(
+            "SELECT a FROM t WHERE x > 5",
+            "SELECT a FROM t WHERE x > 99",
+        ))
+        assert diagnosis.primary == "wrong-value"
+        assert "wrong-value" in diagnosis.divergences
+
+    def test_wrong_order(self):
+        diagnosis = diagnose(record(
+            "SELECT a FROM t ORDER BY a DESC",
+            "SELECT a FROM t ORDER BY a ASC",
+        ))
+        assert diagnosis.primary == "wrong-order"
+
+    def test_missing_limit_is_order(self):
+        diagnosis = diagnose(record(
+            "SELECT a FROM t ORDER BY a LIMIT 1",
+            "SELECT a FROM t ORDER BY a",
+        ))
+        assert diagnosis.primary == "wrong-order"
+
+    def test_wrong_group(self):
+        diagnosis = diagnose(record(
+            "SELECT a FROM t GROUP BY a HAVING count(*) > 2",
+            "SELECT a FROM t GROUP BY a",
+        ))
+        assert diagnosis.primary == "wrong-group"
+
+    def test_wrong_nesting(self):
+        diagnosis = diagnose(record(
+            "SELECT a FROM t UNION SELECT a FROM u",
+            "SELECT a FROM t",
+        ))
+        assert "wrong-nesting" in diagnosis.divergences
+
+    def test_semantic_distinct(self):
+        diagnosis = diagnose(record(
+            "SELECT a FROM t WHERE x = 1",
+            "SELECT a FROM t WHERE x = 1",
+        ))
+        # Same text, exec_match=False (e.g. DISTINCT-like semantics).
+        assert diagnosis.primary == "semantic"
+
+    def test_priority_table_over_value(self):
+        diagnosis = diagnose(record(
+            "SELECT a FROM t WHERE x > 5",
+            "SELECT a FROM u WHERE x > 9",
+        ))
+        assert diagnosis.primary == "wrong-table"
+
+
+class TestBreakdown:
+    def test_histogram(self):
+        records = [
+            record("SELECT a FROM t", "SELECT a FROM u"),
+            record("SELECT a FROM t", "SELECT b FROM t"),
+            record("SELECT a FROM t", "SELECT b FROM t"),
+            record("SELECT a FROM t", "SELECT a FROM t", exec_match=True),
+        ]
+        counts = error_breakdown(records)
+        assert counts == {"wrong-table": 1, "wrong-select": 2}
+
+    def test_rows(self):
+        rows = breakdown_rows({
+            "A": {"wrong-table": 2, "wrong-value": 1},
+            "B": {"wrong-value": 3},
+        })
+        assert rows[0]["system"] == "A"
+        assert rows[0]["failures"] == 3
+        assert rows[1]["wrong-value"] == 3
+
+    def test_real_run_failures_all_categorised(self, runner):
+        from repro.eval.harness import RunConfig
+
+        report = runner.run(RunConfig(model="vicuna-33b", representation="CR_P"))
+        counts = error_breakdown(report.records)
+        assert sum(counts.values()) == len(report.failures())
+        assert set(counts) <= set(ERROR_CATEGORIES)

@@ -1,0 +1,116 @@
+"""Exact-match (Spider exact-set-match) tests."""
+
+import pytest
+
+from repro.eval.exact_match import COMPONENTS, component_match, exact_match
+
+
+class TestExactMatch:
+    def test_identical(self):
+        sql = "SELECT name FROM singer WHERE age > 20"
+        assert exact_match(sql, sql)
+
+    def test_case_insensitive(self):
+        assert exact_match("SELECT NAME FROM SINGER", "select name from singer")
+
+    def test_alias_insensitive(self):
+        assert exact_match(
+            "SELECT T1.name FROM singer AS T1",
+            "SELECT name FROM singer",
+        )
+
+    def test_select_order_insensitive(self):
+        assert exact_match(
+            "SELECT a, b FROM t",
+            "SELECT b, a FROM t",
+        )
+
+    def test_where_order_insensitive(self):
+        assert exact_match(
+            "SELECT a FROM t WHERE x = 1 AND y = 2",
+            "SELECT a FROM t WHERE y = 2 AND x = 1",
+        )
+
+    def test_values_ignored(self):
+        # Spider's EM masks literal values.
+        assert exact_match(
+            "SELECT a FROM t WHERE x > 5",
+            "SELECT a FROM t WHERE x > 99",
+        )
+
+    def test_operator_differs(self):
+        assert not exact_match(
+            "SELECT a FROM t WHERE x > 5",
+            "SELECT a FROM t WHERE x >= 5",
+        )
+
+    def test_column_differs(self):
+        assert not exact_match("SELECT a FROM t", "SELECT b FROM t")
+
+    def test_table_differs(self):
+        assert not exact_match("SELECT a FROM t", "SELECT a FROM u")
+
+    def test_distinct_differs(self):
+        assert not exact_match("SELECT a FROM t", "SELECT DISTINCT a FROM t")
+
+    def test_order_direction_differs(self):
+        assert not exact_match(
+            "SELECT a FROM t ORDER BY a ASC",
+            "SELECT a FROM t ORDER BY a DESC",
+        )
+
+    def test_limit_presence_matters_not_value(self):
+        assert not exact_match("SELECT a FROM t", "SELECT a FROM t LIMIT 1")
+        # Official EM treats limit as presence (value is a "value").
+        assert exact_match("SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 5")
+
+    def test_aggregate_differs(self):
+        assert not exact_match("SELECT max(a) FROM t", "SELECT min(a) FROM t")
+
+    def test_set_op(self):
+        gold = "SELECT a FROM t UNION SELECT a FROM u"
+        assert exact_match(gold, gold)
+        assert not exact_match(gold, "SELECT a FROM t INTERSECT SELECT a FROM u")
+        assert not exact_match(gold, "SELECT a FROM t")
+
+    def test_subquery_compared(self):
+        gold = "SELECT a FROM t WHERE x IN (SELECT y FROM u)"
+        assert exact_match(gold, gold)
+        assert not exact_match(
+            gold, "SELECT a FROM t WHERE x IN (SELECT z FROM u)"
+        )
+
+    def test_unparseable_pred_fails(self):
+        assert not exact_match("SELECT a FROM t", "not sql at ¤ all")
+
+    def test_unparseable_gold_fails(self):
+        assert not exact_match("garbage ¤", "SELECT a FROM t")
+
+
+class TestComponentMatch:
+    def test_all_components_reported(self):
+        verdict = component_match("SELECT a FROM t", "SELECT a FROM t")
+        assert set(verdict) == set(COMPONENTS)
+        assert all(verdict.values())
+
+    def test_partial_verdicts(self):
+        verdict = component_match(
+            "SELECT a FROM t WHERE x = 1 ORDER BY a",
+            "SELECT a FROM t WHERE y = 1 ORDER BY a",
+        )
+        assert verdict["select"]
+        assert verdict["order"]
+        assert not verdict["where"]
+
+    def test_none_on_parse_failure(self):
+        assert component_match("SELECT a FROM t", "¤") is None
+
+    def test_group_and_having(self):
+        gold = "SELECT a FROM t GROUP BY a HAVING count(*) > 2"
+        verdict = component_match(gold, "SELECT a FROM t GROUP BY a")
+        assert verdict["group"]
+        assert not verdict["having"]
+
+    def test_em_on_corpus_gold_vs_itself(self, corpus):
+        for example in corpus.dev.examples[:30]:
+            assert exact_match(example.query, example.query), example.query

@@ -1,0 +1,53 @@
+"""ASCII chart rendering tests."""
+
+from repro.eval.figures import ascii_lines, ascii_scatter
+
+POINTS = [
+    {"x": 0, "y": 10, "s": "a"},
+    {"x": 50, "y": 20, "s": "a"},
+    {"x": 100, "y": 30, "s": "b"},
+]
+
+
+class TestScatter:
+    def test_renders_box(self):
+        chart = ascii_scatter(POINTS, x="x", y="y", label="s")
+        lines = chart.splitlines()
+        assert any(line.strip().startswith("+") for line in lines)
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_axis_labels(self):
+        chart = ascii_scatter(POINTS, x="x", y="y", label="s")
+        assert "0" in chart and "100" in chart
+        assert "x: x, y: y" in chart
+
+    def test_title(self):
+        chart = ascii_scatter(POINTS, x="x", y="y", label="s", title="T")
+        assert chart.splitlines()[0] == "T"
+
+    def test_empty(self):
+        assert ascii_scatter([], x="x", y="y", label="s") == "(no data)"
+
+    def test_single_point(self):
+        chart = ascii_scatter([{"x": 5, "y": 5, "s": "only"}],
+                              x="x", y="y", label="s")
+        assert "o" in chart
+
+    def test_marks_within_box(self):
+        chart = ascii_scatter(POINTS, x="x", y="y", label="s",
+                              width=20, height=6)
+        for line in chart.splitlines():
+            if "|" in line and "=" not in line:
+                inner = line.split("|")[1]
+                assert len(inner) == 20
+
+    def test_string_numbers_accepted(self):
+        # Experiment rows carry percent() strings.
+        points = [{"x": "10.5", "y": "66.7", "s": "m"}]
+        assert "o" in ascii_scatter(points, x="x", y="y", label="s")
+
+
+class TestLines:
+    def test_lines_delegates(self):
+        chart = ascii_lines(POINTS, x="x", y="y", series="s")
+        assert "o=a" in chart

@@ -1,0 +1,128 @@
+"""EvalReport metric tests."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import EvalReport, PredictionRecord
+
+
+def record(exec_match=True, exact=True, hardness="easy", prompt_tokens=100,
+           n_examples=0):
+    return PredictionRecord(
+        example_id="e", db_id="d", question="q", gold_sql="SELECT 1",
+        raw_output="SELECT 1", predicted_sql="SELECT 1",
+        exec_match=exec_match, exact_match=exact, hardness=hardness,
+        prompt_tokens=prompt_tokens, completion_tokens=10,
+        n_examples=n_examples,
+    )
+
+
+class TestAccuracies:
+    def test_execution_accuracy(self):
+        report = EvalReport([record(True), record(False), record(True),
+                             record(True)])
+        assert report.execution_accuracy == pytest.approx(0.75)
+
+    def test_exact_match_accuracy(self):
+        report = EvalReport([record(exact=True), record(exact=False)])
+        assert report.exact_match_accuracy == pytest.approx(0.5)
+
+    def test_empty_report_raises(self):
+        with pytest.raises(EvaluationError):
+            EvalReport().execution_accuracy
+
+
+class TestBreakdowns:
+    def test_by_hardness(self):
+        report = EvalReport([
+            record(True, hardness="easy"),
+            record(False, hardness="easy"),
+            record(True, hardness="extra"),
+        ])
+        by = report.by_hardness()
+        assert by["easy"] == pytest.approx(0.5)
+        assert by["extra"] == pytest.approx(1.0)
+        assert "medium" not in by
+
+    def test_by_hardness_exact_metric(self):
+        report = EvalReport([record(exact=False, hardness="easy")])
+        assert report.by_hardness("exact")["easy"] == 0.0
+
+    def test_unknown_metric(self):
+        report = EvalReport([record()])
+        with pytest.raises(EvaluationError):
+            report.by_hardness("f1")
+
+
+class TestTokens:
+    def test_avg_prompt_tokens(self):
+        report = EvalReport([record(prompt_tokens=100),
+                             record(prompt_tokens=300)])
+        assert report.avg_prompt_tokens == pytest.approx(200)
+
+    def test_total_tokens(self):
+        report = EvalReport([record(prompt_tokens=100)])
+        assert report.total_tokens == 110
+
+    def test_token_efficiency(self):
+        report = EvalReport([record(True, prompt_tokens=500),
+                             record(True, prompt_tokens=500)])
+        assert report.token_efficiency() == pytest.approx(1.0 / 0.5)
+
+    def test_avg_examples(self):
+        report = EvalReport([record(n_examples=2), record(n_examples=4)])
+        assert report.avg_examples == pytest.approx(3.0)
+
+
+class TestMisc:
+    def test_failures(self):
+        report = EvalReport([record(True), record(False)])
+        assert len(report.failures()) == 1
+
+    def test_summary_keys(self):
+        report = EvalReport([record()], label="x")
+        summary = report.summary()
+        assert summary["label"] == "x"
+        assert {"n", "ex", "em", "avg_prompt_tokens", "efficiency"} <= set(summary)
+
+    def test_len_and_add(self):
+        report = EvalReport()
+        report.add(record())
+        assert len(report) == 1
+
+
+class TestByDatabaseAndMerge:
+    def _record(self, example_id, db_id, ok):
+        return PredictionRecord(
+            example_id=example_id, db_id=db_id, question="q",
+            gold_sql="SELECT 1", raw_output="", predicted_sql="SELECT 1",
+            exec_match=ok, exact_match=ok, hardness="easy",
+            prompt_tokens=10, completion_tokens=1, n_examples=0,
+        )
+
+    def test_by_database(self):
+        report = EvalReport([
+            self._record("a1", "db_a", True),
+            self._record("a2", "db_a", False),
+            self._record("b1", "db_b", True),
+        ])
+        by_db = report.by_database()
+        assert by_db == {"db_a": 0.5, "db_b": 1.0}
+
+    def test_by_database_unknown_metric(self):
+        report = EvalReport([self._record("a1", "db_a", True)])
+        with pytest.raises(EvaluationError):
+            report.by_database("f1")
+
+    def test_merge_disjoint(self):
+        a = EvalReport([self._record("a1", "d", True)], label="shard-a")
+        b = EvalReport([self._record("b1", "d", False)])
+        merged = a.merge(b)
+        assert len(merged) == 2
+        assert merged.label == "shard-a"
+
+    def test_merge_overlap_rejected(self):
+        a = EvalReport([self._record("same", "d", True)])
+        b = EvalReport([self._record("same", "d", False)])
+        with pytest.raises(EvaluationError):
+            a.merge(b)

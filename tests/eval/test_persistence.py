@@ -1,0 +1,102 @@
+"""Report persistence tests."""
+
+import json
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import EvalReport, PredictionRecord
+from repro.eval.persistence import (
+    FORMAT_VERSION,
+    load_report,
+    load_reports,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+    save_reports,
+)
+
+
+def make_report(label="run-a", n=3):
+    records = [
+        PredictionRecord(
+            example_id=f"e{i}", db_id="d", question=f"q{i}?",
+            gold_sql="SELECT 1", raw_output="SELECT 1",
+            predicted_sql="SELECT 1", exec_match=i % 2 == 0,
+            exact_match=False, hardness="easy", prompt_tokens=100 + i,
+            completion_tokens=5, n_examples=2,
+        )
+        for i in range(n)
+    ]
+    return EvalReport(records=records, label=label)
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip(self):
+        report = make_report()
+        back = report_from_dict(report_to_dict(report))
+        assert back.label == report.label
+        assert back.records == report.records
+
+    def test_file_roundtrip(self, tmp_path):
+        report = make_report()
+        path = save_report(report, tmp_path / "runs" / "a.json")
+        assert path.exists()
+        back = load_report(path)
+        assert back.execution_accuracy == report.execution_accuracy
+        assert back.records[1].question == "q1?"
+
+    def test_metrics_preserved(self, tmp_path):
+        report = make_report(n=5)
+        back = load_report(save_report(report, tmp_path / "r.json"))
+        assert back.avg_prompt_tokens == report.avg_prompt_tokens
+        assert back.by_hardness() == report.by_hardness()
+
+    def test_real_run_roundtrip(self, runner, tmp_path):
+        from repro.eval.harness import RunConfig
+
+        report = runner.run(RunConfig(model="gpt-4"), limit=5)
+        back = load_report(save_report(report, tmp_path / "real.json"))
+        assert back.execution_accuracy == report.execution_accuracy
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(EvaluationError):
+            load_report(tmp_path / "nope.json")
+
+    def test_malformed_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{broken")
+        with pytest.raises(EvaluationError):
+            load_report(path)
+
+    def test_version_mismatch(self):
+        with pytest.raises(EvaluationError):
+            report_from_dict({"version": FORMAT_VERSION + 1, "records": []})
+
+    def test_missing_records_key(self):
+        with pytest.raises(EvaluationError):
+            report_from_dict({"version": FORMAT_VERSION})
+
+
+class TestDirectories:
+    def test_save_and_load_many(self, tmp_path):
+        reports = [make_report("Alpha Run"), make_report("beta/run!")]
+        paths = save_reports(reports, tmp_path)
+        assert len(paths) == 2
+        assert all(p.suffix == ".json" for p in paths)
+        loaded = load_reports(tmp_path)
+        assert {r.label for r in loaded} == {"Alpha Run", "beta/run!"}
+
+    def test_slug_collapses_specials(self, tmp_path):
+        paths = save_reports([make_report("A B/C")], tmp_path)
+        assert paths[0].name == "a-b-c.json"
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(EvaluationError):
+            load_reports(tmp_path / "absent")
+
+    def test_unlabelled_report_gets_index_name(self, tmp_path):
+        paths = save_reports([make_report(label="")], tmp_path)
+        assert paths[0].name == "report-0.json"

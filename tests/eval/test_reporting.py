@@ -1,0 +1,62 @@
+"""Reporting (table/series rendering) tests."""
+
+from repro.eval.reporting import format_matrix, format_series, format_table, percent
+
+
+class TestFormatTable:
+    def test_basic(self):
+        text = format_table([{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert "22" in text
+
+    def test_title(self):
+        assert format_table([{"a": 1}], title="T1").startswith("T1")
+
+    def test_empty(self):
+        assert "(empty)" in format_table([])
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells(self):
+        text = format_table([{"a": 1}, {"b": 2}], columns=["a", "b"])
+        assert text  # no crash; missing cells render empty
+
+    def test_float_formatting(self):
+        assert "0.500" in format_table([{"x": 0.5}])
+
+    def test_alignment(self):
+        text = format_table([{"col": "a"}, {"col": "longer"}])
+        lines = text.splitlines()
+        assert len(lines[2]) == len(lines[3])
+
+
+class TestFormatMatrix:
+    def test_matrix(self):
+        text = format_matrix(
+            ["r1", "r2"], ["c1", "c2"],
+            {("r1", "c1"): 1, ("r2", "c2"): 4},
+            corner="rep",
+        )
+        assert "rep" in text
+        assert "-" in text  # missing cell placeholder
+
+
+class TestFormatSeries:
+    def test_series_grouped(self):
+        points = [
+            {"k": 0, "ex": 0.5, "model": "a"},
+            {"k": 1, "ex": 0.6, "model": "a"},
+            {"k": 0, "ex": 0.3, "model": "b"},
+        ]
+        text = format_series(points, x="k", y="ex", series="model")
+        assert "[model = a]" in text
+        assert "[model = b]" in text
+
+
+class TestPercent:
+    def test_format(self):
+        assert percent(0.8312) == "83.1"
+        assert percent(1.0) == "100.0"

@@ -1,0 +1,113 @@
+"""Paired significance testing tests."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import EvalReport, PredictionRecord
+from repro.eval.significance import (
+    compare_reports,
+    mcnemar_exact,
+    paired_bootstrap_ci,
+)
+
+
+def make_report(outcomes, ids=None):
+    records = []
+    for i, ok in enumerate(outcomes):
+        records.append(PredictionRecord(
+            example_id=ids[i] if ids else f"e{i}", db_id="d", question="q",
+            gold_sql="SELECT 1", raw_output="", predicted_sql="SELECT 1",
+            exec_match=ok, exact_match=ok, hardness="easy",
+            prompt_tokens=10, completion_tokens=1, n_examples=0,
+        ))
+    return EvalReport(records)
+
+
+class TestMcNemar:
+    def test_no_discordant_pairs(self):
+        assert mcnemar_exact(0, 0) == 1.0
+
+    def test_balanced_split_not_significant(self):
+        assert mcnemar_exact(5, 5) > 0.5
+
+    def test_extreme_split_significant(self):
+        assert mcnemar_exact(15, 0) < 0.001
+
+    def test_symmetry(self):
+        assert mcnemar_exact(3, 9) == pytest.approx(mcnemar_exact(9, 3))
+
+    def test_bounded(self):
+        for a in range(6):
+            for b in range(6):
+                assert 0.0 <= mcnemar_exact(a, b) <= 1.0
+
+
+class TestBootstrap:
+    def test_identical_pairs_zero_interval(self):
+        pairs = [(True, True)] * 30
+        low, high = paired_bootstrap_ci(pairs, n_resamples=200)
+        assert low == high == 0.0
+
+    def test_clear_advantage_positive_interval(self):
+        pairs = [(True, False)] * 40 + [(True, True)] * 40
+        low, high = paired_bootstrap_ci(pairs, n_resamples=400)
+        assert low > 0
+
+    def test_deterministic(self):
+        pairs = [(True, False), (False, True), (True, True)] * 10
+        assert paired_bootstrap_ci(pairs, n_resamples=100) == \
+            paired_bootstrap_ci(pairs, n_resamples=100)
+
+
+class TestCompareReports:
+    def test_identical_reports(self):
+        a = make_report([True, False, True, True])
+        b = make_report([True, False, True, True])
+        comparison = compare_reports(a, b, n_resamples=100)
+        assert comparison.delta == 0.0
+        assert comparison.p_value == 1.0
+        assert not comparison.significant
+
+    def test_clear_winner(self):
+        a = make_report([True] * 40)
+        b = make_report([False] * 25 + [True] * 15)
+        comparison = compare_reports(a, b, n_resamples=200)
+        assert comparison.delta == pytest.approx(25 / 40)
+        assert comparison.a_only == 25
+        assert comparison.b_only == 0
+        assert comparison.significant
+        assert comparison.ci_low > 0
+
+    def test_mismatched_sizes_raise(self):
+        with pytest.raises(EvaluationError):
+            compare_reports(make_report([True]), make_report([True, True]))
+
+    def test_misaligned_ids_raise(self):
+        a = make_report([True, True], ids=["x", "y"])
+        b = make_report([True, True], ids=["y", "x"])
+        with pytest.raises(EvaluationError):
+            compare_reports(a, b)
+
+    def test_empty_raises(self):
+        with pytest.raises(EvaluationError):
+            compare_reports(make_report([]), make_report([]))
+
+    def test_exact_metric(self):
+        a = make_report([True, False])
+        b = make_report([False, False])
+        comparison = compare_reports(a, b, metric="exact", n_resamples=100)
+        assert comparison.delta == pytest.approx(0.5)
+
+    def test_unknown_metric(self):
+        with pytest.raises(EvaluationError):
+            compare_reports(make_report([True]), make_report([True]),
+                            metric="bleu")
+
+    def test_real_runs_comparable(self, runner):
+        from repro.eval.harness import RunConfig
+
+        a = runner.run(RunConfig(model="gpt-4", representation="OD_P"))
+        b = runner.run(RunConfig(model="llama-7b", representation="OD_P"))
+        comparison = compare_reports(a, b, n_resamples=200)
+        assert comparison.delta > 0
+        assert comparison.significant

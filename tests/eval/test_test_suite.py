@@ -1,0 +1,104 @@
+"""Test-suite (TS) accuracy tests."""
+
+import pytest
+
+from repro.dataset.generator.domains import domain_by_id
+from repro.errors import EvaluationError
+# Alias imports: pytest would otherwise try to collect TestSuite and
+# test_suite_accuracy as tests.
+from repro.eval import test_suite as ts_mod
+
+SuiteFactory = ts_mod.TestSuite
+score_suite = ts_mod.test_suite_accuracy
+
+
+@pytest.fixture(scope="module")
+def suite():
+    with SuiteFactory([domain_by_id("pets_1")], n_instances=4, base_seed=3) as s:
+        yield s
+
+
+class TestSuiteConstruction:
+    def test_instance_count(self, suite):
+        assert len(suite.instances("pets_1")) == 4
+
+    def test_instances_differ(self, suite):
+        first, second = suite.instances("pets_1")[:2]
+        assert first.table_rows("student") != second.table_rows("student")
+
+    def test_primary_matches_corpus_database(self, corpus, suite):
+        # Instance 0 is built with the corpus seed → same contents.
+        corpus_rows = corpus.pool().get("pets_1").table_rows("student")
+        suite_rows = suite.instances("pets_1")[0].table_rows("student")
+        assert corpus_rows == suite_rows
+
+    def test_unknown_db(self, suite):
+        with pytest.raises(EvaluationError):
+            suite.instances("unknown_db")
+
+    def test_zero_instances_rejected(self):
+        with pytest.raises(EvaluationError):
+            SuiteFactory([domain_by_id("pets_1")], n_instances=0)
+
+    def test_for_db_ids(self):
+        with SuiteFactory.for_db_ids(["orchestra_hall"], n_instances=2) as s:
+            assert len(s.instances("orchestra_hall")) == 2
+
+
+class TestMatching:
+    def test_gold_matches_itself(self, suite, corpus):
+        for example in [e for e in corpus.dev if e.db_id == "pets_1"][:5]:
+            assert suite.matches("pets_1", example.query, example.query)
+
+    def test_wrong_query_rejected(self, suite):
+        gold = "SELECT count(*) FROM student"
+        wrong = "SELECT count(*) FROM pet"
+        assert not suite.matches("pets_1", gold, wrong)
+
+    def test_unexecutable_prediction_rejected(self, suite):
+        gold = "SELECT count(*) FROM student"
+        assert not suite.matches("pets_1", gold, "SELECT nope FROM nothing")
+
+    def test_catches_coincidental_match(self, suite):
+        """A value-dependent coincidence on one instance fails the suite.
+
+        ``count(*) on pets with age > 0`` equals plain count on instances
+        where ages are positive — which is every instance here, so use a
+        subtler example: a filter threshold below the instance minimum
+        coincides with no filter on that instance but not on re-populated
+        ones.
+        """
+        instances = suite.instances("pets_1")
+        primary = instances[0]
+        ages = sorted(r[0] for r in primary.execute("SELECT age FROM student"))
+        threshold = ages[0] - 1  # below the primary instance's minimum
+        gold = "SELECT count(*) FROM student"
+        trick = f"SELECT count(*) FROM student WHERE age > {threshold}"
+        # Coincides on the primary instance...
+        assert primary.execute(gold) == primary.execute(trick)
+        # ...but the suite usually sees through it (a re-population has a
+        # student at or below the threshold) — verify the mechanism by
+        # checking the suite result equals the all-instances conjunction.
+        expected = all(
+            db.execute(gold) == db.execute(trick) for db in instances
+        )
+        assert suite.matches("pets_1", gold, trick) == expected
+
+
+class TestAccuracy:
+    def test_ts_leq_ex(self, corpus, runner):
+        from repro.eval.harness import RunConfig
+
+        pets = [e for e in corpus.dev if e.db_id == "pets_1"]
+        if not pets:
+            pytest.skip("no pets_1 dev examples in this corpus")
+        report = runner.run(RunConfig(model="gpt-4", representation="CR_P"))
+        pets_records = [r for r in report.records if r.db_id == "pets_1"]
+        with SuiteFactory([domain_by_id("pets_1")], n_instances=3, base_seed=3) as s:
+            ts = score_suite(s, pets_records)
+        ex = sum(r.exec_match for r in pets_records) / len(pets_records)
+        assert ts <= ex + 1e-9
+
+    def test_empty_records_raise(self, suite):
+        with pytest.raises(EvaluationError):
+            score_suite(suite, [])

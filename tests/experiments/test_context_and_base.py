@@ -1,0 +1,61 @@
+"""Experiment context and result-container tests."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.context import (
+    FAST_CONFIG,
+    FULL_CONFIG,
+    clear_cache,
+    get_context,
+)
+
+
+class TestContext:
+    def test_fast_context_cached(self):
+        a = get_context(fast=True)
+        b = get_context(fast=True)
+        assert a is b
+
+    def test_fast_and_full_differ(self):
+        fast = get_context(fast=True)
+        assert len(fast.dev) == len(fast.corpus.dev)
+        assert FAST_CONFIG.dev_per_db < FULL_CONFIG.dev_per_db
+
+    def test_context_exposes_runner(self):
+        context = get_context(fast=True)
+        from repro.eval.harness import RunConfig
+
+        report = context.runner.run(
+            RunConfig(model="gpt-4", representation="OD_P"), limit=3
+        )
+        assert len(report) == 3
+
+    def test_clear_cache_rebuilds(self):
+        first = get_context(fast=True)
+        clear_cache()
+        second = get_context(fast=True)
+        assert first is not second
+        # Same seed → identical data.
+        assert [e.query for e in first.dev.examples[:5]] == \
+            [e.query for e in second.dev.examples[:5]]
+
+
+class TestExperimentResult:
+    def test_render_contains_everything(self):
+        result = ExperimentResult(
+            artifact_id="x", title="My Title",
+            rows=[{"a": 1}], notes="the note", chart="CHART",
+        )
+        rendered = result.render()
+        assert "My Title" in rendered
+        assert "CHART" in rendered
+        assert "Paper shape: the note" in rendered
+
+    def test_render_column_selection(self):
+        result = ExperimentResult(
+            artifact_id="x", title="T", rows=[{"a": 1, "b": 2}],
+        )
+        rendered = result.render(columns=["b"])
+        header = rendered.splitlines()[1]
+        assert "b" in header and "a" not in header

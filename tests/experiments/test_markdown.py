@@ -1,0 +1,54 @@
+"""Markdown report generation tests."""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.markdown import (
+    result_to_markdown,
+    results_to_markdown,
+    write_report,
+)
+
+
+def make_result():
+    return ExperimentResult(
+        artifact_id="t", title="My Table",
+        rows=[{"a": 1, "b": "x|y"}, {"a": 2.5, "b": "z"}],
+        notes="the shape", chart="ASCII",
+    )
+
+
+class TestSectionRendering:
+    def test_header_and_table(self):
+        md = result_to_markdown(make_result())
+        assert md.startswith("## My Table")
+        assert "| a | b |" in md
+        assert "| 2.500 | z |" in md
+
+    def test_pipe_escaped(self):
+        assert "x\\|y" in result_to_markdown(make_result())
+
+    def test_chart_fenced(self):
+        md = result_to_markdown(make_result())
+        assert "```\nASCII\n```" in md
+
+    def test_notes_included(self):
+        assert "**Paper shape:** the shape" in result_to_markdown(make_result())
+
+    def test_empty_rows_ok(self):
+        result = ExperimentResult(artifact_id="t", title="Empty")
+        assert "## Empty" in result_to_markdown(result)
+
+
+class TestDocument:
+    def test_document_assembly(self):
+        md = results_to_markdown([make_result()], title="Doc", preamble="Intro")
+        assert md.startswith("# Doc")
+        assert "Intro" in md
+        assert "## My Table" in md
+
+    def test_write_report(self, tmp_path):
+        path = write_report(tmp_path / "report.md", fast=True, limit=5,
+                            include_supplementary=False)
+        text = path.read_text()
+        assert text.startswith("# DAIL-SQL benchmark report")
+        assert "Table 1" in text
+        assert "Figure 6" in text

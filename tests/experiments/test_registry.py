@@ -1,0 +1,41 @@
+"""Experiment driver smoke tests: every paper artifact runs end-to-end."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.registry import (
+    EXPERIMENTS,
+    PAPER_ARTIFACTS,
+    run_experiment,
+)
+
+EXPECTED_ARTIFACTS = {
+    "table1", "table2", "table3", "table4", "table5", "table6",
+    "table7", "table8", "table9", "figure4", "figure5", "figure6",
+}
+
+SUPPLEMENTARY = {"hardness", "cost", "sc_sweep", "dail_threshold",
+                 "self_correction", "errors", "calibration", "pound_sign",
+                 "token_budget"}
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        assert set(PAPER_ARTIFACTS) == EXPECTED_ARTIFACTS
+        assert EXPECTED_ARTIFACTS | SUPPLEMENTARY == set(EXPERIMENTS)
+
+    def test_unknown_artifact(self):
+        with pytest.raises(ExperimentError):
+            run_experiment("table99")
+
+
+@pytest.mark.parametrize("artifact", sorted(EXPECTED_ARTIFACTS | SUPPLEMENTARY))
+def test_driver_smoke(artifact):
+    """Each driver produces a non-empty table on the fast corpus."""
+    result = run_experiment(artifact, fast=True, limit=8)
+    assert result.artifact_id == artifact
+    assert result.rows
+    assert result.title
+    assert result.notes
+    rendered = result.render()
+    assert result.title in rendered

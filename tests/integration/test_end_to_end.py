@@ -1,0 +1,150 @@
+"""Integration tests: whole-benchmark qualitative shapes.
+
+These assert the paper's headline findings hold on the test corpus —
+the properties EXPERIMENTS.md reports.
+"""
+
+import pytest
+
+from repro.eval.harness import RunConfig
+
+
+@pytest.fixture(scope="module")
+def ex(runner):
+    """Helper returning execution accuracy for a config."""
+    cache = {}
+
+    def run(**kwargs):
+        n_samples = kwargs.pop("n_samples", 1)
+        config = RunConfig(**kwargs)
+        key = (config, n_samples)
+        if key not in cache:
+            cache[key] = runner.run(config, n_samples=n_samples)
+        return cache[key].execution_accuracy
+
+    return run
+
+
+class TestHeadlineFindings:
+    def test_dail_sql_beats_zero_shot(self, ex):
+        dail = ex(model="gpt-4", representation="CR_P", organization="DAIL_O",
+                  selection="DAIL_S", k=5, foreign_keys=True)
+        zero = ex(model="gpt-4", representation="CR_P")
+        assert dail > zero + 0.05
+
+    def test_dail_sql_beats_random_examples(self, ex):
+        dail = ex(model="gpt-4", representation="CR_P", organization="DAIL_O",
+                  selection="DAIL_S", k=5, foreign_keys=True)
+        random = ex(model="gpt-4", representation="CR_P", organization="FI_O",
+                    selection="RD_S", k=5)
+        assert dail >= random
+
+    def test_model_ordering_holds(self, ex):
+        gpt4 = ex(model="gpt-4", representation="OD_P")
+        gpt35 = ex(model="gpt-3.5-turbo", representation="OD_P")
+        vicuna = ex(model="vicuna-33b", representation="OD_P")
+        llama = ex(model="llama-7b", representation="OD_P")
+        assert gpt4 > gpt35 > vicuna > llama
+
+    def test_open_source_scaling(self, ex):
+        assert ex(model="llama-33b", representation="CR_P") > \
+            ex(model="llama-7b", representation="CR_P")
+
+    def test_alignment_helps(self, ex):
+        assert ex(model="vicuna-13b", representation="CR_P") > \
+            ex(model="llama-13b", representation="CR_P")
+
+    def test_gpt35_collapses_on_basic_prompt(self, ex):
+        od = ex(model="gpt-3.5-turbo", representation="OD_P")
+        bs = ex(model="gpt-3.5-turbo", representation="BS_P")
+        assert od > bs + 0.05
+
+    def test_dail_organization_saves_tokens_keeps_accuracy(self, runner):
+        fi = runner.run(RunConfig(
+            model="gpt-4", representation="CR_P", organization="FI_O",
+            selection="DAIL_S", k=5))
+        dail = runner.run(RunConfig(
+            model="gpt-4", representation="CR_P", organization="DAIL_O",
+            selection="DAIL_S", k=5))
+        assert dail.avg_prompt_tokens < fi.avg_prompt_tokens / 2
+        assert dail.execution_accuracy >= fi.execution_accuracy - 0.03
+
+    def test_sql_only_organization_weaker(self, ex):
+        # Probability-level ordering is asserted in tests/llm; at the small
+        # test-corpus scale the realised accuracies may tie, so allow >=.
+        dail = ex(model="gpt-4", representation="CR_P", organization="DAIL_O",
+                  selection="DAIL_S", k=5)
+        sql_only = ex(model="gpt-4", representation="CR_P",
+                      organization="SQL_O", selection="DAIL_S", k=5)
+        assert dail >= sql_only
+
+    def test_self_consistency_non_negative(self, ex):
+        base = ex(model="gpt-4", representation="CR_P", organization="DAIL_O",
+                  selection="DAIL_S", k=5, foreign_keys=True)
+        sc = ex(model="gpt-4", representation="CR_P", organization="DAIL_O",
+                selection="DAIL_S", k=5, foreign_keys=True, n_samples=5)
+        assert sc >= base - 0.01
+
+    def test_examples_help_monotonically_early(self, ex):
+        k0 = ex(model="gpt-4", representation="CR_P", organization="DAIL_O",
+                selection="DAIL_S", k=0)
+        k3 = ex(model="gpt-4", representation="CR_P", organization="DAIL_O",
+                selection="DAIL_S", k=3)
+        assert k3 > k0
+
+
+class TestSFTFindings:
+    def test_sft_lifts_open_source_past_icl(self, runner, corpus):
+        from repro.llm.finetune import finetune
+
+        state, _ = finetune("llama-13b", corpus.train, "TR_P")
+        base = runner.run(RunConfig(model="llama-13b", representation="TR_P"))
+        tuned = runner.run(RunConfig(model="llama-13b", representation="TR_P",
+                                     sft_state=state))
+        assert tuned.execution_accuracy > base.execution_accuracy + 0.15
+
+    def test_icl_degrades_after_sft(self, runner, corpus, oracle):
+        from repro.llm.finetune import finetune
+        from repro.llm.simulated import make_llm
+        from repro.prompt.builder import PromptBuilder
+        from repro.prompt.organization import ExampleBlock, get_organization
+        from repro.prompt.representation import get_representation
+
+        state, _ = finetune("llama-13b", corpus.train, "TR_P")
+
+        # Probability level: examples strictly lower p for every question.
+        tuned = make_llm("llama-13b", oracle, sft_state=state)
+        builder = PromptBuilder(get_representation("TR_P"),
+                                get_organization("FI_O"))
+        for example in corpus.dev.examples[:15]:
+            schema = corpus.dev.schema(example.db_id)
+            block = ExampleBlock(question=example.question, sql=example.query,
+                                 schema=schema)
+            zero_p = tuned.success_probability(
+                builder.build(schema, example.question))
+            few_p = tuned.success_probability(
+                builder.build(schema, example.question, [block] * 5))
+            assert few_p < zero_p
+
+        # Accuracy level: no meaningful gain from examples (small-corpus
+        # accidental-execution noise allows ±1 item).
+        zero = runner.run(RunConfig(model="llama-13b", representation="TR_P",
+                                    sft_state=state))
+        few = runner.run(RunConfig(model="llama-13b", representation="TR_P",
+                                   selection="DAIL_S", k=5, sft_state=state))
+        tolerance = 1.5 / len(corpus.dev)
+        assert few.execution_accuracy <= zero.execution_accuracy + tolerance
+
+
+class TestRealistic:
+    def test_accuracy_drops_on_realistic(self, corpus):
+        from repro.dataset.generator.corpus import spider_realistic
+        from repro.eval.harness import BenchmarkRunner
+
+        realistic = spider_realistic(corpus.dev)
+        realistic_runner = BenchmarkRunner(realistic, corpus.train, corpus.pool())
+        base_runner = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool())
+        config = RunConfig(model="vicuna-33b", representation="CR_P")
+        base = base_runner.run(config)
+        hard = realistic_runner.run(config)
+        assert hard.execution_accuracy < base.execution_accuracy

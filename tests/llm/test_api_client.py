@@ -1,0 +1,150 @@
+"""API client adapter tests (fake transport, no network)."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.api_client import ApiLLMClient, RetryPolicy, TransportError
+from repro.prompt.builder import PromptBuilder
+from repro.prompt.organization import get_organization
+from repro.prompt.representation import get_representation
+
+
+@pytest.fixture()
+def prompt(toy_schema):
+    builder = PromptBuilder(get_representation("CR_P"), get_organization("FI_O"))
+    return builder.build(toy_schema, "How many singers are there?")
+
+
+def ok_response(text="SELECT count(*) FROM singer", usage=True):
+    response = {"choices": [{"message": {"content": text}}]}
+    if usage:
+        response["usage"] = {"prompt_tokens": 100, "completion_tokens": 9}
+    return response
+
+
+class RecordingTransport:
+    def __init__(self, outcomes):
+        self.outcomes = list(outcomes)
+        self.requests = []
+
+    def __call__(self, request):
+        self.requests.append(request)
+        outcome = self.outcomes.pop(0)
+        if isinstance(outcome, Exception):
+            raise outcome
+        return outcome
+
+
+class TestRequests:
+    def test_request_shape(self, prompt):
+        transport = RecordingTransport([ok_response()])
+        client = ApiLLMClient(model_id="gpt-4", transport=transport)
+        client.generate(prompt)
+        request = transport.requests[0]
+        assert request["model"] == "gpt-4"
+        assert request["messages"][0]["role"] == "system"
+        assert request["messages"][1]["content"] == prompt.text
+        assert request["temperature"] == 0.0
+
+    def test_sample_tag_sets_seed_and_temperature(self, prompt):
+        transport = RecordingTransport([ok_response()])
+        client = ApiLLMClient(model_id="gpt-4", transport=transport)
+        client.generate(prompt, sample_tag="sc-3")
+        request = transport.requests[0]
+        assert "seed" in request
+        assert request["temperature"] >= 0.7
+
+    def test_no_system_message(self, prompt):
+        transport = RecordingTransport([ok_response()])
+        client = ApiLLMClient(model_id="gpt-4", transport=transport,
+                              system_message="")
+        client.generate(prompt)
+        assert transport.requests[0]["messages"][0]["role"] == "user"
+
+
+class TestResponses:
+    def test_result_fields(self, prompt):
+        client = ApiLLMClient(model_id="gpt-4",
+                              transport=RecordingTransport([ok_response()]))
+        result = client.generate(prompt)
+        assert result.text == "SELECT count(*) FROM singer"
+        assert result.prompt_tokens == 100
+        assert result.completion_tokens == 9
+        assert result.model_id == "gpt-4"
+
+    def test_usage_fallback_to_counter(self, prompt):
+        client = ApiLLMClient(
+            model_id="gpt-4",
+            transport=RecordingTransport([ok_response(usage=False)]),
+        )
+        result = client.generate(prompt)
+        assert result.prompt_tokens == prompt.token_count
+        assert result.completion_tokens > 0
+
+    def test_malformed_response(self, prompt):
+        client = ApiLLMClient(model_id="gpt-4",
+                              transport=RecordingTransport([{"oops": True}]))
+        with pytest.raises(ModelError):
+            client.generate(prompt)
+
+
+class TestRetries:
+    def test_retries_then_succeeds(self, prompt):
+        sleeps = []
+        transport = RecordingTransport([
+            TransportError("rate limited", retry_after=0.5),
+            TransportError("server error"),
+            ok_response(),
+        ])
+        client = ApiLLMClient(
+            model_id="gpt-4", transport=transport,
+            retry=RetryPolicy(max_attempts=4, base_delay=1.0),
+            sleep=sleeps.append,
+        )
+        result = client.generate(prompt)
+        assert result.text.startswith("SELECT")
+        assert sleeps[0] == 0.5          # server-suggested wait honoured
+        assert sleeps[1] == 2.0          # exponential backoff (attempt 1)
+
+    def test_exhausted_retries_raise(self, prompt):
+        transport = RecordingTransport([TransportError("down")] * 3)
+        client = ApiLLMClient(
+            model_id="gpt-4", transport=transport,
+            retry=RetryPolicy(max_attempts=3),
+            sleep=lambda _: None,
+        )
+        with pytest.raises(ModelError, match="after 3 attempts"):
+            client.generate(prompt)
+
+    def test_non_retryable_raises_immediately(self, prompt):
+        transport = RecordingTransport([
+            TransportError("bad key", retryable=False), ok_response(),
+        ])
+        client = ApiLLMClient(model_id="gpt-4", transport=transport,
+                              sleep=lambda _: None)
+        with pytest.raises(ModelError):
+            client.generate(prompt)
+        assert len(transport.requests) == 1
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(base_delay=10, backoff=10, max_delay=25)
+        assert policy.delay(0) == 10
+        assert policy.delay(1) == 25
+        assert policy.delay(5) == 25
+
+
+class TestPipelineIntegration:
+    def test_dail_sql_with_api_client(self, corpus, prompt):
+        """The DAIL-SQL pipeline runs unchanged on the API client."""
+        from repro.core.dail_sql import DailSQL
+
+        transport = RecordingTransport([ok_response("SELECT name FROM singer")] * 10)
+        client = ApiLLMClient(model_id="gpt-4", transport=transport,
+                              sleep=lambda _: None)
+        pipeline = DailSQL(client, corpus.train, k=2)
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        result = pipeline.generate_sql(schema, example.question)
+        assert result.sql == "SELECT name FROM singer"
+        # Two calls: preliminary + final.
+        assert len(transport.requests) == 2

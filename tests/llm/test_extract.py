@@ -1,0 +1,53 @@
+"""SQL extraction tests (post-processing of raw model output)."""
+
+from repro.llm.extract import extract_sql
+
+
+class TestExtraction:
+    def test_plain_sql(self):
+        assert extract_sql("SELECT a FROM t") == "SELECT a FROM t"
+
+    def test_code_fence(self):
+        text = "Here is the SQL query:\n```sql\nSELECT a FROM t\n```"
+        assert extract_sql(text) == "SELECT a FROM t"
+
+    def test_bare_fence(self):
+        text = "```\nSELECT a FROM t\n```"
+        assert extract_sql(text) == "SELECT a FROM t"
+
+    def test_prose_prefix(self):
+        text = "Sure! The answer is SELECT a FROM t"
+        assert extract_sql(text) == "SELECT a FROM t"
+
+    def test_trailing_explanation_line_dropped(self):
+        text = "SELECT a FROM t\nThis query selects column a."
+        assert extract_sql(text) == "SELECT a FROM t"
+
+    def test_semicolon_truncates(self):
+        assert extract_sql("SELECT a FROM t; extra garbage") == "SELECT a FROM t"
+
+    def test_lead_in_completion(self):
+        # The prompt ended with "SELECT"; the model continues the query.
+        assert extract_sql("name FROM singer", response_prefix="SELECT") == \
+            "SELECT name FROM singer"
+
+    def test_no_prefix_passthrough(self):
+        assert extract_sql("name FROM t", response_prefix="") == "name FROM t"
+
+    def test_empty(self):
+        assert extract_sql("") == ""
+        assert extract_sql("   \n  ") == ""
+
+    def test_case_insensitive_select(self):
+        assert extract_sql("select a from t") == "select a from t"
+
+    def test_multiline_sql_kept(self):
+        text = "SELECT a\nFROM t\nWHERE x = 1"
+        assert extract_sql(text) == text
+
+    def test_fenced_with_surrounding_prose(self):
+        text = (
+            "The following query works.\n```sql\nSELECT a FROM t\n```\n"
+            "It uses table t."
+        )
+        assert extract_sql(text) == "SELECT a FROM t"

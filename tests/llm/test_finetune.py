@@ -1,0 +1,123 @@
+"""SFT simulation tests: gains, representation effects, ICL degradation."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.finetune import SFTState, finetune, sft_gain
+from repro.llm.profiles import get_profile
+from repro.llm.simulated import SimulatedLLM
+
+
+class TestFinetune:
+    def test_returns_state_and_report(self, corpus):
+        state, report = finetune("llama-7b", corpus.train, "TR_P")
+        assert isinstance(state, SFTState)
+        assert report.losses
+        assert state.dataset_size == len(corpus.train)
+
+    def test_competence_boosted(self, corpus):
+        state, _ = finetune("llama-7b", corpus.train, "TR_P")
+        assert state.trained_competence > get_profile("llama-7b").competence + 0.15
+
+    def test_openai_models_rejected(self, corpus):
+        with pytest.raises(ModelError):
+            finetune("gpt-4", corpus.train, "TR_P")
+
+    def test_unknown_representation_rejected(self, corpus):
+        with pytest.raises(ModelError):
+            finetune("llama-7b", corpus.train, "NOPE_P")
+
+    def test_empty_dataset_rejected(self, corpus):
+        empty = corpus.train.subset([])
+        with pytest.raises(ModelError):
+            finetune("llama-7b", empty, "TR_P")
+
+    def test_deterministic(self, corpus):
+        a, _ = finetune("llama-13b", corpus.train, "CR_P", seed=3)
+        b, _ = finetune("llama-13b", corpus.train, "CR_P", seed=3)
+        assert a == b
+
+
+class TestGainShape:
+    def test_larger_model_larger_gain(self):
+        p7 = get_profile("llama-7b")
+        p13 = get_profile("llama-13b")
+        assert sft_gain(p13, 500, "TR_P", 3) > sft_gain(p7, 500, "TR_P", 3)
+
+    def test_more_data_more_gain(self):
+        profile = get_profile("llama-7b")
+        assert sft_gain(profile, 2000, "TR_P", 3) > sft_gain(profile, 100, "TR_P", 3)
+
+    def test_representation_affinity(self):
+        profile = get_profile("llama-7b")
+        assert sft_gain(profile, 500, "TR_P", 3) > sft_gain(profile, 500, "OD_P", 3)
+
+    def test_more_epochs_saturating(self):
+        profile = get_profile("llama-7b")
+        g1 = sft_gain(profile, 500, "TR_P", 1)
+        g3 = sft_gain(profile, 500, "TR_P", 3)
+        g10 = sft_gain(profile, 500, "TR_P", 10)
+        assert g1 < g3 <= g10
+
+
+class TestSFTState:
+    def test_representation_mismatch_penalised(self, corpus):
+        state, _ = finetune("llama-7b", corpus.train, "TR_P")
+        assert state.competence("TR_P") > state.competence("OD_P")
+
+    def test_icl_retention_negative(self, corpus):
+        state, _ = finetune("llama-7b", corpus.train, "TR_P")
+        assert state.icl_retention < 0
+
+    def test_loss_curve_decreases(self, corpus):
+        _, report = finetune("llama-13b", corpus.train, "TR_P", epochs=5)
+        assert report.losses[0] > report.losses[-1]
+        assert report.final_loss == report.losses[-1]
+
+
+class TestFineTunedModel:
+    def test_zero_shot_improves(self, corpus, oracle):
+        from repro.llm.simulated import make_llm
+        from repro.prompt.builder import PromptBuilder
+        from repro.prompt.organization import get_organization
+        from repro.prompt.representation import get_representation
+
+        state, _ = finetune("llama-7b", corpus.train, "TR_P")
+        base = make_llm("llama-7b", oracle)
+        tuned = make_llm("llama-7b", oracle, sft_state=state)
+        builder = PromptBuilder(get_representation("TR_P"), get_organization("FI_O"))
+
+        better = 0
+        for example in corpus.dev.examples[:20]:
+            prompt = builder.build(
+                corpus.dev.schema(example.db_id), example.question
+            )
+            if tuned.success_probability(prompt) > base.success_probability(prompt):
+                better += 1
+        assert better == 20
+
+    def test_examples_hurt_after_sft(self, corpus, oracle):
+        from repro.llm.simulated import make_llm
+        from repro.prompt.builder import PromptBuilder
+        from repro.prompt.organization import ExampleBlock, get_organization
+        from repro.prompt.representation import get_representation
+
+        state, _ = finetune("llama-13b", corpus.train, "TR_P")
+        tuned = make_llm("llama-13b", oracle, sft_state=state)
+        builder = PromptBuilder(get_representation("TR_P"), get_organization("FI_O"))
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        block = ExampleBlock(question=example.question, sql=example.query,
+                             schema=schema)
+        zero = tuned.success_probability(builder.build(schema, example.question))
+        few = tuned.success_probability(
+            builder.build(schema, example.question, [block] * 4)
+        )
+        assert few < zero
+
+    def test_model_id_tagged(self, corpus, oracle):
+        from repro.llm.simulated import make_llm
+
+        state, _ = finetune("llama-7b", corpus.train, "CR_P")
+        tuned = make_llm("llama-7b", oracle, sft_state=state)
+        assert "sft[CR_P]" in tuned.model_id

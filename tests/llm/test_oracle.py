@@ -1,0 +1,50 @@
+"""Gold oracle tests."""
+
+from repro.llm.oracle import GoldOracle
+
+
+class TestOracle:
+    def test_lookup_exact(self, corpus):
+        oracle = GoldOracle(corpus.dev)
+        example = corpus.dev.examples[0]
+        found = oracle.lookup(example.db_id, example.question)
+        assert found is not None
+        assert found.query == example.query
+
+    def test_lookup_whitespace_insensitive(self, corpus):
+        oracle = GoldOracle(corpus.dev)
+        example = corpus.dev.examples[0]
+        sloppy = "  " + example.question.replace(" ", "  ") + " "
+        assert oracle.lookup(example.db_id, sloppy) is not None
+
+    def test_lookup_case_insensitive(self, corpus):
+        oracle = GoldOracle(corpus.dev)
+        example = corpus.dev.examples[0]
+        assert oracle.lookup(example.db_id, example.question.upper()) is not None
+
+    def test_unknown_question(self, corpus):
+        oracle = GoldOracle(corpus.dev)
+        assert oracle.lookup("concert_singer", "never asked this") is None
+
+    def test_wrong_db(self, corpus):
+        oracle = GoldOracle(corpus.dev)
+        example = corpus.dev.examples[0]
+        assert oracle.lookup("some_other_db", example.question) is None
+
+    def test_multiple_datasets(self, corpus):
+        oracle = GoldOracle(corpus.dev, corpus.train)
+        assert len(oracle) == len(corpus.dev) + len(corpus.train)
+        train_example = corpus.train.examples[0]
+        assert oracle.lookup(train_example.db_id, train_example.question)
+
+    def test_schema_lookup(self, corpus):
+        oracle = GoldOracle(corpus.dev)
+        db_id = corpus.dev.db_ids()[0]
+        assert oracle.schema(db_id) is not None
+        assert oracle.schema("missing") is None
+
+    def test_add_dataset_incremental(self, corpus):
+        oracle = GoldOracle()
+        assert len(oracle) == 0
+        oracle.add_dataset(corpus.dev)
+        assert len(oracle) == len(corpus.dev)

@@ -1,0 +1,71 @@
+"""Model profile tests: registry and calibration invariants."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.llm.profiles import (
+    ALL_MODELS,
+    OPEN_SOURCE_MODELS,
+    OPENAI_MODELS,
+    get_profile,
+    list_models,
+)
+
+
+class TestRegistry:
+    def test_all_models_registered(self):
+        for model_id in ALL_MODELS:
+            assert get_profile(model_id).model_id == model_id
+
+    def test_unknown_model(self):
+        with pytest.raises(ModelError):
+            get_profile("gpt-5-ultra")
+
+    def test_list_models_sorted(self):
+        models = list_models()
+        assert list(models) == sorted(models)
+        assert set(ALL_MODELS) <= set(models)
+
+
+class TestCalibrationInvariants:
+    """The orderings the paper's results rest on, as profile invariants."""
+
+    def test_openai_ordering(self):
+        assert get_profile("gpt-4").competence > \
+            get_profile("gpt-3.5-turbo").competence > \
+            get_profile("text-davinci-003").competence
+
+    def test_scale_ordering_llama(self):
+        assert get_profile("llama-7b").competence < \
+            get_profile("llama-13b").competence < \
+            get_profile("llama-33b").competence
+
+    def test_alignment_vicuna_beats_llama(self):
+        for size in ("7b", "13b", "33b"):
+            assert get_profile(f"vicuna-{size}").competence >= \
+                get_profile(f"llama-{size}").competence
+            assert get_profile(f"vicuna-{size}").alignment > \
+                get_profile(f"llama-{size}").alignment
+
+    def test_falcon_underperforms_scale(self):
+        # Falcon-40B below LLaMA-33B despite more parameters (paper finding).
+        assert get_profile("falcon-40b").competence < \
+            get_profile("llama-33b").competence
+
+    def test_open_source_below_openai(self):
+        best_open = max(get_profile(m).competence for m in OPEN_SOURCE_MODELS)
+        worst_openai = min(get_profile(m).competence for m in OPENAI_MODELS)
+        assert best_open < worst_openai
+
+    def test_affinity_defaults(self):
+        profile = get_profile("gpt-4")
+        assert profile.affinity("UNKNOWN_REP") == pytest.approx(-0.08)
+
+    def test_probability_fields_bounded(self):
+        for model_id in ALL_MODELS:
+            profile = get_profile(model_id)
+            assert 0 < profile.competence < 1
+            assert 0 <= profile.alignment <= 1
+            assert 0 <= profile.chattiness <= 1
+            assert profile.icl_gain >= 0
+            assert profile.max_context > 0

@@ -1,0 +1,89 @@
+"""Prompt builder tests: assembly and token budgeting."""
+
+import pytest
+
+from repro.errors import PromptError
+from repro.prompt.builder import PromptBuilder
+from repro.prompt.organization import ExampleBlock, get_organization
+from repro.prompt.representation import RepresentationOptions, get_representation
+
+QUESTION = "How many singers are there?"
+
+
+@pytest.fixture()
+def blocks(toy_schema):
+    return [
+        ExampleBlock(question=f"Question number {i}?",
+                     sql=f"SELECT name FROM singer WHERE age > {i}",
+                     schema=toy_schema)
+        for i in range(6)
+    ]
+
+
+class TestAssembly:
+    def test_zero_shot(self, toy_schema):
+        builder = PromptBuilder(get_representation("CR_P"), get_organization("FI_O"))
+        prompt = builder.build(toy_schema, QUESTION)
+        assert prompt.n_examples == 0
+        assert prompt.text.endswith("SELECT")
+        assert prompt.token_count > 0
+        assert prompt.db_id == "toy_concerts"
+
+    def test_examples_precede_target(self, toy_schema, blocks):
+        builder = PromptBuilder(get_representation("CR_P"), get_organization("DAIL_O"))
+        prompt = builder.build(toy_schema, QUESTION, blocks[:2])
+        assert prompt.text.index("Question number") < prompt.text.index(QUESTION)
+
+    def test_flags_resolved(self, toy_schema):
+        builder = PromptBuilder(get_representation("CR_P"), get_organization("FI_O"))
+        assert builder.build(toy_schema, QUESTION).includes_foreign_keys
+        builder = PromptBuilder(get_representation("OD_P"), get_organization("FI_O"))
+        prompt = builder.build(toy_schema, QUESTION)
+        assert prompt.includes_rule
+        assert not prompt.includes_foreign_keys
+
+    def test_rule_flag_from_options(self, toy_schema):
+        rep = get_representation("TR_P", RepresentationOptions(rule_implication=True))
+        builder = PromptBuilder(rep, get_organization("FI_O"))
+        assert builder.build(toy_schema, QUESTION).includes_rule
+
+
+class TestBudget:
+    def test_no_budget_keeps_all(self, toy_schema, blocks):
+        builder = PromptBuilder(get_representation("CR_P"), get_organization("DAIL_O"))
+        prompt = builder.build(toy_schema, QUESTION, blocks)
+        assert prompt.n_examples == len(blocks)
+
+    def test_budget_drops_from_front(self, toy_schema, blocks):
+        builder = PromptBuilder(
+            get_representation("CR_P"), get_organization("DAIL_O"),
+            max_tokens=250,
+        )
+        prompt = builder.build(toy_schema, QUESTION, blocks)
+        assert prompt.n_examples < len(blocks)
+        assert prompt.token_count <= 250
+        # The most similar (last) examples survive.
+        kept_questions = [b.question for b in prompt.examples]
+        assert kept_questions == [b.question for b in blocks[-len(kept_questions):]]
+
+    def test_budget_records_requested(self, toy_schema, blocks):
+        builder = PromptBuilder(
+            get_representation("CR_P"), get_organization("DAIL_O"),
+            max_tokens=250,
+        )
+        prompt = builder.build(toy_schema, QUESTION, blocks)
+        assert prompt.requested_examples == len(blocks)
+
+    def test_impossible_budget_raises(self, toy_schema):
+        builder = PromptBuilder(
+            get_representation("CR_P"), get_organization("FI_O"), max_tokens=10
+        )
+        with pytest.raises(PromptError):
+            builder.build(toy_schema, QUESTION)
+
+    def test_token_count_matches_counter(self, toy_schema, blocks):
+        builder = PromptBuilder(get_representation("CR_P"), get_organization("FI_O"))
+        prompt = builder.build(toy_schema, QUESTION, blocks[:2])
+        from repro.tokenizer.counter import count_tokens
+
+        assert prompt.token_count == count_tokens(prompt.text)

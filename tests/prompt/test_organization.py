@@ -1,0 +1,75 @@
+"""Example organization tests."""
+
+import pytest
+
+from repro.errors import PromptError
+from repro.prompt.organization import (
+    ORGANIZATION_IDS,
+    ExampleBlock,
+    get_organization,
+)
+from repro.prompt.representation import get_representation
+
+
+@pytest.fixture()
+def blocks(toy_schema):
+    return [
+        ExampleBlock(
+            question="How many singers are there?",
+            sql="SELECT count(*) FROM singer",
+            schema=toy_schema,
+        ),
+        ExampleBlock(
+            question="List the name of all singers.",
+            sql="SELECT name FROM singer",
+            schema=toy_schema,
+        ),
+    ]
+
+
+class TestRegistry:
+    def test_all_ids(self):
+        for org_id in ORGANIZATION_IDS:
+            assert get_organization(org_id).id == org_id
+
+    def test_unknown(self):
+        with pytest.raises(PromptError):
+            get_organization("XY_O")
+
+
+class TestRendering:
+    def test_empty_examples_empty_string(self, toy_schema):
+        rep = get_representation("CR_P")
+        for org_id in ORGANIZATION_IDS:
+            assert get_organization(org_id).render([], rep) == ""
+
+    def test_fio_includes_schema_and_question(self, blocks):
+        rep = get_representation("CR_P")
+        text = get_organization("FI_O").render(blocks, rep)
+        assert "CREATE TABLE singer" in text
+        assert "How many singers are there?" in text
+        assert "count(*) FROM singer" in text
+
+    def test_sqlo_only_sql(self, blocks):
+        rep = get_representation("CR_P")
+        text = get_organization("SQL_O").render(blocks, rep)
+        assert "SELECT count(*) FROM singer;" in text
+        assert "How many singers" not in text
+        assert "CREATE TABLE" not in text
+
+    def test_dailo_pairs_without_schema(self, blocks):
+        rep = get_representation("CR_P")
+        text = get_organization("DAIL_O").render(blocks, rep)
+        assert "How many singers are there?" in text
+        assert "SELECT count(*) FROM singer;" in text
+        assert "CREATE TABLE" not in text
+
+    def test_token_ordering(self, blocks):
+        """FI_O > DAIL_O > SQL_O in token cost — the paper's cost ladder."""
+        from repro.tokenizer.counter import count_tokens
+
+        rep = get_representation("CR_P")
+        fi = count_tokens(get_organization("FI_O").render(blocks, rep))
+        dail = count_tokens(get_organization("DAIL_O").render(blocks, rep))
+        sql = count_tokens(get_organization("SQL_O").render(blocks, rep))
+        assert fi > dail > sql

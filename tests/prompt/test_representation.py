@@ -1,0 +1,117 @@
+"""Question representation tests (the five paper formats)."""
+
+import pytest
+
+from repro.errors import PromptError
+from repro.prompt.representation import (
+    REPRESENTATION_IDS,
+    RepresentationOptions,
+    get_representation,
+)
+
+QUESTION = "How many singers are there?"
+
+
+class TestRegistry:
+    def test_all_ids_resolve(self):
+        for rep_id in REPRESENTATION_IDS:
+            rep = get_representation(rep_id)
+            assert rep.id == rep_id
+
+    def test_unknown_raises(self):
+        with pytest.raises(PromptError):
+            get_representation("XX_P")
+
+
+class TestFormats:
+    def test_bsp_structure(self, toy_schema):
+        text = get_representation("BS_P").render_question(toy_schema, QUESTION)
+        assert "Table singer" in text
+        assert f"Q: {QUESTION}" in text
+        assert text.endswith("A: SELECT")
+
+    def test_trp_structure(self, toy_schema):
+        text = get_representation("TR_P").render_question(toy_schema, QUESTION)
+        assert text.startswith("Given the following database schema:")
+        assert f"Answer the following: {QUESTION}" in text
+
+    def test_odp_structure(self, toy_schema):
+        text = get_representation("OD_P").render_question(toy_schema, QUESTION)
+        assert "### Complete sqlite SQL query only and with no explanation" in text
+        assert f"### {QUESTION}" in text
+        # Schema lines carry the pound sign.
+        assert "# singer (" in text
+
+    def test_crp_structure(self, toy_schema):
+        text = get_representation("CR_P").render_question(toy_schema, QUESTION)
+        assert "CREATE TABLE singer" in text
+        assert f"-- {QUESTION}" in text
+        # CR_P includes foreign keys by default.
+        assert "FOREIGN KEY" in text
+
+    def test_asp_structure(self, toy_schema):
+        text = get_representation("AS_P").render_question(toy_schema, QUESTION)
+        assert "### Instruction:" in text
+        assert "### Input:" in text
+        assert text.endswith("### Response:")
+        assert QUESTION in text
+
+
+class TestOptions:
+    def test_fk_off_for_crp(self, toy_schema):
+        rep = get_representation("CR_P", RepresentationOptions(foreign_keys=False))
+        assert "FOREIGN KEY" not in rep.render_question(toy_schema, QUESTION)
+
+    def test_fk_on_for_bsp(self, toy_schema):
+        rep = get_representation("BS_P", RepresentationOptions(foreign_keys=True))
+        assert "Foreign_keys" in rep.render_question(toy_schema, QUESTION)
+
+    def test_fk_default_off_for_bsp(self, toy_schema):
+        rep = get_representation("BS_P")
+        assert "Foreign_keys" not in rep.render_question(toy_schema, QUESTION)
+
+    def test_rule_implication_added(self, toy_schema):
+        rep = get_representation("TR_P", RepresentationOptions(rule_implication=True))
+        text = rep.render_question(toy_schema, QUESTION)
+        assert "no explanation" in text
+
+
+class TestExamples:
+    @pytest.mark.parametrize("rep_id", REPRESENTATION_IDS)
+    def test_example_contains_sql(self, toy_schema, rep_id):
+        rep = get_representation(rep_id)
+        sql = "SELECT count(*) FROM singer"
+        text = rep.render_example(toy_schema, QUESTION, sql)
+        # The full SQL body appears (SELECT may be the lead-in).
+        assert "count(*) FROM singer" in text
+
+    def test_example_extends_question_block(self, toy_schema):
+        rep = get_representation("OD_P")
+        question_block = rep.render_question(toy_schema, QUESTION)
+        example = rep.render_example(toy_schema, QUESTION, "SELECT count(*) FROM singer")
+        assert example.startswith(question_block)
+
+
+class TestNoPoundVariant:
+    def test_registered(self):
+        rep = get_representation("ODX_P")
+        assert rep.id == "ODX_P"
+
+    def test_not_in_paper_five(self):
+        assert "ODX_P" not in REPRESENTATION_IDS
+
+    def test_content_preserved_markers_gone(self, toy_schema):
+        with_pound = get_representation("OD_P").render_question(
+            toy_schema, QUESTION)
+        without = get_representation("ODX_P").render_question(
+            toy_schema, QUESTION)
+        assert "#" in with_pound
+        assert "#" not in without
+        # The informative content survives.
+        assert "singer" in without
+        assert QUESTION in without
+        assert "no explanation" in without
+
+    def test_still_ends_with_select(self, toy_schema):
+        text = get_representation("ODX_P").render_question(toy_schema, QUESTION)
+        assert text.endswith("SELECT")

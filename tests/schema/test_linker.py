@@ -1,0 +1,88 @@
+"""Schema linker tests: mention detection, masking, coverage."""
+
+import pytest
+
+from repro.schema.linker import MASK_TOKEN, SchemaLinker
+
+
+@pytest.fixture()
+def linker(toy_schema):
+    return SchemaLinker(toy_schema)
+
+
+class TestLinking:
+    def test_table_mention(self, linker):
+        linking = linker.link("How many singers are there?")
+        assert "singer" in linking.tables()
+
+    def test_column_mention(self, linker):
+        linking = linker.link("What is the age of each singer?")
+        assert "singer.age" in linking.columns()
+
+    def test_multiword_column(self, linker):
+        linking = linker.link("List the singer id of all concerts.")
+        assert any("singer_id" in c for c in linking.columns())
+
+    def test_number_is_value(self, linker):
+        linking = linker.link("List singers older than 30.")
+        assert "30" in linking.values()
+
+    def test_quoted_value(self, linker):
+        linking = linker.link('Which singer comes from "France"?')
+        assert "France" in linking.values()
+
+    def test_proper_noun_value(self, linker):
+        linking = linker.link("Show concerts held by Ava Lee this year.")
+        assert "Ava" in linking.values() or "Lee" in linking.values()
+
+    def test_plural_matches_singular_table(self, linker):
+        linking = linker.link("List all concerts.")
+        assert "concert" in linking.tables()
+
+    def test_mentions_sorted_by_position(self, linker):
+        linking = linker.link("List the age and country of singers over 30.")
+        starts = [m.start for m in linking.mentions]
+        assert starts == sorted(starts)
+
+
+class TestMasking:
+    def test_schema_words_masked(self, linker):
+        masked = linker.mask_question("What is the age of each singer?")
+        assert "age" not in masked
+        assert "singer" not in masked
+        assert MASK_TOKEN in masked
+
+    def test_values_masked(self, linker):
+        masked = linker.mask_question("List singers older than 30.")
+        assert "30" not in masked
+
+    def test_consecutive_masks_collapse(self, linker):
+        masked = linker.mask_question("List the singer age values.")
+        assert f"{MASK_TOKEN} {MASK_TOKEN}" not in masked
+
+    def test_intent_words_survive(self, linker):
+        masked = linker.mask_question("How many singers are there?")
+        assert "How many" in masked
+
+    def test_custom_mask_token(self, linker):
+        masked = linker.mask_question("List the age of singers.", mask="[X]")
+        assert "[X]" in masked
+        assert MASK_TOKEN not in masked
+
+
+class TestCoverage:
+    def test_schema_heavy_question_high(self, linker):
+        linking = linker.link("List the name, age and country of each singer.")
+        assert linking.coverage() > 0.6
+
+    def test_vague_question_low(self, linker):
+        linking = linker.link("Tell me something interesting please.")
+        assert linking.coverage() < 0.3
+
+    def test_empty_question(self, linker):
+        assert linker.link("").coverage() == 0.0
+
+    def test_coverage_bounded(self, corpus):
+        for example in corpus.dev.examples[:20]:
+            link = corpus.dev.linker(example.db_id).link(example.question)
+            assert 0.0 <= link.coverage() <= 1.0

@@ -1,0 +1,120 @@
+"""Schema model tests: construction, validation, Spider round-trip."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.schema.model import (
+    Column,
+    DatabaseSchema,
+    ForeignKey,
+    Table,
+    schema_from_spider_entry,
+    schema_to_spider_entry,
+)
+
+
+class TestColumn:
+    def test_natural_name_derived(self):
+        assert Column("pet_age", "number").natural_name == "pet age"
+
+    def test_camel_case_split(self):
+        assert Column("petAge", "number").natural_name == "pet age"
+
+    def test_explicit_natural_name_kept(self):
+        assert Column("age", "number", natural_name="years").natural_name == "years"
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("x", "varchar")
+
+    def test_sqlite_types(self):
+        assert Column("x", "number", is_integer=True).sqlite_type() == "INTEGER"
+        assert Column("x", "number").sqlite_type() == "REAL"
+        assert Column("x", "text").sqlite_type() == "TEXT"
+        assert Column("x", "boolean").sqlite_type() == "INTEGER"
+
+
+class TestTable:
+    def test_empty_table_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=())
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=(Column("a"), Column("A")))
+
+    def test_bad_primary_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Table(name="t", columns=(Column("a"),), primary_key="b")
+
+    def test_column_lookup_case_insensitive(self, toy_schema):
+        table = toy_schema.table("singer")
+        assert table.column("NAME").name == "name"
+
+    def test_missing_column_raises(self, toy_schema):
+        with pytest.raises(SchemaError):
+            toy_schema.table("singer").column("salary")
+
+
+class TestDatabaseSchema:
+    def test_table_lookup(self, toy_schema):
+        assert toy_schema.table("SINGER").name == "singer"
+
+    def test_missing_table_raises(self, toy_schema):
+        with pytest.raises(SchemaError):
+            toy_schema.table("albums")
+
+    def test_dangling_fk_rejected(self):
+        with pytest.raises(SchemaError):
+            DatabaseSchema(
+                db_id="bad",
+                tables=(Table(name="a", columns=(Column("x"),)),),
+                foreign_keys=(ForeignKey("a", "x", "missing", "y"),),
+            )
+
+    def test_find_column(self, toy_schema):
+        assert toy_schema.find_column("singer_id") == ["singer", "concert"]
+
+    def test_fk_graph_undirected(self, toy_schema):
+        graph = toy_schema.fk_graph()
+        assert "singer" in graph["concert"]
+        assert "concert" in graph["singer"]
+
+    def test_join_path(self, toy_schema):
+        assert toy_schema.join_path("singer", "concert") == ["singer", "concert"]
+        assert toy_schema.join_path("singer", "singer") == ["singer"]
+
+    def test_join_path_missing(self, toy_schema):
+        assert toy_schema.join_path("singer", "nonexistent") is None
+
+    def test_fk_between(self, toy_schema):
+        fk = toy_schema.fk_between("concert", "singer")
+        assert fk is not None
+        assert fk.column == "singer_id"
+        assert toy_schema.fk_between("singer", "singer") is None
+
+
+class TestSpiderRoundtrip:
+    def test_roundtrip(self, toy_schema):
+        entry = schema_to_spider_entry(toy_schema)
+        back = schema_from_spider_entry(entry)
+        assert back.db_id == toy_schema.db_id
+        assert back.table_names() == toy_schema.table_names()
+        assert len(back.foreign_keys) == len(toy_schema.foreign_keys)
+        assert back.table("singer").primary_key == "singer_id"
+
+    def test_entry_has_star_column(self, toy_schema):
+        entry = schema_to_spider_entry(toy_schema)
+        assert entry["column_names_original"][0] == [-1, "*"]
+
+    def test_malformed_entry_raises(self):
+        with pytest.raises(SchemaError):
+            schema_from_spider_entry({"db_id": "x"})
+
+    def test_corpus_schemas_roundtrip(self, corpus):
+        for schema in corpus.dev.schemas.values():
+            entry = schema_to_spider_entry(schema)
+            back = schema_from_spider_entry(entry)
+            assert back.table_names() == schema.table_names()
+            assert {fk.as_pair() for fk in back.foreign_keys} == \
+                {fk.as_pair() for fk in schema.foreign_keys}

@@ -1,0 +1,84 @@
+"""Schema serialisation tests (the four representation styles)."""
+
+import pytest
+
+from repro.schema.serialize import (
+    basic_schema,
+    create_table_schema,
+    foreign_key_text,
+    openai_schema,
+    serialize_schema,
+    text_schema,
+)
+
+
+class TestBasic:
+    def test_format(self, toy_schema):
+        text = basic_schema(toy_schema)
+        assert "Table singer, columns = [ singer_id , name , age , country ]" in text
+        assert text.count("Table ") == 2
+
+
+class TestText:
+    def test_format(self, toy_schema):
+        text = text_schema(toy_schema)
+        assert "singer: singer_id, name, age, country" in text
+
+
+class TestOpenAI:
+    def test_pound_signs(self, toy_schema):
+        text = openai_schema(toy_schema)
+        assert text.startswith("### SQLite SQL tables")
+        assert "# singer ( singer_id, name, age, country )" in text
+
+    def test_every_line_commented(self, toy_schema):
+        for line in openai_schema(toy_schema).splitlines():
+            assert line.startswith("#")
+
+
+class TestCreateTable:
+    def test_ddl_structure(self, toy_schema):
+        ddl = create_table_schema(toy_schema)
+        assert "CREATE TABLE singer (" in ddl
+        assert "PRIMARY KEY (singer_id)" in ddl
+        assert "FOREIGN KEY (singer_id) REFERENCES singer(singer_id)" in ddl
+
+    def test_foreign_keys_toggle(self, toy_schema):
+        without = create_table_schema(toy_schema, include_foreign_keys=False)
+        assert "FOREIGN KEY" not in without
+
+    def test_types_toggle(self, toy_schema):
+        without = create_table_schema(toy_schema, include_types=False)
+        assert "INTEGER" not in without
+        assert "TEXT" not in without
+
+    def test_ddl_is_valid_sqlite(self, toy_schema):
+        import sqlite3
+
+        conn = sqlite3.connect(":memory:")
+        for statement in create_table_schema(toy_schema).split(";"):
+            if statement.strip():
+                conn.execute(statement)
+        conn.close()
+
+
+class TestForeignKeyText:
+    def test_with_fks(self, toy_schema):
+        text = foreign_key_text(toy_schema)
+        assert "concert.singer_id = singer.singer_id" in text
+
+    def test_empty(self, toy_schema):
+        from repro.schema.model import DatabaseSchema
+
+        bare = DatabaseSchema(db_id="b", tables=toy_schema.tables)
+        assert foreign_key_text(bare) == "Foreign_keys = []"
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("style", ["basic", "text", "openai", "create_table"])
+    def test_known_styles(self, toy_schema, style):
+        assert serialize_schema(toy_schema, style)
+
+    def test_unknown_style(self, toy_schema):
+        with pytest.raises(ValueError):
+            serialize_schema(toy_schema, "yaml")

@@ -1,0 +1,72 @@
+"""Spider hardness rubric tests."""
+
+import pytest
+
+from repro.sql.hardness import (
+    count_component1,
+    count_component2,
+    count_others,
+    hardness,
+)
+from repro.sql.parser import parse
+
+
+class TestComponentCounts:
+    def test_plain_select_zero(self):
+        query = parse("SELECT a FROM t")
+        assert count_component1(query) == 0
+        assert count_component2(query) == 0
+        assert count_others(query) == 0
+
+    def test_where_counts_one(self):
+        assert count_component1(parse("SELECT a FROM t WHERE x = 1")) == 1
+
+    def test_join_counts(self):
+        query = parse("SELECT a FROM t JOIN u ON t.x = u.x JOIN v ON u.y = v.y")
+        assert count_component1(query) == 2
+
+    def test_or_and_like_count(self):
+        query = parse("SELECT a FROM t WHERE x = 1 OR y LIKE '%z%'")
+        # WHERE (1) + OR (1) + LIKE (1)
+        assert count_component1(query) == 3
+
+    def test_set_op_counts_component2(self):
+        query = parse("SELECT a FROM t UNION SELECT a FROM u")
+        assert count_component2(query) == 1
+
+    def test_subquery_counts_component2(self):
+        query = parse("SELECT a FROM t WHERE x IN (SELECT y FROM u)")
+        assert count_component2(query) == 1
+
+    def test_others_multiple_selects(self):
+        assert count_others(parse("SELECT a, b FROM t")) == 1
+
+    def test_others_multiple_aggs(self):
+        assert count_others(parse("SELECT min(a), max(a) FROM t")) >= 2
+
+
+class TestBuckets:
+    @pytest.mark.parametrize("sql,expected", [
+        ("SELECT name FROM singer", "easy"),
+        ("SELECT count(*) FROM singer", "easy"),
+        ("SELECT name FROM singer WHERE age > 20", "easy"),
+        ("SELECT name, age FROM singer WHERE age > 20", "medium"),
+        ("SELECT a FROM t JOIN u ON t.x = u.x WHERE u.y = 1", "medium"),
+        ("SELECT name FROM singer WHERE age > 20 ORDER BY age DESC LIMIT 3",
+         "hard"),
+        ("SELECT a FROM t WHERE x IN (SELECT y FROM u)", "hard"),
+        ("SELECT country FROM singer WHERE age > 40 INTERSECT "
+         "SELECT country FROM singer WHERE age < 30", "extra"),
+        ("SELECT t.a, count(*) FROM t JOIN u ON t.x = u.x WHERE u.b = 1 "
+         "GROUP BY t.a HAVING count(*) > 2 ORDER BY count(*) DESC LIMIT 1",
+         "extra"),
+    ])
+    def test_bucketing(self, sql, expected):
+        assert hardness(sql) == expected
+
+    def test_accepts_query_object(self):
+        assert hardness(parse("SELECT a FROM t")) == "easy"
+
+    def test_all_corpus_queries_classified(self, corpus):
+        for example in corpus.dev:
+            assert example.hardness in ("easy", "medium", "hard", "extra")

@@ -1,0 +1,80 @@
+"""Alias resolution and canonicalisation tests."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.normalize import normalize_sql, queries_equal, resolve_aliases
+from repro.sql.parser import parse
+from repro.sql.unparse import unparse
+
+
+class TestAliasResolution:
+    def test_alias_rewritten_to_table(self):
+        sql = "SELECT T1.name FROM singer AS T1 JOIN concert AS T2 ON T1.id = T2.sid"
+        out = normalize_sql(sql)
+        assert "T1" not in out
+        assert "singer.name" in out
+
+    def test_single_table_qualifier_dropped(self):
+        assert normalize_sql("SELECT singer.name FROM singer") == \
+            normalize_sql("SELECT name FROM singer")
+
+    def test_case_folding(self):
+        assert queries_equal("SELECT NAME FROM SINGER", "select name from singer")
+
+    def test_alias_vs_plain_equal(self):
+        assert queries_equal(
+            "SELECT T1.name FROM singer AS T1",
+            "SELECT name FROM singer",
+        )
+
+    def test_multi_table_qualifiers_kept(self):
+        out = normalize_sql(
+            "SELECT a.x FROM a JOIN b ON a.id = b.id"
+        )
+        assert "a.x" in out
+
+    def test_derived_table_alias_kept(self):
+        out = normalize_sql("SELECT q.x FROM (SELECT x FROM t) AS q")
+        assert "AS q" in out
+
+    def test_subquery_scope_independent(self):
+        sql = (
+            "SELECT T1.name FROM singer AS T1 WHERE T1.id IN "
+            "(SELECT T1.sid FROM concert AS T1)"
+        )
+        out = normalize_sql(sql)
+        # Inner T1 resolves to concert, outer to singer.
+        assert "concert" in out.lower()
+        assert "T1" not in out
+
+    def test_different_queries_not_equal(self):
+        assert not queries_equal(
+            "SELECT name FROM singer", "SELECT age FROM singer"
+        )
+
+    def test_limit_differs(self):
+        assert not queries_equal(
+            "SELECT a FROM t LIMIT 1", "SELECT a FROM t LIMIT 2"
+        )
+
+
+class TestIdempotence:
+    @given(st.sampled_from([
+        "SELECT T1.name, count(*) FROM singer AS T1 GROUP BY T1.name",
+        "SELECT a FROM t WHERE x > 1 AND y < 2 ORDER BY a DESC LIMIT 3",
+        "SELECT avg(age) FROM dog UNION SELECT max(age) FROM cat",
+        "SELECT x FROM t WHERE y NOT IN (SELECT z FROM u WHERE w = 'm')",
+    ]))
+    @settings(deadline=None)
+    def test_normalize_idempotent(self, sql):
+        once = normalize_sql(sql)
+        assert normalize_sql(once) == once
+
+    def test_resolve_preserves_semantics_fields(self):
+        query = parse("SELECT a FROM t WHERE b = 1 GROUP BY a HAVING count(*) > 2 "
+                      "ORDER BY a DESC LIMIT 3")
+        resolved = resolve_aliases(query)
+        assert resolved.core.limit == 3
+        assert resolved.core.order_by[0].direction == "DESC"
+        assert resolved.core.having is not None

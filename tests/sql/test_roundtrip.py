@@ -1,0 +1,167 @@
+"""Property-based round-trip tests: ``parse(unparse(q)) == q``.
+
+A hypothesis strategy generates random ASTs over a fixed vocabulary; the
+invariant must hold for every generated query.  The corpus-wide round-trip
+(every generated gold query) runs as a deterministic sweep.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast_nodes import (
+    AndCondition,
+    BetweenCondition,
+    ColumnRef,
+    Comparison,
+    FromClause,
+    FuncCall,
+    InCondition,
+    IsNullCondition,
+    Join,
+    LikeCondition,
+    Literal,
+    NotCondition,
+    OrCondition,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    TableRef,
+)
+from repro.sql.parser import parse
+from repro.sql.unparse import unparse
+
+_NAMES = st.sampled_from(["alpha", "beta", "gamma", "delta", "epsilon"])
+_TABLES = st.sampled_from(["t_one", "t_two", "t_three"])
+
+_literals = st.one_of(
+    st.integers(min_value=-999, max_value=999).map(
+        lambda n: Literal(str(n), "number")
+    ),
+    st.sampled_from(["x", "New York", "it's", "100%"]).map(
+        lambda s: Literal(s, "string")
+    ),
+)
+
+_columns = st.builds(
+    ColumnRef,
+    column=_NAMES,
+    table=st.one_of(st.none(), _TABLES),
+)
+
+_simple_exprs = st.one_of(
+    _columns,
+    _literals,
+    st.builds(
+        FuncCall,
+        name=st.sampled_from(["COUNT", "SUM", "AVG", "MIN", "MAX"]),
+        arg=_columns,
+        distinct=st.booleans(),
+    ),
+)
+
+_comparisons = st.builds(
+    Comparison,
+    op=st.sampled_from(["=", "!=", "<", ">", "<=", ">="]),
+    left=_columns,
+    right=st.one_of(_simple_exprs),
+)
+
+_leaves = st.one_of(
+    _comparisons,
+    st.builds(LikeCondition, expr=_columns, pattern=_literals.filter(
+        lambda l: l.kind == "string"), negated=st.booleans()),
+    st.builds(BetweenCondition, expr=_columns,
+              low=_literals.filter(lambda l: l.kind == "number"),
+              high=_literals.filter(lambda l: l.kind == "number"),
+              negated=st.booleans()),
+    st.builds(IsNullCondition, expr=_columns, negated=st.booleans()),
+    st.builds(
+        InCondition,
+        expr=_columns,
+        values=st.tuples(_literals, _literals),
+        negated=st.booleans(),
+    ),
+)
+
+_conditions = st.recursive(
+    _leaves,
+    lambda children: st.one_of(
+        st.builds(NotCondition, operand=children),
+        st.builds(
+            AndCondition,
+            operands=st.tuples(children, children),
+        ),
+        st.builds(
+            OrCondition,
+            operands=st.tuples(children, children),
+        ),
+    ),
+    max_leaves=4,
+)
+
+_from_clauses = st.builds(
+    FromClause,
+    source=st.builds(TableRef, name=_TABLES, alias=st.none()),
+    joins=st.lists(
+        st.builds(
+            Join,
+            source=st.builds(TableRef, name=_TABLES, alias=st.none()),
+            condition=st.one_of(st.none(), _comparisons),
+            kind=st.sampled_from(["JOIN", "LEFT JOIN"]),
+        ),
+        max_size=2,
+    ).map(tuple),
+)
+
+_cores = st.builds(
+    SelectCore,
+    items=st.lists(
+        st.builds(SelectItem, expr=_simple_exprs, alias=st.none()),
+        min_size=1, max_size=3,
+    ).map(tuple),
+    from_clause=st.one_of(st.none(), _from_clauses),
+    where=st.one_of(st.none(), _conditions),
+    group_by=st.lists(_columns, max_size=2).map(tuple),
+    having=st.one_of(st.none(), _comparisons),
+    order_by=st.lists(
+        st.builds(OrderItem, expr=_simple_exprs,
+                  direction=st.sampled_from(["ASC", "DESC"])),
+        max_size=2,
+    ).map(tuple),
+    limit=st.one_of(st.none(), st.integers(min_value=0, max_value=99)),
+    distinct=st.booleans(),
+)
+
+_queries = st.recursive(
+    st.builds(Query, core=_cores),
+    lambda children: st.builds(
+        Query,
+        core=_cores,
+        set_op=st.sampled_from(["UNION", "UNION ALL", "INTERSECT", "EXCEPT"]),
+        set_query=children,
+    ),
+    max_leaves=2,
+)
+
+
+@given(_queries)
+@settings(max_examples=200, deadline=None)
+def test_roundtrip_random_ast(query):
+    text = unparse(query)
+    reparsed = parse(text)
+    assert reparsed == query, text
+
+
+@given(_queries)
+@settings(max_examples=50, deadline=None)
+def test_unparse_deterministic(query):
+    assert unparse(query) == unparse(query)
+
+
+def test_roundtrip_corpus(corpus):
+    """Every generated gold query round-trips."""
+    for dataset in (corpus.train, corpus.dev):
+        for example in dataset:
+            query = parse(example.query)
+            assert parse(unparse(query)) == query, example.query

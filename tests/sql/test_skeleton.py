@@ -1,0 +1,118 @@
+"""SQL skeleton extraction and similarity tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.skeleton import (
+    query_signature,
+    skeleton_similarity,
+    skeleton_tokens,
+    sql_skeleton,
+)
+
+
+class TestSkeleton:
+    def test_masks_identifiers_and_values(self):
+        sk = sql_skeleton("SELECT name FROM singer WHERE age > 20")
+        assert sk == "SELECT _ FROM _ WHERE _ > _"
+
+    def test_keywords_kept(self):
+        sk = sql_skeleton(
+            "SELECT a FROM t GROUP BY a HAVING count(*) > 1 ORDER BY a DESC LIMIT 2"
+        )
+        for kw in ("GROUP BY", "HAVING", "ORDER BY", "DESC", "LIMIT", "COUNT"):
+            assert kw in sk
+
+    def test_column_lists_collapse(self):
+        assert sql_skeleton("SELECT a, b, c FROM t") == sql_skeleton("SELECT a FROM t")
+
+    def test_qualified_names_collapse(self):
+        assert sql_skeleton("SELECT t.a FROM t") == sql_skeleton("SELECT a FROM t")
+
+    def test_aliases_dropped(self):
+        assert sql_skeleton("SELECT a AS x FROM t AS y") == \
+            sql_skeleton("SELECT a FROM t")
+
+    def test_same_structure_same_skeleton(self):
+        a = "SELECT name FROM singer WHERE age > 20"
+        b = "SELECT title FROM movie WHERE rating > 8"
+        assert sql_skeleton(a) == sql_skeleton(b)
+
+    def test_different_structure_different_skeleton(self):
+        assert sql_skeleton("SELECT a FROM t") != \
+            sql_skeleton("SELECT a FROM t ORDER BY a")
+
+    def test_tokenizable_prose_still_masked(self):
+        # Anything the tokenizer accepts gets the token-level mask.
+        assert sql_skeleton("not really (sql") == "NOT _ ( _"
+
+    def test_untokenizable_input_upper(self):
+        # Characters outside the SQL grammar: fall back to raw uppercase.
+        assert sql_skeleton("select ¤ broken") == "SELECT ¤ BROKEN"
+
+
+class TestSignature:
+    def test_features_present(self):
+        sig = query_signature(
+            "SELECT a, count(*) FROM t JOIN u ON t.x = u.x "
+            "GROUP BY a HAVING count(*) > 1 ORDER BY a DESC LIMIT 1"
+        )
+        assert "group" in sig
+        assert "having" in sig
+        assert "limit" in sig
+        assert "order:desc" in sig
+        assert "agg:count" in sig
+        assert "join:2" in sig
+
+    def test_nested_feature(self):
+        sig = query_signature("SELECT a FROM t WHERE x IN (SELECT y FROM u)")
+        assert any(f.startswith("nested:") for f in sig)
+        assert "pred:in:sub" in sig
+
+    def test_setop_feature(self):
+        sig = query_signature("SELECT a FROM t UNION SELECT a FROM u")
+        assert "setop:union" in sig
+
+
+class TestSimilarity:
+    def test_identical_is_one(self):
+        sql = "SELECT name FROM singer WHERE age > 20 ORDER BY age DESC LIMIT 3"
+        assert skeleton_similarity(sql, sql) == pytest.approx(1.0)
+
+    def test_same_shape_cross_domain_high(self):
+        a = "SELECT name FROM singer WHERE age > 20"
+        b = "SELECT title FROM movie WHERE rating > 8"
+        assert skeleton_similarity(a, b) > 0.9
+
+    def test_different_shapes_low(self):
+        a = "SELECT name FROM singer"
+        b = ("SELECT a, count(*) FROM t JOIN u ON t.x = u.x GROUP BY a "
+             "HAVING count(*) > 2 ORDER BY count(*) DESC LIMIT 1")
+        assert skeleton_similarity(a, b) < 0.3
+
+    def test_symmetry(self):
+        a = "SELECT name FROM singer WHERE age > 20"
+        b = "SELECT a FROM t ORDER BY b LIMIT 1"
+        assert skeleton_similarity(a, b) == pytest.approx(skeleton_similarity(b, a))
+
+    @given(st.sampled_from([
+        "SELECT a FROM t",
+        "SELECT count(*) FROM t WHERE x = 'v'",
+        "SELECT a FROM t WHERE x IN (SELECT y FROM u)",
+        "SELECT a FROM t UNION SELECT b FROM u",
+    ]), st.sampled_from([
+        "SELECT a FROM t",
+        "SELECT count(*) FROM t WHERE x = 'v'",
+        "SELECT a, b FROM t GROUP BY a",
+    ]))
+    @settings(deadline=None)
+    def test_bounded(self, a, b):
+        score = skeleton_similarity(a, b)
+        assert 0.0 <= score <= 1.0
+
+
+class TestSkeletonTokens:
+    def test_tokens_split(self):
+        tokens = skeleton_tokens("SELECT a FROM t")
+        assert tokens == ["SELECT", "_", "FROM", "_"]

@@ -1,0 +1,114 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.tokens import Token, TokenType, tokenize
+
+
+def types(sql):
+    return [t.type for t in tokenize(sql)[:-1]]
+
+
+def values(sql):
+    return [t.value for t in tokenize(sql)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_uppercased(self):
+        assert values("select from where")[:3] == ["SELECT", "FROM", "WHERE"]
+
+    def test_identifiers_preserved(self):
+        tokens = tokenize("SELECT Name FROM Singer")
+        assert tokens[1].value == "Name"
+        assert tokens[3].value == "Singer"
+
+    def test_keyword_detection_case_insensitive(self):
+        for text in ("select", "SELECT", "SeLeCt"):
+            token = tokenize(text)[0]
+            assert token.type is TokenType.KEYWORD
+            assert token.value == "SELECT"
+
+    def test_eof_appended(self):
+        assert tokenize("SELECT 1")[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestLiterals:
+    def test_integer(self):
+        token = tokenize("42")[0]
+        assert token.type is TokenType.NUMBER
+        assert token.value == "42"
+
+    def test_float(self):
+        assert tokenize("3.14")[0].value == "3.14"
+
+    def test_leading_dot_float(self):
+        assert tokenize(".5")[0].value == ".5"
+
+    def test_single_quoted_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.type is TokenType.STRING
+        assert token.value == "hello"
+
+    def test_double_quoted_string(self):
+        assert tokenize('"hello"')[0].value == "hello"
+
+    def test_escaped_quote(self):
+        assert tokenize("'it''s'")[0].value == "it's"
+
+    def test_string_with_spaces(self):
+        assert tokenize("'New York'")[0].value == "New York"
+
+
+class TestOperators:
+    def test_comparison_operators(self):
+        assert values("a >= 1") == ["a", ">=", "1"]
+        assert values("a <= 1")[1] == "<="
+
+    def test_not_equal_canonicalised(self):
+        assert tokenize("a <> b")[1].value == "!="
+        assert tokenize("a != b")[1].value == "!="
+
+    def test_star_is_punct(self):
+        token = tokenize("*")[0]
+        assert token.type is TokenType.PUNCT
+        assert token.value == "*"
+
+    def test_arithmetic(self):
+        assert values("a + b - c / d") == ["a", "+", "b", "-", "c", "/", "d"]
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comment_skipped(self):
+        assert values("SELECT 1 -- comment here") == ["SELECT", "1"]
+
+    def test_whitespace_runs(self):
+        assert values("SELECT\n\t 1") == ["SELECT", "1"]
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @foo")
+
+    def test_error_carries_position(self):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            tokenize("SELECT ¤")
+        assert excinfo.value.position == 7
+
+
+class TestTokenHelpers:
+    def test_is_keyword(self):
+        token = Token(TokenType.KEYWORD, "SELECT")
+        assert token.is_keyword("SELECT")
+        assert token.is_keyword("SELECT", "FROM")
+        assert not token.is_keyword("FROM")
+
+    def test_ident_not_keyword(self):
+        token = Token(TokenType.IDENT, "select_col")
+        assert not token.is_keyword("SELECT")

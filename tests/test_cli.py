@@ -1,0 +1,123 @@
+"""CLI tests (argument parsing and the fast command paths)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_experiment_args(self):
+        args = build_parser().parse_args(
+            ["experiment", "table1", "--fast", "--limit", "5"]
+        )
+        assert args.artifact == "table1"
+        assert args.fast
+        assert args.limit == 5
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate", "out"])
+        assert args.seed == 7
+        assert args.train_per_db == 30
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "gpt-4" in out
+        assert "vicuna-33b" in out
+
+    def test_generate(self, tmp_path, capsys):
+        code = main([
+            "generate", str(tmp_path), "--seed", "1",
+            "--train-per-db", "3", "--dev-per-db", "3",
+        ])
+        assert code == 0
+        tables = json.loads((tmp_path / "tables.json").read_text())
+        assert tables
+        assert (tmp_path / "train.json").exists()
+        assert (tmp_path / "dev.json").exists()
+
+    def test_experiment_fast(self, capsys):
+        code = main(["experiment", "table1", "--fast", "--limit", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+
+    def test_unknown_experiment_reports_error(self, capsys):
+        code = main(["experiment", "table99", "--fast"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_compare(self, capsys):
+        code = main([
+            "compare", "gpt-4:OD_P", "llama-7b:OD_P", "--fast", "--limit", "10",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "delta=" in out
+        assert "McNemar" in out
+
+    def test_compare_fewshot_spec(self, capsys):
+        code = main([
+            "compare", "gpt-4:CR_P:DAIL_S+DAIL_O@3", "gpt-4:CR_P",
+            "--fast", "--limit", "8",
+        ])
+        assert code == 0
+        assert "DAIL_S+DAIL_O@3" in capsys.readouterr().out
+
+    def test_generate_with_databases(self, tmp_path, capsys):
+        code = main([
+            "generate", str(tmp_path), "--seed", "2",
+            "--train-per-db", "2", "--dev-per-db", "2", "--databases",
+        ])
+        assert code == 0
+        assert (tmp_path / "database").is_dir()
+        sqlites = list((tmp_path / "database").glob("*/*.sqlite"))
+        assert sqlites
+
+    def test_ask(self, capsys, corpus):
+        # Use a dev db of the fast context; question text is free-form.
+        code = main([
+            "ask", "concert_singer", "How many singers are there?",
+            "--fast", "--k", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out
+
+    def test_validate_clean_layout(self, tmp_path, capsys):
+        assert main([
+            "generate", str(tmp_path), "--seed", "3",
+            "--train-per-db", "2", "--dev-per-db", "2", "--databases",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["validate", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "all gold queries parse" in out
+
+    def test_validate_detects_problems(self, tmp_path, capsys):
+        assert main([
+            "generate", str(tmp_path), "--seed", "3",
+            "--train-per-db", "2", "--dev-per-db", "2", "--databases",
+        ]) == 0
+        import json
+        dev_path = tmp_path / "dev.json"
+        entries = json.loads(dev_path.read_text())
+        entries[0]["query"] = "SELECT nope FROM not_a_table"
+        entries[0]["hardness"] = ""
+        dev_path.write_text(json.dumps(entries))
+        capsys.readouterr()
+        assert main(["validate", str(tmp_path)]) == 1
+        assert "PROBLEM" in capsys.readouterr().out

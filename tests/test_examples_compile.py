@@ -1,0 +1,34 @@
+"""Examples must at least compile and expose a main() entry point."""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted(Path(__file__).parent.parent.joinpath("examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_has_main_guard(path):
+    tree = ast.parse(path.read_text())
+    has_main = any(
+        isinstance(node, ast.FunctionDef) and node.name == "main"
+        for node in tree.body
+    )
+    has_guard = '__name__ == "__main__"' in path.read_text()
+    assert has_main and has_guard
+
+
+def test_expected_examples_present():
+    names = {p.name for p in EXAMPLES}
+    assert {
+        "quickstart.py", "custom_database.py", "prompt_cookbook.py",
+        "finetune_open_source.py", "leaderboard_run.py",
+        "analysis_toolkit.py", "data_interop.py",
+    } <= names

@@ -1,0 +1,71 @@
+"""Token counter tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tokenizer.counter import TokenCounter, count_tokens, tokenize_pieces
+
+
+class TestCounting:
+    def test_empty(self):
+        assert count_tokens("") == 0
+
+    def test_common_words_single_token(self):
+        assert count_tokens("the") == 1
+        assert count_tokens("select from where") == 3
+
+    def test_long_word_splits(self):
+        assert count_tokens("internationalization") > 2
+
+    def test_punctuation_counts(self):
+        assert count_tokens("a,b") == 3
+        assert count_tokens("(((") == 3
+
+    def test_digits_grouped(self):
+        assert count_tokens("12") == 1
+        assert count_tokens("123456") == 2
+
+    def test_newlines_counted(self):
+        assert count_tokens("a\nb") == count_tokens("a b") + 1
+
+    def test_sql_text_plausible(self):
+        sql = "SELECT name FROM singer WHERE age > 20 ORDER BY age DESC LIMIT 3"
+        count = count_tokens(sql)
+        # tiktoken gives ~16; stay in the same ballpark.
+        assert 12 <= count <= 24
+
+
+class TestMonotonicity:
+    @given(st.text(alphabet="abcdefgh (),.*", max_size=60), st.text(
+        alphabet="abcdefgh (),.*", max_size=20))
+    @settings(deadline=None)
+    def test_appending_never_decreases(self, base, extra):
+        assert count_tokens(base + extra) >= count_tokens(base)
+
+    @given(st.text(max_size=80))
+    @settings(deadline=None)
+    def test_nonnegative_and_bounded(self, text):
+        count = count_tokens(text)
+        assert 0 <= count <= max(1, len(text))
+
+
+class TestPieces:
+    def test_split(self):
+        assert tokenize_pieces("a b") == ["a", " ", "b"]
+
+    def test_mixed(self):
+        assert tokenize_pieces("ab12!") == ["ab", "12", "!"]
+
+
+class TestTokenCounterCache:
+    def test_same_result_cached(self):
+        counter = TokenCounter()
+        text = "SELECT a FROM t"
+        assert counter.count(text) == counter.count(text) == count_tokens(text)
+
+    def test_cache_cap(self):
+        counter = TokenCounter(max_cache=2)
+        for i in range(5):
+            counter.count(f"text {i}")
+        assert len(counter._cache) <= 2
