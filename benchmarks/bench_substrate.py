@@ -3,6 +3,15 @@
 Unlike the artifact benches (one expensive regeneration each), these are
 classic multi-round timings of the hot inner loops — the costs every
 experiment pays thousands of times.
+
+Run as a script for the evaluation-engine speedup check::
+
+    PYTHONPATH=src python benchmarks/bench_substrate.py --smoke
+
+which sweeps a 4-config grid serially and with a worker pool over a
+latency-bearing simulated backend, verifies the reports are identical,
+prints the speedup, and (in ``--smoke`` mode) exits non-zero if the
+parallel sweep is slower than the serial one.
 """
 
 import pytest
@@ -81,3 +90,113 @@ def test_corpus_generation(benchmark):
         )
         corpus.close()
     benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_parallel_sweep(benchmark, small_corpus):
+    """Wall-clock of a 4-config sweep on the worker-pool engine."""
+    from repro.eval.engine import GridRunner
+
+    def run():
+        runner = _grid_runner(small_corpus, latency_s=0.002)
+        grid = GridRunner(runner, workers=4).sweep(_grid_configs(), limit=4)
+        assert len(grid) == 4
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+# -- evaluation-engine speedup check (script mode) ---------------------------
+
+def _grid_configs():
+    from repro.eval.harness import RunConfig
+
+    return [
+        RunConfig(model="gpt-4", representation="CR_P"),
+        RunConfig(model="gpt-4", representation="OD_P"),
+        RunConfig(model="gpt-3.5-turbo", representation="CR_P"),
+        RunConfig(model="gpt-4", representation="CR_P",
+                  selection="DAIL_S", organization="DAIL_O", k=3),
+    ]
+
+
+def _grid_runner(corpus, latency_s):
+    from repro.eval.harness import BenchmarkRunner
+
+    return BenchmarkRunner(
+        corpus.dev, corpus.train, corpus.pool(), seed=1,
+        llm_latency_s=latency_s,
+    )
+
+
+def engine_speedup(workers=4, latency_s=0.02, limit=None, smoke=False):
+    """Sweep one grid serially then in parallel; return (speedup, grids).
+
+    Fresh runners per mode keep the comparison fair (cold caches on both
+    sides); the simulated backend sleeps ``latency_s`` per generation to
+    stand in for remote-API round-trips, which is the regime the worker
+    pool exists for.
+    """
+    import time
+
+    from dataclasses import asdict
+
+    from repro.eval.engine import GridRunner
+
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+    try:
+        configs = _grid_configs()
+        start = time.perf_counter()
+        serial = GridRunner(_grid_runner(corpus, latency_s), workers=1).sweep(
+            configs, limit=limit
+        )
+        serial_s = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = GridRunner(
+            _grid_runner(corpus, latency_s), workers=workers
+        ).sweep(configs, limit=limit)
+        parallel_s = time.perf_counter() - start
+    finally:
+        corpus.close()
+
+    for a, b in zip(serial, parallel):
+        if [asdict(r) for r in a.records] != [asdict(r) for r in b.records]:
+            raise AssertionError(
+                f"parallel records diverge from serial for {a.label!r}"
+            )
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    examples = sum(len(report) for report in serial)
+    print(f"grid: {len(configs)} configs x {examples // len(configs)} "
+          f"examples, llm latency {latency_s * 1000:.0f} ms")
+    print(f"serial   (workers=1): {serial_s:7.2f} s")
+    print(f"parallel (workers={workers}): {parallel_s:7.2f} s")
+    print(f"speedup: {speedup:.2f}x  "
+          f"(utilization {parallel[0].telemetry.utilization:.0%}, "
+          f"reports identical)")
+    if smoke and speedup < 1.0:
+        raise SystemExit(
+            f"FAIL: parallel sweep slower than serial ({speedup:.2f}x)"
+        )
+    return speedup, (serial, parallel)
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="evaluation-engine serial-vs-parallel speedup check"
+    )
+    parser.add_argument("--smoke", action="store_true",
+                        help="exit non-zero if parallel is slower than serial")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--latency", type=float, default=0.02,
+                        help="simulated per-generation latency in seconds")
+    parser.add_argument("--limit", type=int, default=None)
+    args = parser.parse_args(argv)
+    engine_speedup(workers=args.workers, latency_s=args.latency,
+                   limit=args.limit, smoke=args.smoke)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,25 +1,45 @@
 """Reproduce the leaderboard table (paper Table 5) from scratch.
 
 Runs DAIL-SQL, DAIL-SQL + self-consistency and the baseline systems on
-the canonical benchmark, printing the leaderboard with token costs.
+the canonical benchmark as one grid sweep, printing the leaderboard with
+token costs and the sweep's throughput profile.
 
-Run:  python examples/leaderboard_run.py
+Run:  python examples/leaderboard_run.py [--workers 4]
 """
 
+import argparse
+
 from repro.core import leaderboard_entries
-from repro.eval import format_table, percent
-from repro.experiments import get_context
+from repro.eval import GridRunner, format_table, percent
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker threads for the sweep (default 1)")
+    args = parser.parse_args()
+
+    from repro.experiments import get_context
+
     context = get_context()
     print(f"evaluating on {len(context.dev)} dev questions over "
           f"{len(context.dev.schemas)} unseen databases "
           f"({len(context.train)} cross-domain candidates)\n")
 
+    entries = leaderboard_entries()
+
+    def tick(event):
+        if event.done % 50 == 0 or event.done == event.total:
+            print(f"  {event.done}/{event.total} examples evaluated")
+
+    grid = GridRunner(context.runner, workers=args.workers,
+                      progress=tick).sweep(
+        [entry.config for entry in entries],
+        n_samples=[entry.n_samples for entry in entries],
+    )
+
     rows = []
-    for entry in leaderboard_entries():
-        report = context.runner.run(entry.config, n_samples=entry.n_samples)
+    for entry, report in zip(entries, grid):
         rows.append({
             "system": entry.name,
             "EX": percent(report.execution_accuracy),
@@ -27,10 +47,11 @@ def main() -> None:
             "tokens/question": round(report.avg_prompt_tokens),
             "EX per 1k tokens": round(report.token_efficiency(), 2),
         })
-        print(f"  done: {entry.name}")
     rows.sort(key=lambda r: -float(r["EX"]))
     print()
     print(format_table(rows, title="Leaderboard (synthetic Spider-format benchmark)"))
+    print(f"\nsweep took {grid.total_wall_clock_s():.1f} s "
+          f"on {args.workers} worker(s)")
 
 
 if __name__ == "__main__":

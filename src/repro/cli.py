@@ -27,9 +27,19 @@ from . import __version__
 from .errors import ReproError
 
 
+def _apply_workers(args: argparse.Namespace) -> None:
+    """Honour a ``--workers N`` flag by raising the sweep default."""
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        from .experiments.context import set_default_workers
+
+        set_default_workers(workers)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
 
+    _apply_workers(args)
     result = run_experiment(args.artifact, fast=args.fast, limit=args.limit)
     print(result.render())
     return 0
@@ -38,6 +48,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
+    _apply_workers(args)
     for result in run_all(fast=args.fast, limit=args.limit):
         print(result.render())
         print()
@@ -94,10 +105,10 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             organization=organization or "FI_O", k=k,
         )
 
+    _apply_workers(args)
     config_a = parse_config(args.a)
     config_b = parse_config(args.b)
-    report_a = context.runner.run(config_a, limit=args.limit)
-    report_b = context.runner.run(config_b, limit=args.limit)
+    report_a, report_b = context.sweep([config_a, config_b], limit=args.limit)
     comparison = compare_reports(report_a, report_b)
     print(f"A: {config_a.resolved_label()}  EX={report_a.execution_accuracy:.3f}")
     print(f"B: {config_b.resolved_label()}  EX={report_b.execution_accuracy:.3f}")
@@ -154,6 +165,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
 def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.markdown import write_report
 
+    _apply_workers(args)
     path = write_report(
         args.output, fast=args.fast, limit=args.limit,
         include_supplementary=not args.paper_only,
@@ -182,15 +194,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--version", action="version", version=__version__)
     sub = parser.add_subparsers(dest="command", required=True)
 
+    workers_help = "worker threads for evaluation sweeps (default 1)"
+
     p_exp = sub.add_parser("experiment", help="run one paper table/figure")
     p_exp.add_argument("artifact", help="e.g. table1, figure4")
     p_exp.add_argument("--fast", action="store_true")
     p_exp.add_argument("--limit", type=int, default=None)
+    p_exp.add_argument("--workers", type=int, default=None, help=workers_help)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_all = sub.add_parser("experiments", help="run every paper artifact")
     p_all.add_argument("--fast", action="store_true")
     p_all.add_argument("--limit", type=int, default=None)
+    p_all.add_argument("--workers", type=int, default=None, help=workers_help)
     p_all.set_defaults(func=_cmd_experiments)
 
     p_gen = sub.add_parser("generate", help="write the synthetic corpus")
@@ -213,6 +229,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("b", help="e.g. gpt-4:CR_P")
     p_cmp.add_argument("--fast", action="store_true")
     p_cmp.add_argument("--limit", type=int, default=None)
+    p_cmp.add_argument("--workers", type=int, default=None, help=workers_help)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_ask = sub.add_parser("ask", help="run DAIL-SQL on one question")
@@ -238,6 +255,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--limit", type=int, default=None)
     p_report.add_argument("--paper-only", action="store_true",
                           help="skip the supplementary analyses")
+    p_report.add_argument("--workers", type=int, default=None,
+                          help=workers_help)
     p_report.set_defaults(func=_cmd_report)
 
     p_models = sub.add_parser("models", help="list model profiles")

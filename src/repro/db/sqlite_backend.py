@@ -9,6 +9,7 @@ as the Spider evaluation executes against its ``database/*.sqlite`` files.
 from __future__ import annotations
 
 import sqlite3
+import threading
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -59,7 +60,10 @@ class Database:
             ExecutionError: if DDL or inserts fail.
         """
         target = str(path) if path is not None else ":memory:"
-        conn = sqlite3.connect(target)
+        # check_same_thread=False lets the owning pool close worker-thread
+        # connections at shutdown; each connection is still *used* by a
+        # single thread only (DatabasePool hands out per-thread instances).
+        conn = sqlite3.connect(target, check_same_thread=False)
         db = cls(conn, schema.db_id)
         try:
             db._create_tables(schema)
@@ -80,7 +84,9 @@ class Database:
         if not path.exists():
             raise ExecutionError(f"no such database file: {path}")
         try:
-            conn = sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+            conn = sqlite3.connect(
+                f"file:{path}?mode=ro", uri=True, check_same_thread=False
+            )
         except sqlite3.Error as exc:
             raise ExecutionError(f"cannot open {path}: {exc}") from exc
         return cls(conn, db_id or path.stem)
@@ -182,44 +188,92 @@ class Database:
 
 
 class DatabasePool:
-    """Lazily built, cached databases for a whole dataset.
+    """Lazily built, per-thread cached databases for a whole dataset.
 
     The evaluation harness executes thousands of queries; building each
-    database once and keeping the connection open makes EX evaluation fast.
+    database once per thread and keeping the connection open makes EX
+    evaluation fast.  SQLite connections must not be shared between
+    threads, so the pool stores the *recipe* (schema + rows) for every
+    database and materialises one connection per (thread, db_id) on first
+    use — the parallel evaluation engine's workers each get their own
+    connection and never contend on a progress handler or cursor.
     """
 
     def __init__(self):
-        self._databases: Dict[str, Database] = {}
+        #: db_id → (schema, rows): how to (re)build the database.
+        self._recipes: Dict[str, Tuple[DatabaseSchema, Dict[str, List[dict]]]] = {}
+        #: thread ident → db_id → materialised database.
+        self._instances: Dict[int, Dict[str, Database]] = {}
+        self._lock = threading.Lock()
 
     def add(self, schema: DatabaseSchema, rows: Dict[str, List[dict]]) -> Database:
-        """Build (or replace) the database for ``schema.db_id``."""
-        if schema.db_id in self._databases:
-            self._databases[schema.db_id].close()
-        database = Database.build(schema, rows)
-        self._databases[schema.db_id] = database
-        return database
+        """Register (or replace) the database for ``schema.db_id``.
+
+        Returns the calling thread's instance, built eagerly so DDL
+        errors surface here rather than at first query.
+        """
+        with self._lock:
+            stale = [
+                per_thread.pop(schema.db_id)
+                for per_thread in self._instances.values()
+                if schema.db_id in per_thread
+            ]
+            self._recipes[schema.db_id] = (schema, rows)
+        for database in stale:
+            database.close()
+        return self.get(schema.db_id)
 
     def get(self, db_id: str) -> Database:
-        """Fetch a database by id.
+        """The calling thread's database for ``db_id`` (built on first use).
 
         Raises:
             ExecutionError: if the database was never added.
         """
-        try:
-            return self._databases[db_id]
-        except KeyError as exc:
-            raise ExecutionError(f"no database {db_id!r} in pool") from exc
+        ident = threading.get_ident()
+        with self._lock:
+            per_thread = self._instances.setdefault(ident, {})
+            database = per_thread.get(db_id)
+            if database is not None:
+                return database
+            try:
+                schema, rows = self._recipes[db_id]
+            except KeyError as exc:
+                raise ExecutionError(f"no database {db_id!r} in pool") from exc
+        # Build outside the lock: other threads keep serving cache hits
+        # while this connection loads its rows.
+        database = Database.build(schema, rows)
+        with self._lock:
+            existing = self._instances.setdefault(ident, {}).setdefault(
+                db_id, database
+            )
+        if existing is not database:  # lost a (same-thread re-entrant) race
+            database.close()
+        return existing
 
     def __contains__(self, db_id: str) -> bool:
-        return db_id in self._databases
+        with self._lock:
+            return db_id in self._recipes
 
     def db_ids(self) -> List[str]:
-        return sorted(self._databases)
+        with self._lock:
+            return sorted(self._recipes)
+
+    def connection_count(self) -> int:
+        """Open connections across all threads (telemetry/tests)."""
+        with self._lock:
+            return sum(len(per_thread) for per_thread in self._instances.values())
 
     def close(self) -> None:
-        for database in self._databases.values():
+        with self._lock:
+            databases = [
+                db
+                for per_thread in self._instances.values()
+                for db in per_thread.values()
+            ]
+            self._instances.clear()
+            self._recipes.clear()
+        for database in databases:
             database.close()
-        self._databases.clear()
 
     def __enter__(self) -> "DatabasePool":
         return self

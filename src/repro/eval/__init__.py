@@ -18,9 +18,11 @@ from .error_analysis import (
     error_breakdown,
 )
 from .exact_match import COMPONENTS, component_match, exact_match
+from .engine import EvalEngine, GridResult, GridRunner
 from .figures import ascii_lines, ascii_scatter
-from .harness import BenchmarkRunner, RunConfig, run_grid
+from .harness import BenchmarkRunner, RunConfig, RunPlan, run_grid
 from .metrics import EvalReport, PredictionRecord
+from .telemetry import ProgressEvent, RunTelemetry
 from .reporting import format_matrix, format_series, format_table, percent
 from .persistence import load_report, load_reports, save_report, save_reports
 from .significance import Comparison, compare_reports, mcnemar_exact
@@ -33,7 +35,9 @@ __all__ = [
     "report_cost_usd", "ERROR_CATEGORIES", "ErrorDiagnosis", "breakdown_rows",
     "diagnose", "error_breakdown", "COMPONENTS", "component_match",
     "exact_match", "ascii_lines", "ascii_scatter", "BenchmarkRunner",
-    "RunConfig", "run_grid", "EvalReport", "PredictionRecord",
+    "RunConfig", "RunPlan", "run_grid", "EvalEngine", "GridRunner",
+    "GridResult", "RunTelemetry", "ProgressEvent", "EvalReport",
+    "PredictionRecord",
     "format_matrix", "format_series", "format_table", "percent",
     "Comparison", "compare_reports", "mcnemar_exact", "TestSuite",
     "test_suite_accuracy",

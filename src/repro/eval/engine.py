@@ -1,0 +1,304 @@
+"""The parallel evaluation engine and the grid-sweep API.
+
+:class:`EvalEngine` fans (config × example) work units across a
+``ThreadPoolExecutor`` while keeping three guarantees the serial harness
+gave for free:
+
+* **Determinism** — results land in input order regardless of completion
+  order, and every pipeline stage is a pure function of stable hashes, so
+  a ``workers=4`` run produces records identical to ``workers=1``.
+* **Fault isolation** — an example whose pipeline raises (selection,
+  prompt building, generation, execution — anything) becomes a
+  :class:`~repro.eval.metrics.PredictionRecord` with its ``error`` field
+  set, scored as wrong; the sweep never aborts mid-grid.
+* **Telemetry** — each report carries a
+  :class:`~repro.eval.telemetry.RunTelemetry` with per-stage wall-clock,
+  worker utilization and cache hit rates, and a progress callback fires
+  after every example.
+
+:class:`GridRunner` is the sweep-level API (the redesign of the old
+``run_grid`` function): ``sweep(configs)`` schedules *every* example of
+*every* config onto one worker pool — short configs never leave workers
+idle while a long config finishes — and returns a :class:`GridResult`
+with named per-config access and tabulation helpers.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from ..dataset.spider import Example
+from ..errors import EvaluationError
+from .harness import BenchmarkRunner, RunConfig, RunPlan
+from .metrics import EvalReport, PredictionRecord
+from .telemetry import ProgressEvent, TelemetryCollector
+
+#: Progress hook signature: called (under a lock) after every example.
+ProgressCallback = Callable[[ProgressEvent], None]
+
+
+def _error_record(example: Example, exc: BaseException) -> PredictionRecord:
+    """The record written for an example whose pipeline raised."""
+    try:
+        hardness = example.hardness
+    except Exception:  # pragma: no cover - hardness itself failing
+        hardness = "unknown"
+    return PredictionRecord(
+        example_id=example.example_id,
+        db_id=example.db_id,
+        question=example.question,
+        gold_sql=example.query,
+        raw_output="",
+        predicted_sql="",
+        exec_match=False,
+        exact_match=False,
+        hardness=hardness,
+        prompt_tokens=0,
+        completion_tokens=0,
+        n_examples=0,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
+class EvalEngine:
+    """Parallel scheduler for benchmark runs over one shared runner.
+
+    Args:
+        runner: the harness holding dataset, caches and databases; its
+            caches are lock-protected and shared across workers.
+        workers: worker threads; ``1`` evaluates inline (no pool).
+        progress: optional per-example progress callback.
+    """
+
+    def __init__(
+        self,
+        runner: BenchmarkRunner,
+        workers: int = 1,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        if workers < 1:
+            raise EvaluationError(f"workers must be >= 1, got {workers}")
+        self.runner = runner
+        self.workers = workers
+        self.progress = progress
+
+    # -- public API --------------------------------------------------------
+
+    def run(
+        self,
+        config: RunConfig,
+        limit: Optional[int] = None,
+        n_samples: int = 1,
+    ) -> EvalReport:
+        """Evaluate one configuration; see :meth:`run_many`."""
+        return self.run_many([config], limit=limit, n_samples=n_samples)[0]
+
+    def run_many(
+        self,
+        configs: Sequence[RunConfig],
+        limit: Optional[int] = None,
+        n_samples: Union[int, Sequence[int]] = 1,
+    ) -> List[EvalReport]:
+        """Evaluate several configurations over one worker pool.
+
+        Args:
+            configs: the grid points, evaluated over the runner's dataset.
+            limit: evaluate only the first ``limit`` examples of each.
+            n_samples: self-consistency sample count — one int for all
+                configs, or a per-config sequence.
+
+        Returns:
+            One report per config, in input order; record order within
+            each report matches dataset order exactly (parallel runs are
+            byte-identical to serial ones).
+
+        Raises:
+            EvaluationError: on misconfiguration of a whole config
+                (unknown ids, few-shot without a candidate pool, length
+                mismatch of a per-config ``n_samples``).  Per-example
+                failures do not raise — they become errored records.
+        """
+        configs = list(configs)
+        samples = self._per_config_samples(configs, n_samples)
+        # Plans are built eagerly, in order: config-level misconfiguration
+        # fails fast, before any example is evaluated.
+        plans = [
+            self.runner.prepare(config, n_samples=count)
+            for config, count in zip(configs, samples)
+        ]
+        examples = self.runner.examples_for(limit)
+
+        collectors = [TelemetryCollector() for _ in plans]
+        slots: List[List[Optional[PredictionRecord]]] = [
+            [None] * len(examples) for _ in plans
+        ]
+        units = [
+            (ci, ei)
+            for ci in range(len(plans))
+            for ei in range(len(examples))
+        ]
+        total = len(units)
+        done_box = {"n": 0}
+        progress_lock = threading.Lock()
+
+        def evaluate(unit) -> None:
+            ci, ei = unit
+            plan, example = plans[ci], examples[ei]
+            collector = collectors[ci]
+            start = time.perf_counter()
+            try:
+                record = self.runner.evaluate_example(example, plan, collector)
+            except Exception as exc:
+                record = _error_record(example, exc)
+            collector.example_done(
+                time.perf_counter() - start, error=bool(record.error)
+            )
+            slots[ci][ei] = record
+            if self.progress is not None:
+                with progress_lock:
+                    done_box["n"] += 1
+                    event = ProgressEvent(
+                        done=done_box["n"],
+                        total=total,
+                        label=plan.config.resolved_label(),
+                        example_id=example.example_id,
+                        error=record.error,
+                    )
+                self.progress(event)
+
+        start = time.perf_counter()
+        if self.workers == 1 or total <= 1:
+            for unit in units:
+                evaluate(unit)
+        else:
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                # list() drains the iterator so worker exceptions (none are
+                # expected — evaluate() isolates them) propagate here.
+                list(pool.map(evaluate, units))
+        wall_clock = time.perf_counter() - start
+
+        reports = []
+        for ci, plan in enumerate(plans):
+            report = EvalReport(label=plan.config.resolved_label())
+            for record in slots[ci]:
+                report.add(record)
+            report.telemetry = collectors[ci].freeze(self.workers, wall_clock)
+            reports.append(report)
+        return reports
+
+    # -- helpers -----------------------------------------------------------
+
+    @staticmethod
+    def _per_config_samples(
+        configs: Sequence[RunConfig], n_samples: Union[int, Sequence[int]]
+    ) -> List[int]:
+        if isinstance(n_samples, int):
+            return [n_samples] * len(configs)
+        counts = list(n_samples)
+        if len(counts) != len(configs):
+            raise EvaluationError(
+                f"n_samples sequence has {len(counts)} entries "
+                f"for {len(configs)} configs"
+            )
+        return counts
+
+
+class GridResult:
+    """Reports of one grid sweep, addressable by position or label.
+
+    Iterating yields the reports in config order.  ``result["label"]``
+    (or ``result.get(label)``) fetches one config's report by its
+    resolved label; :meth:`to_rows` flattens every report's summary into
+    table rows for the experiment drivers.
+    """
+
+    def __init__(self, configs: Sequence[RunConfig], reports: Sequence[EvalReport]):
+        if len(configs) != len(reports):
+            raise EvaluationError(
+                f"{len(configs)} configs but {len(reports)} reports"
+            )
+        self.configs = list(configs)
+        self.reports = list(reports)
+        self._by_label: Dict[str, EvalReport] = {}
+        for config, report in zip(self.configs, self.reports):
+            # First config wins on duplicate labels (mirrors dict.setdefault,
+            # and sweeps with distinct grid points always have distinct labels).
+            self._by_label.setdefault(config.resolved_label(), report)
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self) -> Iterator[EvalReport]:
+        return iter(self.reports)
+
+    def __getitem__(self, key: Union[int, str]) -> EvalReport:
+        if isinstance(key, int):
+            return self.reports[key]
+        try:
+            return self._by_label[key]
+        except KeyError:
+            raise KeyError(
+                f"no config labelled {key!r}; have {sorted(self._by_label)}"
+            ) from None
+
+    def get(self, label: str, default: Optional[EvalReport] = None):
+        """Report by label, or ``default`` when the label is unknown."""
+        return self._by_label.get(label, default)
+
+    def labels(self) -> List[str]:
+        return [config.resolved_label() for config in self.configs]
+
+    def to_rows(self) -> List[Dict[str, object]]:
+        """One summary row per config — the experiment-table shape."""
+        return [report.summary() for report in self.reports]
+
+    def total_wall_clock_s(self) -> float:
+        """Wall-clock of the sweep (configs share one pool, so this is
+        the max over per-report telemetry, not the sum)."""
+        return max(
+            (r.telemetry.wall_clock_s for r in self.reports if r.telemetry),
+            default=0.0,
+        )
+
+
+class GridRunner:
+    """Sweep-level evaluation API (successor of ``run_grid``).
+
+    One ``GridRunner`` wraps a shared :class:`BenchmarkRunner` and a
+    worker count; :meth:`sweep` evaluates a whole grid on one pool::
+
+        grid = GridRunner(runner, workers=8).sweep(configs, limit=50)
+        grid["gpt-4 CR_P 0-shot"].execution_accuracy
+        rows = grid.to_rows()
+    """
+
+    def __init__(
+        self,
+        runner: BenchmarkRunner,
+        workers: int = 1,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        self.engine = EvalEngine(runner, workers=workers, progress=progress)
+
+    @property
+    def workers(self) -> int:
+        return self.engine.workers
+
+    def sweep(
+        self,
+        configs: Sequence[RunConfig],
+        limit: Optional[int] = None,
+        n_samples: Union[int, Sequence[int]] = 1,
+    ) -> GridResult:
+        """Evaluate every config over the shared worker pool.
+
+        Raises:
+            EvaluationError: on config-level misconfiguration (see
+                :meth:`EvalEngine.run_many`).
+        """
+        configs = list(configs)
+        reports = self.engine.run_many(configs, limit=limit, n_samples=n_samples)
+        return GridResult(configs, reports)

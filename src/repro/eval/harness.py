@@ -11,10 +11,15 @@ accuracy scoring.  :meth:`BenchmarkRunner.run` evaluates one
 
 Gold execution results, selection strategies and fitted embedders are
 cached across runs, so parameter sweeps (the experiment grids) stay fast.
+The caches are lock-protected: the runner is shared by every worker
+thread of the :class:`~repro.eval.engine.EvalEngine`, which schedules the
+actual work (``BenchmarkRunner.run`` delegates to a one-config engine).
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
@@ -37,6 +42,7 @@ from ..selection.strategies import (
 )
 from .exact_match import exact_match
 from .metrics import EvalReport, PredictionRecord
+from .telemetry import NULL_COLLECTOR, TelemetryCollector
 
 
 @dataclass(frozen=True)
@@ -71,8 +77,34 @@ class RunConfig:
         return " ".join(parts)
 
 
+@dataclass
+class RunPlan:
+    """One config's resolved collaborators, built once per run.
+
+    The engine prepares a plan up front so every worker evaluating that
+    config shares the same builder, LLM and selection strategy.
+    """
+
+    config: RunConfig
+    builder: PromptBuilder
+    llm: SimulatedLLM
+    strategy: Optional[SelectionStrategy]
+    n_samples: int = 1
+
+
 class BenchmarkRunner:
-    """Evaluates run configurations over one dataset."""
+    """Evaluates run configurations over one dataset.
+
+    Args:
+        eval_dataset: the evaluation split.
+        candidates: cross-domain in-context example pool (``None`` for
+            zero-shot-only runners).
+        pool: databases for execution-accuracy scoring.
+        seed: selection-strategy seed.
+        llm_latency_s: optional per-generation latency injected into the
+            simulated backend — emulates a remote API so the parallel
+            engine's speedup can be exercised and benchmarked honestly.
+    """
 
     def __init__(
         self,
@@ -80,54 +112,81 @@ class BenchmarkRunner:
         candidates: Optional[SpiderDataset],
         pool: DatabasePool,
         seed: int = 0,
+        llm_latency_s: float = 0.0,
     ):
         self.eval_dataset = eval_dataset
         self.candidates = candidates
         self.pool = pool
         self.seed = seed
+        self.llm_latency_s = llm_latency_s
         self.oracle = GoldOracle(eval_dataset)
         if candidates is not None:
             self.oracle.add_dataset(candidates)
         self._gold_rows: Dict[str, object] = {}
+        self._gold_lock = threading.Lock()
         self._selections: Dict[str, SelectionStrategy] = {}
+        self._selection_lock = threading.Lock()
         self._preliminary: Dict[tuple, str] = {}
+        self._preliminary_lock = threading.Lock()
 
     # -- caches ------------------------------------------------------------
 
-    def _gold_result(self, example: Example):
-        cached = self._gold_rows.get(example.example_id)
-        if cached is None:
-            database = self.pool.get(example.db_id)
-            cached = database.execute(example.query)
-            self._gold_rows[example.example_id] = cached
-        return cached
+    def _gold_result(
+        self, example: Example, collector: TelemetryCollector = NULL_COLLECTOR
+    ):
+        with self._gold_lock:
+            cached = self._gold_rows.get(example.example_id)
+        if cached is not None:
+            collector.record_cache("gold", hit=True)
+            return cached
+        collector.record_cache("gold", hit=False)
+        database = self.pool.get(example.db_id)
+        result = database.execute(example.query)
+        with self._gold_lock:
+            # Another worker may have raced us here; both computed the same
+            # deterministic result, so last-write-wins is safe.
+            self._gold_rows[example.example_id] = result
+        return result
 
     def _selection(self, sel_id: str) -> SelectionStrategy:
-        strategy = self._selections.get(sel_id)
-        if strategy is None:
-            if self.candidates is None:
-                raise EvaluationError(
-                    "few-shot run requested but the runner has no candidate pool"
-                )
-            strategy = get_selection(sel_id, self.candidates, seed=self.seed)
-            if isinstance(strategy, MaskedQuestionSimilaritySelection):
-                strategy.set_target_dataset(self.eval_dataset)
-            self._selections[sel_id] = strategy
-        return strategy
+        with self._selection_lock:
+            strategy = self._selections.get(sel_id)
+            if strategy is None:
+                if self.candidates is None:
+                    raise EvaluationError(
+                        "few-shot run requested but the runner has no candidate pool"
+                    )
+                strategy = get_selection(sel_id, self.candidates, seed=self.seed)
+                if isinstance(strategy, MaskedQuestionSimilaritySelection):
+                    strategy.set_target_dataset(self.eval_dataset)
+                self._selections[sel_id] = strategy
+            return strategy
 
     # -- generation helpers ---------------------------------------------------
 
     def _build_llm(self, config: RunConfig) -> SimulatedLLM:
-        return make_llm(config.model, self.oracle, sft_state=config.sft_state)
+        return make_llm(
+            config.model,
+            self.oracle,
+            sft_state=config.sft_state,
+            latency_s=self.llm_latency_s,
+        )
 
     def _preliminary_sql(
-        self, config: RunConfig, llm: SimulatedLLM, example: Example
+        self,
+        config: RunConfig,
+        llm: SimulatedLLM,
+        example: Example,
+        collector: TelemetryCollector = NULL_COLLECTOR,
     ) -> str:
         """Zero-shot prediction used by DAIL_S's skeleton matching."""
         key = (config.model, config.representation, example.example_id)
-        cached = self._preliminary.get(key)
+        with self._preliminary_lock:
+            cached = self._preliminary.get(key)
         if cached is not None:
+            collector.record_cache("preliminary", hit=True)
             return cached
+        collector.record_cache("preliminary", hit=False)
         representation = get_representation(
             config.representation,
             RepresentationOptions(
@@ -140,27 +199,18 @@ class BenchmarkRunner:
         prompt = builder.build(schema, example.question)
         result = llm.generate(prompt, sample_tag="preliminary")
         sql = extract_sql(result.text, prompt.response_prefix)
-        self._preliminary[key] = sql
+        with self._preliminary_lock:
+            self._preliminary[key] = sql
         return sql
 
-    # -- main entry -------------------------------------------------------------
+    # -- plan construction -------------------------------------------------------
 
-    def run(
-        self,
-        config: RunConfig,
-        limit: Optional[int] = None,
-        n_samples: int = 1,
-    ) -> EvalReport:
-        """Evaluate one configuration.
-
-        Args:
-            config: the grid point.
-            limit: evaluate only the first ``limit`` examples (smoke runs).
-            n_samples: >1 enables execution-majority self-consistency.
+    def prepare(self, config: RunConfig, n_samples: int = 1) -> RunPlan:
+        """Resolve a config into its run plan (builder, LLM, strategy).
 
         Raises:
             EvaluationError: on misconfiguration (few-shot without a
-                candidate pool, gold queries that fail to execute).
+                candidate pool, unknown representation/organization ids).
         """
         representation = get_representation(
             config.representation,
@@ -179,48 +229,91 @@ class BenchmarkRunner:
             if config.selection and config.k > 0
             else None
         )
+        return RunPlan(
+            config=config,
+            builder=builder,
+            llm=llm,
+            strategy=strategy,
+            n_samples=n_samples,
+        )
 
-        report = EvalReport(label=config.resolved_label())
-        examples = self.eval_dataset.examples[:limit] if limit else self.eval_dataset.examples
-        for example in examples:
-            record = self._evaluate_example(
-                example, config, builder, llm, strategy, n_samples
-            )
-            report.add(record)
-        return report
+    def examples_for(self, limit: Optional[int] = None) -> List[Example]:
+        """The evaluation examples of one run (``limit`` for smoke runs)."""
+        if limit:
+            return self.eval_dataset.examples[:limit]
+        return list(self.eval_dataset.examples)
 
-    def _evaluate_example(
+    # -- main entry -------------------------------------------------------------
+
+    def run(
+        self,
+        config: RunConfig,
+        limit: Optional[int] = None,
+        n_samples: int = 1,
+        workers: int = 1,
+    ) -> EvalReport:
+        """Evaluate one configuration.
+
+        Args:
+            config: the grid point.
+            limit: evaluate only the first ``limit`` examples (smoke runs).
+            n_samples: >1 enables execution-majority self-consistency.
+            workers: worker threads (delegates to the parallel engine).
+
+        Raises:
+            EvaluationError: on misconfiguration (few-shot without a
+                candidate pool).  Per-example failures no longer raise;
+                they surface as errored records on the report.
+        """
+        from .engine import EvalEngine  # local import: engine builds on us
+
+        return EvalEngine(self, workers=workers).run(
+            config, limit=limit, n_samples=n_samples
+        )
+
+    def evaluate_example(
         self,
         example: Example,
-        config: RunConfig,
-        builder: PromptBuilder,
-        llm: SimulatedLLM,
-        strategy: Optional[SelectionStrategy],
-        n_samples: int,
+        plan: RunPlan,
+        collector: TelemetryCollector = NULL_COLLECTOR,
     ) -> PredictionRecord:
+        """Evaluate one example under one plan (thread-safe).
+
+        Raises:
+            Exception: whatever the pipeline raises; the engine isolates
+                it into an errored record.
+        """
+        config = plan.config
         schema = self.eval_dataset.schema(example.db_id)
         blocks = []
-        if strategy is not None:
-            predicted = None
-            if isinstance(strategy, DailSelection):
-                predicted = self._preliminary_sql(config, llm, example)
-            blocks = strategy.select(
-                example.question, example.db_id, config.k, predicted_sql=predicted
-            )
-        prompt = builder.build(schema, example.question, blocks)
+        with collector.stage("select"):
+            if plan.strategy is not None:
+                predicted = None
+                if isinstance(plan.strategy, DailSelection):
+                    predicted = self._preliminary_sql(
+                        config, plan.llm, example, collector
+                    )
+                blocks = plan.strategy.select(
+                    example.question, example.db_id, config.k,
+                    predicted_sql=predicted,
+                )
+        with collector.stage("build"):
+            prompt = plan.builder.build(schema, example.question, blocks)
 
-        if n_samples <= 1:
-            result = llm.generate(prompt)
+        if plan.n_samples <= 1:
+            with collector.stage("generate"):
+                result = plan.llm.generate(prompt)
             predicted_sql = extract_sql(result.text, prompt.response_prefix)
             raw = result.text
             completion_tokens = result.completion_tokens
         else:
             raw, predicted_sql, completion_tokens = self._self_consistency(
-                llm, prompt, example, n_samples
+                plan.llm, prompt, example, plan.n_samples, collector
             )
 
-        exec_ok = self._execution_match(example, predicted_sql)
-        em_ok = exact_match(example.query, predicted_sql)
+        with collector.stage("execute"):
+            exec_ok = self._execution_match(example, predicted_sql, collector)
+            em_ok = exact_match(example.query, predicted_sql)
         return PredictionRecord(
             example_id=example.example_id,
             db_id=example.db_id,
@@ -236,19 +329,24 @@ class BenchmarkRunner:
             n_examples=prompt.n_examples,
         )
 
-    def _self_consistency(self, llm, prompt, example, n_samples):
+    def _self_consistency(
+        self, llm, prompt, example, n_samples,
+        collector: TelemetryCollector = NULL_COLLECTOR,
+    ):
         """Execution-majority voting over several samples (DAIL-SQL+SC)."""
         database = self.pool.get(example.db_id)
         votes: Dict[str, List[str]] = {}
         first_raw = ""
         total_completion = 0
         for index in range(n_samples):
-            result = llm.generate(prompt, sample_tag=f"sc-{index}")
+            with collector.stage("generate"):
+                result = llm.generate(prompt, sample_tag=f"sc-{index}")
             total_completion += result.completion_tokens
             if index == 0:
                 first_raw = result.text
             sql = extract_sql(result.text, prompt.response_prefix)
-            rows = database.try_execute(sql)
+            with collector.stage("execute"):
+                rows = database.try_execute(sql)
             key = "<error>" if rows is None else repr(sorted(map(repr, rows)))
             votes.setdefault(key, []).append(sql)
         # Majority result set wins; errors never win unless unanimous.
@@ -258,8 +356,13 @@ class BenchmarkRunner:
         best_key, best_sqls = max(votes.items(), key=vote_rank)
         return first_raw, best_sqls[0], total_completion
 
-    def _execution_match(self, example: Example, predicted_sql: str) -> bool:
-        gold_rows = self._gold_result(example)
+    def _execution_match(
+        self,
+        example: Example,
+        predicted_sql: str,
+        collector: TelemetryCollector = NULL_COLLECTOR,
+    ) -> bool:
+        gold_rows = self._gold_result(example, collector)
         database = self.pool.get(example.db_id)
         pred_rows = database.try_execute(predicted_sql)
         if pred_rows is None:
@@ -272,5 +375,18 @@ def run_grid(
     configs: List[RunConfig],
     limit: Optional[int] = None,
 ) -> List[EvalReport]:
-    """Evaluate a list of configurations in order."""
-    return [runner.run(config, limit=limit) for config in configs]
+    """Evaluate a list of configurations in order.
+
+    .. deprecated::
+        Use :meth:`repro.eval.engine.GridRunner.sweep`, which runs the
+        grid through the parallel engine and returns a
+        :class:`~repro.eval.engine.GridResult` with named access.
+    """
+    warnings.warn(
+        "run_grid() is deprecated; use GridRunner(runner).sweep(configs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .engine import GridRunner
+
+    return list(GridRunner(runner).sweep(configs, limit=limit))

@@ -13,11 +13,17 @@ from typing import Dict, List, Optional
 
 from ..errors import EvaluationError
 from ..sql.hardness import HARDNESS_LEVELS
+from .telemetry import RunTelemetry
 
 
 @dataclass
 class PredictionRecord:
-    """Everything recorded for one evaluated example."""
+    """Everything recorded for one evaluated example.
+
+    ``error`` is non-empty when the example's pipeline raised and was
+    isolated by the engine; errored records score as wrong on both
+    metrics but never abort a sweep.
+    """
 
     example_id: str
     db_id: str
@@ -31,6 +37,7 @@ class PredictionRecord:
     prompt_tokens: int
     completion_tokens: int
     n_examples: int
+    error: str = ""
 
 
 @dataclass
@@ -39,6 +46,8 @@ class EvalReport:
 
     records: List[PredictionRecord] = field(default_factory=list)
     label: str = ""
+    #: Timing/throughput profile, attached by the evaluation engine.
+    telemetry: Optional[RunTelemetry] = None
 
     def add(self, record: PredictionRecord) -> None:
         self.records.append(record)
@@ -142,6 +151,14 @@ class EvalReport:
         """Records that missed on execution accuracy."""
         return [r for r in self.records if not r.exec_match]
 
+    def errors(self) -> List[PredictionRecord]:
+        """Records whose pipeline raised (fault-isolated by the engine)."""
+        return [r for r in self.records if r.error]
+
+    @property
+    def error_count(self) -> int:
+        return sum(1 for r in self.records if r.error)
+
     def summary(self) -> Dict[str, object]:
         """Flat dict for tabulation/serialisation."""
         return {
@@ -152,6 +169,7 @@ class EvalReport:
             "avg_prompt_tokens": round(self.avg_prompt_tokens, 1),
             "avg_examples": round(self.avg_examples, 2),
             "efficiency": round(self.token_efficiency(), 4),
+            "errors": self.error_count,
         }
 
     def _require_records(self) -> None:

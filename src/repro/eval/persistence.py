@@ -16,38 +16,55 @@ from typing import Dict, List, Union
 
 from ..errors import EvaluationError
 from .metrics import EvalReport, PredictionRecord
+from .telemetry import RunTelemetry
 
 #: Format version written into every file (bump on schema changes).
-FORMAT_VERSION = 1
+#: v2 added the per-record ``error`` field and the ``telemetry`` block.
+FORMAT_VERSION = 2
+
+#: Versions :func:`report_from_dict` can still read.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 def report_to_dict(report: EvalReport) -> Dict:
     """JSON-ready dict of a report."""
-    return {
+    payload = {
         "version": FORMAT_VERSION,
         "label": report.label,
         "records": [asdict(record) for record in report.records],
     }
+    if report.telemetry is not None:
+        payload["telemetry"] = asdict(report.telemetry)
+    return payload
 
 
 def report_from_dict(payload: Dict) -> EvalReport:
     """Rebuild a report from :func:`report_to_dict` output.
 
+    Reads both current-format files and v1 files (which predate the
+    ``error`` field and run telemetry).
+
     Raises:
         EvaluationError: on version mismatch or malformed payloads.
     """
     version = payload.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise EvaluationError(
             f"unsupported report format version {version!r} "
-            f"(expected {FORMAT_VERSION})"
+            f"(supported: {SUPPORTED_VERSIONS})"
         )
     try:
         records = [PredictionRecord(**entry) for entry in payload["records"]]
         label = payload.get("label", "")
     except (KeyError, TypeError) as exc:
         raise EvaluationError(f"malformed report payload: {exc}") from exc
-    return EvalReport(records=records, label=label)
+    telemetry = None
+    if payload.get("telemetry") is not None:
+        try:
+            telemetry = RunTelemetry(**payload["telemetry"])
+        except TypeError as exc:
+            raise EvaluationError(f"malformed telemetry payload: {exc}") from exc
+    return EvalReport(records=records, label=label, telemetry=telemetry)
 
 
 def save_report(report: EvalReport, path: Union[str, Path]) -> Path:

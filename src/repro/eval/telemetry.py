@@ -1,0 +1,179 @@
+"""Run telemetry: stage timings, worker utilization, cache hit rates.
+
+The evaluation engine instruments every example it evaluates through a
+:class:`TelemetryCollector` — a thread-safe accumulator shared by all
+workers of one run.  When the run finishes the collector is frozen into a
+:class:`RunTelemetry` attached to the
+:class:`~repro.eval.metrics.EvalReport`, so sweep cost is a first-class,
+persisted artifact: where the wall-clock went (select / build / generate /
+execute), how busy the workers were, and how well the gold-result and
+preliminary-SQL caches amortised.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Pipeline stages timed per example, in pipeline order.
+STAGES = ("select", "build", "generate", "execute")
+
+
+@dataclass
+class RunTelemetry:
+    """Frozen timing/throughput profile of one evaluation run.
+
+    Attributes:
+        workers: worker threads the run was scheduled across.
+        wall_clock_s: end-to-end wall-clock of the run.
+        busy_s: summed per-example evaluation time across all workers.
+        stage_s: per-stage totals (``select``/``build``/``generate``/
+            ``execute``), summed across examples.
+        examples: evaluated example count (including errored ones).
+        errors: examples that raised and were isolated.
+        cache_hits / cache_misses: per-cache counters (``gold``,
+            ``preliminary``).
+    """
+
+    workers: int = 1
+    wall_clock_s: float = 0.0
+    busy_s: float = 0.0
+    stage_s: Dict[str, float] = field(default_factory=dict)
+    examples: int = 0
+    errors: int = 0
+    cache_hits: Dict[str, int] = field(default_factory=dict)
+    cache_misses: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def utilization(self) -> float:
+        """Busy time over worker capacity — 1.0 means no worker idled."""
+        capacity = self.workers * self.wall_clock_s
+        if capacity <= 0:
+            return 0.0
+        return min(self.busy_s / capacity, 1.0)
+
+    def cache_hit_rate(self, name: str) -> float:
+        """Hit rate of one cache (0.0 when the cache was never consulted)."""
+        hits = self.cache_hits.get(name, 0)
+        total = hits + self.cache_misses.get(name, 0)
+        if total == 0:
+            return 0.0
+        return hits / total
+
+    @property
+    def examples_per_second(self) -> float:
+        if self.wall_clock_s <= 0:
+            return 0.0
+        return self.examples / self.wall_clock_s
+
+    def summary(self) -> Dict[str, object]:
+        """Flat dict for tabulation/logging."""
+        out: Dict[str, object] = {
+            "workers": self.workers,
+            "wall_clock_s": round(self.wall_clock_s, 4),
+            "examples": self.examples,
+            "errors": self.errors,
+            "examples_per_s": round(self.examples_per_second, 2),
+            "utilization": round(self.utilization, 3),
+        }
+        for stage in STAGES:
+            out[f"{stage}_s"] = round(self.stage_s.get(stage, 0.0), 4)
+        for name in sorted(set(self.cache_hits) | set(self.cache_misses)):
+            out[f"{name}_cache_hit_rate"] = round(self.cache_hit_rate(name), 3)
+        return out
+
+
+@dataclass(frozen=True)
+class ProgressEvent:
+    """One progress tick, emitted after each example completes.
+
+    Attributes:
+        done: examples finished so far (across the whole run/sweep).
+        total: total examples scheduled.
+        label: label of the config the example belongs to.
+        example_id: the example just finished.
+        error: the record's error string ("" on success).
+    """
+
+    done: int
+    total: int
+    label: str
+    example_id: str
+    error: str = ""
+
+
+class TelemetryCollector:
+    """Thread-safe accumulator behind one run's :class:`RunTelemetry`.
+
+    Workers call :meth:`stage` around pipeline phases and
+    :meth:`record_cache` from the harness caches; the engine calls
+    :meth:`example_done` once per finished example and :meth:`freeze` at
+    the end of the run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._stage_s: Dict[str, float] = {}
+        self._busy_s = 0.0
+        self._examples = 0
+        self._errors = 0
+        self._cache_hits: Dict[str, int] = {}
+        self._cache_misses: Dict[str, int] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one pipeline stage; nestable and reentrant across threads."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self._stage_s[name] = self._stage_s.get(name, 0.0) + elapsed
+
+    def record_cache(self, name: str, hit: bool) -> None:
+        with self._lock:
+            counters = self._cache_hits if hit else self._cache_misses
+            counters[name] = counters.get(name, 0) + 1
+
+    def example_done(self, elapsed_s: float, error: bool = False) -> None:
+        with self._lock:
+            self._busy_s += elapsed_s
+            self._examples += 1
+            if error:
+                self._errors += 1
+
+    def freeze(self, workers: int, wall_clock_s: float) -> RunTelemetry:
+        """Snapshot the counters into an immutable telemetry record."""
+        with self._lock:
+            return RunTelemetry(
+                workers=workers,
+                wall_clock_s=wall_clock_s,
+                busy_s=self._busy_s,
+                stage_s=dict(self._stage_s),
+                examples=self._examples,
+                errors=self._errors,
+                cache_hits=dict(self._cache_hits),
+                cache_misses=dict(self._cache_misses),
+            )
+
+
+class NullCollector(TelemetryCollector):
+    """No-op collector for uninstrumented call sites (zero overhead)."""
+
+    @contextmanager
+    def stage(self, name: str):
+        yield
+
+    def record_cache(self, name: str, hit: bool) -> None:
+        pass
+
+    def example_done(self, elapsed_s: float, error: bool = False) -> None:
+        pass
+
+
+#: Shared no-op instance; safe to use from any thread.
+NULL_COLLECTOR = NullCollector()

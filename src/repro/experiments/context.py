@@ -3,15 +3,23 @@
 Every experiment driver and benchmark evaluates against the same generated
 benchmark (seed-pinned), so numbers are comparable across tables and runs.
 ``fast=True`` shrinks the corpus for smoke tests and CI.
+
+Drivers evaluate grids through :meth:`ExperimentContext.sweep`, which
+routes through the parallel :class:`~repro.eval.engine.GridRunner`.  The
+worker count defaults to 1 (deterministic either way) and is raised
+globally via :func:`set_default_workers` — the CLI's ``--workers`` flag —
+or the ``REPRO_WORKERS`` environment variable.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence, Union
 
 from ..dataset.generator.corpus import Corpus, CorpusConfig, build_corpus
-from ..eval.harness import BenchmarkRunner
+from ..eval.engine import GridResult, GridRunner
+from ..eval.harness import BenchmarkRunner, RunConfig
 
 #: Seed of the canonical benchmark corpus.
 BENCHMARK_SEED = 7
@@ -22,6 +30,27 @@ FULL_CONFIG = CorpusConfig(seed=BENCHMARK_SEED, train_per_db=30, dev_per_db=24)
 
 #: Reduced corpus for smoke tests.
 FAST_CONFIG = CorpusConfig(seed=BENCHMARK_SEED, train_per_db=10, dev_per_db=6)
+
+
+def _initial_workers() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_WORKERS", "1")))
+    except ValueError:
+        return 1
+
+
+_DEFAULT_WORKERS = _initial_workers()
+
+
+def set_default_workers(workers: int) -> None:
+    """Set the worker count every subsequent experiment sweep uses."""
+    global _DEFAULT_WORKERS
+    _DEFAULT_WORKERS = max(1, int(workers))
+
+
+def default_workers() -> int:
+    """Worker count experiment sweeps run with (see module docstring)."""
+    return _DEFAULT_WORKERS
 
 
 @dataclass
@@ -38,6 +67,22 @@ class ExperimentContext:
     @property
     def train(self):
         return self.corpus.train
+
+    def sweep(
+        self,
+        configs: Sequence[RunConfig],
+        limit: Optional[int] = None,
+        n_samples: Union[int, Sequence[int]] = 1,
+        runner: Optional[BenchmarkRunner] = None,
+    ) -> GridResult:
+        """Evaluate a config grid on the session's default worker pool.
+
+        ``runner`` overrides the context's runner for derived datasets
+        (e.g. the Spider-Realistic variant) while keeping the same
+        worker policy.
+        """
+        grid_runner = GridRunner(runner or self.runner, workers=default_workers())
+        return grid_runner.sweep(configs, limit=limit, n_samples=n_samples)
 
 
 _CACHE: Dict[bool, ExperimentContext] = {}

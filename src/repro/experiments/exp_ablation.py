@@ -23,22 +23,27 @@ MODELS = ("gpt-4", "gpt-3.5-turbo")
 
 def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
+    configs = []
+    for rep_id in REPRESENTATION_IDS:
+        for model in MODELS:
+            configs.extend([
+                RunConfig(model=model, representation=rep_id,
+                          foreign_keys=False,
+                          label=f"{rep_id}/{model}/base"),
+                RunConfig(model=model, representation=rep_id,
+                          foreign_keys=True,
+                          label=f"{rep_id}/{model}/fk"),
+                RunConfig(model=model, representation=rep_id,
+                          foreign_keys=False, rule_implication=True,
+                          label=f"{rep_id}/{model}/rule"),
+            ])
+    grid = context.sweep(configs, limit=limit)
     rows: List[dict] = []
     for rep_id in REPRESENTATION_IDS:
         for model in MODELS:
-            base = context.runner.run(
-                RunConfig(model=model, representation=rep_id,
-                          foreign_keys=False), limit=limit
-            )
-            with_fk = context.runner.run(
-                RunConfig(model=model, representation=rep_id,
-                          foreign_keys=True), limit=limit
-            )
-            with_rule = context.runner.run(
-                RunConfig(model=model, representation=rep_id,
-                          foreign_keys=False, rule_implication=True),
-                limit=limit,
-            )
+            base = grid[f"{rep_id}/{model}/base"]
+            with_fk = grid[f"{rep_id}/{model}/fk"]
+            with_rule = grid[f"{rep_id}/{model}/rule"]
             rows.append({
                 "representation": rep_id,
                 "model": model,

@@ -45,9 +45,9 @@ def run_hardness(fast: bool = False, limit: Optional[int] = None) -> ExperimentR
         ("Zero-shot (Vicuna-33B)", RunConfig(
             model="vicuna-33b", representation="CR_P")),
     ]
+    grid = context.sweep([config for _, config in systems], limit=limit)
     rows: List[dict] = []
-    for name, config in systems:
-        report = context.runner.run(config, limit=limit)
+    for (name, config), report in zip(systems, grid):
         breakdown = report.by_hardness()
         rows.append({
             "system": name,
@@ -70,10 +70,14 @@ def run_cost(fast: bool = False, limit: Optional[int] = None) -> ExperimentResul
     from ..core.baselines import leaderboard_entries
 
     context = get_context(fast)
+    entries = leaderboard_entries()
+    grid = context.sweep(
+        [entry.config for entry in entries],
+        limit=limit,
+        n_samples=[entry.n_samples for entry in entries],
+    )
     rows: List[dict] = []
-    for entry in leaderboard_entries():
-        report = context.runner.run(entry.config, limit=limit,
-                                    n_samples=entry.n_samples)
+    for entry, report in zip(entries, grid):
         rows.append({
             "system": entry.name,
             "EX": percent(report.execution_accuracy),
@@ -99,11 +103,14 @@ def run_cost(fast: bool = False, limit: Optional[int] = None) -> ExperimentResul
 def run_sc_sweep(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     """Self-consistency sample-count ablation for DAIL-SQL."""
     context = get_context(fast)
+    counts = (1, 3, 5, 7)
+    grid = context.sweep(
+        [RunConfig(**_DAIL_CONFIG, label=f"sc@{n}") for n in counts],
+        limit=limit,
+        n_samples=list(counts),
+    )
     rows: List[dict] = []
-    for n_samples in (1, 3, 5, 7):
-        report = context.runner.run(
-            RunConfig(**_DAIL_CONFIG), limit=limit, n_samples=n_samples
-        )
+    for n_samples, report in zip(counts, grid):
         rows.append({
             "samples": n_samples,
             "EX": percent(report.execution_accuracy),
@@ -135,7 +142,9 @@ def run_dail_threshold(fast: bool = False,
         strategy = DailSelection(context.train, skeleton_threshold=threshold)
         strategy.set_target_dataset(context.dev)
         runner._selections["DAIL_S"] = strategy
-        report = runner.run(RunConfig(**_DAIL_CONFIG), limit=limit)
+        report = context.sweep(
+            [RunConfig(**_DAIL_CONFIG)], limit=limit, runner=runner
+        )[0]
         rows.append({
             "skeleton threshold": threshold,
             "EX": percent(report.execution_accuracy),
@@ -165,9 +174,9 @@ def run_error_analysis(fast: bool = False,
         ("Zero-shot (LLaMA-13B)", RunConfig(
             model="llama-13b", representation="CR_P")),
     ]
+    grid = context.sweep([config for _, config in systems], limit=limit)
     breakdowns = {}
-    for name, config in systems:
-        report = context.runner.run(config, limit=limit)
+    for (name, config), report in zip(systems, grid):
         breakdowns[name] = error_breakdown(report.records)
     return ExperimentResult(
         artifact_id="errors",
@@ -190,12 +199,19 @@ def run_pound_sign(fast: bool = False,
     performance.  ODX_P is OD_P with identical content and no markers.
     """
     context = get_context(fast)
+    models = ("gpt-4", "gpt-3.5-turbo", "vicuna-33b")
+    grid = context.sweep(
+        [
+            RunConfig(model=model, representation=rep, label=f"{model}/{rep}")
+            for model in models
+            for rep in ("OD_P", "ODX_P")
+        ],
+        limit=limit,
+    )
     rows: List[dict] = []
-    for model in ("gpt-4", "gpt-3.5-turbo", "vicuna-33b"):
-        with_pound = context.runner.run(
-            RunConfig(model=model, representation="OD_P"), limit=limit)
-        without = context.runner.run(
-            RunConfig(model=model, representation="ODX_P"), limit=limit)
+    for model in models:
+        with_pound = grid[f"{model}/OD_P"]
+        without = grid[f"{model}/ODX_P"]
         rows.append({
             "model": model,
             "OD_P EX": percent(with_pound.execution_accuracy),
@@ -223,10 +239,17 @@ def run_token_budget(fast: bool = False,
     frontier and how many examples survive each budget.
     """
     context = get_context(fast)
+    budgets = (300, 400, 500, 700, 1000, None)
+    grid = context.sweep(
+        [
+            RunConfig(**{**_DAIL_CONFIG, "k": 8, "max_tokens": budget,
+                         "label": f"budget@{budget}"})
+            for budget in budgets
+        ],
+        limit=limit,
+    )
     rows: List[dict] = []
-    for budget in (300, 400, 500, 700, 1000, None):
-        config = RunConfig(**{**_DAIL_CONFIG, "k": 8, "max_tokens": budget})
-        report = context.runner.run(config, limit=limit)
+    for budget, report in zip(budgets, grid):
         rows.append({
             "max_tokens": budget if budget is not None else "unlimited",
             "avg examples kept": round(report.avg_examples, 2),

@@ -25,25 +25,33 @@ SHOT_COUNTS = (0, 1, 3, 5, 7, 9)
 
 def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
+    cells = [
+        (model, org_id, k)
+        for model in MODELS
+        for org_id in ("FI_O", "DAIL_O")
+        for k in SHOT_COUNTS
+    ]
+    grid = context.sweep(
+        [
+            RunConfig(
+                model=model, representation="CR_P", organization=org_id,
+                selection="DAIL_S" if k > 0 else None, k=k,
+                label=f"{model}/{org_id}@{k}",
+            )
+            for model, org_id, k in cells
+        ],
+        limit=limit,
+    )
     rows: List[dict] = []
-    for model in MODELS:
-        for org_id in ("FI_O", "DAIL_O"):
-            for k in SHOT_COUNTS:
-                report = context.runner.run(
-                    RunConfig(
-                        model=model, representation="CR_P",
-                        organization=org_id,
-                        selection="DAIL_S" if k > 0 else None, k=k,
-                    ),
-                    limit=limit,
-                )
-                rows.append({
-                    "model": model,
-                    "organization": org_id,
-                    "k": k,
-                    "avg prompt tokens": round(report.avg_prompt_tokens, 1),
-                    "EX": percent(report.execution_accuracy),
-                })
+    for model, org_id, k in cells:
+        report = grid[f"{model}/{org_id}@{k}"]
+        rows.append({
+            "model": model,
+            "organization": org_id,
+            "k": k,
+            "avg prompt tokens": round(report.avg_prompt_tokens, 1),
+            "EX": percent(report.execution_accuracy),
+        })
     chart = ascii_lines(
         [{"k": r["k"], "EX": r["EX"],
           "series": f"{r['model']}/{r['organization']}"} for r in rows],

@@ -53,11 +53,14 @@ def _rule_based_row(context, limit: Optional[int]) -> dict:
 
 def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
+    entries = leaderboard_entries()
+    grid = context.sweep(
+        [entry.config for entry in entries],
+        limit=limit,
+        n_samples=[entry.n_samples for entry in entries],
+    )
     rows: List[dict] = []
-    for entry in leaderboard_entries():
-        report = context.runner.run(
-            entry.config, limit=limit, n_samples=entry.n_samples
-        )
+    for entry, report in zip(entries, grid):
         rows.append({
             "system": entry.name,
             "EX": percent(report.execution_accuracy),

@@ -23,17 +23,23 @@ SHOT_COUNTS = (0, 1, 3, 5)
 
 def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
+    grid = context.sweep(
+        [
+            RunConfig(
+                model=model, representation="CR_P", organization="DAIL_O",
+                selection="DAIL_S" if k > 0 else None, k=k,
+                label=f"{model}@{k}",
+            )
+            for model in OPEN_SOURCE_MODELS
+            for k in SHOT_COUNTS
+        ],
+        limit=limit,
+    )
     rows: List[dict] = []
     for model in OPEN_SOURCE_MODELS:
         row = {"model": model}
         for k in SHOT_COUNTS:
-            config = RunConfig(
-                model=model, representation="CR_P",
-                organization="DAIL_O",
-                selection="DAIL_S" if k > 0 else None, k=k,
-            )
-            report = context.runner.run(config, limit=limit)
-            row[f"EX k={k}"] = percent(report.execution_accuracy)
+            row[f"EX k={k}"] = percent(grid[f"{model}@{k}"].execution_accuracy)
         rows.append(row)
     return ExperimentResult(
         artifact_id="table6",

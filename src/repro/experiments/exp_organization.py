@@ -25,18 +25,24 @@ SHOT_COUNTS = (1, 3, 5)
 
 def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
+    grid = context.sweep(
+        [
+            RunConfig(
+                model=model, representation="CR_P", organization=org_id,
+                selection="DAIL_S", k=k, label=f"{org_id}/{model}@{k}",
+            )
+            for org_id in ORGANIZATION_IDS
+            for model in MODELS
+            for k in SHOT_COUNTS
+        ],
+        limit=limit,
+    )
     rows: List[dict] = []
     for org_id in ORGANIZATION_IDS:
         row = {"organization": org_id}
         for model in MODELS:
             for k in SHOT_COUNTS:
-                report = context.runner.run(
-                    RunConfig(
-                        model=model, representation="CR_P",
-                        organization=org_id, selection="DAIL_S", k=k,
-                    ),
-                    limit=limit,
-                )
+                report = grid[f"{org_id}/{model}@{k}"]
                 row[f"{model} k={k}"] = percent(report.execution_accuracy)
                 if model == MODELS[0] and k == SHOT_COUNTS[-1]:
                     row["tokens@k=5"] = round(report.avg_prompt_tokens)

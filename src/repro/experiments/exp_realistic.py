@@ -37,9 +37,13 @@ def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
         RunConfig(model="gpt-4", representation="CR_P", organization="DAIL_O",
                   selection="DAIL_S", k=5, foreign_keys=True),
     ))
-    for label, config in configs:
-        dev_report = context.runner.run(config, limit=limit)
-        realistic_report = realistic_runner.run(config, limit=limit)
+    dev_grid = context.sweep([c for _, c in configs], limit=limit)
+    realistic_grid = context.sweep(
+        [c for _, c in configs], limit=limit, runner=realistic_runner
+    )
+    for (label, config), dev_report, realistic_report in zip(
+        configs, dev_grid, realistic_grid
+    ):
         rows.append({
             "system": f"{config.model} ({label})",
             "Spider dev EX": percent(dev_report.execution_accuracy),

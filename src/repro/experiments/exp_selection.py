@@ -26,18 +26,24 @@ SHOT_COUNTS = (1, 3, 5)
 
 def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
+    grid = context.sweep(
+        [
+            RunConfig(
+                model=model, representation="CR_P", organization="FI_O",
+                selection=sel_id, k=k, label=f"{sel_id}/{model}@{k}",
+            )
+            for sel_id in SELECTION_IDS
+            for model in MODELS
+            for k in SHOT_COUNTS
+        ],
+        limit=limit,
+    )
     rows: List[dict] = []
     for sel_id in SELECTION_IDS:
         row = {"selection": sel_id}
         for model in MODELS:
             for k in SHOT_COUNTS:
-                report = context.runner.run(
-                    RunConfig(
-                        model=model, representation="CR_P",
-                        organization="FI_O", selection=sel_id, k=k,
-                    ),
-                    limit=limit,
-                )
+                report = grid[f"{sel_id}/{model}@{k}"]
                 row[f"{model} k={k}"] = percent(report.execution_accuracy)
         rows.append(row)
     return ExperimentResult(

@@ -34,18 +34,23 @@ def run_representation_table(
 ) -> ExperimentResult:
     """Table 7: SFT per representation, zero-shot evaluation."""
     context = get_context(fast)
+    configs = []
+    for rep_id in REPRESENTATION_IDS:
+        for model in SFT_MODELS:
+            state, _report = finetune(model, context.train, rep_id)
+            configs.append(RunConfig(
+                model=model, representation=rep_id,
+                label=f"{rep_id}/{model}/base"))
+            configs.append(RunConfig(
+                model=model, representation=rep_id, sft_state=state,
+                label=f"{rep_id}/{model}/sft"))
+    grid = context.sweep(configs, limit=limit)
     rows: List[dict] = []
     for rep_id in REPRESENTATION_IDS:
         row = {"representation": rep_id}
         for model in SFT_MODELS:
-            baseline = context.runner.run(
-                RunConfig(model=model, representation=rep_id), limit=limit
-            )
-            state, _report = finetune(model, context.train, rep_id)
-            tuned = context.runner.run(
-                RunConfig(model=model, representation=rep_id, sft_state=state),
-                limit=limit,
-            )
+            baseline = grid[f"{rep_id}/{model}/base"]
+            tuned = grid[f"{rep_id}/{model}/sft"]
             row[f"{model} base"] = percent(baseline.execution_accuracy)
             row[f"{model} SFT"] = percent(tuned.execution_accuracy)
         rows.append(row)
@@ -66,18 +71,23 @@ def run_icl_table(fast: bool = False, limit: Optional[int] = None) -> Experiment
     model = "llama-13b"
     rep_id = "TR_P"
     state, _report = finetune(model, context.train, rep_id)
-    rows: List[dict] = []
+    configs = []
     for k in SHOT_COUNTS:
-        base_cfg = RunConfig(
+        configs.append(RunConfig(
             model=model, representation=rep_id, organization="FI_O",
             selection="DAIL_S" if k > 0 else None, k=k,
-        )
-        tuned_cfg = RunConfig(
+            label=f"k={k}/base",
+        ))
+        configs.append(RunConfig(
             model=model, representation=rep_id, organization="FI_O",
             selection="DAIL_S" if k > 0 else None, k=k, sft_state=state,
-        )
-        base = context.runner.run(base_cfg, limit=limit)
-        tuned = context.runner.run(tuned_cfg, limit=limit)
+            label=f"k={k}/sft",
+        ))
+    grid = context.sweep(configs, limit=limit)
+    rows: List[dict] = []
+    for k in SHOT_COUNTS:
+        base = grid[f"k={k}/base"]
+        tuned = grid[f"k={k}/sft"]
         rows.append({
             "k": k,
             f"{model} EX": percent(base.execution_accuracy),

@@ -30,19 +30,26 @@ F4_MODELS = ("gpt-4", "gpt-3.5-turbo")
 
 def run_figure4(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
+    cells = [(model, rep_id) for model in F4_MODELS
+             for rep_id in REPRESENTATION_IDS]
+    grid = context.sweep(
+        [
+            RunConfig(model=model, representation=rep_id,
+                      label=f"{model}/{rep_id}")
+            for model, rep_id in cells
+        ],
+        limit=limit,
+    )
     rows: List[dict] = []
-    for model in F4_MODELS:
-        for rep_id in REPRESENTATION_IDS:
-            report = context.runner.run(
-                RunConfig(model=model, representation=rep_id), limit=limit
-            )
-            rows.append({
-                "model": model,
-                "representation": rep_id,
-                "avg prompt tokens": round(report.avg_prompt_tokens, 1),
-                "EX": percent(report.execution_accuracy),
-                "EX per 1k tokens": round(report.token_efficiency(), 2),
-            })
+    for model, rep_id in cells:
+        report = grid[f"{model}/{rep_id}"]
+        rows.append({
+            "model": model,
+            "representation": rep_id,
+            "avg prompt tokens": round(report.avg_prompt_tokens, 1),
+            "EX": percent(report.execution_accuracy),
+            "EX per 1k tokens": round(report.token_efficiency(), 2),
+        })
     chart = ascii_scatter(
         [{"tokens": r["avg prompt tokens"], "EX": r["EX"],
           "model": r["model"]} for r in rows],
@@ -63,23 +70,29 @@ def run_figure4(fast: bool = False, limit: Optional[int] = None) -> ExperimentRe
 
 def run_figure5(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
-    rows: List[dict] = []
-    for sel_id in SELECTION_IDS:
-        for org_id in ORGANIZATION_IDS:
-            report = context.runner.run(
-                RunConfig(
-                    model="gpt-4", representation="CR_P",
-                    organization=org_id, selection=sel_id, k=5,
-                ),
-                limit=limit,
+    cells = [(sel_id, org_id) for sel_id in SELECTION_IDS
+             for org_id in ORGANIZATION_IDS]
+    grid = context.sweep(
+        [
+            RunConfig(
+                model="gpt-4", representation="CR_P",
+                organization=org_id, selection=sel_id, k=5,
+                label=f"{sel_id}/{org_id}",
             )
-            rows.append({
-                "selection": sel_id,
-                "organization": org_id,
-                "avg prompt tokens": round(report.avg_prompt_tokens, 1),
-                "EX": percent(report.execution_accuracy),
-                "EX per 1k tokens": round(report.token_efficiency(), 2),
-            })
+            for sel_id, org_id in cells
+        ],
+        limit=limit,
+    )
+    rows: List[dict] = []
+    for sel_id, org_id in cells:
+        report = grid[f"{sel_id}/{org_id}"]
+        rows.append({
+            "selection": sel_id,
+            "organization": org_id,
+            "avg prompt tokens": round(report.avg_prompt_tokens, 1),
+            "EX": percent(report.execution_accuracy),
+            "EX per 1k tokens": round(report.token_efficiency(), 2),
+        })
     chart = ascii_scatter(
         [{"tokens": r["avg prompt tokens"], "EX": r["EX"],
           "organization": r["organization"]} for r in rows],

@@ -26,13 +26,20 @@ MODELS = ("gpt-4", "gpt-3.5-turbo", "text-davinci-003", "vicuna-33b")
 def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     """Run the Table 1 grid and return the reproduced table."""
     context = get_context(fast)
+    grid = context.sweep(
+        [
+            RunConfig(model=model, representation=rep_id,
+                      label=f"{rep_id}/{model}")
+            for rep_id in REPRESENTATION_IDS
+            for model in MODELS
+        ],
+        limit=limit,
+    )
     rows: List[dict] = []
     for rep_id in REPRESENTATION_IDS:
         row = {"representation": rep_id}
         for model in MODELS:
-            report = context.runner.run(
-                RunConfig(model=model, representation=rep_id), limit=limit
-            )
+            report = grid[f"{rep_id}/{model}"]
             row[f"{model} EX"] = percent(report.execution_accuracy)
             row[f"{model} EM"] = percent(report.exact_match_accuracy)
         rows.append(row)

@@ -16,16 +16,23 @@ A transport takes the request dict and returns the response dict, raising
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..errors import ModelError
 from ..prompt.builder import Prompt
 from ..tokenizer.counter import count_tokens
-from .interface import GenerationResult
+from ..utils.rng import stable_unit
+from .interface import GenerationResult, sequential_batch
 
 #: request dict → response dict.
 Transport = Callable[[Dict], Dict]
+
+
+def sample_seed(sample_tag: str) -> int:
+    """Stable per-sample request seed (crc32; PYTHONHASHSEED-independent)."""
+    return zlib.crc32(sample_tag.encode("utf-8")) % 2**31
 
 
 class TransportError(Exception):
@@ -45,15 +52,29 @@ class TransportError(Exception):
 
 @dataclass
 class RetryPolicy:
-    """Backoff configuration for the adapter."""
+    """Backoff configuration for the adapter.
+
+    ``jitter`` spreads concurrent retries: after a shared rate-limit,
+    workers that backed off in lockstep would all retry at the same
+    instant and trip the limit again.  The jitter is *deterministic* —
+    seeded from (salt, attempt) via a stable hash — so a given request
+    always waits the same amount, and distinct requests decorrelate.
+    """
 
     max_attempts: int = 4
     base_delay: float = 1.0
     max_delay: float = 30.0
     backoff: float = 2.0
+    #: Max fractional increase of a delay (0.25 → up to +25%); 0 disables.
+    jitter: float = 0.25
 
-    def delay(self, attempt: int) -> float:
-        return min(self.base_delay * self.backoff ** attempt, self.max_delay)
+    def delay(self, attempt: int, salt: str = "") -> float:
+        """Backoff before retry ``attempt`` (0-based), jitter included."""
+        base = min(self.base_delay * self.backoff ** attempt, self.max_delay)
+        if self.jitter <= 0:
+            return base
+        unit = stable_unit("retry-jitter", salt, str(attempt))
+        return min(base * (1.0 + self.jitter * unit), self.max_delay)
 
 
 @dataclass
@@ -96,7 +117,10 @@ class ApiLLMClient:
         }
         if sample_tag:
             # Distinct deterministic seeds per sample for self-consistency.
-            request["seed"] = abs(hash(sample_tag)) % 2**31
+            # crc32 (not hash()) so the seed is stable across processes
+            # regardless of PYTHONHASHSEED — parallel workers and resumed
+            # runs must send identical requests for identical samples.
+            request["seed"] = sample_seed(sample_tag)
             request["temperature"] = max(self.temperature, 0.7)
         return request
 
@@ -122,6 +146,9 @@ class ApiLLMClient:
                 retryable.
         """
         request = self.build_request(prompt, sample_tag)
+        # Per-request jitter salt: concurrent workers retrying different
+        # prompts back off by different (but reproducible) amounts.
+        salt = f"{self.model_id}|{sample_tag}|{zlib.crc32(prompt.text.encode('utf-8')):08x}"
         last_error: Optional[TransportError] = None
         for attempt in range(self.retry.max_attempts):
             try:
@@ -133,7 +160,7 @@ class ApiLLMClient:
                 if attempt + 1 < self.retry.max_attempts:
                     wait = exc.retry_after
                     if wait is None:
-                        wait = self.retry.delay(attempt)
+                        wait = self.retry.delay(attempt, salt=salt)
                     self.sleep(wait)
                 continue
             text = self.parse_response(response)
@@ -150,3 +177,9 @@ class ApiLLMClient:
             f"API call failed after {self.retry.max_attempts} attempts: "
             f"{last_error}"
         )
+
+    def generate_batch(
+        self, prompts: Sequence[Prompt], sample_tag: str = ""
+    ) -> List[GenerationResult]:
+        """Sequential default; point at a batch endpoint to override."""
+        return sequential_batch(self, prompts, sample_tag=sample_tag)

@@ -8,7 +8,7 @@ Swapping in a real API client requires only this interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, Sequence, runtime_checkable
 
 from ..prompt.builder import Prompt
 
@@ -44,3 +44,22 @@ class LLMClient(Protocol):
         """Answer a prompt.  ``sample_tag`` distinguishes repeated samples
         of the same prompt (self-consistency)."""
         ...
+
+    def generate_batch(
+        self, prompts: Sequence[Prompt], sample_tag: str = ""
+    ) -> List[GenerationResult]:
+        """Answer several prompts, preserving input order.
+
+        The reference implementations loop over :meth:`generate`; real
+        backends can override with one batched request (or request
+        coalescing) without touching any caller.
+        """
+        ...
+
+
+def sequential_batch(
+    client: "LLMClient", prompts: Sequence[Prompt], sample_tag: str = ""
+) -> List[GenerationResult]:
+    """Default ``generate_batch``: one :meth:`LLMClient.generate` per
+    prompt, in order.  Shared by the simulated and API clients."""
+    return [client.generate(prompt, sample_tag=sample_tag) for prompt in prompts]

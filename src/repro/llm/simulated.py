@@ -22,7 +22,8 @@ pound sign included) changes the draw — mirroring real prompt sensitivity.
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+import time
+from typing import Dict, List, Optional, Sequence
 
 from ..dataset.spider import Example
 from ..prompt.builder import Prompt
@@ -34,7 +35,7 @@ from ..sql.skeleton import skeleton_similarity
 from ..tokenizer.counter import count_tokens
 from ..utils.rng import rng_from, stable_unit
 from ..utils.text import content_words
-from .interface import GenerationResult
+from .interface import GenerationResult, sequential_batch
 from .oracle import GoldOracle
 from .perturb import equivalent_rewrite, perturb_sql
 from .profiles import ModelProfile, get_profile
@@ -51,17 +52,25 @@ _DISTRACTION_THRESHOLD = 0.12
 
 
 class SimulatedLLM:
-    """Deterministic LLM stand-in driven by a capability profile."""
+    """Deterministic LLM stand-in driven by a capability profile.
+
+    ``latency_s`` injects a per-generation sleep emulating a remote API's
+    round-trip — it never changes *what* is generated, only how long it
+    takes, so the parallel engine's I/O-overlap behaviour can be
+    exercised and benchmarked against the simulated backend.
+    """
 
     def __init__(
         self,
         profile: ModelProfile,
         oracle: GoldOracle,
         sft_state: Optional["SFTState"] = None,
+        latency_s: float = 0.0,
     ):
         self.profile = profile
         self.oracle = oracle
         self.sft_state = sft_state
+        self.latency_s = latency_s
         self._linkers: Dict[str, SchemaLinker] = {}
 
     @property
@@ -184,6 +193,8 @@ class SimulatedLLM:
 
     def generate(self, prompt: Prompt, sample_tag: str = "") -> GenerationResult:
         """Produce a response; deterministic in (model, prompt, tag)."""
+        if self.latency_s > 0:
+            time.sleep(self.latency_s)
         gold = self.oracle.lookup(prompt.db_id, prompt.question)
         sft_tag = self.sft_state.tag if self.sft_state is not None else ""
         if gold is None:
@@ -246,6 +257,12 @@ class SimulatedLLM:
             )
         return sql
 
+    def generate_batch(
+        self, prompts: Sequence[Prompt], sample_tag: str = ""
+    ) -> List[GenerationResult]:
+        """Sequential reference implementation of the batch protocol."""
+        return sequential_batch(self, prompts, sample_tag=sample_tag)
+
     def _fallback_sql(self, prompt: Prompt) -> str:
         """When the oracle has no entry, behave like a guessing model."""
         tables = prompt.schema.table_names()
@@ -274,13 +291,16 @@ def make_llm(
     model_id: str,
     oracle: GoldOracle,
     sft_state: Optional["SFTState"] = None,
+    latency_s: float = 0.0,
 ) -> SimulatedLLM:
     """Convenience constructor from a model id.
 
     Raises:
         ModelError: for unknown model ids.
     """
-    return SimulatedLLM(get_profile(model_id), oracle, sft_state=sft_state)
+    return SimulatedLLM(
+        get_profile(model_id), oracle, sft_state=sft_state, latency_s=latency_s
+    )
 
 
 # Imported at the bottom to avoid a cycle (finetune builds SimulatedLLMs).

@@ -102,3 +102,90 @@ class TestPool:
     def test_db_ids_sorted(self, corpus):
         pool = corpus.pool()
         assert pool.db_ids() == sorted(pool.db_ids())
+
+
+class TestPoolThreading:
+    """Per-thread connection discipline of the redesigned pool."""
+
+    def test_each_thread_gets_its_own_database(self, toy_schema, toy_rows):
+        import threading
+
+        with DatabasePool() as pool:
+            pool.add(toy_schema, toy_rows)
+            seen = {}
+            # Keep all threads alive together: thread idents are reused
+            # once a thread exits, which would collapse the instances.
+            barrier = threading.Barrier(3)
+
+            def grab(name):
+                barrier.wait()
+                seen[name] = pool.get("toy_concerts")
+                barrier.wait()
+
+            threads = [
+                threading.Thread(target=grab, args=(i,)) for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            main_db = pool.get("toy_concerts")
+            instances = set(map(id, seen.values())) | {id(main_db)}
+            assert len(instances) == 4
+            assert pool.connection_count() == 4
+
+    def test_concurrent_execution_is_safe(self, toy_schema, toy_rows):
+        import threading
+
+        with DatabasePool() as pool:
+            pool.add(toy_schema, toy_rows)
+            results, errors = [], []
+
+            def query():
+                try:
+                    db = pool.get("toy_concerts")
+                    for _ in range(20):
+                        results.append(
+                            db.execute("SELECT count(*) FROM singer")
+                        )
+                except Exception as exc:  # pragma: no cover - failure path
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=query) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            assert not errors
+            assert results == [[(3,)]] * 80
+
+    def test_close_releases_all_threads_instances(self, toy_schema, toy_rows):
+        import threading
+
+        pool = DatabasePool()
+        pool.add(toy_schema, toy_rows)
+        thread = threading.Thread(target=lambda: pool.get("toy_concerts"))
+        thread.start()
+        thread.join()
+        assert pool.connection_count() == 2
+        pool.close()
+        assert pool.connection_count() == 0
+
+    def test_replace_invalidates_other_threads_instances(
+        self, toy_schema, toy_rows
+    ):
+        import threading
+
+        with DatabasePool() as pool:
+            pool.add(toy_schema, toy_rows)
+            thread = threading.Thread(target=lambda: pool.get("toy_concerts"))
+            thread.start()
+            thread.join()
+            pool.add(toy_schema, {"singer": toy_rows["singer"][:1],
+                                  "concert": []})
+            # The stale instance built by the other thread is gone; a fresh
+            # get sees the new recipe.
+            assert pool.connection_count() == 1
+            assert pool.get("toy_concerts").execute(
+                "SELECT count(*) FROM singer"
+            ) == [(1,)]

@@ -86,11 +86,12 @@ class TestRun:
 
 
 class TestGrid:
-    def test_run_grid(self, runner):
+    def test_run_grid_deprecated_but_working(self, runner):
         configs = [
             RunConfig(model="gpt-4", representation="OD_P"),
             RunConfig(model="gpt-4", representation="BS_P"),
         ]
-        reports = run_grid(runner, configs, limit=4)
+        with pytest.warns(DeprecationWarning):
+            reports = run_grid(runner, configs, limit=4)
         assert len(reports) == 2
         assert all(len(r) == 4 for r in reports)

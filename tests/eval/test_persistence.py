@@ -100,3 +100,64 @@ class TestDirectories:
     def test_unlabelled_report_gets_index_name(self, tmp_path):
         paths = save_reports([make_report(label="")], tmp_path)
         assert paths[0].name == "report-0.json"
+
+
+class TestVersioning:
+    def test_current_version_is_two(self):
+        assert FORMAT_VERSION == 2
+
+    def test_v1_payload_still_loads(self):
+        report = make_report()
+        payload = report_to_dict(report)
+        payload["version"] = 1
+        payload.pop("telemetry", None)
+        back = report_from_dict(payload)
+        assert back.records == report.records
+        assert back.telemetry is None
+
+
+class TestTelemetryAndErrors:
+    def test_error_field_roundtrips(self, tmp_path):
+        report = make_report()
+        report.records[1].error = "RuntimeError: poisoned"
+        back = load_report(save_report(report, tmp_path / "e.json"))
+        assert back.records[1].error == "RuntimeError: poisoned"
+        assert back.error_count == 1
+
+    def test_telemetry_roundtrips(self, tmp_path):
+        from repro.eval.telemetry import RunTelemetry
+
+        report = make_report()
+        report.telemetry = RunTelemetry(
+            workers=4, wall_clock_s=1.5, busy_s=5.0,
+            stage_s={"generate": 3.0}, examples=3, errors=0,
+            cache_hits={"gold": 2}, cache_misses={"gold": 1},
+        )
+        back = load_report(save_report(report, tmp_path / "t.json"))
+        assert back.telemetry == report.telemetry
+        assert back.telemetry.cache_hit_rate("gold") == pytest.approx(2 / 3)
+
+    def test_report_without_telemetry_loads_as_none(self):
+        back = report_from_dict(report_to_dict(make_report()))
+        assert back.telemetry is None
+
+    def test_malformed_telemetry_raises(self):
+        payload = report_to_dict(make_report())
+        payload["telemetry"] = {"not_a_field": 1}
+        with pytest.raises(EvaluationError):
+            report_from_dict(payload)
+
+    def test_real_parallel_run_roundtrips_with_telemetry(
+        self, corpus, tmp_path
+    ):
+        from repro.eval.engine import EvalEngine
+        from repro.eval.harness import BenchmarkRunner, RunConfig
+
+        runner = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(),
+                                 seed=3)
+        report = EvalEngine(runner, workers=4).run(
+            RunConfig(model="gpt-4"), limit=5
+        )
+        back = load_report(save_report(report, tmp_path / "p.json"))
+        assert back.telemetry == report.telemetry
+        assert back.records == report.records

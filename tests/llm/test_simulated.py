@@ -165,3 +165,28 @@ class TestOutputs:
     def test_model_id_in_result(self, dev, llm):
         prompt = build_prompt(dev, dev.examples[0])
         assert llm.generate(prompt).model_id == "gpt-4"
+
+
+class TestBatchAndLatency:
+    def test_generate_batch_matches_sequential(self, dev, llm):
+        prompts = [build_prompt(dev, example) for example in dev.examples[:5]]
+        batch = llm.generate_batch(prompts, sample_tag="sc-1")
+        single = [llm.generate(p, sample_tag="sc-1") for p in prompts]
+        assert [r.text for r in batch] == [r.text for r in single]
+
+    def test_generate_batch_empty(self, llm):
+        assert llm.generate_batch([]) == []
+
+    def test_latency_knob_sleeps(self, dev, oracle):
+        import time
+
+        slow = make_llm("gpt-4", oracle, latency_s=0.02)
+        prompt = build_prompt(dev, dev.examples[0])
+        start = time.perf_counter()
+        slow.generate(prompt)
+        assert time.perf_counter() - start >= 0.02
+
+    def test_latency_does_not_change_output(self, dev, oracle, llm):
+        slow = make_llm("gpt-4", oracle, latency_s=0.01)
+        prompt = build_prompt(dev, dev.examples[0])
+        assert slow.generate(prompt).text == llm.generate(prompt).text
