@@ -11,7 +11,10 @@ Run as a script for the evaluation-engine speedup check::
 which sweeps a 4-config grid serially and with a worker pool over a
 latency-bearing simulated backend, verifies the reports are identical,
 prints the speedup, and (in ``--smoke`` mode) exits non-zero if the
-parallel sweep is slower than the serial one.
+parallel sweep is slower than the serial one.  The script then reruns
+the same grid cold and warm against an on-disk artifact cache and
+verifies the warm pass replays byte-identical reports with a 100%
+generate-stage hit rate (and, in ``--smoke`` mode, a wall-clock win).
 """
 
 import pytest
@@ -118,12 +121,12 @@ def _grid_configs():
     ]
 
 
-def _grid_runner(corpus, latency_s):
+def _grid_runner(corpus, latency_s, cache=None):
     from repro.eval.harness import BenchmarkRunner
 
     return BenchmarkRunner(
         corpus.dev, corpus.train, corpus.pool(), seed=1,
-        llm_latency_s=latency_s,
+        llm_latency_s=latency_s, cache=cache,
     )
 
 
@@ -180,14 +183,77 @@ def engine_speedup(workers=4, latency_s=0.02, limit=None, smoke=False):
     return speedup, (serial, parallel)
 
 
+def cache_roundtrip(latency_s=0.02, limit=None, smoke=False):
+    """Sweep one grid cold, then warm, against a disk artifact cache.
+
+    Two runners with two *separate* :class:`ArtifactCache` instances
+    sharing one disk directory stand in for two processes: the warm
+    pass must replay the cold pass byte-identically from artifacts
+    alone (100% generate-stage hit rate — the LLM is never called) and,
+    with generation latency in play, measurably faster.
+
+    Returns ``(speedup, cold_grid, warm_grid)``.
+    """
+    import tempfile
+    import time
+
+    from dataclasses import asdict
+
+    from repro.cache.store import build_cache
+    from repro.eval.engine import GridRunner
+
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+    try:
+        configs = _grid_configs()
+        with tempfile.TemporaryDirectory(prefix="repro-cache-") as cache_dir:
+            start = time.perf_counter()
+            cold_runner = _grid_runner(
+                corpus, latency_s, cache=build_cache(disk_dir=cache_dir)
+            )
+            cold = GridRunner(cold_runner, workers=1).sweep(configs, limit=limit)
+            cold_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            warm_runner = _grid_runner(
+                corpus, latency_s, cache=build_cache(disk_dir=cache_dir)
+            )
+            warm = GridRunner(warm_runner, workers=1).sweep(configs, limit=limit)
+            warm_s = time.perf_counter() - start
+    finally:
+        corpus.close()
+
+    for a, b in zip(cold, warm):
+        if [asdict(r) for r in a.records] != [asdict(r) for r in b.records]:
+            raise AssertionError(
+                f"warm records diverge from cold for {a.label!r}"
+            )
+    generate_stats = warm_runner.cache.stats().get("generate", {})
+    if generate_stats.get("misses", 0) or not generate_stats.get("hits", 0):
+        raise AssertionError(
+            f"warm sweep was not generation-free: {generate_stats}"
+        )
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    print(f"cold (empty cache):   {cold_s:7.2f} s")
+    print(f"warm (disk replay):   {warm_s:7.2f} s")
+    print(f"speedup: {speedup:.2f}x  "
+          f"(reports identical, generate hit rate 100%)")
+    if smoke and speedup < 1.0:
+        raise SystemExit(
+            f"FAIL: warm sweep slower than cold ({speedup:.2f}x)"
+        )
+    return speedup, cold, warm
+
+
 def main(argv=None):
     import argparse
 
     parser = argparse.ArgumentParser(
-        description="evaluation-engine serial-vs-parallel speedup check"
+        description="evaluation-engine speedup + artifact-cache replay checks"
     )
     parser.add_argument("--smoke", action="store_true",
-                        help="exit non-zero if parallel is slower than serial")
+                        help="exit non-zero if parallel is slower than serial "
+                             "or a warm cache replay is slower than cold")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--latency", type=float, default=0.02,
                         help="simulated per-generation latency in seconds")
@@ -195,6 +261,8 @@ def main(argv=None):
     args = parser.parse_args(argv)
     engine_speedup(workers=args.workers, latency_s=args.latency,
                    limit=args.limit, smoke=args.smoke)
+    print()
+    cache_roundtrip(latency_s=args.latency, limit=args.limit, smoke=args.smoke)
     return 0
 
 

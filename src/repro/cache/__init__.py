@@ -1,0 +1,39 @@
+"""Unified content-addressed artifact cache.
+
+Every expensive intermediate of the evaluation pipeline — selection
+rankings, preliminary SQL, generations, gold and predicted execution
+results — is stored in one :class:`ArtifactCache`, keyed by stable
+hashes of (stage, inputs, config fingerprint).  The cache has a
+thread-safe in-memory LRU tier and an optional on-disk tier
+(``REPRO_CACHE_DIR`` or the CLI's ``--cache-dir``), which makes sweeps
+incremental across processes: re-running an identical sweep against a
+warm disk cache skips generation and execution entirely, and a changed
+config only recomputes the stages whose input hashes changed.
+
+This package sits at the bottom of the dependency graph (stdlib only
+apart from :mod:`repro.errors`); higher layers contribute the
+*fingerprints* that feed the keys (datasets, databases, LLMs, selection
+strategies all expose ``fingerprint()``).
+"""
+
+from .keys import CACHE_SCHEMA_VERSION, stable_digest
+from .lru import LRUCache, memoize
+from .store import (
+    ArtifactCache,
+    DiskTier,
+    build_cache,
+    configure_cache_dir,
+    resolved_cache_dir,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "stable_digest",
+    "LRUCache",
+    "memoize",
+    "ArtifactCache",
+    "DiskTier",
+    "build_cache",
+    "configure_cache_dir",
+    "resolved_cache_dir",
+]

@@ -1,0 +1,121 @@
+"""A small thread-safe LRU cache.
+
+The building block behind the artifact cache's memory tier and the
+bounded memo dicts elsewhere in the library (SQL skeleton features,
+token counts).  Long sweeps touch millions of distinct strings; an
+unbounded dict would grow without limit, so every in-process memo is an
+``LRUCache`` with an explicit capacity.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from functools import wraps
+from typing import Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+_MISSING = object()
+
+
+class LRUCache:
+    """Bounded mapping with least-recently-used eviction (thread-safe).
+
+    Args:
+        max_entries: capacity; inserting beyond it evicts the least
+            recently *used* (read or written) entry.
+    """
+
+    def __init__(self, max_entries: int = 10_000):
+        if max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+        self.max_entries = max_entries
+        self._data: OrderedDict = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def get(self, key, default=None):
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value
+
+    def put(self, key, value) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.max_entries:
+                self._data.popitem(last=False)
+
+    def get_or_compute(self, key, compute: Callable[[], T]) -> T:
+        """Cached value for ``key``, computing (outside the lock) on miss.
+
+        A racing duplicate computation is possible and harmless as long
+        as ``compute`` is a pure function of ``key`` — the convention
+        every cache in this library follows.
+        """
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self._hits = 0
+            self._misses = 0
+
+    def stats(self) -> dict:
+        """``{"entries", "hits", "misses"}`` counters (for telemetry)."""
+        with self._lock:
+            return {
+                "entries": len(self._data),
+                "hits": self._hits,
+                "misses": self._misses,
+            }
+
+    def snapshot(self) -> dict:
+        """A plain-dict copy, most recently used last (for introspection)."""
+        with self._lock:
+            return dict(self._data)
+
+
+def memoize(max_entries: int = 10_000):
+    """Decorator: memoise a single-argument pure function with an LRU.
+
+    A bounded, thread-safe drop-in for ``functools.lru_cache`` on hot
+    single-key paths.  The cache is exposed as ``wrapper.cache``.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        cache = LRUCache(max_entries)
+
+        @wraps(fn)
+        def wrapper(arg):
+            value = cache.get(arg, _MISSING)
+            if value is not _MISSING:
+                return value
+            value = fn(arg)
+            cache.put(arg, value)
+            return value
+
+        wrapper.cache = cache  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate

@@ -15,6 +15,14 @@ Subcommands:
 * ``ask`` — translate one question with the DAIL-SQL pipeline against a
   benchmark database.
 * ``models`` — list available model profiles.
+* ``cache`` — inspect (``stats``) or wipe (``clear``) the on-disk
+  artifact cache that makes sweeps incremental across processes.
+
+Evaluation commands accept ``--cache-dir DIR`` (equivalent to the
+``REPRO_CACHE_DIR`` environment variable): with a directory configured,
+pipeline artifacts — selections, preliminary SQL, generations, executed
+rows — persist across invocations, so rerunning an identical sweep is a
+warm, generation-free replay.
 """
 
 from __future__ import annotations
@@ -36,10 +44,20 @@ def _apply_workers(args: argparse.Namespace) -> None:
         set_default_workers(workers)
 
 
+def _apply_cache(args: argparse.Namespace) -> None:
+    """Honour a ``--cache-dir DIR`` flag (overrides ``REPRO_CACHE_DIR``)."""
+    cache_dir = getattr(args, "cache_dir", None)
+    if cache_dir is not None:
+        from .cache.store import configure_cache_dir
+
+        configure_cache_dir(cache_dir)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
 
     _apply_workers(args)
+    _apply_cache(args)
     result = run_experiment(args.artifact, fast=args.fast, limit=args.limit)
     print(result.render())
     return 0
@@ -49,6 +67,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import run_all
 
     _apply_workers(args)
+    _apply_cache(args)
     for result in run_all(fast=args.fast, limit=args.limit):
         print(result.render())
         print()
@@ -87,6 +106,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .eval.significance import compare_reports
     from .experiments.context import get_context
 
+    _apply_cache(args)
     context = get_context(fast=args.fast)
 
     def parse_config(spec: str) -> RunConfig:
@@ -166,11 +186,64 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from .experiments.markdown import write_report
 
     _apply_workers(args)
+    _apply_cache(args)
     path = write_report(
         args.output, fast=args.fast, limit=args.limit,
         include_supplementary=not args.paper_only,
     )
     print(f"wrote benchmark report to {path}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the on-disk artifact cache."""
+    from .cache.store import DiskTier, resolved_cache_dir
+
+    _apply_cache(args)
+    root = resolved_cache_dir()
+    if root is None:
+        print(
+            "error: no cache directory configured "
+            "(pass --cache-dir or set REPRO_CACHE_DIR)",
+            file=sys.stderr,
+        )
+        return 1
+    tier = DiskTier(root)
+
+    if args.action == "clear":
+        removed = tier.clear()
+        print(f"cleared {removed} cached artifact(s) from {root}")
+        return 0
+
+    sizes = tier.stats()
+    counters = tier.read_counters()
+    stages = sorted(set(sizes) | set(counters))
+    print(f"cache directory: {root}")
+    if not stages:
+        print("(empty)")
+        return 0
+    header = (
+        f"{'stage':<12} {'entries':>8} {'bytes':>12} "
+        f"{'hits':>8} {'misses':>8} {'hit rate':>9}"
+    )
+    print(header)
+    total_entries = 0
+    total_bytes = 0
+    for stage in stages:
+        size = sizes.get(stage, {})
+        entries = size.get("entries", 0)
+        nbytes = size.get("bytes", 0)
+        total_entries += entries
+        total_bytes += nbytes
+        stage_counters = counters.get(stage, {})
+        hits = stage_counters.get("hits", 0)
+        misses = stage_counters.get("misses", 0)
+        rate = f"{hits / (hits + misses):8.1%}" if hits + misses else f"{'-':>8}"
+        print(
+            f"{stage:<12} {entries:>8} {nbytes:>12} "
+            f"{hits:>8} {misses:>8} {rate:>9}"
+        )
+    print(f"{'total':<12} {total_entries:>8} {total_bytes:>12}")
     return 0
 
 
@@ -195,18 +268,24 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     workers_help = "worker threads for evaluation sweeps (default 1)"
+    cache_help = (
+        "directory for the persistent artifact cache "
+        "(overrides $REPRO_CACHE_DIR; makes reruns incremental)"
+    )
 
     p_exp = sub.add_parser("experiment", help="run one paper table/figure")
     p_exp.add_argument("artifact", help="e.g. table1, figure4")
     p_exp.add_argument("--fast", action="store_true")
     p_exp.add_argument("--limit", type=int, default=None)
     p_exp.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_exp.add_argument("--cache-dir", default=None, help=cache_help)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_all = sub.add_parser("experiments", help="run every paper artifact")
     p_all.add_argument("--fast", action="store_true")
     p_all.add_argument("--limit", type=int, default=None)
     p_all.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_all.add_argument("--cache-dir", default=None, help=cache_help)
     p_all.set_defaults(func=_cmd_experiments)
 
     p_gen = sub.add_parser("generate", help="write the synthetic corpus")
@@ -230,6 +309,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--fast", action="store_true")
     p_cmp.add_argument("--limit", type=int, default=None)
     p_cmp.add_argument("--workers", type=int, default=None, help=workers_help)
+    p_cmp.add_argument("--cache-dir", default=None, help=cache_help)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_ask = sub.add_parser("ask", help="run DAIL-SQL on one question")
@@ -257,10 +337,21 @@ def build_parser() -> argparse.ArgumentParser:
                           help="skip the supplementary analyses")
     p_report.add_argument("--workers", type=int, default=None,
                           help=workers_help)
+    p_report.add_argument("--cache-dir", default=None, help=cache_help)
     p_report.set_defaults(func=_cmd_report)
 
     p_models = sub.add_parser("models", help="list model profiles")
     p_models.set_defaults(func=_cmd_models)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk artifact cache"
+    )
+    p_cache.add_argument(
+        "action", choices=("stats", "clear"),
+        help="stats: entries/bytes/hit-rates by stage; clear: wipe it",
+    )
+    p_cache.add_argument("--cache-dir", default=None, help=cache_help)
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

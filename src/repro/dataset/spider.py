@@ -145,6 +145,32 @@ class SpiderDataset:
             self._skeletons[example.example_id] = sql_skeleton(example.query)
         return self._skeletons[example.example_id]
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the dataset (examples + schemas).
+
+        Feeds artifact-cache keys: two processes evaluating the same
+        generated corpus produce the same fingerprint, while any change
+        to a question, gold query or schema changes it.  Computed once
+        and memoised (datasets are immutable after construction by
+        convention).
+        """
+        if not hasattr(self, "_fingerprint"):
+            from ..cache.keys import digest_texts
+
+            def parts():
+                for example in self.examples:
+                    yield example.db_id
+                    yield example.question
+                    yield example.query
+                for db_id in sorted(self.schemas):
+                    yield json.dumps(
+                        schema_to_spider_entry(self.schemas[db_id]),
+                        sort_keys=True,
+                    )
+
+            self._fingerprint = digest_texts(parts())
+        return self._fingerprint
+
     def db_ids(self) -> List[str]:
         return sorted(self.schemas)
 

@@ -8,13 +8,15 @@ as the Spider evaluation executes against its ``database/*.sqlite`` files.
 
 from __future__ import annotations
 
+import json
 import sqlite3
 import threading
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..cache.keys import digest_texts
 from ..errors import ExecutionError
-from ..schema.model import DatabaseSchema
+from ..schema.model import DatabaseSchema, schema_to_spider_entry
 
 Row = Tuple
 ResultRows = List[Row]
@@ -204,6 +206,8 @@ class DatabasePool:
         self._recipes: Dict[str, Tuple[DatabaseSchema, Dict[str, List[dict]]]] = {}
         #: thread ident → db_id → materialised database.
         self._instances: Dict[int, Dict[str, Database]] = {}
+        #: db_id → content digest of (schema, rows), computed lazily.
+        self._fingerprints: Dict[str, str] = {}
         self._lock = threading.Lock()
 
     def add(self, schema: DatabaseSchema, rows: Dict[str, List[dict]]) -> Database:
@@ -219,9 +223,38 @@ class DatabasePool:
                 if schema.db_id in per_thread
             ]
             self._recipes[schema.db_id] = (schema, rows)
+            self._fingerprints.pop(schema.db_id, None)
         for database in stale:
             database.close()
         return self.get(schema.db_id)
+
+    def fingerprint(self, db_id: str) -> str:
+        """Stable content digest of one database's schema and rows.
+
+        Execution artifacts (gold and predicted result rows) are cached
+        under this digest, so results computed against one database
+        build never leak onto a database with different content.
+
+        Raises:
+            ExecutionError: if the database was never added.
+        """
+        with self._lock:
+            cached = self._fingerprints.get(db_id)
+            if cached is not None:
+                return cached
+            try:
+                schema, rows = self._recipes[db_id]
+            except KeyError as exc:
+                raise ExecutionError(f"no database {db_id!r} in pool") from exc
+        digest = digest_texts(
+            (
+                db_id,
+                json.dumps(schema_to_spider_entry(schema), sort_keys=True),
+                json.dumps(rows, sort_keys=True, default=str),
+            )
+        )
+        with self._lock:
+            return self._fingerprints.setdefault(db_id, digest)
 
     def get(self, db_id: str) -> Database:
         """The calling thread's database for ``db_id`` (built on first use).

@@ -187,6 +187,9 @@ class EvalEngine:
                 report.add(record)
             report.telemetry = collectors[ci].freeze(self.workers, wall_clock)
             reports.append(report)
+        # Persist cumulative hit/miss counters alongside the disk tier (if
+        # any) so `repro cache stats` can report rates across processes.
+        self.runner.cache.flush()
         return reports
 
     # -- helpers -----------------------------------------------------------

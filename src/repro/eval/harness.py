@@ -2,18 +2,22 @@
 over an evaluation split and score it.
 
 One :class:`BenchmarkRunner` owns an evaluation dataset, a cross-domain
-candidate pool for in-context examples, and the databases for execution-
-accuracy scoring.  :meth:`BenchmarkRunner.run` evaluates one
-:class:`RunConfig` end-to-end:
+candidate pool for in-context examples, the databases for execution-
+accuracy scoring, and the unified artifact cache.  Example evaluation is
+delegated to the staged :class:`~repro.eval.pipeline.EvalPipeline`::
 
-    select examples → build prompt → generate → extract SQL →
-    execute both queries → EX + EM → aggregate report
+    select → build → generate → extract → execute → score
 
-Gold execution results, selection strategies and fitted embedders are
-cached across runs, so parameter sweeps (the experiment grids) stay fast.
-The caches are lock-protected: the runner is shared by every worker
-thread of the :class:`~repro.eval.engine.EvalEngine`, which schedules the
-actual work (``BenchmarkRunner.run`` delegates to a one-config engine).
+Every expensive stage reads and writes content-addressed artifacts
+through :class:`~repro.cache.store.ArtifactCache`, so parameter sweeps
+(the experiment grids) share selection rankings, preliminary SQL, gold
+rows and generations across grid cells — and, with a disk tier attached
+(``REPRO_CACHE_DIR`` / ``--cache-dir``), across processes: a warm rerun
+of an identical sweep skips generation and execution entirely while
+producing byte-identical reports.  The runner is shared by every worker
+thread of the :class:`~repro.eval.engine.EvalEngine`, which schedules
+the actual work (``BenchmarkRunner.run`` delegates to a one-config
+engine).
 """
 
 from __future__ import annotations
@@ -23,11 +27,10 @@ import warnings
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional
 
+from ..cache.store import ArtifactCache, build_cache
 from ..dataset.spider import Example, SpiderDataset
-from ..db.execution import results_match
 from ..db.sqlite_backend import DatabasePool
 from ..errors import EvaluationError
-from ..llm.extract import extract_sql
 from ..llm.finetune import SFTState
 from ..llm.oracle import GoldOracle
 from ..llm.simulated import SimulatedLLM, make_llm
@@ -35,13 +38,12 @@ from ..prompt.builder import PromptBuilder
 from ..prompt.organization import get_organization
 from ..prompt.representation import RepresentationOptions, get_representation
 from ..selection.strategies import (
-    DailSelection,
     MaskedQuestionSimilaritySelection,
     SelectionStrategy,
     get_selection,
 )
-from .exact_match import exact_match
 from .metrics import EvalReport, PredictionRecord
+from .pipeline import EvalPipeline
 from .telemetry import NULL_COLLECTOR, TelemetryCollector
 
 
@@ -76,6 +78,33 @@ class RunConfig:
             parts.append("sft")
         return " ".join(parts)
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the grid point.
+
+        Two configs share it exactly when every field that can change a
+        record agrees (``label`` is presentation-only and excluded).
+        """
+        from ..cache.keys import stable_digest
+
+        sft = self.sft_state
+        sft_parts = (
+            [sft.tag, repr(sft.trained_competence), repr(sft.icl_retention)]
+            if sft is not None
+            else []
+        )
+        return stable_digest(
+            "run-config",
+            self.model,
+            self.representation,
+            self.organization,
+            self.selection,
+            self.k,
+            self.foreign_keys,
+            self.rule_implication,
+            self.max_tokens,
+            sft_parts,
+        )
+
 
 @dataclass
 class RunPlan:
@@ -104,6 +133,11 @@ class BenchmarkRunner:
         llm_latency_s: optional per-generation latency injected into the
             simulated backend — emulates a remote API so the parallel
             engine's speedup can be exercised and benchmarked honestly.
+        cache: the artifact cache stages go through.  Defaults to a
+            fresh :func:`~repro.cache.store.build_cache`, which attaches
+            a disk tier when ``REPRO_CACHE_DIR`` (or ``--cache-dir``)
+            is configured; pass an explicit instance to share artifacts
+            between runners or to isolate a benchmark's cold pass.
     """
 
     def __init__(
@@ -113,6 +147,7 @@ class BenchmarkRunner:
         pool: DatabasePool,
         seed: int = 0,
         llm_latency_s: float = 0.0,
+        cache: Optional[ArtifactCache] = None,
     ):
         self.eval_dataset = eval_dataset
         self.candidates = candidates
@@ -122,31 +157,17 @@ class BenchmarkRunner:
         self.oracle = GoldOracle(eval_dataset)
         if candidates is not None:
             self.oracle.add_dataset(candidates)
-        self._gold_rows: Dict[str, object] = {}
-        self._gold_lock = threading.Lock()
+        self.cache = cache if cache is not None else build_cache()
+        self.pipeline = EvalPipeline(eval_dataset, candidates, pool, self.cache)
         self._selections: Dict[str, SelectionStrategy] = {}
         self._selection_lock = threading.Lock()
-        self._preliminary: Dict[tuple, str] = {}
-        self._preliminary_lock = threading.Lock()
 
     # -- caches ------------------------------------------------------------
 
-    def _gold_result(
-        self, example: Example, collector: TelemetryCollector = NULL_COLLECTOR
-    ):
-        with self._gold_lock:
-            cached = self._gold_rows.get(example.example_id)
-        if cached is not None:
-            collector.record_cache("gold", hit=True)
-            return cached
-        collector.record_cache("gold", hit=False)
-        database = self.pool.get(example.db_id)
-        result = database.execute(example.query)
-        with self._gold_lock:
-            # Another worker may have raced us here; both computed the same
-            # deterministic result, so last-write-wins is safe.
-            self._gold_rows[example.example_id] = result
-        return result
+    @property
+    def _preliminary(self) -> Dict[str, str]:
+        """Memory-tier preliminary-SQL artifacts (back-compat view)."""
+        return self.cache.stage_entries("preliminary")
 
     def _selection(self, sel_id: str) -> SelectionStrategy:
         with self._selection_lock:
@@ -171,37 +192,6 @@ class BenchmarkRunner:
             sft_state=config.sft_state,
             latency_s=self.llm_latency_s,
         )
-
-    def _preliminary_sql(
-        self,
-        config: RunConfig,
-        llm: SimulatedLLM,
-        example: Example,
-        collector: TelemetryCollector = NULL_COLLECTOR,
-    ) -> str:
-        """Zero-shot prediction used by DAIL_S's skeleton matching."""
-        key = (config.model, config.representation, example.example_id)
-        with self._preliminary_lock:
-            cached = self._preliminary.get(key)
-        if cached is not None:
-            collector.record_cache("preliminary", hit=True)
-            return cached
-        collector.record_cache("preliminary", hit=False)
-        representation = get_representation(
-            config.representation,
-            RepresentationOptions(
-                foreign_keys=config.foreign_keys,
-                rule_implication=config.rule_implication,
-            ),
-        )
-        builder = PromptBuilder(representation, get_organization("FI_O"))
-        schema = self.eval_dataset.schema(example.db_id)
-        prompt = builder.build(schema, example.question)
-        result = llm.generate(prompt, sample_tag="preliminary")
-        sql = extract_sql(result.text, prompt.response_prefix)
-        with self._preliminary_lock:
-            self._preliminary[key] = sql
-        return sql
 
     # -- plan construction -------------------------------------------------------
 
@@ -283,91 +273,7 @@ class BenchmarkRunner:
             Exception: whatever the pipeline raises; the engine isolates
                 it into an errored record.
         """
-        config = plan.config
-        schema = self.eval_dataset.schema(example.db_id)
-        blocks = []
-        with collector.stage("select"):
-            if plan.strategy is not None:
-                predicted = None
-                if isinstance(plan.strategy, DailSelection):
-                    predicted = self._preliminary_sql(
-                        config, plan.llm, example, collector
-                    )
-                blocks = plan.strategy.select(
-                    example.question, example.db_id, config.k,
-                    predicted_sql=predicted,
-                )
-        with collector.stage("build"):
-            prompt = plan.builder.build(schema, example.question, blocks)
-
-        if plan.n_samples <= 1:
-            with collector.stage("generate"):
-                result = plan.llm.generate(prompt)
-            predicted_sql = extract_sql(result.text, prompt.response_prefix)
-            raw = result.text
-            completion_tokens = result.completion_tokens
-        else:
-            raw, predicted_sql, completion_tokens = self._self_consistency(
-                plan.llm, prompt, example, plan.n_samples, collector
-            )
-
-        with collector.stage("execute"):
-            exec_ok = self._execution_match(example, predicted_sql, collector)
-            em_ok = exact_match(example.query, predicted_sql)
-        return PredictionRecord(
-            example_id=example.example_id,
-            db_id=example.db_id,
-            question=example.question,
-            gold_sql=example.query,
-            raw_output=raw,
-            predicted_sql=predicted_sql,
-            exec_match=exec_ok,
-            exact_match=em_ok,
-            hardness=example.hardness,
-            prompt_tokens=prompt.token_count,
-            completion_tokens=completion_tokens,
-            n_examples=prompt.n_examples,
-        )
-
-    def _self_consistency(
-        self, llm, prompt, example, n_samples,
-        collector: TelemetryCollector = NULL_COLLECTOR,
-    ):
-        """Execution-majority voting over several samples (DAIL-SQL+SC)."""
-        database = self.pool.get(example.db_id)
-        votes: Dict[str, List[str]] = {}
-        first_raw = ""
-        total_completion = 0
-        for index in range(n_samples):
-            with collector.stage("generate"):
-                result = llm.generate(prompt, sample_tag=f"sc-{index}")
-            total_completion += result.completion_tokens
-            if index == 0:
-                first_raw = result.text
-            sql = extract_sql(result.text, prompt.response_prefix)
-            with collector.stage("execute"):
-                rows = database.try_execute(sql)
-            key = "<error>" if rows is None else repr(sorted(map(repr, rows)))
-            votes.setdefault(key, []).append(sql)
-        # Majority result set wins; errors never win unless unanimous.
-        def vote_rank(item):
-            key, sqls = item
-            return (key != "<error>", len(sqls))
-        best_key, best_sqls = max(votes.items(), key=vote_rank)
-        return first_raw, best_sqls[0], total_completion
-
-    def _execution_match(
-        self,
-        example: Example,
-        predicted_sql: str,
-        collector: TelemetryCollector = NULL_COLLECTOR,
-    ) -> bool:
-        gold_rows = self._gold_result(example, collector)
-        database = self.pool.get(example.db_id)
-        pred_rows = database.try_execute(predicted_sql)
-        if pred_rows is None:
-            return False
-        return results_match(gold_rows, pred_rows, example.query)
+        return self.pipeline.run(example, plan, collector)
 
 
 def run_grid(

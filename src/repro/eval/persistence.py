@@ -4,7 +4,10 @@ Long grids are expensive to recompute; persisting
 :class:`~repro.eval.metrics.EvalReport` objects as JSON lets analyses
 (error breakdowns, significance tests, cost accounting) run later without
 re-running models — and makes runs diffable artifacts for regression
-tracking.
+tracking.  The format is stable across the staged-pipeline cache: a warm
+replay from disk artifacts serialises byte-identically to the cold run
+that produced them (the telemetry block's stage timings and cache
+counters differ, as timings always do — record payloads do not).
 """
 
 from __future__ import annotations

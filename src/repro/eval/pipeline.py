@@ -1,0 +1,428 @@
+"""The staged evaluation pipeline.
+
+One example evaluation is an explicit chain of six small stages::
+
+    select → build → generate → extract → execute → score
+
+Each stage is an independently testable unit with declared inputs and
+outputs (read from / written to a shared state dict), and every
+expensive stage reads and writes through the unified
+:class:`~repro.cache.store.ArtifactCache`:
+
+========== ============================ ==============================
+stage      artifact (cache stage name)  key content
+========== ============================ ==============================
+select     ``preliminary``              LLM fingerprint + preliminary
+                                        prompt text
+select     ``select``                   strategy fingerprint, target
+                                        question/db, k, preliminary SQL
+generate   ``generate``                 LLM fingerprint, prompt text,
+                                        sample tag
+execute    ``gold``                     database fingerprint, gold SQL
+execute    ``execute``                  database fingerprint,
+                                        predicted SQL
+========== ============================ ==============================
+
+``build``, ``extract`` and ``score`` are cheap pure functions and are
+always recomputed.  Because keys are pure content hashes, artifacts are
+shared across grid configs within a sweep (the DAIL preliminary pass
+and selection rankings are computed once, not once per config) and —
+when a disk tier is attached — across processes: a warm re-run skips
+generation and execution entirely while producing byte-identical
+records.
+
+Cache hits and misses are reported to the run's
+:class:`~repro.eval.telemetry.TelemetryCollector` under the artifact
+names above, so :class:`~repro.eval.telemetry.RunTelemetry` counters
+cover every stage uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..cache.store import ArtifactCache
+from ..dataset.spider import Example, SpiderDataset
+from ..db.execution import results_match
+from ..db.sqlite_backend import DatabasePool
+from ..llm.extract import extract_sql
+from ..llm.interface import client_fingerprint
+from ..prompt.builder import PromptBuilder
+from ..prompt.organization import ExampleBlock, get_organization
+from ..prompt.representation import RepresentationOptions, get_representation
+from ..selection.strategies import DailSelection
+from .exact_match import exact_match
+from .metrics import PredictionRecord
+from .telemetry import NULL_COLLECTOR
+
+#: Pipeline state: the blackboard stages read from and write to.
+State = Dict[str, object]
+
+
+class PipelineStage:
+    """One unit of the pipeline.
+
+    Subclasses declare ``name`` (also the telemetry stage-timer label),
+    ``inputs`` (state keys read) and ``outputs`` (state keys written),
+    and implement :meth:`run`.  Stages hold no per-example state — all
+    of it lives in the state dict — so one stage instance serves every
+    worker thread.
+    """
+
+    name: str = ""
+    inputs: Tuple[str, ...] = ()
+    outputs: Tuple[str, ...] = ()
+
+    def __init__(self, pipeline: "EvalPipeline"):
+        self.pipeline = pipeline
+
+    def run(self, state: State, collector) -> None:
+        raise NotImplementedError
+
+
+class SelectStage(PipelineStage):
+    """Pick in-context examples (and the DAIL preliminary SQL)."""
+
+    name = "select"
+    inputs = ("example", "plan")
+    outputs = ("blocks",)
+
+    def run(self, state: State, collector) -> None:
+        example, plan = state["example"], state["plan"]
+        strategy = plan.strategy
+        if strategy is None:
+            state["blocks"] = []
+            return
+        predicted: Optional[str] = None
+        if isinstance(strategy, DailSelection):
+            predicted = self.pipeline.preliminary_sql(plan, example, collector)
+
+        def compute() -> List[List[str]]:
+            blocks = strategy.select(
+                example.question, example.db_id, plan.config.k,
+                predicted_sql=predicted,
+            )
+            return [[b.schema.db_id, b.question, b.sql] for b in blocks]
+
+        refs = self.pipeline.cache.get_or_compute(
+            "select",
+            (
+                strategy.fingerprint(),
+                example.question,
+                example.db_id,
+                plan.config.k,
+                predicted or "",
+            ),
+            compute,
+            collector=collector,
+        )
+        state["blocks"] = [
+            ExampleBlock(
+                question=question,
+                sql=sql,
+                schema=strategy.candidates.schema(db_id),
+            )
+            for db_id, question, sql in refs
+        ]
+
+
+class BuildPromptStage(PipelineStage):
+    """Assemble the prompt under the config's token budget.
+
+    Pure and cheap (token counts are memoised in the shared counter),
+    so the prompt — which holds live schema objects — is rebuilt rather
+    than cached.
+    """
+
+    name = "build"
+    inputs = ("example", "plan", "blocks")
+    outputs = ("prompt",)
+
+    def run(self, state: State, collector) -> None:
+        example, plan = state["example"], state["plan"]
+        schema = self.pipeline.dataset.schema(example.db_id)
+        state["prompt"] = plan.builder.build(
+            schema, example.question, state["blocks"]
+        )
+
+
+class GenerateStage(PipelineStage):
+    """Call the LLM (or the generation artifact standing in for it)."""
+
+    name = "generate"
+    inputs = ("plan", "prompt")
+    outputs = ("raw_output", "completion_tokens")
+
+    def run(self, state: State, collector) -> None:
+        plan, prompt = state["plan"], state["prompt"]
+        generation = self.pipeline.generation(plan.llm, prompt, "", collector)
+        state["raw_output"] = generation["text"]
+        state["completion_tokens"] = generation["completion_tokens"]
+
+
+class ExtractStage(PipelineStage):
+    """Pull the SQL out of the raw model response (pure)."""
+
+    name = "extract"
+    inputs = ("raw_output", "prompt")
+    outputs = ("predicted_sql",)
+
+    def run(self, state: State, collector) -> None:
+        prompt = state["prompt"]
+        state["predicted_sql"] = extract_sql(
+            state["raw_output"], prompt.response_prefix
+        )
+
+
+class ExecuteStage(PipelineStage):
+    """Execute gold and predicted SQL and compare result sets."""
+
+    name = "execute"
+    inputs = ("example", "predicted_sql")
+    outputs = ("exec_match",)
+
+    def run(self, state: State, collector) -> None:
+        example = state["example"]
+        predicted_sql = state["predicted_sql"]
+        gold_rows = self.pipeline.gold_rows(example, collector)
+        pred_rows = self.pipeline.predicted_rows(
+            example.db_id, predicted_sql, collector
+        )
+        state["exec_match"] = pred_rows is not None and results_match(
+            gold_rows, pred_rows, example.query
+        )
+
+
+class ScoreStage(PipelineStage):
+    """Exact match plus record assembly (pure)."""
+
+    name = "score"
+    inputs = (
+        "example", "prompt", "raw_output", "predicted_sql",
+        "exec_match", "completion_tokens",
+    )
+    outputs = ("exact_match", "record")
+
+    def run(self, state: State, collector) -> None:
+        example, prompt = state["example"], state["prompt"]
+        predicted_sql = state["predicted_sql"]
+        em_ok = exact_match(example.query, predicted_sql)
+        state["exact_match"] = em_ok
+        state["record"] = PredictionRecord(
+            example_id=example.example_id,
+            db_id=example.db_id,
+            question=example.question,
+            gold_sql=example.query,
+            raw_output=state["raw_output"],
+            predicted_sql=predicted_sql,
+            exec_match=state["exec_match"],
+            exact_match=em_ok,
+            hardness=example.hardness,
+            prompt_tokens=prompt.token_count,
+            completion_tokens=state["completion_tokens"],
+            n_examples=prompt.n_examples,
+        )
+
+
+#: Stage classes in pipeline order.
+STAGE_CLASSES = (
+    SelectStage,
+    BuildPromptStage,
+    GenerateStage,
+    ExtractStage,
+    ExecuteStage,
+    ScoreStage,
+)
+
+
+class EvalPipeline:
+    """Runs the staged pipeline for one benchmark's datasets.
+
+    Owned by a :class:`~repro.eval.harness.BenchmarkRunner`; shared by
+    every worker thread of the evaluation engine (stages are stateless,
+    the cache is thread-safe).
+
+    Args:
+        dataset: the evaluation split (schemas, gold queries).
+        candidates: in-context example pool (``None`` for zero-shot).
+        pool: databases for execution-accuracy scoring.
+        cache: the unified artifact cache all stages go through.
+    """
+
+    def __init__(
+        self,
+        dataset: SpiderDataset,
+        candidates: Optional[SpiderDataset],
+        pool: DatabasePool,
+        cache: ArtifactCache,
+    ):
+        self.dataset = dataset
+        self.candidates = candidates
+        self.pool = pool
+        self.cache = cache
+        self.stages = tuple(cls(self) for cls in STAGE_CLASSES)
+
+    def stage(self, name: str) -> PipelineStage:
+        """One stage by name (for tests and targeted reuse).
+
+        Raises:
+            KeyError: for unknown stage names.
+        """
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise KeyError(f"no pipeline stage named {name!r}")
+
+    # -- the chain -----------------------------------------------------------
+
+    def run(self, example: Example, plan, collector=NULL_COLLECTOR) -> PredictionRecord:
+        """Evaluate one example under one plan (thread-safe).
+
+        ``n_samples > 1`` swaps the generate → extract stretch for the
+        execution-majority self-consistency loop, which times its inner
+        generations and executions under the same stage names.
+
+        Raises:
+            Exception: whatever a stage raises; the engine isolates it
+                into an errored record.
+        """
+        state: State = {"example": example, "plan": plan}
+        voting = plan.n_samples > 1
+        for stage in self.stages:
+            if voting and stage.name == "generate":
+                self._self_consistency(state, collector)
+                continue
+            if voting and stage.name == "extract":
+                continue  # the voting loop already extracted per sample
+            with collector.stage(stage.name):
+                stage.run(state, collector)
+        return state["record"]
+
+    # -- cached artifact accessors -------------------------------------------
+
+    def generation(self, llm, prompt, sample_tag: str, collector) -> Dict:
+        """The ``generate`` artifact: raw text + completion tokens."""
+
+        def compute() -> Dict:
+            result = llm.generate(prompt, sample_tag=sample_tag)
+            return {
+                "text": result.text,
+                "completion_tokens": result.completion_tokens,
+            }
+
+        return self.cache.get_or_compute(
+            "generate",
+            (client_fingerprint(llm), prompt.text, sample_tag),
+            compute,
+            collector=collector,
+        )
+
+    def preliminary_sql(self, plan, example: Example, collector) -> str:
+        """The ``preliminary`` artifact: DAIL_S's zero-shot predicted SQL.
+
+        The preliminary prompt (target representation, ``FI_O``
+        organization, zero-shot) is always rebuilt — it is cheap and its
+        *text* is the cache key, so two configs share the artifact
+        exactly when their preliminary prompts and model agree.
+        """
+        config = plan.config
+        representation = get_representation(
+            config.representation,
+            RepresentationOptions(
+                foreign_keys=config.foreign_keys,
+                rule_implication=config.rule_implication,
+            ),
+        )
+        builder = PromptBuilder(representation, get_organization("FI_O"))
+        schema = self.dataset.schema(example.db_id)
+        prompt = builder.build(schema, example.question)
+
+        def compute() -> str:
+            result = plan.llm.generate(prompt, sample_tag="preliminary")
+            return extract_sql(result.text, prompt.response_prefix)
+
+        return self.cache.get_or_compute(
+            "preliminary",
+            (client_fingerprint(plan.llm), prompt.text),
+            compute,
+            collector=collector,
+        )
+
+    def gold_rows(self, example: Example, collector):
+        """The ``gold`` artifact: executed gold-query result rows."""
+
+        def compute():
+            return self.pool.get(example.db_id).execute(example.query)
+
+        return self.cache.get_or_compute(
+            "gold",
+            (self.pool.fingerprint(example.db_id), example.query),
+            compute,
+            collector=collector,
+            encode=lambda rows: [list(row) for row in rows],
+            decode=lambda rows: [tuple(row) for row in rows],
+        )
+
+    def predicted_rows(self, db_id: str, sql: str, collector):
+        """The ``execute`` artifact: predicted-query rows (``None`` on
+        execution failure — failures are results too, and cacheable)."""
+
+        def compute():
+            return self.pool.get(db_id).try_execute(sql)
+
+        def encode(rows):
+            if rows is None:
+                return {"ok": False}
+            return {"ok": True, "rows": [list(row) for row in rows]}
+
+        def decode(payload):
+            if not payload.get("ok"):
+                return None
+            return [tuple(row) for row in payload.get("rows", [])]
+
+        return self.cache.get_or_compute(
+            "execute",
+            (self.pool.fingerprint(db_id), sql),
+            compute,
+            collector=collector,
+            encode=encode,
+            decode=decode,
+        )
+
+    # -- self-consistency ------------------------------------------------------
+
+    def _self_consistency(self, state: State, collector) -> None:
+        """Execution-majority voting over several samples (DAIL-SQL+SC).
+
+        Sets ``raw_output`` (first sample), ``predicted_sql`` (majority
+        winner) and ``completion_tokens`` (sum over samples); the
+        execute stage then scores the winner — whose execution is
+        already a cache hit from the voting pass.
+        """
+        example, plan, prompt = state["example"], state["plan"], state["prompt"]
+        votes: Dict[str, List[str]] = {}
+        first_raw = ""
+        total_completion = 0
+        for index in range(plan.n_samples):
+            with collector.stage("generate"):
+                generation = self.generation(
+                    plan.llm, prompt, f"sc-{index}", collector
+                )
+            total_completion += generation["completion_tokens"]
+            if index == 0:
+                first_raw = generation["text"]
+            sql = extract_sql(generation["text"], prompt.response_prefix)
+            with collector.stage("execute"):
+                rows = self.predicted_rows(example.db_id, sql, collector)
+            key = "<error>" if rows is None else repr(sorted(map(repr, rows)))
+            votes.setdefault(key, []).append(sql)
+
+        # Majority result set wins; errors never win unless unanimous.
+        def vote_rank(item):
+            key, sqls = item
+            return (key != "<error>", len(sqls))
+
+        best_key, best_sqls = max(votes.items(), key=vote_rank)
+        state["raw_output"] = first_raw
+        state["predicted_sql"] = best_sqls[0]
+        state["completion_tokens"] = total_completion

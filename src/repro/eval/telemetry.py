@@ -6,8 +6,10 @@ workers of one run.  When the run finishes the collector is frozen into a
 :class:`RunTelemetry` attached to the
 :class:`~repro.eval.metrics.EvalReport`, so sweep cost is a first-class,
 persisted artifact: where the wall-clock went (select / build / generate /
-execute), how busy the workers were, and how well the gold-result and
-preliminary-SQL caches amortised.
+extract / execute / score), how busy the workers were, and how well each
+stage of the unified artifact cache amortised (``select``,
+``preliminary``, ``generate``, ``gold``, ``execute`` counters all flow
+through the same :meth:`TelemetryCollector.record_cache` hook).
 """
 
 from __future__ import annotations
@@ -19,7 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 #: Pipeline stages timed per example, in pipeline order.
-STAGES = ("select", "build", "generate", "execute")
+STAGES = ("select", "build", "generate", "extract", "execute", "score")
 
 
 @dataclass
@@ -30,12 +32,13 @@ class RunTelemetry:
         workers: worker threads the run was scheduled across.
         wall_clock_s: end-to-end wall-clock of the run.
         busy_s: summed per-example evaluation time across all workers.
-        stage_s: per-stage totals (``select``/``build``/``generate``/
-            ``execute``), summed across examples.
+        stage_s: per-stage totals (:data:`STAGES`), summed across
+            examples.
         examples: evaluated example count (including errored ones).
         errors: examples that raised and were isolated.
-        cache_hits / cache_misses: per-cache counters (``gold``,
-            ``preliminary``).
+        cache_hits / cache_misses: per-artifact counters (``select``,
+            ``preliminary``, ``generate``, ``gold``, ``execute``), fed
+            uniformly by the artifact cache.
     """
 
     workers: int = 1

@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Union
 
 from ..dataset.generator.corpus import Corpus, CorpusConfig, build_corpus
+from ..dataset.spider import SpiderDataset
 from ..eval.engine import GridResult, GridRunner
 from ..eval.harness import BenchmarkRunner, RunConfig
 
@@ -83,6 +84,26 @@ class ExperimentContext:
         """
         grid_runner = GridRunner(runner or self.runner, workers=default_workers())
         return grid_runner.sweep(configs, limit=limit, n_samples=n_samples)
+
+    def derived_runner(
+        self,
+        dataset: Optional[SpiderDataset] = None,
+        candidates: Optional[SpiderDataset] = None,
+        seed: int = BENCHMARK_SEED,
+    ) -> BenchmarkRunner:
+        """A runner over a derived dataset (e.g. Spider-Realistic) that
+        shares this context's database pool **and artifact cache** — so
+        gold rows, generations and selection artifacts whose content
+        keys coincide with the main runner's are computed once per
+        session, not once per variant runner.
+        """
+        return BenchmarkRunner(
+            dataset if dataset is not None else self.dev,
+            candidates if candidates is not None else self.train,
+            self.corpus.pool(),
+            seed=seed,
+            cache=self.runner.cache,
+        )
 
 
 _CACHE: Dict[bool, ExperimentContext] = {}

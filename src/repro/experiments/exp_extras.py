@@ -130,15 +130,15 @@ def run_dail_threshold(fast: bool = False,
     Threshold 0 disables the structural gate (pure masked-question
     similarity, i.e. MQS_S); very high thresholds gate almost nothing in.
     """
-    from ..eval.harness import BenchmarkRunner
     from ..selection.strategies import DailSelection
 
     context = get_context(fast)
     rows: List[dict] = []
     for threshold in (0.0, 0.2, 0.35, 0.6, 0.9):
-        runner = BenchmarkRunner(
-            context.dev, context.train, context.corpus.pool()
-        )
+        # Thresholds change only the selection artifacts (the strategy
+        # fingerprint includes the threshold); sharing the context cache
+        # lets preliminary SQL and gold rows amortise across the ablation.
+        runner = context.derived_runner()
         strategy = DailSelection(context.train, skeleton_threshold=threshold)
         strategy.set_target_dataset(context.dev)
         runner._selections["DAIL_S"] = strategy

@@ -13,10 +13,10 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..dataset.generator.corpus import spider_realistic
-from ..eval.harness import BenchmarkRunner, RunConfig
+from ..eval.harness import RunConfig
 from ..eval.reporting import percent
 from .base import ExperimentResult
-from .context import BENCHMARK_SEED, get_context
+from .context import get_context
 
 MODELS = ("gpt-4", "gpt-3.5-turbo", "vicuna-33b")
 
@@ -24,9 +24,9 @@ MODELS = ("gpt-4", "gpt-3.5-turbo", "vicuna-33b")
 def run(fast: bool = False, limit: Optional[int] = None) -> ExperimentResult:
     context = get_context(fast)
     realistic = spider_realistic(context.dev)
-    realistic_runner = BenchmarkRunner(
-        realistic, context.train, context.corpus.pool(), seed=BENCHMARK_SEED
-    )
+    # Shares the context's pool and artifact cache: the candidate-pool
+    # embeddings and any overlapping gold/generation artifacts carry over.
+    realistic_runner = context.derived_runner(dataset=realistic)
     rows: List[dict] = []
     configs = [
         ("zero-shot", RunConfig(model=m, representation="CR_P"))

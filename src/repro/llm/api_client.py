@@ -138,6 +138,24 @@ class ApiLLMClient:
 
     # -- LLMClient -------------------------------------------------------------
 
+    def fingerprint(self) -> str:
+        """Cache identity: everything that shapes the request content.
+
+        Retry policy and transport are excluded — they decide *how* the
+        request is delivered, not what is asked.  Remote model drift is
+        out of scope (pin model snapshots server-side, or clear the
+        cache when the endpoint changes).
+        """
+        from ..cache.keys import stable_digest
+
+        return stable_digest(
+            "api-llm",
+            self.model_id,
+            self.system_message,
+            repr(self.temperature),
+            self.max_completion_tokens,
+        )
+
     def generate(self, prompt: Prompt, sample_tag: str = "") -> GenerationResult:
         """Send the request, retrying on transient failures.
 

@@ -63,3 +63,17 @@ def sequential_batch(
     """Default ``generate_batch``: one :meth:`LLMClient.generate` per
     prompt, in order.  Shared by the simulated and API clients."""
     return [client.generate(prompt, sample_tag=sample_tag) for prompt in prompts]
+
+
+def client_fingerprint(client: "LLMClient") -> str:
+    """Stable identity of a client for artifact-cache keys.
+
+    Clients that define ``fingerprint()`` (the simulated and API
+    clients both do) control their own cache identity; anything else
+    falls back to its ``model_id``, which is correct whenever one model
+    id maps to one behaviour — the convention of this library.
+    """
+    fingerprint = getattr(client, "fingerprint", None)
+    if callable(fingerprint):
+        return fingerprint()
+    return f"model:{client.model_id}"

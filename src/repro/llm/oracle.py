@@ -40,6 +40,25 @@ class GoldOracle:
         """The gold example for a question, or ``None`` if unknown."""
         return self._examples.get(self._key(db_id, question))
 
+    def fingerprint(self) -> str:
+        """Stable content digest of the oracle's (question → gold) map.
+
+        Part of the simulated LLM's fingerprint: two oracles built from
+        different corpora may answer the same prompt differently, so
+        cached generations must not be shared between them.  Recomputed
+        per call because :meth:`add_dataset` can extend the oracle; the
+        map is small and the callers memoise.
+        """
+        from ..cache.keys import digest_texts
+
+        def parts():
+            for (db_id, question) in sorted(self._examples):
+                yield db_id
+                yield question
+                yield self._examples[(db_id, question)].query
+
+        return digest_texts(parts())
+
     def schema(self, db_id: str) -> Optional[DatabaseSchema]:
         return self._schemas.get(db_id)
 

@@ -72,12 +72,41 @@ class SimulatedLLM:
         self.sft_state = sft_state
         self.latency_s = latency_s
         self._linkers: Dict[str, SchemaLinker] = {}
+        self._fingerprint: Optional[str] = None
 
     @property
     def model_id(self) -> str:
         if self.sft_state is not None:
             return f"{self.profile.model_id}+sft[{self.sft_state.representation_id}]"
         return self.profile.model_id
+
+    def fingerprint(self) -> str:
+        """Stable digest of everything that determines this model's output.
+
+        Cached generations are keyed by (this fingerprint, prompt text,
+        sample tag).  The oracle's content is included — two corpora can
+        pose byte-identical prompts with different gold answers — while
+        ``latency_s`` is deliberately excluded: it changes how long a
+        generation takes, never what is generated, so warm caches work
+        across latency settings.
+        """
+        if self._fingerprint is None:
+            from ..cache.keys import stable_digest
+
+            sft_parts = ()
+            if self.sft_state is not None:
+                sft_parts = (
+                    self.sft_state.tag,
+                    repr(self.sft_state.trained_competence),
+                    repr(self.sft_state.icl_retention),
+                )
+            self._fingerprint = stable_digest(
+                "simulated-llm",
+                self.model_id,
+                list(sft_parts),
+                self.oracle.fingerprint(),
+            )
+        return self._fingerprint
 
     # -- outcome model ---------------------------------------------------------
 

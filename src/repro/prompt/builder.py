@@ -53,6 +53,12 @@ class Prompt:
         return len(self.examples)
 
 
+#: Process-wide token-count memo.  The counter is a bounded thread-safe
+#: LRU, so sharing it across every builder (and every worker thread) is
+#: safe and lets grid configs reuse each other's schema/example counts.
+_SHARED_COUNTER = TokenCounter()
+
+
 class PromptBuilder:
     """Build prompts for one (representation, organization) combination."""
 
@@ -66,7 +72,7 @@ class PromptBuilder:
         self.representation = representation
         self.organization = organization
         self.max_tokens = max_tokens
-        self.counter = counter or TokenCounter()
+        self.counter = counter or _SHARED_COUNTER
 
     def build(
         self,

@@ -54,6 +54,28 @@ class SelectionStrategy:
         """Candidate indices, best match first."""
         raise NotImplementedError
 
+    def fingerprint(self) -> str:
+        """Stable digest of everything that determines this strategy's
+        rankings: id, seed, candidate-pool content, plus any subclass
+        parameters (:meth:`_fingerprint_extra`).  Selection artifacts in
+        the cache are keyed by it, so rankings are shared across grid
+        configs — and across processes — exactly when the strategy and
+        pool are identical.
+        """
+        from ..cache.keys import stable_digest
+
+        return stable_digest(
+            "selection",
+            self.id,
+            self.seed,
+            self.candidates.fingerprint(),
+            list(self._fingerprint_extra()),
+        )
+
+    def _fingerprint_extra(self) -> Sequence[object]:
+        """Subclass hook: extra parameters that change rankings."""
+        return ()
+
     def select(
         self,
         question: str,
@@ -141,6 +163,7 @@ class MaskedQuestionSimilaritySelection(_EmbeddingSelection):
     def __init__(self, candidates: SpiderDataset, seed: int = 0):
         super().__init__(candidates, seed)
         self._target_linkers: Dict[str, object] = {}
+        self._target_fingerprint = ""
 
     def mask_target(self, question: str, db_id: str) -> str:
         linker = self._target_linkers.get(db_id)
@@ -160,9 +183,14 @@ class MaskedQuestionSimilaritySelection(_EmbeddingSelection):
         with their own schemas' linkers."""
         for db_id in dataset.schemas:
             self._target_linkers[db_id] = dataset.linker(db_id)
+        self._target_fingerprint = dataset.fingerprint()
 
     def _target_text(self, question: str, db_id: str) -> str:
         return self.mask_target(question, db_id)
+
+    def _fingerprint_extra(self) -> Sequence[object]:
+        # Target masking depends on which dataset's linkers were installed.
+        return (self._target_fingerprint,)
 
 
 class DailSelection(MaskedQuestionSimilaritySelection):
@@ -185,6 +213,9 @@ class DailSelection(MaskedQuestionSimilaritySelection):
     ):
         super().__init__(candidates, seed)
         self.skeleton_threshold = skeleton_threshold
+
+    def _fingerprint_extra(self) -> Sequence[object]:
+        return (self._target_fingerprint, repr(self.skeleton_threshold))
 
     def rank(self, question, db_id, predicted_sql=None) -> List[int]:
         question_scores = self._similarities(question, db_id)

@@ -16,8 +16,9 @@ Two skeletons are produced:
 
 from __future__ import annotations
 
-from functools import lru_cache
 from typing import List, Set, Union
+
+from ..cache.lru import memoize
 
 from .ast_nodes import (
     BetweenCondition,
@@ -166,13 +167,15 @@ def _leaf_op(leaf) -> str:
     return "other"
 
 
-@lru_cache(maxsize=100_000)
+@memoize(max_entries=50_000)
 def _features_cached(sql: str):
     """(signature, skeleton bigrams) of a SQL string, memoised.
 
     Selection strategies compare every target against every candidate;
     candidates repeat across targets, so caching turns the quadratic
-    parse cost into a linear one.
+    parse cost into a linear one.  The memo is a bounded, thread-safe
+    LRU (:mod:`repro.cache.lru`) so arbitrarily long sweeps over
+    arbitrarily many corpora cannot grow memory without limit.
     """
     return frozenset(query_signature(sql)), frozenset(_bigrams(skeleton_tokens(sql)))
 

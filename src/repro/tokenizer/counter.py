@@ -14,6 +14,8 @@ from __future__ import annotations
 import re
 from typing import List
 
+from ..cache.lru import LRUCache
+
 _PIECE_RE = re.compile(r"[A-Za-z]+|\d+|\s+|[^\sA-Za-z\d]")
 
 #: Words frequent enough to be single tokens in GPT vocabularies.
@@ -71,18 +73,20 @@ class TokenCounter:
     """Object form of :func:`count_tokens`, with a memo for repeated texts.
 
     Prompt construction re-counts the same schema/example blocks many times
-    during budget fitting; the cache makes that cheap.
+    during budget fitting; the cache makes that cheap.  The memo is a
+    bounded, thread-safe LRU (:mod:`repro.cache.lru`) — previously a dict
+    that stopped accepting entries at capacity, it now keeps the *hot*
+    texts live however long the sweep runs, and one counter can safely be
+    shared by every builder across worker threads.
     """
 
     def __init__(self, max_cache: int = 50_000):
-        self._cache: dict = {}
-        self._max_cache = max_cache
+        self._cache = LRUCache(max_entries=max_cache)
 
     def count(self, text: str) -> int:
         cached = self._cache.get(text)
         if cached is not None:
             return cached
         value = count_tokens(text)
-        if len(self._cache) < self._max_cache:
-            self._cache[text] = value
+        self._cache.put(text, value)
         return value

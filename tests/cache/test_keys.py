@@ -1,0 +1,72 @@
+"""Key encoding: stability, type safety, collision resistance."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cache.keys import canonical_bytes, digest_texts, stable_digest
+
+
+class TestStableDigest:
+    def test_deterministic(self):
+        assert stable_digest("a", 1, [2, 3]) == stable_digest("a", 1, [2, 3])
+
+    def test_order_matters(self):
+        assert stable_digest("a", "b") != stable_digest("b", "a")
+
+    def test_list_and_tuple_encode_identically(self):
+        # JSON round-trips turn tuples into lists; keys must not care.
+        assert stable_digest("s", (1, 2), ["x", None]) == stable_digest(
+            "s", [1, 2], ("x", None)
+        )
+
+    def test_type_tags_prevent_cross_type_collisions(self):
+        assert stable_digest(1) != stable_digest("1")
+        assert stable_digest(True) != stable_digest(1)
+        assert stable_digest(None) != stable_digest("")
+        assert stable_digest(1.0) != stable_digest(1)
+
+    def test_string_length_framing_prevents_concatenation_collisions(self):
+        assert stable_digest("ab", "c") != stable_digest("a", "bc")
+        assert stable_digest(["ab"], ["c"]) != stable_digest(["ab", "c"])
+
+    def test_nested_structures(self):
+        a = stable_digest({"k": [1, {"x": (2, 3)}], "j": None})
+        b = stable_digest({"j": None, "k": [1, {"x": [2, 3]}]})
+        assert a == b  # dict key order and tuple/list spelling don't matter
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_digest(object())
+
+    def test_stable_across_processes(self):
+        """The property incremental sweeps rest on: a fresh interpreter
+        (fresh PYTHONHASHSEED) derives the identical digest."""
+        script = (
+            "from repro.cache.keys import stable_digest;"
+            "print(stable_digest('stage', 1, ['a', None], {'k': 2.5}))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True, text=True, check=True,
+            env={"PYTHONPATH": "src", "PYTHONHASHSEED": "random"},
+        ).stdout.strip()
+        assert out == stable_digest("stage", 1, ["a", None], {"k": 2.5})
+
+
+class TestCanonicalBytes:
+    def test_is_bytes_and_injective_on_cases(self):
+        seen = set()
+        for value in ("x", 7, 7.0, True, None, [1], {"a": 1}, b"x"):
+            encoded = canonical_bytes(value)
+            assert isinstance(encoded, bytes)
+            assert encoded not in seen
+            seen.add(encoded)
+
+
+class TestDigestTexts:
+    def test_streaming_matches_order(self):
+        assert digest_texts(["a", "b"]) == digest_texts(["a", "b"])
+        assert digest_texts(["a", "b"]) != digest_texts(["b", "a"])
+        assert digest_texts(["ab"]) != digest_texts(["a", "b"])

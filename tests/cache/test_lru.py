@@ -1,0 +1,101 @@
+"""The bounded thread-safe LRU behind the memory tier and the memos."""
+
+import threading
+
+import pytest
+
+from repro.cache.lru import LRUCache, memoize
+
+
+class TestLRUCache:
+    def test_get_put_roundtrip(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.get("missing", "default") == "default"
+
+    def test_eviction_is_least_recently_used(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")          # refresh "a"; "b" is now the LRU entry
+        cache.put("c", 3)
+        assert "a" in cache and "c" in cache
+        assert "b" not in cache
+        assert len(cache) == 2
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(max_entries=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)      # rewrite refreshes too
+        cache.put("c", 3)
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_capacity_one(self):
+        cache = LRUCache(max_entries=1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert len(cache) == 1 and cache.get("b") == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(max_entries=0)
+
+    def test_get_or_compute_caches(self):
+        cache = LRUCache(max_entries=4)
+        calls = []
+        value = cache.get_or_compute("k", lambda: calls.append(1) or 42)
+        assert value == 42
+        assert cache.get_or_compute("k", lambda: calls.append(1) or 42) == 42
+        assert len(calls) == 1
+
+    def test_stats_and_clear(self):
+        cache = LRUCache(max_entries=4)
+        cache.put("a", 1)
+        cache.get("a")
+        cache.get("nope")
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        cache.clear()
+        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+
+    def test_thread_safety_under_churn(self):
+        cache = LRUCache(max_entries=64)
+
+        def worker(base):
+            for i in range(500):
+                cache.put((base, i % 100), i)
+                cache.get((base, (i + 1) % 100))
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(cache) <= 64
+
+
+class TestMemoize:
+    def test_memoises_and_exposes_cache(self):
+        calls = []
+
+        @memoize(max_entries=8)
+        def double(x):
+            calls.append(x)
+            return x * 2
+
+        assert double(3) == 6
+        assert double(3) == 6
+        assert calls == [3]
+        assert double.cache.stats()["entries"] == 1
+
+    def test_bounded(self):
+        @memoize(max_entries=2)
+        def ident(x):
+            return x
+
+        for i in range(10):
+            ident(i)
+        assert len(ident.cache) == 2

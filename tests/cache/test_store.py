@@ -1,0 +1,171 @@
+"""The two-tier artifact cache: memory, disk, counters, lifecycle."""
+
+import json
+
+import pytest
+
+from repro.cache.keys import CACHE_SCHEMA_VERSION
+from repro.cache.store import (
+    ArtifactCache,
+    DiskTier,
+    build_cache,
+    configure_cache_dir,
+    resolved_cache_dir,
+)
+
+
+class RecordingCollector:
+    def __init__(self):
+        self.events = []
+
+    def record_cache(self, name, hit):
+        self.events.append((name, hit))
+
+
+class TestMemoryTier:
+    def test_compute_once_then_hit(self):
+        cache = ArtifactCache()
+        calls = []
+        collector = RecordingCollector()
+
+        def compute():
+            calls.append(1)
+            return {"sql": "SELECT 1"}
+
+        first = cache.get_or_compute("generate", ("fp", "prompt"), compute,
+                                     collector=collector)
+        second = cache.get_or_compute("generate", ("fp", "prompt"), compute,
+                                      collector=collector)
+        assert first == second == {"sql": "SELECT 1"}
+        assert calls == [1]
+        assert collector.events == [("generate", False), ("generate", True)]
+
+    def test_different_keys_do_not_collide(self):
+        cache = ArtifactCache()
+        a = cache.get_or_compute("s", ("a",), lambda: 1)
+        b = cache.get_or_compute("s", ("b",), lambda: 2)
+        assert (a, b) == (1, 2)
+
+    def test_same_key_different_stage(self):
+        cache = ArtifactCache()
+        assert cache.get_or_compute("x", ("k",), lambda: 1) == 1
+        assert cache.get_or_compute("y", ("k",), lambda: 2) == 2
+
+    def test_stage_entries_and_stats(self):
+        cache = ArtifactCache()
+        cache.get_or_compute("gold", ("k1",), lambda: [1])
+        cache.get_or_compute("gold", ("k1",), lambda: [1])
+        cache.get_or_compute("gold", ("k2",), lambda: [2])
+        assert sorted(cache.stage_entries("gold").values()) == [[1], [2]]
+        assert cache.stats()["gold"] == {
+            "hits": 1, "misses": 2, "disk_hits": 0,
+        }
+        assert cache.hit_rate("gold") == pytest.approx(1 / 3)
+        assert cache.hit_rate("never-used") == 0.0
+
+
+class TestDiskTier:
+    def test_roundtrip_across_instances(self, tmp_path):
+        first = ArtifactCache(disk_dir=tmp_path)
+        first.get_or_compute("generate", ("k",), lambda: {"text": "SELECT 1"})
+
+        second = ArtifactCache(disk_dir=tmp_path)
+        value = second.get_or_compute(
+            "generate", ("k",),
+            lambda: pytest.fail("should have come from disk"),
+        )
+        assert value == {"text": "SELECT 1"}
+        assert second.stats()["generate"]["disk_hits"] == 1
+
+    def test_encode_decode_roundtrip(self, tmp_path):
+        rows = [(1, "a"), (2, "b")]
+        first = ArtifactCache(disk_dir=tmp_path)
+        first.get_or_compute(
+            "gold", ("k",), lambda: rows,
+            encode=lambda value: [list(r) for r in value],
+            decode=lambda value: [tuple(r) for r in value],
+        )
+        second = ArtifactCache(disk_dir=tmp_path)
+        back = second.get_or_compute(
+            "gold", ("k",), lambda: pytest.fail("disk miss"),
+            encode=lambda value: [list(r) for r in value],
+            decode=lambda value: [tuple(r) for r in value],
+        )
+        assert back == rows  # tuples restored, not JSON lists
+
+    def test_persist_false_stays_off_disk(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache.get_or_compute("select", ("k",), lambda: "v", persist=False)
+        assert DiskTier(tmp_path).stats() == {}
+
+    def test_corrupt_entry_recomputes(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        digest = cache.key("generate", ("k",))
+        path = tmp_path / "generate" / digest[:2] / f"{digest}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{ not json")
+        value = cache.get_or_compute("generate", ("k",), lambda: "recomputed")
+        assert value == "recomputed"
+
+    def test_schema_mismatch_recomputes(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        digest = cache.key("generate", ("k",))
+        path = tmp_path / "generate" / digest[:2] / f"{digest}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION + 1, "value": "stale"}
+        ))
+        assert cache.get_or_compute("generate", ("k",), lambda: "fresh") == "fresh"
+
+    def test_unserialisable_value_degrades_to_memory_only(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        value = cache.get_or_compute("execute", ("k",), lambda: object())
+        # still served from memory...
+        assert cache.get_or_compute("execute", ("k",), lambda: None) is value
+        # ...but nothing landed on disk
+        assert DiskTier(tmp_path).stats() == {}
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache.get_or_compute("gold", ("a",), lambda: 1)
+        cache.get_or_compute("generate", ("b",), lambda: 2)
+        sizes = DiskTier(tmp_path).stats()
+        assert sizes["gold"]["entries"] == 1
+        assert sizes["generate"]["bytes"] > 0
+        removed = cache.clear()
+        assert removed == 2
+        assert DiskTier(tmp_path).stats() == {}
+        assert cache.stats() == {}
+
+    def test_flush_merges_counter_deltas(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache.get_or_compute("gold", ("a",), lambda: 1)
+        cache.get_or_compute("gold", ("a",), lambda: 1)
+        cache.flush()
+        cache.flush()  # second flush must not double-count
+        counters = DiskTier(tmp_path).read_counters()
+        assert counters["gold"] == {"hits": 1, "misses": 1}
+        cache.get_or_compute("gold", ("a",), lambda: 1)
+        cache.flush()
+        assert DiskTier(tmp_path).read_counters()["gold"] == {
+            "hits": 2, "misses": 1,
+        }
+
+
+class TestConfiguration:
+    def test_configure_overrides_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env"))
+        try:
+            assert resolved_cache_dir() == tmp_path / "env"
+            configure_cache_dir(tmp_path / "cli")
+            assert resolved_cache_dir() == tmp_path / "cli"
+            assert build_cache().disk_dir == tmp_path / "cli"
+        finally:
+            configure_cache_dir(None)
+        assert resolved_cache_dir() == tmp_path / "env"
+
+    def test_default_is_memory_only(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        configure_cache_dir(None)
+        assert resolved_cache_dir() is None
+        assert build_cache().disk is None
