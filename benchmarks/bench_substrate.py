@@ -15,6 +15,10 @@ parallel sweep is slower than the serial one.  The script then reruns
 the same grid cold and warm against an on-disk artifact cache and
 verifies the warm pass replays byte-identical reports with a 100%
 generate-stage hit rate (and, in ``--smoke`` mode, a wall-clock win).
+Finally it sweeps the grid with full observability on (JSONL tracing +
+metrics registry) versus the ``NULL_TRACER`` baseline and gates the
+instrumentation overhead at 5% (``--artifacts-dir`` keeps the trace and
+a Prometheus snapshot for CI upload).
 """
 
 import pytest
@@ -245,24 +249,120 @@ def cache_roundtrip(latency_s=0.02, limit=None, smoke=False):
     return speedup, cold, warm
 
 
+def instrumentation_overhead(latency_s=0.02, limit=None, smoke=False,
+                             artifacts_dir=None, max_overhead=0.05):
+    """Sweep one grid uninstrumented, then fully instrumented.
+
+    The instrumented pass streams a JSONL trace and records every metric
+    into a shared registry; the baseline runs on the ``NULL_TRACER``.
+    Records must be byte-identical either way, and (``--smoke``) the
+    instrumented wall-clock may exceed the baseline by at most
+    ``max_overhead``.  Two interleaved rounds per mode, minima compared,
+    so a background stall in one round cannot skew the ratio.
+
+    With ``artifacts_dir`` set, the trace files land in
+    ``<artifacts_dir>/traces/`` and a Prometheus snapshot (validated by
+    :func:`~repro.obs.metrics.parse_prometheus`) in
+    ``<artifacts_dir>/metrics.prom`` — CI uploads both.
+
+    Returns ``(overhead_fraction, baseline_grid, instrumented_grid)``.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from repro.eval.engine import GridRunner
+    from repro.obs import tracefile
+    from repro.obs.metrics import MetricsRegistry, parse_prometheus
+    from repro.obs.trace import NULL_TRACER, build_tracer
+
+    out_dir = (Path(artifacts_dir) if artifacts_dir
+               else Path(tempfile.mkdtemp(prefix="repro-obs-")))
+    trace_dir = out_dir / "traces"
+
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+    try:
+        configs = _grid_configs()
+        registry = MetricsRegistry()
+
+        def sweep(tracer, reg):
+            runner = _grid_runner(corpus, latency_s)
+            start = time.perf_counter()
+            grid = GridRunner(runner, workers=1, tracer=tracer,
+                              registry=reg).sweep(configs, limit=limit)
+            return time.perf_counter() - start, grid
+
+        base_s = instr_s = float("inf")
+        base_grid = instr_grid = None
+        for _ in range(2):
+            elapsed, base_grid = sweep(NULL_TRACER, None)
+            base_s = min(base_s, elapsed)
+            tracer = build_tracer(trace_dir)
+            try:
+                elapsed, instr_grid = sweep(tracer, registry)
+            finally:
+                tracer.close()
+            instr_s = min(instr_s, elapsed)
+    finally:
+        corpus.close()
+
+    for a, b in zip(base_grid, instr_grid):
+        if [asdict(r) for r in a.records] != [asdict(r) for r in b.records]:
+            raise AssertionError(
+                f"instrumented records diverge from baseline for {a.label!r}"
+            )
+
+    spans = tracefile.load_spans(trace_dir)
+    snapshot = registry.to_prometheus()
+    parse_prometheus(snapshot)  # must round-trip the text format
+    (out_dir / "metrics.prom").write_text(snapshot)
+
+    overhead = instr_s / base_s - 1.0 if base_s > 0 else 0.0
+    print(f"baseline     (NullTracer): {base_s:7.2f} s")
+    print(f"instrumented (trace+metrics): {instr_s:4.2f} s")
+    print(f"overhead: {overhead:+.1%}  ({len(spans)} spans, "
+          f"{len(snapshot.splitlines())} metric lines, reports identical)")
+    if artifacts_dir:
+        print(f"artifacts: {trace_dir}/*.jsonl, {out_dir / 'metrics.prom'}")
+    else:
+        shutil.rmtree(out_dir, ignore_errors=True)
+    if smoke and overhead > max_overhead:
+        raise SystemExit(
+            f"FAIL: instrumentation overhead {overhead:.1%} exceeds "
+            f"{max_overhead:.0%}"
+        )
+    return overhead, base_grid, instr_grid
+
+
 def main(argv=None):
     import argparse
 
     parser = argparse.ArgumentParser(
-        description="evaluation-engine speedup + artifact-cache replay checks"
+        description="evaluation-engine speedup + artifact-cache replay "
+                    "+ instrumentation-overhead checks"
     )
     parser.add_argument("--smoke", action="store_true",
-                        help="exit non-zero if parallel is slower than serial "
-                             "or a warm cache replay is slower than cold")
+                        help="exit non-zero if parallel is slower than serial, "
+                             "a warm cache replay is slower than cold, or "
+                             "instrumentation overhead exceeds 5%%")
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--latency", type=float, default=0.02,
                         help="simulated per-generation latency in seconds")
     parser.add_argument("--limit", type=int, default=None)
+    parser.add_argument("--artifacts-dir", default=None,
+                        help="keep trace JSONL + Prometheus snapshot from the "
+                             "instrumentation check in this directory")
     args = parser.parse_args(argv)
     engine_speedup(workers=args.workers, latency_s=args.latency,
                    limit=args.limit, smoke=args.smoke)
     print()
     cache_roundtrip(latency_s=args.latency, limit=args.limit, smoke=args.smoke)
+    print()
+    instrumentation_overhead(latency_s=args.latency, limit=args.limit,
+                             smoke=args.smoke, artifacts_dir=args.artifacts_dir)
     return 0
 
 

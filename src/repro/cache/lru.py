@@ -35,6 +35,7 @@ class LRUCache:
         self._lock = threading.Lock()
         self._hits = 0
         self._misses = 0
+        self._evictions = 0
 
     def get(self, key, default=None):
         with self._lock:
@@ -46,12 +47,17 @@ class LRUCache:
             self._hits += 1
             return value
 
-    def put(self, key, value) -> None:
+    def put(self, key, value) -> int:
+        """Insert (or refresh) an entry; returns how many were evicted."""
+        evicted = 0
         with self._lock:
             self._data[key] = value
             self._data.move_to_end(key)
             while len(self._data) > self.max_entries:
                 self._data.popitem(last=False)
+                evicted += 1
+            self._evictions += evicted
+        return evicted
 
     def get_or_compute(self, key, compute: Callable[[], T]) -> T:
         """Cached value for ``key``, computing (outside the lock) on miss.
@@ -80,14 +86,16 @@ class LRUCache:
             self._data.clear()
             self._hits = 0
             self._misses = 0
+            self._evictions = 0
 
     def stats(self) -> dict:
-        """``{"entries", "hits", "misses"}`` counters (for telemetry)."""
+        """``{"entries", "hits", "misses", "evictions"}`` (for telemetry)."""
         with self._lock:
             return {
                 "entries": len(self._data),
                 "hits": self._hits,
                 "misses": self._misses,
+                "evictions": self._evictions,
             }
 
     def snapshot(self) -> dict:

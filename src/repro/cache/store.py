@@ -6,7 +6,11 @@ entry point every pipeline stage uses.  The key is a stable digest of
 computes.  Lookups try memory, then disk, then compute — and every
 lookup reports hit/miss to the run's telemetry collector under the
 stage's name, so :class:`~repro.eval.telemetry.RunTelemetry` cache
-counters are fed uniformly by every stage.
+counters are fed uniformly by every stage.  With a metrics registry
+attached (:meth:`ArtifactCache.set_metrics` — the evaluation engine
+does this per run), lookups additionally count per-tier events
+(``memory_hit`` / ``disk_hit`` / ``miss`` / ``disk_write`` /
+``evict``) into ``repro_cache_tier_events_total``.
 
 The disk tier is content-addressed JSON files under
 ``<dir>/<stage>/<digest[:2]>/<digest>.json``.  Writes are atomic
@@ -185,6 +189,21 @@ class ArtifactCache:
         self._disk_hits: Dict[str, int] = {}
         self._flushed_hits: Dict[str, int] = {}
         self._flushed_misses: Dict[str, int] = {}
+        # Optional MetricsRegistry; the engine attaches the run registry.
+        self._metrics = None
+
+    def set_metrics(self, registry) -> None:
+        """Attach a metrics registry recording per-tier cache events."""
+        self._metrics = registry
+
+    def _count_event(self, stage: str, event: str, count: int = 1) -> None:
+        if self._metrics is None or count == 0:
+            return
+        from ..obs.metrics import M_CACHE_TIER
+
+        self._metrics.counter_add(
+            M_CACHE_TIER, count, {"stage": stage, "event": event}
+        )
 
     @property
     def disk_dir(self) -> Optional[Path]:
@@ -223,23 +242,29 @@ class ArtifactCache:
         value = self._memory.get((stage, digest), _MISSING)
         if value is not _MISSING:
             self._record(stage, collector, hit=True)
+            self._count_event(stage, "memory_hit")
             return value
 
         if persist and self.disk is not None:
             stored = self.disk.get(stage, digest)
             if stored is not _MISSING:
                 value = decode(stored) if decode is not None else stored
-                self._memory.put((stage, digest), value)
+                evicted = self._memory.put((stage, digest), value)
                 self._record(stage, collector, hit=True, disk=True)
+                self._count_event(stage, "disk_hit")
+                self._count_event(stage, "evict", evicted)
                 return value
 
         self._record(stage, collector, hit=False)
+        self._count_event(stage, "miss")
         value = compute()
-        self._memory.put((stage, digest), value)
+        evicted = self._memory.put((stage, digest), value)
+        self._count_event(stage, "evict", evicted)
         if persist and self.disk is not None:
-            self.disk.put(
+            if self.disk.put(
                 stage, digest, encode(value) if encode is not None else value
-            )
+            ):
+                self._count_event(stage, "disk_write")
         return value
 
     def _record(self, stage: str, collector, hit: bool, disk: bool = False) -> None:

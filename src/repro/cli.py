@@ -17,12 +17,19 @@ Subcommands:
 * ``models`` — list available model profiles.
 * ``cache`` — inspect (``stats``) or wipe (``clear``) the on-disk
   artifact cache that makes sweeps incremental across processes.
+* ``trace`` — analyse a run's JSONL trace file: ``summary`` (stage /
+  hardness / config-cell tables), ``slowest`` (top spans by duration),
+  ``errors`` (failures grouped by error class), ``export`` (Prometheus
+  text snapshot).
 
 Evaluation commands accept ``--cache-dir DIR`` (equivalent to the
 ``REPRO_CACHE_DIR`` environment variable): with a directory configured,
 pipeline artifacts — selections, preliminary SQL, generations, executed
 rows — persist across invocations, so rerunning an identical sweep is a
-warm, generation-free replay.
+warm, generation-free replay.  They also accept ``--trace-dir DIR``
+(``REPRO_TRACE_DIR``) to stream a per-run span tree for ``dail-sql
+trace``, and ``--progress`` / ``--no-progress`` to force the live
+stderr status line on or off (default: shown on a terminal).
 """
 
 from __future__ import annotations
@@ -53,11 +60,31 @@ def _apply_cache(args: argparse.Namespace) -> None:
         configure_cache_dir(cache_dir)
 
 
+def _apply_trace(args: argparse.Namespace) -> None:
+    """Honour a ``--trace-dir DIR`` flag (overrides ``REPRO_TRACE_DIR``)."""
+    trace_dir = getattr(args, "trace_dir", None)
+    if trace_dir is not None:
+        from .obs.trace import configure_trace_dir
+
+        configure_trace_dir(trace_dir)
+
+
+def _apply_progress(args: argparse.Namespace) -> None:
+    """Honour ``--progress``/``--no-progress`` (unset = auto on a TTY)."""
+    progress = getattr(args, "progress", None)
+    if progress is not None:
+        from .experiments.context import set_default_progress
+
+        set_default_progress(progress)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
 
     _apply_workers(args)
     _apply_cache(args)
+    _apply_trace(args)
+    _apply_progress(args)
     result = run_experiment(args.artifact, fast=args.fast, limit=args.limit)
     print(result.render())
     return 0
@@ -68,6 +95,8 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
 
     _apply_workers(args)
     _apply_cache(args)
+    _apply_trace(args)
+    _apply_progress(args)
     for result in run_all(fast=args.fast, limit=args.limit):
         print(result.render())
         print()
@@ -107,6 +136,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .experiments.context import get_context
 
     _apply_cache(args)
+    _apply_trace(args)
+    _apply_progress(args)
     context = get_context(fast=args.fast)
 
     def parse_config(spec: str) -> RunConfig:
@@ -187,6 +218,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
     _apply_workers(args)
     _apply_cache(args)
+    _apply_trace(args)
+    _apply_progress(args)
     path = write_report(
         args.output, fast=args.fast, limit=args.limit,
         include_supplementary=not args.paper_only,
@@ -247,6 +280,91 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_s(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:7.2f}s "
+    return f"{value * 1000:7.1f}ms"
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Analyse a run's JSONL trace file (or a directory of them)."""
+    from .obs import tracefile
+
+    spans = tracefile.load_spans(args.trace)
+
+    if args.action == "export":
+        text = tracefile.to_prometheus(spans)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote Prometheus snapshot to {args.output}")
+        else:
+            print(text, end="")
+        return 0
+
+    if args.action == "slowest":
+        rows = tracefile.slowest(spans, kind=args.kind, top=args.top)
+        print(f"{'dur':>9}  {args.kind}")
+        for span in rows:
+            extra = ""
+            if args.kind == "example":
+                hardness = span.get("attrs", {}).get("hardness", "")
+                cell = span.get("attrs", {}).get("cell", "")
+                extra = f"  [{hardness}] {cell}"
+            print(f"{_format_s(float(span.get('dur_s', 0.0)))}  "
+                  f"{span.get('name')}{extra}")
+        return 0
+
+    if args.action == "errors":
+        groups = tracefile.error_groups(spans)
+        if not groups:
+            print("no errored examples in trace")
+            return 0
+        for group in groups:
+            print(f"{group['error_class']}: {group['count']} example(s)")
+            for example in group["examples"][:args.top]:
+                print(f"  {example}")
+            for message in group["messages"][:3]:
+                print(f"  > {message}")
+        return 0
+
+    # summary
+    info = tracefile.run_info(spans)
+    if info:
+        print(
+            f"run: {info['configs']} config(s) x {info['examples']} "
+            f"example(s), {info['workers']} worker(s), "
+            f"{info['duration_s']:.2f}s wall-clock"
+        )
+    print(f"\n{'stage':<10} {'count':>6} {'total':>9} {'share':>6} "
+          f"{'p50':>9} {'p95':>9}")
+    for row in tracefile.stage_summary(spans):
+        print(
+            f"{row['stage']:<10} {row['count']:>6} "
+            f"{row['total_s']:>8.3f}s {row['share']:>6.1%} "
+            f"{_format_s(row['p50_s'])} {_format_s(row['p95_s'])}"
+        )
+    hardness_rows = tracefile.hardness_summary(spans)
+    if hardness_rows:
+        print(f"\n{'hardness':<10} {'count':>6} {'total':>9} "
+              f"{'p50':>9} {'p95':>9} {'errors':>7}")
+        for row in hardness_rows:
+            print(
+                f"{row['hardness']:<10} {row['count']:>6} "
+                f"{row['total_s']:>8.3f}s {_format_s(row['p50_s'])} "
+                f"{_format_s(row['p95_s'])} {row['errors']:>7}"
+            )
+    cell_rows = tracefile.cell_summary(spans)
+    if len(cell_rows) > 1:
+        print(f"\n{'count':>6} {'total':>9} {'p50':>9} {'errors':>7}  cell")
+        for row in cell_rows:
+            print(
+                f"{row['count']:>6} {row['total_s']:>8.3f}s "
+                f"{_format_s(row['p50_s'])} {row['errors']:>7}  {row['cell']}"
+            )
+    return 0
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     from .llm.profiles import get_profile, list_models
 
@@ -272,6 +390,22 @@ def build_parser() -> argparse.ArgumentParser:
         "directory for the persistent artifact cache "
         "(overrides $REPRO_CACHE_DIR; makes reruns incremental)"
     )
+    trace_help = (
+        "directory for JSONL trace files (overrides $REPRO_TRACE_DIR; "
+        "each run streams a span tree readable with `dail-sql trace`)"
+    )
+
+    def add_obs_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--trace-dir", default=None, help=trace_help)
+        group = sub_parser.add_mutually_exclusive_group()
+        group.add_argument(
+            "--progress", dest="progress", action="store_true", default=None,
+            help="force the live status line on stderr on",
+        )
+        group.add_argument(
+            "--no-progress", dest="progress", action="store_false",
+            help="suppress the live status line (default follows the TTY)",
+        )
 
     p_exp = sub.add_parser("experiment", help="run one paper table/figure")
     p_exp.add_argument("artifact", help="e.g. table1, figure4")
@@ -279,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--limit", type=int, default=None)
     p_exp.add_argument("--workers", type=int, default=None, help=workers_help)
     p_exp.add_argument("--cache-dir", default=None, help=cache_help)
+    add_obs_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_all = sub.add_parser("experiments", help="run every paper artifact")
@@ -286,6 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--limit", type=int, default=None)
     p_all.add_argument("--workers", type=int, default=None, help=workers_help)
     p_all.add_argument("--cache-dir", default=None, help=cache_help)
+    add_obs_flags(p_all)
     p_all.set_defaults(func=_cmd_experiments)
 
     p_gen = sub.add_parser("generate", help="write the synthetic corpus")
@@ -310,6 +446,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--limit", type=int, default=None)
     p_cmp.add_argument("--workers", type=int, default=None, help=workers_help)
     p_cmp.add_argument("--cache-dir", default=None, help=cache_help)
+    add_obs_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_ask = sub.add_parser("ask", help="run DAIL-SQL on one question")
@@ -338,6 +475,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--workers", type=int, default=None,
                           help=workers_help)
     p_report.add_argument("--cache-dir", default=None, help=cache_help)
+    add_obs_flags(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_models = sub.add_parser("models", help="list model profiles")
@@ -352,6 +490,30 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_cache.add_argument("--cache-dir", default=None, help=cache_help)
     p_cache.set_defaults(func=_cmd_cache)
+
+    p_trace = sub.add_parser(
+        "trace", help="analyse a run's JSONL trace file"
+    )
+    p_trace.add_argument(
+        "action", choices=("summary", "slowest", "errors", "export"),
+        help="summary: stage/hardness/cell tables; slowest: top spans by "
+             "duration; errors: failures grouped by error class; export: "
+             "Prometheus text snapshot",
+    )
+    p_trace.add_argument(
+        "trace",
+        help="trace .jsonl file, or a directory of them (a --trace-dir)",
+    )
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="rows to show (slowest/errors)")
+    p_trace.add_argument("--kind", default="example",
+                         choices=("run", "cell", "example", "stage"),
+                         help="span kind ranked by `slowest`")
+    p_trace.add_argument("--prometheus", action="store_true",
+                         help="export format (currently the only one)")
+    p_trace.add_argument("-o", "--output", default=None,
+                         help="write `export` output to a file")
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 import json
 import sqlite3
 import threading
+import time
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -41,6 +42,9 @@ class Database:
         self._conn = connection
         self.db_id = db_id
         self._closed = False
+        #: Optional MetricsRegistry; when set, execute() timings are
+        #: observed into ``repro_db_execute_seconds``.
+        self.metrics = None
 
     # -- construction --------------------------------------------------------
 
@@ -153,6 +157,7 @@ class Database:
             return 0
 
         self._conn.set_progress_handler(guard, 1000)
+        start = time.perf_counter()
         try:
             cursor = self._conn.execute(sql)
             rows = cursor.fetchmany(max_rows + 1)
@@ -160,6 +165,13 @@ class Database:
             raise ExecutionError(f"execution failed: {exc}") from exc
         finally:
             self._conn.set_progress_handler(None, 0)
+            if self.metrics is not None:
+                from ..obs.metrics import M_DB_EXECUTE
+
+                self.metrics.observe(
+                    M_DB_EXECUTE, time.perf_counter() - start,
+                    {"db": self.db_id},
+                )
         if len(rows) > max_rows:
             raise ExecutionError(f"query returned more than {max_rows} rows")
         return [tuple(row) for row in rows]
@@ -209,6 +221,28 @@ class DatabasePool:
         #: db_id → content digest of (schema, rows), computed lazily.
         self._fingerprints: Dict[str, str] = {}
         self._lock = threading.Lock()
+        self._metrics = None
+
+    def set_metrics(self, registry) -> None:
+        """Attach a MetricsRegistry: execute() timings on every database
+        (existing and future) plus a live open-connection gauge."""
+        with self._lock:
+            self._metrics = registry
+            databases = [
+                db
+                for per_thread in self._instances.values()
+                for db in per_thread.values()
+            ]
+        for database in databases:
+            database.metrics = registry
+        self._update_connection_gauge()
+
+    def _update_connection_gauge(self) -> None:
+        if self._metrics is None:
+            return
+        from ..obs.metrics import M_DB_CONNECTIONS
+
+        self._metrics.gauge_set(M_DB_CONNECTIONS, self.connection_count())
 
     def add(self, schema: DatabaseSchema, rows: Dict[str, List[dict]]) -> Database:
         """Register (or replace) the database for ``schema.db_id``.
@@ -276,11 +310,14 @@ class DatabasePool:
         # while this connection loads its rows.
         database = Database.build(schema, rows)
         with self._lock:
+            database.metrics = self._metrics
             existing = self._instances.setdefault(ident, {}).setdefault(
                 db_id, database
             )
         if existing is not database:  # lost a (same-thread re-entrant) race
             database.close()
+        else:
+            self._update_connection_gauge()
         return existing
 
     def __contains__(self, db_id: str) -> bool:
@@ -307,6 +344,7 @@ class DatabasePool:
             self._recipes.clear()
         for database in databases:
             database.close()
+        self._update_connection_gauge()
 
     def __enter__(self) -> "DatabasePool":
         return self

@@ -14,7 +14,10 @@ gave for free:
 * **Telemetry** — each report carries a
   :class:`~repro.eval.telemetry.RunTelemetry` with per-stage wall-clock,
   worker utilization and cache hit rates, and a progress callback fires
-  after every example.
+  after every example.  With a trace directory configured the engine
+  also streams a span tree (run → cell → example → stage) to a JSONL
+  trace file and labels every metric sample by config cell in a shared
+  :class:`~repro.obs.metrics.MetricsRegistry`.
 
 :class:`GridRunner` is the sweep-level API (the redesign of the old
 ``run_grid`` function): ``sweep(configs)`` schedules *every* example of
@@ -28,10 +31,13 @@ from __future__ import annotations
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
+from contextlib import ExitStack
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..dataset.spider import Example
 from ..errors import EvaluationError
+from ..obs.metrics import M_INFLIGHT, MetricsRegistry
+from ..obs.trace import build_tracer
 from .harness import BenchmarkRunner, RunConfig, RunPlan
 from .metrics import EvalReport, PredictionRecord
 from .telemetry import ProgressEvent, TelemetryCollector
@@ -71,6 +77,15 @@ class EvalEngine:
             caches are lock-protected and shared across workers.
         workers: worker threads; ``1`` evaluates inline (no pool).
         progress: optional per-example progress callback.
+        tracer: span sink for this engine's runs.  ``None`` (the
+            default) builds one per run from the configured trace
+            directory (``--trace-dir`` / ``REPRO_TRACE_DIR``) — the
+            zero-overhead :data:`~repro.obs.trace.NULL_TRACER` when no
+            directory is configured.
+        registry: run-level metrics registry shared by every config
+            cell (private per run when omitted).  Pass the same
+            instance to a :class:`~repro.obs.progress.ProgressReporter`
+            for live stage quantiles, or export it after the run.
     """
 
     def __init__(
@@ -78,12 +93,16 @@ class EvalEngine:
         runner: BenchmarkRunner,
         workers: int = 1,
         progress: Optional[ProgressCallback] = None,
+        tracer=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if workers < 1:
             raise EvaluationError(f"workers must be >= 1, got {workers}")
         self.runner = runner
         self.workers = workers
         self.progress = progress
+        self.tracer = tracer
+        self.registry = registry
 
     # -- public API --------------------------------------------------------
 
@@ -131,7 +150,22 @@ class EvalEngine:
         ]
         examples = self.runner.examples_for(limit)
 
-        collectors = [TelemetryCollector() for _ in plans]
+        registry = (
+            self.registry if self.registry is not None else MetricsRegistry()
+        )
+        tracer = self.tracer if self.tracer is not None else build_tracer()
+        own_tracer = self.tracer is None and tracer.enabled
+        trace_file = str(tracer.path) if tracer.enabled else ""
+        self._attach_metrics(plans, registry)
+
+        collectors = [
+            TelemetryCollector(
+                registry=registry,
+                labels={"cell": plan.config.resolved_label()},
+                tracer=tracer,
+            )
+            for plan in plans
+        ]
         slots: List[List[Optional[PredictionRecord]]] = [
             [None] * len(examples) for _ in plans
         ]
@@ -143,16 +177,33 @@ class EvalEngine:
         total = len(units)
         done_box = {"n": 0}
         progress_lock = threading.Lock()
+        cell_span_ids = [""] * len(plans)
 
         def evaluate(unit) -> None:
             ci, ei = unit
             plan, example = plans[ci], examples[ei]
             collector = collectors[ci]
+            registry.gauge_add(M_INFLIGHT, 1)
             start = time.perf_counter()
             try:
-                record = self.runner.evaluate_example(example, plan, collector)
-            except Exception as exc:
-                record = _error_record(example, exc)
+                with collector.example(
+                    example.example_id,
+                    parent_id=cell_span_ids[ci],
+                    db_id=example.db_id,
+                ) as span:
+                    try:
+                        record = self.runner.evaluate_example(
+                            example, plan, collector
+                        )
+                    except Exception as exc:
+                        record = _error_record(example, exc)
+                    span.set("hardness", record.hardness)
+                    span.set("prompt_tokens", record.prompt_tokens)
+                    if record.error:
+                        span.set("error_class", record.error.split(":", 1)[0])
+                        span.set("error", record.error)
+            finally:
+                registry.gauge_add(M_INFLIGHT, -1)
             collector.example_done(
                 time.perf_counter() - start, error=bool(record.error)
             )
@@ -170,14 +221,42 @@ class EvalEngine:
                 self.progress(event)
 
         start = time.perf_counter()
-        if self.workers == 1 or total <= 1:
-            for unit in units:
-                evaluate(unit)
-        else:
-            with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                # list() drains the iterator so worker exceptions (none are
-                # expected — evaluate() isolates them) propagate here.
-                list(pool.map(evaluate, units))
+        with ExitStack() as scope:
+            if tracer.enabled:
+                if own_tracer:
+                    # Engine-built tracers are closed when the run ends;
+                    # caller-supplied ones outlive it (the caller decides).
+                    scope.enter_context(tracer)
+                run_span = scope.enter_context(
+                    tracer.span(
+                        "run", "eval",
+                        configs=len(plans),
+                        examples=len(examples),
+                        workers=self.workers,
+                    )
+                )
+                for ci, plan in enumerate(plans):
+                    config = plan.config
+                    cell_span = scope.enter_context(
+                        tracer.span(
+                            "cell", config.resolved_label(),
+                            parent_id=run_span.span_id,
+                            model=config.model,
+                            representation=config.representation,
+                            selection=config.selection or "",
+                            k=config.k,
+                            n_samples=plan.n_samples,
+                        )
+                    )
+                    cell_span_ids[ci] = cell_span.span_id
+            if self.workers == 1 or total <= 1:
+                for unit in units:
+                    evaluate(unit)
+            else:
+                with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                    # list() drains the iterator so worker exceptions (none are
+                    # expected — evaluate() isolates them) propagate here.
+                    list(pool.map(evaluate, units))
         wall_clock = time.perf_counter() - start
 
         reports = []
@@ -185,7 +264,9 @@ class EvalEngine:
             report = EvalReport(label=plan.config.resolved_label())
             for record in slots[ci]:
                 report.add(record)
-            report.telemetry = collectors[ci].freeze(self.workers, wall_clock)
+            report.telemetry = collectors[ci].freeze(
+                self.workers, wall_clock, trace_file=trace_file
+            )
             reports.append(report)
         # Persist cumulative hit/miss counters alongside the disk tier (if
         # any) so `repro cache stats` can report rates across processes.
@@ -193,6 +274,19 @@ class EvalEngine:
         return reports
 
     # -- helpers -----------------------------------------------------------
+
+    def _attach_metrics(self, plans: Sequence[RunPlan],
+                        registry: MetricsRegistry) -> None:
+        """Point each plan's LLM, the shared database pool and the
+        artifact cache at the run registry.  Duck-typed so custom
+        collaborators without the hooks keep working uninstrumented."""
+        for plan in plans:
+            if hasattr(plan.llm, "metrics"):
+                plan.llm.metrics = registry
+        for attr in ("pool", "cache"):
+            collaborator = getattr(self.runner, attr, None)
+            if collaborator is not None and hasattr(collaborator, "set_metrics"):
+                collaborator.set_metrics(registry)
 
     @staticmethod
     def _per_config_samples(
@@ -283,8 +377,13 @@ class GridRunner:
         runner: BenchmarkRunner,
         workers: int = 1,
         progress: Optional[ProgressCallback] = None,
+        tracer=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
-        self.engine = EvalEngine(runner, workers=workers, progress=progress)
+        self.engine = EvalEngine(
+            runner, workers=workers, progress=progress,
+            tracer=tracer, registry=registry,
+        )
 
     @property
     def workers(self) -> int:

@@ -22,11 +22,14 @@ from .metrics import EvalReport, PredictionRecord
 from .telemetry import RunTelemetry
 
 #: Format version written into every file (bump on schema changes).
-#: v2 added the per-record ``error`` field and the ``telemetry`` block.
-FORMAT_VERSION = 2
+#: v2 added the per-record ``error`` field and the ``telemetry`` block;
+#: v3 added ``telemetry.trace_file`` — the JSONL trace the run streamed
+#: spans to ("" when tracing was off), so ``dail-sql trace`` can find a
+#: persisted run's trace later.
+FORMAT_VERSION = 3
 
 #: Versions :func:`report_from_dict` can still read.
-SUPPORTED_VERSIONS = (1, 2)
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 def report_to_dict(report: EvalReport) -> Dict:
@@ -44,8 +47,9 @@ def report_to_dict(report: EvalReport) -> Dict:
 def report_from_dict(payload: Dict) -> EvalReport:
     """Rebuild a report from :func:`report_to_dict` output.
 
-    Reads both current-format files and v1 files (which predate the
-    ``error`` field and run telemetry).
+    Reads current-format files as well as v1 (predates the ``error``
+    field and run telemetry) and v2 (predates the telemetry
+    ``trace_file`` pointer, which defaults to "") files.
 
     Raises:
         EvaluationError: on version mismatch or malformed payloads.

@@ -2,7 +2,11 @@
 
 The evaluation engine instruments every example it evaluates through a
 :class:`TelemetryCollector` — a thread-safe accumulator shared by all
-workers of one run.  When the run finishes the collector is frozen into a
+workers of one run.  Since the observability layer landed the collector
+is a thin façade over a :class:`~repro.obs.metrics.MetricsRegistry`
+(counters/histograms, Prometheus-exportable) and, when a tracer is
+attached, also emits per-example and per-stage spans to the run's trace
+file.  When the run finishes the collector is frozen into a
 :class:`RunTelemetry` attached to the
 :class:`~repro.eval.metrics.EvalReport`, so sweep cost is a first-class,
 persisted artifact: where the wall-clock went (select / build / generate /
@@ -10,18 +14,43 @@ extract / execute / score), how busy the workers were, and how well each
 stage of the unified artifact cache amortised (``select``,
 ``preliminary``, ``generate``, ``gold``, ``execute`` counters all flow
 through the same :meth:`TelemetryCollector.record_cache` hook).
+
+Stage timing is *exclusive*: a stage timer nested inside another (the
+self-consistency loop re-enters ``generate``/``execute``) attributes its
+elapsed time to itself and subtracts it from the enclosing stage, so
+``sum(stage_s.values())`` never double-counts and reconciles with the
+trace file's per-stage totals.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs.metrics import (
+    LATENCY_BUCKETS,
+    M_BUSY_SECONDS,
+    M_CACHE_REQUESTS,
+    M_ERRORS,
+    M_EXAMPLES,
+    M_STAGE_LATENCY,
+    M_STAGE_SECONDS,
+    MetricsRegistry,
+)
+from ..obs.trace import NULL_TRACER
+
+logger = logging.getLogger(__name__)
+
 #: Pipeline stages timed per example, in pipeline order.
 STAGES = ("select", "build", "generate", "extract", "execute", "score")
+
+#: Slack before busy-time accounting is flagged as inconsistent: timer
+#: granularity can push ``busy_s`` epsilon past capacity legitimately.
+_ACCOUNTING_TOLERANCE = 1e-6
 
 
 @dataclass
@@ -31,14 +60,20 @@ class RunTelemetry:
     Attributes:
         workers: worker threads the run was scheduled across.
         wall_clock_s: end-to-end wall-clock of the run.
-        busy_s: summed per-example evaluation time across all workers.
+        busy_s: summed per-example evaluation time across all workers
+            (exclusive — each example is timed exactly once, in the one
+            worker that evaluated it).
         stage_s: per-stage totals (:data:`STAGES`), summed across
-            examples.
+            examples; exclusive, so nested stage timers never
+            double-count.
         examples: evaluated example count (including errored ones).
         errors: examples that raised and were isolated.
         cache_hits / cache_misses: per-artifact counters (``select``,
             ``preliminary``, ``generate``, ``gold``, ``execute``), fed
             uniformly by the artifact cache.
+        trace_file: path of the JSONL trace this run streamed spans to
+            ("" when tracing was off); persisted with the report so
+            ``dail-sql trace`` can find the run's trace later.
     """
 
     workers: int = 1
@@ -49,14 +84,21 @@ class RunTelemetry:
     errors: int = 0
     cache_hits: Dict[str, int] = field(default_factory=dict)
     cache_misses: Dict[str, int] = field(default_factory=dict)
+    trace_file: str = ""
 
     @property
     def utilization(self) -> float:
-        """Busy time over worker capacity — 1.0 means no worker idled."""
+        """Busy time over worker capacity — 1.0 means no worker idled.
+
+        Deliberately *not* clamped: a value above 1.0 means busy-time
+        accounting double-counted somewhere (a bug worth seeing, not
+        hiding).  :meth:`TelemetryCollector.freeze` logs a warning when
+        that happens.
+        """
         capacity = self.workers * self.wall_clock_s
         if capacity <= 0:
             return 0.0
-        return min(self.busy_s / capacity, 1.0)
+        return self.busy_s / capacity
 
     def cache_hit_rate(self, name: str) -> float:
         """Hit rate of one cache (0.0 when the cache was never consulted)."""
@@ -108,64 +150,216 @@ class ProgressEvent:
     error: str = ""
 
 
+class _StageFrame:
+    """One open stage timer on a thread's stage stack."""
+
+    __slots__ = ("child_s", "span")
+
+    def __init__(self, span) -> None:
+        self.child_s = 0.0
+        self.span = span
+
+
 class TelemetryCollector:
     """Thread-safe accumulator behind one run's :class:`RunTelemetry`.
 
     Workers call :meth:`stage` around pipeline phases and
     :meth:`record_cache` from the harness caches; the engine calls
-    :meth:`example_done` once per finished example and :meth:`freeze` at
-    the end of the run.
+    :meth:`example` around each evaluation (trace span + error-class
+    attribution), :meth:`example_done` once per finished example and
+    :meth:`freeze` at the end of the run.
+
+    The collector owns no counters of its own: every sample lands in a
+    :class:`~repro.obs.metrics.MetricsRegistry` under this collector's
+    ``labels`` (the engine labels each config cell), and :meth:`freeze`
+    reads the registry back.  Several collectors can therefore share one
+    run-level registry — the Prometheus export and the live progress
+    line see the whole run while each cell's telemetry stays separable.
+
+    Args:
+        registry: the metrics registry samples land in (private one
+            when omitted — the drop-in behaviour of the old collector).
+        labels: labels stamped on every sample (e.g. ``{"cell": ...}``).
+        tracer: span sink; the default :data:`~repro.obs.trace.NULL_TRACER`
+            makes every trace call a no-op attribute check.
     """
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._stage_s: Dict[str, float] = {}
-        self._busy_s = 0.0
-        self._examples = 0
-        self._errors = 0
-        self._cache_hits: Dict[str, int] = {}
-        self._cache_misses: Dict[str, int] = {}
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        labels: Optional[Dict[str, str]] = None,
+        tracer=NULL_TRACER,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.labels = dict(labels or {})
+        self.tracer = tracer
+        self._local = threading.local()
+
+    # -- per-thread state ------------------------------------------------------
+
+    def _stack(self):
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _example_id(self) -> str:
+        return getattr(self._local, "example_id", "")
+
+    # -- instrumentation hooks -------------------------------------------------
+
+    @contextmanager
+    def example(self, example_id: str, parent_id: Optional[str] = None, **attrs):
+        """Trace span around one example's evaluation (engine-called).
+
+        Yields the span handle so the caller can attach post-hoc
+        attributes (prompt tokens, error class).  With tracing off this
+        is a single attribute check.
+        """
+        if not self.tracer.enabled:
+            yield _NULL_EXAMPLE_SPAN
+            return
+        self._local.example_id = example_id
+        try:
+            with self.tracer.span(
+                "example", example_id, parent_id=parent_id,
+                **{**self.labels, **attrs},
+            ) as span:
+                yield span
+        finally:
+            self._local.example_id = ""
 
     @contextmanager
     def stage(self, name: str):
-        """Time one pipeline stage; nestable and reentrant across threads."""
+        """Time one pipeline stage; nestable and reentrant across threads.
+
+        Nested timers attribute exclusively: the inner stage's elapsed
+        time is subtracted from the enclosing stage's total.  With a
+        tracer attached, each timing also becomes a ``stage`` span
+        carrying the cell labels, the current example id, the exclusive
+        time and any cache hit/miss counts recorded while it was open.
+        """
+        tracing = self.tracer.enabled
+        span_cm = None
+        span = None
+        if tracing:
+            attrs = dict(self.labels)
+            example_id = self._example_id()
+            if example_id:
+                attrs["example"] = example_id
+            span_cm = self.tracer.span("stage", name, **attrs)
+            span = span_cm.__enter__()
+        stack = self._stack()
+        frame = _StageFrame(span)
+        stack.append(frame)
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            with self._lock:
-                self._stage_s[name] = self._stage_s.get(name, 0.0) + elapsed
+            stack.pop()
+            if stack:
+                stack[-1].child_s += elapsed
+            exclusive = max(elapsed - frame.child_s, 0.0)
+            self.registry.counter_add(
+                M_STAGE_SECONDS, exclusive, {**self.labels, "stage": name}
+            )
+            self.registry.observe(
+                M_STAGE_LATENCY, elapsed, {"stage": name},
+                buckets=LATENCY_BUCKETS,
+            )
+            if tracing:
+                span.set("excl_s", exclusive)
+                span_cm.__exit__(None, None, None)
 
     def record_cache(self, name: str, hit: bool) -> None:
-        with self._lock:
-            counters = self._cache_hits if hit else self._cache_misses
-            counters[name] = counters.get(name, 0) + 1
+        result = "hit" if hit else "miss"
+        self.registry.counter_add(
+            M_CACHE_REQUESTS, 1,
+            {**self.labels, "stage": name, "result": result},
+        )
+        stack = self._stack()
+        if stack and stack[-1].span is not None:
+            stack[-1].span.inc(f"cache_{name}_{result}")
 
     def example_done(self, elapsed_s: float, error: bool = False) -> None:
-        with self._lock:
-            self._busy_s += elapsed_s
-            self._examples += 1
-            if error:
-                self._errors += 1
+        self.registry.counter_add(M_BUSY_SECONDS, elapsed_s, self.labels)
+        self.registry.counter_add(M_EXAMPLES, 1, self.labels)
+        if error:
+            self.registry.counter_add(M_ERRORS, 1, self.labels)
 
-    def freeze(self, workers: int, wall_clock_s: float) -> RunTelemetry:
-        """Snapshot the counters into an immutable telemetry record."""
-        with self._lock:
-            return RunTelemetry(
-                workers=workers,
-                wall_clock_s=wall_clock_s,
-                busy_s=self._busy_s,
-                stage_s=dict(self._stage_s),
-                examples=self._examples,
-                errors=self._errors,
-                cache_hits=dict(self._cache_hits),
-                cache_misses=dict(self._cache_misses),
+    # -- freezing --------------------------------------------------------------
+
+    def freeze(
+        self,
+        workers: int,
+        wall_clock_s: float,
+        trace_file: str = "",
+    ) -> RunTelemetry:
+        """Snapshot this collector's registry slice into an immutable
+        telemetry record, and assert-log (never clamp) busy-time
+        accounting: ``busy_s`` beyond ``workers * wall_clock_s`` means
+        some example was double-counted."""
+        stage_s: Dict[str, float] = {}
+        for labels, value in self.registry.counter_series(
+            M_STAGE_SECONDS, self.labels
+        ):
+            stage = labels.get("stage", "")
+            stage_s[stage] = stage_s.get(stage, 0.0) + value
+        cache_hits: Dict[str, int] = {}
+        cache_misses: Dict[str, int] = {}
+        for labels, value in self.registry.counter_series(
+            M_CACHE_REQUESTS, self.labels
+        ):
+            target = cache_hits if labels.get("result") == "hit" else cache_misses
+            stage = labels.get("stage", "")
+            target[stage] = target.get(stage, 0) + int(value)
+        busy_s = self.registry.counter_value(M_BUSY_SECONDS, self.labels)
+        capacity = workers * wall_clock_s
+        if capacity > 0 and busy_s > capacity + _ACCOUNTING_TOLERANCE:
+            logger.warning(
+                "telemetry accounting inconsistency: busy_s=%.6f exceeds "
+                "workers*wall_clock=%.6f (%d x %.6f) — per-example timings "
+                "are double-counting",
+                busy_s, capacity, workers, wall_clock_s,
             )
+        return RunTelemetry(
+            workers=workers,
+            wall_clock_s=wall_clock_s,
+            busy_s=busy_s,
+            stage_s=stage_s,
+            examples=int(self.registry.counter_value(M_EXAMPLES, self.labels)),
+            errors=int(self.registry.counter_value(M_ERRORS, self.labels)),
+            cache_hits=cache_hits,
+            cache_misses=cache_misses,
+            trace_file=trace_file,
+        )
+
+
+class _NullExampleSpan:
+    """No-op stand-in yielded by :meth:`TelemetryCollector.example`
+    when tracing is off (mirrors :data:`repro.obs.trace.NULL_SPAN`
+    without importing it into the hot path)."""
+
+    __slots__ = ()
+    span_id = ""
+
+    def set(self, key, value) -> None:
+        pass
+
+    def inc(self, key, delta: int = 1) -> None:
+        pass
+
+
+_NULL_EXAMPLE_SPAN = _NullExampleSpan()
 
 
 class NullCollector(TelemetryCollector):
     """No-op collector for uninstrumented call sites (zero overhead)."""
+
+    @contextmanager
+    def example(self, example_id: str, parent_id: Optional[str] = None, **attrs):
+        yield _NULL_EXAMPLE_SPAN
 
     @contextmanager
     def stage(self, name: str):

@@ -14,6 +14,7 @@ or the ``REPRO_WORKERS`` environment variable.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Union
 
@@ -54,6 +55,31 @@ def default_workers() -> int:
     return _DEFAULT_WORKERS
 
 
+#: Tri-state progress policy: None = auto (stderr is a terminal).
+_DEFAULT_PROGRESS: Optional[bool] = None
+
+
+def set_default_progress(enabled: Optional[bool]) -> None:
+    """Force the live progress line on/off (``None`` restores auto)."""
+    global _DEFAULT_PROGRESS
+    _DEFAULT_PROGRESS = enabled
+
+
+def progress_enabled() -> bool:
+    """Whether experiment sweeps render a live status line on stderr.
+
+    The CLI's ``--progress``/``--no-progress`` flags decide; unset, the
+    line is shown exactly when stderr is a terminal (never pollutes
+    piped or CI output).
+    """
+    if _DEFAULT_PROGRESS is not None:
+        return _DEFAULT_PROGRESS
+    try:
+        return sys.stderr.isatty()
+    except (AttributeError, ValueError):
+        return False
+
+
 @dataclass
 class ExperimentContext:
     """Corpus, runner and derived datasets shared by experiments."""
@@ -80,9 +106,27 @@ class ExperimentContext:
 
         ``runner`` overrides the context's runner for derived datasets
         (e.g. the Spider-Realistic variant) while keeping the same
-        worker policy.
+        worker policy.  With progress enabled (see
+        :func:`progress_enabled`) a live status line — throughput,
+        utilization, stage quantiles, cache hit rate — renders on
+        stderr while the sweep runs.
         """
-        grid_runner = GridRunner(runner or self.runner, workers=default_workers())
+        workers = default_workers()
+        if progress_enabled():
+            from ..obs.metrics import MetricsRegistry
+            from ..obs.progress import ProgressReporter
+
+            registry = MetricsRegistry()
+            with ProgressReporter(registry=registry,
+                                  workers=workers) as reporter:
+                grid_runner = GridRunner(
+                    runner or self.runner, workers=workers,
+                    progress=reporter, registry=registry,
+                )
+                return grid_runner.sweep(
+                    configs, limit=limit, n_samples=n_samples
+                )
+        grid_runner = GridRunner(runner or self.runner, workers=workers)
         return grid_runner.sweep(configs, limit=limit, n_samples=n_samples)
 
     def derived_runner(

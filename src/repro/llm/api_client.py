@@ -100,6 +100,9 @@ class ApiLLMClient:
     max_completion_tokens: int = 512
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     sleep: Callable[[float], None] = time.sleep
+    #: Optional MetricsRegistry (attached by the engine, never fingerprinted):
+    #: request latency, retry counts and token histograms.
+    metrics: Optional[object] = None
 
     # -- request construction ------------------------------------------------
 
@@ -168,6 +171,7 @@ class ApiLLMClient:
         # prompts back off by different (but reproducible) amounts.
         salt = f"{self.model_id}|{sample_tag}|{zlib.crc32(prompt.text.encode('utf-8')):08x}"
         last_error: Optional[TransportError] = None
+        start = time.perf_counter()
         for attempt in range(self.retry.max_attempts):
             try:
                 response = self.transport(request)
@@ -176,6 +180,7 @@ class ApiLLMClient:
                 if not exc.retryable:
                     raise ModelError(f"API call failed: {exc}") from exc
                 if attempt + 1 < self.retry.max_attempts:
+                    self._count_retry()
                     wait = exc.retry_after
                     if wait is None:
                         wait = self.retry.delay(attempt, salt=salt)
@@ -183,7 +188,7 @@ class ApiLLMClient:
                 continue
             text = self.parse_response(response)
             usage = response.get("usage", {})
-            return GenerationResult(
+            result = GenerationResult(
                 text=text,
                 prompt_tokens=usage.get("prompt_tokens", prompt.token_count),
                 completion_tokens=usage.get(
@@ -191,10 +196,38 @@ class ApiLLMClient:
                 ),
                 model_id=self.model_id,
             )
+            self._observe_success(result, time.perf_counter() - start)
+            return result
         raise ModelError(
             f"API call failed after {self.retry.max_attempts} attempts: "
             f"{last_error}"
         )
+
+    def _count_retry(self) -> None:
+        if self.metrics is None:
+            return
+        from ..obs.metrics import M_LLM_RETRIES
+
+        self.metrics.counter_add(M_LLM_RETRIES, 1, {"model": self.model_id})
+
+    def _observe_success(self, result: GenerationResult,
+                         elapsed: float) -> None:
+        if self.metrics is None:
+            return
+        from ..obs.metrics import (
+            M_LLM_COMPLETION_TOKENS,
+            M_LLM_PROMPT_TOKENS,
+            M_LLM_REQUEST,
+            TOKEN_BUCKETS,
+        )
+
+        labels = {"model": self.model_id}
+        self.metrics.observe(M_LLM_REQUEST, elapsed, labels)
+        self.metrics.observe(M_LLM_PROMPT_TOKENS, result.prompt_tokens,
+                             labels, buckets=TOKEN_BUCKETS)
+        self.metrics.observe(M_LLM_COMPLETION_TOKENS,
+                             result.completion_tokens, labels,
+                             buckets=TOKEN_BUCKETS)
 
     def generate_batch(
         self, prompts: Sequence[Prompt], sample_tag: str = ""

@@ -71,6 +71,9 @@ class SimulatedLLM:
         self.oracle = oracle
         self.sft_state = sft_state
         self.latency_s = latency_s
+        #: Optional MetricsRegistry; the engine attaches the run's registry
+        #: so request latency and token histograms land in run metrics.
+        self.metrics = None
         self._linkers: Dict[str, SchemaLinker] = {}
         self._fingerprint: Optional[str] = None
 
@@ -222,6 +225,26 @@ class SimulatedLLM:
 
     def generate(self, prompt: Prompt, sample_tag: str = "") -> GenerationResult:
         """Produce a response; deterministic in (model, prompt, tag)."""
+        if self.metrics is None:
+            return self._generate(prompt, sample_tag)
+        start = time.perf_counter()
+        result = self._generate(prompt, sample_tag)
+        from ..obs.metrics import (
+            M_LLM_COMPLETION_TOKENS,
+            M_LLM_PROMPT_TOKENS,
+            M_LLM_REQUEST,
+            TOKEN_BUCKETS,
+        )
+
+        labels = {"model": self.model_id}
+        self.metrics.observe(M_LLM_REQUEST, time.perf_counter() - start, labels)
+        self.metrics.observe(M_LLM_PROMPT_TOKENS, result.prompt_tokens,
+                             labels, buckets=TOKEN_BUCKETS)
+        self.metrics.observe(M_LLM_COMPLETION_TOKENS, result.completion_tokens,
+                             labels, buckets=TOKEN_BUCKETS)
+        return result
+
+    def _generate(self, prompt: Prompt, sample_tag: str = "") -> GenerationResult:
         if self.latency_s > 0:
             time.sleep(self.latency_s)
         gold = self.oracle.lookup(prompt.db_id, prompt.question)

@@ -1,0 +1,44 @@
+"""Observability: structured tracing, metrics, live run introspection.
+
+``repro.obs`` sits next to ``repro.cache`` at the bottom of the layer
+diagram — standard library plus ``repro.errors`` only, importable from
+anywhere without cycles.  Three pillars:
+
+* :mod:`~repro.obs.trace` — per-run span trees (run → cell → example →
+  stage) streamed to a JSONL trace file; :data:`~repro.obs.trace.NULL_TRACER`
+  is the zero-overhead default.
+* :mod:`~repro.obs.metrics` — a thread-safe
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges and
+  fixed-bucket histograms with Prometheus-text and JSON exporters.
+* :mod:`~repro.obs.progress` — a throttled live status line consuming
+  the engine's progress events plus registry snapshots.
+
+:mod:`~repro.obs.tracefile` reads trace files back for the ``dail-sql
+trace`` subcommand (summary / slowest / errors / export).
+"""
+
+from .metrics import (
+    LATENCY_BUCKETS,
+    TOKEN_BUCKETS,
+    MetricsRegistry,
+    parse_prometheus,
+)
+from .progress import ProgressReporter
+from .trace import (
+    NULL_TRACER,
+    TRACE_DIR_ENV,
+    TRACE_SCHEMA_VERSION,
+    NullTracer,
+    Span,
+    Tracer,
+    build_tracer,
+    configure_trace_dir,
+    resolved_trace_dir,
+)
+
+__all__ = [
+    "LATENCY_BUCKETS", "TOKEN_BUCKETS", "MetricsRegistry",
+    "parse_prometheus", "ProgressReporter", "NULL_TRACER", "TRACE_DIR_ENV",
+    "TRACE_SCHEMA_VERSION", "NullTracer", "Span", "Tracer", "build_tracer",
+    "configure_trace_dir", "resolved_trace_dir",
+]

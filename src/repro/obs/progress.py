@@ -1,0 +1,190 @@
+"""Live run introspection: a throttled status line on stderr.
+
+:class:`ProgressReporter` is a
+:data:`~repro.eval.engine.ProgressCallback`: the engine calls it (under
+a lock) after every finished example.  It combines the event stream
+(done/total/errors) with snapshots of the run's
+:class:`~repro.obs.metrics.MetricsRegistry` — per-stage latency
+quantiles, cache hit rates, worker utilization — into one line,
+redrawn in place (carriage return) at most every ``min_interval_s``::
+
+    [ 37/144]  12.4 ex/s  util 87%  err 1  generate p50 18ms p95 61ms  gen cache 72%
+
+The reporter throttles *rendering*, not accounting, so the final state
+is always exact; :meth:`close` forces a last render and a newline.
+It duck-types on the event (``done``/``total``/``error``) rather than
+importing the eval layer, keeping ``repro.obs`` dependency-free.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from threading import Lock
+from typing import Callable, Optional, TextIO
+
+from .metrics import (
+    M_BUSY_SECONDS,
+    M_CACHE_REQUESTS,
+    M_STAGE_LATENCY,
+    MetricsRegistry,
+)
+
+
+def _format_seconds(value: float) -> str:
+    if value >= 1.0:
+        return f"{value:.2f}s"
+    return f"{value * 1000:.0f}ms"
+
+
+class ProgressReporter:
+    """Renders run progress to a stream; usable as a progress callback.
+
+    Args:
+        stream: output stream (default ``sys.stderr``).
+        registry: the run's metrics registry — pass the same instance to
+            the engine so the status line can show stage quantiles and
+            cache hit rates.  A private registry (no live quantiles) is
+            created when omitted.
+        workers: worker count, for the utilization figure.
+        min_interval_s: minimum delay between redraws.
+        clock: injectable monotonic clock (tests pass a fake).
+    """
+
+    def __init__(
+        self,
+        stream: Optional[TextIO] = None,
+        registry: Optional[MetricsRegistry] = None,
+        workers: int = 1,
+        min_interval_s: float = 0.2,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.stream = stream if stream is not None else sys.stderr
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.workers = max(1, workers)
+        self.min_interval_s = min_interval_s
+        self._clock = clock
+        self._lock = Lock()
+        self._start: Optional[float] = None
+        self._last_render = float("-inf")
+        self._last_width = 0
+        self._done = 0
+        self._total = 0
+        self._errors = 0
+        self._closed = False
+
+    # -- the callback --------------------------------------------------------
+
+    def __call__(self, event) -> None:
+        """Account one finished example; redraw when the throttle allows."""
+        with self._lock:
+            if self._closed:
+                return
+            now = self._clock()
+            if self._start is None:
+                self._start = now
+            self._done = event.done
+            self._total = event.total
+            if getattr(event, "error", ""):
+                self._errors += 1
+            due = now - self._last_render >= self.min_interval_s
+            if not (due or self._done >= self._total):
+                return
+            self._last_render = now
+            line = self._compose(now)
+        self._write(line)
+
+    # -- rendering -----------------------------------------------------------
+
+    def _compose(self, now: float) -> str:
+        # Floor elapsed at one render interval: the first event arrives
+        # with elapsed ~ 0, and an unfloored division would render an
+        # astronomical rate/utilization on the opening line.
+        elapsed = max(now - (self._start if self._start is not None else now),
+                      self.min_interval_s, 1e-9)
+        rate = self._done / elapsed
+        width = len(str(self._total))
+        parts = [
+            f"[{self._done:>{width}}/{self._total}]",
+            f"{rate:5.1f} ex/s",
+        ]
+        busy = self.registry.counter_value(M_BUSY_SECONDS)
+        if busy > 0:
+            utilization = busy / (self.workers * elapsed)
+            parts.append(f"util {utilization:3.0%}")
+        parts.append(f"err {self._errors}")
+        parts.extend(self._stage_quantiles())
+        cache_line = self._cache_rate("generate")
+        if cache_line:
+            parts.append(cache_line)
+        return "  ".join(parts)
+
+    def _stage_quantiles(self):
+        """p50/p95 of the slowest stage (by sample mass × p50) so far."""
+        best = None
+        for stage in ("generate", "execute", "select", "build", "extract",
+                      "score"):
+            count = self.registry.histogram_count(
+                M_STAGE_LATENCY, {"stage": stage}
+            )
+            if not count:
+                continue
+            p50 = self.registry.histogram_quantile(
+                M_STAGE_LATENCY, 0.5, {"stage": stage}
+            )
+            weight = count * p50
+            if best is None or weight > best[0]:
+                best = (weight, stage, p50)
+        if best is None:
+            return []
+        _, stage, p50 = best
+        p95 = self.registry.histogram_quantile(
+            M_STAGE_LATENCY, 0.95, {"stage": stage}
+        )
+        return [
+            f"{stage} p50 {_format_seconds(p50)} p95 {_format_seconds(p95)}"
+        ]
+
+    def _cache_rate(self, artifact: str) -> str:
+        hits = self.registry.counter_value(
+            M_CACHE_REQUESTS, {"stage": artifact, "result": "hit"}
+        )
+        misses = self.registry.counter_value(
+            M_CACHE_REQUESTS, {"stage": artifact, "result": "miss"}
+        )
+        total = hits + misses
+        if not total:
+            return ""
+        return f"{artifact[:3]} cache {hits / total:3.0%}"
+
+    def _write(self, line: str) -> None:
+        padded = line.ljust(self._last_width)
+        self._last_width = len(line)
+        try:
+            self.stream.write("\r" + padded)
+            self.stream.flush()
+        except (OSError, ValueError):  # closed/broken stream: go quiet
+            self._closed = True
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Force a final render and move to a fresh line."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            line = self._compose(self._clock()) if self._total else ""
+        if line:
+            self._write(line)
+            try:
+                self.stream.write("\n")
+                self.stream.flush()
+            except (OSError, ValueError):
+                pass
+
+    def __enter__(self) -> "ProgressReporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

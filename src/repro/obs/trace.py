@@ -1,0 +1,264 @@
+"""Structured tracing: per-run span trees streamed to a JSONL file.
+
+A :class:`Tracer` writes one JSON object per finished span, as it
+finishes — a crashed run keeps every completed span.  Span kinds form a
+fixed hierarchy::
+
+    run ─► cell ─► example ─► stage (select/build/generate/…)
+
+Trace schema (``v`` = :data:`TRACE_SCHEMA_VERSION`), one object per line:
+
+========== =====================================================
+field      meaning
+========== =====================================================
+``v``      trace schema version (int)
+``kind``   ``run`` | ``cell`` | ``example`` | ``stage``
+``name``   run id / cell label / example id / stage name
+``span``   span id, unique within the file (hex string)
+``parent`` parent span id (``""`` for the run span)
+``t0``     wall-clock start, seconds since the epoch (float)
+``dur_s``  inclusive duration in seconds (float)
+``attrs``  flat attribute dict (see below)
+========== =====================================================
+
+Attribute conventions: ``cell`` (config label) on cell/example/stage
+spans; ``hardness``, ``representation``, ``k``, ``prompt_tokens``,
+``error_class``/``error`` on example spans; ``excl_s`` (exclusive time,
+child stages subtracted) and ``cache_<artifact>_hit``/``_miss`` counters
+on stage spans.
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose ``enabled``
+flag lets call sites skip even attribute assembly — an uninstrumented
+run pays one attribute check per span site.  Writes are best-effort: an
+I/O failure disables the tracer rather than failing the evaluation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+#: Bump when the line schema above changes shape.
+TRACE_SCHEMA_VERSION = 1
+
+#: Environment variable naming the trace-file directory.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+
+class Span:
+    """Handle for one open span: set attributes before it closes."""
+
+    __slots__ = ("kind", "name", "span_id", "parent_id", "attrs", "t0", "_start")
+
+    def __init__(self, kind: str, name: str, span_id: str, parent_id: str,
+                 attrs: Dict[str, object]):
+        self.kind = kind
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.t0 = time.time()
+        self._start = time.perf_counter()
+
+    def set(self, key: str, value: object) -> None:
+        self.attrs[key] = value
+
+    def inc(self, key: str, delta: int = 1) -> None:
+        """Increment a counter-style attribute (e.g. per-artifact cache hits)."""
+        self.attrs[key] = int(self.attrs.get(key, 0)) + delta
+
+
+class _NullSpan:
+    """No-op span handle yielded by the :class:`NullTracer`."""
+
+    __slots__ = ()
+    kind = name = span_id = parent_id = ""
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+    def inc(self, key: str, delta: int = 1) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Streams spans of one run to a JSONL trace file.
+
+    Thread-safe: spans opened on a worker thread parent onto that
+    thread's innermost open span (a thread-local stack), or onto an
+    explicit ``parent_id`` — the engine passes cell span ids into
+    worker threads this way.
+
+    Args:
+        path: the trace file (parents created; appended to if present).
+    """
+
+    enabled = True
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._local = threading.local()
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_id(self) -> str:
+        with self._lock:
+            self._next_id += 1
+            return f"{self._next_id:x}"
+
+    @contextmanager
+    def span(self, kind: str, name: str, parent_id: Optional[str] = None,
+             **attrs) -> Iterator[Span]:
+        """Open a span; it is written (one JSONL line) when it closes."""
+        stack = self._stack()
+        if parent_id is None:
+            parent_id = stack[-1].span_id if stack else ""
+        handle = Span(kind, name, self._new_id(), parent_id, dict(attrs))
+        stack.append(handle)
+        try:
+            yield handle
+        finally:
+            stack.pop()
+            self._write(handle)
+
+    def current_span(self) -> Optional[Span]:
+        """The calling thread's innermost open span, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def _write(self, span: Span) -> None:
+        record = {
+            "v": TRACE_SCHEMA_VERSION,
+            "kind": span.kind,
+            "name": span.name,
+            "span": span.span_id,
+            "parent": span.parent_id,
+            "t0": span.t0,
+            "dur_s": time.perf_counter() - span._start,
+            "attrs": span.attrs,
+        }
+        try:
+            line = json.dumps(record, default=str)
+        except (TypeError, ValueError):  # pragma: no cover - attrs are scalars
+            return
+        with self._lock:
+            if self._handle.closed:
+                return
+            try:
+                self._handle.write(line + "\n")
+            except OSError:  # pragma: no cover - disk full etc.
+                self.enabled = False
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def flush(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullTracer:
+    """Zero-overhead tracer: call sites guard on ``enabled`` and skip."""
+
+    enabled = False
+    path: Optional[Path] = None
+
+    @contextmanager
+    def span(self, kind: str, name: str, parent_id: Optional[str] = None,
+             **attrs) -> Iterator[_NullSpan]:
+        yield NULL_SPAN
+
+    def current_span(self) -> None:
+        return None
+
+    def flush(self) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+#: Shared no-op instance; safe to use from any thread.
+NULL_TRACER = NullTracer()
+
+
+# -- process-wide configuration ----------------------------------------------
+
+_configured_dir: Optional[Path] = None
+_config_lock = threading.Lock()
+_file_seq = 0
+
+
+def configure_trace_dir(path: Optional[Union[str, Path]]) -> None:
+    """Set the trace directory for subsequently built tracers.
+
+    The CLI's ``--trace-dir`` flag lands here; it takes precedence over
+    the ``REPRO_TRACE_DIR`` environment variable.  ``None`` reverts to
+    the environment.
+    """
+    global _configured_dir
+    with _config_lock:
+        _configured_dir = Path(path) if path is not None else None
+
+
+def resolved_trace_dir() -> Optional[Path]:
+    """The active trace directory, or ``None`` (tracing disabled)."""
+    with _config_lock:
+        if _configured_dir is not None:
+            return _configured_dir
+    env = os.environ.get(TRACE_DIR_ENV, "").strip()
+    return Path(env) if env else None
+
+
+def build_tracer(
+    trace_dir: Optional[Union[str, Path]] = None,
+) -> Union[Tracer, NullTracer]:
+    """A tracer honouring the configured trace directory.
+
+    ``trace_dir`` overrides; otherwise ``--trace-dir`` /
+    ``REPRO_TRACE_DIR`` decide.  With no directory configured the
+    :data:`NULL_TRACER` is returned, so call sites never branch on
+    configuration themselves.  Each call gets a fresh file —
+    ``trace-<utc stamp>-<pid>-<seq>.jsonl`` — so concurrent runs and
+    repeated sweeps in one process never interleave.
+    """
+    global _file_seq
+    if trace_dir is None:
+        trace_dir = resolved_trace_dir()
+    if trace_dir is None:
+        return NULL_TRACER
+    with _config_lock:
+        _file_seq += 1
+        seq = _file_seq
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+    name = f"trace-{stamp}-{os.getpid()}-{seq}.jsonl"
+    return Tracer(Path(trace_dir) / name)

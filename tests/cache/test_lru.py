@@ -57,9 +57,21 @@ class TestLRUCache:
         cache.put("a", 1)
         cache.get("a")
         cache.get("nope")
-        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+        assert cache.stats() == {
+            "entries": 1, "hits": 1, "misses": 1, "evictions": 0,
+        }
         cache.clear()
-        assert cache.stats() == {"entries": 0, "hits": 0, "misses": 0}
+        assert cache.stats() == {
+            "entries": 0, "hits": 0, "misses": 0, "evictions": 0,
+        }
+
+    def test_put_reports_evictions(self):
+        cache = LRUCache(max_entries=2)
+        assert cache.put("a", 1) == 0
+        assert cache.put("b", 2) == 0
+        assert cache.put("c", 3) == 1  # evicts "a"
+        assert "a" not in cache
+        assert cache.stats()["evictions"] == 1
 
     def test_thread_safety_under_churn(self):
         cache = LRUCache(max_entries=64)

@@ -64,6 +64,49 @@ class TestMemoryTier:
         assert cache.hit_rate("never-used") == 0.0
 
 
+class TestTierMetrics:
+    @staticmethod
+    def events(registry):
+        from repro.obs.metrics import M_CACHE_TIER
+
+        return {
+            labels["event"]: value
+            for labels, value in registry.counter_series(M_CACHE_TIER)
+        }
+
+    def test_memory_events(self):
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        cache = ArtifactCache(max_memory_entries=1)
+        cache.set_metrics(registry)
+        cache.get_or_compute("s", ("a",), lambda: 1)   # miss
+        cache.get_or_compute("s", ("a",), lambda: 1)   # memory hit
+        cache.get_or_compute("s", ("b",), lambda: 2)   # miss + evicts "a"
+        assert self.events(registry) == {
+            "miss": 2.0, "memory_hit": 1.0, "evict": 1.0,
+        }
+
+    def test_disk_events(self, tmp_path):
+        from repro.obs.metrics import MetricsRegistry
+
+        warm = ArtifactCache(disk_dir=tmp_path)
+        warm.get_or_compute("generate", ("k",), lambda: "v")
+
+        registry = MetricsRegistry()
+        cold = ArtifactCache(disk_dir=tmp_path)
+        cold.set_metrics(registry)
+        cold.get_or_compute("generate", ("k",), lambda: pytest.fail("miss"))
+        cold.get_or_compute("generate", ("k2",), lambda: "w")
+        assert self.events(registry) == {
+            "disk_hit": 1.0, "miss": 1.0, "disk_write": 1.0,
+        }
+
+    def test_no_registry_is_silent(self):
+        cache = ArtifactCache()
+        assert cache.get_or_compute("s", ("a",), lambda: 1) == 1
+
+
 class TestDiskTier:
     def test_roundtrip_across_instances(self, tmp_path):
         first = ArtifactCache(disk_dir=tmp_path)

@@ -1,0 +1,235 @@
+"""Observability integration tests over the evaluation engine.
+
+The load-bearing guarantees:
+
+* instrumentation never changes results — a fully traced run produces
+  records byte-identical to a ``NULL_TRACER`` run;
+* parallel and serial runs produce the same spans, metrics totals and
+  telemetry (ordering aside);
+* the trace file reconciles with ``RunTelemetry.stage_s``.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.eval.engine import EvalEngine, GridRunner
+from repro.eval.harness import BenchmarkRunner, RunConfig
+from repro.obs import tracefile
+from repro.obs.metrics import (
+    M_BUSY_SECONDS,
+    M_CACHE_TIER,
+    M_DB_EXECUTE,
+    M_ERRORS,
+    M_EXAMPLES,
+    M_INFLIGHT,
+    M_LLM_REQUEST,
+    M_STAGE_SECONDS,
+    MetricsRegistry,
+)
+from repro.obs.trace import NULL_TRACER, Tracer
+
+CONFIG = RunConfig(model="gpt-4", representation="CR_P")
+GRID = [
+    CONFIG,
+    RunConfig(model="gpt-4", representation="CR_P",
+              selection="DAIL_S", organization="DAIL_O", k=3),
+]
+
+
+def fresh_runner(corpus, **kwargs):
+    return BenchmarkRunner(
+        corpus.dev, corpus.train, corpus.pool(), seed=3, **kwargs
+    )
+
+
+def record_dicts(report):
+    return [asdict(record) for record in report.records]
+
+
+def traced_run(corpus, tmp_path, workers, name, configs=GRID, limit=6,
+               poison=None):
+    runner = fresh_runner(corpus)
+    if poison is not None:
+        poison(runner)
+    registry = MetricsRegistry()
+    tracer = Tracer(tmp_path / f"{name}.jsonl")
+    try:
+        grid = GridRunner(runner, workers=workers, tracer=tracer,
+                          registry=registry).sweep(configs, limit=limit)
+    finally:
+        tracer.close()
+    return grid, registry, tracefile.load_spans(tracer.path)
+
+
+class TestInstrumentationIsInert:
+    def test_traced_records_match_null_tracer_records(self, corpus, tmp_path):
+        plain = GridRunner(fresh_runner(corpus), workers=1,
+                           tracer=NULL_TRACER).sweep(GRID, limit=6)
+        traced, _, _ = traced_run(corpus, tmp_path, workers=1, name="t")
+        for a, b in zip(plain, traced):
+            assert record_dicts(a) == record_dicts(b)
+            assert a.execution_accuracy == b.execution_accuracy
+
+    def test_null_tracer_leaves_no_trace_file(self, corpus):
+        report = EvalEngine(fresh_runner(corpus), workers=1).run(
+            CONFIG, limit=3
+        )
+        assert report.telemetry.trace_file == ""
+
+    def test_traced_report_points_at_trace_file(self, corpus, tmp_path):
+        grid, _, _ = traced_run(corpus, tmp_path, workers=1, name="ptr")
+        for report in grid:
+            assert report.telemetry.trace_file.endswith("ptr.jsonl")
+
+
+class TestParallelEquivalence:
+    def test_span_multiset_is_worker_count_independent(self, corpus, tmp_path):
+        _, _, serial = traced_run(corpus, tmp_path, workers=1, name="s")
+        _, _, parallel = traced_run(corpus, tmp_path, workers=4, name="p")
+
+        def key(spans):
+            return sorted(
+                (s["kind"], s["name"], s.get("attrs", {}).get("cell", ""))
+                for s in spans
+            )
+
+        assert key(serial) == key(parallel)
+
+    def test_metric_totals_are_worker_count_independent(self, corpus,
+                                                        tmp_path):
+        _, reg_s, _ = traced_run(corpus, tmp_path, workers=1, name="ms")
+        _, reg_p, _ = traced_run(corpus, tmp_path, workers=4, name="mp")
+        for registry in (reg_s, reg_p):
+            assert registry.counter_value(M_EXAMPLES) == 12
+            assert registry.counter_value(M_ERRORS) == 0
+            assert registry.gauge_value(M_INFLIGHT) == 0
+            # >= examples: the DAIL_S config also generates preliminary
+            # SQL, and shared-artifact cache races may add a few more in
+            # parallel — exact counts are asserted on single-config runs
+            assert registry.histogram_count(M_LLM_REQUEST) >= 12
+            assert registry.histogram_count(M_DB_EXECUTE) > 0
+            # the artifact cache reports tier-level events into the same
+            # registry (engine attaches it via runner.cache.set_metrics)
+            assert registry.counter_value(
+                M_CACHE_TIER, {"event": "memory_hit"}
+            ) > 0
+            assert registry.counter_value(M_CACHE_TIER, {"event": "miss"}) > 0
+
+    def test_telemetry_is_worker_count_independent(self, corpus, tmp_path):
+        serial, _, _ = traced_run(corpus, tmp_path, workers=1, name="ts")
+        parallel, _, _ = traced_run(corpus, tmp_path, workers=4, name="tp")
+        for a, b in zip(serial, parallel):
+            ta, tb = a.telemetry, b.telemetry
+            assert ta.examples == tb.examples
+            assert ta.errors == tb.errors
+            assert sorted(ta.stage_s) == sorted(tb.stage_s)
+            # single-config-artifact caches race across configs, but the
+            # per-cell example counters must agree exactly
+            assert ta.workers == 1 and tb.workers == 4
+
+    def test_cache_counters_deterministic_for_single_config(self, corpus,
+                                                            tmp_path):
+        serial, _, _ = traced_run(corpus, tmp_path, workers=1, name="cs",
+                                  configs=[CONFIG])
+        parallel, _, _ = traced_run(corpus, tmp_path, workers=4, name="cp",
+                                    configs=[CONFIG])
+        assert serial[0].telemetry.cache_hits == parallel[0].telemetry.cache_hits
+        assert (serial[0].telemetry.cache_misses
+                == parallel[0].telemetry.cache_misses)
+
+
+class TestReconciliation:
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_trace_stage_totals_match_telemetry(self, corpus, tmp_path,
+                                                workers):
+        grid, registry, spans = traced_run(
+            corpus, tmp_path, workers=workers, name=f"rec{workers}"
+        )
+        for report in grid:
+            cell_totals = tracefile.stage_totals(spans, cell=report.label)
+            assert set(cell_totals) == set(report.telemetry.stage_s)
+            for stage, total in cell_totals.items():
+                assert total == pytest.approx(
+                    report.telemetry.stage_s[stage], abs=1e-9
+                )
+        # whole-run registry totals also reconcile with the trace
+        for stage, total in tracefile.stage_totals(spans).items():
+            assert total == pytest.approx(
+                registry.counter_value(M_STAGE_SECONDS, {"stage": stage}),
+                abs=1e-9,
+            )
+
+    def test_busy_seconds_match_telemetry(self, corpus, tmp_path):
+        grid, registry, _ = traced_run(corpus, tmp_path, workers=4,
+                                       name="busy")
+        total_busy = sum(r.telemetry.busy_s for r in grid)
+        assert total_busy == pytest.approx(
+            registry.counter_value(M_BUSY_SECONDS), abs=1e-9
+        )
+
+    def test_utilization_not_clamped_but_consistent(self, corpus):
+        report = EvalEngine(fresh_runner(corpus), workers=4).run(
+            CONFIG, limit=6
+        )
+        telemetry = report.telemetry
+        # exclusive per-example accounting keeps busy time within capacity
+        assert 0.0 < telemetry.utilization <= 1.0
+        assert telemetry.busy_s <= (
+            telemetry.workers * telemetry.wall_clock_s + 1e-6
+        )
+
+    def test_freeze_warns_on_inconsistent_accounting(self, caplog):
+        import logging
+
+        from repro.eval.telemetry import TelemetryCollector
+
+        collector = TelemetryCollector()
+        collector.example_done(10.0)
+        with caplog.at_level(logging.WARNING, logger="repro.eval.telemetry"):
+            telemetry = collector.freeze(workers=1, wall_clock_s=1.0)
+        assert telemetry.busy_s == pytest.approx(10.0)
+        assert telemetry.utilization == pytest.approx(10.0)  # not clamped
+        assert any("accounting" in r.message for r in caplog.records)
+
+
+class TestErrorSurfacing:
+    @staticmethod
+    def poison(runner, example_id):
+        real = runner.evaluate_example
+
+        def poisoned(example, plan, collector):
+            if example.example_id == example_id:
+                raise RuntimeError("poisoned example")
+            return real(example, plan, collector)
+
+        runner.evaluate_example = poisoned
+
+    def test_error_class_lands_in_trace_and_groups(self, corpus, tmp_path):
+        victim = corpus.dev.examples[1].example_id
+        grid, registry, spans = traced_run(
+            corpus, tmp_path, workers=4, name="err", configs=[CONFIG],
+            poison=lambda r: self.poison(r, victim),
+        )
+        assert grid[0].error_count == 1
+        assert registry.counter_value(M_ERRORS) == 1
+        (group,) = tracefile.error_groups(spans)
+        assert group["error_class"] == "RuntimeError"
+        assert group["examples"] == [victim]
+        assert "poisoned example" in group["messages"][0]
+
+    def test_progress_reporter_counts_errors_live(self, corpus):
+        import io
+
+        from repro.obs.progress import ProgressReporter
+
+        runner = fresh_runner(corpus)
+        victim = corpus.dev.examples[0].example_id
+        self.poison(runner, victim)
+        stream = io.StringIO()
+        with ProgressReporter(stream=stream, workers=4,
+                              min_interval_s=0.0) as reporter:
+            EvalEngine(runner, workers=4, progress=reporter).run(
+                CONFIG, limit=4
+            )
+        assert "err 1" in stream.getvalue().split("\r")[-1]

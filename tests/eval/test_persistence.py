@@ -103,8 +103,8 @@ class TestDirectories:
 
 
 class TestVersioning:
-    def test_current_version_is_two(self):
-        assert FORMAT_VERSION == 2
+    def test_current_version_is_three(self):
+        assert FORMAT_VERSION == 3
 
     def test_v1_payload_still_loads(self):
         report = make_report()
@@ -114,6 +114,31 @@ class TestVersioning:
         back = report_from_dict(payload)
         assert back.records == report.records
         assert back.telemetry is None
+
+    def test_v2_payload_without_trace_file_still_loads(self):
+        from repro.eval.telemetry import RunTelemetry
+
+        report = make_report()
+        report.telemetry = RunTelemetry(workers=2, wall_clock_s=1.0,
+                                        busy_s=1.5, examples=3)
+        payload = report_to_dict(report)
+        payload["version"] = 2
+        payload["telemetry"].pop("trace_file")
+        back = report_from_dict(payload)
+        assert back.telemetry.workers == 2
+        assert back.telemetry.trace_file == ""
+
+    def test_v3_persists_trace_file_pointer(self, tmp_path):
+        from repro.eval.telemetry import RunTelemetry
+
+        report = make_report()
+        report.telemetry = RunTelemetry(trace_file="/tmp/t/trace-1.jsonl")
+        path = save_report(report, tmp_path / "r.json")
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 3
+        assert payload["telemetry"]["trace_file"] == "/tmp/t/trace-1.jsonl"
+        back = load_report(path)
+        assert back.telemetry.trace_file == "/tmp/t/trace-1.jsonl"
 
 
 class TestTelemetryAndErrors:

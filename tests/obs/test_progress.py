@@ -1,0 +1,130 @@
+"""ProgressReporter tests: rendering, throttling, error accounting."""
+
+import io
+from dataclasses import dataclass
+
+from repro.obs.metrics import (
+    M_BUSY_SECONDS,
+    M_CACHE_REQUESTS,
+    M_STAGE_LATENCY,
+    MetricsRegistry,
+)
+from repro.obs.progress import ProgressReporter
+
+
+@dataclass(frozen=True)
+class Event:
+    done: int
+    total: int
+    label: str = "cell"
+    example_id: str = "e"
+    error: str = ""
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+def make_reporter(**kwargs):
+    stream = io.StringIO()
+    clock = FakeClock()
+    reporter = ProgressReporter(stream=stream, clock=clock,
+                                min_interval_s=0.2, **kwargs)
+    return reporter, stream, clock
+
+
+class TestRendering:
+    def test_shows_done_total_and_rate(self):
+        reporter, stream, clock = make_reporter()
+        reporter(Event(done=1, total=8))
+        clock.now += 1.0
+        reporter(Event(done=4, total=8))
+        line = stream.getvalue().split("\r")[-1]
+        assert "[4/8]" in line
+        assert "ex/s" in line
+        assert "err 0" in line
+
+    def test_first_render_rate_is_floored(self):
+        # elapsed ~ 0 on the opening event must not explode the figures
+        reporter, stream, _ = make_reporter()
+        reporter(Event(done=1, total=8))
+        line = stream.getvalue().split("\r")[-1]
+        assert "  5.0 ex/s" in line  # 1 / min_interval_s, not 1 / 1e-9
+
+    def test_final_event_always_renders(self):
+        reporter, stream, _ = make_reporter()
+        reporter(Event(done=1, total=2))
+        reporter(Event(done=2, total=2))  # within throttle but final
+        assert "[2/2]" in stream.getvalue()
+
+    def test_throttles_intermediate_renders(self):
+        reporter, stream, clock = make_reporter()
+        reporter(Event(done=1, total=100))
+        for done in range(2, 50):  # no clock advance: throttled
+            reporter(Event(done=done, total=100))
+        assert stream.getvalue().count("\r") == 1
+        clock.now += 1.0
+        reporter(Event(done=50, total=100))
+        assert stream.getvalue().count("\r") == 2
+
+    def test_error_events_counted(self):
+        reporter, stream, clock = make_reporter()
+        reporter(Event(done=1, total=3, error="ModelError: boom"))
+        clock.now += 1.0
+        reporter(Event(done=2, total=3, error="ModelError: boom"))
+        clock.now += 1.0
+        reporter(Event(done=3, total=3))
+        assert "err 2" in stream.getvalue().split("\r")[-1]
+
+    def test_registry_quantiles_and_cache_rate_shown(self):
+        registry = MetricsRegistry()
+        for _ in range(4):
+            registry.observe(M_STAGE_LATENCY, 0.02, {"stage": "generate"})
+        registry.counter_add(M_CACHE_REQUESTS, 3,
+                             {"stage": "generate", "result": "hit"})
+        registry.counter_add(M_CACHE_REQUESTS, 1,
+                             {"stage": "generate", "result": "miss"})
+        registry.counter_add(M_BUSY_SECONDS, 2.0)
+        reporter, stream, clock = make_reporter(registry=registry, workers=2)
+        reporter(Event(done=1, total=1))
+        line = stream.getvalue()
+        assert "generate p50" in line
+        assert "gen cache 75%" in line
+        assert "util" in line
+
+
+class TestLifecycle:
+    def test_close_renders_and_newlines(self):
+        reporter, stream, _ = make_reporter()
+        reporter(Event(done=1, total=4))
+        reporter.close()
+        assert stream.getvalue().endswith("\n")
+
+    def test_close_is_idempotent_and_stops_rendering(self):
+        reporter, stream, clock = make_reporter()
+        reporter(Event(done=1, total=4))
+        reporter.close()
+        reporter.close()
+        before = stream.getvalue()
+        clock.now += 10.0
+        reporter(Event(done=2, total=4))
+        assert stream.getvalue() == before
+
+    def test_context_manager_closes(self):
+        stream = io.StringIO()
+        with ProgressReporter(stream=stream) as reporter:
+            reporter(Event(done=1, total=1))
+        assert stream.getvalue().endswith("\n")
+
+    def test_broken_stream_goes_quiet(self):
+        class Broken(io.StringIO):
+            def write(self, *a):
+                raise OSError("gone")
+
+        reporter = ProgressReporter(stream=Broken())
+        reporter(Event(done=1, total=1))  # must not raise
+        reporter.close()

@@ -1,0 +1,142 @@
+"""Tracer tests: span nesting, JSONL schema, configuration."""
+
+import json
+import threading
+
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    build_tracer,
+    configure_trace_dir,
+    resolved_trace_dir,
+)
+
+
+def read_lines(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestTracer:
+    def test_span_written_on_close(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            with tracer.span("run", "eval", workers=2):
+                pass
+        (line,) = read_lines(path)
+        assert line["v"] == TRACE_SCHEMA_VERSION
+        assert line["kind"] == "run"
+        assert line["name"] == "eval"
+        assert line["parent"] == ""
+        assert line["attrs"] == {"workers": 2}
+        assert line["dur_s"] >= 0.0
+
+    def test_nested_spans_parent_on_stack(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            with tracer.span("example", "e1") as outer:
+                with tracer.span("stage", "generate"):
+                    pass
+        inner, outer_line = read_lines(path)  # inner closes first
+        assert inner["parent"] == outer.span_id
+        assert outer_line["span"] == outer.span_id
+
+    def test_explicit_parent_overrides_stack(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            with tracer.span("cell", "c1") as cell:
+                with tracer.span("example", "e1", parent_id="elsewhere"):
+                    pass
+        example, _ = read_lines(path)
+        assert example["parent"] == "elsewhere"
+        assert cell.span_id != "elsewhere"
+
+    def test_threads_have_independent_stacks(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            with tracer.span("run", "eval"):
+                parents = []
+
+                def worker():
+                    with tracer.span("example", "e") as span:
+                        parents.append(span.parent_id)
+
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        # The worker thread's stack is empty, so without an explicit
+        # parent its span is a root — never a child of another thread.
+        assert parents == [""]
+
+    def test_span_attrs_set_and_inc(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            with tracer.span("stage", "generate") as span:
+                span.set("excl_s", 0.5)
+                span.inc("cache_generate_hit")
+                span.inc("cache_generate_hit")
+        (line,) = read_lines(path)
+        assert line["attrs"] == {"excl_s": 0.5, "cache_generate_hit": 2}
+
+    def test_concurrent_writes_one_line_each(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        with Tracer(path) as tracer:
+            def worker(i):
+                for j in range(50):
+                    with tracer.span("stage", f"s{i}-{j}"):
+                        pass
+
+            threads = [threading.Thread(target=worker, args=(i,))
+                       for i in range(4)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        lines = read_lines(path)
+        assert len(lines) == 200
+        assert len({line["span"] for line in lines}) == 200
+
+
+class TestNullTracer:
+    def test_disabled_and_silent(self):
+        assert not NULL_TRACER.enabled
+        assert NULL_TRACER.path is None
+        with NULL_TRACER.span("run", "eval") as span:
+            span.set("k", 1)
+            span.inc("n")
+        NULL_TRACER.flush()
+        NULL_TRACER.close()
+
+
+class TestConfiguration:
+    def teardown_method(self):
+        configure_trace_dir(None)
+
+    def test_unconfigured_build_returns_null(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        configure_trace_dir(None)
+        assert build_tracer() is NULL_TRACER
+
+    def test_env_variable_enables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        assert resolved_trace_dir() == tmp_path
+        tracer = build_tracer()
+        try:
+            assert tracer.enabled
+            assert tracer.path.parent == tmp_path
+        finally:
+            tracer.close()
+
+    def test_flag_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "env"))
+        configure_trace_dir(tmp_path / "flag")
+        assert resolved_trace_dir() == tmp_path / "flag"
+
+    def test_fresh_file_per_build(self, tmp_path):
+        configure_trace_dir(tmp_path)
+        a, b = build_tracer(), build_tracer()
+        try:
+            assert a.path != b.path
+        finally:
+            a.close()
+            b.close()

@@ -30,6 +30,31 @@ class TestParser:
         assert args.seed == 7
         assert args.train_per_db == 30
 
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["experiment", "table1", "--trace-dir", "traces", "--progress"]
+        )
+        assert args.trace_dir == "traces"
+        assert args.progress is True
+        args = build_parser().parse_args(["experiment", "t", "--no-progress"])
+        assert args.progress is False
+        args = build_parser().parse_args(["experiment", "t"])
+        assert args.trace_dir is None and args.progress is None
+
+    def test_progress_flags_mutually_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["experiment", "t", "--progress", "--no-progress"]
+            )
+
+    def test_trace_args(self):
+        args = build_parser().parse_args(
+            ["trace", "summary", "traces/", "--top", "5"]
+        )
+        assert args.action == "summary"
+        assert args.trace == "traces/"
+        assert args.top == 5
+
 
 class TestCommands:
     def test_models(self, capsys):
@@ -106,6 +131,59 @@ class TestCommands:
         assert main(["validate", str(tmp_path)]) == 0
         out = capsys.readouterr().out
         assert "all gold queries parse" in out
+
+    def test_compare_with_trace_dir_then_trace_commands(self, tmp_path,
+                                                        capsys):
+        trace_dir = tmp_path / "traces"
+        code = main([
+            "compare", "gpt-4:CR_P", "gpt-3.5-turbo:CR_P",
+            "--fast", "--limit", "6", "--no-progress",
+            "--trace-dir", str(trace_dir),
+        ])
+        from repro.obs.trace import configure_trace_dir
+
+        configure_trace_dir(None)  # don't leak into other tests
+        assert code == 0
+        assert list(trace_dir.glob("trace-*.jsonl"))
+        capsys.readouterr()
+
+        assert main(["trace", "summary", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "stage" in out
+        assert "generate" in out
+        assert "hardness" in out
+
+        assert main(["trace", "slowest", str(trace_dir), "--top", "3"]) == 0
+        assert "dur" in capsys.readouterr().out
+
+        assert main(["trace", "errors", str(trace_dir)]) == 0
+        assert "no errored examples" in capsys.readouterr().out
+
+        assert main(["trace", "export", str(trace_dir), "--prometheus"]) == 0
+        exported = capsys.readouterr().out
+        from repro.obs.metrics import parse_prometheus
+
+        assert parse_prometheus(exported)
+
+    def test_trace_export_to_file(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(json_module.dumps({
+            "v": TRACE_SCHEMA_VERSION, "kind": "example", "name": "e1",
+            "span": "1", "parent": "", "t0": 0.0, "dur_s": 0.1,
+            "attrs": {"cell": "c"},
+        }) + "\n")
+        out_file = tmp_path / "metrics.prom"
+        assert main(["trace", "export", str(trace), "--prometheus",
+                     "-o", str(out_file)]) == 0
+        assert "repro_examples_total" in out_file.read_text()
+
+    def test_trace_missing_path_errors(self, tmp_path, capsys):
+        assert main(["trace", "summary", str(tmp_path / "nope")]) == 1
+        assert "error:" in capsys.readouterr().err
 
     def test_validate_detects_problems(self, tmp_path, capsys):
         assert main([
