@@ -337,12 +337,247 @@ def instrumentation_overhead(latency_s=0.02, limit=None, smoke=False,
     return overhead, base_grid, instr_grid
 
 
+def chaos_resilience(workers=4, latency_s=0.002, limit=None, rate=0.1,
+                     seed=7, kill_at=6):
+    """Resilience drill: a grid sweep under a deterministic fault profile.
+
+    Four checks, all on the same 4-config grid with ``rate`` (default
+    10%) fault injection across the LLM, database and disk-cache sites:
+
+    1. **No crashed cells** — every cell completes with a full report;
+       injected faults surface as per-record errors or silent retries,
+       never unhandled exceptions.  Serial (workers=1) and parallel
+       sweeps produce byte-identical records (the fault schedule is a
+       pure function of content, not thread timing).
+    2. **Fault visibility** — every injected fault is counted in the
+       run registry (``repro_faults_injected_total`` by site/kind).
+    3. **Corrupt-artifact recovery** — a second pass over the same disk
+       cache (whose writes the chaos tier truncated) quarantines the
+       corrupt artifacts, recomputes, and still replays byte-identical
+       records.
+    4. **Kill-and-resume** — the sweep is interrupted after ``kill_at``
+       examples (graceful drain → journal checkpoint → partial report),
+       then resumed from the journal; the resumed reports are
+       byte-identical to an uninterrupted run.
+
+    Returns the (serial, parallel) grids of check 1.
+    """
+    import tempfile
+
+    from dataclasses import asdict
+    from pathlib import Path
+
+    from repro.cache.store import build_cache
+    from repro.eval.engine import GridRunner
+    from repro.eval.harness import BenchmarkRunner
+    from repro.obs.metrics import (
+        M_CACHE_CORRUPT,
+        M_FAULTS_INJECTED,
+        M_JOURNAL_SKIPPED,
+        MetricsRegistry,
+    )
+    from repro.resilience import ChaosPolicy, InterruptController
+
+    policy = ChaosPolicy.uniform(rate, seed=seed)
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+    configs = _grid_configs()
+
+    def chaos_runner(cache_dir=None):
+        cache = build_cache(disk_dir=cache_dir) if cache_dir else None
+        return BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool(), seed=1,
+            llm_latency_s=latency_s, cache=cache, chaos=policy,
+        )
+
+    def records_of(grid):
+        return [[asdict(r) for r in report.records] for report in grid]
+
+    try:
+        # 1. serial == parallel under injection, zero crashed cells.
+        registry = MetricsRegistry()
+        serial = GridRunner(chaos_runner(), workers=1,
+                            registry=registry).sweep(configs, limit=limit)
+        parallel = GridRunner(chaos_runner(), workers=workers).sweep(
+            configs, limit=limit
+        )
+        if records_of(serial) != records_of(parallel):
+            raise AssertionError(
+                "chaos records diverge between workers=1 and "
+                f"workers={workers}: the fault schedule is not deterministic"
+            )
+        for report in serial:
+            if report.partial or not len(report):
+                raise AssertionError(f"cell {report.label!r} crashed or "
+                                     "came back partial under chaos")
+        errored = sum(r.error_count for r in serial)
+
+        # 2. every injected fault is visible in the metrics registry.
+        faults = registry.counter_series(M_FAULTS_INJECTED)
+        fault_sites = {labels["site"] for labels, _ in faults}
+        injected = int(sum(value for _, value in faults))
+        if not injected or not {"llm", "db"} <= fault_sites:
+            raise AssertionError(
+                f"expected visible llm+db faults at rate {rate}, "
+                f"got {faults}"
+            )
+
+        # 3. corrupt disk artifacts are quarantined and recomputed.
+        with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+            cache_dir = Path(tmp) / "cache"
+            cold = GridRunner(chaos_runner(cache_dir), workers=1).sweep(
+                configs, limit=limit
+            )
+            warm_registry = MetricsRegistry()
+            warm = GridRunner(chaos_runner(cache_dir), workers=1,
+                              registry=warm_registry).sweep(
+                configs, limit=limit
+            )
+            if records_of(cold) != records_of(warm):
+                raise AssertionError(
+                    "records diverge after corrupt-artifact recovery"
+                )
+            quarantined = int(warm_registry.counter_value(M_CACHE_CORRUPT))
+
+            # 4. kill after `kill_at` examples, checkpoint, resume.
+            journal = Path(tmp) / "run.jsonl"
+            controller = InterruptController()
+            ticks = {"n": 0}
+
+            def kill_switch(event):
+                ticks["n"] += 1
+                if ticks["n"] == kill_at:
+                    controller.request_stop()
+
+            interrupted = GridRunner(
+                chaos_runner(), workers=workers, progress=kill_switch,
+                interrupt=controller,
+            ).sweep(configs, limit=limit, journal_path=str(journal))
+            if not any(report.partial for report in interrupted):
+                raise AssertionError(
+                    f"kill at {kill_at} examples left no partial report"
+                )
+            resume_registry = MetricsRegistry()
+            resumed = GridRunner(
+                chaos_runner(), workers=workers, registry=resume_registry,
+            ).sweep(configs, limit=limit, resume_from=str(journal))
+            if records_of(resumed) != records_of(serial):
+                raise AssertionError(
+                    "resumed records diverge from the uninterrupted run"
+                )
+            if any(report.partial for report in resumed):
+                raise AssertionError("resumed reports still flagged partial")
+            skipped = int(resume_registry.counter_value(M_JOURNAL_SKIPPED))
+            if not skipped:
+                raise AssertionError("resume replayed nothing from the journal")
+    finally:
+        corpus.close()
+
+    examples = sum(len(report) for report in serial)
+    print(f"chaos grid: {len(configs)} configs x "
+          f"{examples // len(configs)} examples at {rate:.0%} fault rate "
+          f"(seed {seed})")
+    print(f"faults injected: {injected} across sites "
+          f"{sorted(fault_sites)}; {errored} recorded errors, 0 crashes")
+    print(f"serial == parallel: True; corrupt artifacts quarantined: "
+          f"{quarantined}")
+    print(f"kill at {kill_at} + resume: byte-identical, "
+          f"{skipped} examples replayed from journal")
+    return serial, parallel
+
+
+def breaker_drill(failure_threshold=3, cooldown_s=30.0):
+    """Exercise the full circuit-breaker state machine on a scripted API.
+
+    Natural breaker trips need ``failure_threshold`` *consecutive*
+    retryable failures — improbable at smoke fault rates — so this
+    drill scripts the transport: fail until the breaker opens, verify
+    fail-fast while open, advance a fake clock past the cooldown, and
+    let the half-open probe succeed.  Asserts the closed → open →
+    half-open → closed cycle really happened (open and half-open
+    transitions each >= 1) and that fail-fast never reached the wire.
+    """
+    from repro.errors import CircuitOpenError, ModelError
+    from repro.llm.api_client import ApiLLMClient, RetryPolicy, TransportError
+    from repro.obs.metrics import M_LLM_CIRCUIT, MetricsRegistry
+    from repro.prompt.builder import PromptBuilder
+    from repro.prompt.organization import get_organization
+    from repro.prompt.representation import get_representation
+    from repro.resilience import HALF_OPEN, OPEN, CircuitBreaker
+
+    corpus = build_corpus(
+        CorpusConfig(seed=1, train_per_db=4, dev_per_db=2,
+                     domains=["pets_1", "orchestra_hall"])
+    )
+    try:
+        builder = PromptBuilder(get_representation("CR_P"),
+                                get_organization("FI_O"))
+        schema = corpus.dev.schema(corpus.dev.db_ids()[0])
+        prompt = builder.build(schema, "How many singers are there?")
+    finally:
+        corpus.close()
+
+    clock = {"now": 0.0}
+    breaker = CircuitBreaker(failure_threshold=failure_threshold,
+                             cooldown_s=cooldown_s,
+                             clock=lambda: clock["now"])
+    registry = MetricsRegistry()
+    outcomes = {"healthy": False, "calls": 0}
+
+    def transport(request):
+        outcomes["calls"] += 1
+        if not outcomes["healthy"]:
+            raise TransportError("server error")
+        return {"choices": [{"message": {"content": "SELECT count(*)"}}]}
+
+    client = ApiLLMClient(
+        model_id="gpt-4", transport=transport, breaker=breaker,
+        retry=RetryPolicy(max_attempts=1), sleep=lambda _: None,
+    )
+    client.metrics = registry
+
+    # Consecutive failures trip the breaker open.
+    for _ in range(failure_threshold):
+        try:
+            client.generate(prompt)
+        except ModelError:
+            pass
+    assert breaker.state == OPEN, f"breaker not open: {breaker.state}"
+
+    # While open, calls fail fast without touching the transport.
+    wire_calls = outcomes["calls"]
+    try:
+        client.generate(prompt)
+        raise AssertionError("open breaker let a call through")
+    except CircuitOpenError:
+        pass
+    assert outcomes["calls"] == wire_calls, "fail-fast reached the wire"
+
+    # Past the cooldown, one half-open probe succeeds and closes it.
+    clock["now"] += cooldown_s + 1.0
+    outcomes["healthy"] = True
+    assert breaker.state == HALF_OPEN
+    client.generate(prompt)
+    assert breaker.state_code == 0, "probe success did not close the breaker"
+
+    opens = breaker.transition_count(OPEN)
+    probes = breaker.transition_count(HALF_OPEN)
+    if opens < 1 or probes < 1:
+        raise AssertionError(
+            f"breaker cycle incomplete: {breaker.transitions}"
+        )
+    gauge = registry.gauge_value(M_LLM_CIRCUIT, {"model": "gpt-4"})
+    print(f"breaker drill: {opens} open, {probes} half-open transitions; "
+          f"fail-fast blocked at the client; circuit gauge now {gauge:.0f} "
+          "(closed)")
+    return breaker
+
+
 def main(argv=None):
     import argparse
 
     parser = argparse.ArgumentParser(
         description="evaluation-engine speedup + artifact-cache replay "
-                    "+ instrumentation-overhead checks"
+                    "+ instrumentation-overhead + chaos-resilience checks"
     )
     parser.add_argument("--smoke", action="store_true",
                         help="exit non-zero if parallel is slower than serial, "
@@ -355,14 +590,29 @@ def main(argv=None):
     parser.add_argument("--artifacts-dir", default=None,
                         help="keep trace JSONL + Prometheus snapshot from the "
                              "instrumentation check in this directory")
+    parser.add_argument("--chaos-only", action="store_true",
+                        help="run only the chaos-resilience and breaker "
+                             "drills (the CI chaos-smoke job)")
+    parser.add_argument("--chaos-rate", type=float, default=0.1,
+                        help="fault-injection rate for the resilience drill")
+    parser.add_argument("--chaos-seed", type=int, default=7,
+                        help="seed of the drill's fault schedule")
     args = parser.parse_args(argv)
-    engine_speedup(workers=args.workers, latency_s=args.latency,
-                   limit=args.limit, smoke=args.smoke)
+    if not args.chaos_only:
+        engine_speedup(workers=args.workers, latency_s=args.latency,
+                       limit=args.limit, smoke=args.smoke)
+        print()
+        cache_roundtrip(latency_s=args.latency, limit=args.limit,
+                        smoke=args.smoke)
+        print()
+        instrumentation_overhead(latency_s=args.latency, limit=args.limit,
+                                 smoke=args.smoke,
+                                 artifacts_dir=args.artifacts_dir)
+        print()
+    chaos_resilience(workers=args.workers, limit=args.limit,
+                     rate=args.chaos_rate, seed=args.chaos_seed)
     print()
-    cache_roundtrip(latency_s=args.latency, limit=args.limit, smoke=args.smoke)
-    print()
-    instrumentation_overhead(latency_s=args.latency, limit=args.limit,
-                             smoke=args.smoke, artifacts_dir=args.artifacts_dir)
+    breaker_drill()
     return 0
 
 

@@ -50,20 +50,49 @@ class DiskTier:
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        # Optional MetricsRegistry (forwarded by ArtifactCache.set_metrics).
+        self._metrics = None
+
+    def set_metrics(self, registry) -> None:
+        self._metrics = registry
 
     def _entry_path(self, stage: str, digest: str) -> Path:
         return self.root / stage / digest[:2] / f"{digest}.json"
 
     def get(self, stage: str, digest: str):
-        """The stored value, or the missing sentinel on any failure."""
+        """The stored value, or the missing sentinel on any failure.
+
+        Unreadable entries — torn writes, disk corruption — are
+        quarantined (renamed to ``*.corrupt``) rather than left in
+        place, so the parse is not re-attempted on every later access;
+        the caller recomputes once and the fresh write replaces the
+        entry.
+        """
         path = self._entry_path(stage, digest)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
+            return _MISSING
+        try:
+            payload = json.loads(text)
+            if not isinstance(payload, dict):
+                raise ValueError("artifact payload is not a JSON object")
+        except ValueError:
+            self._quarantine(path, stage)
             return _MISSING
         if payload.get("schema") != CACHE_SCHEMA_VERSION:
             return _MISSING
         return payload.get("value")
+
+    def _quarantine(self, path: Path, stage: str) -> None:
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            return
+        if self._metrics is not None:
+            from ..obs.metrics import M_CACHE_CORRUPT
+
+            self._metrics.counter_add(M_CACHE_CORRUPT, 1, {"stage": stage})
 
     def put(self, stage: str, digest: str, value) -> bool:
         """Write one entry atomically; returns False on any failure."""
@@ -119,6 +148,11 @@ class DiskTier:
                 try:
                     path.unlink()
                     removed += 1
+                except OSError:
+                    pass
+            for path in list(stage_dir.rglob("*.corrupt")):
+                try:
+                    path.unlink()
                 except OSError:
                     pass
             for shard in sorted(stage_dir.rglob("*"), reverse=True):
@@ -193,8 +227,11 @@ class ArtifactCache:
         self._metrics = None
 
     def set_metrics(self, registry) -> None:
-        """Attach a metrics registry recording per-tier cache events."""
+        """Attach a metrics registry recording per-tier cache events
+        (forwarded to the disk tier for quarantine/fault counters)."""
         self._metrics = registry
+        if self.disk is not None and hasattr(self.disk, "set_metrics"):
+            self.disk.set_metrics(registry)
 
     def _count_event(self, stage: str, event: str, count: int = 1) -> None:
         if self._metrics is None or count == 0:

@@ -30,6 +30,16 @@ warm, generation-free replay.  They also accept ``--trace-dir DIR``
 (``REPRO_TRACE_DIR``) to stream a per-run span tree for ``dail-sql
 trace``, and ``--progress`` / ``--no-progress`` to force the live
 stderr status line on or off (default: shown on a terminal).
+
+Resilience flags (same commands): ``--journal PATH`` checkpoints every
+completed example to a JSONL run journal, ``--resume`` restarts an
+interrupted sweep from that journal (skipped examples are replayed from
+the checkpoint, so the final report is byte-identical to an
+uninterrupted run), and ``--chaos RATE`` / ``--chaos-seed N`` inject a
+deterministic fault schedule — transient API errors, locked databases,
+corrupt cache artifacts — for resilience drills.  Ctrl-C once drains
+in-flight work, checkpoints, and writes a report flagged ``partial``;
+Ctrl-C twice aborts immediately.
 """
 
 from __future__ import annotations
@@ -78,6 +88,36 @@ def _apply_progress(args: argparse.Namespace) -> None:
         set_default_progress(progress)
 
 
+def _apply_resilience(args: argparse.Namespace) -> None:
+    """Honour ``--journal``/``--resume``/``--chaos`` and install the
+    two-stage SIGINT handler (first Ctrl-C drains and checkpoints,
+    second aborts)."""
+    from .errors import ExperimentError
+    from .experiments.context import set_default_chaos, set_default_journal
+    from .resilience.interrupt import default_controller
+
+    journal = getattr(args, "journal", None)
+    resume = bool(getattr(args, "resume", False))
+    if resume and journal is None:
+        raise ExperimentError("--resume requires --journal PATH")
+    if journal is not None:
+        set_default_journal(journal, resume=resume)
+    chaos_rate = getattr(args, "chaos", None)
+    if chaos_rate is not None:
+        from .resilience.chaos import ChaosPolicy
+
+        if not 0.0 <= chaos_rate <= 1.0:
+            raise ExperimentError(
+                f"--chaos rate must be in [0, 1], got {chaos_rate}"
+            )
+        set_default_chaos(
+            ChaosPolicy.uniform(
+                chaos_rate, seed=getattr(args, "chaos_seed", 0)
+            )
+        )
+    default_controller().install()
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
 
@@ -85,6 +125,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_trace(args)
     _apply_progress(args)
+    _apply_resilience(args)
     result = run_experiment(args.artifact, fast=args.fast, limit=args.limit)
     print(result.render())
     return 0
@@ -97,6 +138,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_trace(args)
     _apply_progress(args)
+    _apply_resilience(args)
     for result in run_all(fast=args.fast, limit=args.limit):
         print(result.render())
         print()
@@ -138,6 +180,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_trace(args)
     _apply_progress(args)
+    _apply_resilience(args)
     context = get_context(fast=args.fast)
 
     def parse_config(spec: str) -> RunConfig:
@@ -220,6 +263,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_trace(args)
     _apply_progress(args)
+    _apply_resilience(args)
     path = write_report(
         args.output, fast=args.fast, limit=args.limit,
         include_supplementary=not args.paper_only,
@@ -407,6 +451,29 @@ def build_parser() -> argparse.ArgumentParser:
             help="suppress the live status line (default follows the TTY)",
         )
 
+    def add_resilience_flags(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--journal", default=None, metavar="PATH",
+            help="checkpoint completed records to this JSONL journal; "
+                 "an interrupted sweep can then restart with --resume",
+        )
+        sub_parser.add_argument(
+            "--resume", action="store_true",
+            help="resume from the --journal file: already-journaled "
+                 "examples are skipped, the report is byte-identical to "
+                 "an uninterrupted run",
+        )
+        sub_parser.add_argument(
+            "--chaos", type=float, default=None, metavar="RATE",
+            help="inject deterministic faults (transient API errors, "
+                 "locked databases, corrupt cache artifacts) at this "
+                 "per-decision rate in [0,1] — a seeded resilience drill",
+        )
+        sub_parser.add_argument(
+            "--chaos-seed", type=int, default=0, metavar="N",
+            help="seed of the --chaos fault schedule (same seed, same faults)",
+        )
+
     p_exp = sub.add_parser("experiment", help="run one paper table/figure")
     p_exp.add_argument("artifact", help="e.g. table1, figure4")
     p_exp.add_argument("--fast", action="store_true")
@@ -414,6 +481,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--workers", type=int, default=None, help=workers_help)
     p_exp.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_exp)
+    add_resilience_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
     p_all = sub.add_parser("experiments", help="run every paper artifact")
@@ -422,6 +490,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--workers", type=int, default=None, help=workers_help)
     p_all.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_all)
+    add_resilience_flags(p_all)
     p_all.set_defaults(func=_cmd_experiments)
 
     p_gen = sub.add_parser("generate", help="write the synthetic corpus")
@@ -447,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--workers", type=int, default=None, help=workers_help)
     p_cmp.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_cmp)
+    add_resilience_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
     p_ask = sub.add_parser("ask", help="run DAIL-SQL on one question")
@@ -476,6 +546,7 @@ def build_parser() -> argparse.ArgumentParser:
                           help=workers_help)
     p_report.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_report)
+    add_resilience_flags(p_report)
     p_report.set_defaults(func=_cmd_report)
 
     p_models = sub.add_parser("models", help="list model profiles")

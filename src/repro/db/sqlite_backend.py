@@ -162,7 +162,17 @@ class Database:
             cursor = self._conn.execute(sql)
             rows = cursor.fetchmany(max_rows + 1)
         except sqlite3.Error as exc:
-            raise ExecutionError(f"execution failed: {exc}") from exc
+            # A locked/busy database is a retryable condition, not a bad
+            # query — flag it so resilience wrappers can tell the two
+            # apart (SQLITE_BUSY / SQLITE_LOCKED surface as
+            # OperationalError with these message fragments).
+            message = str(exc)
+            transient = isinstance(exc, sqlite3.OperationalError) and (
+                "locked" in message or "busy" in message
+            )
+            raise ExecutionError(
+                f"execution failed: {exc}", transient=transient
+            ) from exc
         finally:
             self._conn.set_progress_handler(None, 0)
             if self.metrics is not None:

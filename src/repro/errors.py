@@ -36,7 +36,17 @@ class DatasetError(ReproError):
 
 
 class ExecutionError(ReproError):
-    """Raised when a query cannot be executed against a database."""
+    """Raised when a query cannot be executed against a database.
+
+    Attributes:
+        transient: whether the failure is plausibly temporary (a locked
+            or busy database) and a retry could succeed, as opposed to a
+            deterministic failure (bad SQL, missing table).
+    """
+
+    def __init__(self, message: str, transient: bool = False):
+        super().__init__(message)
+        self.transient = transient
 
 
 class PromptError(ReproError):
@@ -46,6 +56,14 @@ class PromptError(ReproError):
 
 class ModelError(ReproError):
     """Raised for unknown model ids or invalid generation requests."""
+
+
+class CircuitOpenError(ModelError):
+    """Raised when a generation is refused because the LLM client's
+    circuit breaker is open: the backend failed repeatedly just now, so
+    the client fails fast instead of burning a full retry/backoff cycle
+    per example.  Callers treat it like any other isolated failure (the
+    engine records it with ``error_class == "CircuitOpenError"``)."""
 
 
 class EvaluationError(ReproError):

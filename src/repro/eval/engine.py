@@ -32,12 +32,21 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import ExitStack
+from dataclasses import asdict
 from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..dataset.spider import Example
 from ..errors import EvaluationError
-from ..obs.metrics import M_INFLIGHT, MetricsRegistry
+from ..obs.metrics import (
+    M_DEADLINE_EXCEEDED,
+    M_INFLIGHT,
+    M_INTERRUPTIONS,
+    M_JOURNAL_SKIPPED,
+    MetricsRegistry,
+)
 from ..obs.trace import build_tracer
+from ..resilience.interrupt import InterruptController
+from ..resilience.journal import RunJournal, journal_cell_key
 from .harness import BenchmarkRunner, RunConfig, RunPlan
 from .metrics import EvalReport, PredictionRecord
 from .telemetry import ProgressEvent, TelemetryCollector
@@ -66,7 +75,18 @@ def _error_record(example: Example, exc: BaseException) -> PredictionRecord:
         completion_tokens=0,
         n_examples=0,
         error=f"{type(exc).__name__}: {exc}",
+        error_class=type(exc).__name__,
     )
+
+
+def _record_from_journal(stored: dict) -> Optional[PredictionRecord]:
+    """A journaled record dict as a ``PredictionRecord``, or ``None``
+    when the dict doesn't fit the current schema (a journal written by a
+    different library version) — the example is then just recomputed."""
+    try:
+        return PredictionRecord(**stored)
+    except TypeError:
+        return None
 
 
 class EvalEngine:
@@ -86,6 +106,16 @@ class EvalEngine:
             cell (private per run when omitted).  Pass the same
             instance to a :class:`~repro.obs.progress.ProgressReporter`
             for live stage quantiles, or export it after the run.
+        journal: run journal completed records stream to; journaled
+            examples are skipped (``--resume``) instead of recomputed.
+        interrupt: stop controller for graceful draining — when its
+            flag is set, in-flight examples finish, queued ones are
+            skipped and the reports come back ``partial=True``.
+        example_deadline_s: per-example wall-clock budget.  Overruns
+            are *observed* (counter + span attribute), not preempted —
+            a Python worker thread cannot be safely killed mid-stage.
+        run_deadline_s: whole-run wall-clock budget; once exceeded the
+            remaining units are skipped and the reports are partial.
     """
 
     def __init__(
@@ -95,6 +125,10 @@ class EvalEngine:
         progress: Optional[ProgressCallback] = None,
         tracer=None,
         registry: Optional[MetricsRegistry] = None,
+        journal: Optional[RunJournal] = None,
+        interrupt: Optional[InterruptController] = None,
+        example_deadline_s: Optional[float] = None,
+        run_deadline_s: Optional[float] = None,
     ):
         if workers < 1:
             raise EvaluationError(f"workers must be >= 1, got {workers}")
@@ -103,6 +137,10 @@ class EvalEngine:
         self.progress = progress
         self.tracer = tracer
         self.registry = registry
+        self.journal = journal
+        self.interrupt = interrupt
+        self.example_deadline_s = example_deadline_s
+        self.run_deadline_s = run_deadline_s
 
     # -- public API --------------------------------------------------------
 
@@ -120,6 +158,7 @@ class EvalEngine:
         configs: Sequence[RunConfig],
         limit: Optional[int] = None,
         n_samples: Union[int, Sequence[int]] = 1,
+        journal: Optional[RunJournal] = None,
     ) -> List[EvalReport]:
         """Evaluate several configurations over one worker pool.
 
@@ -128,11 +167,15 @@ class EvalEngine:
             limit: evaluate only the first ``limit`` examples of each.
             n_samples: self-consistency sample count — one int for all
                 configs, or a per-config sequence.
+            journal: per-call journal override (defaults to the
+                engine's own — see :class:`EvalEngine`).
 
         Returns:
             One report per config, in input order; record order within
             each report matches dataset order exactly (parallel runs are
-            byte-identical to serial ones).
+            byte-identical to serial ones).  A report is flagged
+            ``partial=True`` when a stop request or the run deadline
+            skipped some of its scheduled examples.
 
         Raises:
             EvaluationError: on misconfiguration of a whole config
@@ -179,10 +222,62 @@ class EvalEngine:
         progress_lock = threading.Lock()
         cell_span_ids = [""] * len(plans)
 
+        journal = journal if journal is not None else self.journal
+        cell_keys = (
+            [journal_cell_key(plan, self.runner) for plan in plans]
+            if journal is not None
+            else None
+        )
+        run_start = time.perf_counter()
+        run_deadline = (
+            run_start + self.run_deadline_s
+            if self.run_deadline_s is not None
+            else None
+        )
+        halted = {"interrupted": False, "deadline": False}
+
+        def tick(plan: RunPlan, example: Example, record: PredictionRecord):
+            if self.progress is None:
+                return
+            with progress_lock:
+                done_box["n"] += 1
+                event = ProgressEvent(
+                    done=done_box["n"],
+                    total=total,
+                    label=plan.config.resolved_label(),
+                    example_id=example.example_id,
+                    error=record.error,
+                )
+            self.progress(event)
+
         def evaluate(unit) -> None:
             ci, ei = unit
             plan, example = plans[ci], examples[ei]
             collector = collectors[ci]
+            if self.interrupt is not None and self.interrupt.stop_requested():
+                # Graceful drain: leave the slot empty; the report for
+                # this cell comes back partial.
+                halted["interrupted"] = True
+                return
+            if run_deadline is not None and time.perf_counter() > run_deadline:
+                halted["deadline"] = True
+                registry.counter_add(
+                    M_DEADLINE_EXCEEDED, 1,
+                    {**collector.labels, "scope": "run"},
+                )
+                return
+            if journal is not None:
+                stored = journal.lookup(cell_keys[ci], example.example_id)
+                if stored is not None:
+                    record = _record_from_journal(stored)
+                    if record is not None:
+                        registry.counter_add(
+                            M_JOURNAL_SKIPPED, 1, collector.labels
+                        )
+                        collector.example_done(0.0, error=bool(record.error))
+                        slots[ci][ei] = record
+                        tick(plan, example, record)
+                        return
             registry.gauge_add(M_INFLIGHT, 1)
             start = time.perf_counter()
             try:
@@ -200,27 +295,36 @@ class EvalEngine:
                     span.set("hardness", record.hardness)
                     span.set("prompt_tokens", record.prompt_tokens)
                     if record.error:
-                        span.set("error_class", record.error.split(":", 1)[0])
+                        span.set(
+                            "error_class",
+                            record.error_class
+                            or record.error.split(":", 1)[0],
+                        )
                         span.set("error", record.error)
+                    if (
+                        self.example_deadline_s is not None
+                        and time.perf_counter() - start
+                        > self.example_deadline_s
+                    ):
+                        span.set("deadline_exceeded", True)
+                        registry.counter_add(
+                            M_DEADLINE_EXCEEDED, 1,
+                            {**collector.labels, "scope": "example"},
+                        )
             finally:
                 registry.gauge_add(M_INFLIGHT, -1)
             collector.example_done(
                 time.perf_counter() - start, error=bool(record.error)
             )
             slots[ci][ei] = record
-            if self.progress is not None:
-                with progress_lock:
-                    done_box["n"] += 1
-                    event = ProgressEvent(
-                        done=done_box["n"],
-                        total=total,
-                        label=plan.config.resolved_label(),
-                        example_id=example.example_id,
-                        error=record.error,
-                    )
-                self.progress(event)
+            if journal is not None:
+                journal.append(
+                    cell_keys[ci], example.example_id, asdict(record)
+                )
+            tick(plan, example, record)
 
-        start = time.perf_counter()
+        start = run_start
+        run_span = None
         with ExitStack() as scope:
             if tracer.enabled:
                 if own_tracer:
@@ -257,13 +361,22 @@ class EvalEngine:
                     # list() drains the iterator so worker exceptions (none are
                     # expected — evaluate() isolates them) propagate here.
                     list(pool.map(evaluate, units))
+            if halted["interrupted"]:
+                registry.counter_add(M_INTERRUPTIONS, 1)
+                if run_span is not None:
+                    run_span.set("interrupted", True)
+            if halted["deadline"] and run_span is not None:
+                run_span.set("deadline_exceeded", True)
         wall_clock = time.perf_counter() - start
 
         reports = []
         for ci, plan in enumerate(plans):
             report = EvalReport(label=plan.config.resolved_label())
             for record in slots[ci]:
-                report.add(record)
+                if record is not None:
+                    report.add(record)
+            # Empty slots are the footprint of a drain/deadline skip.
+            report.partial = any(record is None for record in slots[ci])
             report.telemetry = collectors[ci].freeze(
                 self.workers, wall_clock, trace_file=trace_file
             )
@@ -379,10 +492,16 @@ class GridRunner:
         progress: Optional[ProgressCallback] = None,
         tracer=None,
         registry: Optional[MetricsRegistry] = None,
+        journal: Optional[RunJournal] = None,
+        interrupt: Optional[InterruptController] = None,
+        example_deadline_s: Optional[float] = None,
+        run_deadline_s: Optional[float] = None,
     ):
         self.engine = EvalEngine(
             runner, workers=workers, progress=progress,
-            tracer=tracer, registry=registry,
+            tracer=tracer, registry=registry, journal=journal,
+            interrupt=interrupt, example_deadline_s=example_deadline_s,
+            run_deadline_s=run_deadline_s,
         )
 
     @property
@@ -394,13 +513,37 @@ class GridRunner:
         configs: Sequence[RunConfig],
         limit: Optional[int] = None,
         n_samples: Union[int, Sequence[int]] = 1,
+        journal_path=None,
+        resume_from=None,
     ) -> GridResult:
         """Evaluate every config over the shared worker pool.
+
+        Args:
+            configs / limit / n_samples: see :meth:`EvalEngine.run_many`.
+            journal_path: checkpoint completed records to this JSONL
+                file (truncating any previous journal there).
+            resume_from: path of an existing journal — its records are
+                replayed (examples skipped) and new ones appended.
+                Implies journaling to the same file.
 
         Raises:
             EvaluationError: on config-level misconfiguration (see
                 :meth:`EvalEngine.run_many`).
         """
         configs = list(configs)
-        reports = self.engine.run_many(configs, limit=limit, n_samples=n_samples)
+        journal = self.engine.journal
+        owns_journal = False
+        if resume_from is not None:
+            journal = RunJournal(resume_from, resume=True)
+            owns_journal = True
+        elif journal_path is not None:
+            journal = RunJournal(journal_path, resume=False)
+            owns_journal = True
+        try:
+            reports = self.engine.run_many(
+                configs, limit=limit, n_samples=n_samples, journal=journal
+            )
+        finally:
+            if owns_journal:
+                journal.close()
         return GridResult(configs, reports)

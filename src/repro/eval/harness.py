@@ -116,7 +116,9 @@ class RunPlan:
 
     config: RunConfig
     builder: PromptBuilder
-    llm: SimulatedLLM
+    #: The configured LLM client — a :class:`SimulatedLLM` normally, or
+    #: a chaos wrapper when the runner has a fault policy attached.
+    llm: object
     strategy: Optional[SelectionStrategy]
     n_samples: int = 1
 
@@ -138,6 +140,13 @@ class BenchmarkRunner:
             a disk tier when ``REPRO_CACHE_DIR`` (or ``--cache-dir``)
             is configured; pass an explicit instance to share artifacts
             between runners or to isolate a benchmark's cold pass.
+        chaos: optional :class:`~repro.resilience.chaos.ChaosPolicy`.
+            When set, the database pool, every built LLM and the cache's
+            disk tier (if any) are wrapped in deterministic fault
+            injectors; artifacts and journal cells are keyed under the
+            policy's fingerprint so chaos runs never contaminate clean
+            ones.  The shared LLM circuit breaker is exposed as
+            :attr:`breaker`.
     """
 
     def __init__(
@@ -148,17 +157,33 @@ class BenchmarkRunner:
         seed: int = 0,
         llm_latency_s: float = 0.0,
         cache: Optional[ArtifactCache] = None,
+        chaos=None,
     ):
         self.eval_dataset = eval_dataset
         self.candidates = candidates
-        self.pool = pool
         self.seed = seed
         self.llm_latency_s = llm_latency_s
         self.oracle = GoldOracle(eval_dataset)
         if candidates is not None:
             self.oracle.add_dataset(candidates)
         self.cache = cache if cache is not None else build_cache()
-        self.pipeline = EvalPipeline(eval_dataset, candidates, pool, self.cache)
+        self.chaos = chaos
+        self.breaker = None
+        self.pool = pool
+        if chaos is not None:
+            from ..resilience.breaker import CircuitBreaker
+            from ..resilience.chaos import ChaoticDiskTier, ChaoticPool
+
+            self.pool = ChaoticPool(pool, chaos)
+            # One breaker shared by every LLM this runner builds, so
+            # consecutive failures across grid cells accumulate the way
+            # they would against one real backend.
+            self.breaker = CircuitBreaker()
+            if self.cache.disk is not None:
+                self.cache.disk = ChaoticDiskTier(self.cache.disk.root, chaos)
+        self.pipeline = EvalPipeline(
+            eval_dataset, candidates, self.pool, self.cache
+        )
         self._selections: Dict[str, SelectionStrategy] = {}
         self._selection_lock = threading.Lock()
 
@@ -185,13 +210,18 @@ class BenchmarkRunner:
 
     # -- generation helpers ---------------------------------------------------
 
-    def _build_llm(self, config: RunConfig) -> SimulatedLLM:
-        return make_llm(
+    def _build_llm(self, config: RunConfig):
+        llm = make_llm(
             config.model,
             self.oracle,
             sft_state=config.sft_state,
             latency_s=self.llm_latency_s,
         )
+        if self.chaos is not None:
+            from ..resilience.chaos import ChaoticLLMClient
+
+            llm = ChaoticLLMClient(llm, self.chaos, breaker=self.breaker)
+        return llm
 
     # -- plan construction -------------------------------------------------------
 

@@ -22,7 +22,9 @@ class PredictionRecord:
 
     ``error`` is non-empty when the example's pipeline raised and was
     isolated by the engine; errored records score as wrong on both
-    metrics but never abort a sweep.
+    metrics but never abort a sweep.  ``error_class`` is the raising
+    exception's type name — the structured counterpart of the formatted
+    ``error`` string, so trace grouping and report tallies agree.
     """
 
     example_id: str
@@ -38,6 +40,7 @@ class PredictionRecord:
     completion_tokens: int
     n_examples: int
     error: str = ""
+    error_class: str = ""
 
 
 @dataclass
@@ -48,6 +51,9 @@ class EvalReport:
     label: str = ""
     #: Timing/throughput profile, attached by the evaluation engine.
     telemetry: Optional[RunTelemetry] = None
+    #: True when the run was cut short (SIGINT drain, run deadline):
+    #: some scheduled examples are missing from ``records``.
+    partial: bool = False
 
     def add(self, record: PredictionRecord) -> None:
         self.records.append(record)
@@ -119,6 +125,7 @@ class EvalReport:
         return EvalReport(
             records=self.records + other.records,
             label=self.label or other.label,
+            partial=self.partial or other.partial,
         )
 
     # -- token statistics -----------------------------------------------------
@@ -158,6 +165,21 @@ class EvalReport:
     @property
     def error_count(self) -> int:
         return sum(1 for r in self.records if r.error)
+
+    def error_classes(self) -> Dict[str, int]:
+        """Tally of errored records by structured exception class.
+
+        Records written before ``error_class`` existed fall back to the
+        prefix of the formatted ``error`` string (same convention the
+        trace viewer uses), so old persisted reports group identically.
+        """
+        out: Dict[str, int] = {}
+        for record in self.records:
+            if not record.error:
+                continue
+            name = record.error_class or record.error.split(":", 1)[0]
+            out[name] = out.get(name, 0) + 1
+        return dict(sorted(out.items()))
 
     def summary(self) -> Dict[str, object]:
         """Flat dict for tabulation/serialisation."""

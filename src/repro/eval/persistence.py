@@ -25,11 +25,13 @@ from .telemetry import RunTelemetry
 #: v2 added the per-record ``error`` field and the ``telemetry`` block;
 #: v3 added ``telemetry.trace_file`` — the JSONL trace the run streamed
 #: spans to ("" when tracing was off), so ``dail-sql trace`` can find a
-#: persisted run's trace later.
-FORMAT_VERSION = 3
+#: persisted run's trace later; v4 added the report-level ``partial``
+#: flag (interrupted/deadline-cut runs), the per-record ``error_class``
+#: and the telemetry ``journal_skipped``/``deadline_exceeded`` counters.
+FORMAT_VERSION = 4
 
 #: Versions :func:`report_from_dict` can still read.
-SUPPORTED_VERSIONS = (1, 2, 3)
+SUPPORTED_VERSIONS = (1, 2, 3, 4)
 
 
 def report_to_dict(report: EvalReport) -> Dict:
@@ -37,6 +39,7 @@ def report_to_dict(report: EvalReport) -> Dict:
     payload = {
         "version": FORMAT_VERSION,
         "label": report.label,
+        "partial": report.partial,
         "records": [asdict(record) for record in report.records],
     }
     if report.telemetry is not None:
@@ -48,8 +51,9 @@ def report_from_dict(payload: Dict) -> EvalReport:
     """Rebuild a report from :func:`report_to_dict` output.
 
     Reads current-format files as well as v1 (predates the ``error``
-    field and run telemetry) and v2 (predates the telemetry
-    ``trace_file`` pointer, which defaults to "") files.
+    field and run telemetry), v2 (predates the telemetry ``trace_file``
+    pointer) and v3 (predates the ``partial`` flag and ``error_class``)
+    files — the missing fields take their dataclass defaults.
 
     Raises:
         EvaluationError: on version mismatch or malformed payloads.
@@ -71,7 +75,12 @@ def report_from_dict(payload: Dict) -> EvalReport:
             telemetry = RunTelemetry(**payload["telemetry"])
         except TypeError as exc:
             raise EvaluationError(f"malformed telemetry payload: {exc}") from exc
-    return EvalReport(records=records, label=label, telemetry=telemetry)
+    return EvalReport(
+        records=records,
+        label=label,
+        telemetry=telemetry,
+        partial=bool(payload.get("partial", False)),
+    )
 
 
 def save_report(report: EvalReport, path: Union[str, Path]) -> Path:

@@ -74,6 +74,11 @@ class RunTelemetry:
         trace_file: path of the JSONL trace this run streamed spans to
             ("" when tracing was off); persisted with the report so
             ``dail-sql trace`` can find the run's trace later.
+        journal_skipped: examples replayed from a resume journal instead
+            of being recomputed (0 outside ``--resume`` runs).
+        deadline_exceeded: deadline overruns observed for this cell —
+            examples exceeding the per-example budget plus units skipped
+            because the run budget expired.
     """
 
     workers: int = 1
@@ -85,6 +90,8 @@ class RunTelemetry:
     cache_hits: Dict[str, int] = field(default_factory=dict)
     cache_misses: Dict[str, int] = field(default_factory=dict)
     trace_file: str = ""
+    journal_skipped: int = 0
+    deadline_exceeded: int = 0
 
     @property
     def utilization(self) -> float:
@@ -323,6 +330,18 @@ class TelemetryCollector:
                 "are double-counting",
                 busy_s, capacity, workers, wall_clock_s,
             )
+        from ..obs.metrics import M_DEADLINE_EXCEEDED, M_JOURNAL_SKIPPED
+
+        journal_skipped = 0
+        for _, value in self.registry.counter_series(
+            M_JOURNAL_SKIPPED, self.labels
+        ):
+            journal_skipped += int(value)
+        deadline_exceeded = 0
+        for _, value in self.registry.counter_series(
+            M_DEADLINE_EXCEEDED, self.labels
+        ):
+            deadline_exceeded += int(value)
         return RunTelemetry(
             workers=workers,
             wall_clock_s=wall_clock_s,
@@ -333,6 +352,8 @@ class TelemetryCollector:
             cache_hits=cache_hits,
             cache_misses=cache_misses,
             trace_file=trace_file,
+            journal_skipped=journal_skipped,
+            deadline_exceeded=deadline_exceeded,
         )
 
 

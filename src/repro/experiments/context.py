@@ -58,6 +58,57 @@ def default_workers() -> int:
 #: Tri-state progress policy: None = auto (stderr is a terminal).
 _DEFAULT_PROGRESS: Optional[bool] = None
 
+#: Chaos policy applied to runners built by :func:`get_context`
+#: (``--chaos``); ``None`` = clean runs.
+_DEFAULT_CHAOS = None
+
+#: Journal configuration for sweeps (``--journal`` / ``--resume``):
+#: (path, resume) plus the lazily-built process-wide journal, shared so
+#: consecutive sweeps of one invocation append to one file instead of
+#: re-truncating it.
+_JOURNAL_PATH: Optional[str] = None
+_JOURNAL_RESUME: bool = False
+_JOURNAL = None
+
+
+def set_default_chaos(policy) -> None:
+    """Apply a :class:`~repro.resilience.chaos.ChaosPolicy` to every
+    subsequently built context (the CLI's ``--chaos`` flag).  Cached
+    contexts are dropped: their runners were built without the policy.
+    """
+    global _DEFAULT_CHAOS
+    _DEFAULT_CHAOS = policy
+    clear_cache()
+
+
+def default_chaos():
+    """The active chaos policy, or ``None`` for clean runs."""
+    return _DEFAULT_CHAOS
+
+
+def set_default_journal(path: Optional[str], resume: bool = False) -> None:
+    """Configure run journaling for subsequent sweeps (the CLI's
+    ``--journal``/``--resume`` flags).  ``None`` disables it."""
+    global _JOURNAL_PATH, _JOURNAL_RESUME, _JOURNAL
+    if _JOURNAL is not None:
+        _JOURNAL.close()
+    _JOURNAL_PATH = path
+    _JOURNAL_RESUME = resume
+    _JOURNAL = None
+
+
+def configured_journal():
+    """The process-wide :class:`~repro.resilience.journal.RunJournal`
+    (built lazily from the configured path), or ``None``."""
+    global _JOURNAL
+    if _JOURNAL_PATH is None:
+        return None
+    if _JOURNAL is None:
+        from ..resilience.journal import RunJournal
+
+        _JOURNAL = RunJournal(_JOURNAL_PATH, resume=_JOURNAL_RESUME)
+    return _JOURNAL
+
 
 def set_default_progress(enabled: Optional[bool]) -> None:
     """Force the live progress line on/off (``None`` restores auto)."""
@@ -111,7 +162,11 @@ class ExperimentContext:
         utilization, stage quantiles, cache hit rate — renders on
         stderr while the sweep runs.
         """
+        from ..resilience.interrupt import default_controller
+
         workers = default_workers()
+        journal = configured_journal()
+        interrupt = default_controller()
         if progress_enabled():
             from ..obs.metrics import MetricsRegistry
             from ..obs.progress import ProgressReporter
@@ -122,12 +177,26 @@ class ExperimentContext:
                 grid_runner = GridRunner(
                     runner or self.runner, workers=workers,
                     progress=reporter, registry=registry,
+                    journal=journal, interrupt=interrupt,
                 )
-                return grid_runner.sweep(
+                result = grid_runner.sweep(
                     configs, limit=limit, n_samples=n_samples
                 )
-        grid_runner = GridRunner(runner or self.runner, workers=workers)
-        return grid_runner.sweep(configs, limit=limit, n_samples=n_samples)
+        else:
+            grid_runner = GridRunner(
+                runner or self.runner, workers=workers,
+                journal=journal, interrupt=interrupt,
+            )
+            result = grid_runner.sweep(
+                configs, limit=limit, n_samples=n_samples
+            )
+        if any(report.partial for report in result):
+            print(
+                "note: sweep stopped early — reports are partial "
+                "(resume with --journal PATH --resume)",
+                file=sys.stderr,
+            )
+        return result
 
     def derived_runner(
         self,
@@ -159,7 +228,7 @@ def get_context(fast: bool = False) -> ExperimentContext:
     if context is None:
         corpus = build_corpus(FAST_CONFIG if fast else FULL_CONFIG)
         runner = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(),
-                                 seed=BENCHMARK_SEED)
+                                 seed=BENCHMARK_SEED, chaos=_DEFAULT_CHAOS)
         context = ExperimentContext(corpus=corpus, runner=runner)
         _CACHE[fast] = context
     return context

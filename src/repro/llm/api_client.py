@@ -20,7 +20,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from ..errors import ModelError
+from ..errors import CircuitOpenError, ModelError
 from ..prompt.builder import Prompt
 from ..tokenizer.counter import count_tokens
 from ..utils.rng import stable_unit
@@ -89,6 +89,15 @@ class ApiLLMClient:
             sample tags, which map to distinct request seeds.
         retry: retry/backoff policy.
         sleep: injectable sleep function (tests pass a stub).
+        breaker: optional shared
+            :class:`~repro.resilience.breaker.CircuitBreaker`.  When it
+            is open, :meth:`generate` raises
+            :class:`~repro.errors.CircuitOpenError` *before* touching
+            the transport — one fast errored record per example instead
+            of a full retry/backoff cycle against a dead backend.
+        deadline_s: per-call wall-clock budget.  The adapter refuses to
+            start a backoff sleep that cannot complete inside the
+            budget and fails the call instead.
     """
 
     model_id: str
@@ -103,6 +112,10 @@ class ApiLLMClient:
     #: Optional MetricsRegistry (attached by the engine, never fingerprinted):
     #: request latency, retry counts and token histograms.
     metrics: Optional[object] = None
+    #: Optional CircuitBreaker shared across clients of one backend.
+    breaker: Optional[object] = None
+    #: Optional per-call wall-clock deadline in seconds.
+    deadline_s: Optional[float] = None
 
     # -- request construction ------------------------------------------------
 
@@ -163,9 +176,17 @@ class ApiLLMClient:
         """Send the request, retrying on transient failures.
 
         Raises:
-            ModelError: when retries are exhausted or the failure is not
-                retryable.
+            CircuitOpenError: immediately, when the attached circuit
+                breaker is open (fail-fast; no transport call is made).
+            ModelError: when retries are exhausted, the failure is not
+                retryable, or the call deadline is exceeded.
         """
+        if self.breaker is not None and not self.breaker.allow():
+            self._set_circuit_gauge()
+            raise CircuitOpenError(
+                f"circuit open for {self.model_id}: backend failed "
+                f"repeatedly, failing fast"
+            )
         request = self.build_request(prompt, sample_tag)
         # Per-request jitter salt: concurrent workers retrying different
         # prompts back off by different (but reproducible) amounts.
@@ -179,11 +200,23 @@ class ApiLLMClient:
                 last_error = exc
                 if not exc.retryable:
                     raise ModelError(f"API call failed: {exc}") from exc
+                self._record_breaker(success=False)
                 if attempt + 1 < self.retry.max_attempts:
                     self._count_retry()
                     wait = exc.retry_after
                     if wait is None:
                         wait = self.retry.delay(attempt, salt=salt)
+                    else:
+                        # A hostile/buggy Retry-After header must not be
+                        # able to stall a worker beyond the policy cap.
+                        wait = min(wait, self.retry.max_delay)
+                    if self.deadline_s is not None and (
+                        time.perf_counter() - start + wait > self.deadline_s
+                    ):
+                        raise ModelError(
+                            f"API call deadline ({self.deadline_s:.1f}s) "
+                            f"exceeded after {attempt + 1} attempts: {exc}"
+                        ) from exc
                     self.sleep(wait)
                 continue
             text = self.parse_response(response)
@@ -196,11 +229,30 @@ class ApiLLMClient:
                 ),
                 model_id=self.model_id,
             )
+            self._record_breaker(success=True)
             self._observe_success(result, time.perf_counter() - start)
             return result
         raise ModelError(
             f"API call failed after {self.retry.max_attempts} attempts: "
             f"{last_error}"
+        )
+
+    def _record_breaker(self, success: bool) -> None:
+        if self.breaker is None:
+            return
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+        self._set_circuit_gauge()
+
+    def _set_circuit_gauge(self) -> None:
+        if self.metrics is None or self.breaker is None:
+            return
+        from ..obs.metrics import M_LLM_CIRCUIT
+
+        self.metrics.gauge_set(
+            M_LLM_CIRCUIT, self.breaker.state_code, {"model": self.model_id}
         )
 
     def _count_retry(self) -> None:

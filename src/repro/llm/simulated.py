@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..dataset.spider import Example
 from ..prompt.builder import Prompt
@@ -66,11 +66,15 @@ class SimulatedLLM:
         oracle: GoldOracle,
         sft_state: Optional["SFTState"] = None,
         latency_s: float = 0.0,
+        sleep: Callable[[float], None] = time.sleep,
     ):
         self.profile = profile
         self.oracle = oracle
         self.sft_state = sft_state
         self.latency_s = latency_s
+        #: Injectable like ApiLLMClient's: resilience drills run
+        #: latency-bearing configs without paying wall-clock for them.
+        self.sleep = sleep
         #: Optional MetricsRegistry; the engine attaches the run's registry
         #: so request latency and token histograms land in run metrics.
         self.metrics = None
@@ -246,7 +250,7 @@ class SimulatedLLM:
 
     def _generate(self, prompt: Prompt, sample_tag: str = "") -> GenerationResult:
         if self.latency_s > 0:
-            time.sleep(self.latency_s)
+            self.sleep(self.latency_s)
         gold = self.oracle.lookup(prompt.db_id, prompt.question)
         sft_tag = self.sft_state.tag if self.sft_state is not None else ""
         if gold is None:
@@ -344,6 +348,7 @@ def make_llm(
     oracle: GoldOracle,
     sft_state: Optional["SFTState"] = None,
     latency_s: float = 0.0,
+    sleep: Callable[[float], None] = time.sleep,
 ) -> SimulatedLLM:
     """Convenience constructor from a model id.
 
@@ -351,7 +356,8 @@ def make_llm(
         ModelError: for unknown model ids.
     """
     return SimulatedLLM(
-        get_profile(model_id), oracle, sft_state=sft_state, latency_s=latency_s
+        get_profile(model_id), oracle, sft_state=sft_state,
+        latency_s=latency_s, sleep=sleep,
     )
 
 

@@ -39,6 +39,12 @@ M_LLM_PROMPT_TOKENS = "repro_llm_prompt_tokens"
 M_LLM_COMPLETION_TOKENS = "repro_llm_completion_tokens"
 M_DB_EXECUTE = "repro_db_execute_seconds"
 M_DB_CONNECTIONS = "repro_db_connections"
+M_LLM_CIRCUIT = "repro_llm_circuit_state"
+M_FAULTS_INJECTED = "repro_faults_injected_total"
+M_JOURNAL_SKIPPED = "repro_journal_skipped_total"
+M_CACHE_CORRUPT = "repro_cache_corrupt_total"
+M_DEADLINE_EXCEEDED = "repro_deadline_exceeded_total"
+M_INTERRUPTIONS = "repro_interruptions_total"
 
 #: Fixed latency buckets (seconds): sub-millisecond pipeline stages up
 #: to multi-second remote API calls.

@@ -1,0 +1,41 @@
+"""Resilience layer: journaled resumable sweeps, deterministic fault
+injection, circuit breaking, and graceful interruption.
+
+Re-exports are lazy (module ``__getattr__``) because the dependency
+graph is circular by design: ``llm.api_client`` uses the breaker, while
+``resilience.chaos`` wraps LLM clients and therefore imports from
+``llm``.  Lazy resolution lets either side import the other's submodule
+without forcing the whole package at import time.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "CircuitBreaker": "breaker",
+    "CLOSED": "breaker",
+    "OPEN": "breaker",
+    "HALF_OPEN": "breaker",
+    "STATE_CODES": "breaker",
+    "ChaosPolicy": "chaos",
+    "ChaoticLLMClient": "chaos",
+    "ChaoticPool": "chaos",
+    "ChaoticDiskTier": "chaos",
+    "LLM_FAULT_KINDS": "chaos",
+    "RunJournal": "journal",
+    "journal_cell_key": "journal",
+    "JOURNAL_VERSION": "journal",
+    "InterruptController": "interrupt",
+    "default_controller": "interrupt",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    module_name = _EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    module = importlib.import_module(f".{module_name}", __name__)
+    return getattr(module, name)

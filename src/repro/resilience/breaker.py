@@ -1,0 +1,156 @@
+"""The circuit breaker: fail fast when a backend is persistently down.
+
+A long grid against a dead or rate-starved API without a breaker pays
+the *full* retry/backoff cycle for every single example — minutes of
+sleeping per cell to learn the same fact over and over.  The breaker
+turns that into one fast ``CircuitOpenError`` per example while the
+backend is down, then probes its way back once the cooldown elapses.
+
+State machine (the classic three states)::
+
+                 N consecutive retryable failures
+      CLOSED ───────────────────────────────────────► OPEN
+        ▲                                              │
+        │ probe succeeds                 cooldown_s    │
+        │                                 elapsed      │
+        └────────────── HALF_OPEN ◄────────────────────┘
+                            │
+                            │ probe fails
+                            └───────────────► OPEN (cooldown re-armed)
+
+``allow()`` answers "may I attempt a request right now?"; callers report
+back through :meth:`record_success` / :meth:`record_failure`.  Only
+*retryable* failures should be recorded — a bad API key is not evidence
+that the next request will fail transiently.
+
+The clock is injectable so tests (and the deterministic chaos harness)
+drive transitions without sleeping.  Every transition is appended to
+:attr:`CircuitBreaker.transitions`, which the chaos smoke gate asserts
+on ("open and half-open were exercised at least once").
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Tuple
+
+#: State names and their numeric gauge encoding (``llm.circuit_state``).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+STATE_CODES = {CLOSED: 0, OPEN: 1, HALF_OPEN: 2}
+
+
+class CircuitBreaker:
+    """Thread-safe three-state circuit breaker.
+
+    Args:
+        failure_threshold: consecutive retryable failures that trip the
+            circuit from closed to open.
+        cooldown_s: seconds the circuit stays open before a half-open
+            probe is allowed.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        #: Every (from_state, to_state) transition, in order.
+        self.transitions: List[Tuple[str, str]] = []
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """Current state name, cooldown expiry applied."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def state_code(self) -> int:
+        """Numeric encoding for the ``repro_llm_circuit_state`` gauge."""
+        return STATE_CODES[self.state]
+
+    def transition_count(self, to_state: str) -> int:
+        """How many transitions entered ``to_state`` so far."""
+        with self._lock:
+            return sum(1 for _, to in self.transitions if to == to_state)
+
+    def _transition(self, to_state: str) -> None:
+        # Lock held by caller.
+        if self._state == to_state:
+            return
+        self.transitions.append((self._state, to_state))
+        self._state = to_state
+
+    def _maybe_half_open(self) -> None:
+        # Lock held by caller.
+        if (
+            self._state == OPEN
+            and self.clock() - self._opened_at >= self.cooldown_s
+        ):
+            self._transition(HALF_OPEN)
+            self._probe_in_flight = False
+
+    # -- the protocol --------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Whether a request may be attempted right now.
+
+        Closed: always.  Open: only once the cooldown has elapsed (the
+        call itself performs the open → half-open transition).
+        Half-open: one probe at a time — the first caller gets ``True``
+        and becomes the probe; others fail fast until it reports back.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN:
+                if self._probe_in_flight:
+                    return False
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A request succeeded: close the circuit, reset the failure run."""
+        with self._lock:
+            self._consecutive_failures = 0
+            self._probe_in_flight = False
+            if self._state != CLOSED:
+                self._transition(CLOSED)
+
+    def record_failure(self) -> None:
+        """A *retryable* request failure: extend the failure run; trip
+        open at the threshold.  A half-open probe failing re-opens and
+        re-arms the cooldown immediately."""
+        with self._lock:
+            self._consecutive_failures += 1
+            self._probe_in_flight = False
+            if self._state == HALF_OPEN:
+                self._opened_at = self.clock()
+                self._transition(OPEN)
+            elif (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._opened_at = self.clock()
+                self._transition(OPEN)

@@ -1,0 +1,356 @@
+"""Deterministic fault injection for the evaluation substrate.
+
+The engine promises to *isolate* failures — a dead API call, a locked
+database, a corrupt cache entry become errored records, never crashed
+runs.  This module makes those promises testable by injecting exactly
+those failures on a seeded, content-keyed schedule:
+
+- :class:`ChaoticLLMClient` wraps any ``LLMClient`` and simulates the
+  transient failures an :class:`~repro.llm.api_client.ApiLLMClient`
+  would see — retryable API errors, rate limits with ``retry_after``,
+  timeouts — plus truncated (malformed) completions.
+- :class:`ChaoticPool` wraps a :class:`~repro.db.sqlite_backend.DatabasePool`
+  and injects transient locked-database :class:`ExecutionError`\\ s.
+- :class:`ChaoticDiskTier` wraps the cache's disk tier and corrupts a
+  fraction of written artifacts, exercising the quarantine path.
+
+Every fault decision is a *pure function* of content — ``(chaos seed,
+site, stable key, attempt index)`` through :func:`~repro.utils.rng.stable_unit`
+— with no cross-call state.  That is the load-bearing property: thread
+scheduling, worker count, resume order, and racing duplicate cache
+computes cannot change which calls fault, so ``workers=1`` and
+``workers=4`` produce byte-identical records and a rerun reproduces the
+same fault schedule exactly.
+
+The circuit breaker attached to a :class:`ChaoticLLMClient` is
+deliberately *observational*: it tracks outcomes and may skip the
+simulated retry loop when it is open and the outcome is already a
+failure (fail-fast), but it never changes what a call returns — record
+determinism survives the order-dependence of breaker state.  True
+request-blocking fail-fast lives in ``ApiLLMClient``.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..cache.keys import stable_digest
+from ..cache.store import DiskTier
+from ..errors import ExecutionError, ModelError
+from ..llm.api_client import RetryPolicy
+from ..llm.interface import GenerationResult, client_fingerprint, sequential_batch
+from ..utils.rng import stable_choice, stable_unit
+from .breaker import CircuitBreaker
+
+#: Fault kinds a simulated API attempt can fail with (labels in
+#: ``repro_faults_injected_total``).
+LLM_FAULT_KINDS = ("api-error", "rate-limit", "timeout")
+
+
+@dataclass(frozen=True)
+class ChaosPolicy:
+    """A seeded fault profile.
+
+    Rates are per-decision probabilities in ``[0, 1]``: ``llm_rate`` is
+    the chance each simulated API *attempt* fails transiently,
+    ``malform_rate`` the chance a successful completion comes back
+    truncated, ``db_rate`` the chance one ``execute()`` call sees a
+    locked database, ``cache_rate`` the chance a disk-tier write is
+    corrupted.  The same (seed, rates) always produce the same faults
+    at the same call sites.
+    """
+
+    seed: int = 0
+    llm_rate: float = 0.0
+    malform_rate: float = 0.0
+    db_rate: float = 0.0
+    cache_rate: float = 0.0
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "ChaosPolicy":
+        """One rate for every site — the CLI's ``--chaos RATE``."""
+        return cls(seed=seed, llm_rate=rate, malform_rate=rate,
+                   db_rate=rate, cache_rate=rate)
+
+    def fingerprint(self) -> str:
+        """Cache/journal identity: chaos runs must never share artifacts
+        with clean runs or with differently-seeded chaos runs."""
+        return stable_digest(
+            "chaos-policy", self.seed, repr(self.llm_rate),
+            repr(self.malform_rate), repr(self.db_rate),
+            repr(self.cache_rate),
+        )
+
+    # -- the schedule --------------------------------------------------------
+
+    def draw(self, rate: float, *key: str) -> bool:
+        """Whether the decision identified by ``key`` faults."""
+        if rate <= 0.0:
+            return False
+        return stable_unit("chaos", str(self.seed), *key) < rate
+
+    def fault_run(self, rate: float, cap: int, *key: str) -> int:
+        """Length of the consecutive-fault run at this site (0..cap).
+
+        Each attempt index draws independently; the run ends at the
+        first success.  With ``cap`` attempts available, a run of
+        ``cap`` means the whole retry budget fails.
+        """
+        n = 0
+        while n < cap and self.draw(rate, *key, str(n)):
+            n += 1
+        return n
+
+
+def _count_fault(metrics, site: str, kind: str) -> None:
+    if metrics is None:
+        return
+    from ..obs.metrics import M_FAULTS_INJECTED
+
+    metrics.counter_add(M_FAULTS_INJECTED, 1, {"site": site, "kind": kind})
+
+
+# -- LLM ----------------------------------------------------------------------
+
+
+@dataclass
+class ChaoticLLMClient:
+    """An ``LLMClient`` that simulates a flaky API in front of ``inner``.
+
+    Each ``generate()`` call draws a consecutive-fault run against the
+    retry budget: shorter runs surface as counted retries (the caller
+    still gets the inner client's result), a run exhausting the budget
+    raises the same ``ModelError`` the real adapter would.  Successful
+    completions may additionally come back truncated mid-text
+    (``malform_rate``), exercising the extractor's garbage tolerance.
+    """
+
+    inner: object  # LLMClient
+    policy: ChaosPolicy
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    breaker: Optional[CircuitBreaker] = None
+    #: Optional MetricsRegistry (attached by the engine, never fingerprinted).
+    metrics: Optional[object] = None
+
+    def __setattr__(self, name, value):
+        # The engine attaches its run registry via ``plan.llm.metrics = ...``;
+        # mirror it onto the wrapped client so inner instrumentation
+        # (request latency, token histograms) keeps flowing.
+        object.__setattr__(self, name, value)
+        if name == "metrics":
+            inner = getattr(self, "inner", None)
+            if inner is not None and hasattr(inner, "metrics"):
+                inner.metrics = value
+
+    @property
+    def model_id(self) -> str:
+        return self.inner.model_id
+
+    def fingerprint(self) -> str:
+        return stable_digest(
+            "chaos-llm", self.policy.fingerprint(),
+            client_fingerprint(self.inner),
+        )
+
+    def generate(self, prompt, sample_tag: str = "") -> GenerationResult:
+        prompt_key = f"{zlib.crc32(prompt.text.encode('utf-8')):08x}"
+        key = ("llm", self.model_id, prompt_key, sample_tag)
+        faults = self.policy.fault_run(
+            self.policy.llm_rate, self.retry.max_attempts, *key
+        )
+        exhausted = faults >= self.retry.max_attempts
+
+        fail_fast = False
+        if self.breaker is not None:
+            # Fail-fast may only *shorten the simulated loop* when the
+            # outcome is already failure; it never changes the outcome.
+            fail_fast = exhausted and not self.breaker.allow()
+
+        kinds = [
+            stable_choice(list(LLM_FAULT_KINDS), *key, "kind", str(attempt))
+            for attempt in range(faults)
+        ]
+        if not fail_fast:
+            for attempt, kind in enumerate(kinds):
+                _count_fault(self.metrics, "llm", kind)
+                if attempt + 1 < self.retry.max_attempts:
+                    self._count_retry()
+        else:
+            _count_fault(self.metrics, "llm", "fail-fast")
+
+        if exhausted:
+            self._record_outcome(success=False)
+            raise ModelError(
+                f"chaos: API call failed after {self.retry.max_attempts} "
+                f"attempts: {kinds[-1]}"
+            )
+
+        result = self.inner.generate(prompt, sample_tag=sample_tag)
+        self._record_outcome(success=True)
+        if self.policy.draw(self.policy.malform_rate, *key, "malform"):
+            _count_fault(self.metrics, "llm", "truncated")
+            result = GenerationResult(
+                text=result.text[: max(1, len(result.text) // 2)],
+                prompt_tokens=result.prompt_tokens,
+                completion_tokens=max(1, result.completion_tokens // 2),
+                model_id=result.model_id,
+            )
+        return result
+
+    def generate_batch(self, prompts: Sequence, sample_tag: str = ""):
+        return sequential_batch(self, prompts, sample_tag=sample_tag)
+
+    def _record_outcome(self, success: bool) -> None:
+        if self.breaker is None:
+            return
+        if success:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+        if self.metrics is not None:
+            from ..obs.metrics import M_LLM_CIRCUIT
+
+            self.metrics.gauge_set(
+                M_LLM_CIRCUIT, self.breaker.state_code,
+                {"model": self.model_id},
+            )
+
+    def _count_retry(self) -> None:
+        if self.metrics is None:
+            return
+        from ..obs.metrics import M_LLM_RETRIES
+
+        self.metrics.counter_add(M_LLM_RETRIES, 1, {"model": self.model_id})
+
+
+# -- database ----------------------------------------------------------------
+
+
+class _ChaoticDatabase:
+    """Per-call proxy over a :class:`~repro.db.sqlite_backend.Database`
+    that injects transient locked-database errors on a content draw
+    keyed by ``(db_id, sql)`` — the same query always faults (or not),
+    regardless of which thread or attempt executes it."""
+
+    def __init__(self, inner, policy: ChaosPolicy, metrics=None):
+        self._inner = inner
+        self._policy = policy
+        self._metrics = metrics
+
+    @property
+    def db_id(self) -> str:
+        return self._inner.db_id
+
+    def execute(self, sql: str, max_rows: Optional[int] = None):
+        if self._policy.draw(self._policy.db_rate, "db", self.db_id, sql):
+            _count_fault(self._metrics, "db", "locked")
+            raise ExecutionError(
+                "chaos: database is locked", transient=True
+            )
+        if max_rows is None:
+            return self._inner.execute(sql)
+        return self._inner.execute(sql, max_rows=max_rows)
+
+    def try_execute(self, sql: str):
+        try:
+            return self.execute(sql)
+        except ExecutionError:
+            return None
+
+    def table_rows(self, table: str):
+        return self.execute(f'SELECT * FROM "{table}"')
+
+    def close(self) -> None:
+        self._inner.close()
+
+
+class ChaoticPool:
+    """A :class:`~repro.db.sqlite_backend.DatabasePool` proxy whose
+    databases inject faults.  Execution artifacts are cached under a
+    chaos-specific fingerprint so faulty results never leak into the
+    clean cache namespace."""
+
+    def __init__(self, inner, policy: ChaosPolicy):
+        self.inner = inner
+        self.policy = policy
+        self._metrics = None
+
+    def set_metrics(self, registry) -> None:
+        self._metrics = registry
+        self.inner.set_metrics(registry)
+
+    def fingerprint(self, db_id: str) -> str:
+        return stable_digest(
+            "chaos-pool", self.policy.fingerprint(),
+            self.inner.fingerprint(db_id),
+        )
+
+    def get(self, db_id: str) -> _ChaoticDatabase:
+        return _ChaoticDatabase(
+            self.inner.get(db_id), self.policy, self._metrics
+        )
+
+    def add(self, schema, rows):
+        self.inner.add(schema, rows)
+        return self.get(schema.db_id)
+
+    def __contains__(self, db_id: str) -> bool:
+        return db_id in self.inner
+
+    def db_ids(self) -> List[str]:
+        return self.inner.db_ids()
+
+    def connection_count(self) -> int:
+        return self.inner.connection_count()
+
+    def close(self) -> None:
+        self.inner.close()
+
+    def __enter__(self) -> "ChaoticPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- disk cache ---------------------------------------------------------------
+
+
+class ChaoticDiskTier(DiskTier):
+    """A disk tier that corrupts a seeded fraction of its writes.
+
+    The write itself succeeds; a draw on the entry digest then truncates
+    the file mid-JSON.  The next ``get`` takes the real quarantine path
+    (rename to ``*.corrupt``, count ``repro_cache_corrupt_total``) and
+    the caller recomputes — records stay byte-identical because stage
+    computations are pure.
+    """
+
+    def __init__(self, root, policy: ChaosPolicy):
+        super().__init__(root)
+        self.policy = policy
+
+    def put(self, stage: str, digest: str, value) -> bool:
+        written = super().put(stage, digest, value)
+        if written and self.policy.draw(
+            self.policy.cache_rate, "cache", stage, digest
+        ):
+            _count_fault(self._metrics, "cache", "truncated")
+            path = self._entry_path(stage, digest)
+            try:
+                data = path.read_text()
+                path.write_text(data[: max(1, len(data) // 2)])
+            except OSError:
+                pass
+        return written
+
+
+__all__ = [
+    "ChaosPolicy",
+    "ChaoticLLMClient",
+    "ChaoticPool",
+    "ChaoticDiskTier",
+    "LLM_FAULT_KINDS",
+]

@@ -1,0 +1,104 @@
+"""Two-stage SIGINT handling for long sweeps.
+
+The first Ctrl-C requests a *graceful* stop: the engine drains in-flight
+examples (their records are journaled like any other), skips everything
+still queued, and returns partial reports flagged ``partial=True``.  The
+second Ctrl-C restores the previous handler behaviour and hard-aborts
+via :class:`KeyboardInterrupt`.
+
+:class:`InterruptController` is the engine-facing half: a thread-safe
+stop flag plus the signal plumbing.  It is fully drivable without
+signals — tests (and the chaos smoke gate) call :meth:`request_stop`
+directly, typically from a progress callback at example K.  ``install``
+degrades to a no-op off the main thread (``signal.signal`` only works
+there), so engines running inside worker threads simply don't get
+Ctrl-C draining — they are never broken by it.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from typing import Optional
+
+
+class InterruptController:
+    """Shared stop flag with optional SIGINT wiring."""
+
+    def __init__(self):
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._signal_count = 0
+        self._previous = None
+        self._installed = False
+
+    # -- flag ----------------------------------------------------------------
+
+    def stop_requested(self) -> bool:
+        return self._stop.is_set()
+
+    def request_stop(self) -> None:
+        """Request a graceful drain (what the first SIGINT does)."""
+        self._stop.set()
+
+    def reset(self) -> None:
+        """Clear the flag so the controller can serve another run."""
+        with self._lock:
+            self._stop.clear()
+            self._signal_count = 0
+
+    # -- signal plumbing -----------------------------------------------------
+
+    def _handle(self, signum, frame) -> None:
+        with self._lock:
+            self._signal_count += 1
+            count = self._signal_count
+        if count == 1:
+            self._stop.set()
+        else:
+            # Second Ctrl-C: the user means it.
+            raise KeyboardInterrupt
+
+    def install(self) -> "InterruptController":
+        """Install the two-stage SIGINT handler (main thread only;
+        silently a no-op elsewhere — the flag still works)."""
+        with self._lock:
+            if self._installed:
+                return self
+            try:
+                self._previous = signal.signal(signal.SIGINT, self._handle)
+                self._installed = True
+            except ValueError:
+                # Not the main thread; stop_requested()/request_stop()
+                # remain fully functional.
+                self._previous = None
+        return self
+
+    def uninstall(self) -> None:
+        with self._lock:
+            if not self._installed:
+                return
+            signal.signal(signal.SIGINT, self._previous or signal.SIG_DFL)
+            self._installed = False
+            self._previous = None
+
+    def __enter__(self) -> "InterruptController":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+
+
+#: Process-wide controller the CLI installs; library callers build their
+#: own so concurrent engines can be drained independently.
+_default: Optional[InterruptController] = None
+_default_lock = threading.Lock()
+
+
+def default_controller() -> InterruptController:
+    """The process-wide controller (created on first use)."""
+    global _default
+    with _default_lock:
+        if _default is None:
+            _default = InterruptController()
+        return _default

@@ -1,0 +1,141 @@
+"""The run journal: a streaming JSONL checkpoint for sweeps.
+
+Every completed :class:`~repro.eval.metrics.PredictionRecord` is
+appended (and flushed) as one JSON line the moment it is computed, keyed
+by a *cell key* — a content fingerprint of everything that shapes the
+record: the config, the LLM client identity, the evaluation dataset, the
+sample count, and the chaos policy if one is active.  A crash, SIGINT or
+deadline therefore loses at most the in-flight examples; ``--resume``
+replays the journal and the engine skips every journaled example,
+producing a report byte-identical to an uninterrupted run (the pipeline
+is a pure function of the same fingerprints, so a replayed record *is*
+the record the rerun would compute).
+
+The format is deliberately dumb:
+
+- line 1: ``{"kind": "header", "version": 1}``
+- then:   ``{"kind": "record", "cell": <key>, "example_id": ..., "record": {...}}``
+
+Unparseable lines — the classic torn last line of a killed process — are
+skipped on load, never fatal.  ``limit`` is *not* part of the cell key:
+records are keyed per example, so resuming with a larger limit reuses
+the completed prefix.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from ..cache.keys import stable_digest
+
+JOURNAL_VERSION = 1
+
+
+def journal_cell_key(plan, runner) -> str:
+    """The content fingerprint journal records of one config cell live
+    under.  Two cells share it exactly when replaying one's records into
+    the other is sound."""
+    from ..llm.interface import client_fingerprint
+
+    parts = [
+        plan.config.fingerprint(),
+        client_fingerprint(plan.llm),
+        runner.eval_dataset.fingerprint(),
+        str(plan.n_samples),
+    ]
+    chaos = getattr(runner, "chaos", None)
+    if chaos is not None:
+        # The LLM fingerprint already carries the chaos identity, but DB
+        # and cache faults change records without touching it — the
+        # whole policy is part of the cell identity.
+        parts.append(chaos.fingerprint())
+    return stable_digest("journal-cell", *parts)
+
+
+class RunJournal:
+    """Append-only JSONL checkpoint of completed records.
+
+    Args:
+        path: the journal file.
+        resume: when True, existing entries are loaded (and kept); when
+            False the file is truncated — a fresh run.
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = False):
+        self.path = Path(path)
+        self.resume = resume
+        self._lock = threading.Lock()
+        self._entries: Dict[Tuple[str, str], dict] = {}
+        if resume:
+            self._load()
+        self.loaded = len(self._entries)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        mode = "a" if resume and self.path.exists() else "w"
+        self._handle = open(self.path, mode)
+        if mode == "w":
+            self._write_line({"kind": "header", "version": JOURNAL_VERSION})
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text()
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail of a killed process
+            if entry.get("kind") != "record":
+                continue
+            cell = entry.get("cell")
+            example_id = entry.get("example_id")
+            record = entry.get("record")
+            if cell is None or example_id is None or not isinstance(record, dict):
+                continue
+            self._entries[(str(cell), str(example_id))] = record
+
+    def _write_line(self, payload: dict) -> None:
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+
+    # -- the protocol --------------------------------------------------------
+
+    def lookup(self, cell: str, example_id: str) -> Optional[dict]:
+        """The journaled record dict for one example, or ``None``."""
+        with self._lock:
+            return self._entries.get((cell, str(example_id)))
+
+    def append(self, cell: str, example_id: str, record: dict) -> None:
+        """Checkpoint one completed record (flushed immediately, so a
+        kill right after loses nothing)."""
+        with self._lock:
+            self._entries[(cell, str(example_id))] = record
+            self._write_line(
+                {
+                    "kind": "record",
+                    "cell": cell,
+                    "example_id": str(example_id),
+                    "record": record,
+                }
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -180,6 +180,81 @@ class TestDiskTier:
         assert DiskTier(tmp_path).stats() == {}
         assert cache.stats() == {}
 
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        """A corrupt artifact is renamed ``*.corrupt``, counted, and the
+        recomputed value overwrites cleanly on the next put."""
+        from repro.obs.metrics import M_CACHE_CORRUPT, MetricsRegistry
+
+        cache = ArtifactCache(disk_dir=tmp_path)
+        digest = cache.key("generate", ("k",))
+        path = tmp_path / "generate" / digest[:2] / f"{digest}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text('{"schema": 1, "value": "SELECT')  # torn write
+        registry = MetricsRegistry()
+        cache.set_metrics(registry)
+
+        value = cache.get_or_compute("generate", ("k",), lambda: "recomputed")
+        assert value == "recomputed"
+        corpse = path.with_suffix(".corrupt")
+        assert corpse.exists()
+        assert corpse.read_text().startswith('{"schema": 1')
+        assert registry.counter_value(
+            M_CACHE_CORRUPT, {"stage": "generate"}
+        ) == 1
+        # The recompute was persisted, so a fresh cache replays it.
+        fresh = ArtifactCache(disk_dir=tmp_path)
+        assert fresh.get_or_compute(
+            "generate", ("k",), lambda: pytest.fail("disk miss")
+        ) == "recomputed"
+
+    def test_non_object_payload_is_quarantined(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        digest = cache.key("gold", ("k",))
+        path = tmp_path / "gold" / digest[:2] / f"{digest}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text('["not", "an", "object"]')
+        assert cache.get_or_compute("gold", ("k",), lambda: "fresh") == "fresh"
+        assert path.with_suffix(".corrupt").exists()
+
+    def test_clear_sweeps_quarantined_files(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        digest = cache.key("generate", ("k",))
+        path = tmp_path / "generate" / digest[:2] / f"{digest}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{ torn")
+        cache.get_or_compute("generate", ("k",), lambda: "v")
+        assert path.with_suffix(".corrupt").exists()
+        cache.clear()
+        assert not path.with_suffix(".corrupt").exists()
+
+    def test_quarantine_without_registry_is_silent(self, tmp_path):
+        cache = ArtifactCache(disk_dir=tmp_path)
+        digest = cache.key("generate", ("k",))
+        path = tmp_path / "generate" / digest[:2] / f"{digest}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{ torn")
+        assert cache.get_or_compute("generate", ("k",), lambda: "v") == "v"
+
+    def test_chaotic_disk_tier_corrupts_then_recovers(self, tmp_path):
+        """End-to-end: a chaos-truncated write is quarantined on read
+        and the caller recomputes the same value."""
+        from repro.resilience import ChaosPolicy, ChaoticDiskTier
+
+        cache = ArtifactCache(disk_dir=tmp_path)
+        cache.disk = ChaoticDiskTier(
+            tmp_path, ChaosPolicy(seed=1, cache_rate=1.0)
+        )
+        cache.get_or_compute("generate", ("k",), lambda: {"sql": "SELECT 1"})
+
+        fresh = ArtifactCache(disk_dir=tmp_path)
+        assert fresh.get_or_compute(
+            "generate", ("k",), lambda: {"sql": "SELECT 1"}
+        ) == {"sql": "SELECT 1"}
+        digest = fresh.key("generate", ("k",))
+        corpse = (tmp_path / "generate" / digest[:2]
+                  / f"{digest}.corrupt")
+        assert corpse.exists()
+
     def test_flush_merges_counter_deltas(self, tmp_path):
         cache = ArtifactCache(disk_dir=tmp_path)
         cache.get_or_compute("gold", ("a",), lambda: 1)

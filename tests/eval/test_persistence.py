@@ -103,8 +103,8 @@ class TestDirectories:
 
 
 class TestVersioning:
-    def test_current_version_is_three(self):
-        assert FORMAT_VERSION == 3
+    def test_current_version_is_four(self):
+        assert FORMAT_VERSION == 4
 
     def test_v1_payload_still_loads(self):
         report = make_report()
@@ -128,17 +128,44 @@ class TestVersioning:
         assert back.telemetry.workers == 2
         assert back.telemetry.trace_file == ""
 
-    def test_v3_persists_trace_file_pointer(self, tmp_path):
+    def test_trace_file_pointer_persists(self, tmp_path):
         from repro.eval.telemetry import RunTelemetry
 
         report = make_report()
         report.telemetry = RunTelemetry(trace_file="/tmp/t/trace-1.jsonl")
         path = save_report(report, tmp_path / "r.json")
         payload = json.loads(path.read_text())
-        assert payload["version"] == 3
+        assert payload["version"] == FORMAT_VERSION
         assert payload["telemetry"]["trace_file"] == "/tmp/t/trace-1.jsonl"
         back = load_report(path)
         assert back.telemetry.trace_file == "/tmp/t/trace-1.jsonl"
+
+    def test_v3_payload_without_partial_still_loads(self):
+        report = make_report()
+        payload = report_to_dict(report)
+        payload["version"] = 3
+        payload.pop("partial")
+        for entry in payload["records"]:
+            entry.pop("error_class")
+        if "telemetry" in payload:
+            payload["telemetry"].pop("journal_skipped", None)
+            payload["telemetry"].pop("deadline_exceeded", None)
+        back = report_from_dict(payload)
+        assert back.partial is False
+        assert all(r.error_class == "" for r in back.records)
+
+    def test_v4_partial_flag_roundtrips(self, tmp_path):
+        report = make_report()
+        report.partial = True
+        report.records[0].error = "ModelError: chaos"
+        report.records[0].error_class = "ModelError"
+        path = save_report(report, tmp_path / "partial.json")
+        payload = json.loads(path.read_text())
+        assert payload["partial"] is True
+        back = load_report(path)
+        assert back.partial is True
+        assert back.records[0].error_class == "ModelError"
+        assert back.error_classes() == {"ModelError": 1}
 
 
 class TestTelemetryAndErrors:

@@ -152,6 +152,127 @@ class TestRetries:
         for attempt in range(6):
             assert policy.delay(attempt, salt="s") <= 25
 
+    def test_retry_after_capped_at_max_delay(self, prompt):
+        """A hostile Retry-After header cannot stall a worker."""
+        sleeps = []
+        transport = RecordingTransport([
+            TransportError("rate limited", retry_after=3600.0),
+            ok_response(),
+        ])
+        client = ApiLLMClient(
+            model_id="gpt-4", transport=transport,
+            retry=RetryPolicy(max_attempts=3, max_delay=30.0),
+            sleep=sleeps.append,
+        )
+        client.generate(prompt)
+        assert sleeps == [30.0]
+
+
+class TestDeadline:
+    def test_deadline_refuses_unaffordable_backoff(self, prompt):
+        """The call fails rather than start a sleep it cannot finish."""
+        sleeps = []
+        transport = RecordingTransport([
+            TransportError("rate limited", retry_after=10.0),
+            ok_response(),
+        ])
+        client = ApiLLMClient(
+            model_id="gpt-4", transport=transport,
+            retry=RetryPolicy(max_attempts=3),
+            sleep=sleeps.append, deadline_s=5.0,
+        )
+        with pytest.raises(ModelError, match="deadline"):
+            client.generate(prompt)
+        assert sleeps == []  # never slept into the overrun
+
+    def test_affordable_backoff_proceeds(self, prompt):
+        sleeps = []
+        transport = RecordingTransport([
+            TransportError("rate limited", retry_after=0.5),
+            ok_response(),
+        ])
+        client = ApiLLMClient(
+            model_id="gpt-4", transport=transport,
+            retry=RetryPolicy(max_attempts=3),
+            sleep=sleeps.append, deadline_s=60.0,
+        )
+        assert client.generate(prompt).text.startswith("SELECT")
+        assert sleeps == [0.5]
+
+
+class TestCircuitBreaker:
+    def make_client(self, transport, breaker):
+        return ApiLLMClient(
+            model_id="gpt-4", transport=transport, breaker=breaker,
+            retry=RetryPolicy(max_attempts=1), sleep=lambda _: None,
+        )
+
+    def test_open_breaker_fails_fast_without_transport_call(self, prompt):
+        from repro.errors import CircuitOpenError
+        from repro.resilience import CircuitBreaker
+
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        transport = RecordingTransport([TransportError("down")] * 2)
+        client = self.make_client(transport, breaker)
+        for _ in range(2):
+            with pytest.raises(ModelError):
+                client.generate(prompt)
+        wire_calls = len(transport.requests)
+        with pytest.raises(CircuitOpenError):
+            client.generate(prompt)
+        assert len(transport.requests) == wire_calls
+
+    def test_half_open_probe_recovers(self, prompt):
+        from repro.resilience import CLOSED, CircuitBreaker
+
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=30.0,
+                                 clock=lambda: clock["now"])
+        transport = RecordingTransport(
+            [TransportError("down")] * 2 + [ok_response()]
+        )
+        client = self.make_client(transport, breaker)
+        for _ in range(2):
+            with pytest.raises(ModelError):
+                client.generate(prompt)
+        clock["now"] = 31.0  # cooldown elapses; the next call is the probe
+        assert client.generate(prompt).text.startswith("SELECT")
+        assert breaker.state == CLOSED
+
+    def test_success_resets_the_failure_run(self, prompt):
+        from repro.resilience import CLOSED, CircuitBreaker
+
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        transport = RecordingTransport([
+            TransportError("blip"), ok_response(),
+            TransportError("blip"), ok_response(),
+        ])
+        client = ApiLLMClient(
+            model_id="gpt-4", transport=transport, breaker=breaker,
+            retry=RetryPolicy(max_attempts=2), sleep=lambda _: None,
+        )
+        client.generate(prompt)
+        client.generate(prompt)
+        assert breaker.state == CLOSED  # interleaved successes kept it closed
+
+    def test_circuit_gauge_tracks_state(self, prompt):
+        from repro.errors import CircuitOpenError
+        from repro.obs.metrics import M_LLM_CIRCUIT, MetricsRegistry
+        from repro.resilience import CircuitBreaker
+
+        registry = MetricsRegistry()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=60.0)
+        client = self.make_client(
+            RecordingTransport([TransportError("down")]), breaker
+        )
+        client.metrics = registry
+        with pytest.raises(ModelError):
+            client.generate(prompt)
+        assert registry.gauge_value(M_LLM_CIRCUIT, {"model": "gpt-4"}) == 1
+        with pytest.raises(CircuitOpenError):
+            client.generate(prompt)
+        assert registry.gauge_value(M_LLM_CIRCUIT, {"model": "gpt-4"}) == 1
+
 
 class TestSampleSeed:
     def test_seed_stable_across_processes(self, prompt):

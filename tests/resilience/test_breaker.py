@@ -1,0 +1,142 @@
+"""Circuit-breaker state machine tests (fake clock, no sleeping)."""
+
+import threading
+
+import pytest
+
+from repro.resilience import CLOSED, HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def breaker(clock):
+    return CircuitBreaker(failure_threshold=3, cooldown_s=10.0, clock=clock)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self, breaker):
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_below_threshold_stays_closed(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_success_resets_failure_run(self, breaker):
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestOpen:
+    def trip(self, breaker):
+        for _ in range(3):
+            breaker.record_failure()
+
+    def test_trips_at_threshold(self, breaker):
+        self.trip(breaker)
+        assert breaker.state == OPEN
+        assert not breaker.allow()
+
+    def test_stays_open_through_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(9.9)
+        assert not breaker.allow()
+        assert breaker.state == OPEN
+
+    def test_half_opens_after_cooldown(self, breaker, clock):
+        self.trip(breaker)
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+
+
+class TestHalfOpen:
+    def probe_ready(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+
+    def test_single_probe_allowed(self, breaker, clock):
+        self.probe_ready(breaker, clock)
+        assert breaker.allow()          # first caller becomes the probe
+        assert not breaker.allow()      # others fail fast meanwhile
+
+    def test_probe_success_closes(self, breaker, clock):
+        self.probe_ready(breaker, clock)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow()
+
+    def test_probe_failure_reopens_and_rearms(self, breaker, clock):
+        self.probe_ready(breaker, clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(9.9)              # cooldown restarted at probe failure
+        assert not breaker.allow()
+        clock.advance(0.1)
+        assert breaker.allow()
+
+
+class TestIntrospection:
+    def test_transitions_recorded_in_order(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.transitions == [
+            (CLOSED, OPEN), (OPEN, HALF_OPEN), (HALF_OPEN, CLOSED)
+        ]
+        assert breaker.transition_count(OPEN) == 1
+        assert breaker.transition_count(HALF_OPEN) == 1
+
+    def test_state_codes_cover_all_states(self, breaker):
+        assert breaker.state_code == STATE_CODES[CLOSED] == 0
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state_code == STATE_CODES[OPEN] == 1
+
+    def test_thread_safety_single_probe(self, breaker, clock):
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        grants = []
+        barrier = threading.Barrier(8)
+
+        def attempt():
+            barrier.wait()
+            if breaker.allow():
+                grants.append(1)
+
+        threads = [threading.Thread(target=attempt) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(grants) == 1

@@ -1,0 +1,238 @@
+"""Deterministic fault-injection tests.
+
+The load-bearing property under test: every fault decision is a pure
+function of content, so the same seed reproduces the same faults and
+worker count cannot change which examples error.
+"""
+
+from dataclasses import asdict
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import ExecutionError, ModelError
+from repro.eval.engine import GridRunner
+from repro.eval.harness import BenchmarkRunner, RunConfig
+from repro.llm.api_client import RetryPolicy
+from repro.llm.interface import GenerationResult
+from repro.obs.metrics import M_FAULTS_INJECTED, MetricsRegistry
+from repro.resilience import (
+    OPEN,
+    ChaosPolicy,
+    ChaoticLLMClient,
+    ChaoticPool,
+    CircuitBreaker,
+)
+
+CHAOS_SEED = 11
+CHAOS_RATE = 0.3
+
+
+class FakeLLM:
+    model_id = "gpt-4"
+
+    def fingerprint(self):
+        return "fake-llm"
+
+    def generate(self, prompt, sample_tag=""):
+        return GenerationResult(
+            text="SELECT count(*) FROM singer", prompt_tokens=10,
+            completion_tokens=8, model_id=self.model_id,
+        )
+
+
+def prompt_of(text="How many singers are there?"):
+    return SimpleNamespace(text=text)
+
+
+class TestPolicy:
+    def test_same_seed_same_schedule(self):
+        a = ChaosPolicy.uniform(0.5, seed=1)
+        b = ChaosPolicy.uniform(0.5, seed=1)
+        keys = [("llm", f"k{i}") for i in range(200)]
+        assert [a.draw(0.5, *k) for k in keys] == [b.draw(0.5, *k) for k in keys]
+
+    def test_different_seed_different_schedule(self):
+        a = ChaosPolicy.uniform(0.5, seed=1)
+        b = ChaosPolicy.uniform(0.5, seed=2)
+        keys = [("llm", f"k{i}") for i in range(200)]
+        assert [a.draw(0.5, *k) for k in keys] != [b.draw(0.5, *k) for k in keys]
+
+    def test_zero_rate_never_faults(self):
+        policy = ChaosPolicy.uniform(0.0, seed=1)
+        assert not any(policy.draw(0.0, "llm", f"k{i}") for i in range(50))
+
+    def test_rate_one_always_faults(self):
+        policy = ChaosPolicy.uniform(1.0, seed=1)
+        assert all(policy.draw(1.0, "llm", f"k{i}") for i in range(50))
+
+    def test_fault_run_stops_at_first_success(self):
+        policy = ChaosPolicy.uniform(0.5, seed=3)
+        run = policy.fault_run(0.5, 10, "llm", "some-key")
+        # Re-deriving the run by hand must agree: attempts 0..run-1
+        # fault, attempt `run` (if within cap) does not.
+        for attempt in range(run):
+            assert policy.draw(0.5, "llm", "some-key", str(attempt))
+        if run < 10:
+            assert not policy.draw(0.5, "llm", "some-key", str(run))
+
+    def test_fingerprint_separates_seeds_and_rates(self):
+        prints = {
+            ChaosPolicy.uniform(0.1, seed=1).fingerprint(),
+            ChaosPolicy.uniform(0.1, seed=2).fingerprint(),
+            ChaosPolicy.uniform(0.2, seed=1).fingerprint(),
+            ChaosPolicy().fingerprint(),
+        }
+        assert len(prints) == 4
+
+
+class TestChaoticLLM:
+    def test_exhausted_budget_raises_model_error(self):
+        client = ChaoticLLMClient(FakeLLM(), ChaosPolicy(seed=1, llm_rate=1.0))
+        with pytest.raises(ModelError, match="chaos: API call failed"):
+            client.generate(prompt_of())
+
+    def test_clean_policy_is_transparent(self):
+        client = ChaoticLLMClient(FakeLLM(), ChaosPolicy())
+        result = client.generate(prompt_of())
+        assert result.text == "SELECT count(*) FROM singer"
+
+    def test_malformed_completion_is_truncated(self):
+        client = ChaoticLLMClient(
+            FakeLLM(), ChaosPolicy(seed=1, malform_rate=1.0)
+        )
+        result = client.generate(prompt_of())
+        full = FakeLLM().generate(prompt_of())
+        assert result.text == full.text[: len(full.text) // 2]
+        assert result.completion_tokens == full.completion_tokens // 2
+
+    def test_faults_counted_by_kind(self):
+        registry = MetricsRegistry()
+        client = ChaoticLLMClient(FakeLLM(), ChaosPolicy(seed=1, llm_rate=1.0))
+        client.metrics = registry
+        with pytest.raises(ModelError):
+            client.generate(prompt_of())
+        counted = registry.counter_value(M_FAULTS_INJECTED, {"site": "llm"})
+        assert counted == RetryPolicy().max_attempts
+
+    def test_breaker_trips_and_fail_fast_keeps_outcome(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=60.0)
+        client = ChaoticLLMClient(
+            FakeLLM(), ChaosPolicy(seed=1, llm_rate=1.0), breaker=breaker
+        )
+        for i in range(4):
+            with pytest.raises(ModelError):
+                client.generate(prompt_of(f"question {i}?"))
+        assert breaker.state == OPEN
+        # Outcomes stayed failures throughout — the breaker only
+        # shortened the simulated loop, never changed a result.
+
+    def test_fingerprint_isolates_chaos_from_clean(self):
+        from repro.llm.interface import client_fingerprint
+
+        chaotic = ChaoticLLMClient(FakeLLM(), ChaosPolicy(seed=1, llm_rate=0.5))
+        assert chaotic.fingerprint() != client_fingerprint(FakeLLM())
+
+    def test_metrics_assignment_mirrors_to_inner(self):
+        class InnerWithMetrics(FakeLLM):
+            metrics = None
+
+        inner = InnerWithMetrics()
+        client = ChaoticLLMClient(inner, ChaosPolicy())
+        registry = MetricsRegistry()
+        client.metrics = registry
+        assert inner.metrics is registry
+
+
+class TestChaoticPool:
+    @pytest.fixture()
+    def pools(self, toy_schema, toy_rows):
+        from repro.db.sqlite_backend import DatabasePool
+
+        inner = DatabasePool()
+        inner.add(toy_schema, toy_rows)
+        chaotic = ChaoticPool(inner, ChaosPolicy(seed=1, db_rate=1.0))
+        yield inner, chaotic
+        inner.close()
+
+    def test_locked_database_is_transient(self, pools):
+        _, chaotic = pools
+        database = chaotic.get("toy_concerts")
+        with pytest.raises(ExecutionError, match="locked") as excinfo:
+            database.execute("SELECT count(*) FROM singer")
+        assert excinfo.value.transient
+        assert database.try_execute("SELECT count(*) FROM singer") is None
+
+    def test_fingerprint_isolates_chaos_namespace(self, pools):
+        inner, chaotic = pools
+        assert chaotic.fingerprint("toy_concerts") != inner.fingerprint(
+            "toy_concerts"
+        )
+
+    def test_clean_policy_passes_through(self, toy_schema, toy_rows):
+        from repro.db.sqlite_backend import DatabasePool
+
+        with DatabasePool() as inner:
+            inner.add(toy_schema, toy_rows)
+            chaotic = ChaoticPool(inner, ChaosPolicy())
+            rows = chaotic.get("toy_concerts").execute(
+                "SELECT count(*) FROM singer"
+            )
+            assert rows == [(3,)]
+
+
+class TestEngineDeterminism:
+    """Same seed ⇒ identical faults; worker count cannot change records."""
+
+    CONFIGS = [
+        RunConfig(model="gpt-4"),
+        RunConfig(model="gpt-3.5-turbo", representation="OD_P"),
+    ]
+
+    def chaos_runner(self, corpus):
+        return BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool(), seed=3,
+            chaos=ChaosPolicy.uniform(CHAOS_RATE, seed=CHAOS_SEED),
+        )
+
+    def records_of(self, grid):
+        return [[asdict(r) for r in report.records] for report in grid]
+
+    def test_serial_equals_parallel(self, corpus):
+        registry = MetricsRegistry()
+        serial = GridRunner(
+            self.chaos_runner(corpus), workers=1, registry=registry
+        ).sweep(self.CONFIGS, limit=6)
+        parallel = GridRunner(self.chaos_runner(corpus), workers=4).sweep(
+            self.CONFIGS, limit=6
+        )
+        assert self.records_of(serial) == self.records_of(parallel)
+        # Faults really were injected and isolated, not crashed on.
+        assert registry.counter_value(M_FAULTS_INJECTED) > 0
+        assert not any(report.partial for report in serial)
+
+    def test_rerun_reproduces_fault_schedule(self, corpus):
+        first = GridRunner(self.chaos_runner(corpus), workers=2).sweep(
+            self.CONFIGS, limit=6
+        )
+        second = GridRunner(self.chaos_runner(corpus), workers=2).sweep(
+            self.CONFIGS, limit=6
+        )
+        assert self.records_of(first) == self.records_of(second)
+
+    def test_errors_carry_structured_class(self, corpus):
+        runner = BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool(), seed=3,
+            chaos=ChaosPolicy(seed=CHAOS_SEED, llm_rate=0.6),
+        )
+        grid = GridRunner(runner, workers=1).sweep(self.CONFIGS, limit=6)
+        errored = [
+            record
+            for report in grid
+            for record in report.records
+            if record.error
+        ]
+        assert errored, "0.6 llm fault rate produced no errored records"
+        assert all(record.error_class for record in errored)
+        classes = {record.error_class for record in errored}
+        assert classes <= {"ModelError", "ExecutionError", "PromptError"}

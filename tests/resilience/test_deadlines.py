@@ -1,0 +1,72 @@
+"""Deadline-budget tests: overruns observed per example, runs halted."""
+
+from repro.eval.engine import GridRunner
+from repro.eval.harness import BenchmarkRunner, RunConfig
+from repro.obs.metrics import M_DEADLINE_EXCEEDED, MetricsRegistry
+
+CONFIGS = [RunConfig(model="gpt-4")]
+
+
+def fresh_runner(corpus, **kwargs):
+    return BenchmarkRunner(
+        corpus.dev, corpus.train, corpus.pool(), seed=3, **kwargs
+    )
+
+
+class TestExampleDeadline:
+    def test_overruns_are_observed_not_preempted(self, corpus):
+        registry = MetricsRegistry()
+        grid = GridRunner(
+            fresh_runner(corpus), workers=1, registry=registry,
+            example_deadline_s=0.0,  # everything overruns
+        ).sweep(CONFIGS, limit=4)
+        # Every record still completed — the deadline observes, it does
+        # not kill work in flight.
+        assert len(grid[0]) == 4
+        assert not grid[0].partial
+        exceeded = registry.counter_value(
+            M_DEADLINE_EXCEEDED, {"scope": "example"}
+        )
+        assert exceeded == 4
+        assert grid[0].telemetry.deadline_exceeded == 4
+
+    def test_generous_deadline_is_silent(self, corpus):
+        registry = MetricsRegistry()
+        grid = GridRunner(
+            fresh_runner(corpus), workers=1, registry=registry,
+            example_deadline_s=3600.0,
+        ).sweep(CONFIGS, limit=4)
+        assert len(grid[0]) == 4
+        assert registry.counter_value(M_DEADLINE_EXCEEDED) == 0
+        assert grid[0].telemetry.deadline_exceeded == 0
+
+
+class TestRunDeadline:
+    def test_expired_budget_halts_and_flags_partial(self, corpus):
+        registry = MetricsRegistry()
+        grid = GridRunner(
+            fresh_runner(corpus), workers=1, registry=registry,
+            run_deadline_s=-1.0,  # already expired when the sweep starts
+        ).sweep(CONFIGS, limit=4)
+        assert grid[0].partial
+        assert len(grid[0]) == 0
+        assert registry.counter_value(
+            M_DEADLINE_EXCEEDED, {"scope": "run"}
+        ) > 0
+
+    def test_latency_without_wall_clock(self, corpus):
+        """The simulated backend's injectable sleep lets latency-bearing
+        deadline drills run instantly (virtual waits, real records)."""
+        waited = []
+        runner = fresh_runner(corpus)
+        plan = runner.prepare(CONFIGS[0])
+        plan.llm.latency_s = 5.0
+        plan.llm.sleep = waited.append
+        result = plan.llm.generate(
+            plan.builder.build(
+                corpus.dev.schema(corpus.dev.examples[0].db_id),
+                corpus.dev.examples[0].question,
+            )
+        )
+        assert result.text
+        assert waited == [5.0]

@@ -1,0 +1,127 @@
+"""Two-stage interruption tests: stop flag, signal plumbing, engine drain."""
+
+import signal
+import threading
+
+import pytest
+
+from repro.eval.engine import GridRunner
+from repro.eval.harness import BenchmarkRunner, RunConfig
+from repro.obs.metrics import M_INTERRUPTIONS, MetricsRegistry
+from repro.resilience import InterruptController
+
+
+class TestStopFlag:
+    def test_starts_clear(self):
+        assert not InterruptController().stop_requested()
+
+    def test_request_and_reset(self):
+        controller = InterruptController()
+        controller.request_stop()
+        assert controller.stop_requested()
+        controller.reset()
+        assert not controller.stop_requested()
+
+    def test_flag_visible_across_threads(self):
+        controller = InterruptController()
+        seen = threading.Event()
+
+        def watcher():
+            while not controller.stop_requested():
+                pass
+            seen.set()
+
+        thread = threading.Thread(target=watcher)
+        thread.start()
+        controller.request_stop()
+        thread.join(timeout=5)
+        assert seen.is_set()
+
+
+class TestTwoStageSignal:
+    def test_first_signal_drains_second_aborts(self):
+        controller = InterruptController()
+        controller._handle(signal.SIGINT, None)
+        assert controller.stop_requested()  # graceful drain requested
+        with pytest.raises(KeyboardInterrupt):
+            controller._handle(signal.SIGINT, None)
+
+    def test_reset_rearms_the_two_stages(self):
+        controller = InterruptController()
+        controller._handle(signal.SIGINT, None)
+        controller.reset()
+        controller._handle(signal.SIGINT, None)  # first again, no raise
+        assert controller.stop_requested()
+
+    def test_install_and_uninstall_restore_handler(self):
+        previous = signal.getsignal(signal.SIGINT)
+        controller = InterruptController()
+        with controller:
+            assert signal.getsignal(signal.SIGINT) == controller._handle
+        assert signal.getsignal(signal.SIGINT) == previous
+
+    def test_install_is_noop_off_main_thread(self):
+        controller = InterruptController()
+        outcome = {}
+
+        def install_elsewhere():
+            controller.install()
+            controller.request_stop()
+            outcome["stopped"] = controller.stop_requested()
+
+        thread = threading.Thread(target=install_elsewhere)
+        thread.start()
+        thread.join(timeout=5)
+        assert outcome["stopped"]  # the flag works without the handler
+        controller.uninstall()     # and uninstall stays a safe no-op
+
+    def test_double_install_is_idempotent(self):
+        previous = signal.getsignal(signal.SIGINT)
+        controller = InterruptController()
+        try:
+            controller.install()
+            controller.install()
+        finally:
+            controller.uninstall()
+        assert signal.getsignal(signal.SIGINT) == previous
+
+
+class TestEngineDrain:
+    CONFIGS = [RunConfig(model="gpt-4"), RunConfig(model="gpt-3.5-turbo")]
+
+    def test_stop_yields_partial_reports(self, corpus):
+        controller = InterruptController()
+        ticks = {"n": 0}
+
+        def kill_early(event):
+            ticks["n"] += 1
+            if ticks["n"] == 3:
+                controller.request_stop()
+
+        registry = MetricsRegistry()
+        grid = GridRunner(
+            BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(), seed=3),
+            workers=1, progress=kill_early, interrupt=controller,
+            registry=registry,
+        ).sweep(self.CONFIGS, limit=6)
+        assert any(report.partial for report in grid)
+        assert sum(len(report) for report in grid) == 3
+        assert registry.counter_value(M_INTERRUPTIONS) == 1
+
+    def test_pre_stopped_controller_skips_everything(self, corpus):
+        controller = InterruptController()
+        controller.request_stop()
+        grid = GridRunner(
+            BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(), seed=3),
+            workers=1, interrupt=controller,
+        ).sweep(self.CONFIGS, limit=4)
+        assert all(report.partial for report in grid)
+        assert all(len(report) == 0 for report in grid)
+
+    def test_no_controller_runs_to_completion(self, corpus):
+        grid = GridRunner(
+            BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(), seed=3),
+            workers=1,
+        ).sweep(self.CONFIGS, limit=4)
+        assert not any(report.partial for report in grid)
+        assert all(len(report) == 4 for report in grid)

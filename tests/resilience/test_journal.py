@@ -1,0 +1,182 @@
+"""Run-journal tests: checkpoint, torn-tail tolerance, kill-and-resume."""
+
+import json
+from dataclasses import asdict
+
+import pytest
+
+from repro.eval.engine import GridRunner
+from repro.eval.harness import BenchmarkRunner, RunConfig
+from repro.obs.metrics import M_JOURNAL_SKIPPED, MetricsRegistry
+from repro.resilience import (
+    ChaosPolicy,
+    InterruptController,
+    JOURNAL_VERSION,
+    RunJournal,
+    journal_cell_key,
+)
+
+CONFIGS = [RunConfig(model="gpt-4"), RunConfig(model="gpt-3.5-turbo")]
+
+
+def records_of(grid):
+    return [[asdict(r) for r in report.records] for report in grid]
+
+
+class TestJournalFile:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path):
+            pass
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header == {"kind": "header", "version": JOURNAL_VERSION}
+
+    def test_append_and_lookup(self, tmp_path):
+        with RunJournal(tmp_path / "run.jsonl") as journal:
+            journal.append("cell-a", "e1", {"example_id": "e1", "error": ""})
+            assert journal.lookup("cell-a", "e1") == {
+                "example_id": "e1", "error": ""
+            }
+            assert journal.lookup("cell-a", "e2") is None
+            assert journal.lookup("cell-b", "e1") is None
+
+    def test_resume_loads_previous_entries(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("cell-a", "e1", {"x": 1})
+        with RunJournal(path, resume=True) as journal:
+            assert journal.loaded == 1
+            assert journal.lookup("cell-a", "e1") == {"x": 1}
+            journal.append("cell-a", "e2", {"x": 2})
+        # The resumed handle appended, it did not truncate.
+        with RunJournal(path, resume=True) as journal:
+            assert len(journal) == 2
+
+    def test_fresh_open_truncates(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("cell-a", "e1", {"x": 1})
+        with RunJournal(path) as journal:  # resume=False: a new run
+            assert len(journal) == 0
+            assert journal.lookup("cell-a", "e1") is None
+
+    def test_torn_tail_is_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.append("cell-a", "e1", {"x": 1})
+            journal.append("cell-a", "e2", {"x": 2})
+        with open(path, "a") as handle:  # the classic kill-mid-write tail
+            handle.write('{"kind": "record", "cell": "cell-a", "exa')
+        with RunJournal(path, resume=True) as journal:
+            assert len(journal) == 2
+            assert journal.lookup("cell-a", "e2") == {"x": 2}
+
+    def test_malformed_entries_are_skipped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text(
+            "\n".join([
+                '{"kind": "header", "version": 1}',
+                '{"kind": "record", "cell": "c", "example_id": "e", "record": {"ok": 1}}',
+                '{"kind": "record", "cell": "c", "example_id": "e2"}',
+                '{"kind": "record", "record": {"no": "cell"}}',
+                "not json at all",
+            ]) + "\n"
+        )
+        with RunJournal(path, resume=True) as journal:
+            assert len(journal) == 1
+            assert journal.lookup("c", "e") == {"ok": 1}
+
+    def test_missing_file_resume_starts_empty(self, tmp_path):
+        with RunJournal(tmp_path / "never-written.jsonl", resume=True) as j:
+            assert len(j) == 0
+
+
+class TestCellKey:
+    def test_chaos_changes_cell_identity(self, corpus):
+        clean = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(), seed=3)
+        chaotic = BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool(), seed=3,
+            chaos=ChaosPolicy.uniform(0.1, seed=1),
+        )
+        config = RunConfig(model="gpt-4")
+        assert journal_cell_key(
+            clean.prepare(config), clean
+        ) != journal_cell_key(chaotic.prepare(config), chaotic)
+
+    def test_configs_get_distinct_cells(self, runner):
+        keys = {
+            journal_cell_key(runner.prepare(config), runner)
+            for config in CONFIGS
+        }
+        assert len(keys) == len(CONFIGS)
+
+    def test_key_stable_across_plans(self, runner):
+        config = RunConfig(model="gpt-4")
+        assert journal_cell_key(
+            runner.prepare(config), runner
+        ) == journal_cell_key(runner.prepare(config), runner)
+
+
+class TestKillAndResume:
+    def fresh_runner(self, corpus):
+        return BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(), seed=3)
+
+    def test_resume_matches_uninterrupted(self, corpus, tmp_path):
+        baseline = GridRunner(self.fresh_runner(corpus), workers=1).sweep(
+            CONFIGS, limit=6
+        )
+
+        journal_path = tmp_path / "run.jsonl"
+        controller = InterruptController()
+        ticks = {"n": 0}
+
+        def kill_at_five(event):
+            ticks["n"] += 1
+            if ticks["n"] == 5:
+                controller.request_stop()
+
+        interrupted = GridRunner(
+            self.fresh_runner(corpus), workers=1,
+            progress=kill_at_five, interrupt=controller,
+        ).sweep(CONFIGS, limit=6, journal_path=str(journal_path))
+        assert any(report.partial for report in interrupted)
+        assert sum(len(r) for r in interrupted) < sum(len(r) for r in baseline)
+
+        registry = MetricsRegistry()
+        resumed = GridRunner(
+            self.fresh_runner(corpus), workers=1, registry=registry
+        ).sweep(CONFIGS, limit=6, resume_from=str(journal_path))
+        assert records_of(resumed) == records_of(baseline)
+        assert not any(report.partial for report in resumed)
+        skipped = registry.counter_value(M_JOURNAL_SKIPPED)
+        assert skipped == ticks["n"]  # every journaled example replayed
+        assert resumed[0].telemetry.journal_skipped > 0
+
+    def test_resume_with_larger_limit_reuses_prefix(self, corpus, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        GridRunner(self.fresh_runner(corpus), workers=1).sweep(
+            CONFIGS, limit=3, journal_path=str(journal_path)
+        )
+        registry = MetricsRegistry()
+        extended = GridRunner(
+            self.fresh_runner(corpus), workers=1, registry=registry
+        ).sweep(CONFIGS, limit=6, resume_from=str(journal_path))
+        # The completed 2x3 prefix is replayed, only the new tail runs.
+        assert registry.counter_value(M_JOURNAL_SKIPPED) == 6
+        baseline = GridRunner(self.fresh_runner(corpus), workers=1).sweep(
+            CONFIGS, limit=6
+        )
+        assert records_of(extended) == records_of(baseline)
+
+    def test_journal_replay_is_worker_count_independent(self, corpus, tmp_path):
+        journal_path = tmp_path / "run.jsonl"
+        GridRunner(self.fresh_runner(corpus), workers=4).sweep(
+            CONFIGS, limit=6, journal_path=str(journal_path)
+        )
+        serial = GridRunner(self.fresh_runner(corpus), workers=1).sweep(
+            CONFIGS, limit=6, resume_from=str(journal_path)
+        )
+        baseline = GridRunner(self.fresh_runner(corpus), workers=1).sweep(
+            CONFIGS, limit=6
+        )
+        assert records_of(serial) == records_of(baseline)
