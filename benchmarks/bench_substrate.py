@@ -18,7 +18,10 @@ generate-stage hit rate (and, in ``--smoke`` mode, a wall-clock win).
 Finally it sweeps the grid with full observability on (JSONL tracing +
 metrics registry) versus the ``NULL_TRACER`` baseline and gates the
 instrumentation overhead at 5% (``--artifacts-dir`` keeps the trace and
-a Prometheus snapshot for CI upload).
+a Prometheus snapshot for CI upload), then gates the static-analysis
+stage at 5% of pipeline stage wall-clock while verifying its safety
+contract (every fatal diagnostic short-circuits execution, clean
+predictions execute, warm reruns replay analysis from disk).
 """
 
 import pytest
@@ -337,6 +340,125 @@ def instrumentation_overhead(latency_s=0.02, limit=None, smoke=False,
     return overhead, base_grid, instr_grid
 
 
+def analyze_overhead(latency_s=0.02, limit=None, smoke=False,
+                     max_share=0.05):
+    """Gate the analyze stage's cost and verify its safety contract.
+
+    One smoke sweep (the standard grid plus an open-source model whose
+    sloppier SQL actually trips the analyzer) with metrics on, then a
+    warm rerun against the same disk cache.  Four checks:
+
+    1. **Cost** — the analyze stage consumes at most ``max_share``
+       (default 5%) of total pipeline stage wall-clock.  Short-circuited
+       executions stay in the denominator: skipping a doomed execution
+       must never be what buys the budget.
+    2. **Gate consistency** — every fatal diagnostic short-circuits
+       execution: ``repro_lint_short_circuit_total`` equals the number
+       of lint-gated records (``error_class == "lint:*"``).
+    3. **Clean predictions execute** — records the analyzer passed
+       (no fatal diagnostics) carry no non-runtime failure: any
+       ``error`` on them came from the database, not the gate.
+    4. **Replay** — the warm rerun is byte-identical and serves every
+       analysis artifact from disk (zero analyze misses).
+
+    Returns ``(share, grid)``.
+    """
+    import tempfile
+
+    from dataclasses import asdict
+
+    from repro.cache.store import build_cache
+    from repro.eval.engine import GridRunner
+    from repro.eval.harness import RunConfig
+    from repro.obs.metrics import (
+        M_LINT_DIAGNOSTICS,
+        M_LINT_SHORT_CIRCUIT,
+        MetricsRegistry,
+    )
+
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+    try:
+        configs = _grid_configs() + [
+            RunConfig(model="llama-13b", representation="CR_P"),
+        ]
+        with tempfile.TemporaryDirectory(prefix="repro-lint-") as cache_dir:
+            registry = MetricsRegistry()
+            runner = _grid_runner(
+                corpus, latency_s, cache=build_cache(disk_dir=cache_dir)
+            )
+            grid = GridRunner(runner, workers=1, registry=registry).sweep(
+                configs, limit=limit
+            )
+
+            gated = sum(
+                1 for report in grid for r in report.records
+                if r.error_class.startswith("lint:")
+            )
+            short_circuits = int(registry.counter_value(M_LINT_SHORT_CIRCUIT))
+            if short_circuits != gated:
+                raise AssertionError(
+                    f"gate inconsistency: {short_circuits} short-circuits "
+                    f"vs {gated} lint-gated records"
+                )
+            fired = int(registry.counter_value(M_LINT_DIAGNOSTICS))
+            if not gated or not fired:
+                raise AssertionError(
+                    "smoke grid tripped no analyzer rule — the gate checks "
+                    "above verified nothing"
+                )
+            for report in grid:
+                for r in report.records:
+                    if not r.error_class.startswith("lint:") and r.error \
+                            and "lint" in r.error:
+                        raise AssertionError(
+                            f"analyzer-clean record failed outside the "
+                            f"runtime: {r.error!r}"
+                        )
+
+            analyze_s = sum(
+                report.telemetry.stage_s.get("analyze", 0.0)
+                for report in grid
+            )
+            total_s = sum(
+                sum(report.telemetry.stage_s.values()) for report in grid
+            )
+            share = analyze_s / total_s if total_s > 0 else 0.0
+
+            warm_runner = _grid_runner(
+                corpus, latency_s, cache=build_cache(disk_dir=cache_dir)
+            )
+            warm = GridRunner(warm_runner, workers=1).sweep(
+                configs, limit=limit
+            )
+            for a, b in zip(grid, warm):
+                if [asdict(r) for r in a.records] != \
+                        [asdict(r) for r in b.records]:
+                    raise AssertionError(
+                        f"warm analyzer records diverge for {a.label!r}"
+                    )
+            analyze_stats = warm_runner.cache.stats().get("analyze", {})
+            if analyze_stats.get("misses", 0) or \
+                    not analyze_stats.get("disk_hits", 0):
+                raise AssertionError(
+                    f"warm rerun recomputed analysis artifacts: "
+                    f"{analyze_stats}"
+                )
+    finally:
+        corpus.close()
+
+    print(f"analyze stage: {analyze_s:.2f} s of {total_s:.2f} s pipeline "
+          f"stage time ({share:.1%} share)")
+    print(f"lint: {fired} diagnostics, {gated} gated records, "
+          f"{short_circuits} short-circuited executions (1:1 with gates)")
+    print("warm rerun: byte-identical, analysis served from disk")
+    if smoke and share > max_share:
+        raise SystemExit(
+            f"FAIL: analyze stage consumed {share:.1%} of pipeline "
+            f"wall-clock (budget {max_share:.0%})"
+        )
+    return share, grid
+
+
 def chaos_resilience(workers=4, latency_s=0.002, limit=None, rate=0.1,
                      seed=7, kill_at=6):
     """Resilience drill: a grid sweep under a deterministic fault profile.
@@ -608,6 +730,9 @@ def main(argv=None):
         instrumentation_overhead(latency_s=args.latency, limit=args.limit,
                                  smoke=args.smoke,
                                  artifacts_dir=args.artifacts_dir)
+        print()
+        analyze_overhead(latency_s=args.latency, limit=args.limit,
+                         smoke=args.smoke)
         print()
     chaos_resilience(workers=args.workers, limit=args.limit,
                      rate=args.chaos_rate, seed=args.chaos_seed)

@@ -15,8 +15,6 @@ Public API highlights (see README.md for a tour):
 * :mod:`repro.experiments` — one driver per paper table/figure.
 """
 
-__version__ = "1.0.0"
-
 # Headline API, importable straight off the package: the things the
 # README quickstart uses.  Subsystem internals stay in their modules.
 from .core.dail_sql import DailSQL
@@ -36,6 +34,8 @@ from .errors import (
     SchemaError,
     SQLSyntaxError,
 )
+
+__version__ = "1.0.0"
 
 __all__ = [
     "__version__",

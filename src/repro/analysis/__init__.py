@@ -1,0 +1,38 @@
+"""Schema-aware static analysis of SQL predictions.
+
+Public surface:
+
+* :func:`analyze` / :class:`SqlAnalyzer` — run the rule catalog over one
+  statement and get an :class:`AnalysisResult`.
+* :func:`repair` — the deterministic opt-in repair pass.
+* :func:`classify_statement` / :func:`split_statements` — the execution
+  safety gate.
+"""
+
+from .analyzer import ANALYZER_VERSION, SqlAnalyzer, analyze
+from .diagnostics import (
+    LINT_ERROR_PREFIX,
+    SEVERITIES,
+    AnalysisResult,
+    Diagnostic,
+    sort_diagnostics,
+)
+from .repair import REPAIR_RULES, RepairResult, repair
+from .safety import STATEMENT_KINDS, classify_statement, split_statements
+
+__all__ = [
+    "ANALYZER_VERSION",
+    "AnalysisResult",
+    "Diagnostic",
+    "LINT_ERROR_PREFIX",
+    "REPAIR_RULES",
+    "RepairResult",
+    "SEVERITIES",
+    "STATEMENT_KINDS",
+    "SqlAnalyzer",
+    "analyze",
+    "classify_statement",
+    "repair",
+    "sort_diagnostics",
+    "split_statements",
+]

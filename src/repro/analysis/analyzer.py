@@ -1,0 +1,967 @@
+"""Schema-aware static analysis of SQL predictions.
+
+The :class:`SqlAnalyzer` walks the :mod:`repro.sql` AST of one statement
+against a :class:`~repro.schema.model.DatabaseSchema` and emits
+:class:`~repro.analysis.diagnostics.Diagnostic` findings.  The rule
+catalog (severities follow the policy in
+:mod:`repro.analysis.diagnostics`):
+
+====================================  ========  ===========================
+rule                                  severity  fires when
+====================================  ========  ===========================
+``safety.non-select``                 error     statement kind is not a
+                                                read-only SELECT
+``safety.multiple-statements``        error     more than one statement
+``syntax.parse-error``                error     text does not parse in the
+                                                supported SQL subset
+``schema.unknown-table``              error     FROM references a table
+                                                absent from the schema
+``schema.unknown-column``             error     column absent from every
+                                                table in scope
+``schema.ambiguous-column``           error     unqualified column matches
+                                                several tables in scope
+``schema.unknown-qualifier``          error     ``alias.column`` qualifier
+                                                is not bound (dangling
+                                                alias)
+``join.cartesian-product``            warning   a FROM source is linked to
+                                                the others by no equality
+                                                predicate
+``join.predicate-off-fk``             warning   tables share a foreign key
+                                                but the join predicate
+                                                uses different columns
+``join.no-fk-path``                   info      joined tables share no
+                                                foreign key at all
+``agg.aggregate-in-where``            error     aggregate call in WHERE
+``agg.ungrouped-column``              warning   bare column projected next
+                                                to GROUP BY
+``agg.having-without-group``          error/    HAVING without GROUP BY —
+                                      warning   error on non-aggregate
+                                                queries (SQLite rejects
+                                                those), warning otherwise
+``type.mismatch``                     warning   comparison literal's shape
+                                                contradicts the column
+                                                type from the schema
+``nest.scalar-subquery-columns``      error     scalar/IN subquery returns
+                                                more than one column
+``nest.setop-arity``                  error     set-operation arms project
+                                                different column counts
+====================================  ========  ===========================
+
+Scope resolution mirrors SQLite: unqualified columns resolve innermost
+scope first (correlated subqueries may reach outer scopes), derived
+tables in FROM see no outer scope, and SELECT-item aliases are valid
+column references everywhere in the same core (SQLite accepts them even
+in WHERE).  Whenever a scope contains an unresolvable source (unknown
+table, ``SELECT *`` derived table) identifier checks inside it degrade
+to best-effort rather than risk a false fatal.
+
+One deliberate policy choice: text that does not parse in the supported
+Spider SQL subset is *fatal* even though SQLite's grammar is wider.
+Everything else in the harness (exact match, skeleton extraction,
+normalisation) already requires parseability, so an unparseable
+prediction is scored wrong regardless — skipping its execution loses
+nothing and saves the round-trip.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SQLSyntaxError
+from ..schema.model import Column, DatabaseSchema, Table
+from ..sql.ast_nodes import (
+    BetweenCondition,
+    BinaryExpr,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Condition,
+    ExistsCondition,
+    Expr,
+    FromClause,
+    FuncCall,
+    InCondition,
+    IsNullCondition,
+    LikeCondition,
+    Literal,
+    Query,
+    SelectCore,
+    TableRef,
+    TableSource,
+    iter_conditions,
+)
+from ..sql.parser import parse
+from ..sql.tokens import AGGREGATES
+from .diagnostics import AnalysisResult, Diagnostic, sort_diagnostics
+from .safety import classify_statement, split_statements
+
+#: Version stamp folded into analysis cache keys — bump when rules change
+#: so stale cached verdicts are never replayed.
+ANALYZER_VERSION = "1"
+
+_NUMERIC_RE = re.compile(r"-?\d+(\.\d+)?")
+
+
+class _Binding:
+    """One FROM-clause source visible in a scope."""
+
+    __slots__ = ("name", "table", "columns", "table_name")
+
+    def __init__(
+        self,
+        name: str,
+        table: Optional[Table],
+        columns: Optional[FrozenSet[str]],
+        table_name: str,
+    ) -> None:
+        self.name = name            #: binding name (alias or table), lower
+        self.table = table          #: resolved schema table, if any
+        self.columns = columns      #: known column names (lower); None = opaque
+        self.table_name = table_name  #: schema table name ("" for subqueries)
+
+
+class _Scope:
+    """Name-resolution scope of one SELECT core."""
+
+    def __init__(self, parent: Optional["_Scope"]) -> None:
+        self.parent = parent
+        self.bindings: List[_Binding] = []
+        self.select_aliases: FrozenSet[str] = frozenset()
+
+    def binding(self, name: str) -> Optional[_Binding]:
+        lowered = name.lower()
+        for bound in self.bindings:
+            if bound.name == lowered:
+                return bound
+        if self.parent is not None:
+            return self.parent.binding(name)
+        return None
+
+    def has_opaque(self) -> bool:
+        return any(b.columns is None for b in self.bindings)
+
+    def alias_visible(self, name: str) -> bool:
+        """SELECT-item aliases along the scope chain (SQLite resolves
+        them in every clause of the owning core, WHERE included)."""
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            if name in scope.select_aliases:
+                return True
+            scope = scope.parent
+        return False
+
+    def visible_columns(self) -> List[str]:
+        """Every resolvable column name in this scope chain (for hints)."""
+        names: List[str] = []
+        scope: Optional[_Scope] = self
+        while scope is not None:
+            for bound in scope.bindings:
+                if bound.table is not None:
+                    names.extend(c.name for c in bound.table.columns)
+                elif bound.columns is not None:
+                    names.extend(sorted(bound.columns))
+            scope = scope.parent
+        return names
+
+
+class SqlAnalyzer:
+    """Static analyzer for one database schema (stateless, reusable)."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+
+    # -- entry point ---------------------------------------------------------
+
+    def analyze(self, sql: str) -> AnalysisResult:
+        """Analyze one statement; never raises on bad input."""
+        diagnostics: List[Diagnostic] = []
+        text = sql.strip()
+        statements = split_statements(text)
+        kind = classify_statement(statements[0] if statements else text)
+
+        if len(statements) > 1:
+            diagnostics.append(Diagnostic(
+                rule="safety.multiple-statements",
+                severity="error",
+                message=(
+                    f"{len(statements)} statements in one submission; "
+                    "SQLite executes exactly one"
+                ),
+                fix=statements[0],
+            ))
+        if kind != "select":
+            diagnostics.append(Diagnostic(
+                rule="safety.non-select",
+                severity="error",
+                message=(
+                    "empty statement" if kind == "empty" else
+                    f"statement kind is {kind!r}; only read-only SELECT "
+                    "statements are executed"
+                ),
+            ))
+            return AnalysisResult(
+                sql=sql, statement_kind=kind,
+                diagnostics=sort_diagnostics(diagnostics),
+            )
+
+        first = statements[0] if statements else text
+        try:
+            query = parse(first)
+        except SQLSyntaxError as exc:
+            diagnostics.append(Diagnostic(
+                rule="syntax.parse-error",
+                severity="error",
+                message=str(exc.args[0]) if exc.args else "syntax error",
+            ))
+            return AnalysisResult(
+                sql=sql, statement_kind=kind,
+                diagnostics=sort_diagnostics(diagnostics),
+            )
+
+        self._check_query(query, None, first, diagnostics)
+        return AnalysisResult(
+            sql=sql, statement_kind=kind,
+            diagnostics=sort_diagnostics(diagnostics),
+        )
+
+    # -- query / core walks --------------------------------------------------
+
+    def _check_query(
+        self,
+        query: Query,
+        parent: Optional[_Scope],
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> Optional[int]:
+        """Check one query (all set-op arms); returns its projection arity
+        when determinable, else ``None``."""
+        arities: List[Optional[int]] = []
+        for _, core in query.flatten_set_ops():
+            scope = self._check_core(core, parent, sql, diags)
+            arities.append(self._core_arity(core, scope))
+        known = [a for a in arities if a is not None]
+        if known and any(a != known[0] for a in known[1:]):
+            diags.append(Diagnostic(
+                rule="nest.setop-arity",
+                severity="error",
+                message=(
+                    "set-operation arms project different column counts: "
+                    + ", ".join(str(a) if a is not None else "?"
+                                for a in arities)
+                ),
+                span=self._span(sql, query.set_op or "UNION"),
+            ))
+        return arities[0]
+
+    def _check_core(
+        self,
+        core: SelectCore,
+        parent: Optional[_Scope],
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> _Scope:
+        scope = self._build_scope(core.from_clause, parent, sql, diags)
+        scope.select_aliases = frozenset(
+            item.alias.lower() for item in core.items if item.alias
+        )
+
+        for item in core.items:
+            self._check_expr(item.expr, scope, sql, diags)
+        for expr in core.group_by:
+            self._check_expr(expr, scope, sql, diags)
+        for order in core.order_by:
+            self._check_expr(order.expr, scope, sql, diags)
+        self._check_condition(core.where, scope, sql, diags)
+        self._check_condition(core.having, scope, sql, diags)
+        if core.from_clause is not None:
+            for join in core.from_clause.joins:
+                self._check_condition(join.condition, scope, sql, diags)
+                for column in join.using:
+                    self._check_using_column(
+                        column, join.source, core.from_clause, scope, sql,
+                        diags,
+                    )
+
+        self._check_aggregation(core, scope, sql, diags)
+        self._check_joins(core, scope, sql, diags)
+        return scope
+
+    def _build_scope(
+        self,
+        clause: Optional[FromClause],
+        parent: Optional[_Scope],
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> _Scope:
+        scope = _Scope(parent)
+        if clause is None:
+            return scope
+        for source in clause.sources():
+            if isinstance(source, TableRef):
+                if self.schema.has_table(source.name):
+                    table = self.schema.table(source.name)
+                    columns = frozenset(
+                        c.name.lower() for c in table.columns
+                    )
+                    scope.bindings.append(_Binding(
+                        source.binding(), table, columns, table.name,
+                    ))
+                else:
+                    hint = self._closest(
+                        source.name, self.schema.table_names()
+                    )
+                    diags.append(Diagnostic(
+                        rule="schema.unknown-table",
+                        severity="error",
+                        message=(
+                            f"table {source.name!r} is not in database "
+                            f"{self.schema.db_id!r}"
+                        ),
+                        span=self._span(sql, source.name),
+                        fix=hint,
+                    ))
+                    scope.bindings.append(_Binding(
+                        source.binding(), None, None, "",
+                    ))
+            else:
+                # Derived tables cannot see the outer scope (SQL scoping).
+                self._check_query(source.query, None, sql, diags)
+                scope.bindings.append(_Binding(
+                    source.binding(), None,
+                    self._subquery_columns(source.query), "",
+                ))
+        return scope
+
+    @staticmethod
+    def _subquery_columns(query: Query) -> Optional[FrozenSet[str]]:
+        """Output column names of a derived table (None when ``*`` hides
+        them)."""
+        names: List[str] = []
+        for item in query.core.items:
+            if item.alias:
+                names.append(item.alias.lower())
+            elif isinstance(item.expr, ColumnRef):
+                if item.expr.column == "*":
+                    return None
+                names.append(item.expr.column.lower())
+            else:
+                return None
+        return frozenset(names)
+
+    def _core_arity(
+        self, core: SelectCore, scope: _Scope
+    ) -> Optional[int]:
+        """Projection width of one core; ``None`` when ``*`` is opaque."""
+        total = 0
+        for item in core.items:
+            expr = item.expr
+            if isinstance(expr, ColumnRef) and expr.column == "*":
+                if expr.table:
+                    bound = scope.binding(expr.table)
+                    if bound is None or bound.columns is None:
+                        return None
+                    total += len(bound.columns)
+                else:
+                    if scope.has_opaque() or not scope.bindings:
+                        return None
+                    total += sum(
+                        len(b.columns or ()) for b in scope.bindings
+                    )
+            else:
+                total += 1
+        return total
+
+    # -- identifier resolution -----------------------------------------------
+
+    def _check_expr(
+        self,
+        expr: Expr,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        if isinstance(expr, ColumnRef):
+            self._resolve_column(expr, scope, sql, diags)
+        elif isinstance(expr, FuncCall):
+            self._check_expr(expr.arg, scope, sql, diags)
+        elif isinstance(expr, BinaryExpr):
+            self._check_expr(expr.left, scope, sql, diags)
+            self._check_expr(expr.right, scope, sql, diags)
+        elif isinstance(expr, CaseExpr):
+            for condition, value in expr.whens:
+                self._check_condition(condition, scope, sql, diags)
+                self._check_expr(value, scope, sql, diags)
+            if expr.else_ is not None:
+                self._check_expr(expr.else_, scope, sql, diags)
+
+    def _check_condition(
+        self,
+        condition: Optional[Condition],
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        for leaf in iter_conditions(condition):
+            if isinstance(leaf, Comparison):
+                self._check_expr(leaf.left, scope, sql, diags)
+                self._check_operand(leaf.right, scope, sql, diags)
+                self._check_comparison_types(leaf, scope, sql, diags)
+            elif isinstance(leaf, InCondition):
+                self._check_expr(leaf.expr, scope, sql, diags)
+                if isinstance(leaf.values, Query):
+                    self._check_scalar_subquery(
+                        leaf.values, scope, sql, diags
+                    )
+                else:
+                    self._check_literal_types(
+                        leaf.expr, leaf.values, scope, sql, diags
+                    )
+            elif isinstance(leaf, LikeCondition):
+                self._check_expr(leaf.expr, scope, sql, diags)
+                self._check_like_types(leaf, scope, sql, diags)
+            elif isinstance(leaf, BetweenCondition):
+                self._check_expr(leaf.expr, scope, sql, diags)
+                for side in (leaf.low, leaf.high):
+                    self._check_operand(side, scope, sql, diags)
+            elif isinstance(leaf, IsNullCondition):
+                self._check_expr(leaf.expr, scope, sql, diags)
+            elif isinstance(leaf, ExistsCondition):
+                # EXISTS subqueries are correlated: current scope is parent.
+                self._check_query(leaf.query, scope, sql, diags)
+
+    def _check_operand(
+        self,
+        operand: Union[Expr, Query],
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        if isinstance(operand, Query):
+            self._check_scalar_subquery(operand, scope, sql, diags)
+        else:
+            self._check_expr(operand, scope, sql, diags)
+
+    def _check_scalar_subquery(
+        self,
+        query: Query,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        arity = self._check_query(query, scope, sql, diags)
+        if arity is not None and arity != 1:
+            diags.append(Diagnostic(
+                rule="nest.scalar-subquery-columns",
+                severity="error",
+                message=(
+                    f"subquery used as a scalar returns {arity} columns "
+                    "- expected 1"
+                ),
+            ))
+
+    def _resolve_column(
+        self,
+        ref: ColumnRef,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> Optional[Column]:
+        if ref.column == "*":
+            if ref.table and scope.binding(ref.table) is None:
+                self._dangling_qualifier(ref, scope, sql, diags)
+            return None
+
+        if ref.table:
+            bound = scope.binding(ref.table)
+            if bound is None:
+                self._dangling_qualifier(ref, scope, sql, diags)
+                return None
+            if bound.columns is None:
+                return None
+            if ref.column.lower() not in bound.columns:
+                hint = self._closest(ref.column, sorted(bound.columns))
+                diags.append(Diagnostic(
+                    rule="schema.unknown-column",
+                    severity="error",
+                    message=(
+                        f"column {ref.column!r} does not exist in "
+                        f"{bound.table_name or ref.table!r}"
+                    ),
+                    span=self._span(sql, ref.column),
+                    fix=hint,
+                ))
+                return None
+            if bound.table is not None:
+                return bound.table.column(ref.column)
+            return None
+
+        # Unqualified: innermost scope wins; SQLite errors on ambiguity.
+        lowered = ref.column.lower()
+        current: Optional[_Scope] = scope
+        while current is not None:
+            candidates = [
+                b for b in current.bindings
+                if b.columns is not None and lowered in b.columns
+            ]
+            if len(candidates) > 1:
+                diags.append(Diagnostic(
+                    rule="schema.ambiguous-column",
+                    severity="error",
+                    message=(
+                        f"column {ref.column!r} is ambiguous: present in "
+                        + " and ".join(
+                            b.table_name or b.name for b in candidates
+                        )
+                    ),
+                    span=self._span(sql, ref.column),
+                    fix=f"{candidates[0].name}.{ref.column}",
+                ))
+                return None
+            if len(candidates) == 1:
+                bound = candidates[0]
+                if bound.table is not None:
+                    return bound.table.column(ref.column)
+                return None
+            if current.has_opaque():
+                return None  # cannot prove the column unknown
+            current = current.parent
+
+        if scope.alias_visible(lowered):
+            return None
+        hint = self._closest(ref.column, scope.visible_columns())
+        diags.append(Diagnostic(
+            rule="schema.unknown-column",
+            severity="error",
+            message=(
+                f"column {ref.column!r} does not exist in any table in "
+                "scope"
+            ),
+            span=self._span(sql, ref.column),
+            fix=hint,
+        ))
+        return None
+
+    def _dangling_qualifier(
+        self,
+        ref: ColumnRef,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        names: List[str] = []
+        current: Optional[_Scope] = scope
+        while current is not None:
+            names.extend(b.name for b in current.bindings)
+            current = current.parent
+        hint = self._closest(ref.table or "", names)
+        diags.append(Diagnostic(
+            rule="schema.unknown-qualifier",
+            severity="error",
+            message=(
+                f"qualifier {ref.table!r} is not an alias or table in "
+                "the FROM clause"
+            ),
+            span=self._span(sql, ref.table or ""),
+            fix=hint,
+        ))
+
+    def _check_using_column(
+        self,
+        column: str,
+        source: TableSource,
+        clause: FromClause,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        """``USING (c)`` requires ``c`` on the joined source *and* on at
+        least one earlier source."""
+        lowered = column.lower()
+        joined = scope.binding(source.binding())
+        if joined is not None and joined.columns is not None \
+                and lowered not in joined.columns:
+            diags.append(Diagnostic(
+                rule="schema.unknown-column",
+                severity="error",
+                message=(
+                    f"USING column {column!r} does not exist in "
+                    f"{joined.table_name or joined.name!r}"
+                ),
+                span=self._span(sql, column),
+                fix=self._closest(column, sorted(joined.columns)),
+            ))
+        others = [
+            scope.binding(s.binding()) for s in clause.sources()
+            if s is not source
+        ]
+        concrete = [
+            b for b in others if b is not None and b.columns is not None
+        ]
+        if len(concrete) == len(others) and concrete and not any(
+            lowered in (b.columns or frozenset()) for b in concrete
+        ):
+            diags.append(Diagnostic(
+                rule="schema.unknown-column",
+                severity="error",
+                message=(
+                    f"USING column {column!r} does not exist on the other "
+                    "side of the join"
+                ),
+                span=self._span(sql, column),
+            ))
+
+    # -- aggregation rules ---------------------------------------------------
+
+    def _check_aggregation(
+        self,
+        core: SelectCore,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        for leaf in iter_conditions(core.where):
+            for expr in self._leaf_exprs(leaf):
+                name = self._aggregate_name(expr)
+                if name is not None:
+                    diags.append(Diagnostic(
+                        rule="agg.aggregate-in-where",
+                        severity="error",
+                        message=(
+                            f"misuse of aggregate function {name} in "
+                            "WHERE; use HAVING"
+                        ),
+                        span=self._span(sql, name),
+                    ))
+
+        if core.having is not None and not core.group_by:
+            aggregate_query = any(
+                self._has_aggregate(item.expr) for item in core.items
+            ) or any(
+                any(self._has_aggregate(e) for e in self._leaf_exprs(leaf))
+                for leaf in iter_conditions(core.having)
+            )
+            diags.append(Diagnostic(
+                rule="agg.having-without-group",
+                severity="warning" if aggregate_query else "error",
+                message=(
+                    "HAVING without GROUP BY"
+                    + ("" if aggregate_query
+                       else " on a non-aggregate query")
+                ),
+                span=self._span(sql, "HAVING"),
+            ))
+
+        # Bare columns projected next to aggregation: with GROUP BY, any
+        # column outside the grouping keys; without one, any column at
+        # all once an aggregate appears in the projection.  SQLite
+        # executes both, picking an arbitrary row for the bare column.
+        projects_aggregate = any(
+            self._has_aggregate(item.expr) for item in core.items
+        )
+        if core.group_by or projects_aggregate:
+            group_keys = set()
+            for expr in core.group_by:
+                if isinstance(expr, ColumnRef) and expr.column != "*":
+                    group_keys.add(expr.column.lower())
+            for item in core.items:
+                expr = item.expr
+                if not isinstance(expr, ColumnRef) or expr.column == "*":
+                    continue
+                if expr.column.lower() in group_keys:
+                    continue
+                if item.alias and item.alias.lower() in group_keys:
+                    continue
+                diags.append(Diagnostic(
+                    rule="agg.ungrouped-column",
+                    severity="warning",
+                    message=(
+                        f"column {expr.column!r} is projected but not in "
+                        "GROUP BY (SQLite picks an arbitrary row)"
+                    ),
+                    span=self._span(sql, expr.column),
+                ))
+
+    def _aggregate_name(self, expr: Expr) -> Optional[str]:
+        if isinstance(expr, FuncCall):
+            if expr.name in AGGREGATES:
+                return expr.name
+            return self._aggregate_name(expr.arg)
+        if isinstance(expr, BinaryExpr):
+            return (self._aggregate_name(expr.left)
+                    or self._aggregate_name(expr.right))
+        return None
+
+    def _has_aggregate(self, expr: Expr) -> bool:
+        return self._aggregate_name(expr) is not None
+
+    @staticmethod
+    def _leaf_exprs(leaf: Condition) -> List[Expr]:
+        exprs: List[Expr] = []
+        for attr in ("left", "right", "expr", "low", "high"):
+            value = getattr(leaf, attr, None)
+            if value is not None and not isinstance(value, (Query, tuple)):
+                exprs.append(value)
+        return exprs
+
+    # -- join sanity ---------------------------------------------------------
+
+    def _check_joins(
+        self,
+        core: SelectCore,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        clause = core.from_clause
+        if clause is None or len(clause.sources()) < 2:
+            return
+        names = [s.binding() for s in clause.sources()]
+
+        edges: List[Tuple[str, str, ColumnRef, ColumnRef]] = []
+        conditions: List[Optional[Condition]] = [core.where]
+        conditions.extend(j.condition for j in clause.joins)
+        for condition in conditions:
+            for leaf in iter_conditions(condition):
+                if not isinstance(leaf, Comparison) or leaf.op != "=":
+                    continue
+                left, right = leaf.left, leaf.right
+                if not isinstance(left, ColumnRef) \
+                        or not isinstance(right, ColumnRef):
+                    continue
+                left_bind = self._binding_of(left, scope)
+                right_bind = self._binding_of(right, scope)
+                if left_bind and right_bind and left_bind != right_bind:
+                    edges.append((left_bind, right_bind, left, right))
+        # USING(c) links the joined source to its predecessors; these
+        # synthetic edges feed connectivity only, not the FK check (the
+        # FK check wants an explicit left/right column pair).
+        link_edges: List[Tuple[str, str]] = [(a, b) for a, b, _, _ in edges]
+        for join in clause.joins:
+            if join.using:
+                for earlier in names:
+                    if earlier != join.source.binding():
+                        link_edges.append((earlier, join.source.binding()))
+                        break
+
+        # Connectivity: every source must link to the rest.
+        parent: Dict[str, str] = {name: name for name in names}
+
+        def find(name: str) -> str:
+            while parent[name] != name:
+                parent[name] = parent[parent[name]]
+                name = parent[name]
+            return name
+
+        for a, b in link_edges:
+            if a in parent and b in parent:
+                parent[find(a)] = find(b)
+        roots = {find(name) for name in names}
+        if len(roots) > 1:
+            diags.append(Diagnostic(
+                rule="join.cartesian-product",
+                severity="warning",
+                message=(
+                    "FROM sources are not all linked by join predicates "
+                    f"({' / '.join(sorted(roots))}); this multiplies rows"
+                ),
+            ))
+
+        # FK backing of explicit equality join predicates.
+        for a, b, left, right in edges:
+            bound_a, bound_b = scope.binding(a), scope.binding(b)
+            if bound_a is None or bound_b is None:
+                continue
+            if bound_a.table is None or bound_b.table is None:
+                continue
+            table_a, table_b = bound_a.table_name, bound_b.table_name
+            if table_a.lower() == table_b.lower():
+                continue  # self-join: FK modelling does not apply
+            fks = [
+                fk for fk in self.schema.foreign_keys
+                if {fk.table.lower(), fk.ref_table.lower()}
+                == {table_a.lower(), table_b.lower()}
+            ]
+            pair = {
+                (table_a.lower(), left.column.lower()),
+                (table_b.lower(), right.column.lower()),
+            }
+            if not fks:
+                diags.append(Diagnostic(
+                    rule="join.no-fk-path",
+                    severity="info",
+                    message=(
+                        f"no foreign key connects {table_a} and {table_b}"
+                    ),
+                ))
+                continue
+            backed = any(
+                {(fk.table.lower(), fk.column.lower()),
+                 (fk.ref_table.lower(), fk.ref_column.lower())} == pair
+                for fk in fks
+            )
+            if not backed:
+                fk = fks[0]
+                diags.append(Diagnostic(
+                    rule="join.predicate-off-fk",
+                    severity="warning",
+                    message=(
+                        f"join predicate {left.key()} = {right.key()} is "
+                        "not backed by a foreign key"
+                    ),
+                    fix=(
+                        f"{fk.table}.{fk.column} = "
+                        f"{fk.ref_table}.{fk.ref_column}"
+                    ),
+                ))
+
+    def _binding_of(
+        self, ref: ColumnRef, scope: _Scope
+    ) -> Optional[str]:
+        """Scope binding a column reference resolves to (best effort)."""
+        if ref.column == "*":
+            return None
+        if ref.table:
+            bound = scope.binding(ref.table)
+            return bound.name if bound is not None else None
+        lowered = ref.column.lower()
+        candidates = [
+            b for b in scope.bindings
+            if b.columns is not None and lowered in b.columns
+        ]
+        if len(candidates) == 1:
+            return candidates[0].name
+        return None
+
+    # -- type shape ----------------------------------------------------------
+
+    def _check_comparison_types(
+        self,
+        leaf: Comparison,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        for column_side, literal_side in (
+            (leaf.left, leaf.right), (leaf.right, leaf.left)
+        ):
+            if not isinstance(column_side, ColumnRef):
+                continue
+            if not isinstance(literal_side, Literal):
+                continue
+            column = self._quiet_resolve(column_side, scope)
+            if column is None:
+                return
+            mismatch = self._literal_mismatch(column, literal_side)
+            if mismatch:
+                diags.append(Diagnostic(
+                    rule="type.mismatch",
+                    severity="warning",
+                    message=(
+                        f"comparing {column.ctype} column "
+                        f"{column_side.key()} with {mismatch}"
+                    ),
+                    span=self._span(sql, column_side.column),
+                ))
+            return
+
+    def _check_literal_types(
+        self,
+        expr: Expr,
+        values: Sequence[Literal],
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        if not isinstance(expr, ColumnRef):
+            return
+        column = self._quiet_resolve(expr, scope)
+        if column is None:
+            return
+        for literal in values:
+            mismatch = self._literal_mismatch(column, literal)
+            if mismatch:
+                diags.append(Diagnostic(
+                    rule="type.mismatch",
+                    severity="warning",
+                    message=(
+                        f"IN list for {column.ctype} column {expr.key()} "
+                        f"contains {mismatch}"
+                    ),
+                    span=self._span(sql, expr.column),
+                ))
+                return
+
+    def _check_like_types(
+        self,
+        leaf: LikeCondition,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        if not isinstance(leaf.expr, ColumnRef):
+            return
+        column = self._quiet_resolve(leaf.expr, scope)
+        if column is not None and column.ctype == "number":
+            diags.append(Diagnostic(
+                rule="type.mismatch",
+                severity="warning",
+                message=(
+                    f"LIKE pattern match on number column "
+                    f"{leaf.expr.key()}"
+                ),
+                span=self._span(sql, leaf.expr.column),
+            ))
+
+    @staticmethod
+    def _literal_mismatch(column: Column, literal: Literal) -> str:
+        """Human description of a type-shape clash, or "" when fine."""
+        if literal.kind == "number" and column.ctype == "text":
+            return f"number literal {literal.value}"
+        if (
+            literal.kind == "string"
+            and column.ctype == "number"
+            and _NUMERIC_RE.fullmatch(literal.value.strip()) is None
+        ):
+            return f"non-numeric string {literal.value!r}"
+        return ""
+
+    def _quiet_resolve(
+        self, ref: ColumnRef, scope: _Scope
+    ) -> Optional[Column]:
+        """Resolve a column without emitting diagnostics (type checks)."""
+        scratch: List[Diagnostic] = []
+        return self._resolve_column(ref, scope, "", scratch)
+
+    # -- helpers -------------------------------------------------------------
+
+    @staticmethod
+    def _span(sql: str, word: str) -> Tuple[int, int]:
+        """Best-effort character span of an identifier/keyword in the
+        SQL text ((0, 0) when it cannot be located)."""
+        if not word or not sql:
+            return (0, 0)
+        match = re.search(
+            rf"\b{re.escape(word)}\b", sql, flags=re.IGNORECASE
+        )
+        if match is None:
+            return (0, 0)
+        return (match.start(), match.end())
+
+    @staticmethod
+    def _closest(name: str, options: Sequence[str]) -> str:
+        matches = difflib.get_close_matches(
+            name.lower(), [o.lower() for o in options], n=1, cutoff=0.6
+        )
+        if not matches:
+            return ""
+        for option in options:
+            if option.lower() == matches[0]:
+                return option
+        return matches[0]
+
+
+def analyze(schema: DatabaseSchema, sql: str) -> AnalysisResult:
+    """One-shot convenience wrapper over :class:`SqlAnalyzer`."""
+    return SqlAnalyzer(schema).analyze(sql)

@@ -1,0 +1,164 @@
+"""Diagnostic taxonomy of the static analyzer.
+
+A :class:`Diagnostic` is one finding of the analyzer: a stable rule id, a
+severity, a best-effort character span in the analyzed SQL, a human
+message and (when the fix is mechanical) a suggested replacement.  An
+:class:`AnalysisResult` bundles every diagnostic for one statement with
+the statement-kind classification of the safety gate.
+
+Severity policy (mirrors what SQLite 3.40 actually enforces — an
+``error`` means execution *will* fail, so the pipeline may skip the DB
+round-trip; a ``warning`` executes but is a strong wrongness signal; an
+``info`` is advisory):
+
+========== =============================================================
+severity   meaning
+========== =============================================================
+error      SQLite would reject the statement (unknown identifier,
+           ambiguous column, aggregate misuse in WHERE, arity mismatch,
+           non-SELECT statement, syntax error).  Fatal: the pipeline
+           short-circuits execution.
+warning    Executes, but is usually wrong (cartesian product, join
+           predicate off the FK edge, ungrouped projection, type-shape
+           mismatch).
+info       Stylistic or contextual observations.
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+#: Severities in decreasing order of badness.
+SEVERITIES: Tuple[str, ...] = ("error", "warning", "info")
+
+#: ``error_class`` prefix for fatal-lint short circuits, so report
+#: tallies and trace grouping distinguish lint gates from engine faults.
+LINT_ERROR_PREFIX = "lint"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    Attributes:
+        rule: stable dotted rule id, e.g. ``"schema.unknown-column"``.
+        severity: one of :data:`SEVERITIES`.
+        message: human-readable explanation.
+        span: best-effort ``(start, end)`` character offsets of the
+            offending text in the analyzed SQL; ``(0, 0)`` when the
+            finding has no localisable span.
+        fix: suggested replacement text ("" when none is known).
+    """
+
+    rule: str
+    severity: str
+    message: str
+    span: Tuple[int, int] = (0, 0)
+    fix: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (the persisted per-record form)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "span": list(self.span),
+            "fix": self.fix,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "Diagnostic":
+        span = payload.get("span") or (0, 0)
+        start, end = int(span[0]), int(span[1])  # type: ignore[index]
+        return cls(
+            rule=str(payload.get("rule", "")),
+            severity=str(payload.get("severity", "info")),
+            message=str(payload.get("message", "")),
+            span=(start, end),
+            fix=str(payload.get("fix", "")),
+        )
+
+    def format(self) -> str:
+        """One-line human rendering (the ``dail-sql lint`` output row)."""
+        text = f"{self.severity}[{self.rule}] {self.message}"
+        if self.fix:
+            text += f" (fix: {self.fix})"
+        return text
+
+
+@dataclass(frozen=True)
+class AnalysisResult:
+    """Everything the analyzer concluded about one statement.
+
+    Attributes:
+        sql: the exact text that was analyzed.
+        statement_kind: the safety gate's classification — ``"select"``
+            for read-only queries, otherwise ``"write"`` / ``"ddl"`` /
+            ``"admin"`` / ``"unknown"`` / ``"empty"``.
+        diagnostics: findings, ordered by severity then rule id.
+    """
+
+    sql: str
+    statement_kind: str
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+    @property
+    def fatal(self) -> bool:
+        """True when execution would fail — the pipeline's skip signal."""
+        return any(d.severity == "error" for d in self.diagnostics)
+
+    @property
+    def clean(self) -> bool:
+        """True when no diagnostic fired at all."""
+        return not self.diagnostics
+
+    def fatal_diagnostics(self) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity == "error")
+
+    def error_class(self) -> str:
+        """Structured class for records: ``lint:<first fatal rule>``."""
+        for diagnostic in self.diagnostics:
+            if diagnostic.severity == "error":
+                return f"{LINT_ERROR_PREFIX}:{diagnostic.rule}"
+        return ""
+
+    def by_rule(self) -> Dict[str, int]:
+        """Rule-id histogram (summary tables, metrics)."""
+        out: Dict[str, int] = {}
+        for diagnostic in self.diagnostics:
+            out[diagnostic.rule] = out.get(diagnostic.rule, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "sql": self.sql,
+            "statement_kind": self.statement_kind,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, object]) -> "AnalysisResult":
+        raw = payload.get("diagnostics") or []
+        diagnostics = tuple(
+            Diagnostic.from_dict(entry)  # type: ignore[arg-type]
+            for entry in raw  # type: ignore[union-attr]
+        )
+        return cls(
+            sql=str(payload.get("sql", "")),
+            statement_kind=str(payload.get("statement_kind", "unknown")),
+            diagnostics=diagnostics,
+        )
+
+
+def sort_diagnostics(diagnostics: List[Diagnostic]) -> Tuple[Diagnostic, ...]:
+    """Deterministic ordering: severity first, then rule id, then span."""
+    rank = {severity: index for index, severity in enumerate(SEVERITIES)}
+    return tuple(
+        sorted(
+            diagnostics,
+            key=lambda d: (rank.get(d.severity, len(SEVERITIES)), d.rule,
+                           d.span, d.message),
+        )
+    )

@@ -1,0 +1,445 @@
+"""Deterministic repair pass for mechanical analyzer findings.
+
+Three opt-in repairs (``--repair``), each conservative enough to never
+change the meaning of an already-correct query:
+
+``repair.trailing-junk``
+    When the text does not parse, retry progressively shorter token
+    prefixes and keep the longest one that parses — this drops trailing
+    natural-language the extractor left behind ("... LIMIT 1  Hope this
+    helps!") and dangling clause keywords from truncated generations.
+``repair.case-fold``
+    Rewrite table and column identifiers to their exact schema spelling
+    (SQLite resolves case-insensitively, but downstream consumers — the
+    linker vocabulary, exact-match normalisation, humans — prefer one
+    spelling).
+``repair.qualify-columns``
+    In multi-source FROM clauses, qualify unqualified columns that
+    resolve to exactly one source.  Single-source queries are left
+    unqualified — adding a qualifier there is pure noise.
+
+The pass is purely syntactic: it never invents identifiers, reorders
+clauses or touches literals, so repairing is idempotent and safe to
+cache.  Queries whose statement kind is not SELECT, or that contain
+several statements, are returned untouched — the safety gate, not the
+repairer, owns those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import SQLSyntaxError
+from ..schema.model import DatabaseSchema
+from ..sql.ast_nodes import (
+    AndCondition,
+    BetweenCondition,
+    BinaryExpr,
+    CaseExpr,
+    ColumnRef,
+    Comparison,
+    Condition,
+    ExistsCondition,
+    Expr,
+    FromClause,
+    FuncCall,
+    InCondition,
+    IsNullCondition,
+    Join,
+    LikeCondition,
+    Literal,
+    NotCondition,
+    OrCondition,
+    OrderItem,
+    Query,
+    SelectCore,
+    SelectItem,
+    SubqueryTable,
+    TableRef,
+)
+from ..sql.parser import parse, try_parse
+from ..sql.tokens import TokenType, tokenize
+from ..sql.unparse import unparse
+from .safety import classify_statement, split_statements
+
+#: Repair rule ids in application order.
+REPAIR_RULES = (
+    "repair.trailing-junk",
+    "repair.case-fold",
+    "repair.qualify-columns",
+)
+
+#: Shortest prefix (in tokens) worth keeping: ``SELECT x FROM t``.
+_MIN_TOKENS = 4
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of one repair attempt.
+
+    Attributes:
+        sql: the repaired SQL — identical to the input when nothing
+            applied.
+        applied: ids of the repair rules that changed the text, in
+            application order.
+    """
+
+    sql: str
+    applied: Tuple[str, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def repair(schema: DatabaseSchema, sql: str) -> RepairResult:
+    """Apply every mechanical repair that provably preserves intent."""
+    text = sql.strip()
+    statements = split_statements(text)
+    if len(statements) != 1 or classify_statement(statements[0]) != "select":
+        return RepairResult(sql=sql)
+    base = statements[0]
+    applied: List[str] = []
+
+    query = try_parse(base)
+    if query is None:
+        trimmed = _strip_trailing_junk(base)
+        if trimmed is None:
+            return RepairResult(sql=sql)
+        applied.append("repair.trailing-junk")
+        base = trimmed
+        query = parse(base)
+
+    rewriter = _Rewriter(schema)
+    rewritten = rewriter.rewrite_query(query, None)
+    if rewriter.case_folded:
+        applied.append("repair.case-fold")
+    if rewriter.qualified:
+        applied.append("repair.qualify-columns")
+
+    if not applied:
+        return RepairResult(sql=sql)
+    return RepairResult(sql=unparse(rewritten), applied=tuple(applied))
+
+
+def _strip_trailing_junk(sql: str) -> Optional[str]:
+    """Longest token prefix of ``sql`` that parses, or ``None``."""
+    try:
+        tokens = tokenize(sql)
+    except SQLSyntaxError as exc:
+        # Lexing failed on a stray character ("!", "…"): cut right before
+        # it and retry — the junk starts no later than that offset.
+        position = getattr(exc, "position", None)
+        if position:
+            prefix = sql[:position].strip()
+            if prefix and prefix != sql:
+                if try_parse(prefix) is not None:
+                    return prefix
+                return _strip_trailing_junk(prefix)
+        return None
+    significant = [t for t in tokens if t.type is not TokenType.EOF]
+    for cut in range(len(significant) - 1, _MIN_TOKENS - 1, -1):
+        candidate = sql[: significant[cut].position].strip()
+        if try_parse(candidate) is not None:
+            return candidate
+    return None
+
+
+class _SourceInfo:
+    """Spelling and membership info for one FROM source."""
+
+    __slots__ = ("binding", "qualifier", "columns")
+
+    def __init__(
+        self,
+        binding: str,
+        qualifier: str,
+        columns: Optional[Dict[str, str]],
+    ) -> None:
+        self.binding = binding      #: lower-cased binding name
+        self.qualifier = qualifier  #: spelling to use when qualifying
+        self.columns = columns      #: lower name -> schema spelling; None = opaque
+
+
+class _RepairScope:
+    def __init__(self, parent: Optional["_RepairScope"]) -> None:
+        self.parent = parent
+        self.sources: List[_SourceInfo] = []
+
+    def lookup(self, qualifier: str) -> Optional[_SourceInfo]:
+        lowered = qualifier.lower()
+        for info in self.sources:
+            if info.binding == lowered:
+                return info
+        if self.parent is not None:
+            return self.parent.lookup(qualifier)
+        return None
+
+
+class _Rewriter:
+    """Scope-aware AST rewriter for case-fold + qualify repairs."""
+
+    def __init__(self, schema: DatabaseSchema):
+        self.schema = schema
+        self.case_folded = False
+        self.qualified = False
+
+    # -- query structure -----------------------------------------------------
+
+    def rewrite_query(
+        self, query: Query, parent: Optional[_RepairScope]
+    ) -> Query:
+        core = self._rewrite_core(query.core, parent)
+        set_query = (
+            self.rewrite_query(query.set_query, parent)
+            if query.set_query is not None else None
+        )
+        return Query(core=core, set_op=query.set_op, set_query=set_query)
+
+    def _rewrite_core(
+        self, core: SelectCore, parent: Optional[_RepairScope]
+    ) -> SelectCore:
+        scope = _RepairScope(parent)
+        from_clause = core.from_clause
+        if from_clause is not None:
+            from_clause = self._rewrite_from(from_clause, scope)
+
+        items = tuple(
+            SelectItem(
+                expr=self._rewrite_expr(item.expr, scope),
+                alias=item.alias,
+            )
+            for item in core.items
+        )
+        group_by = tuple(
+            self._rewrite_expr(expr, scope) for expr in core.group_by
+        )
+        order_by = tuple(
+            OrderItem(
+                expr=self._rewrite_expr(order.expr, scope),
+                direction=order.direction,
+            )
+            for order in core.order_by
+        )
+        where = self._rewrite_condition(core.where, scope)
+        having = self._rewrite_condition(core.having, scope)
+        return SelectCore(
+            items=items,
+            from_clause=from_clause,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=core.limit,
+            distinct=core.distinct,
+        )
+
+    def _rewrite_from(
+        self, clause: FromClause, scope: _RepairScope
+    ) -> FromClause:
+        source = self._rewrite_source(clause.source, scope)
+        joins = []
+        for join in clause.joins:
+            joins.append(Join(
+                source=self._rewrite_source(join.source, scope),
+                condition=None,  # rewritten below, once the scope is full
+                kind=join.kind,
+                using=join.using,
+            ))
+        # Join conditions may reference any source, so rewrite them only
+        # after every binding is registered.
+        joins = [
+            Join(
+                source=new.source,
+                condition=self._rewrite_condition(old.condition, scope),
+                kind=new.kind,
+                using=new.using,
+            )
+            for new, old in zip(joins, clause.joins)
+        ]
+        return FromClause(source=source, joins=tuple(joins))
+
+    def _rewrite_source(
+        self,
+        source: Union[TableRef, SubqueryTable],
+        scope: _RepairScope,
+    ) -> Union[TableRef, SubqueryTable]:
+        if isinstance(source, TableRef):
+            name = source.name
+            columns: Optional[Dict[str, str]] = None
+            if self.schema.has_table(name):
+                table = self.schema.table(name)
+                if table.name != name:
+                    self.case_folded = True
+                    name = table.name
+                columns = {c.name.lower(): c.name for c in table.columns}
+            qualifier = source.alias or name
+            scope.sources.append(_SourceInfo(
+                (source.alias or name).lower(), qualifier, columns,
+            ))
+            return TableRef(name=name, alias=source.alias)
+        rewritten = self.rewrite_query(source.query, None)
+        scope.sources.append(_SourceInfo(
+            source.binding(), source.alias or "", None,
+        ))
+        return SubqueryTable(query=rewritten, alias=source.alias)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _rewrite_expr(self, expr: Expr, scope: _RepairScope) -> Expr:
+        if isinstance(expr, ColumnRef):
+            return self._rewrite_column(expr, scope)
+        if isinstance(expr, FuncCall):
+            return FuncCall(
+                name=expr.name,
+                arg=self._rewrite_expr(expr.arg, scope),
+                distinct=expr.distinct,
+            )
+        if isinstance(expr, BinaryExpr):
+            return BinaryExpr(
+                op=expr.op,
+                left=self._rewrite_expr(expr.left, scope),
+                right=self._rewrite_expr(expr.right, scope),
+            )
+        if isinstance(expr, CaseExpr):
+            whens = tuple(
+                (
+                    self._rewrite_required(condition, scope),
+                    self._rewrite_expr(value, scope),
+                )
+                for condition, value in expr.whens
+            )
+            else_ = (
+                self._rewrite_expr(expr.else_, scope)
+                if expr.else_ is not None else None
+            )
+            return CaseExpr(whens=whens, else_=else_)
+        return expr  # literals
+
+    def _rewrite_column(
+        self, ref: ColumnRef, scope: _RepairScope
+    ) -> ColumnRef:
+        if ref.column == "*":
+            return ref
+        if ref.table:
+            info = scope.lookup(ref.table)
+            if info is None or info.columns is None:
+                return ref
+            spelled = info.columns.get(ref.column.lower())
+            table = info.qualifier if info.qualifier else ref.table
+            if spelled is None:
+                spelled = ref.column
+            if spelled != ref.column or table != ref.table:
+                self.case_folded = True
+                return ColumnRef(column=spelled, table=table)
+            return ref
+
+        lowered = ref.column.lower()
+        current: Optional[_RepairScope] = scope
+        while current is not None:
+            if any(info.columns is None for info in current.sources):
+                return ref  # opaque source: resolution is unreliable
+            matches = [
+                info for info in current.sources
+                if info.columns is not None and lowered in info.columns
+            ]
+            if len(matches) > 1:
+                return ref  # ambiguous: repairing would guess
+            if len(matches) == 1:
+                info = matches[0]
+                assert info.columns is not None
+                spelled = info.columns[lowered]
+                if spelled != ref.column:
+                    self.case_folded = True
+                if len(current.sources) > 1:
+                    self.qualified = True
+                    return ColumnRef(column=spelled, table=info.qualifier)
+                if spelled != ref.column:
+                    return ColumnRef(column=spelled, table=None)
+                return ref
+            current = current.parent
+        return ref
+
+    # -- conditions ----------------------------------------------------------
+
+    def _rewrite_condition(
+        self, condition: Optional[Condition], scope: _RepairScope
+    ) -> Optional[Condition]:
+        if condition is None:
+            return None
+        return self._rewrite_required(condition, scope)
+
+    def _rewrite_required(
+        self, condition: Condition, scope: _RepairScope
+    ) -> Condition:
+        if isinstance(condition, AndCondition):
+            return AndCondition(operands=tuple(
+                self._rewrite_required(op, scope)
+                for op in condition.operands
+            ))
+        if isinstance(condition, OrCondition):
+            return OrCondition(operands=tuple(
+                self._rewrite_required(op, scope)
+                for op in condition.operands
+            ))
+        if isinstance(condition, NotCondition):
+            return NotCondition(
+                operand=self._rewrite_required(condition.operand, scope)
+            )
+        if isinstance(condition, Comparison):
+            right: Union[Expr, Query]
+            if isinstance(condition.right, Query):
+                right = self.rewrite_query(condition.right, scope)
+            else:
+                right = self._rewrite_expr(condition.right, scope)
+            return Comparison(
+                op=condition.op,
+                left=self._rewrite_expr(condition.left, scope),
+                right=right,
+            )
+        if isinstance(condition, InCondition):
+            values: Union[Tuple[Literal, ...], Query]
+            if isinstance(condition.values, Query):
+                values = self.rewrite_query(condition.values, scope)
+            else:
+                values = condition.values
+            return InCondition(
+                expr=self._rewrite_expr(condition.expr, scope),
+                values=values,
+                negated=condition.negated,
+            )
+        if isinstance(condition, LikeCondition):
+            return LikeCondition(
+                expr=self._rewrite_expr(condition.expr, scope),
+                pattern=condition.pattern,
+                negated=condition.negated,
+            )
+        if isinstance(condition, BetweenCondition):
+            low: Union[Expr, Query]
+            high: Union[Expr, Query]
+            if isinstance(condition.low, Query):
+                low = self.rewrite_query(condition.low, scope)
+            else:
+                low = self._rewrite_expr(condition.low, scope)
+            if isinstance(condition.high, Query):
+                high = self.rewrite_query(condition.high, scope)
+            else:
+                high = self._rewrite_expr(condition.high, scope)
+            return BetweenCondition(
+                expr=self._rewrite_expr(condition.expr, scope),
+                low=low,
+                high=high,
+                negated=condition.negated,
+            )
+        if isinstance(condition, IsNullCondition):
+            return IsNullCondition(
+                expr=self._rewrite_expr(condition.expr, scope),
+                negated=condition.negated,
+            )
+        if isinstance(condition, ExistsCondition):
+            return ExistsCondition(
+                query=self.rewrite_query(condition.query, scope),
+                negated=condition.negated,
+            )
+        return condition

@@ -14,6 +14,11 @@ Subcommands:
 * ``report`` — regenerate every artifact into one Markdown document.
 * ``ask`` — translate one question with the DAIL-SQL pipeline against a
   benchmark database.
+* ``lint`` — run the schema-aware static analyzer over SQL from a file,
+  stdin, or a persisted predictions file, printing diagnostics
+  (``--json`` for machine-readable output, ``--repair`` to also show the
+  deterministic repair pass).  Exit code 1 when any fatal diagnostic
+  fired.
 * ``models`` — list available model profiles.
 * ``cache`` — inspect (``stats``) or wipe (``clear``) the on-disk
   artifact cache that makes sweeps incremental across processes.
@@ -88,6 +93,14 @@ def _apply_progress(args: argparse.Namespace) -> None:
         set_default_progress(progress)
 
 
+def _apply_repair(args: argparse.Namespace) -> None:
+    """Honour a ``--repair`` flag by enabling the analyzer repair pass."""
+    if getattr(args, "repair", False):
+        from .experiments.context import set_default_repair
+
+        set_default_repair(True)
+
+
 def _apply_resilience(args: argparse.Namespace) -> None:
     """Honour ``--journal``/``--resume``/``--chaos`` and install the
     two-stage SIGINT handler (first Ctrl-C drains and checkpoints,
@@ -125,6 +138,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_trace(args)
     _apply_progress(args)
+    _apply_repair(args)
     _apply_resilience(args)
     result = run_experiment(args.artifact, fast=args.fast, limit=args.limit)
     print(result.render())
@@ -138,6 +152,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_trace(args)
     _apply_progress(args)
+    _apply_repair(args)
     _apply_resilience(args)
     for result in run_all(fast=args.fast, limit=args.limit):
         print(result.render())
@@ -180,6 +195,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_trace(args)
     _apply_progress(args)
+    _apply_repair(args)
     _apply_resilience(args)
     context = get_context(fast=args.fast)
 
@@ -263,6 +279,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_trace(args)
     _apply_progress(args)
+    _apply_repair(args)
     _apply_resilience(args)
     path = write_report(
         args.output, fast=args.fast, limit=args.limit,
@@ -409,6 +426,128 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_entries(args: argparse.Namespace) -> List[tuple]:
+    """Resolve the lint inputs into ``(db_id, label, sql)`` triples.
+
+    Three sources: a SQL file, ``-`` for stdin (both need ``--db``), or
+    ``--predictions`` pointing at a persisted report (JSON, any
+    supported format version) or a record-per-line JSONL file — records
+    carry their own ``db_id`` and ``predicted_sql``.
+    """
+    import json as jsonlib
+
+    from .errors import ReproError
+
+    if args.predictions:
+        path = args.source
+        try:
+            from .eval.persistence import load_report
+
+            report = load_report(path)
+            return [
+                (r.db_id, r.example_id, r.predicted_sql)
+                for r in report.records
+            ]
+        except ReproError:
+            pass  # not a report file — fall through to JSONL
+        entries = []
+        with open(path, "r", encoding="utf-8") as handle:
+            for index, line in enumerate(handle):
+                line = line.strip()
+                if not line:
+                    continue
+                record = jsonlib.loads(line)
+                entries.append((
+                    str(record["db_id"]),
+                    str(record.get("example_id", f"line-{index + 1}")),
+                    str(record.get("predicted_sql", record.get("sql", ""))),
+                ))
+        return entries
+    if not args.db:
+        raise ReproError("--db is required unless --predictions is given")
+    if args.source == "-":
+        sql = sys.stdin.read()
+        label = "<stdin>"
+    else:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            sql = handle.read()
+        label = args.source
+    return [(args.db, label, sql)]
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer over SQL and print diagnostics."""
+    import json as jsonlib
+
+    from .analysis import analyze, repair
+    from .errors import ReproError
+    from .experiments.context import get_context
+
+    context = get_context(fast=args.fast)
+
+    def schema_for(db_id: str):
+        for dataset in (context.dev, context.train):
+            if dataset is not None and db_id in dataset.schemas:
+                return dataset.schema(db_id)
+        raise ReproError(
+            f"unknown database id {db_id!r} (not in the benchmark corpus)"
+        )
+
+    outputs = []
+    any_fatal = False
+    for db_id, label, sql in _lint_entries(args):
+        schema = schema_for(db_id)
+        result = analyze(schema, sql.strip())
+        entry = {
+            "source": label,
+            "db_id": db_id,
+            "analysis": result.to_dict(),
+            "fatal": result.fatal,
+        }
+        if args.repair and result.diagnostics:
+            fixed = repair(schema, sql.strip())
+            if fixed.changed:
+                rechecked = analyze(schema, fixed.sql)
+                entry["repaired_sql"] = fixed.sql
+                entry["repair_applied"] = list(fixed.applied)
+                entry["repaired_analysis"] = rechecked.to_dict()
+                entry["fatal"] = rechecked.fatal
+        any_fatal = any_fatal or bool(entry["fatal"])
+        outputs.append(entry)
+
+    if args.json:
+        print(jsonlib.dumps(outputs, indent=1))
+        return 1 if any_fatal else 0
+
+    clean = 0
+    for entry in outputs:
+        diagnostics = entry["analysis"]["diagnostics"]
+        if not diagnostics and "repaired_sql" not in entry:
+            clean += 1
+            continue
+        if entry["fatal"]:
+            verdict = "FATAL"
+        elif "repaired_sql" in entry:
+            verdict = "repaired"
+        else:
+            verdict = "ok"
+        print(f"{entry['source']} ({entry['db_id']}): "
+              f"{len(diagnostics)} diagnostic(s), {verdict}")
+        for diag in diagnostics:
+            fix = f" (fix: {diag['fix']})" if diag["fix"] else ""
+            print(f"  {diag['severity']}[{diag['rule']}] "
+                  f"{diag['message']}{fix}")
+        if "repaired_sql" in entry:
+            applied = ", ".join(entry["repair_applied"])
+            print(f"  repaired [{applied}]: {entry['repaired_sql']}")
+            for diag in entry["repaired_analysis"]["diagnostics"]:
+                print(f"    after repair: {diag['severity']}"
+                      f"[{diag['rule']}] {diag['message']}")
+    if clean:
+        print(f"{clean} statement(s) clean")
+    return 1 if any_fatal else 0
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     from .llm.profiles import get_profile, list_models
 
@@ -451,6 +590,17 @@ def build_parser() -> argparse.ArgumentParser:
             help="suppress the live status line (default follows the TTY)",
         )
 
+    repair_help = (
+        "enable the analyzer's deterministic repair pass: predictions "
+        "with diagnostics are rewritten (schema-spelled identifiers, "
+        "qualified columns, trailing junk dropped) before execution"
+    )
+
+    def add_repair_flag(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument(
+            "--repair", action="store_true", help=repair_help
+        )
+
     def add_resilience_flags(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--journal", default=None, metavar="PATH",
@@ -481,6 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--workers", type=int, default=None, help=workers_help)
     p_exp.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_exp)
+    add_repair_flag(p_exp)
     add_resilience_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
@@ -490,6 +641,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--workers", type=int, default=None, help=workers_help)
     p_all.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_all)
+    add_repair_flag(p_all)
     add_resilience_flags(p_all)
     p_all.set_defaults(func=_cmd_experiments)
 
@@ -516,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--workers", type=int, default=None, help=workers_help)
     p_cmp.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_cmp)
+    add_repair_flag(p_cmp)
     add_resilience_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -546,8 +699,44 @@ def build_parser() -> argparse.ArgumentParser:
                           help=workers_help)
     p_report.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_report)
+    add_repair_flag(p_report)
     add_resilience_flags(p_report)
     p_report.set_defaults(func=_cmd_report)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run the schema-aware static analyzer over SQL",
+        description=(
+            "Analyze SQL against a benchmark database schema.  Reads a "
+            ".sql file, stdin (source '-'), or — with --predictions — a "
+            "persisted report JSON / records JSONL whose entries carry "
+            "their own db_id.  Exit code 1 when any fatal diagnostic "
+            "fired, 0 otherwise."
+        ),
+    )
+    p_lint.add_argument(
+        "source",
+        help="SQL file path, '-' for stdin, or a predictions file "
+             "(with --predictions)",
+    )
+    p_lint.add_argument(
+        "--db", default=None,
+        help="database id the SQL targets, e.g. concert_singer "
+             "(required unless --predictions)",
+    )
+    p_lint.add_argument(
+        "--predictions", action="store_true",
+        help="treat SOURCE as a persisted report (JSON) or "
+             "record-per-line JSONL; each record's own db_id is used",
+    )
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable JSON output")
+    p_lint.add_argument("--repair", action="store_true",
+                        help="also run the deterministic repair pass and "
+                             "show the rewritten SQL + its re-analysis")
+    p_lint.add_argument("--fast", action="store_true",
+                        help="use the reduced benchmark corpus")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_models = sub.add_parser("models", help="list model profiles")
     p_models.set_defaults(func=_cmd_models)

@@ -18,7 +18,7 @@ models — so the leaderboard comparison is apples-to-apples:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from ..eval.harness import RunConfig
 

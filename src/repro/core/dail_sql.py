@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..dataset.spider import SpiderDataset
-from ..db.sqlite_backend import Database, DatabasePool
+from ..db.sqlite_backend import Database
 from ..llm.extract import extract_sql
 from ..llm.interface import LLMClient
 from ..prompt.builder import Prompt, PromptBuilder

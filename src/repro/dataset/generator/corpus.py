@@ -13,13 +13,13 @@ Spider-Realistic benchmark used in the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ...db.sqlite_backend import DatabasePool
 from ...errors import DatasetError
 from ..spider import Example, SpiderDataset
-from .domains import DOMAINS, DomainSpec, build_schema
+from .domains import DOMAINS, build_schema
 from .populate import populate
 from .questions import generate_examples
 

@@ -13,7 +13,7 @@ Spider's.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from ...errors import SchemaError
 from ...schema.model import Column, DatabaseSchema, ForeignKey, Table

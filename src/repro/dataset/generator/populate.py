@@ -9,11 +9,11 @@ constraints.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from ...errors import DatasetError
 from ...utils.rng import rng_from
-from .domains import ColSpec, DomainSpec, TableSpec
+from .domains import ColSpec, DomainSpec
 from .pools import pool
 
 Row = Dict[str, object]

@@ -11,7 +11,7 @@ only amortised compute, approximated per 1k tokens).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 from ..errors import EvaluationError
 from .metrics import EvalReport

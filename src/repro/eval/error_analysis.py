@@ -142,3 +142,59 @@ def breakdown_rows(
                 row[category] = counts.get(category, 0)
         rows.append(row)
     return rows
+
+
+def lint_cross_tab(
+    records: Sequence[PredictionRecord],
+) -> Dict[str, Dict[str, int]]:
+    """Cross-tabulate analyzer rules against failure categories.
+
+    For every record that carries lint diagnostics, each fired rule is
+    counted against the record's outcome: its primary failure category
+    from :func:`diagnose`, ``"lint-gated"`` when a fatal diagnostic
+    short-circuited execution (nothing to diff), or ``"correct"`` when
+    the prediction nonetheless matched gold — that last column measures
+    each warning rule's false-positive rate as a wrongness signal.
+    """
+    table: Dict[str, Dict[str, int]] = {}
+    for record in records:
+        if not record.diagnostics:
+            continue
+        if record.error_class.startswith("lint:"):
+            outcome = "lint-gated"
+        elif record.exec_match:
+            outcome = "correct"
+        else:
+            diagnosis = diagnose(record)
+            outcome = diagnosis.primary if diagnosis else "correct"
+        for entry in record.diagnostics:
+            rule = str(entry.get("rule", ""))
+            cell = table.setdefault(rule, {})
+            cell[outcome] = cell.get(outcome, 0) + 1
+    return {rule: dict(sorted(cells.items()))
+            for rule, cells in sorted(table.items())}
+
+
+def lint_rows(records: Sequence[PredictionRecord]) -> List[Dict[str, object]]:
+    """Tabulate :func:`lint_cross_tab` for the experiment tables.
+
+    One row per fired rule: total firings, how many executions the rule
+    gated, how many diagnosed predictions still matched gold, and how
+    many failed at runtime — plus the rule's *precision* as a wrongness
+    signal (flagged-and-wrong / flagged).
+    """
+    rows: List[Dict[str, object]] = []
+    for rule, cells in lint_cross_tab(records).items():
+        total = sum(cells.values())
+        gated = cells.get("lint-gated", 0)
+        correct = cells.get("correct", 0)
+        wrong = total - correct
+        rows.append({
+            "rule": rule,
+            "fired": total,
+            "gated": gated,
+            "correct": correct,
+            "wrong": wrong,
+            "precision": round(wrong / total, 3) if total else 0.0,
+        })
+    return rows

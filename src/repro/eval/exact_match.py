@@ -12,7 +12,7 @@ script reports as partial matching.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 from ..sql.ast_nodes import (
     BetweenCondition,
@@ -29,7 +29,6 @@ from ..sql.ast_nodes import (
     LikeCondition,
     Literal,
     NotCondition,
-    OrderItem,
     Query,
     SelectCore,
     iter_conditions,

@@ -8,7 +8,7 @@ picture, not only a table — no plotting dependency required.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
 _MARKS = "ox+*#@%&"
 

@@ -6,7 +6,7 @@ candidate pool for in-context examples, the databases for execution-
 accuracy scoring, and the unified artifact cache.  Example evaluation is
 delegated to the staged :class:`~repro.eval.pipeline.EvalPipeline`::
 
-    select → build → generate → extract → execute → score
+    select → build → generate → extract → analyze → execute → score
 
 Every expensive stage reads and writes content-addressed artifacts
 through :class:`~repro.cache.store.ArtifactCache`, so parameter sweeps
@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 import warnings
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..cache.store import ArtifactCache, build_cache
@@ -33,7 +33,7 @@ from ..db.sqlite_backend import DatabasePool
 from ..errors import EvaluationError
 from ..llm.finetune import SFTState
 from ..llm.oracle import GoldOracle
-from ..llm.simulated import SimulatedLLM, make_llm
+from ..llm.simulated import make_llm
 from ..prompt.builder import PromptBuilder
 from ..prompt.organization import get_organization
 from ..prompt.representation import RepresentationOptions, get_representation
@@ -147,6 +147,12 @@ class BenchmarkRunner:
             policy's fingerprint so chaos runs never contaminate clean
             ones.  The shared LLM circuit breaker is exposed as
             :attr:`breaker`.
+        repair: enable the analyzer's deterministic repair pass —
+            predictions with diagnostics are rewritten (case-folded
+            identifiers, qualified columns, trailing junk dropped) and
+            re-analyzed before execution.  Part of the ``analyze``
+            artifact's cache key, so repaired and plain runs never share
+            analysis artifacts.
     """
 
     def __init__(
@@ -158,11 +164,13 @@ class BenchmarkRunner:
         llm_latency_s: float = 0.0,
         cache: Optional[ArtifactCache] = None,
         chaos=None,
+        repair: bool = False,
     ):
         self.eval_dataset = eval_dataset
         self.candidates = candidates
         self.seed = seed
         self.llm_latency_s = llm_latency_s
+        self.repair = repair
         self.oracle = GoldOracle(eval_dataset)
         if candidates is not None:
             self.oracle.add_dataset(candidates)
@@ -182,7 +190,7 @@ class BenchmarkRunner:
             if self.cache.disk is not None:
                 self.cache.disk = ChaoticDiskTier(self.cache.disk.root, chaos)
         self.pipeline = EvalPipeline(
-            eval_dataset, candidates, self.pool, self.cache
+            eval_dataset, candidates, self.pool, self.cache, repair=repair
         )
         self._selections: Dict[str, SelectionStrategy] = {}
         self._selection_lock = threading.Lock()

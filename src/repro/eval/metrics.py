@@ -24,7 +24,16 @@ class PredictionRecord:
     isolated by the engine; errored records score as wrong on both
     metrics but never abort a sweep.  ``error_class`` is the raising
     exception's type name — the structured counterpart of the formatted
-    ``error`` string, so trace grouping and report tallies agree.
+    ``error`` string, so trace grouping and report tallies agree.  The
+    static analyzer reuses ``error_class`` with a ``lint:<rule>`` value
+    when a fatal diagnostic gated execution; ``error`` stays empty then
+    because nothing raised.
+
+    ``diagnostics`` carries the analyzer's verdicts (serialised
+    :class:`~repro.analysis.diagnostics.Diagnostic` dicts) for the SQL
+    that was scored; ``repaired_sql`` is non-empty only when the opt-in
+    repair pass changed the text, in which case ``predicted_sql`` keeps
+    the original extraction and ``repaired_sql`` is what executed.
     """
 
     example_id: str
@@ -41,6 +50,9 @@ class PredictionRecord:
     n_examples: int
     error: str = ""
     error_class: str = ""
+    statement_kind: str = ""
+    repaired_sql: str = ""
+    diagnostics: List[Dict[str, object]] = field(default_factory=list)
 
 
 @dataclass
@@ -172,10 +184,12 @@ class EvalReport:
         Records written before ``error_class`` existed fall back to the
         prefix of the formatted ``error`` string (same convention the
         trace viewer uses), so old persisted reports group identically.
+        Lint-gated records (``error_class`` set, ``error`` empty) count
+        under their ``lint:<rule>`` class alongside engine faults.
         """
         out: Dict[str, int] = {}
         for record in self.records:
-            if not record.error:
+            if not record.error and not record.error_class:
                 continue
             name = record.error_class or record.error.split(":", 1)[0]
             out[name] = out.get(name, 0) + 1

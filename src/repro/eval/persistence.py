@@ -27,11 +27,14 @@ from .telemetry import RunTelemetry
 #: spans to ("" when tracing was off), so ``dail-sql trace`` can find a
 #: persisted run's trace later; v4 added the report-level ``partial``
 #: flag (interrupted/deadline-cut runs), the per-record ``error_class``
-#: and the telemetry ``journal_skipped``/``deadline_exceeded`` counters.
-FORMAT_VERSION = 4
+#: and the telemetry ``journal_skipped``/``deadline_exceeded`` counters;
+#: v5 added the static-analyzer record fields — ``statement_kind``,
+#: ``diagnostics`` (serialised lint verdicts) and ``repaired_sql`` (""
+#: unless the opt-in repair pass rewrote the prediction).
+FORMAT_VERSION = 5
 
 #: Versions :func:`report_from_dict` can still read.
-SUPPORTED_VERSIONS = (1, 2, 3, 4)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
 
 
 def report_to_dict(report: EvalReport) -> Dict:
@@ -52,8 +55,9 @@ def report_from_dict(payload: Dict) -> EvalReport:
 
     Reads current-format files as well as v1 (predates the ``error``
     field and run telemetry), v2 (predates the telemetry ``trace_file``
-    pointer) and v3 (predates the ``partial`` flag and ``error_class``)
-    files — the missing fields take their dataclass defaults.
+    pointer), v3 (predates the ``partial`` flag and ``error_class``)
+    and v4 (predates the analyzer fields) files — the missing fields
+    take their dataclass defaults.
 
     Raises:
         EvaluationError: on version mismatch or malformed payloads.

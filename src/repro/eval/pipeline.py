@@ -1,8 +1,8 @@
 """The staged evaluation pipeline.
 
-One example evaluation is an explicit chain of six small stages::
+One example evaluation is an explicit chain of seven small stages::
 
-    select → build → generate → extract → execute → score
+    select → build → generate → extract → analyze → execute → score
 
 Each stage is an independently testable unit with declared inputs and
 outputs (read from / written to a shared state dict), and every
@@ -18,10 +18,21 @@ select     ``select``                   strategy fingerprint, target
                                         question/db, k, preliminary SQL
 generate   ``generate``                 LLM fingerprint, prompt text,
                                         sample tag
+analyze    ``analyze``                  analyzer version, database
+                                        fingerprint, predicted SQL,
+                                        repair flag
 execute    ``gold``                     database fingerprint, gold SQL
 execute    ``execute``                  database fingerprint,
                                         predicted SQL
 ========== ============================ ==============================
+
+The analyze stage is the execution safety gate: fatal diagnostics
+(statement would not run, or is not a read-only SELECT) short-circuit
+the execute stage — ``exec_match`` is ``False``, no DB round-trip
+happens, and the record carries a structured ``lint:<rule>``
+``error_class`` plus the full diagnostic list.  With repair enabled the
+stage also runs the deterministic repair pass and re-analyzes, so the
+record shows the original and the repaired SQL side by side.
 
 ``build``, ``extract`` and ``score`` are cheap pure functions and are
 always recomputed.  Because keys are pure content hashes, artifacts are
@@ -41,6 +52,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..analysis.analyzer import ANALYZER_VERSION, analyze
+from ..analysis.repair import repair as repair_sql
 from ..cache.store import ArtifactCache
 from ..dataset.spider import Example, SpiderDataset
 from ..db.execution import results_match
@@ -174,19 +187,50 @@ class ExtractStage(PipelineStage):
         )
 
 
-class ExecuteStage(PipelineStage):
-    """Execute gold and predicted SQL and compare result sets."""
+class AnalyzeStage(PipelineStage):
+    """Static analysis + safety gate on the extracted SQL (cached)."""
 
-    name = "execute"
+    name = "analyze"
     inputs = ("example", "predicted_sql")
-    outputs = ("exec_match",)
+    outputs = ("analysis", "final_sql")
 
     def run(self, state: State, collector) -> None:
         example = state["example"]
         predicted_sql = state["predicted_sql"]
+        payload = self.pipeline.analysis(
+            example.db_id, predicted_sql, collector
+        )
+        state["analysis"] = payload
+        state["final_sql"] = payload.get("final_sql") or predicted_sql
+        for entry in payload.get("diagnostics", []):
+            collector.record_lint(
+                str(entry.get("rule", "")), str(entry.get("severity", ""))
+            )
+
+
+class ExecuteStage(PipelineStage):
+    """Execute gold and predicted SQL and compare result sets.
+
+    Fatal analyzer diagnostics short-circuit the predicted-side
+    execution: the statement would fail (or must not run), so the stage
+    scores it as a non-match without a DB round-trip.
+    """
+
+    name = "execute"
+    inputs = ("example", "predicted_sql", "analysis", "final_sql")
+    outputs = ("exec_match",)
+
+    def run(self, state: State, collector) -> None:
+        example = state["example"]
+        analysis = state.get("analysis") or {}
+        if analysis.get("fatal"):
+            collector.record_short_circuit()
+            state["exec_match"] = False
+            return
+        final_sql = str(state.get("final_sql") or state["predicted_sql"])
         gold_rows = self.pipeline.gold_rows(example, collector)
         pred_rows = self.pipeline.predicted_rows(
-            example.db_id, predicted_sql, collector
+            example.db_id, final_sql, collector
         )
         state["exec_match"] = pred_rows is not None and results_match(
             gold_rows, pred_rows, example.query
@@ -199,14 +243,16 @@ class ScoreStage(PipelineStage):
     name = "score"
     inputs = (
         "example", "prompt", "raw_output", "predicted_sql",
-        "exec_match", "completion_tokens",
+        "analysis", "final_sql", "exec_match", "completion_tokens",
     )
     outputs = ("exact_match", "record")
 
     def run(self, state: State, collector) -> None:
         example, prompt = state["example"], state["prompt"]
         predicted_sql = state["predicted_sql"]
-        em_ok = exact_match(example.query, predicted_sql)
+        analysis = state.get("analysis") or {}
+        final_sql = str(state.get("final_sql") or predicted_sql)
+        em_ok = exact_match(example.query, final_sql)
         state["exact_match"] = em_ok
         state["record"] = PredictionRecord(
             example_id=example.example_id,
@@ -221,6 +267,10 @@ class ScoreStage(PipelineStage):
             prompt_tokens=prompt.token_count,
             completion_tokens=state["completion_tokens"],
             n_examples=prompt.n_examples,
+            error_class=str(analysis.get("error_class", "")),
+            statement_kind=str(analysis.get("statement_kind", "")),
+            repaired_sql=str(analysis.get("repaired_sql", "")),
+            diagnostics=list(analysis.get("diagnostics", [])),
         )
 
 
@@ -230,6 +280,7 @@ STAGE_CLASSES = (
     BuildPromptStage,
     GenerateStage,
     ExtractStage,
+    AnalyzeStage,
     ExecuteStage,
     ScoreStage,
 )
@@ -247,6 +298,10 @@ class EvalPipeline:
         candidates: in-context example pool (``None`` for zero-shot).
         pool: databases for execution-accuracy scoring.
         cache: the unified artifact cache all stages go through.
+        repair: run the deterministic repair pass on diagnosed
+            predictions (the ``--repair`` flag); the repair outcome is
+            part of the ``analyze`` artifact's cache key, so repaired
+            and unrepaired runs never share analysis artifacts.
     """
 
     def __init__(
@@ -255,11 +310,13 @@ class EvalPipeline:
         candidates: Optional[SpiderDataset],
         pool: DatabasePool,
         cache: ArtifactCache,
+        repair: bool = False,
     ):
         self.dataset = dataset
         self.candidates = candidates
         self.pool = pool
         self.cache = cache
+        self.repair = repair
         self.stages = tuple(cls(self) for cls in STAGE_CLASSES)
 
     def stage(self, name: str) -> PipelineStage:
@@ -348,6 +405,60 @@ class EvalPipeline:
             collector=collector,
         )
 
+    def analysis(self, db_id: str, sql: str, collector) -> Dict:
+        """The ``analyze`` artifact: diagnostics + safety verdict.
+
+        The payload is plain JSON: ``statement_kind``, ``diagnostics``
+        (list of dicts), ``fatal``, ``error_class``, ``final_sql``
+        (repaired text when repair applied, else the input), plus
+        ``repaired_sql``/``repair_applied``/``original_diagnostics``
+        when the repair pass changed the text.  Keyed purely on analyzer
+        version, database fingerprint, SQL text and the repair flag, so
+        results are byte-identical serial vs parallel and cache-hit on
+        warm reruns.
+        """
+
+        def compute() -> Dict:
+            schema = self.dataset.schema(db_id)
+            result = analyze(schema, sql)
+            payload: Dict = {
+                "statement_kind": result.statement_kind,
+                "diagnostics": [d.to_dict() for d in result.diagnostics],
+                "fatal": result.fatal,
+                "error_class": result.error_class(),
+                "final_sql": sql,
+                "repaired_sql": "",
+            }
+            if self.repair and result.diagnostics:
+                fixed = repair_sql(schema, sql)
+                if fixed.changed:
+                    rechecked = analyze(schema, fixed.sql)
+                    payload.update({
+                        "original_diagnostics": payload["diagnostics"],
+                        "statement_kind": rechecked.statement_kind,
+                        "diagnostics": [
+                            d.to_dict() for d in rechecked.diagnostics
+                        ],
+                        "fatal": rechecked.fatal,
+                        "error_class": rechecked.error_class(),
+                        "final_sql": fixed.sql,
+                        "repaired_sql": fixed.sql,
+                        "repair_applied": list(fixed.applied),
+                    })
+            return payload
+
+        return self.cache.get_or_compute(
+            "analyze",
+            (
+                ANALYZER_VERSION,
+                self.pool.fingerprint(db_id),
+                sql,
+                "repair" if self.repair else "plain",
+            ),
+            compute,
+            collector=collector,
+        )
+
     def gold_rows(self, example: Example, collector):
         """The ``gold`` artifact: executed gold-query result rows."""
 
@@ -412,8 +523,21 @@ class EvalPipeline:
             if index == 0:
                 first_raw = generation["text"]
             sql = extract_sql(generation["text"], prompt.response_prefix)
-            with collector.stage("execute"):
-                rows = self.predicted_rows(example.db_id, sql, collector)
+            with collector.stage("analyze"):
+                payload = self.analysis(example.db_id, sql, collector)
+            final_sql = payload.get("final_sql") or sql
+            if payload.get("fatal"):
+                # The safety gate: a fatally-diagnosed sample never
+                # touches the database — it votes as an error.  Lint
+                # counters are recorded once for the winner by the
+                # analyze stage, not per sample.
+                collector.record_short_circuit()
+                rows = None
+            else:
+                with collector.stage("execute"):
+                    rows = self.predicted_rows(
+                        example.db_id, final_sql, collector
+                    )
             key = "<error>" if rows is None else repr(sorted(map(repr, rows)))
             votes.setdefault(key, []).append(sql)
 

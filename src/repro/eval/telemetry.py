@@ -37,6 +37,8 @@ from ..obs.metrics import (
     M_CACHE_REQUESTS,
     M_ERRORS,
     M_EXAMPLES,
+    M_LINT_DIAGNOSTICS,
+    M_LINT_SHORT_CIRCUIT,
     M_STAGE_LATENCY,
     M_STAGE_SECONDS,
     MetricsRegistry,
@@ -46,7 +48,7 @@ from ..obs.trace import NULL_TRACER
 logger = logging.getLogger(__name__)
 
 #: Pipeline stages timed per example, in pipeline order.
-STAGES = ("select", "build", "generate", "extract", "execute", "score")
+STAGES = ("select", "build", "generate", "extract", "analyze", "execute", "score")
 
 #: Slack before busy-time accounting is flagged as inconsistent: timer
 #: granularity can push ``busy_s`` epsilon past capacity legitimately.
@@ -289,6 +291,17 @@ class TelemetryCollector:
         if stack and stack[-1].span is not None:
             stack[-1].span.inc(f"cache_{name}_{result}")
 
+    def record_lint(self, rule: str, severity: str) -> None:
+        """Count one analyzer diagnostic (``repro_lint_diagnostics_total``)."""
+        self.registry.counter_add(
+            M_LINT_DIAGNOSTICS, 1,
+            {**self.labels, "rule": rule, "severity": severity},
+        )
+
+    def record_short_circuit(self) -> None:
+        """Count one execution skipped by a fatal lint diagnostic."""
+        self.registry.counter_add(M_LINT_SHORT_CIRCUIT, 1, self.labels)
+
     def example_done(self, elapsed_s: float, error: bool = False) -> None:
         self.registry.counter_add(M_BUSY_SECONDS, elapsed_s, self.labels)
         self.registry.counter_add(M_EXAMPLES, 1, self.labels)
@@ -387,6 +400,12 @@ class NullCollector(TelemetryCollector):
         yield
 
     def record_cache(self, name: str, hit: bool) -> None:
+        pass
+
+    def record_lint(self, rule: str, severity: str) -> None:
+        pass
+
+    def record_short_circuit(self) -> None:
         pass
 
     def example_done(self, elapsed_s: float, error: bool = False) -> None:

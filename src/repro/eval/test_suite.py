@@ -14,7 +14,7 @@ rarely survives five re-populations.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from ..dataset.generator.domains import DomainSpec, build_schema, domain_by_id
 from ..dataset.generator.populate import populate

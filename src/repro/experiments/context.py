@@ -86,6 +86,26 @@ def default_chaos():
     return _DEFAULT_CHAOS
 
 
+#: Analyzer repair pass applied to runners built by :func:`get_context`
+#: (``--repair``); ``False`` = score predictions as extracted.
+_DEFAULT_REPAIR = False
+
+
+def set_default_repair(enabled: bool) -> None:
+    """Enable the analyzer's deterministic repair pass on every
+    subsequently built context (the CLI's ``--repair`` flag).  Cached
+    contexts are dropped: their pipelines were built without it.
+    """
+    global _DEFAULT_REPAIR
+    _DEFAULT_REPAIR = bool(enabled)
+    clear_cache()
+
+
+def default_repair() -> bool:
+    """Whether the analyzer repair pass is active for new contexts."""
+    return _DEFAULT_REPAIR
+
+
 def set_default_journal(path: Optional[str], resume: bool = False) -> None:
     """Configure run journaling for subsequent sweeps (the CLI's
     ``--journal``/``--resume`` flags).  ``None`` disables it."""
@@ -216,6 +236,7 @@ class ExperimentContext:
             self.corpus.pool(),
             seed=seed,
             cache=self.runner.cache,
+            repair=self.runner.repair,
         )
 
 
@@ -228,7 +249,8 @@ def get_context(fast: bool = False) -> ExperimentContext:
     if context is None:
         corpus = build_corpus(FAST_CONFIG if fast else FULL_CONFIG)
         runner = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(),
-                                 seed=BENCHMARK_SEED, chaos=_DEFAULT_CHAOS)
+                                 seed=BENCHMARK_SEED, chaos=_DEFAULT_CHAOS,
+                                 repair=_DEFAULT_REPAIR)
         context = ExperimentContext(corpus=corpus, runner=runner)
         _CACHE[fast] = context
     return context

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, List, Optional
 
 from ..errors import ExperimentError
 from . import (
@@ -41,6 +41,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "dail_threshold": exp_extras.run_dail_threshold,
     "self_correction": exp_extras.run_self_correction,
     "errors": exp_extras.run_error_analysis,
+    "lint": exp_extras.run_lint_summary,
     "calibration": exp_extras.run_calibration,
     "pound_sign": exp_extras.run_pound_sign,
     "token_budget": exp_extras.run_token_budget,

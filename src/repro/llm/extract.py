@@ -9,7 +9,8 @@ strip decoration, reattach the lead-in.
 from __future__ import annotations
 
 import re
-from typing import Optional
+
+from ..analysis.safety import split_statements
 
 _CODE_FENCE_RE = re.compile(r"```(?:sql)?\s*(.*?)```", re.DOTALL | re.IGNORECASE)
 _SELECT_RE = re.compile(r"\bSELECT\b", re.IGNORECASE)
@@ -45,10 +46,17 @@ def extract_sql(text: str, response_prefix: str = "SELECT") -> str:
 
 
 def _truncate_at_boundary(sql: str) -> str:
-    """Cut the query at a semicolon or an obvious prose boundary."""
-    semicolon = sql.find(";")
-    if semicolon != -1:
-        sql = sql[:semicolon]
+    """Cut the query at a statement boundary or an obvious prose line.
+
+    The statement split is quote-aware (a semicolon inside a ``'...'``
+    literal does not truncate).  When a fenced block carries several
+    statements, only the first is returned — the static analyzer flags
+    raw multi-statement output separately, but extraction must not hand
+    ``sqlite3`` text it refuses outright.
+    """
+    statements = split_statements(sql)
+    if statements:
+        sql = statements[0]
     # Drop trailing prose that starts on a new line without SQL keywords.
     lines = sql.splitlines()
     kept = []

@@ -8,7 +8,7 @@ Swapping in a real API client requires only this interface.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Protocol, Sequence, runtime_checkable
+from typing import List, Protocol, Sequence, runtime_checkable
 
 from ..prompt.builder import Prompt
 

@@ -13,7 +13,7 @@ Profiles are data, not behaviour: the generation model lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from ..errors import ModelError

@@ -45,6 +45,8 @@ M_JOURNAL_SKIPPED = "repro_journal_skipped_total"
 M_CACHE_CORRUPT = "repro_cache_corrupt_total"
 M_DEADLINE_EXCEEDED = "repro_deadline_exceeded_total"
 M_INTERRUPTIONS = "repro_interruptions_total"
+M_LINT_DIAGNOSTICS = "repro_lint_diagnostics_total"
+M_LINT_SHORT_CIRCUIT = "repro_lint_short_circuit_total"
 
 #: Fixed latency buckets (seconds): sub-millisecond pipeline stages up
 #: to multi-second remote API calls.

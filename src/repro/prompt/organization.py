@@ -16,7 +16,7 @@ each example enters the prompt:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Type
+from typing import Dict, Sequence, Type
 
 from ..errors import PromptError
 from ..schema.model import DatabaseSchema

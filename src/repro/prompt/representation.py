@@ -20,8 +20,8 @@ explanation" rule to representations that lack it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Type
+from dataclasses import dataclass
+from typing import Dict, Optional, Type
 
 from ..errors import PromptError
 from ..schema.model import DatabaseSchema

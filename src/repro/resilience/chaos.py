@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from ..cache.keys import stable_digest
 from ..cache.store import DiskTier

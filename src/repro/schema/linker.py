@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from ..utils.text import STOPWORDS, snake_to_words
 from .model import DatabaseSchema
@@ -104,6 +104,12 @@ class SchemaLinker:
         Both the identifier split (``pet_age`` → ``pet age``) and the natural
         name are indexed; singular/plural variants of the last word are added
         so "singers" matches table ``singer``.
+
+        When several schema elements produce the same phrase, the winner
+        is deterministic: tables beat columns, and within a kind the
+        element that appears first in schema order wins — never
+        last-writer-wins, so reordering additions (or iterating a schema
+        built differently) cannot flip which target a question links to.
         """
         phrases: Dict[Tuple[str, ...], Tuple[str, str]] = {}
 
@@ -111,13 +117,12 @@ class SchemaLinker:
             words = [w.lower() for w in words if w]
             if not words:
                 return
-            key = tuple(words)
-            # Column phrases must not overwrite table phrases of equal text.
-            if key not in phrases or kind == "table":
-                phrases[key] = (kind, target)
-            for variant in _plural_variants(words):
-                if variant not in phrases:
-                    phrases[variant] = (kind, target)
+            for key in [tuple(words)] + _plural_variants(words):
+                existing = phrases.get(key)
+                if existing is None or (
+                    kind == "table" and existing[0] == "column"
+                ):
+                    phrases[key] = (kind, target)
 
         for table in schema.tables:
             add(snake_to_words(table.name), "table", table.name)

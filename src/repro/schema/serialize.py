@@ -15,7 +15,7 @@ style one of the paper's five question representations expects:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .model import DatabaseSchema, Table
 

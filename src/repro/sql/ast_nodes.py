@@ -19,7 +19,7 @@ the exact-match evaluator and the skeleton extractor rely on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Tuple, Union
 
 # ---------------------------------------------------------------------------
@@ -223,15 +223,19 @@ TableSource = Union[TableRef, SubqueryTable]
 
 @dataclass(frozen=True)
 class Join:
-    """One ``JOIN source ON condition`` step.
+    """One ``JOIN source ON condition`` / ``JOIN source USING (...)`` step.
 
     ``kind`` is ``"JOIN"`` (inner) or ``"LEFT JOIN"``; ``condition`` may be
     ``None`` for Spider-style comma/implicit joins turned explicit.
+    ``using`` holds the column names of a ``USING (a, b)`` clause and is
+    empty for ``ON``/bare joins (``condition`` and ``using`` are mutually
+    exclusive by construction).
     """
 
     source: TableSource
     condition: Optional[Condition] = None
     kind: str = "JOIN"
+    using: Tuple[str, ...] = ()
 
 
 @dataclass(frozen=True)

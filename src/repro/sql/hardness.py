@@ -19,7 +19,6 @@ from typing import Union
 from .ast_nodes import (
     Comparison,
     FuncCall,
-    InCondition,
     LikeCondition,
     OrCondition,
     Query,

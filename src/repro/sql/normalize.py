@@ -12,7 +12,7 @@ Two capabilities used throughout the benchmark:
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Union
 
 from .ast_nodes import (
     AndCondition,
@@ -30,7 +30,6 @@ from .ast_nodes import (
     IsNullCondition,
     Join,
     LikeCondition,
-    Literal,
     NotCondition,
     OrCondition,
     OrderItem,
@@ -159,7 +158,7 @@ def _resolve_core(core: SelectCore) -> SelectCore:
 
         joins = tuple(
             Join(source=fix_source(j.source), condition=fix_condition(j.condition),
-                 kind=j.kind)
+                 kind=j.kind, using=tuple(c.lower() for c in j.using))
             for j in core.from_clause.joins
         )
         from_clause = FromClause(source=fix_source(core.from_clause.source),

@@ -233,9 +233,20 @@ class _Parser:
                 break
             join_source = self._parse_table_source()
             condition = None
+            using: Tuple[str, ...] = ()
             if self._accept_keyword("ON"):
                 condition = self._parse_condition()
-            joins.append(Join(source=join_source, condition=condition, kind=kind))
+            elif self._accept_keyword("USING"):
+                self._expect_punct("(")
+                columns = [self._expect_ident()]
+                while self._accept_punct(","):
+                    columns.append(self._expect_ident())
+                self._expect_punct(")")
+                using = tuple(columns)
+            joins.append(
+                Join(source=join_source, condition=condition, kind=kind,
+                     using=using)
+            )
         return FromClause(source=source, joins=tuple(joins))
 
     def _parse_join_kind(self) -> Optional[str]:

@@ -33,7 +33,7 @@ from .ast_nodes import (
     iter_subqueries,
 )
 from .parser import try_parse
-from .tokens import Token, TokenType, tokenize
+from .tokens import TokenType, tokenize
 from .unparse import unparse
 
 _MASK = "_"

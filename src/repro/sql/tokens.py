@@ -20,7 +20,7 @@ from ..errors import SQLSyntaxError
 #: canonical (upper-case) spelling is stored in :attr:`Token.value`.
 KEYWORDS = frozenset(
     """SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT JOIN INNER LEFT RIGHT
-    OUTER ON AS AND OR NOT IN LIKE BETWEEN EXISTS IS NULL DISTINCT UNION
+    OUTER ON USING AS AND OR NOT IN LIKE BETWEEN EXISTS IS NULL DISTINCT UNION
     INTERSECT EXCEPT ASC DESC COUNT SUM AVG MIN MAX CAST ABS ROUND LENGTH
     CASE WHEN THEN ELSE END ALL""".split()
 )

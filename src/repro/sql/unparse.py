@@ -31,7 +31,6 @@ from .ast_nodes import (
     Query,
     SelectCore,
     SelectItem,
-    SubqueryTable,
     TableRef,
     TableSource,
 )
@@ -87,7 +86,10 @@ def _order_item(item: OrderItem) -> str:
 def _from(clause: FromClause) -> str:
     parts = [_source(clause.source)]
     for join in clause.joins:
-        if join.condition is None and join.kind == "JOIN":
+        if join.using:
+            columns = ", ".join(join.using)
+            parts.append(f"{join.kind} {_source(join.source)} USING ({columns})")
+        elif join.condition is None and join.kind == "JOIN":
             parts.append(f"JOIN {_source(join.source)}")
         elif join.condition is None:
             parts.append(f"{join.kind} {_source(join.source)}")

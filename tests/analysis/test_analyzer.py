@@ -1,0 +1,317 @@
+"""Static analyzer tests: every rule, against the toy schema.
+
+The toy schema (tests/conftest.py) has ``singer(singer_id, name, age,
+country)`` and ``concert(concert_id, title, singer_id, attendance)``
+with the FK ``concert.singer_id → singer.singer_id``.
+"""
+
+import pytest
+
+from repro.analysis.analyzer import SqlAnalyzer, analyze
+
+
+@pytest.fixture()
+def analyzer(toy_schema):
+    return SqlAnalyzer(toy_schema)
+
+
+def rules(result):
+    return [d.rule for d in result.diagnostics]
+
+
+class TestCleanQueries:
+    @pytest.mark.parametrize("sql", [
+        "SELECT name FROM singer",
+        "SELECT * FROM singer WHERE age > 20",
+        "SELECT T1.name FROM singer AS T1",
+        "SELECT count(*) FROM concert",
+        "SELECT name, count(*) FROM singer GROUP BY name",
+        "SELECT title FROM concert JOIN singer "
+        "ON concert.singer_id = singer.singer_id",
+        "SELECT title FROM concert JOIN singer USING (singer_id)",
+        "SELECT name FROM singer WHERE age > "
+        "(SELECT avg(age) FROM singer)",
+        "SELECT name FROM singer UNION SELECT title FROM concert",
+        "SELECT name FROM singer ORDER BY age DESC LIMIT 3",
+        "SELECT NAME FROM SINGER",  # case-insensitive resolution
+    ])
+    def test_no_diagnostics(self, analyzer, sql):
+        result = analyzer.analyze(sql)
+        assert result.clean, rules(result)
+        assert result.statement_kind == "select"
+
+    def test_select_alias_visible_in_all_clauses(self, analyzer):
+        # SQLite resolves select aliases in WHERE/GROUP/ORDER alike.
+        result = analyzer.analyze(
+            "SELECT age AS years FROM singer WHERE years > 20 ORDER BY years"
+        )
+        assert result.clean, rules(result)
+
+
+class TestIdentifierResolution:
+    def test_unknown_table(self, analyzer):
+        result = analyzer.analyze("SELECT name FROM singers")
+        assert rules(result) == ["schema.unknown-table"]
+        assert result.fatal
+        assert result.diagnostics[0].fix == "singer"
+
+    def test_unknown_column(self, analyzer):
+        result = analyzer.analyze("SELECT nam FROM singer")
+        assert rules(result) == ["schema.unknown-column"]
+        assert result.diagnostics[0].fix == "name"
+        assert result.fatal
+
+    def test_unknown_qualified_column(self, analyzer):
+        result = analyzer.analyze("SELECT singer.nam FROM singer")
+        assert "schema.unknown-column" in rules(result)
+
+    def test_dangling_qualifier(self, analyzer):
+        result = analyzer.analyze("SELECT T3.name FROM singer AS T1")
+        assert "schema.unknown-qualifier" in rules(result)
+        assert result.fatal
+
+    def test_ambiguous_unqualified_column(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT singer_id FROM singer, concert"
+        )
+        assert "schema.ambiguous-column" in rules(result)
+        assert result.fatal
+
+    def test_qualification_resolves_ambiguity(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT singer.singer_id FROM singer JOIN concert "
+            "ON singer.singer_id = concert.singer_id"
+        )
+        assert "schema.ambiguous-column" not in rules(result)
+
+    def test_error_class_names_first_fatal_rule(self, analyzer):
+        result = analyzer.analyze("SELECT name FROM singers")
+        assert result.error_class() == "lint:schema.unknown-table"
+
+
+class TestJoinSanity:
+    def test_cartesian_product(self, analyzer):
+        result = analyzer.analyze("SELECT name FROM singer, concert")
+        assert "join.cartesian-product" in rules(result)
+        assert not result.fatal  # executes — wrongness signal only
+
+    def test_where_predicate_connects_comma_join(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer, concert "
+            "WHERE singer.singer_id = concert.singer_id"
+        )
+        assert "join.cartesian-product" not in rules(result)
+
+    def test_off_fk_predicate(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer JOIN concert "
+            "ON singer.age = concert.attendance"
+        )
+        assert "join.predicate-off-fk" in rules(result)
+        fix = next(d for d in result.diagnostics
+                   if d.rule == "join.predicate-off-fk").fix
+        assert "singer_id" in fix  # suggests the real FK edge
+
+    def test_fk_backed_join_clean(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer JOIN concert "
+            "ON singer.singer_id = concert.singer_id"
+        )
+        assert not [r for r in rules(result) if r.startswith("join.")]
+
+    def test_using_join_clean(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT title FROM concert JOIN singer USING (singer_id)"
+        )
+        assert result.clean, rules(result)
+
+    def test_using_unknown_column_both_sides(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT title FROM concert JOIN singer USING (nonexistent)"
+        )
+        assert "schema.unknown-column" in rules(result)
+
+    def test_self_join_not_cartesian(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT a.name FROM singer AS a JOIN singer AS b "
+            "ON a.singer_id = b.singer_id"
+        )
+        assert "join.cartesian-product" not in rules(result)
+
+
+class TestAggregationMisuse:
+    def test_aggregate_in_where(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE count(*) > 1"
+        )
+        assert "agg.aggregate-in-where" in rules(result)
+        assert result.fatal  # SQLite: misuse of aggregate
+
+    def test_having_without_group_plain_query(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer HAVING age > 20"
+        )
+        diagnostic = next(d for d in result.diagnostics
+                          if d.rule == "agg.having-without-group")
+        assert diagnostic.severity == "error"
+
+    def test_having_without_group_aggregate_query(self, analyzer):
+        # SQLite accepts HAVING on a one-group aggregate query.
+        result = analyzer.analyze(
+            "SELECT count(*) FROM singer HAVING count(*) > 1"
+        )
+        diagnostic = next(d for d in result.diagnostics
+                          if d.rule == "agg.having-without-group")
+        assert diagnostic.severity == "warning"
+        assert not result.fatal
+
+    def test_ungrouped_projection(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name, count(*) FROM singer"
+        )
+        assert "agg.ungrouped-column" in rules(result)
+        assert not result.fatal  # SQLite picks an arbitrary row
+
+    def test_grouped_projection_clean(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT country, count(*) FROM singer GROUP BY country"
+        )
+        assert result.clean, rules(result)
+
+
+class TestTypeShape:
+    def test_text_literal_against_number_column(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE age = 'abc'"
+        )
+        assert "type.mismatch" in rules(result)
+        assert not result.fatal
+
+    def test_numeric_string_tolerated(self, analyzer):
+        # '42' coerces cleanly under SQLite affinity — not a mismatch.
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE age = '42'"
+        )
+        assert "type.mismatch" not in rules(result)
+
+    def test_number_against_text_column(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT age FROM singer WHERE name = 42"
+        )
+        assert "type.mismatch" in rules(result)
+
+    def test_like_on_number_column(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE age LIKE '%2%'"
+        )
+        assert "type.mismatch" in rules(result)
+
+
+class TestNesting:
+    def test_scalar_subquery_arity(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE age > "
+            "(SELECT age, country FROM singer)"
+        )
+        assert "nest.scalar-subquery-columns" in rules(result)
+        assert result.fatal
+
+    def test_in_subquery_arity(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE singer_id IN "
+            "(SELECT singer_id, concert_id FROM concert)"
+        )
+        assert "nest.scalar-subquery-columns" in rules(result)
+
+    def test_setop_arity_mismatch(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name, age FROM singer UNION SELECT title FROM concert"
+        )
+        assert "nest.setop-arity" in rules(result)
+        assert result.fatal
+
+    def test_correlated_subquery_sees_outer_scope(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer AS s WHERE age > "
+            "(SELECT avg(attendance) FROM concert WHERE singer_id = s.singer_id)"
+        )
+        assert result.clean, rules(result)
+
+    def test_derived_table_is_opaque(self, analyzer):
+        # Columns of a derived table with unresolvable output (star over
+        # a join) must not produce unknown-column noise.
+        result = analyzer.analyze(
+            "SELECT anything FROM (SELECT * FROM singer JOIN concert "
+            "ON singer.singer_id = concert.singer_id) AS d"
+        )
+        assert "schema.unknown-column" not in rules(result)
+
+    def test_derived_table_known_columns_checked(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT wrong_col FROM (SELECT name FROM singer) AS d"
+        )
+        assert "schema.unknown-column" in rules(result)
+
+
+class TestSafetyGate:
+    def test_ddl_fatal(self, analyzer):
+        result = analyzer.analyze("DROP TABLE singer")
+        assert "safety.non-select" in rules(result)
+        assert result.fatal
+        assert result.statement_kind == "ddl"
+
+    def test_write_fatal(self, analyzer):
+        result = analyzer.analyze("DELETE FROM singer")
+        assert result.statement_kind == "write"
+        assert result.fatal
+
+    def test_multi_statement_fatal_with_first_statement_fix(self, analyzer):
+        result = analyzer.analyze("SELECT name FROM singer; DROP TABLE singer")
+        diagnostic = next(d for d in result.diagnostics
+                          if d.rule == "safety.multiple-statements")
+        assert diagnostic.fix == "SELECT name FROM singer"
+        assert result.fatal
+
+    def test_parse_error_fatal(self, analyzer):
+        result = analyzer.analyze("SELECT name FROM singer WHERE (")
+        assert "syntax.parse-error" in rules(result)
+        assert result.fatal
+
+    def test_empty_fatal(self, analyzer):
+        assert analyzer.analyze("").fatal
+
+
+class TestModuleEntry:
+    def test_analyze_wrapper(self, toy_schema):
+        result = analyze(toy_schema, "SELECT name FROM singer")
+        assert result.clean
+
+    def test_deterministic_output(self, toy_schema):
+        sql = "SELECT nam FROM singer, concert WHERE age = 'x'"
+        first = analyze(toy_schema, sql)
+        second = analyze(toy_schema, sql)
+        assert first == second
+        assert first.to_dict() == second.to_dict()
+
+
+class TestGoldCorpusSoundness:
+    def test_no_gold_query_is_fatally_diagnosed(self, corpus):
+        """The analyzer must never gate a correct query: every gold SQL
+        of the benchmark corpus analyzes without error-severity
+        diagnostics (warnings are fine — gold uses what it uses)."""
+        checked = 0
+        for dataset in (corpus.dev, corpus.train):
+            analyzers = {}
+            for example in dataset.examples:
+                analyzer = analyzers.get(example.db_id)
+                if analyzer is None:
+                    analyzer = SqlAnalyzer(dataset.schema(example.db_id))
+                    analyzers[example.db_id] = analyzer
+                result = analyzer.analyze(example.query)
+                fatal = result.fatal_diagnostics()
+                assert not fatal, (
+                    f"{example.db_id}: {example.query!r} -> "
+                    f"{[d.format() for d in fatal]}"
+                )
+                checked += 1
+        assert checked > 100

@@ -1,0 +1,95 @@
+"""Diagnostic taxonomy tests: ordering, serialisation, fatality."""
+
+from repro.analysis.diagnostics import (
+    AnalysisResult,
+    Diagnostic,
+    sort_diagnostics,
+)
+
+
+def diag(rule="schema.unknown-table", severity="error", message="m",
+         span=(0, 0), fix=""):
+    return Diagnostic(rule=rule, severity=severity, message=message,
+                      span=span, fix=fix)
+
+
+class TestDiagnostic:
+    def test_roundtrip(self):
+        original = diag(span=(3, 9), fix="singer")
+        assert Diagnostic.from_dict(original.to_dict()) == original
+
+    def test_format_includes_rule_and_fix(self):
+        text = diag(fix="singer").format()
+        assert "schema.unknown-table" in text
+        assert "fix: singer" in text
+
+    def test_format_without_fix(self):
+        assert "fix" not in diag().format()
+
+    def test_from_dict_defaults(self):
+        parsed = Diagnostic.from_dict({"rule": "r"})
+        assert parsed.severity == "info"
+        assert parsed.span == (0, 0)
+
+
+class TestAnalysisResult:
+    def test_fatal_iff_error_severity(self):
+        warn = AnalysisResult("s", "select", (diag(severity="warning"),))
+        err = AnalysisResult("s", "select", (diag(severity="error"),))
+        assert not warn.fatal
+        assert err.fatal
+
+    def test_clean(self):
+        assert AnalysisResult("s", "select").clean
+        assert not AnalysisResult("s", "select", (diag(),)).clean
+
+    def test_error_class_uses_first_fatal_rule(self):
+        result = AnalysisResult("s", "select", (
+            diag(rule="a.warn", severity="warning"),
+            diag(rule="b.fatal", severity="error"),
+            diag(rule="c.fatal", severity="error"),
+        ))
+        assert result.error_class() == "lint:b.fatal"
+
+    def test_error_class_empty_without_fatal(self):
+        result = AnalysisResult("s", "select", (diag(severity="info"),))
+        assert result.error_class() == ""
+
+    def test_by_rule_histogram(self):
+        result = AnalysisResult("s", "select", (
+            diag(rule="x"), diag(rule="x"), diag(rule="y"),
+        ))
+        assert result.by_rule() == {"x": 2, "y": 1}
+
+    def test_roundtrip(self):
+        result = AnalysisResult("SELECT 1", "select",
+                                (diag(span=(1, 2)),))
+        assert AnalysisResult.from_dict(result.to_dict()) == result
+
+
+class TestSorting:
+    def test_severity_orders_first(self):
+        out = sort_diagnostics([
+            diag(rule="z", severity="info"),
+            diag(rule="a", severity="warning"),
+            diag(rule="m", severity="error"),
+        ])
+        assert [d.severity for d in out] == ["error", "warning", "info"]
+
+    def test_rule_breaks_severity_ties(self):
+        out = sort_diagnostics([
+            diag(rule="b", severity="error"),
+            diag(rule="a", severity="error"),
+        ])
+        assert [d.rule for d in out] == ["a", "b"]
+
+    def test_span_breaks_rule_ties(self):
+        out = sort_diagnostics([
+            diag(span=(9, 10)),
+            diag(span=(2, 4)),
+        ])
+        assert [d.span for d in out] == [(2, 4), (9, 10)]
+
+    def test_deterministic_tuple_output(self):
+        items = [diag(rule="a"), diag(rule="b")]
+        assert sort_diagnostics(items) == sort_diagnostics(list(reversed(items)))

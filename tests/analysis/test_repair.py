@@ -1,0 +1,118 @@
+"""Repair pass tests: deterministic, conservative rewrites."""
+
+
+from repro.analysis.analyzer import analyze
+from repro.analysis.repair import REPAIR_RULES, RepairResult, repair
+from repro.sql.parser import parse
+
+
+class TestTrailingJunk:
+    def test_prose_tail_dropped(self, toy_schema):
+        result = repair(
+            toy_schema,
+            "SELECT name FROM singer WHERE age > 20 Hope this helps!",
+        )
+        assert result.sql == "SELECT name FROM singer WHERE age > 20"
+        assert "repair.trailing-junk" in result.applied
+
+    def test_dangling_order_by_trimmed(self, toy_schema):
+        result = repair(toy_schema, "SELECT name FROM singer ORDER BY")
+        assert result.sql == "SELECT name FROM singer"
+        assert "repair.trailing-junk" in result.applied
+
+    def test_unsalvageable_text_unchanged(self, toy_schema):
+        text = "I cannot write that query, sorry."
+        result = repair(toy_schema, text)
+        assert result.sql == text
+        assert not result.changed
+
+    def test_repaired_sql_reanalyzes_clean(self, toy_schema):
+        broken = "SELECT name FROM singer WHERE age > 20 Hope this helps!"
+        assert analyze(toy_schema, broken).fatal
+        fixed = repair(toy_schema, broken)
+        assert not analyze(toy_schema, fixed.sql).fatal
+
+
+class TestCaseFolding:
+    def test_identifiers_folded_to_schema_spelling(self, toy_schema):
+        result = repair(toy_schema, "SELECT Name FROM SINGER WHERE AGE > 20")
+        assert result.sql == "SELECT name FROM singer WHERE age > 20"
+        assert "repair.case-fold" in result.applied
+
+    def test_correct_spelling_untouched(self, toy_schema):
+        sql = "SELECT name FROM singer"
+        result = repair(toy_schema, sql)
+        assert result.sql == sql
+        assert not result.changed
+
+    def test_aliases_preserved(self, toy_schema):
+        result = repair(toy_schema, "SELECT T1.Name FROM SINGER AS T1")
+        assert "T1.name" in result.sql
+        assert "singer AS T1" in result.sql
+
+
+class TestQualifyColumns:
+    def test_unambiguous_column_qualified_in_join(self, toy_schema):
+        result = repair(
+            toy_schema,
+            "SELECT title FROM concert JOIN singer "
+            "ON concert.singer_id = singer.singer_id",
+        )
+        assert "repair.qualify-columns" in result.applied
+        assert "concert.title" in result.sql
+
+    def test_single_source_not_qualified(self, toy_schema):
+        result = repair(toy_schema, "SELECT name FROM singer")
+        assert "repair.qualify-columns" not in result.applied
+
+    def test_ambiguous_column_left_alone(self, toy_schema):
+        # singer_id exists in both tables — the repair must not guess.
+        result = repair(
+            toy_schema,
+            "SELECT singer_id FROM concert JOIN singer "
+            "ON concert.singer_id = singer.singer_id",
+        )
+        assert "singer_id FROM" in result.sql.replace("SELECT ", "")
+
+
+class TestConservatism:
+    def test_non_select_unchanged(self, toy_schema):
+        sql = "DROP TABLE singer"
+        assert repair(toy_schema, sql).sql == sql
+
+    def test_multi_statement_unchanged(self, toy_schema):
+        sql = "SELECT 1; SELECT 2"
+        assert repair(toy_schema, sql).sql == sql
+
+    def test_empty_unchanged(self, toy_schema):
+        assert repair(toy_schema, "").sql == ""
+
+    def test_unknown_table_not_invented(self, toy_schema):
+        # The repair never renames tables — that is a fix *suggestion*.
+        sql = "SELECT name FROM singers"
+        assert repair(toy_schema, sql).sql == sql
+
+    def test_repaired_output_parses(self, toy_schema):
+        for sql in [
+            "SELECT Name FROM SINGER Hope this helps!",
+            "SELECT title FROM concert, singer "
+            "WHERE concert.singer_id = singer.singer_id",
+            "SELECT name FROM singer ORDER BY",
+        ]:
+            result = repair(toy_schema, sql)
+            if result.changed:
+                parse(result.sql)  # must not raise
+
+    def test_deterministic(self, toy_schema):
+        sql = "SELECT Name FROM SINGER WHERE AGE > 20 Thanks!"
+        assert repair(toy_schema, sql) == repair(toy_schema, sql)
+
+    def test_applied_rules_subset_of_catalog(self, toy_schema):
+        result = repair(toy_schema, "SELECT Name FROM SINGER So there!")
+        assert set(result.applied) <= set(REPAIR_RULES)
+
+
+class TestResultType:
+    def test_changed_flag(self):
+        assert not RepairResult(sql="x").changed
+        assert RepairResult(sql="x", applied=("r",)).changed

@@ -1,0 +1,92 @@
+"""Safety gate tests: statement classification and splitting."""
+
+import pytest
+
+from repro.analysis.safety import (
+    STATEMENT_KINDS,
+    classify_statement,
+    split_statements,
+    strip_leading_trivia,
+)
+
+
+class TestClassify:
+    @pytest.mark.parametrize("sql,kind", [
+        ("SELECT 1", "select"),
+        ("select name from singer", "select"),
+        ("WITH x AS (SELECT 1) SELECT * FROM x", "select"),
+        ("VALUES (1, 2)", "select"),
+        ("(SELECT 1)", "select"),
+        ("((SELECT 1))", "select"),
+        ("INSERT INTO t VALUES (1)", "write"),
+        ("UPDATE t SET a = 1", "write"),
+        ("DELETE FROM t", "write"),
+        ("REPLACE INTO t VALUES (1)", "write"),
+        ("CREATE TABLE t (a)", "ddl"),
+        ("DROP TABLE t", "ddl"),
+        ("ALTER TABLE t ADD COLUMN b", "ddl"),
+        ("PRAGMA journal_mode", "admin"),
+        ("ATTACH DATABASE 'x' AS y", "admin"),
+        ("VACUUM", "admin"),
+        ("EXPLAIN SELECT 1", "admin"),
+        ("BEGIN", "admin"),
+        ("", "empty"),
+        ("   \n\t ", "empty"),
+        ("hello world", "unknown"),
+        ("123 SELECT", "unknown"),
+    ])
+    def test_kinds(self, sql, kind):
+        assert classify_statement(sql) == kind
+        assert kind in STATEMENT_KINDS
+
+    def test_leading_comment_ignored(self):
+        assert classify_statement("-- note\nSELECT 1") == "select"
+        assert classify_statement("/* block */ DELETE FROM t") == "write"
+
+    def test_comment_only_is_empty(self):
+        assert classify_statement("-- just a comment") == "empty"
+
+
+class TestStripTrivia:
+    def test_whitespace(self):
+        assert strip_leading_trivia("  SELECT 1") == "SELECT 1"
+
+    def test_line_comment(self):
+        assert strip_leading_trivia("-- c\nSELECT 1") == "SELECT 1"
+
+    def test_block_comment(self):
+        assert strip_leading_trivia("/* c */SELECT 1") == "SELECT 1"
+
+    def test_no_trivia(self):
+        assert strip_leading_trivia("SELECT 1") == "SELECT 1"
+
+
+class TestSplitStatements:
+    def test_single(self):
+        assert split_statements("SELECT 1") == ["SELECT 1"]
+
+    def test_two(self):
+        assert split_statements("SELECT 1; SELECT 2") == \
+            ["SELECT 1", "SELECT 2"]
+
+    def test_trailing_semicolon_is_one(self):
+        assert split_statements("SELECT 1;") == ["SELECT 1"]
+
+    def test_quoted_semicolon_kept(self):
+        assert split_statements("SELECT 'a;b' FROM t") == \
+            ["SELECT 'a;b' FROM t"]
+
+    def test_double_quoted_semicolon_kept(self):
+        assert split_statements('SELECT "a;b" FROM t') == \
+            ['SELECT "a;b" FROM t']
+
+    def test_doubled_quote_escape(self):
+        sql = "SELECT 'it''s;fine' FROM t"
+        assert split_statements(sql) == [sql]
+
+    def test_empty_fragments_dropped(self):
+        assert split_statements(";;SELECT 1;;") == ["SELECT 1"]
+
+    def test_empty_input(self):
+        assert split_statements("") == []
+        assert split_statements("  ;  ") == []

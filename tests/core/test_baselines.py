@@ -1,6 +1,6 @@
 """Leaderboard baseline config tests."""
 
-from repro.core.baselines import LeaderboardEntry, leaderboard_entries
+from repro.core.baselines import leaderboard_entries
 
 
 class TestEntries:

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.self_correction import CorrectionTrace, SelfCorrector
+from repro.core.self_correction import SelfCorrector
 from repro.llm.interface import GenerationResult
 from repro.llm.simulated import make_llm
 from repro.prompt.builder import PromptBuilder

@@ -1,6 +1,5 @@
 """Error-analysis tests."""
 
-import pytest
 
 from repro.eval.error_analysis import (
     ERROR_CATEGORIES,

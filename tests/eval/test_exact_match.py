@@ -1,6 +1,5 @@
 """Exact-match (Spider exact-set-match) tests."""
 
-import pytest
 
 from repro.eval.exact_match import COMPONENTS, component_match, exact_match
 

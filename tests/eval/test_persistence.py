@@ -103,8 +103,8 @@ class TestDirectories:
 
 
 class TestVersioning:
-    def test_current_version_is_four(self):
-        assert FORMAT_VERSION == 4
+    def test_current_version_is_five(self):
+        assert FORMAT_VERSION == 5
 
     def test_v1_payload_still_loads(self):
         report = make_report()
@@ -166,6 +166,35 @@ class TestVersioning:
         assert back.partial is True
         assert back.records[0].error_class == "ModelError"
         assert back.error_classes() == {"ModelError": 1}
+
+    def test_v4_payload_without_analyzer_fields_still_loads(self):
+        report = make_report()
+        payload = report_to_dict(report)
+        payload["version"] = 4
+        for entry in payload["records"]:
+            entry.pop("statement_kind")
+            entry.pop("repaired_sql")
+            entry.pop("diagnostics")
+        back = report_from_dict(payload)
+        assert all(r.statement_kind == "" for r in back.records)
+        assert all(r.repaired_sql == "" for r in back.records)
+        assert all(r.diagnostics == [] for r in back.records)
+
+    def test_v5_analyzer_fields_roundtrip(self, tmp_path):
+        report = make_report()
+        report.records[0].statement_kind = "select"
+        report.records[0].error_class = "lint:resolve.unknown-column"
+        report.records[0].diagnostics = [
+            {"rule": "resolve.unknown-column", "severity": "error",
+             "message": "no column nam", "span": [7, 10], "fix": "name"}
+        ]
+        report.records[1].repaired_sql = "SELECT name FROM singer"
+        back = load_report(save_report(report, tmp_path / "v5.json"))
+        assert back.records[0].diagnostics[0]["rule"] == (
+            "resolve.unknown-column"
+        )
+        assert back.records[1].repaired_sql == "SELECT name FROM singer"
+        assert back.error_classes() == {"lint:resolve.unknown-column": 1}
 
 
 class TestTelemetryAndErrors:

@@ -1,6 +1,5 @@
 """Experiment context and result-container tests."""
 
-import pytest
 
 from repro.experiments.base import ExperimentResult
 from repro.experiments.context import (

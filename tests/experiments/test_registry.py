@@ -15,8 +15,8 @@ EXPECTED_ARTIFACTS = {
 }
 
 SUPPLEMENTARY = {"hardness", "cost", "sc_sweep", "dail_threshold",
-                 "self_correction", "errors", "calibration", "pound_sign",
-                 "token_budget"}
+                 "self_correction", "errors", "lint", "calibration",
+                 "pound_sign", "token_budget"}
 
 
 class TestRegistry:

@@ -51,3 +51,30 @@ class TestExtraction:
             "It uses table t."
         )
         assert extract_sql(text) == "SELECT a FROM t"
+
+
+class TestMultiStatementHardening:
+    """Fenced blocks with several statements and quoted semicolons."""
+
+    def test_fenced_multi_statement_returns_first(self):
+        text = "```sql\nSELECT name FROM singer;\nDROP TABLE singer;\n```"
+        assert extract_sql(text) == "SELECT name FROM singer"
+
+    def test_two_selects_returns_first(self):
+        text = "```sql\nSELECT 1;\nSELECT 2\n```"
+        assert extract_sql(text) == "SELECT 1"
+
+    def test_semicolon_inside_literal_not_a_boundary(self):
+        sql = "SELECT name FROM singer WHERE note = 'a;b' ORDER BY name"
+        assert extract_sql(sql) == sql
+
+    def test_semicolon_inside_double_quotes_not_a_boundary(self):
+        sql = 'SELECT name FROM singer WHERE note = "x;y"'
+        assert extract_sql(sql) == sql
+
+    def test_doubled_quote_escape_respected(self):
+        sql = "SELECT name FROM singer WHERE note = 'it''s;ok'"
+        assert extract_sql(sql) == sql
+
+    def test_trailing_semicolon_only(self):
+        assert extract_sql("SELECT a FROM t;") == "SELECT a FROM t"

@@ -5,7 +5,6 @@ import pytest
 from repro.errors import ModelError
 from repro.llm.finetune import SFTState, finetune, sft_gain
 from repro.llm.profiles import get_profile
-from repro.llm.simulated import SimulatedLLM
 
 
 class TestFinetune:

@@ -2,10 +2,8 @@
 
 import random
 
-import pytest
 
 from repro.llm.perturb import (
-    EQUIVALENT_REWRITES,
     FAR_MODES,
     NEAR_MODES,
     equivalent_rewrite,

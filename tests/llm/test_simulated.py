@@ -7,8 +7,7 @@ success probability in the direction the paper's findings rely on.
 import pytest
 
 from repro.llm.extract import extract_sql
-from repro.llm.oracle import GoldOracle
-from repro.llm.simulated import SimulatedLLM, make_llm
+from repro.llm.simulated import make_llm
 from repro.prompt.builder import PromptBuilder
 from repro.prompt.organization import ExampleBlock, get_organization
 from repro.prompt.representation import RepresentationOptions, get_representation

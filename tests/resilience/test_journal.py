@@ -3,7 +3,6 @@
 import json
 from dataclasses import asdict
 
-import pytest
 
 from repro.eval.engine import GridRunner
 from repro.eval.harness import BenchmarkRunner, RunConfig

@@ -3,11 +3,62 @@
 import pytest
 
 from repro.schema.linker import MASK_TOKEN, SchemaLinker
+from repro.schema.model import Column, DatabaseSchema, Table
 
 
 @pytest.fixture()
 def linker(toy_schema):
     return SchemaLinker(toy_schema)
+
+
+class TestPhrasePrecedence:
+    """Overlapping same-length phrase candidates resolve deterministically:
+    tables beat columns, schema order breaks ties within a kind."""
+
+    @staticmethod
+    def _schema(tables):
+        return DatabaseSchema(db_id="tie", tables=tuple(tables),
+                              foreign_keys=())
+
+    def test_first_table_in_schema_order_wins(self):
+        # Two tables whose natural names collide on the phrase "show".
+        a = Table(name="show", columns=(Column("id", "number"),))
+        b = Table(name="shows", columns=(Column("id", "number"),))
+        phrases = SchemaLinker._build_phrases(self._schema([a, b]))
+        assert phrases[("show",)] == ("table", "show")
+        # Reversing schema order flips the winner — order is the tie-break.
+        flipped = SchemaLinker._build_phrases(self._schema([b, a]))
+        assert flipped[("show",)] == ("table", "shows")
+
+    def test_table_beats_earlier_column(self):
+        # A column phrase registered first still loses to a table phrase.
+        people = Table(name="people",
+                       columns=(Column("orchestra", "text"),))
+        orchestra = Table(name="orchestra",
+                          columns=(Column("id", "number"),))
+        phrases = SchemaLinker._build_phrases(self._schema([people, orchestra]))
+        assert phrases[("orchestra",)] == ("table", "orchestra")
+
+    def test_table_plural_variant_beats_column(self):
+        # The *variant* key of a table also outranks a column phrase.
+        people = Table(name="people", columns=(Column("concerts", "text"),))
+        concert = Table(name="concert", columns=(Column("id", "number"),))
+        phrases = SchemaLinker._build_phrases(self._schema([people, concert]))
+        assert phrases[("concerts",)] == ("table", "concert")
+
+    def test_first_column_in_schema_order_wins(self):
+        # Two tables both expose a "name" column: schema order decides.
+        singer = Table(name="singer", columns=(Column("name", "text"),))
+        stadium = Table(name="stadium", columns=(Column("name", "text"),))
+        phrases = SchemaLinker._build_phrases(self._schema([singer, stadium]))
+        assert phrases[("name",)] == ("column", "singer.name")
+
+    def test_linking_uses_resolved_winner(self):
+        singer = Table(name="singer", columns=(Column("name", "text"),))
+        stadium = Table(name="stadium", columns=(Column("name", "text"),))
+        linker = SchemaLinker(self._schema([singer, stadium]))
+        linking = linker.link("What is the name of each one?")
+        assert "singer.name" in linking.columns()
 
 
 class TestLinking:

@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.sql.normalize import normalize_sql, queries_equal, resolve_aliases
 from repro.sql.parser import parse
-from repro.sql.unparse import unparse
 
 
 class TestAliasResolution:

@@ -319,3 +319,128 @@ class TestCaseExpressions:
             )
         assert rows[0] == ("Ava Lee", "junior")
         assert rows[1] == ("Ben Cho", "senior")
+
+
+class TestUsingJoins:
+    def test_single_column(self):
+        query = parse("SELECT a FROM t JOIN u USING (id)")
+        join = query.core.from_clause.joins[0]
+        assert join.using == ("id",)
+        assert join.condition is None
+
+    def test_multiple_columns(self):
+        query = parse("SELECT a FROM t JOIN u USING (id, name)")
+        assert query.core.from_clause.joins[0].using == ("id", "name")
+
+    def test_left_join_using(self):
+        query = parse("SELECT a FROM t LEFT JOIN u USING (id)")
+        join = query.core.from_clause.joins[0]
+        assert join.kind == "LEFT JOIN"
+        assert join.using == ("id",)
+
+    def test_unparse_roundtrip(self):
+        from repro.sql.unparse import unparse
+
+        sql = "SELECT a FROM t JOIN u USING (id, name)"
+        assert parse(unparse(parse(sql))) == parse(sql)
+
+    def test_normalize_lowercases_using(self):
+        from repro.sql.normalize import resolve_aliases
+
+        query = parse("SELECT a FROM t JOIN u USING (ID)")
+        resolved = resolve_aliases(query)
+        assert resolved.core.from_clause.joins[0].using == ("id",)
+
+    def test_missing_parenthesis_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM t JOIN u USING id")
+
+    def test_empty_column_list_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse("SELECT a FROM t JOIN u USING ()")
+
+    def test_using_executes_on_sqlite(self, toy_schema, toy_rows):
+        from repro.db.sqlite_backend import Database
+
+        with Database.build(toy_schema, toy_rows) as db:
+            rows = db.execute(
+                "SELECT title FROM concert JOIN singer USING (singer_id) "
+                "WHERE name = 'Ava Lee' ORDER BY title"
+            )
+        assert rows == [("Spring Fest",), ("Summer Jam",)]
+
+
+class TestQualifiedStars:
+    def test_alias_qualified_star(self):
+        query = parse("SELECT T1.* FROM singer AS T1")
+        assert query.core.items[0].expr == ColumnRef(column="*", table="T1")
+
+    def test_star_alongside_columns(self):
+        query = parse("SELECT t.*, u.name FROM t JOIN u ON t.id = u.id")
+        assert query.core.items[0].expr == ColumnRef(column="*", table="t")
+        assert query.core.items[1].expr == ColumnRef(column="name", table="u")
+
+    def test_count_star_argument(self):
+        query = parse("SELECT count(*) FROM t")
+        func = query.core.items[0].expr
+        assert isinstance(func, FuncCall)
+        assert func.arg == ColumnRef(column="*")
+
+
+class TestSetOpArity:
+    def test_union_branches_flatten(self):
+        query = parse("SELECT a FROM t UNION SELECT b FROM u")
+        cores = [core for _, core in query.flatten_set_ops()]
+        assert len(cores) == 2
+        assert [len(core.items) for core in cores] == [1, 1]
+
+    def test_mismatched_arity_still_parses(self):
+        # Arity is the analyzer's business, not the grammar's.
+        query = parse("SELECT a, b FROM t UNION SELECT c FROM u")
+        cores = [core for _, core in query.flatten_set_ops()]
+        assert [len(core.items) for core in cores] == [2, 1]
+
+    def test_chained_set_ops(self):
+        query = parse(
+            "SELECT a FROM t UNION SELECT b FROM u EXCEPT SELECT c FROM v"
+        )
+        ops = [op for op, _ in query.flatten_set_ops()]
+        assert ops[1:] == ["UNION", "EXCEPT"]
+
+    def test_intersect(self):
+        query = parse("SELECT a FROM t INTERSECT SELECT a FROM u")
+        assert query.set_op == "INTERSECT"
+
+
+class TestAliasedSubqueriesInFrom:
+    def test_subquery_join_partner(self):
+        query = parse(
+            "SELECT s.x FROM t JOIN (SELECT x FROM u) AS s ON t.x = s.x"
+        )
+        join = query.core.from_clause.joins[0]
+        assert isinstance(join.source, SubqueryTable)
+        assert join.source.alias == "s"
+
+    def test_subquery_alias_without_as(self):
+        query = parse("SELECT s.x FROM (SELECT x FROM u) s")
+        source = query.core.from_clause.source
+        assert isinstance(source, SubqueryTable)
+        assert source.alias == "s"
+
+    def test_nested_subquery_source(self):
+        query = parse(
+            "SELECT a FROM (SELECT a FROM (SELECT a FROM t) AS inner1) AS outer1"
+        )
+        source = query.core.from_clause.source
+        assert isinstance(source, SubqueryTable)
+        inner = source.query.core.from_clause.source
+        assert isinstance(inner, SubqueryTable)
+        assert inner.alias == "inner1"
+
+    def test_set_op_inside_derived_table(self):
+        query = parse(
+            "SELECT d.a FROM (SELECT a FROM t UNION SELECT a FROM u) AS d"
+        )
+        source = query.core.from_clause.source
+        assert isinstance(source, SubqueryTable)
+        assert source.query.set_op == "UNION"

@@ -70,10 +70,10 @@ _comparisons = st.builds(
 _leaves = st.one_of(
     _comparisons,
     st.builds(LikeCondition, expr=_columns, pattern=_literals.filter(
-        lambda l: l.kind == "string"), negated=st.booleans()),
+        lambda lit: lit.kind == "string"), negated=st.booleans()),
     st.builds(BetweenCondition, expr=_columns,
-              low=_literals.filter(lambda l: l.kind == "number"),
-              high=_literals.filter(lambda l: l.kind == "number"),
+              low=_literals.filter(lambda lit: lit.kind == "number"),
+              high=_literals.filter(lambda lit: lit.kind == "number"),
               negated=st.booleans()),
     st.builds(IsNullCondition, expr=_columns, negated=st.booleans()),
     st.builds(

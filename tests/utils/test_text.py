@@ -1,6 +1,5 @@
 """Text utility tests."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
