@@ -7,20 +7,21 @@ Run:  python examples/analysis_toolkit.py
 import tempfile
 from pathlib import Path
 
-from repro.dataset.generator.domains import domain_by_id
-from repro.eval import (
+from repro.api import (
     RunConfig,
     TestSuite,
     compare_reports,
     cost_per_question_usd,
     error_breakdown,
     format_table,
+    get_context,
+    load_report,
+    make_llm,
+    model_calibration,
+    save_report,
     test_suite_accuracy,
 )
-from repro.eval.calibration import model_calibration
-from repro.eval.persistence import load_report, save_report
-from repro.experiments import get_context
-from repro.llm import make_llm
+from repro.dataset.generator.domains import domain_by_id
 
 
 def main() -> None:

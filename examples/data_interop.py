@@ -14,7 +14,7 @@ from pathlib import Path
 from repro.dataset import CorpusConfig, build_corpus
 from repro.dataset.export import export_spider_layout, load_spider_layout
 from repro.db import Database, DatabasePool
-from repro.eval import BenchmarkRunner, RunConfig
+from repro.api import BenchmarkRunner, RunConfig
 
 
 def main() -> None:

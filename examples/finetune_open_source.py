@@ -8,7 +8,7 @@ Run:  python examples/finetune_open_source.py
 """
 
 from repro.dataset import CorpusConfig, build_corpus
-from repro.eval import BenchmarkRunner, RunConfig
+from repro.api import BenchmarkRunner, RunConfig
 from repro.llm import finetune
 
 

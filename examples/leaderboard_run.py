@@ -9,8 +9,8 @@ Run:  python examples/leaderboard_run.py [--workers 4]
 
 import argparse
 
+from repro.api import GridRunner, format_table, percent
 from repro.core import leaderboard_entries
-from repro.eval import GridRunner, format_table, percent
 
 
 def main() -> None:
@@ -19,7 +19,7 @@ def main() -> None:
                         help="worker threads for the sweep (default 1)")
     args = parser.parse_args()
 
-    from repro.experiments import get_context
+    from repro.api import get_context
 
     context = get_context()
     print(f"evaluating on {len(context.dev)} dev questions over "

@@ -5,7 +5,7 @@ Run:  python examples/quickstart.py
 
 from repro.core.dail_sql import DailSQL
 from repro.dataset import CorpusConfig, build_corpus
-from repro.eval import BenchmarkRunner, RunConfig
+from repro.api import BenchmarkRunner, RunConfig
 from repro.llm import GoldOracle, make_llm
 
 

@@ -1,0 +1,369 @@
+"""Versioned wire schemas for the serving layer.
+
+Every ``repro.serve`` endpoint speaks JSON bodies that map one-to-one
+onto the dataclasses here.  The schemas are *the* compatibility
+contract of the HTTP API:
+
+- ``WIRE_SCHEMA_VERSION`` names the current schema generation.  A
+  request may carry a ``"version"`` field; omitting it means "current".
+  A mismatched version is rejected up front (HTTP 400) rather than
+  half-interpreted.
+- Parsing is **strict**: unknown keys, missing required fields and
+  wrong types all raise :class:`~repro.errors.WireFormatError` with a
+  message naming the offending field.  A schema bump is therefore an
+  explicit, reviewable event — new optional fields require a version
+  bump, and old clients keep working within a generation.
+- Every response carries ``"version"`` so clients can assert what they
+  are decoding.
+
+The dataclasses are transport-independent plain data; ``from_json`` /
+``to_json`` are the only (de)serialization paths, used identically by
+the server, the tests' golden fixtures, and the load generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import WireFormatError
+
+#: Current wire-schema generation.  Bump on any incompatible change to
+#: the request or response shapes below (see docs/architecture.md for
+#: the versioning rules).
+WIRE_SCHEMA_VERSION = 1
+
+#: Ceiling applied to per-request deadline budgets (seconds).
+MAX_DEADLINE_S = 120.0
+
+
+def _require_mapping(payload: object) -> Mapping[str, object]:
+    if not isinstance(payload, Mapping):
+        raise WireFormatError(
+            f"request body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def _check_version(payload: Mapping[str, object]) -> None:
+    version = payload.get("version", WIRE_SCHEMA_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise WireFormatError("'version' must be an integer")
+    if version != WIRE_SCHEMA_VERSION:
+        raise WireFormatError(
+            f"unsupported wire schema version {version} "
+            f"(this server speaks version {WIRE_SCHEMA_VERSION})"
+        )
+
+
+def _reject_unknown(payload: Mapping[str, object], allowed: Tuple[str, ...]) -> None:
+    unknown = sorted(set(payload) - set(allowed) - {"version"})
+    if unknown:
+        raise WireFormatError(f"unknown field(s): {', '.join(unknown)}")
+
+
+def _get_str(
+    payload: Mapping[str, object], name: str, default: Optional[str] = None
+) -> str:
+    if name not in payload:
+        if default is None:
+            raise WireFormatError(f"missing required field '{name}'")
+        return default
+    value = payload[name]
+    if not isinstance(value, str):
+        raise WireFormatError(f"'{name}' must be a string")
+    return value
+
+
+def _get_nonempty_str(payload: Mapping[str, object], name: str) -> str:
+    value = _get_str(payload, name)
+    if not value.strip():
+        raise WireFormatError(f"'{name}' must be a non-empty string")
+    return value
+
+
+def _get_bool(payload: Mapping[str, object], name: str, default: bool) -> bool:
+    value = payload.get(name, default)
+    if not isinstance(value, bool):
+        raise WireFormatError(f"'{name}' must be a boolean")
+    return value
+
+
+def _get_int(
+    payload: Mapping[str, object], name: str, default: int, minimum: int = 1
+) -> int:
+    value = payload.get(name, default)
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise WireFormatError(f"'{name}' must be an integer")
+    if value < minimum:
+        raise WireFormatError(f"'{name}' must be >= {minimum}, got {value}")
+    return value
+
+
+def _get_deadline(payload: Mapping[str, object], default: float) -> float:
+    value = payload.get("deadline_s", default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise WireFormatError("'deadline_s' must be a number")
+    deadline = float(value)
+    if deadline <= 0:
+        raise WireFormatError(f"'deadline_s' must be positive, got {deadline}")
+    return min(deadline, MAX_DEADLINE_S)
+
+
+# -- requests ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenerateRequest:
+    """``POST /v1/generate`` — natural-language question to SQL."""
+
+    question: str
+    db_id: str
+    tenant: str = "default"
+    n_samples: int = 1
+    deadline_s: float = 30.0
+
+    _FIELDS = ("question", "db_id", "tenant", "n_samples", "deadline_s")
+
+    @classmethod
+    def from_json(cls, payload: object) -> "GenerateRequest":
+        body = _require_mapping(payload)
+        _check_version(body)
+        _reject_unknown(body, cls._FIELDS)
+        return cls(
+            question=_get_nonempty_str(body, "question"),
+            db_id=_get_nonempty_str(body, "db_id"),
+            tenant=_get_str(body, "tenant", "default"),
+            n_samples=_get_int(body, "n_samples", 1),
+            deadline_s=_get_deadline(body, 30.0),
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "question": self.question,
+            "db_id": self.db_id,
+            "tenant": self.tenant,
+            "n_samples": self.n_samples,
+            "deadline_s": self.deadline_s,
+        }
+
+
+@dataclass(frozen=True)
+class LintRequest:
+    """``POST /v1/lint`` — static analysis (and optional repair) only."""
+
+    db_id: str
+    sql: str
+    repair: bool = False
+    tenant: str = "default"
+    deadline_s: float = 10.0
+
+    _FIELDS = ("db_id", "sql", "repair", "tenant", "deadline_s")
+
+    @classmethod
+    def from_json(cls, payload: object) -> "LintRequest":
+        body = _require_mapping(payload)
+        _check_version(body)
+        _reject_unknown(body, cls._FIELDS)
+        return cls(
+            db_id=_get_nonempty_str(body, "db_id"),
+            sql=_get_nonempty_str(body, "sql"),
+            repair=_get_bool(body, "repair", False),
+            tenant=_get_str(body, "tenant", "default"),
+            deadline_s=_get_deadline(body, 10.0),
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "db_id": self.db_id,
+            "sql": self.sql,
+            "repair": self.repair,
+            "tenant": self.tenant,
+            "deadline_s": self.deadline_s,
+        }
+
+
+@dataclass(frozen=True)
+class ExecuteRequest:
+    """``POST /v1/execute`` — run a statement behind the safety gate."""
+
+    db_id: str
+    sql: str
+    tenant: str = "default"
+    deadline_s: float = 10.0
+
+    _FIELDS = ("db_id", "sql", "tenant", "deadline_s")
+
+    @classmethod
+    def from_json(cls, payload: object) -> "ExecuteRequest":
+        body = _require_mapping(payload)
+        _check_version(body)
+        _reject_unknown(body, cls._FIELDS)
+        return cls(
+            db_id=_get_nonempty_str(body, "db_id"),
+            sql=_get_nonempty_str(body, "sql"),
+            tenant=_get_str(body, "tenant", "default"),
+            deadline_s=_get_deadline(body, 10.0),
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "db_id": self.db_id,
+            "sql": self.sql,
+            "tenant": self.tenant,
+            "deadline_s": self.deadline_s,
+        }
+
+
+@dataclass(frozen=True)
+class ExplainRequest:
+    """``POST /v1/explain`` — show the prompt a generate would send."""
+
+    question: str
+    db_id: str
+    tenant: str = "default"
+    deadline_s: float = 10.0
+
+    _FIELDS = ("question", "db_id", "tenant", "deadline_s")
+
+    @classmethod
+    def from_json(cls, payload: object) -> "ExplainRequest":
+        body = _require_mapping(payload)
+        _check_version(body)
+        _reject_unknown(body, cls._FIELDS)
+        return cls(
+            question=_get_nonempty_str(body, "question"),
+            db_id=_get_nonempty_str(body, "db_id"),
+            tenant=_get_str(body, "tenant", "default"),
+            deadline_s=_get_deadline(body, 10.0),
+        )
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "question": self.question,
+            "db_id": self.db_id,
+            "tenant": self.tenant,
+            "deadline_s": self.deadline_s,
+        }
+
+
+# -- responses ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GenerateResponse:
+    """Predicted SQL plus generation accounting."""
+
+    sql: str
+    db_id: str
+    statement_kind: str
+    error_class: str
+    fatal: bool
+    prompt_tokens: int
+    completion_tokens: int
+    n_examples: int
+    cached: bool
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "sql": self.sql,
+            "db_id": self.db_id,
+            "statement_kind": self.statement_kind,
+            "error_class": self.error_class,
+            "fatal": self.fatal,
+            "prompt_tokens": self.prompt_tokens,
+            "completion_tokens": self.completion_tokens,
+            "n_examples": self.n_examples,
+            "cached": self.cached,
+        }
+
+
+@dataclass(frozen=True)
+class LintResponse:
+    """Analyzer verdict for one statement."""
+
+    db_id: str
+    statement_kind: str
+    fatal: bool
+    error_class: str
+    final_sql: str
+    repaired_sql: str
+    diagnostics: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "db_id": self.db_id,
+            "statement_kind": self.statement_kind,
+            "fatal": self.fatal,
+            "error_class": self.error_class,
+            "final_sql": self.final_sql,
+            "repaired_sql": self.repaired_sql,
+            "diagnostics": self.diagnostics,
+        }
+
+
+@dataclass(frozen=True)
+class ExecuteResponse:
+    """Result rows of a safety-gated execution."""
+
+    db_id: str
+    sql: str
+    rows: List[List[object]]
+    row_count: int
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "db_id": self.db_id,
+            "sql": self.sql,
+            "rows": self.rows,
+            "row_count": self.row_count,
+        }
+
+
+@dataclass(frozen=True)
+class ExplainResponse:
+    """The prompt ``/v1/generate`` would send, without generating."""
+
+    db_id: str
+    question: str
+    prompt_text: str
+    prompt_tokens: int
+    n_examples: int
+    example_blocks: List[Dict[str, str]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": WIRE_SCHEMA_VERSION,
+            "db_id": self.db_id,
+            "question": self.question,
+            "prompt_text": self.prompt_text,
+            "prompt_tokens": self.prompt_tokens,
+            "n_examples": self.n_examples,
+            "example_blocks": self.example_blocks,
+        }
+
+
+@dataclass(frozen=True)
+class ErrorResponse:
+    """Uniform error body for every non-2xx response."""
+
+    error: str
+    message: str
+    detail: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_json(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "version": WIRE_SCHEMA_VERSION,
+            "error": self.error,
+            "message": self.message,
+        }
+        if self.detail:
+            out["detail"] = self.detail
+        return out

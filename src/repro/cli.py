@@ -19,6 +19,11 @@ Subcommands:
   (``--json`` for machine-readable output, ``--repair`` to also show the
   deterministic repair pass).  Exit code 1 when any fatal diagnostic
   fired.
+* ``serve`` — boot the long-lived HTTP/JSON service (``POST
+  /v1/generate``, ``/v1/lint``, ``/v1/execute``, ``/v1/explain``; ``GET
+  /healthz``, ``/metrics``) with request coalescing, per-tenant rate
+  limits and per-request deadlines over the same artifact cache sweeps
+  use.
 * ``models`` — list available model profiles.
 * ``cache`` — inspect (``stats``) or wipe (``clear``) the on-disk
   artifact cache that makes sweeps incremental across processes.
@@ -548,6 +553,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if any_fatal else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the HTTP serving layer over the benchmark context."""
+    from .eval.harness import RunConfig
+    from .serve import build_server
+
+    _apply_cache(args)
+    config = None
+    if args.model or args.k is not None:
+        config = RunConfig(
+            model=args.model or "gpt-4",
+            representation="CR_P",
+            organization="DAIL_O",
+            selection="DAIL_S" if (args.k is None or args.k > 0) else None,
+            k=args.k if args.k is not None else 4,
+            foreign_keys=True,
+        )
+    server = build_server(
+        fast=args.fast, host=args.host, port=args.port, config=config
+    )
+    host, port = server.address
+    model = server.service.plan.config.model
+    print(f"dail-sql serve: {model} on http://{host}:{port}", file=sys.stderr)
+    print(
+        "endpoints: POST /v1/generate /v1/lint /v1/execute /v1/explain, "
+        "GET /healthz /metrics (Ctrl-C to stop)",
+        file=sys.stderr,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down", file=sys.stderr)
+    finally:
+        server.close()
+    return 0
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     from .llm.profiles import get_profile, list_models
 
@@ -737,6 +778,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--fast", action="store_true",
                         help="use the reduced benchmark corpus")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="serve text-to-SQL over HTTP/JSON",
+        description=(
+            "Boot a long-lived HTTP service over the benchmark context: "
+            "POST /v1/generate, /v1/lint, /v1/execute, /v1/explain plus "
+            "GET /healthz and /metrics (Prometheus text).  Generations "
+            "are coalesced into batches, rate-limited per tenant, and "
+            "share the artifact cache with batch sweeps — pass "
+            "--cache-dir to serve from (and extend) a warmed disk cache."
+        ),
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8765,
+                         help="bind port (0 picks a free port)")
+    p_serve.add_argument("--model", default=None,
+                         help="model profile to serve (default gpt-4)")
+    p_serve.add_argument("--k", type=int, default=None,
+                         help="in-context examples per prompt "
+                              "(0 for zero-shot; default 4)")
+    p_serve.add_argument("--fast", action="store_true",
+                         help="use the reduced benchmark corpus")
+    p_serve.add_argument("--cache-dir", default=None, help=cache_help)
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_models = sub.add_parser("models", help="list model profiles")
     p_models.set_defaults(func=_cmd_models)

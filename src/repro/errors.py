@@ -73,3 +73,47 @@ class EvaluationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised for invalid experiment configurations."""
+
+
+class ServeError(ReproError):
+    """Base class for serving-layer failures (``repro.serve``).
+
+    Subclasses map one-to-one onto HTTP status codes in the server, so
+    the service layer stays transport-agnostic: it raises these, and
+    only the HTTP handler knows about status lines.
+    """
+
+
+class WireFormatError(ServeError):
+    """Raised when a request body does not fit the versioned wire schema
+    (missing field, wrong type, unknown key, unsupported version).
+    Maps to HTTP 400."""
+
+
+class RateLimitedError(ServeError):
+    """Raised when a tenant's token bucket is empty.  Maps to HTTP 429.
+
+    Attributes:
+        retry_after_s: seconds until the bucket refills enough for one
+            request (the ``Retry-After`` header).
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class DeadlineExceededError(ServeError):
+    """Raised when a request's deadline budget expires before the work
+    completes.  Maps to HTTP 504."""
+
+
+class UnsafeSqlError(ServeError):
+    """Raised when the analyzer's safety gate refuses to execute a
+    statement (not a single read-only SELECT, or fatally diagnosed).
+    Maps to HTTP 422; carries the diagnostics for the error payload.
+    """
+
+    def __init__(self, message: str, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = list(diagnostics or [])

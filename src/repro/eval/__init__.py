@@ -20,13 +20,33 @@ from .error_analysis import (
 from .exact_match import COMPONENTS, component_match, exact_match
 from .engine import EvalEngine, GridResult, GridRunner
 from .figures import ascii_lines, ascii_scatter
-from .harness import BenchmarkRunner, RunConfig, RunPlan, run_grid
+from .harness import BenchmarkRunner, RunConfig, RunPlan
 from .metrics import EvalReport, PredictionRecord
 from .telemetry import ProgressEvent, RunTelemetry
 from .reporting import format_matrix, format_series, format_table, percent
 from .persistence import load_report, load_reports, save_report, save_reports
 from .significance import Comparison, compare_reports, mcnemar_exact
 from .test_suite import TestSuite, test_suite_accuracy
+
+
+def __getattr__(name: str):
+    # ``run_grid`` is deprecated (use GridRunner.sweep); resolving it
+    # lazily means even `from repro.eval import run_grid` warns, without
+    # the package import itself paying or suppressing the warning.
+    if name == "run_grid":
+        import warnings
+
+        warnings.warn(
+            "importing run_grid from repro.eval is deprecated; "
+            "use GridRunner(runner).sweep(configs)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        from .harness import run_grid
+
+        return run_grid
+    raise AttributeError(f"module 'repro.eval' has no attribute {name!r}")
+
 
 __all__ = [
     "CalibrationReport", "calibration_report", "model_calibration",

@@ -102,41 +102,9 @@ class SelectStage(PipelineStage):
 
     def run(self, state: State, collector) -> None:
         example, plan = state["example"], state["plan"]
-        strategy = plan.strategy
-        if strategy is None:
-            state["blocks"] = []
-            return
-        predicted: Optional[str] = None
-        if isinstance(strategy, DailSelection):
-            predicted = self.pipeline.preliminary_sql(plan, example, collector)
-
-        def compute() -> List[List[str]]:
-            blocks = strategy.select(
-                example.question, example.db_id, plan.config.k,
-                predicted_sql=predicted,
-            )
-            return [[b.schema.db_id, b.question, b.sql] for b in blocks]
-
-        refs = self.pipeline.cache.get_or_compute(
-            "select",
-            (
-                strategy.fingerprint(),
-                example.question,
-                example.db_id,
-                plan.config.k,
-                predicted or "",
-            ),
-            compute,
-            collector=collector,
+        state["blocks"] = self.pipeline.selection_blocks(
+            plan, example.question, example.db_id, collector
         )
-        state["blocks"] = [
-            ExampleBlock(
-                question=question,
-                sql=sql,
-                schema=strategy.candidates.schema(db_id),
-            )
-            for db_id, question, sql in refs
-        ]
 
 
 class BuildPromptStage(PipelineStage):
@@ -374,7 +342,53 @@ class EvalPipeline:
             collector=collector,
         )
 
-    def preliminary_sql(self, plan, example: Example, collector) -> str:
+    def selection_blocks(
+        self, plan, question: str, db_id: str, collector=NULL_COLLECTOR
+    ) -> List[ExampleBlock]:
+        """The ``select`` artifact, hydrated into example blocks.
+
+        Keyed on the plain question/``db_id`` pair (not an
+        :class:`Example`), so the serving layer shares selection
+        rankings — and the DAIL preliminary pass behind them — with
+        batch sweeps over the same corpus.
+        """
+        strategy = plan.strategy
+        if strategy is None:
+            return []
+        predicted: Optional[str] = None
+        if isinstance(strategy, DailSelection):
+            predicted = self.preliminary_sql(plan, question, db_id, collector)
+
+        def compute() -> List[List[str]]:
+            blocks = strategy.select(
+                question, db_id, plan.config.k, predicted_sql=predicted,
+            )
+            return [[b.schema.db_id, b.question, b.sql] for b in blocks]
+
+        refs = self.cache.get_or_compute(
+            "select",
+            (
+                strategy.fingerprint(),
+                question,
+                db_id,
+                plan.config.k,
+                predicted or "",
+            ),
+            compute,
+            collector=collector,
+        )
+        return [
+            ExampleBlock(
+                question=block_question,
+                sql=sql,
+                schema=strategy.candidates.schema(block_db_id),
+            )
+            for block_db_id, block_question, sql in refs
+        ]
+
+    def preliminary_sql(
+        self, plan, question: str, db_id: str, collector=NULL_COLLECTOR
+    ) -> str:
         """The ``preliminary`` artifact: DAIL_S's zero-shot predicted SQL.
 
         The preliminary prompt (target representation, ``FI_O``
@@ -391,8 +405,8 @@ class EvalPipeline:
             ),
         )
         builder = PromptBuilder(representation, get_organization("FI_O"))
-        schema = self.dataset.schema(example.db_id)
-        prompt = builder.build(schema, example.question)
+        schema = self.dataset.schema(db_id)
+        prompt = builder.build(schema, question)
 
         def compute() -> str:
             result = plan.llm.generate(prompt, sample_tag="preliminary")
@@ -405,7 +419,10 @@ class EvalPipeline:
             collector=collector,
         )
 
-    def analysis(self, db_id: str, sql: str, collector) -> Dict:
+    def analysis(
+        self, db_id: str, sql: str, collector=NULL_COLLECTOR,
+        *, repair: Optional[bool] = None,
+    ) -> Dict:
         """The ``analyze`` artifact: diagnostics + safety verdict.
 
         The payload is plain JSON: ``statement_kind``, ``diagnostics``
@@ -416,7 +433,13 @@ class EvalPipeline:
         version, database fingerprint, SQL text and the repair flag, so
         results are byte-identical serial vs parallel and cache-hit on
         warm reruns.
+
+        Args:
+            repair: per-call override of the pipeline's repair flag
+                (the serving layer honours a per-request setting);
+                ``None`` uses the pipeline default.
         """
+        do_repair = self.repair if repair is None else repair
 
         def compute() -> Dict:
             schema = self.dataset.schema(db_id)
@@ -429,7 +452,7 @@ class EvalPipeline:
                 "final_sql": sql,
                 "repaired_sql": "",
             }
-            if self.repair and result.diagnostics:
+            if do_repair and result.diagnostics:
                 fixed = repair_sql(schema, sql)
                 if fixed.changed:
                     rechecked = analyze(schema, fixed.sql)
@@ -453,7 +476,7 @@ class EvalPipeline:
                 ANALYZER_VERSION,
                 self.pool.fingerprint(db_id),
                 sql,
-                "repair" if self.repair else "plain",
+                "repair" if do_repair else "plain",
             ),
             compute,
             collector=collector,

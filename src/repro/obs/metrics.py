@@ -47,6 +47,15 @@ M_DEADLINE_EXCEEDED = "repro_deadline_exceeded_total"
 M_INTERRUPTIONS = "repro_interruptions_total"
 M_LINT_DIAGNOSTICS = "repro_lint_diagnostics_total"
 M_LINT_SHORT_CIRCUIT = "repro_lint_short_circuit_total"
+M_HTTP_REQUESTS = "repro_http_requests_total"
+M_HTTP_LATENCY = "repro_http_request_seconds"
+M_SERVE_COALESCE_BATCH = "repro_serve_coalesce_batch_size"
+M_SERVE_COALESCED = "repro_serve_coalesced_requests_total"
+M_SERVE_RATE_LIMITED = "repro_serve_rate_limited_total"
+M_SERVE_INFLIGHT = "repro_serve_inflight_requests"
+
+#: Fixed batch-size buckets for the request coalescer histogram.
+BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
 
 #: Fixed latency buckets (seconds): sub-millisecond pipeline stages up
 #: to multi-second remote API calls.
@@ -264,58 +273,89 @@ class MetricsRegistry:
     # -- export --------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, object]:
-        """JSON-ready dump of every metric (stable ordering)."""
+        """JSON-ready dump of every metric (stable ordering).
+
+        The whole dump is assembled under the registry lock, so a
+        snapshot is an atomic, internally consistent view: a histogram's
+        bucket counts always sum to its ``count``, and no series is seen
+        mid-update.
+        """
         with self._lock:
-            out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
-            for name in sorted(self._counters):
-                out["counters"][name] = [
-                    {"labels": dict(key), "value": value}
-                    for key, value in sorted(self._counters[name].items())
-                ]
-            for name in sorted(self._gauges):
-                out["gauges"][name] = [
-                    {"labels": dict(key), "value": value}
-                    for key, value in sorted(self._gauges[name].items())
-                ]
-            for name in sorted(self._histograms):
-                out["histograms"][name] = [
-                    {
-                        "labels": dict(key),
-                        "buckets": list(h.bounds),
-                        "counts": list(h.counts),
-                        "sum": h.sum,
-                        "count": h.count,
-                    }
-                    for key, h in sorted(self._histograms[name].items())
-                ]
-            return out
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for name in sorted(self._counters):
+            out["counters"][name] = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._counters[name].items())
+            ]
+        for name in sorted(self._gauges):
+            out["gauges"][name] = [
+                {"labels": dict(key), "value": value}
+                for key, value in sorted(self._gauges[name].items())
+            ]
+        for name in sorted(self._histograms):
+            out["histograms"][name] = [
+                {
+                    "labels": dict(key),
+                    "buckets": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for key, h in sorted(self._histograms[name].items())
+            ]
+        return out
 
     def to_prometheus(self) -> str:
-        """The Prometheus text exposition format (textfile-collector ready)."""
-        lines: List[str] = []
+        """The Prometheus text exposition format (textfile-collector ready).
+
+        Like :meth:`snapshot`, the entire export is built under the
+        registry lock: a scrape racing live counter updates still sees
+        an atomic, parseable view — no histogram whose bucket counts
+        disagree with its ``_count`` line, no half-applied increment.
+        """
         with self._lock:
-            for name in sorted(self._counters):
-                lines.append(f"# TYPE {name} counter")
-                for key, value in sorted(self._counters[name].items()):
-                    lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
-            for name in sorted(self._gauges):
-                lines.append(f"# TYPE {name} gauge")
-                for key, value in sorted(self._gauges[name].items()):
-                    lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
-            for name in sorted(self._histograms):
-                lines.append(f"# TYPE {name} histogram")
-                for key, h in sorted(self._histograms[name].items()):
-                    cumulative = 0
-                    for bound, count in zip(h.bounds, h.counts):
-                        cumulative += count
-                        le = _format_labels(key, extra=("le", _format_value(bound)))
-                        lines.append(f"{name}_bucket{le} {cumulative}")
-                    cumulative += h.counts[-1]
-                    le = _format_labels(key, extra=("le", "+Inf"))
+            return self._to_prometheus_locked()
+
+    def _to_prometheus_locked(self) -> str:
+        lines: List[str] = []
+        for name in sorted(self._counters):
+            lines.append(f"# TYPE {name} counter")
+            for key, value in sorted(self._counters[name].items()):
+                lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
+        for name in sorted(self._gauges):
+            lines.append(f"# TYPE {name} gauge")
+            for key, value in sorted(self._gauges[name].items()):
+                lines.append(f"{name}{_format_labels(key)} {_format_value(value)}")
+        for name in sorted(self._histograms):
+            lines.append(f"# TYPE {name} histogram")
+            for key, h in sorted(self._histograms[name].items()):
+                cumulative = 0
+                for bound, count in zip(h.bounds, h.counts):
+                    cumulative += count
+                    le = _format_labels(key, extra=("le", _format_value(bound)))
                     lines.append(f"{name}_bucket{le} {cumulative}")
-                    lines.append(f"{name}_sum{_format_labels(key)} {_format_value(h.sum)}")
-                    lines.append(f"{name}_count{_format_labels(key)} {h.count}")
+                cumulative += h.counts[-1]
+                le = _format_labels(key, extra=("le", "+Inf"))
+                lines.append(f"{name}_bucket{le} {cumulative}")
+                lines.append(f"{name}_sum{_format_labels(key)} {_format_value(h.sum)}")
+                lines.append(f"{name}_count{_format_labels(key)} {h.count}")
         return "\n".join(lines) + "\n"
+
+    def scrape(self) -> Tuple[str, Dict[str, object]]:
+        """Both export formats from **one** lock acquisition.
+
+        A ``/metrics`` scrape that wants the Prometheus text *and* the
+        JSON snapshot (or a trace export writing both artifacts) must
+        not call :meth:`to_prometheus` and :meth:`snapshot` back to
+        back — counters advance between the two calls and the pair
+        disagrees.  ``scrape()`` builds both views under a single lock
+        hold, so they describe exactly the same instant.
+        """
+        with self._lock:
+            return self._to_prometheus_locked(), self._snapshot_locked()
 
 
 def _escape_label(value: str) -> str:

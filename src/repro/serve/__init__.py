@@ -1,0 +1,31 @@
+"""The serving layer: a long-lived HTTP/JSON text-to-SQL service.
+
+Built entirely on the existing substrate — the staged
+:class:`~repro.eval.pipeline.EvalPipeline`, the content-addressed
+:class:`~repro.cache.store.ArtifactCache`, the
+:class:`~repro.obs.metrics.MetricsRegistry` and the
+:class:`~repro.resilience.breaker.CircuitBreaker` — plus three serving
+concerns of its own: request coalescing into ``generate_batch``
+(:mod:`.coalesce`), per-tenant token-bucket rate limiting
+(:mod:`.ratelimit`) and per-request deadline budgets
+(:mod:`.service`).
+
+Entry points: ``dail-sql serve`` on the command line,
+:func:`~repro.serve.http.build_server` in code, or drive
+:class:`~repro.serve.service.SqlService` directly (no HTTP) in tests.
+"""
+
+from .coalesce import CoalescingClient, GenerateCoalescer
+from .http import SqlServer, build_server
+from .ratelimit import RateLimiter, TokenBucket
+from .service import SqlService
+
+__all__ = [
+    "CoalescingClient",
+    "GenerateCoalescer",
+    "RateLimiter",
+    "SqlServer",
+    "SqlService",
+    "TokenBucket",
+    "build_server",
+]

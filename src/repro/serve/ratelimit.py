@@ -1,0 +1,103 @@
+"""Per-tenant token-bucket rate limiting.
+
+A classic token bucket per tenant: ``capacity`` tokens of burst,
+refilled continuously at ``rate`` tokens/second.  Each request costs
+one token; an empty bucket raises
+:class:`~repro.errors.RateLimitedError` carrying the exact time until
+one token is available again, which the HTTP layer surfaces as a 429
+with a ``Retry-After`` header.
+
+Buckets are created lazily on first sight of a tenant and refill
+lazily on access (no background thread).  The clock is injectable so
+tests drive refills without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict
+
+from ..errors import RateLimitedError
+
+
+class TokenBucket:
+    """One tenant's bucket.  Not thread-safe on its own — the
+    :class:`RateLimiter` serializes access."""
+
+    def __init__(self, rate: float, capacity: float, now: float):
+        self.rate = rate
+        self.capacity = capacity
+        self.tokens = capacity
+        self.updated = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated)
+        self.tokens = min(self.capacity, self.tokens + elapsed * self.rate)
+        self.updated = now
+
+    def try_acquire(self, now: float) -> float:
+        """Take one token.  Returns 0.0 on success, else the seconds
+        until one token will be available."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class RateLimiter:
+    """Thread-safe map of tenant name → :class:`TokenBucket`.
+
+    Args:
+        rate: steady-state tokens/second granted to each tenant.
+        capacity: burst size (bucket starts full).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rate: float = 50.0,
+        capacity: float = 100.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0 or capacity < 1:
+            raise ValueError(
+                f"need rate > 0 and capacity >= 1, got {rate=} {capacity=}"
+            )
+        self.rate = rate
+        self.capacity = capacity
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def acquire(self, tenant: str) -> None:
+        """Spend one token for ``tenant`` or raise.
+
+        Raises:
+            RateLimitedError: bucket empty; ``retry_after_s`` says when
+                one token will have refilled.
+        """
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(self.rate, self.capacity, now)
+                self._buckets[tenant] = bucket
+            wait = bucket.try_acquire(now)
+        if wait > 0.0:
+            raise RateLimitedError(
+                f"tenant {tenant!r} is over its rate limit "
+                f"({self.rate:g} req/s, burst {self.capacity:g})",
+                retry_after_s=wait,
+            )
+
+    def tokens(self, tenant: str) -> float:
+        """Current token count for ``tenant`` (refilled to now)."""
+        now = self.clock()
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                return self.capacity
+            bucket._refill(now)
+            return bucket.tokens

@@ -1,0 +1,386 @@
+"""The transport-agnostic serving core.
+
+:class:`SqlService` owns one prepared run plan (builder, LLM behind the
+request coalescer, selection strategy) over a
+:class:`~repro.eval.harness.BenchmarkRunner` and answers the four
+operations the HTTP layer exposes — generate, lint, execute, explain —
+in terms of the *same* pipeline accessors batch sweeps use.  Because
+every expensive step goes through the content-addressed
+:class:`~repro.cache.store.ArtifactCache` with unchanged key shapes,
+a question evaluated during a sweep is a warm cache hit over HTTP and
+vice versa; the service layer adds no second caching scheme.
+
+The service knows nothing about HTTP: it takes the typed request
+dataclasses from :mod:`repro.api.wire`, returns typed responses, and
+raises :class:`~repro.errors.ReproError` subclasses.  The HTTP handler
+maps those onto status codes; tests drive the service directly.
+
+Request processing enforces, in order:
+
+1. per-tenant token-bucket rate limiting (:class:`.ratelimit.RateLimiter`),
+2. a per-request deadline budget, checked between pipeline steps and
+   enforced inside blocking generation waits,
+3. the analyzer safety gate before any execution
+   (:class:`~repro.errors.UnsafeSqlError` for fatal diagnostics),
+4. the shared :class:`~repro.resilience.breaker.CircuitBreaker` on the
+   LLM path (via the coalescer).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from ..api.wire import (
+    ExecuteRequest,
+    ExecuteResponse,
+    ExplainRequest,
+    ExplainResponse,
+    GenerateRequest,
+    GenerateResponse,
+    LintRequest,
+    LintResponse,
+)
+from ..errors import DeadlineExceededError, UnsafeSqlError
+from ..eval.harness import BenchmarkRunner, RunConfig, RunPlan
+from ..eval.telemetry import TelemetryCollector
+from ..llm.extract import extract_sql
+from ..obs.metrics import MetricsRegistry
+from ..resilience.breaker import CircuitBreaker
+from .coalesce import CoalescingClient, GenerateCoalescer
+from .ratelimit import RateLimiter
+
+
+class _Deadline:
+    """One request's time budget, checked between pipeline steps."""
+
+    __slots__ = ("clock", "expires")
+
+    def __init__(self, clock: Callable[[], float], budget_s: float):
+        self.clock = clock
+        self.expires = clock() + budget_s
+
+    def remaining(self) -> float:
+        return self.expires - self.clock()
+
+    def check(self, step: str) -> float:
+        remaining = self.remaining()
+        if remaining <= 0:
+            raise DeadlineExceededError(
+                f"deadline exceeded before {step} "
+                f"(over budget by {-remaining:.3f}s)"
+            )
+        return remaining
+
+
+class _DeadlineClient:
+    """Per-request LLM facade: same cache identity, bounded waits.
+
+    Delegates ``model_id``/``fingerprint`` to the shared coalescing
+    client (so ``generate`` artifact keys are unchanged) while capping
+    every blocking generation wait at the request's remaining budget.
+    """
+
+    def __init__(self, coalescer: GenerateCoalescer, deadline: _Deadline):
+        self.coalescer = coalescer
+        self.deadline = deadline
+
+    @property
+    def model_id(self) -> str:
+        return self.coalescer.llm.model_id
+
+    def fingerprint(self) -> str:
+        from ..llm.interface import client_fingerprint
+
+        return client_fingerprint(self.coalescer.llm)
+
+    def generate(self, prompt, sample_tag: str = ""):
+        return self.coalescer.generate(
+            prompt, sample_tag=sample_tag,
+            timeout_s=self.deadline.check("generate"),
+        )
+
+    def generate_batch(self, prompts, sample_tag: str = ""):
+        return [self.generate(p, sample_tag=sample_tag) for p in prompts]
+
+
+class _ServeCollector(TelemetryCollector):
+    """Run collector plus a per-thread 'was the generate a cache hit'
+    flag, so responses can report ``cached`` honestly."""
+
+    def __init__(self, registry: MetricsRegistry):
+        super().__init__(registry=registry, labels={"cell": "serve"})
+        self._flags = threading.local()
+
+    def begin_request(self) -> None:
+        self._flags.generate_hit = True  # stays True iff no miss happens
+
+    def record_cache(self, name: str, hit: bool) -> None:
+        super().record_cache(name, hit)
+        if name == "generate" and not hit:
+            self._flags.generate_hit = False
+
+    def generate_was_cached(self) -> bool:
+        return bool(getattr(self._flags, "generate_hit", False))
+
+
+class SqlService:
+    """Serves text-to-SQL operations over one prepared run plan.
+
+    Args:
+        runner: the benchmark runner whose pipeline/cache/pool to serve
+            from (typically ``get_context(fast).runner``).
+        config: the run configuration to serve (prompt representation,
+            selection strategy, model).
+        metrics: registry shared with the HTTP layer's ``/metrics``.
+        limiter: per-tenant rate limiter (default: 50 req/s, burst 100).
+        breaker: circuit breaker on the LLM dispatch path.
+        max_batch / max_wait_s: coalescer tuning.
+        clock: injectable monotonic clock (tests drive deadlines).
+    """
+
+    def __init__(
+        self,
+        runner: BenchmarkRunner,
+        config: Optional[RunConfig] = None,
+        *,
+        metrics: Optional[MetricsRegistry] = None,
+        limiter: Optional[RateLimiter] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        max_batch: int = 8,
+        max_wait_s: float = 0.005,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.runner = runner
+        self.pipeline = runner.pipeline
+        self.config = config if config is not None else RunConfig(
+            model="gpt-4", representation="CR_P", organization="DAIL_O",
+            selection="DAIL_S", k=4, foreign_keys=True,
+        )
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.limiter = limiter if limiter is not None else RateLimiter()
+        self.breaker = breaker if breaker is not None else CircuitBreaker()
+        self.clock = clock
+        self.collector = _ServeCollector(self.metrics)
+        base_plan = runner.prepare(self.config)
+        self.coalescer = GenerateCoalescer(
+            base_plan.llm,
+            breaker=self.breaker,
+            max_batch=max_batch,
+            max_wait_s=max_wait_s,
+            metrics=self.metrics,
+            clock=clock,
+        )
+        #: The served plan: identical to a sweep's except generation is
+        #: routed through the coalescer (same cache fingerprint).
+        self.plan = RunPlan(
+            config=base_plan.config,
+            builder=base_plan.builder,
+            llm=CoalescingClient(self.coalescer),
+            strategy=base_plan.strategy,
+            n_samples=base_plan.n_samples,
+        )
+
+    # -- operations ----------------------------------------------------------
+
+    def generate(self, request: GenerateRequest) -> GenerateResponse:
+        """Question → SQL through the full select/build/generate chain.
+
+        Raises:
+            RateLimitedError: tenant over its budget.
+            DeadlineExceededError: request budget expired.
+            DatasetError: unknown ``db_id``.
+            CircuitOpenError: LLM circuit open.
+        """
+        self.limiter.acquire(request.tenant)
+        deadline = _Deadline(self.clock, request.deadline_s)
+        collector = self.collector
+        collector.begin_request()
+        schema = self.pipeline.dataset.schema(request.db_id)
+        deadline.check("select")
+        with collector.stage("select"):
+            blocks = self.pipeline.selection_blocks(
+                self._deadline_plan(deadline), request.question,
+                request.db_id, collector,
+            )
+        with collector.stage("build"):
+            prompt = self.plan.builder.build(schema, request.question, blocks)
+        client = _DeadlineClient(self.coalescer, deadline)
+        if request.n_samples > 1:
+            sql, completion_tokens = self._vote(
+                client, prompt, request, deadline, collector
+            )
+        else:
+            with collector.stage("generate"):
+                generation = self.pipeline.generation(
+                    client, prompt, "", collector
+                )
+            completion_tokens = int(generation["completion_tokens"])
+            with collector.stage("extract"):
+                sql = extract_sql(generation["text"], prompt.response_prefix)
+        deadline.check("analyze")
+        with collector.stage("analyze"):
+            payload = self.pipeline.analysis(request.db_id, sql, collector)
+        final_sql = str(payload.get("final_sql") or sql)
+        return GenerateResponse(
+            sql=final_sql,
+            db_id=request.db_id,
+            statement_kind=str(payload.get("statement_kind", "")),
+            error_class=str(payload.get("error_class", "")),
+            fatal=bool(payload.get("fatal")),
+            prompt_tokens=prompt.token_count,
+            completion_tokens=completion_tokens,
+            n_examples=prompt.n_examples,
+            cached=collector.generate_was_cached(),
+        )
+
+    def lint(self, request: LintRequest) -> LintResponse:
+        """Static analysis (and optional repair) without executing."""
+        self.limiter.acquire(request.tenant)
+        deadline = _Deadline(self.clock, request.deadline_s)
+        self.pipeline.dataset.schema(request.db_id)  # 404 on unknown db
+        deadline.check("analyze")
+        with self.collector.stage("analyze"):
+            payload = self.pipeline.analysis(
+                request.db_id, request.sql, self.collector,
+                repair=request.repair,
+            )
+        return LintResponse(
+            db_id=request.db_id,
+            statement_kind=str(payload.get("statement_kind", "")),
+            fatal=bool(payload.get("fatal")),
+            error_class=str(payload.get("error_class", "")),
+            final_sql=str(payload.get("final_sql") or request.sql),
+            repaired_sql=str(payload.get("repaired_sql", "")),
+            diagnostics=list(payload.get("diagnostics", [])),
+        )
+
+    def execute(self, request: ExecuteRequest) -> ExecuteResponse:
+        """Run one statement behind the analyzer safety gate.
+
+        Raises:
+            UnsafeSqlError: fatal diagnostics — the statement is not a
+                clean read-only SELECT, so it never touches the pool.
+        """
+        self.limiter.acquire(request.tenant)
+        deadline = _Deadline(self.clock, request.deadline_s)
+        self.pipeline.dataset.schema(request.db_id)
+        deadline.check("analyze")
+        with self.collector.stage("analyze"):
+            payload = self.pipeline.analysis(
+                request.db_id, request.sql, self.collector
+            )
+        if payload.get("fatal"):
+            self.collector.record_short_circuit()
+            raise UnsafeSqlError(
+                "statement refused by the safety gate "
+                f"({payload.get('error_class', 'lint')})",
+                diagnostics=list(payload.get("diagnostics", [])),
+            )
+        final_sql = str(payload.get("final_sql") or request.sql)
+        deadline.check("execute")
+        with self.collector.stage("execute"):
+            rows = self.pipeline.predicted_rows(
+                request.db_id, final_sql, self.collector
+            )
+        encoded: List[List[object]] = (
+            [] if rows is None else [list(row) for row in rows]
+        )
+        return ExecuteResponse(
+            db_id=request.db_id,
+            sql=final_sql,
+            rows=encoded,
+            row_count=len(encoded),
+        )
+
+    def explain(self, request: ExplainRequest) -> ExplainResponse:
+        """The prompt a generate would send — selection + build only."""
+        self.limiter.acquire(request.tenant)
+        deadline = _Deadline(self.clock, request.deadline_s)
+        schema = self.pipeline.dataset.schema(request.db_id)
+        deadline.check("select")
+        with self.collector.stage("select"):
+            blocks = self.pipeline.selection_blocks(
+                self._deadline_plan(deadline), request.question,
+                request.db_id, self.collector,
+            )
+        with self.collector.stage("build"):
+            prompt = self.plan.builder.build(schema, request.question, blocks)
+        return ExplainResponse(
+            db_id=request.db_id,
+            question=request.question,
+            prompt_text=prompt.text,
+            prompt_tokens=prompt.token_count,
+            n_examples=prompt.n_examples,
+            example_blocks=[
+                {
+                    "db_id": block.schema.db_id,
+                    "question": block.question,
+                    "sql": block.sql,
+                }
+                for block in blocks
+            ],
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _deadline_plan(self, deadline: _Deadline) -> RunPlan:
+        """The served plan with generation waits capped at the request
+        deadline (the DAIL preliminary pass inside selection generates).
+        """
+        return RunPlan(
+            config=self.plan.config,
+            builder=self.plan.builder,
+            llm=_DeadlineClient(self.coalescer, deadline),
+            strategy=self.plan.strategy,
+            n_samples=self.plan.n_samples,
+        )
+
+    def _vote(
+        self, client, prompt, request: GenerateRequest,
+        deadline: _Deadline, collector,
+    ):
+        """Execution-majority self-consistency over ``n_samples``
+        (mirrors the pipeline's voting loop, on the same artifacts)."""
+        votes: Dict[str, List[str]] = {}
+        total_completion = 0
+        for index in range(request.n_samples):
+            deadline.check(f"generate sample {index}")
+            with collector.stage("generate"):
+                generation = self.pipeline.generation(
+                    client, prompt, f"sc-{index}", collector
+                )
+            total_completion += int(generation["completion_tokens"])
+            sql = extract_sql(generation["text"], prompt.response_prefix)
+            with collector.stage("analyze"):
+                payload = self.pipeline.analysis(
+                    request.db_id, sql, collector
+                )
+            final_sql = str(payload.get("final_sql") or sql)
+            if payload.get("fatal"):
+                rows = None
+            else:
+                with collector.stage("execute"):
+                    rows = self.pipeline.predicted_rows(
+                        request.db_id, final_sql, collector
+                    )
+            key = "<error>" if rows is None else repr(sorted(map(repr, rows)))
+            votes.setdefault(key, []).append(sql)
+
+        def vote_rank(item):
+            key, sqls = item
+            return (key != "<error>", len(sqls))
+
+        _, best_sqls = max(votes.items(), key=vote_rank)
+        return best_sqls[0], total_completion
+
+    def close(self) -> None:
+        """Stop the coalescer's dispatcher thread."""
+        self.coalescer.close()
+
+    def __enter__(self) -> "SqlService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,123 @@
+"""Export atomicity: scrapes racing live writers stay self-consistent.
+
+Regression guard for the ``/metrics`` / trace-export contract: every
+export (``to_prometheus``, ``snapshot``, ``scrape``) is assembled under
+one registry lock hold, so a scrape taken mid-flight still parses and
+its internal invariants hold — histogram bucket counts sum to the
+series count, counters only ever move forward, and the two halves of a
+``scrape()`` describe the same instant.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.metrics import MetricsRegistry, parse_prometheus
+
+WRITERS = 4
+ROUNDS = 150
+BUCKETS = (0.01, 0.1, 1.0)
+
+
+def hammer(registry: MetricsRegistry, stop: threading.Event) -> None:
+    while not stop.is_set():
+        for index in range(ROUNDS):
+            registry.counter_add("race_total", 1, {"writer": str(index % 3)})
+            registry.gauge_add("race_inflight", 1)
+            registry.observe("race_seconds", 0.05 * (index % 5),
+                             buckets=BUCKETS)
+            registry.gauge_add("race_inflight", -1)
+
+
+def histogram_invariants(samples) -> None:
+    """Buckets are cumulative, monotone, and agree with _count."""
+    counts = {}
+    buckets = {}
+    for name, labels, value in samples:
+        if name == "race_seconds_count":
+            counts[tuple(sorted(labels.items()))] = value
+        elif name == "race_seconds_bucket":
+            key = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            buckets.setdefault(key, []).append((float(labels["le"]), value))
+    assert counts, "histogram never appeared in the export"
+    for key, pairs in buckets.items():
+        pairs.sort()
+        values = [value for _, value in pairs]
+        assert values == sorted(values), "bucket counts must be cumulative"
+        assert values[-1] == counts[key], "+Inf bucket must equal _count"
+
+
+class TestScrapeUnderLoad:
+    def run_scrapers(self, registry: MetricsRegistry, scrape_once) -> None:
+        stop = threading.Event()
+        writers = [
+            threading.Thread(target=hammer, args=(registry, stop), daemon=True)
+            for _ in range(WRITERS)
+        ]
+        failures: list = []
+
+        def scraper() -> None:
+            try:
+                for _ in range(40):
+                    scrape_once(registry)
+            except Exception as exc:  # noqa: BLE001 — surfaced below
+                failures.append(exc)
+
+        scrapers = [threading.Thread(target=scraper) for _ in range(3)]
+        for thread in writers + scrapers:
+            thread.start()
+        for thread in scrapers:
+            thread.join()
+        stop.set()
+        for thread in writers:
+            thread.join(timeout=5.0)
+        assert not failures, failures
+
+    def test_prometheus_export_is_always_consistent(self):
+        registry = MetricsRegistry()
+        last_total = [0.0]
+
+        def scrape_once(reg: MetricsRegistry) -> None:
+            samples = parse_prometheus(reg.to_prometheus())  # must parse
+            if not samples:
+                return
+            histogram_invariants(samples)
+            total = sum(
+                value for name, _, value in samples if name == "race_total"
+            )
+            assert total >= last_total[0], "counters must be monotonic"
+            last_total[0] = total
+
+        self.run_scrapers(registry, scrape_once)
+
+    def test_snapshot_is_always_consistent(self):
+        registry = MetricsRegistry()
+
+        def scrape_once(reg: MetricsRegistry) -> None:
+            snapshot = reg.snapshot()
+            for series in snapshot["histograms"].get("race_seconds", []):
+                # counts has one overflow slot beyond the bounds
+                assert len(series["counts"]) == len(series["buckets"]) + 1
+                assert sum(series["counts"]) == series["count"]
+
+        self.run_scrapers(registry, scrape_once)
+
+    def test_scrape_pairs_text_and_snapshot_atomically(self):
+        registry = MetricsRegistry()
+
+        def scrape_once(reg: MetricsRegistry) -> None:
+            text, snapshot = reg.scrape()
+            samples = parse_prometheus(text)
+            text_total = sum(
+                value for name, _, value in samples if name == "race_total"
+            )
+            snap_total = sum(
+                entry["value"]
+                for entry in snapshot["counters"].get("race_total", [])
+            )
+            # both halves of one scrape describe the same instant
+            assert text_total == snap_total
+
+        self.run_scrapers(registry, scrape_once)

@@ -1,0 +1,172 @@
+"""The request coalescer: batching, error distribution, the breaker."""
+
+from __future__ import annotations
+
+import threading
+import time
+from types import SimpleNamespace
+
+import pytest
+
+from repro.errors import CircuitOpenError, DeadlineExceededError
+from repro.llm.interface import GenerationResult
+from repro.resilience.breaker import CircuitBreaker
+from repro.serve.coalesce import CoalescingClient, GenerateCoalescer
+
+
+def prompt(text: str) -> SimpleNamespace:
+    return SimpleNamespace(text=text, response_prefix="SELECT")
+
+
+class RecordingLLM:
+    """Echoes each prompt's text; records every batch it was handed."""
+
+    model_id = "recording"
+
+    def __init__(self, fail: Exception = None):
+        self.batches = []
+        self.fail = fail
+        self._lock = threading.Lock()
+
+    def fingerprint(self) -> str:
+        return "recording:v1"
+
+    def generate(self, p, sample_tag: str = "") -> GenerationResult:
+        return self.generate_batch([p], sample_tag=sample_tag)[0]
+
+    def generate_batch(self, prompts, sample_tag: str = ""):
+        with self._lock:
+            self.batches.append([p.text for p in prompts])
+        if self.fail is not None:
+            raise self.fail
+        return [
+            GenerationResult(
+                text=f"out:{p.text}:{sample_tag}", prompt_tokens=1,
+                completion_tokens=1, model_id=self.model_id,
+            )
+            for p in prompts
+        ]
+
+
+class TestGenerateCoalescer:
+    def test_single_request_round_trip(self):
+        llm = RecordingLLM()
+        with GenerateCoalescer(llm, max_wait_s=0.001) as coalescer:
+            result = coalescer.generate(prompt("a"), sample_tag="t")
+        assert result.text == "out:a:t"
+        assert llm.batches == [["a"]]
+
+    def test_concurrent_requests_coalesce_into_one_batch(self):
+        llm = RecordingLLM()
+        n = 6
+        # max_batch == n: the dispatcher waits for all n (the generous
+        # window only matters if a thread is slow to enqueue).
+        with GenerateCoalescer(llm, max_batch=n, max_wait_s=2.0) as coalescer:
+            results = [None] * n
+
+            def worker(index: int) -> None:
+                results[index] = coalescer.generate(prompt(f"q{index}"))
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(n)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # every caller got its own answer, order-correctly
+        assert [r.text for r in results] == [f"out:q{i}:" for i in range(n)]
+        assert len(llm.batches) == 1 and len(llm.batches[0]) == n
+
+    def test_batch_never_exceeds_max_batch(self):
+        llm = RecordingLLM()
+        with GenerateCoalescer(llm, max_batch=2, max_wait_s=0.05) as coalescer:
+            threads = [
+                threading.Thread(
+                    target=coalescer.generate, args=(prompt(f"q{i}"),)
+                )
+                for i in range(5)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert sum(len(batch) for batch in llm.batches) == 5
+        assert max(len(batch) for batch in llm.batches) <= 2
+
+    def test_different_sample_tags_never_share_a_batch(self):
+        llm = RecordingLLM()
+        n = 4
+        results = [None] * n
+        with GenerateCoalescer(llm, max_batch=n, max_wait_s=0.05) as coalescer:
+
+            def worker(index: int) -> None:
+                results[index] = coalescer.generate(
+                    prompt(f"q{index}"), sample_tag=f"sc-{index % 2}"
+                )
+
+            threads = [
+                threading.Thread(target=worker, args=(i,)) for i in range(n)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        # generate_batch takes one tag per call; a mixed batch would
+        # stamp the wrong tag on half the outputs.
+        assert [r.text for r in results] == [
+            f"out:q{i}:sc-{i % 2}" for i in range(n)
+        ]
+        assert sum(len(batch) for batch in llm.batches) == n
+
+    def test_backend_failure_reaches_every_waiter(self):
+        error = RuntimeError("backend down")
+        llm = RecordingLLM(fail=error)
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=60.0)
+        with GenerateCoalescer(llm, breaker=breaker,
+                               max_wait_s=0.001) as coalescer:
+            with pytest.raises(RuntimeError, match="backend down"):
+                coalescer.generate(prompt("a"))
+            assert breaker.state == "open"
+            # next request fails fast on the open circuit — no LLM call
+            with pytest.raises(CircuitOpenError):
+                coalescer.generate(prompt("b"))
+        assert len(llm.batches) == 1
+
+    def test_deadline_expires_while_waiting(self):
+        class SlowLLM(RecordingLLM):
+            def generate_batch(self, prompts, sample_tag: str = ""):
+                time.sleep(0.2)
+                return super().generate_batch(prompts, sample_tag=sample_tag)
+
+        slow = SlowLLM()
+        with GenerateCoalescer(slow, max_wait_s=0.001) as coalescer:
+            with pytest.raises(DeadlineExceededError):
+                coalescer.generate(prompt("a"), timeout_s=0.01)
+        # the dispatch still completed — only the waiter gave up
+        assert len(slow.batches) == 1
+
+    def test_closed_coalescer_rejects_new_work(self):
+        coalescer = GenerateCoalescer(RecordingLLM(), max_wait_s=0.001)
+        coalescer.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            coalescer.generate(prompt("a"))
+
+
+class TestCoalescingClient:
+    def test_delegates_identity_to_inner_client(self):
+        llm = RecordingLLM()
+        with GenerateCoalescer(llm, max_wait_s=0.001) as coalescer:
+            client = CoalescingClient(coalescer)
+            assert client.model_id == "recording"
+            # cache keys must be identical with and without coalescing
+            assert client.fingerprint() == "recording:v1"
+            result = client.generate(prompt("a"), sample_tag="s")
+            assert result.text == "out:a:s"
+
+    def test_generate_batch_preserves_order(self):
+        llm = RecordingLLM()
+        with GenerateCoalescer(llm, max_wait_s=0.001) as coalescer:
+            client = CoalescingClient(coalescer)
+            results = client.generate_batch([prompt("x"), prompt("y")])
+        assert [r.text for r in results] == ["out:x:", "out:y:"]

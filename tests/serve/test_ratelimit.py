@@ -1,0 +1,70 @@
+"""Token-bucket rate limiter: refills, bursts, tenant isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import RateLimitedError
+from repro.serve.ratelimit import RateLimiter
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+class TestRateLimiter:
+    def test_burst_up_to_capacity_then_rejects(self, clock):
+        limiter = RateLimiter(rate=1.0, capacity=3, clock=clock)
+        for _ in range(3):
+            limiter.acquire("t")
+        with pytest.raises(RateLimitedError):
+            limiter.acquire("t")
+
+    def test_refills_at_rate(self, clock):
+        limiter = RateLimiter(rate=2.0, capacity=1, clock=clock)
+        limiter.acquire("t")
+        with pytest.raises(RateLimitedError):
+            limiter.acquire("t")
+        clock.advance(0.5)  # 2 tokens/s * 0.5s = 1 token back
+        limiter.acquire("t")
+
+    def test_retry_after_is_exact(self, clock):
+        limiter = RateLimiter(rate=4.0, capacity=1, clock=clock)
+        limiter.acquire("t")
+        with pytest.raises(RateLimitedError) as excinfo:
+            limiter.acquire("t")
+        assert excinfo.value.retry_after_s == pytest.approx(0.25)
+
+    def test_tenants_are_isolated(self, clock):
+        limiter = RateLimiter(rate=1.0, capacity=1, clock=clock)
+        limiter.acquire("alice")
+        with pytest.raises(RateLimitedError):
+            limiter.acquire("alice")
+        limiter.acquire("bob")  # fresh bucket, unaffected
+
+    def test_bucket_never_exceeds_capacity(self, clock):
+        limiter = RateLimiter(rate=100.0, capacity=2, clock=clock)
+        limiter.acquire("t")
+        clock.advance(1000.0)
+        assert limiter.tokens("t") == pytest.approx(2.0)
+
+    def test_unseen_tenant_reports_full_bucket(self, clock):
+        limiter = RateLimiter(rate=1.0, capacity=7, clock=clock)
+        assert limiter.tokens("ghost") == pytest.approx(7.0)
+
+    @pytest.mark.parametrize("rate,capacity", [(0.0, 1), (-1.0, 1), (1.0, 0)])
+    def test_rejects_degenerate_configs(self, rate, capacity):
+        with pytest.raises(ValueError):
+            RateLimiter(rate=rate, capacity=capacity)

@@ -1,0 +1,204 @@
+"""The serving core, driven directly (no HTTP)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.wire import (
+    ExecuteRequest,
+    ExplainRequest,
+    GenerateRequest,
+    LintRequest,
+)
+from repro.errors import (
+    DatasetError,
+    DeadlineExceededError,
+    RateLimitedError,
+    UnsafeSqlError,
+)
+from repro.obs.metrics import (
+    M_CACHE_REQUESTS,
+    M_SERVE_COALESCE_BATCH,
+    MetricsRegistry,
+)
+from repro.serve import SqlService
+from repro.serve.ratelimit import RateLimiter
+
+
+class TestGenerate:
+    def test_returns_executable_sql(self, shared_service, dev_example):
+        response = shared_service.generate(GenerateRequest(
+            question=dev_example.question, db_id=dev_example.db_id,
+        ))
+        assert response.sql
+        assert response.db_id == dev_example.db_id
+        assert response.statement_kind == "select"
+        assert not response.fatal
+        assert response.prompt_tokens > 0
+        assert response.completion_tokens > 0
+
+    def test_second_identical_request_is_a_cache_hit(
+        self, fresh_service, dev_example
+    ):
+        request = GenerateRequest(
+            question=dev_example.question, db_id=dev_example.db_id,
+        )
+        cold = fresh_service.generate(request)
+        warm = fresh_service.generate(request)
+        assert cold.cached is False
+        assert warm.cached is True
+        assert warm.sql == cold.sql
+
+    def test_unknown_db_raises_dataset_error(self, shared_service):
+        with pytest.raises(DatasetError):
+            shared_service.generate(GenerateRequest(
+                question="how many", db_id="no_such_db",
+            ))
+
+    def test_self_consistency_votes_over_samples(
+        self, shared_service, dev_example
+    ):
+        single = shared_service.generate(GenerateRequest(
+            question=dev_example.question, db_id=dev_example.db_id,
+        ))
+        voted = shared_service.generate(GenerateRequest(
+            question=dev_example.question, db_id=dev_example.db_id,
+            n_samples=3,
+        ))
+        assert voted.sql  # a winner was chosen
+        assert voted.completion_tokens >= single.completion_tokens
+
+    def test_expired_deadline_raises_before_any_work(
+        self, shared_service, dev_example
+    ):
+        with pytest.raises(DeadlineExceededError):
+            shared_service.generate(GenerateRequest(
+                question=dev_example.question, db_id=dev_example.db_id,
+                deadline_s=0.0,
+            ))
+
+    def test_generation_lands_in_shared_metrics(
+        self, fresh_service, dev_example
+    ):
+        fresh_service.generate(GenerateRequest(
+            question=dev_example.question, db_id=dev_example.db_id,
+        ))
+        registry = fresh_service.metrics
+        assert registry.counter_value(
+            M_CACHE_REQUESTS, {"stage": "generate"}
+        ) >= 1
+        assert registry.histogram_count(M_SERVE_COALESCE_BATCH) >= 1
+
+
+class TestLint:
+    def test_clean_select_has_no_fatal(self, shared_service, dev_example):
+        response = shared_service.lint(LintRequest(
+            db_id=dev_example.db_id, sql=dev_example.query,
+        ))
+        assert response.fatal is False
+        assert response.final_sql == dev_example.query
+
+    def test_unknown_table_is_fatal_with_diagnostics(
+        self, shared_service, dev_example
+    ):
+        response = shared_service.lint(LintRequest(
+            db_id=dev_example.db_id,
+            sql="SELECT x FROM table_that_does_not_exist",
+        ))
+        assert response.fatal is True
+        assert response.error_class.startswith("lint:")
+        assert response.diagnostics
+
+    def test_repair_flag_is_honoured_per_request(
+        self, shared_service, dev_example
+    ):
+        # Same SQL, opposite repair settings: distinct analyze artifacts
+        # (the flag is part of the cache key), both well-formed.
+        sql = "SELECT x FROM table_that_does_not_exist"
+        plain = shared_service.lint(LintRequest(
+            db_id=dev_example.db_id, sql=sql, repair=False,
+        ))
+        repaired = shared_service.lint(LintRequest(
+            db_id=dev_example.db_id, sql=sql, repair=True,
+        ))
+        assert plain.repaired_sql == ""
+        assert repaired.final_sql  # repair ran (whether or not it changed)
+
+
+class TestExecute:
+    def test_executes_gold_query(self, shared_service, dev_example):
+        response = shared_service.execute(ExecuteRequest(
+            db_id=dev_example.db_id, sql=dev_example.query,
+        ))
+        assert response.row_count == len(response.rows)
+        expected = shared_service.pipeline.pool.get(
+            dev_example.db_id
+        ).execute(dev_example.query)
+        assert [tuple(row) for row in response.rows] == [
+            tuple(row) for row in expected
+        ]
+
+    def test_safety_gate_refuses_writes(self, shared_service, dev_example):
+        with pytest.raises(UnsafeSqlError) as excinfo:
+            shared_service.execute(ExecuteRequest(
+                db_id=dev_example.db_id, sql="DROP TABLE singer",
+            ))
+        assert excinfo.value.diagnostics
+
+    def test_safety_gate_refuses_unknown_tables(
+        self, shared_service, dev_example
+    ):
+        with pytest.raises(UnsafeSqlError):
+            shared_service.execute(ExecuteRequest(
+                db_id=dev_example.db_id, sql="SELECT x FROM nope",
+            ))
+
+
+class TestExplain:
+    def test_prompt_contains_the_question(self, shared_service, dev_example):
+        response = shared_service.explain(ExplainRequest(
+            question=dev_example.question, db_id=dev_example.db_id,
+        ))
+        assert dev_example.question in response.prompt_text
+        assert response.prompt_tokens > 0
+        assert response.n_examples == len(response.example_blocks)
+
+    def test_explain_matches_generate_prompt_accounting(
+        self, shared_service, dev_example
+    ):
+        explain = shared_service.explain(ExplainRequest(
+            question=dev_example.question, db_id=dev_example.db_id,
+        ))
+        generate = shared_service.generate(GenerateRequest(
+            question=dev_example.question, db_id=dev_example.db_id,
+        ))
+        assert explain.prompt_tokens == generate.prompt_tokens
+        assert explain.n_examples == generate.n_examples
+
+
+class TestRateLimiting:
+    def test_over_budget_tenant_is_rejected(self, corpus, dev_example):
+        from repro.eval.harness import BenchmarkRunner
+
+        runner = BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool(), seed=3
+        )
+        with SqlService(
+            runner,
+            metrics=MetricsRegistry(),
+            limiter=RateLimiter(rate=0.001, capacity=1),
+            max_wait_s=0.001,
+        ) as service:
+            service.lint(LintRequest(
+                db_id=dev_example.db_id, sql=dev_example.query,
+            ))
+            with pytest.raises(RateLimitedError) as excinfo:
+                service.lint(LintRequest(
+                    db_id=dev_example.db_id, sql=dev_example.query,
+                ))
+            assert excinfo.value.retry_after_s > 0
+            # a different tenant still gets through
+            service.lint(LintRequest(
+                db_id=dev_example.db_id, sql=dev_example.query,
+                tenant="other",
+            ))

@@ -1,0 +1,160 @@
+"""Wire-schema validation: strictness, versioning, round-trips."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.wire import (
+    MAX_DEADLINE_S,
+    WIRE_SCHEMA_VERSION,
+    ErrorResponse,
+    ExecuteRequest,
+    ExecuteResponse,
+    ExplainRequest,
+    ExplainResponse,
+    GenerateRequest,
+    GenerateResponse,
+    LintRequest,
+    LintResponse,
+)
+from repro.errors import WireFormatError
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+REQUEST_TYPES = {
+    "generate": GenerateRequest,
+    "lint": LintRequest,
+    "execute": ExecuteRequest,
+    "explain": ExplainRequest,
+}
+
+
+class TestGenerateRequest:
+    def test_minimal_body_fills_defaults(self):
+        request = GenerateRequest.from_json(
+            {"question": "how many singers", "db_id": "concert_singer"}
+        )
+        assert request.tenant == "default"
+        assert request.n_samples == 1
+        assert request.deadline_s == 30.0
+
+    def test_round_trips_through_json(self):
+        request = GenerateRequest.from_json({
+            "question": "q", "db_id": "d", "tenant": "t",
+            "n_samples": 3, "deadline_s": 5.0,
+        })
+        assert GenerateRequest.from_json(request.to_json()) == request
+
+    def test_to_json_carries_version(self):
+        request = GenerateRequest.from_json({"question": "q", "db_id": "d"})
+        assert request.to_json()["version"] == WIRE_SCHEMA_VERSION
+
+    @pytest.mark.parametrize("body", [
+        None,
+        [],
+        "text",
+        {},
+        {"question": "q"},
+        {"db_id": "d"},
+        {"question": "", "db_id": "d"},
+        {"question": "   ", "db_id": "d"},
+        {"question": 7, "db_id": "d"},
+        {"question": "q", "db_id": "d", "n_samples": 0},
+        {"question": "q", "db_id": "d", "n_samples": "many"},
+        {"question": "q", "db_id": "d", "n_samples": True},
+        {"question": "q", "db_id": "d", "deadline_s": 0},
+        {"question": "q", "db_id": "d", "deadline_s": -1},
+        {"question": "q", "db_id": "d", "deadline_s": "fast"},
+        {"question": "q", "db_id": "d", "tenant": 9},
+        {"question": "q", "db_id": "d", "bogus": 1},
+        {"question": "q", "db_id": "d", "version": 99},
+        {"question": "q", "db_id": "d", "version": "1"},
+    ])
+    def test_rejects_malformed(self, body):
+        with pytest.raises(WireFormatError):
+            GenerateRequest.from_json(body)
+
+    def test_error_names_the_field(self):
+        with pytest.raises(WireFormatError, match="db_id"):
+            GenerateRequest.from_json({"question": "q"})
+        with pytest.raises(WireFormatError, match="bogus"):
+            GenerateRequest.from_json(
+                {"question": "q", "db_id": "d", "bogus": 1}
+            )
+
+    def test_deadline_clamped_to_ceiling(self):
+        request = GenerateRequest.from_json(
+            {"question": "q", "db_id": "d", "deadline_s": 1e9}
+        )
+        assert request.deadline_s == MAX_DEADLINE_S
+
+
+class TestOtherRequests:
+    def test_lint_defaults_and_repair_flag(self):
+        request = LintRequest.from_json({"db_id": "d", "sql": "SELECT 1"})
+        assert request.repair is False
+        assert LintRequest.from_json(
+            {"db_id": "d", "sql": "SELECT 1", "repair": True}
+        ).repair is True
+        with pytest.raises(WireFormatError):
+            LintRequest.from_json(
+                {"db_id": "d", "sql": "SELECT 1", "repair": "yes"}
+            )
+
+    def test_execute_requires_sql(self):
+        with pytest.raises(WireFormatError, match="sql"):
+            ExecuteRequest.from_json({"db_id": "d"})
+
+    def test_explain_round_trip(self):
+        request = ExplainRequest.from_json({"question": "q", "db_id": "d"})
+        assert ExplainRequest.from_json(request.to_json()) == request
+
+    @pytest.mark.parametrize("cls,body", [
+        (LintRequest, {"db_id": "d", "sql": "SELECT 1"}),
+        (ExecuteRequest, {"db_id": "d", "sql": "SELECT 1"}),
+        (ExplainRequest, {"question": "q", "db_id": "d"}),
+    ])
+    def test_unknown_field_rejected_everywhere(self, cls, body):
+        with pytest.raises(WireFormatError, match="nope"):
+            cls.from_json({**body, "nope": 1})
+
+
+class TestResponses:
+    def test_every_response_carries_version(self):
+        responses = [
+            GenerateResponse(sql="s", db_id="d", statement_kind="select",
+                             error_class="", fatal=False, prompt_tokens=1,
+                             completion_tokens=1, n_examples=0, cached=False),
+            LintResponse(db_id="d", statement_kind="select", fatal=False,
+                         error_class="", final_sql="s", repaired_sql=""),
+            ExecuteResponse(db_id="d", sql="s", rows=[], row_count=0),
+            ExplainResponse(db_id="d", question="q", prompt_text="p",
+                            prompt_tokens=1, n_examples=0),
+            ErrorResponse(error="wire_format", message="bad"),
+        ]
+        for response in responses:
+            payload = response.to_json()
+            assert payload["version"] == WIRE_SCHEMA_VERSION
+            json.dumps(payload)  # JSON-serializable as-is
+
+    def test_error_detail_omitted_when_empty(self):
+        assert "detail" not in ErrorResponse(error="e", message="m").to_json()
+        assert ErrorResponse(
+            error="e", message="m", detail=[{"rule": "r"}]
+        ).to_json()["detail"] == [{"rule": "r"}]
+
+
+class TestGoldenRequests:
+    """Each endpoint's canonical request fixture parses and re-encodes
+    to exactly the canonical JSON (field names are wire-frozen)."""
+
+    @pytest.mark.parametrize("endpoint", sorted(REQUEST_TYPES))
+    def test_golden_request_round_trip(self, endpoint):
+        payload = json.loads(
+            (GOLDEN_DIR / f"{endpoint}_request.json").read_text()
+        )
+        request = REQUEST_TYPES[endpoint].from_json(payload)
+        assert request.to_json() == payload
