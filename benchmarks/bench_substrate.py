@@ -459,6 +459,77 @@ def analyze_overhead(latency_s=0.02, limit=None, smoke=False,
     return share, grid
 
 
+def transpile_overhead(latency_s=0.02, limit=None, smoke=False,
+                       max_share=0.05):
+    """Gate the dialect transpiler's cost on an emulated backend.
+
+    Sweeps the standard grid on a ``postgres``-profile pool — every
+    statement (gold and predicted) passes through
+    ``normalize_to_reference`` before it reaches SQLite — with metrics
+    on, and checks:
+
+    1. **Cost** — total transpilation time
+       (``repro_sql_transpile_seconds_total``, all dialects) is at most
+       ``max_share`` (default 5%) of execute-stage wall-clock.
+    2. **Non-trivial numerator** — the transpiler actually ran; a gate
+       over an idle counter would verify nothing.
+    3. **Transfer sanity** — the same grid on the reference backend
+       yields reports with the same record count; the emulated pool is
+       a drop-in, not a shortcut.
+
+    Returns ``(share, grid)``.
+    """
+    from repro.eval.engine import GridRunner
+    from repro.eval.harness import BenchmarkRunner
+    from repro.obs.metrics import M_SQL_TRANSPILE, MetricsRegistry
+
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+    try:
+        configs = _grid_configs()
+        registry = MetricsRegistry()
+        runner = BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool(backend="postgres"),
+            seed=1, llm_latency_s=latency_s,
+        )
+        grid = GridRunner(runner, workers=1, registry=registry).sweep(
+            configs, limit=limit
+        )
+
+        transpile_s = registry.counter_value(M_SQL_TRANSPILE)
+        if transpile_s <= 0.0:
+            raise AssertionError(
+                "postgres-backend sweep recorded no transpilation time — "
+                "the gate below would verify nothing"
+            )
+        execute_s = sum(
+            report.telemetry.stage_s.get("execute", 0.0) for report in grid
+        )
+        share = transpile_s / execute_s if execute_s > 0 else 0.0
+
+        reference = GridRunner(
+            _grid_runner(corpus, latency_s), workers=1
+        ).sweep(configs, limit=limit)
+        for a, b in zip(reference, grid):
+            if len(a) != len(b):
+                raise AssertionError(
+                    f"emulated backend dropped records for {a.label!r}: "
+                    f"{len(b)} vs {len(a)}"
+                )
+    finally:
+        corpus.close()
+
+    print(f"transpile (postgres profile): {transpile_s * 1000:.1f} ms of "
+          f"{execute_s:.2f} s execute-stage time ({share:.1%} share)")
+    print(f"emulated grid matches reference record counts "
+          f"({sum(len(r) for r in grid)} records)")
+    if smoke and share > max_share:
+        raise SystemExit(
+            f"FAIL: transpilation consumed {share:.1%} of execute-stage "
+            f"wall-clock (budget {max_share:.0%})"
+        )
+    return share, grid
+
+
 def chaos_resilience(workers=4, latency_s=0.002, limit=None, rate=0.1,
                      seed=7, kill_at=6):
     """Resilience drill: a grid sweep under a deterministic fault profile.
@@ -733,6 +804,9 @@ def main(argv=None):
         print()
         analyze_overhead(latency_s=args.latency, limit=args.limit,
                          smoke=args.smoke)
+        print()
+        transpile_overhead(latency_s=args.latency, limit=args.limit,
+                           smoke=args.smoke)
         print()
     chaos_resilience(workers=args.workers, limit=args.limit,
                      rate=args.chaos_rate, seed=args.chaos_seed)

@@ -92,14 +92,16 @@ from ..sql.ast_nodes import (
     TableSource,
     iter_conditions,
 )
+from ..sql.dialect import DialectProfile, get_dialect, reference_dialect
 from ..sql.parser import parse
-from ..sql.tokens import AGGREGATES
+from ..sql.tokens import AGGREGATES, TokenType, tokenize
+from ..sql.transpile import normalize_to_reference
 from .diagnostics import AnalysisResult, Diagnostic, sort_diagnostics
 from .safety import classify_statement, split_statements
 
 #: Version stamp folded into analysis cache keys — bump when rules change
 #: so stale cached verdicts are never replayed.
-ANALYZER_VERSION = "1"
+ANALYZER_VERSION = "2"
 
 _NUMERIC_RE = re.compile(r"-?\d+(\.\d+)?")
 
@@ -167,10 +169,68 @@ class _Scope:
 
 
 class SqlAnalyzer:
-    """Static analyzer for one database schema (stateless, reusable)."""
+    """Static analyzer for one database schema (stateless, reusable).
 
-    def __init__(self, schema: DatabaseSchema):
+    Rules are parameterized by dialect profile: on profiles where
+    double-quoted text denotes an identifier (Postgres, DuckDB, T-SQL)
+    a double-quoted *string literal* is a fatal defect — the engine
+    would resolve it as a column — while on the reference dialect the
+    Spider convention applies and no diagnostic fires.  Non-reference
+    SQL is normalized to the reference grammar before the structural
+    walks, so spans of structural diagnostics refer to the normalized
+    text.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        dialect: Union[str, DialectProfile, None] = None,
+    ):
         self.schema = schema
+        if dialect is None:
+            self.profile = reference_dialect()
+        elif isinstance(dialect, DialectProfile):
+            self.profile = dialect
+        else:
+            self.profile = get_dialect(dialect)
+        #: Known identifiers (lower-cased) — a double-quoted token naming
+        #: one of these is a legitimate quoted identifier, not a literal.
+        self._known_identifiers = frozenset(
+            name.lower()
+            for table in schema.tables
+            for name in ([table.name] + [c.name for c in table.columns])
+        )
+
+    # -- dialect rules ---------------------------------------------------------
+
+    def _dialect_diagnostics(self, sql: str) -> List[Diagnostic]:
+        """Rules that inspect the raw dialect text before normalization."""
+        if self.profile.double_quote_means != "identifier":
+            return []
+        try:
+            tokens = tokenize(sql)
+        except SQLSyntaxError:
+            return []  # the parse step reports the syntax error
+        out: List[Diagnostic] = []
+        for token in tokens:
+            if token.type is not TokenType.STRING:
+                continue
+            if token.position >= len(sql) or sql[token.position] != '"':
+                continue
+            if token.value.lower() in self._known_identifiers:
+                continue  # valid quoted identifier on this dialect
+            fix = "'" + token.value.replace("'", "''") + "'"
+            out.append(Diagnostic(
+                rule="dialect.double-quoted-literal",
+                severity="error",
+                message=(
+                    f'double-quoted "{token.value}" is an identifier on '
+                    f"{self.profile.name}, not a string literal"
+                ),
+                span=(token.position, token.position + len(token.value) + 2),
+                fix=fix,
+            ))
+        return out
 
     # -- entry point ---------------------------------------------------------
 
@@ -207,6 +267,9 @@ class SqlAnalyzer:
             )
 
         first = statements[0] if statements else text
+        diagnostics.extend(self._dialect_diagnostics(first))
+        if not self.profile.is_reference:
+            first = normalize_to_reference(first, self.profile)
         try:
             query = parse(first)
         except SQLSyntaxError as exc:
@@ -962,6 +1025,10 @@ class SqlAnalyzer:
         return matches[0]
 
 
-def analyze(schema: DatabaseSchema, sql: str) -> AnalysisResult:
+def analyze(
+    schema: DatabaseSchema,
+    sql: str,
+    dialect: Union[str, DialectProfile, None] = None,
+) -> AnalysisResult:
     """One-shot convenience wrapper over :class:`SqlAnalyzer`."""
-    return SqlAnalyzer(schema).analyze(sql)
+    return SqlAnalyzer(schema, dialect=dialect).analyze(sql)

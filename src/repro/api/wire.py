@@ -27,11 +27,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..errors import WireFormatError
+from ..sql.dialect import REFERENCE_DIALECT, dialect_names
 
 #: Current wire-schema generation.  Bump on any incompatible change to
 #: the request or response shapes below (see docs/architecture.md for
 #: the versioning rules).
-WIRE_SCHEMA_VERSION = 1
+#:
+#: v2: lint/execute requests gained the optional ``dialect`` field (the
+#: SQL dialect the statement is written in; default ``"sqlite"``).
+WIRE_SCHEMA_VERSION = 2
 
 #: Ceiling applied to per-request deadline budgets (seconds).
 MAX_DEADLINE_S = 120.0
@@ -100,6 +104,15 @@ def _get_int(
     return value
 
 
+def _get_dialect(payload: Mapping[str, object]) -> str:
+    value = _get_str(payload, "dialect", REFERENCE_DIALECT)
+    if value not in dialect_names():
+        raise WireFormatError(
+            f"unknown dialect {value!r}; known: {', '.join(dialect_names())}"
+        )
+    return value
+
+
 def _get_deadline(payload: Mapping[str, object], default: float) -> float:
     value = payload.get("deadline_s", default)
     if isinstance(value, bool) or not isinstance(value, (int, float)):
@@ -156,10 +169,11 @@ class LintRequest:
     db_id: str
     sql: str
     repair: bool = False
+    dialect: str = REFERENCE_DIALECT
     tenant: str = "default"
     deadline_s: float = 10.0
 
-    _FIELDS = ("db_id", "sql", "repair", "tenant", "deadline_s")
+    _FIELDS = ("db_id", "sql", "repair", "dialect", "tenant", "deadline_s")
 
     @classmethod
     def from_json(cls, payload: object) -> "LintRequest":
@@ -170,6 +184,7 @@ class LintRequest:
             db_id=_get_nonempty_str(body, "db_id"),
             sql=_get_nonempty_str(body, "sql"),
             repair=_get_bool(body, "repair", False),
+            dialect=_get_dialect(body),
             tenant=_get_str(body, "tenant", "default"),
             deadline_s=_get_deadline(body, 10.0),
         )
@@ -180,6 +195,7 @@ class LintRequest:
             "db_id": self.db_id,
             "sql": self.sql,
             "repair": self.repair,
+            "dialect": self.dialect,
             "tenant": self.tenant,
             "deadline_s": self.deadline_s,
         }
@@ -191,10 +207,11 @@ class ExecuteRequest:
 
     db_id: str
     sql: str
+    dialect: str = REFERENCE_DIALECT
     tenant: str = "default"
     deadline_s: float = 10.0
 
-    _FIELDS = ("db_id", "sql", "tenant", "deadline_s")
+    _FIELDS = ("db_id", "sql", "dialect", "tenant", "deadline_s")
 
     @classmethod
     def from_json(cls, payload: object) -> "ExecuteRequest":
@@ -204,6 +221,7 @@ class ExecuteRequest:
         return cls(
             db_id=_get_nonempty_str(body, "db_id"),
             sql=_get_nonempty_str(body, "sql"),
+            dialect=_get_dialect(body),
             tenant=_get_str(body, "tenant", "default"),
             deadline_s=_get_deadline(body, 10.0),
         )
@@ -213,6 +231,7 @@ class ExecuteRequest:
             "version": WIRE_SCHEMA_VERSION,
             "db_id": self.db_id,
             "sql": self.sql,
+            "dialect": self.dialect,
             "tenant": self.tenant,
             "deadline_s": self.deadline_s,
         }

@@ -28,7 +28,7 @@ import os
 import tempfile
 import threading
 from pathlib import Path
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from .keys import CACHE_SCHEMA_VERSION, stable_digest
 from .lru import LRUCache
@@ -173,32 +173,66 @@ class DiskTier:
                 pass
         return removed
 
-    def read_counters(self) -> Dict[str, Dict[str, int]]:
-        """Cumulative per-stage hit/miss counters from ``stats.json``."""
+    def _read_stats_payload(self) -> Dict[str, object]:
         try:
             payload = json.loads((self.root / _STATS_FILE).read_text())
-            stages = payload.get("stages", {})
-            return stages if isinstance(stages, dict) else {}
+            return payload if isinstance(payload, dict) else {}
         except (OSError, ValueError):
             return {}
+
+    def _write_stats_payload(self, payload: Dict[str, object]) -> None:
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(tmp, self.root / _STATS_FILE)
+        except OSError:
+            pass
+
+    def read_counters(self) -> Dict[str, Dict[str, int]]:
+        """Cumulative per-stage hit/miss counters from ``stats.json``."""
+        stages = self._read_stats_payload().get("stages", {})
+        return stages if isinstance(stages, dict) else {}
+
+    def read_backends(self) -> List[str]:
+        """Execution backends that have written through this cache dir
+        (recorded by :meth:`merge_backends`) — mixed-dialect cache
+        directories are legal (keys are disjoint) but worth surfacing."""
+        backends = self._read_stats_payload().get("backends", [])
+        if not isinstance(backends, list):
+            return []
+        return sorted(str(name) for name in backends)
 
     def merge_counters(self, delta: Dict[str, Dict[str, int]]) -> None:
         """Fold hit/miss deltas into ``stats.json`` (best effort)."""
         if not delta:
             return
-        stages = self.read_counters()
+        payload = self._read_stats_payload()
+        stages = payload.get("stages")
+        if not isinstance(stages, dict):
+            stages = {}
         for stage, counters in delta.items():
             slot = stages.setdefault(stage, {})
             for name, count in counters.items():
                 slot[name] = slot.get(name, 0) + count
-        try:
-            self.root.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
-            with os.fdopen(fd, "w") as handle:
-                json.dump({"stages": stages}, handle, indent=1)
-            os.replace(tmp, self.root / _STATS_FILE)
-        except OSError:
-            pass
+        payload["stages"] = stages
+        self._write_stats_payload(payload)
+
+    def merge_backends(self, names) -> None:
+        """Record backend labels into ``stats.json`` (best effort)."""
+        incoming = {str(name) for name in names if name}
+        if not incoming:
+            return
+        payload = self._read_stats_payload()
+        existing = payload.get("backends", [])
+        if not isinstance(existing, list):
+            existing = []
+        merged = sorted({str(name) for name in existing} | incoming)
+        if merged == sorted(str(name) for name in existing):
+            return
+        payload["backends"] = merged
+        self._write_stats_payload(payload)
 
 
 class ArtifactCache:
@@ -223,8 +257,23 @@ class ArtifactCache:
         self._disk_hits: Dict[str, int] = {}
         self._flushed_hits: Dict[str, int] = {}
         self._flushed_misses: Dict[str, int] = {}
+        #: Backend labels of runners writing through this cache; flushed
+        #: to ``stats.json`` so mixed-dialect cache dirs are debuggable.
+        self._backends: set = set()
         # Optional MetricsRegistry; the engine attaches the run registry.
         self._metrics = None
+
+    def annotate_backend(self, name: str) -> None:
+        """Label this cache with an execution-backend name (flushed to
+        the disk tier's ``stats.json`` alongside the counters)."""
+        if name:
+            with self._lock:
+                self._backends.add(str(name))
+
+    def backends(self) -> List[str]:
+        """Backend labels seen by this cache instance (sorted)."""
+        with self._lock:
+            return sorted(self._backends)
 
     def set_metrics(self, registry) -> None:
         """Attach a metrics registry recording per-tier cache events
@@ -360,7 +409,10 @@ class ArtifactCache:
                     delta[stage] = {"hits": hits, "misses": misses}
             self._flushed_hits = dict(self._hits)
             self._flushed_misses = dict(self._misses)
+            backends = sorted(self._backends)
         self.disk.merge_counters(delta)
+        if backends and hasattr(self.disk, "merge_backends"):
+            self.disk.merge_backends(backends)
 
     def clear(self, disk: bool = True) -> int:
         """Drop the memory tier (and, by default, every disk entry)."""

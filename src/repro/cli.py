@@ -106,6 +106,16 @@ def _apply_repair(args: argparse.Namespace) -> None:
         set_default_repair(True)
 
 
+def _apply_backend(args: argparse.Namespace) -> None:
+    """Honour a ``--backend NAME`` flag: evaluation pools execute on
+    that backend (SQLite reference, DuckDB, or a dialect emulation)."""
+    backend = getattr(args, "backend", None)
+    if backend is not None:
+        from .experiments.context import set_default_backend
+
+        set_default_backend(backend)
+
+
 def _apply_resilience(args: argparse.Namespace) -> None:
     """Honour ``--journal``/``--resume``/``--chaos`` and install the
     two-stage SIGINT handler (first Ctrl-C drains and checkpoints,
@@ -144,6 +154,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     _apply_trace(args)
     _apply_progress(args)
     _apply_repair(args)
+    _apply_backend(args)
     _apply_resilience(args)
     result = run_experiment(args.artifact, fast=args.fast, limit=args.limit)
     print(result.render())
@@ -158,6 +169,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     _apply_trace(args)
     _apply_progress(args)
     _apply_repair(args)
+    _apply_backend(args)
     _apply_resilience(args)
     for result in run_all(fast=args.fast, limit=args.limit):
         print(result.render())
@@ -201,6 +213,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     _apply_trace(args)
     _apply_progress(args)
     _apply_repair(args)
+    _apply_backend(args)
     _apply_resilience(args)
     context = get_context(fast=args.fast)
 
@@ -285,6 +298,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     _apply_trace(args)
     _apply_progress(args)
     _apply_repair(args)
+    _apply_backend(args)
     _apply_resilience(args)
     path = write_report(
         args.output, fast=args.fast, limit=args.limit,
@@ -318,6 +332,9 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     counters = tier.read_counters()
     stages = sorted(set(sizes) | set(counters))
     print(f"cache directory: {root}")
+    backends = tier.read_backends()
+    if backends:
+        print(f"backends: {', '.join(backends)}")
     if not stages:
         print("(empty)")
         return 0
@@ -397,10 +414,11 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     # summary
     info = tracefile.run_info(spans)
     if info:
+        backend = f", backend {info['backend']}" if info.get("backend") else ""
         print(
             f"run: {info['configs']} config(s) x {info['examples']} "
             f"example(s), {info['workers']} worker(s), "
-            f"{info['duration_s']:.2f}s wall-clock"
+            f"{info['duration_s']:.2f}s wall-clock{backend}"
         )
     print(f"\n{'stage':<10} {'count':>6} {'total':>9} {'share':>6} "
           f"{'p50':>9} {'p95':>9}")
@@ -487,6 +505,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from .analysis import analyze, repair
     from .errors import ReproError
     from .experiments.context import get_context
+    from .sql.dialect import REFERENCE_DIALECT
 
     context = get_context(fast=args.fast)
 
@@ -498,18 +517,23 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             f"unknown database id {db_id!r} (not in the benchmark corpus)"
         )
 
+    dialect = getattr(args, "dialect", None)
     outputs = []
     any_fatal = False
     for db_id, label, sql in _lint_entries(args):
         schema = schema_for(db_id)
-        result = analyze(schema, sql.strip())
+        result = analyze(schema, sql.strip(), dialect=dialect)
         entry = {
             "source": label,
             "db_id": db_id,
             "analysis": result.to_dict(),
             "fatal": result.fatal,
         }
-        if args.repair and result.diagnostics:
+        # The repair pass rewrites reference-dialect SQL only.
+        do_repair = (
+            args.repair and (dialect or REFERENCE_DIALECT) == REFERENCE_DIALECT
+        )
+        if do_repair and result.diagnostics:
             fixed = repair(schema, sql.strip())
             if fixed.changed:
                 rechecked = analyze(schema, fixed.sql)
@@ -559,6 +583,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .serve import build_server
 
     _apply_cache(args)
+    _apply_backend(args)
     config = None
     if args.model or args.k is not None:
         config = RunConfig(
@@ -642,6 +667,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--repair", action="store_true", help=repair_help
         )
 
+    def add_backend_flag(sub_parser: argparse.ArgumentParser) -> None:
+        from .db.backends import backend_names
+
+        sub_parser.add_argument(
+            "--backend", default=None, choices=backend_names(),
+            help="execution backend for evaluation pools: the SQLite "
+                 "reference, DuckDB (needs the duckdb package), or a "
+                 "dialect-profile emulation (postgres/mysql/tsql); "
+                 "cache and journal entries stay disjoint per backend",
+        )
+
     def add_resilience_flags(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--journal", default=None, metavar="PATH",
@@ -673,6 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_exp)
     add_repair_flag(p_exp)
+    add_backend_flag(p_exp)
     add_resilience_flags(p_exp)
     p_exp.set_defaults(func=_cmd_experiment)
 
@@ -683,6 +720,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_all.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_all)
     add_repair_flag(p_all)
+    add_backend_flag(p_all)
     add_resilience_flags(p_all)
     p_all.set_defaults(func=_cmd_experiments)
 
@@ -710,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_cmp)
     add_repair_flag(p_cmp)
+    add_backend_flag(p_cmp)
     add_resilience_flags(p_cmp)
     p_cmp.set_defaults(func=_cmd_compare)
 
@@ -741,6 +780,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument("--cache-dir", default=None, help=cache_help)
     add_obs_flags(p_report)
     add_repair_flag(p_report)
+    add_backend_flag(p_report)
     add_resilience_flags(p_report)
     p_report.set_defaults(func=_cmd_report)
 
@@ -775,6 +815,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--repair", action="store_true",
                         help="also run the deterministic repair pass and "
                              "show the rewritten SQL + its re-analysis")
+    from .sql.dialect import REFERENCE_DIALECT, dialect_names
+
+    p_lint.add_argument("--dialect", default=REFERENCE_DIALECT,
+                        choices=dialect_names(),
+                        help="SQL dialect the statements are written in "
+                             "(dialect-specific rules apply, e.g. "
+                             "double-quoted string literals are fatal on "
+                             "postgres); default %(default)s")
     p_lint.add_argument("--fast", action="store_true",
                         help="use the reduced benchmark corpus")
     p_lint.set_defaults(func=_cmd_lint)
@@ -802,6 +850,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--fast", action="store_true",
                          help="use the reduced benchmark corpus")
     p_serve.add_argument("--cache-dir", default=None, help=cache_help)
+    add_backend_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_models = sub.add_parser("models", help="list model profiles")

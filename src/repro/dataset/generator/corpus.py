@@ -55,23 +55,35 @@ class Corpus:
         self.dev = dev
         self.rows = rows
         self.config = config
-        self._pool: Optional[DatabasePool] = None
+        #: backend name → materialised pool over the same recipes.
+        self._pools: Dict[str, DatabasePool] = {}
 
-    def pool(self) -> DatabasePool:
-        """Databases for every schema in the corpus (built on first use)."""
-        if self._pool is None:
-            pool = DatabasePool()
+    def pool(self, backend=None) -> DatabasePool:
+        """Databases for every schema in the corpus (built on first use).
+
+        Args:
+            backend: optional execution-backend name or instance; each
+                backend gets its own pool over the same schema/row
+                recipes (default: the SQLite reference backend).
+        """
+        from ...db.backends import resolve_backend
+
+        resolved = resolve_backend(backend)
+        cached = self._pools.get(resolved.name)
+        if cached is None:
+            pool = DatabasePool(backend=resolved)
             for dataset in (self.train, self.dev):
                 for schema in dataset.schemas.values():
                     if schema.db_id not in pool:
                         pool.add(schema, self.rows[schema.db_id])
-            self._pool = pool
-        return self._pool
+            self._pools[resolved.name] = pool
+            cached = pool
+        return cached
 
     def close(self) -> None:
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        for pool in self._pools.values():
+            pool.close()
+        self._pools.clear()
 
     def __enter__(self) -> "Corpus":
         return self

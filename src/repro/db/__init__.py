@@ -1,6 +1,18 @@
-"""SQLite execution backend and result comparison."""
+"""Execution backends (SQLite reference, DuckDB, dialect-profile
+emulation) and result comparison."""
 
+from .backends import (
+    DuckDBBackend,
+    EmulatedBackend,
+    ExecutionBackend,
+    SqliteBackend,
+    backend_names,
+    get_backend,
+    resolve_backend,
+)
 from .execution import (
+    FLOAT_TOL,
+    FLOAT_TOL_DIGITS,
     query_is_ordered,
     results_match,
     rows_equal_ordered,
@@ -10,5 +22,8 @@ from .sqlite_backend import MAX_ROWS, Database, DatabasePool
 
 __all__ = [
     "query_is_ordered", "results_match", "rows_equal_ordered",
-    "rows_equal_unordered", "MAX_ROWS", "Database", "DatabasePool",
+    "rows_equal_unordered", "FLOAT_TOL", "FLOAT_TOL_DIGITS",
+    "MAX_ROWS", "Database", "DatabasePool",
+    "ExecutionBackend", "SqliteBackend", "EmulatedBackend", "DuckDBBackend",
+    "backend_names", "get_backend", "resolve_backend",
 ]

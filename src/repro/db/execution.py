@@ -19,7 +19,15 @@ from ..sql.parser import try_parse
 Row = Tuple
 ResultRows = List[Row]
 
-_FLOAT_TOL = 1e-6
+#: Decimal digits floats are rounded to before comparison.  This single
+#: constant defines the EX float tolerance: two floats compare equal iff
+#: they round to the same value at this precision, both in ordered and
+#: unordered (multiset) comparison.
+FLOAT_TOL_DIGITS = 6
+
+#: The tolerance itself (``10 ** -FLOAT_TOL_DIGITS``), derived from the
+#: same constant so canonicalization and comparison can never drift.
+FLOAT_TOL = 10.0 ** -FLOAT_TOL_DIGITS
 
 
 def _canonical_cell(value):
@@ -29,7 +37,7 @@ def _canonical_cell(value):
     if isinstance(value, float):
         if value.is_integer():
             return int(value)
-        return round(value, 6)
+        return round(value, FLOAT_TOL_DIGITS)
     return value
 
 

@@ -221,9 +221,18 @@ class DatabasePool:
     database and materialises one connection per (thread, db_id) on first
     use — the parallel evaluation engine's workers each get their own
     connection and never contend on a progress handler or cursor.
+
+    The pool is backend-parameterized: databases are materialised by an
+    :class:`~repro.db.backends.ExecutionBackend` (SQLite by default) and
+    the backend's identity is folded into every content fingerprint, so
+    ``ArtifactCache``/``RunJournal`` namespaces stay disjoint per backend.
     """
 
-    def __init__(self):
+    def __init__(self, backend=None):
+        from .backends import resolve_backend
+
+        #: The execution backend materialising databases (never None).
+        self.backend = resolve_backend(backend)
         #: db_id → (schema, rows): how to (re)build the database.
         self._recipes: Dict[str, Tuple[DatabaseSchema, Dict[str, List[dict]]]] = {}
         #: thread ident → db_id → materialised database.
@@ -232,6 +241,16 @@ class DatabasePool:
         self._fingerprints: Dict[str, str] = {}
         self._lock = threading.Lock()
         self._metrics = None
+
+    @property
+    def backend_name(self) -> str:
+        """The owning backend's registry name (e.g. ``"postgres"``)."""
+        return self.backend.name
+
+    @property
+    def profile(self):
+        """The SQL dialect profile this pool's databases expect."""
+        return self.backend.profile
 
     def set_metrics(self, registry) -> None:
         """Attach a MetricsRegistry: execute() timings on every database
@@ -277,7 +296,9 @@ class DatabasePool:
 
         Execution artifacts (gold and predicted result rows) are cached
         under this digest, so results computed against one database
-        build never leak onto a database with different content.
+        build never leak onto a database with different content.  The
+        backend's identity token is part of the digest: the same corpus
+        served by two backends yields disjoint cache/journal namespaces.
 
         Raises:
             ExecutionError: if the database was never added.
@@ -295,6 +316,7 @@ class DatabasePool:
                 db_id,
                 json.dumps(schema_to_spider_entry(schema), sort_keys=True),
                 json.dumps(rows, sort_keys=True, default=str),
+                self.backend.fingerprint_token(),
             )
         )
         with self._lock:
@@ -318,7 +340,7 @@ class DatabasePool:
                 raise ExecutionError(f"no database {db_id!r} in pool") from exc
         # Build outside the lock: other threads keep serving cache hits
         # while this connection loads its rows.
-        database = Database.build(schema, rows)
+        database = self.backend.create(schema, rows)
         with self._lock:
             database.metrics = self._metrics
             existing = self._instances.setdefault(ident, {}).setdefault(

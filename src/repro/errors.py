@@ -26,6 +26,11 @@ class SQLSyntaxError(ReproError):
         self.position = position
 
 
+class DialectError(ReproError):
+    """Raised for unknown SQL dialect/backend names or transpilation
+    requests outside the supported grammar subset."""
+
+
 class SchemaError(ReproError):
     """Raised for inconsistent schema definitions (unknown table/column,
     dangling foreign key, duplicate names, ...)."""

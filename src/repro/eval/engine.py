@@ -337,6 +337,7 @@ class EvalEngine:
                         configs=len(plans),
                         examples=len(examples),
                         workers=self.workers,
+                        backend=getattr(self.runner, "backend_name", ""),
                     )
                 )
                 for ci, plan in enumerate(plans):

@@ -192,8 +192,16 @@ class BenchmarkRunner:
         self.pipeline = EvalPipeline(
             eval_dataset, candidates, self.pool, self.cache, repair=repair
         )
+        annotate = getattr(self.cache, "annotate_backend", None)
+        if annotate is not None:
+            annotate(self.backend_name)
         self._selections: Dict[str, SelectionStrategy] = {}
         self._selection_lock = threading.Lock()
+
+    @property
+    def backend_name(self) -> str:
+        """The pool's execution-backend name (``sqlite`` when untracked)."""
+        return getattr(self.pool, "backend_name", "sqlite")
 
     # -- caches ------------------------------------------------------------
 

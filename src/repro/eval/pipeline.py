@@ -20,7 +20,7 @@ generate   ``generate``                 LLM fingerprint, prompt text,
                                         sample tag
 analyze    ``analyze``                  analyzer version, database
                                         fingerprint, predicted SQL,
-                                        repair flag
+                                        repair flag, dialect name
 execute    ``gold``                     database fingerprint, gold SQL
 execute    ``execute``                  database fingerprint,
                                         predicted SQL
@@ -54,6 +54,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.analyzer import ANALYZER_VERSION, analyze
 from ..analysis.repair import repair as repair_sql
+from ..errors import SQLSyntaxError
 from ..cache.store import ArtifactCache
 from ..dataset.spider import Example, SpiderDataset
 from ..db.execution import results_match
@@ -64,6 +65,8 @@ from ..prompt.builder import PromptBuilder
 from ..prompt.organization import ExampleBlock, get_organization
 from ..prompt.representation import RepresentationOptions, get_representation
 from ..selection.strategies import DailSelection
+from ..sql.dialect import REFERENCE_DIALECT
+from ..sql.transpile import transpile
 from .exact_match import exact_match
 from .metrics import PredictionRecord
 from .telemetry import NULL_COLLECTOR
@@ -298,6 +301,12 @@ class EvalPipeline:
                 return stage
         raise KeyError(f"no pipeline stage named {name!r}")
 
+    @property
+    def dialect_name(self) -> str:
+        """The pool backend's dialect name (reference when untracked)."""
+        profile = getattr(self.pool, "profile", None)
+        return profile.name if profile is not None else REFERENCE_DIALECT
+
     # -- the chain -----------------------------------------------------------
 
     def run(self, example: Example, plan, collector=NULL_COLLECTOR) -> PredictionRecord:
@@ -421,7 +430,7 @@ class EvalPipeline:
 
     def analysis(
         self, db_id: str, sql: str, collector=NULL_COLLECTOR,
-        *, repair: Optional[bool] = None,
+        *, repair: Optional[bool] = None, dialect: Optional[str] = None,
     ) -> Dict:
         """The ``analyze`` artifact: diagnostics + safety verdict.
 
@@ -430,20 +439,27 @@ class EvalPipeline:
         (repaired text when repair applied, else the input), plus
         ``repaired_sql``/``repair_applied``/``original_diagnostics``
         when the repair pass changed the text.  Keyed purely on analyzer
-        version, database fingerprint, SQL text and the repair flag, so
-        results are byte-identical serial vs parallel and cache-hit on
-        warm reruns.
+        version, database fingerprint, SQL text, the repair flag and the
+        dialect name, so results are byte-identical serial vs parallel
+        and cache-hit on warm reruns.
 
         Args:
             repair: per-call override of the pipeline's repair flag
                 (the serving layer honours a per-request setting);
                 ``None`` uses the pipeline default.
+            dialect: the dialect the SQL is written in; ``None`` uses
+                the pool backend's dialect.  The deterministic repair
+                pass only runs for reference-dialect SQL (its rewrite
+                rules assume the reference grammar).
         """
         do_repair = self.repair if repair is None else repair
+        dialect_name = dialect or self.dialect_name
+        if dialect_name != REFERENCE_DIALECT:
+            do_repair = False
 
         def compute() -> Dict:
             schema = self.dataset.schema(db_id)
-            result = analyze(schema, sql)
+            result = analyze(schema, sql, dialect=dialect_name)
             payload: Dict = {
                 "statement_kind": result.statement_kind,
                 "diagnostics": [d.to_dict() for d in result.diagnostics],
@@ -477,16 +493,32 @@ class EvalPipeline:
                 self.pool.fingerprint(db_id),
                 sql,
                 "repair" if do_repair else "plain",
+                dialect_name,
             ),
             compute,
             collector=collector,
         )
 
     def gold_rows(self, example: Example, collector):
-        """The ``gold`` artifact: executed gold-query result rows."""
+        """The ``gold`` artifact: executed gold-query result rows.
+
+        Gold queries are written in the reference dialect; when the
+        pool's backend speaks another flavor the query is transpiled to
+        that flavor first (falling back to the original text if it sits
+        outside the transpiler's grammar subset).  The cache key is the
+        untranspiled gold text — backend isolation comes from the pool
+        fingerprint's backend token.
+        """
 
         def compute():
-            return self.pool.get(example.db_id).execute(example.query)
+            query = example.query
+            profile = getattr(self.pool, "profile", None)
+            if profile is not None and not profile.is_reference:
+                try:
+                    query = transpile(example.query, REFERENCE_DIALECT, profile)
+                except SQLSyntaxError:
+                    query = example.query
+            return self.pool.get(example.db_id).execute(query)
 
         return self.cache.get_or_compute(
             "gold",

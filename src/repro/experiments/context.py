@@ -86,6 +86,33 @@ def default_chaos():
     return _DEFAULT_CHAOS
 
 
+#: Execution backend for pools built by :func:`get_context`
+#: (``--backend``); ``None`` = the SQLite reference backend.
+_DEFAULT_BACKEND: Optional[str] = None
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Pick the execution backend every subsequently built context uses
+    (the CLI's ``--backend`` flag).  Cached contexts are dropped: their
+    pools were built against another backend.
+
+    Raises:
+        DialectError: for unknown backend names.
+    """
+    global _DEFAULT_BACKEND
+    if name is not None:
+        from ..db.backends import get_backend
+
+        get_backend(name)  # validate eagerly
+    _DEFAULT_BACKEND = name
+    clear_cache()
+
+
+def default_backend() -> Optional[str]:
+    """The active backend name, or ``None`` for the SQLite reference."""
+    return _DEFAULT_BACKEND
+
+
 #: Analyzer repair pass applied to runners built by :func:`get_context`
 #: (``--repair``); ``False`` = score predictions as extracted.
 _DEFAULT_REPAIR = False
@@ -223,17 +250,23 @@ class ExperimentContext:
         dataset: Optional[SpiderDataset] = None,
         candidates: Optional[SpiderDataset] = None,
         seed: int = BENCHMARK_SEED,
+        pool=None,
     ) -> BenchmarkRunner:
         """A runner over a derived dataset (e.g. Spider-Realistic) that
         shares this context's database pool **and artifact cache** — so
         gold rows, generations and selection artifacts whose content
         keys coincide with the main runner's are computed once per
         session, not once per variant runner.
+
+        ``pool`` swaps the database pool (e.g. another execution
+        backend from :meth:`~repro.dataset.generator.corpus.Corpus.pool`)
+        while still sharing the cache; backend-dependent artifacts stay
+        disjoint because pool fingerprints carry the backend token.
         """
         return BenchmarkRunner(
             dataset if dataset is not None else self.dev,
             candidates if candidates is not None else self.train,
-            self.corpus.pool(),
+            pool if pool is not None else self.corpus.pool(),
             seed=seed,
             cache=self.runner.cache,
             repair=self.runner.repair,
@@ -248,7 +281,8 @@ def get_context(fast: bool = False) -> ExperimentContext:
     context = _CACHE.get(fast)
     if context is None:
         corpus = build_corpus(FAST_CONFIG if fast else FULL_CONFIG)
-        runner = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(),
+        pool = corpus.pool(backend=_DEFAULT_BACKEND)
+        runner = BenchmarkRunner(corpus.dev, corpus.train, pool,
                                  seed=BENCHMARK_SEED, chaos=_DEFAULT_CHAOS,
                                  repair=_DEFAULT_REPAIR)
         context = ExperimentContext(corpus=corpus, runner=runner)

@@ -7,6 +7,7 @@ from typing import Callable, Dict, List, Optional
 from ..errors import ExperimentError
 from . import (
     exp_ablation,
+    exp_cross_dialect,
     exp_extras,
     exp_fewshot_curve,
     exp_leaderboard,
@@ -45,6 +46,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "calibration": exp_extras.run_calibration,
     "pound_sign": exp_extras.run_pound_sign,
     "token_budget": exp_extras.run_token_budget,
+    "cross_dialect": exp_cross_dialect.run,
 }
 
 #: The paper's numbered artifacts (subset of EXPERIMENTS).

@@ -12,6 +12,7 @@ accuracy and exact match disagree.
 from __future__ import annotations
 
 import random
+import re
 from dataclasses import replace as dc_replace
 from typing import Callable, List, Optional
 
@@ -409,6 +410,32 @@ EQUIVALENT_REWRITES: List[Callable] = [
     _rewrite_count_star, _rewrite_integer_bound, _rewrite_flip_comparison,
 ]
 
+_SINGLE_QUOTED_RE = re.compile(r"'([^'\"]+)'")
+
+#: Share of correct answers with a string literal that come back
+#: double-quoted (Spider's SQLite convention — fine on the reference
+#: backend, an identifier on engines with standard quoting).
+_QUOTE_SWAP_RATE = 0.35
+
+
+def _swap_quote_style(sql: str, schema: DatabaseSchema) -> Optional[str]:
+    """Spider-convention quote swap: the first single-quoted string
+    literal becomes double-quoted.  Execution-equivalent on SQLite,
+    which falls back to a string literal for unknown identifiers — the
+    classic text-to-SQL portability bug on engines where double quotes
+    always mean identifiers.  Skipped when the literal collides with a
+    schema name (SQLite would resolve it as a column)."""
+    match = _SINGLE_QUOTED_RE.search(sql)
+    if match is None:
+        return None
+    body = match.group(1)
+    names = {t.lower() for t in schema.table_names()}
+    for table_name in schema.table_names():
+        names.update(c.name.lower() for c in schema.table(table_name).columns)
+    if body.lower() in names:
+        return None
+    return f'{sql[:match.start()]}"{body}"{sql[match.end():]}'
+
 
 def equivalent_rewrite(
     gold_sql: str, schema: DatabaseSchema, rng: random.Random
@@ -420,6 +447,10 @@ def equivalent_rewrite(
     query = try_parse(gold_sql)
     if query is None:
         return gold_sql
+    if rng.random() < _QUOTE_SWAP_RATE:
+        swapped = _swap_quote_style(gold_sql, schema)
+        if swapped is not None:
+            return swapped
     modes = list(EQUIVALENT_REWRITES)
     rng.shuffle(modes)
     for mode in modes:

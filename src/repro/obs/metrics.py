@@ -53,6 +53,7 @@ M_SERVE_COALESCE_BATCH = "repro_serve_coalesce_batch_size"
 M_SERVE_COALESCED = "repro_serve_coalesced_requests_total"
 M_SERVE_RATE_LIMITED = "repro_serve_rate_limited_total"
 M_SERVE_INFLIGHT = "repro_serve_inflight_requests"
+M_SQL_TRANSPILE = "repro_sql_transpile_seconds_total"
 
 #: Fixed batch-size buckets for the request coalescer histogram.
 BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)

@@ -203,6 +203,7 @@ def run_info(spans: Iterable[Span]) -> Optional[Dict[str, object]]:
         "configs": _attr(run, "configs", 0),
         "examples": _attr(run, "examples", 0),
         "workers": _attr(run, "workers", 1),
+        "backend": _attr(run, "backend", ""),
     }
 
 

@@ -287,6 +287,18 @@ class ChaoticPool:
             self.inner.fingerprint(db_id),
         )
 
+    @property
+    def backend(self):
+        return self.inner.backend
+
+    @property
+    def backend_name(self) -> str:
+        return self.inner.backend_name
+
+    @property
+    def profile(self):
+        return self.inner.profile
+
     def get(self, db_id: str) -> _ChaoticDatabase:
         return _ChaoticDatabase(
             self.inner.get(db_id), self.policy, self._metrics

@@ -45,6 +45,12 @@ def journal_cell_key(plan, runner) -> str:
         client_fingerprint(plan.llm),
         runner.eval_dataset.fingerprint(),
         str(plan.n_samples),
+        # Execution results depend on the backend's dialect semantics,
+        # so cells from different backends must never replay into each
+        # other.
+        "backend:" + getattr(
+            getattr(runner, "pool", None), "backend_name", "sqlite"
+        ),
     ]
     chaos = getattr(runner, "chaos", None)
     if chaos is not None:

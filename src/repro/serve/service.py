@@ -48,6 +48,7 @@ from ..eval.telemetry import TelemetryCollector
 from ..llm.extract import extract_sql
 from ..obs.metrics import MetricsRegistry
 from ..resilience.breaker import CircuitBreaker
+from ..sql.transpile import transpile
 from .coalesce import CoalescingClient, GenerateCoalescer
 from .ratelimit import RateLimiter
 
@@ -244,7 +245,7 @@ class SqlService:
         with self.collector.stage("analyze"):
             payload = self.pipeline.analysis(
                 request.db_id, request.sql, self.collector,
-                repair=request.repair,
+                repair=request.repair, dialect=request.dialect,
             )
         return LintResponse(
             db_id=request.db_id,
@@ -269,7 +270,8 @@ class SqlService:
         deadline.check("analyze")
         with self.collector.stage("analyze"):
             payload = self.pipeline.analysis(
-                request.db_id, request.sql, self.collector
+                request.db_id, request.sql, self.collector,
+                dialect=request.dialect,
             )
         if payload.get("fatal"):
             self.collector.record_short_circuit()
@@ -279,6 +281,12 @@ class SqlService:
                 diagnostics=list(payload.get("diagnostics", [])),
             )
         final_sql = str(payload.get("final_sql") or request.sql)
+        pool_dialect = self.pipeline.dialect_name
+        if request.dialect != pool_dialect:
+            # The client wrote the statement in its own dialect; the
+            # pool executes in the backend's.  Transpile between them
+            # (the analyze gate already proved the statement parses).
+            final_sql = transpile(final_sql, request.dialect, pool_dialect)
         deadline.check("execute")
         with self.collector.stage("execute"):
             rows = self.pipeline.predicted_rows(

@@ -30,6 +30,14 @@ from .ast_nodes import (
     iter_conditions,
     iter_subqueries,
 )
+from .dialect import (
+    REFERENCE_DIALECT,
+    DialectProfile,
+    dialect_names,
+    get_dialect,
+    reference_dialect,
+    register_dialect,
+)
 from .hardness import HARDNESS_LEVELS, hardness
 from .normalize import normalize_sql, queries_equal, resolve_aliases
 from .parser import parse, try_parse
@@ -40,6 +48,12 @@ from .skeleton import (
     sql_skeleton,
 )
 from .tokens import Token, TokenType, tokenize
+from .transpile import (
+    normalize_to_reference,
+    parse_dialect,
+    render,
+    transpile,
+)
 from .unparse import unparse
 
 __all__ = [
@@ -53,4 +67,7 @@ __all__ = [
     "resolve_aliases", "parse", "try_parse", "query_signature",
     "skeleton_similarity", "skeleton_tokens", "sql_skeleton",
     "Token", "TokenType", "tokenize", "unparse",
+    "DialectProfile", "REFERENCE_DIALECT", "dialect_names", "get_dialect",
+    "reference_dialect", "register_dialect", "normalize_to_reference",
+    "parse_dialect", "render", "transpile",
 ]

@@ -1,0 +1,174 @@
+"""SQL dialect profiles.
+
+A :class:`DialectProfile` is a small declarative description of how a SQL
+flavor differs from the reference dialect (SQLite, the dialect the paper's
+EX metric is defined against).  Profiles drive three things:
+
+* the transpiler (:mod:`repro.sql.transpile`) — normalising dialect text to
+  the reference grammar and rendering an AST back out in a target flavor;
+* the analyzer (:mod:`repro.analysis`) — dialect-conditional rules such as
+  "double-quoted text is an identifier, not a string literal";
+* the execution backends (:mod:`repro.db.backends`) — emulated backends
+  pick their profile up from this registry.
+
+Profiles are intentionally coarse: they capture the semantic differences
+that flip a predicted query between correct and broken (quoting, LIMIT
+forms, function spellings, boolean literals, string concatenation), not a
+full grammar per engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from ..errors import DialectError
+
+#: Name of the reference dialect — the flavor the parser/unparser and the
+#: gold corpus are written in, and the one SQLite executes natively.
+REFERENCE_DIALECT = "sqlite"
+
+
+@dataclass(frozen=True)
+class DialectProfile:
+    """Declarative description of one SQL flavor.
+
+    Attributes:
+        name: registry key, e.g. ``"postgres"``.
+        identifier_quote: quote character used when an identifier needs
+            quoting (``"`` for standard SQL, `````` for MySQL/SQLite
+            emulation, ``[`` for T-SQL brackets).
+        double_quote_means: what double-quoted text denotes — ``"string"``
+            (Spider/SQLite convention) or ``"identifier"`` (standard SQL).
+        limit_style: row-limiting syntax — ``"limit"`` (``LIMIT n``) or
+            ``"top"`` (``SELECT TOP n ...``).
+        keyword_booleans: whether ``TRUE``/``FALSE`` keyword literals are
+            idiomatic (normalised to ``1``/``0`` on the reference dialect).
+        concat_style: string concatenation — ``"operator"`` (``||``) or
+            ``"function"`` (``CONCAT(a, b)``).
+        function_names: canonical (reference) function name → this
+            dialect's spelling, e.g. ``{"LENGTH": "CHAR_LENGTH"}``.
+        notes: free-form caveats, surfaced in docs/debug output.
+    """
+
+    name: str
+    identifier_quote: str = '"'
+    double_quote_means: str = "string"
+    limit_style: str = "limit"
+    keyword_booleans: bool = False
+    concat_style: str = "operator"
+    function_names: Mapping[str, str] = field(default_factory=dict)
+    notes: str = ""
+
+    @property
+    def is_reference(self) -> bool:
+        return self.name == REFERENCE_DIALECT
+
+    def dialect_function(self, canonical: str) -> str:
+        """This dialect's spelling of a canonical function name."""
+        return self.function_names.get(canonical.upper(), canonical)
+
+    def canonical_function(self, name: str) -> str:
+        """Canonical spelling for one of this dialect's function names."""
+        upper = name.upper()
+        for canonical, spelled in self.function_names.items():
+            if spelled.upper() == upper:
+                return canonical
+        return name
+
+    def fingerprint_token(self) -> str:
+        """Stable token folded into cache/journal keys."""
+        return f"dialect:{self.name}"
+
+
+_REGISTRY: Dict[str, DialectProfile] = {}
+
+
+def register_dialect(profile: DialectProfile) -> DialectProfile:
+    """Register a profile under its name (last registration wins)."""
+    _REGISTRY[profile.name] = profile
+    return profile
+
+
+def get_dialect(name: str) -> DialectProfile:
+    """Look up a registered profile.
+
+    Raises:
+        DialectError: if ``name`` is not registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise DialectError(
+            f"unknown SQL dialect {name!r} (known: {known})"
+        ) from None
+
+
+def dialect_names() -> List[str]:
+    """Registered profile names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def reference_dialect() -> DialectProfile:
+    """The reference (SQLite) profile."""
+    return _REGISTRY[REFERENCE_DIALECT]
+
+
+# -- built-in profiles --------------------------------------------------------
+
+#: Reference dialect: Spider-convention SQLite.  Double-quoted text is a
+#: string literal (the corpus convention); identifiers that need quoting are
+#: rendered with backticks, which SQLite accepts, because double quotes fall
+#: back to string literals for unknown identifiers (the famous misfeature).
+SQLITE = register_dialect(DialectProfile(
+    name="sqlite",
+    identifier_quote="`",
+    double_quote_means="string",
+    limit_style="limit",
+    keyword_booleans=False,
+    concat_style="operator",
+    notes="reference dialect; Spider treats double quotes as strings",
+))
+
+DUCKDB = register_dialect(DialectProfile(
+    name="duckdb",
+    identifier_quote='"',
+    double_quote_means="identifier",
+    limit_style="limit",
+    keyword_booleans=True,
+    concat_style="operator",
+    notes="standard-SQL quoting; executes natively when duckdb is installed",
+))
+
+POSTGRES = register_dialect(DialectProfile(
+    name="postgres",
+    identifier_quote='"',
+    double_quote_means="identifier",
+    limit_style="limit",
+    keyword_booleans=True,
+    concat_style="operator",
+    notes="emulated on SQLite after transpilation",
+))
+
+MYSQL = register_dialect(DialectProfile(
+    name="mysql",
+    identifier_quote="`",
+    double_quote_means="string",
+    limit_style="limit",
+    keyword_booleans=True,
+    concat_style="function",
+    function_names={"LENGTH": "CHAR_LENGTH"},
+    notes="|| is logical OR on stock MySQL, so concat renders as CONCAT()",
+))
+
+TSQL = register_dialect(DialectProfile(
+    name="tsql",
+    identifier_quote="[",
+    double_quote_means="identifier",
+    limit_style="top",
+    keyword_booleans=False,
+    concat_style="function",
+    function_names={"LENGTH": "LEN"},
+    notes="SELECT TOP n instead of LIMIT; bracket-quoted identifiers",
+))

@@ -26,7 +26,7 @@ The accepted grammar (roughly)::
                   | [NOT] LIKE string
                   | [NOT] BETWEEN operand AND operand
                   | IS [NOT] NULL
-    expr         := term (("+" | "-") term)*
+    expr         := term (("+" | "-" | "||") term)*
     term         := factor (("*" | "/" | "%") factor)*
     factor       := literal | func "(" [DISTINCT] expr ")" | column
                   | "(" expr ")" | case_expr
@@ -400,7 +400,9 @@ class _Parser:
 
     def parse_expr(self) -> Expr:
         left = self._parse_term()
-        while self.current.type is TokenType.OP and self.current.value in ("+", "-"):
+        while self.current.type is TokenType.OP and self.current.value in (
+            "+", "-", "||",
+        ):
             op = self._advance().value
             right = self._parse_term()
             left = BinaryExpr(op=op, left=left, right=right)

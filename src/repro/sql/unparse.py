@@ -1,13 +1,19 @@
 """Render an AST back to SQL text.
 
 ``parse(unparse(q)) == q`` holds structurally for every query the parser
-accepts (property-tested in ``tests/sql/test_roundtrip.py``).  The output is
-valid SQLite SQL, which is what the execution backend runs.
+accepts (property-tested in ``tests/sql/test_roundtrip.py``).  Without a
+profile the output is valid SQLite SQL, which is what the reference
+execution backend runs; with a :class:`~repro.sql.dialect.DialectProfile`
+the renderer adapts identifier quoting, the ``LIMIT``/``TOP`` form,
+function spellings and the string-concatenation style to that flavor
+(the dialect-parameterized round-trip contract lives in
+:mod:`repro.sql.transpile`).
 """
 
 from __future__ import annotations
 
-from typing import Union
+import re
+from typing import TYPE_CHECKING, Optional, Union
 
 from .ast_nodes import (
     AndCondition,
@@ -34,115 +40,167 @@ from .ast_nodes import (
     TableRef,
     TableSource,
 )
+from .tokens import KEYWORDS
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .dialect import DialectProfile
+
+_BARE_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*\Z")
 
 
-def unparse(query: Query) -> str:
-    """Render a query AST as a SQL string."""
-    text = _core(query.core)
+def unparse(query: Query, profile: Optional["DialectProfile"] = None) -> str:
+    """Render a query AST as a SQL string.
+
+    Without ``profile`` the historical reference rendering is emitted
+    byte-for-byte (identifiers always bare).  With a profile, identifiers
+    that would not survive re-lexing (non-word characters, keyword
+    collisions) are quoted in the profile's style and the profile's
+    LIMIT/function/concat conventions apply.
+    """
+    text = _core(query.core, profile)
     if query.set_op is not None and query.set_query is not None:
-        text = f"{text} {query.set_op} {unparse(query.set_query)}"
+        text = f"{text} {query.set_op} {unparse(query.set_query, profile)}"
     return text
 
 
-def _core(core: SelectCore) -> str:
+def _ident(name: str, profile: Optional["DialectProfile"]) -> str:
+    if profile is None:
+        return name
+    if _BARE_IDENT_RE.match(name) and name.upper() not in KEYWORDS:
+        return name
+    quote = profile.identifier_quote
+    if quote == "[":
+        return f"[{name}]"
+    if quote == '"':
+        escaped = name.replace('"', '""')
+        return f'"{escaped}"'
+    return f"{quote}{name}{quote}"
+
+
+def _core(core: SelectCore, profile: Optional["DialectProfile"] = None) -> str:
+    top_style = profile is not None and profile.limit_style == "top"
     parts = ["SELECT"]
     if core.distinct:
         parts.append("DISTINCT")
-    parts.append(", ".join(_select_item(item) for item in core.items))
+    if top_style and core.limit is not None:
+        parts.append(f"TOP {core.limit}")
+    parts.append(", ".join(_select_item(item, profile) for item in core.items))
     if core.from_clause is not None:
         parts.append("FROM")
-        parts.append(_from(core.from_clause))
+        parts.append(_from(core.from_clause, profile))
     if core.where is not None:
         parts.append("WHERE")
-        parts.append(condition_text(core.where))
+        parts.append(condition_text(core.where, profile))
     if core.group_by:
         parts.append("GROUP BY")
-        parts.append(", ".join(expr_text(e) for e in core.group_by))
+        parts.append(", ".join(expr_text(e, profile) for e in core.group_by))
     if core.having is not None:
         parts.append("HAVING")
-        parts.append(condition_text(core.having))
+        parts.append(condition_text(core.having, profile))
     if core.order_by:
         parts.append("ORDER BY")
-        parts.append(", ".join(_order_item(o) for o in core.order_by))
-    if core.limit is not None:
+        parts.append(", ".join(_order_item(o, profile) for o in core.order_by))
+    if core.limit is not None and not top_style:
         parts.append(f"LIMIT {core.limit}")
     return " ".join(parts)
 
 
-def _select_item(item: SelectItem) -> str:
-    text = expr_text(item.expr)
+def _select_item(
+    item: SelectItem, profile: Optional["DialectProfile"] = None
+) -> str:
+    text = expr_text(item.expr, profile)
     if item.alias:
-        text = f"{text} AS {item.alias}"
+        text = f"{text} AS {_ident(item.alias, profile)}"
     return text
 
 
-def _order_item(item: OrderItem) -> str:
-    text = expr_text(item.expr)
+def _order_item(
+    item: OrderItem, profile: Optional["DialectProfile"] = None
+) -> str:
+    text = expr_text(item.expr, profile)
     if item.direction == "DESC":
         text = f"{text} DESC"
     return text
 
 
-def _from(clause: FromClause) -> str:
-    parts = [_source(clause.source)]
+def _from(
+    clause: FromClause, profile: Optional["DialectProfile"] = None
+) -> str:
+    parts = [_source(clause.source, profile)]
     for join in clause.joins:
         if join.using:
-            columns = ", ".join(join.using)
-            parts.append(f"{join.kind} {_source(join.source)} USING ({columns})")
+            columns = ", ".join(_ident(c, profile) for c in join.using)
+            parts.append(
+                f"{join.kind} {_source(join.source, profile)} USING ({columns})"
+            )
         elif join.condition is None and join.kind == "JOIN":
-            parts.append(f"JOIN {_source(join.source)}")
+            parts.append(f"JOIN {_source(join.source, profile)}")
         elif join.condition is None:
-            parts.append(f"{join.kind} {_source(join.source)}")
+            parts.append(f"{join.kind} {_source(join.source, profile)}")
         else:
             parts.append(
-                f"{join.kind} {_source(join.source)} ON {condition_text(join.condition)}"
+                f"{join.kind} {_source(join.source, profile)} "
+                f"ON {condition_text(join.condition, profile)}"
             )
     return " ".join(parts)
 
 
-def _source(source: TableSource) -> str:
+def _source(
+    source: TableSource, profile: Optional["DialectProfile"] = None
+) -> str:
     if isinstance(source, TableRef):
         if source.alias:
-            return f"{source.name} AS {source.alias}"
-        return source.name
-    inner = unparse(source.query)
+            return f"{_ident(source.name, profile)} AS {_ident(source.alias, profile)}"
+        return _ident(source.name, profile)
+    inner = unparse(source.query, profile)
     if source.alias:
-        return f"({inner}) AS {source.alias}"
+        return f"({inner}) AS {_ident(source.alias, profile)}"
     return f"({inner})"
 
 
-def expr_text(expr: Expr) -> str:
+def expr_text(expr: Expr, profile: Optional["DialectProfile"] = None) -> str:
     """Render an expression."""
     if isinstance(expr, ColumnRef):
+        column = expr.column if expr.column == "*" else _ident(expr.column, profile)
         if expr.table:
-            return f"{expr.table}.{expr.column}"
-        return expr.column
+            return f"{_ident(expr.table, profile)}.{column}"
+        return column
     if isinstance(expr, Literal):
         return literal_text(expr)
     if isinstance(expr, FuncCall):
-        inner = expr_text(expr.arg)
+        inner = expr_text(expr.arg, profile)
         if expr.distinct:
             inner = f"DISTINCT {inner}"
-        return f"{expr.name}({inner})"
+        name = profile.dialect_function(expr.name) if profile else expr.name
+        return f"{name}({inner})"
     if isinstance(expr, BinaryExpr):
-        left = _maybe_paren(expr.left)
-        right = _maybe_paren(expr.right)
+        left = _maybe_paren(expr.left, profile)
+        right = _maybe_paren(expr.right, profile)
+        if (
+            expr.op == "||"
+            and profile is not None
+            and profile.concat_style == "function"
+        ):
+            return f"CONCAT({left}, {right})"
         return f"{left} {expr.op} {right}"
     if isinstance(expr, CaseExpr):
         parts = ["CASE"]
         for condition, value in expr.whens:
-            parts.append(f"WHEN {condition_text(condition)} THEN {expr_text(value)}")
+            parts.append(
+                f"WHEN {condition_text(condition, profile)} "
+                f"THEN {expr_text(value, profile)}"
+            )
         if expr.else_ is not None:
-            parts.append(f"ELSE {expr_text(expr.else_)}")
+            parts.append(f"ELSE {expr_text(expr.else_, profile)}")
         parts.append("END")
         return " ".join(parts)
     raise TypeError(f"not an expression: {expr!r}")
 
 
-def _maybe_paren(expr: Expr) -> str:
+def _maybe_paren(expr: Expr, profile: Optional["DialectProfile"] = None) -> str:
     if isinstance(expr, BinaryExpr):
-        return f"({expr_text(expr)})"
-    return expr_text(expr)
+        return f"({expr_text(expr, profile)})"
+    return expr_text(expr, profile)
 
 
 def literal_text(literal: Literal) -> str:
@@ -155,48 +213,61 @@ def literal_text(literal: Literal) -> str:
     return literal.value
 
 
-def _operand(value: Union[Expr, Query]) -> str:
+def _operand(
+    value: Union[Expr, Query], profile: Optional["DialectProfile"] = None
+) -> str:
     if isinstance(value, Query):
-        return f"({unparse(value)})"
-    return expr_text(value)
+        return f"({unparse(value, profile)})"
+    return expr_text(value, profile)
 
 
-def condition_text(condition: Condition) -> str:
+def condition_text(
+    condition: Condition, profile: Optional["DialectProfile"] = None
+) -> str:
     """Render a condition tree."""
     if isinstance(condition, Comparison):
-        return f"{expr_text(condition.left)} {condition.op} {_operand(condition.right)}"
+        return (
+            f"{expr_text(condition.left, profile)} {condition.op} "
+            f"{_operand(condition.right, profile)}"
+        )
     if isinstance(condition, InCondition):
         if isinstance(condition.values, Query):
-            values = unparse(condition.values)
+            values = unparse(condition.values, profile)
         else:
             values = ", ".join(literal_text(v) for v in condition.values)
         op = "NOT IN" if condition.negated else "IN"
-        return f"{expr_text(condition.expr)} {op} ({values})"
+        return f"{expr_text(condition.expr, profile)} {op} ({values})"
     if isinstance(condition, LikeCondition):
         op = "NOT LIKE" if condition.negated else "LIKE"
-        return f"{expr_text(condition.expr)} {op} {literal_text(condition.pattern)}"
+        return (
+            f"{expr_text(condition.expr, profile)} {op} "
+            f"{literal_text(condition.pattern)}"
+        )
     if isinstance(condition, BetweenCondition):
         op = "NOT BETWEEN" if condition.negated else "BETWEEN"
         return (
-            f"{expr_text(condition.expr)} {op} "
-            f"{_operand(condition.low)} AND {_operand(condition.high)}"
+            f"{expr_text(condition.expr, profile)} {op} "
+            f"{_operand(condition.low, profile)} AND "
+            f"{_operand(condition.high, profile)}"
         )
     if isinstance(condition, IsNullCondition):
         op = "IS NOT NULL" if condition.negated else "IS NULL"
-        return f"{expr_text(condition.expr)} {op}"
+        return f"{expr_text(condition.expr, profile)} {op}"
     if isinstance(condition, ExistsCondition):
         prefix = "NOT EXISTS" if condition.negated else "EXISTS"
-        return f"{prefix} ({unparse(condition.query)})"
+        return f"{prefix} ({unparse(condition.query, profile)})"
     if isinstance(condition, NotCondition):
-        return f"NOT ({condition_text(condition.operand)})"
+        return f"NOT ({condition_text(condition.operand, profile)})"
     if isinstance(condition, AndCondition):
-        return " AND ".join(_group(op) for op in condition.operands)
+        return " AND ".join(_group(op, profile) for op in condition.operands)
     if isinstance(condition, OrCondition):
-        return " OR ".join(_group(op) for op in condition.operands)
+        return " OR ".join(_group(op, profile) for op in condition.operands)
     raise TypeError(f"not a condition: {condition!r}")
 
 
-def _group(condition: Condition) -> str:
+def _group(
+    condition: Condition, profile: Optional["DialectProfile"] = None
+) -> str:
     if isinstance(condition, (AndCondition, OrCondition)):
-        return f"({condition_text(condition)})"
-    return condition_text(condition)
+        return f"({condition_text(condition, profile)})"
+    return condition_text(condition, profile)

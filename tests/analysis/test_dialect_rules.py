@@ -1,0 +1,79 @@
+"""Dialect-parameterized analyzer rules.
+
+The same statement can be clean on the reference dialect and fatal on
+another: ``country = "France"`` is Spider's string-literal convention on
+SQLite, but an unknown-identifier reference on Postgres-style engines.
+"""
+
+import pytest
+
+from repro.analysis.analyzer import SqlAnalyzer, analyze
+
+
+def rules(result):
+    return [d.rule for d in result.diagnostics]
+
+
+class TestDoubleQuotedLiterals:
+    SQL = 'SELECT name FROM singer WHERE country = "France"'
+
+    def test_clean_on_reference(self, toy_schema):
+        result = analyze(toy_schema, self.SQL)
+        assert result.clean, rules(result)
+
+    def test_fatal_on_postgres(self, toy_schema):
+        result = analyze(toy_schema, self.SQL, dialect="postgres")
+        assert result.fatal
+        assert "dialect.double-quoted-literal" in rules(result)
+
+    def test_fix_suggests_single_quotes(self, toy_schema):
+        result = analyze(toy_schema, self.SQL, dialect="postgres")
+        diag = next(d for d in result.diagnostics
+                    if d.rule == "dialect.double-quoted-literal")
+        assert diag.fix == "'France'"
+        assert diag.severity == "error"
+
+    def test_quoted_known_identifier_is_fine(self, toy_schema):
+        # "name" IS a column: on postgres it's a legitimate identifier.
+        result = analyze(toy_schema, 'SELECT "name" FROM singer',
+                         dialect="postgres")
+        assert result.clean, rules(result)
+
+    def test_duckdb_matches_postgres_semantics(self, toy_schema):
+        result = analyze(toy_schema, self.SQL, dialect="duckdb")
+        assert "dialect.double-quoted-literal" in rules(result)
+
+
+class TestDialectGrammar:
+    def test_top_clean_on_tsql_only(self, toy_schema):
+        sql = "SELECT TOP 3 name FROM singer"
+        assert analyze(toy_schema, sql, dialect="tsql").clean
+        assert analyze(toy_schema, sql).fatal  # reference grammar
+
+    def test_concat_function_on_mysql(self, toy_schema):
+        sql = "SELECT CONCAT(name, country) FROM singer"
+        result = analyze(toy_schema, sql, dialect="mysql")
+        assert result.clean, rules(result)
+
+    def test_schema_rules_apply_after_normalization(self, toy_schema):
+        # The unknown column is caught through the dialect rewrite.
+        result = analyze(toy_schema, 'SELECT "salary" FROM singer',
+                         dialect="postgres")
+        assert result.fatal
+        assert "schema.unknown-column" in rules(result)
+
+
+class TestAnalyzerConstruction:
+    def test_profile_resolved_from_name(self, toy_schema):
+        analyzer = SqlAnalyzer(toy_schema, dialect="postgres")
+        assert analyzer.profile.name == "postgres"
+
+    def test_default_is_reference(self, toy_schema):
+        analyzer = SqlAnalyzer(toy_schema)
+        assert analyzer.profile.is_reference
+
+    def test_unknown_dialect_raises(self, toy_schema):
+        from repro.errors import DialectError
+
+        with pytest.raises(DialectError):
+            SqlAnalyzer(toy_schema, dialect="oracle")

@@ -6,6 +6,8 @@ shares the same benchmark, keeping the full test run fast.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.dataset.generator.corpus import CorpusConfig, build_corpus
@@ -24,6 +26,22 @@ def corpus():
 @pytest.fixture(scope="session")
 def runner(corpus):
     return BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(), seed=3)
+
+
+@pytest.fixture(scope="session")
+def backend_name():
+    """Execution backend under test.
+
+    The CI matrix sets ``REPRO_TEST_BACKEND`` (``sqlite`` / ``duckdb``);
+    locally it defaults to the reference backend.  Tests taking this
+    fixture skip when the requested backend is not installed.
+    """
+    from repro.db.backends import get_backend
+
+    name = os.environ.get("REPRO_TEST_BACKEND", "sqlite")
+    if not get_backend(name).available():
+        pytest.skip(f"backend {name!r} is not available here")
+    return name
 
 
 @pytest.fixture(scope="session")

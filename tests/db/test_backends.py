@@ -1,0 +1,174 @@
+"""Execution-backend registry, emulated dialects, and isolation."""
+
+import pytest
+
+from repro.db.backends import (
+    DuckDBBackend,
+    EmulatedBackend,
+    SqliteBackend,
+    backend_names,
+    get_backend,
+    resolve_backend,
+)
+from repro.db.sqlite_backend import DatabasePool
+from repro.errors import DialectError, ExecutionError
+from repro.sql.dialect import get_dialect
+
+
+class TestRegistry:
+    def test_known_backends(self):
+        for name in ("sqlite", "duckdb", "postgres", "mysql", "tsql"):
+            assert name in backend_names()
+
+    def test_names_sorted(self):
+        assert backend_names() == sorted(backend_names())
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(DialectError):
+            get_backend("oracle")
+
+    def test_resolve_accepts_none_str_instance(self):
+        assert resolve_backend(None).name == "sqlite"
+        assert resolve_backend("postgres").name == "postgres"
+        backend = SqliteBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_fingerprint_tokens_distinct(self):
+        tokens = {get_backend(n).fingerprint_token() for n in backend_names()}
+        assert len(tokens) == len(backend_names())
+
+
+class TestEmulatedExecution:
+    def test_postgres_double_quote_is_identifier(self, toy_schema, toy_rows):
+        backend = EmulatedBackend(get_dialect("postgres"))
+        with backend.create(toy_schema, toy_rows) as db:
+            rows = db.execute('SELECT "name" FROM singer ORDER BY "name"')
+        reference = SqliteBackend()
+        with reference.create(toy_schema, toy_rows) as ref_db:
+            expected = ref_db.execute("SELECT name FROM singer ORDER BY name")
+        assert rows == expected
+
+    def test_tsql_top_executes(self, toy_schema, toy_rows):
+        backend = EmulatedBackend(get_dialect("tsql"))
+        with backend.create(toy_schema, toy_rows) as db:
+            rows = db.execute("SELECT TOP 2 name FROM singer ORDER BY name")
+        assert len(rows) == 2
+
+    def test_mysql_concat_executes(self, toy_schema, toy_rows):
+        backend = EmulatedBackend(get_dialect("mysql"))
+        with backend.create(toy_schema, toy_rows) as db:
+            rows = db.execute("SELECT CONCAT(name, country) FROM singer")
+        assert all(isinstance(row[0], str) for row in rows)
+
+    def test_profile_attached_to_database(self, toy_schema, toy_rows):
+        backend = EmulatedBackend(get_dialect("postgres"))
+        with backend.create(toy_schema, toy_rows) as db:
+            assert db.profile.name == "postgres"
+
+
+class TestBackendIsolation:
+    def test_pool_fingerprints_disjoint_across_backends(
+        self, toy_schema, toy_rows
+    ):
+        fingerprints = {}
+        for name in ("sqlite", "postgres", "mysql"):
+            with DatabasePool(backend=name) as pool:
+                pool.add(toy_schema, toy_rows)
+                fingerprints[name] = pool.fingerprint("toy_concerts")
+        assert len(set(fingerprints.values())) == 3
+
+    def test_same_backend_fingerprint_stable(self, toy_schema, toy_rows):
+        fingerprints = []
+        for _ in range(2):
+            with DatabasePool(backend="postgres") as pool:
+                pool.add(toy_schema, toy_rows)
+                fingerprints.append(pool.fingerprint("toy_concerts"))
+        assert fingerprints[0] == fingerprints[1]
+
+    def test_pool_exposes_backend_name_and_profile(self):
+        with DatabasePool(backend="mysql") as pool:
+            assert pool.backend_name == "mysql"
+            assert pool.profile.name == "mysql"
+        with DatabasePool() as pool:
+            assert pool.backend_name == "sqlite"
+
+    def test_chaotic_pool_passes_backend_through(self, toy_schema, toy_rows):
+        from repro.resilience.chaos import ChaosPolicy, ChaoticPool
+
+        with DatabasePool(backend="postgres") as pool:
+            pool.add(toy_schema, toy_rows)
+            chaotic = ChaoticPool(pool, ChaosPolicy.uniform(0.0, seed=1))
+            assert chaotic.backend_name == "postgres"
+            assert chaotic.profile.name == "postgres"
+            assert chaotic.backend is pool.backend
+
+    def test_journal_cell_keys_disjoint_across_backends(self, corpus):
+        from repro.eval.harness import BenchmarkRunner, RunConfig
+        from repro.resilience.journal import journal_cell_key
+
+        config = RunConfig(model="gpt-4", representation="CR_P")
+        keys = set()
+        for name in ("sqlite", "postgres"):
+            runner = BenchmarkRunner(
+                corpus.dev, corpus.train, corpus.pool(backend=name)
+            )
+            plan = runner.prepare(config)
+            keys.add(journal_cell_key(plan, runner))
+        assert len(keys) == 2
+
+
+class TestDuckDB:
+    def test_availability_is_import_gated(self):
+        backend = DuckDBBackend()
+        try:
+            import duckdb  # noqa: F401
+            assert backend.available()
+        except ImportError:
+            assert not backend.available()
+
+    def test_create_raises_cleanly_when_absent(self, toy_schema, toy_rows):
+        backend = DuckDBBackend()
+        if backend.available():
+            pytest.skip("duckdb installed — absence path not reachable")
+        with pytest.raises(ExecutionError, match="duckdb"):
+            backend.create(toy_schema, toy_rows)
+
+    def test_duckdb_executes_reference_sql(self, toy_schema, toy_rows):
+        backend = DuckDBBackend()
+        if not backend.available():
+            pytest.skip("duckdb not installed")
+        with backend.create(toy_schema, toy_rows) as db:
+            assert db.execute("SELECT count(*) FROM singer") == [(3,)]
+            with pytest.raises(ExecutionError):
+                db.execute("DROP TABLE singer")
+
+
+class TestMatrixBackend:
+    """End-to-end sweep on the CI matrix backend (REPRO_TEST_BACKEND).
+
+    On the sqlite leg this is a cheap re-check of the reference path; on
+    the duckdb leg it is the one test that drives a full evaluation
+    sweep through native DuckDB execution.
+    """
+
+    def test_sweep_completes_deterministically(self, corpus, backend_name):
+        from repro.eval.engine import GridRunner
+        from repro.eval.harness import BenchmarkRunner, RunConfig
+
+        config = RunConfig(model="gpt-4", representation="CR_P")
+        reports = []
+        for workers in (1, 4):
+            runner = BenchmarkRunner(
+                corpus.dev, corpus.train, corpus.pool(backend=backend_name),
+                seed=3,
+            )
+            reports.append(
+                GridRunner(runner, workers=workers).sweep([config], limit=8)[0]
+            )
+        serial, parallel = reports
+        assert len(serial) == 8
+        assert not serial.partial
+        from dataclasses import asdict
+
+        assert [asdict(r) for r in serial.records] == \
+            [asdict(r) for r in parallel.records]

@@ -4,6 +4,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.db.execution import (
+    FLOAT_TOL,
+    FLOAT_TOL_DIGITS,
     query_is_ordered,
     results_match,
     rows_equal_ordered,
@@ -47,6 +49,31 @@ class TestOrdered:
 
     def test_float_tolerance(self):
         assert rows_equal_ordered([(1.0000001,)], [(1.0000002,)])
+
+
+class TestFloatTolerance:
+    """Regression tests for the single EX float-tolerance constant."""
+
+    def test_constants_derive_from_one_source(self):
+        assert FLOAT_TOL == 10.0 ** -FLOAT_TOL_DIGITS
+
+    def test_near_boundary_floats(self):
+        # Both round to 1.0 at FLOAT_TOL_DIGITS decimal digits.
+        assert rows_equal_ordered([(1.0000001,)], [(1.0000004,)])
+        assert rows_equal_unordered([(1.0000001,)], [(1.0000004,)])
+        # These round apart (1.0 vs 1.000001) — a real difference.
+        assert not rows_equal_ordered([(1.0000004,)], [(1.0000006,)])
+        assert not rows_equal_unordered([(1.0000004,)], [(1.0000006,)])
+
+    def test_tolerance_consistent_across_comparison_modes(self):
+        pairs = [
+            ((0.1234564,), (0.1234565,)),
+            ((2.5000004,), (2.4999996,)),
+            ((100.000001,), (100.0000011,)),
+        ]
+        for a, b in pairs:
+            assert rows_equal_ordered([a], [b]) == \
+                rows_equal_unordered([a], [b]), (a, b)
 
 
 class TestQueryIsOrdered:

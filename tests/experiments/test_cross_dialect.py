@@ -1,0 +1,96 @@
+"""The cross-dialect EX transfer matrix: end-to-end guarantees.
+
+Pins the acceptance contract of the ``cross_dialect`` artifact:
+
+* the matrix covers at least three dialect profiles,
+* per backend, serial and parallel sweeps produce byte-identical
+  records,
+* execute-stage artifacts are disjoint across backends in one shared
+  cache — a warm rerun on one backend never reuses another's rows.
+"""
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.cache.store import ArtifactCache
+from repro.eval.engine import GridRunner
+from repro.eval.harness import BenchmarkRunner, RunConfig
+from repro.experiments.exp_cross_dialect import backend_columns, run
+
+CONFIG = RunConfig(model="gpt-4", representation="CR_P")
+LIMIT = 8
+
+
+class TestArtifact:
+    def test_matrix_covers_three_dialects(self):
+        assert len(backend_columns()) >= 3
+        for name in ("sqlite", "postgres", "mysql"):
+            assert name in backend_columns()
+
+    def test_runs_end_to_end_on_smoke_corpus(self):
+        result = run(fast=True, limit=LIMIT)
+        assert result.artifact_id == "cross_dialect"
+        assert result.rows
+        for row in result.rows:
+            for name in backend_columns():
+                assert f"{name} EX" in row
+
+
+class TestDeterminismPerBackend:
+    @pytest.mark.parametrize("backend", ["sqlite", "postgres"])
+    def test_serial_equals_parallel(self, corpus, backend):
+        reports = []
+        for workers in (1, 4):
+            runner = BenchmarkRunner(
+                corpus.dev, corpus.train, corpus.pool(backend=backend),
+                seed=3, cache=ArtifactCache(),
+            )
+            grid = GridRunner(runner, workers=workers)
+            reports.append(grid.sweep([CONFIG], limit=LIMIT)[0])
+        serial, parallel = reports
+        assert [asdict(r) for r in serial.records] == \
+            [asdict(r) for r in parallel.records]
+
+
+class TestBackendCacheIsolation:
+    def test_execute_artifacts_disjoint_across_backends(self, corpus):
+        """One shared cache, two backends: the second backend's run must
+        recompute every gold/execute artifact (zero hits), while a warm
+        rerun on the first backend is all hits."""
+        cache = ArtifactCache()
+
+        def sweep(backend):
+            runner = BenchmarkRunner(
+                corpus.dev, corpus.train, corpus.pool(backend=backend),
+                seed=3, cache=cache,
+            )
+            report = GridRunner(runner, workers=1).sweep(
+                [CONFIG], limit=LIMIT
+            )[0]
+            return report
+
+        sweep("sqlite")
+        stats_cold = {k: dict(v) for k, v in cache.stats().items()}
+
+        sweep("sqlite")  # warm rerun, same backend: execute all hits
+        stats_warm = {k: dict(v) for k, v in cache.stats().items()}
+        for stage in ("gold", "execute"):
+            assert stats_warm[stage]["misses"] == \
+                stats_cold[stage]["misses"], stage
+
+        sweep("postgres")  # different backend: zero execute reuse
+        stats_cross = {k: dict(v) for k, v in cache.stats().items()}
+        for stage in ("gold", "execute"):
+            assert stats_cross[stage]["misses"] > \
+                stats_warm[stage]["misses"], stage
+
+    def test_cache_records_backend_labels(self, corpus):
+        cache = ArtifactCache()
+        for backend in ("sqlite", "postgres"):
+            runner = BenchmarkRunner(
+                corpus.dev, corpus.train, corpus.pool(backend=backend),
+                seed=3, cache=cache,
+            )
+            GridRunner(runner, workers=1).sweep([CONFIG], limit=2)
+        assert cache.backends() == ["postgres", "sqlite"]

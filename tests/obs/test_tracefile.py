@@ -102,7 +102,7 @@ class TestAggregation:
     def test_run_info(self):
         info = tracefile.run_info(SAMPLE)
         assert info == {"duration_s": 2.0, "configs": 1,
-                        "examples": 2, "workers": 2}
+                        "examples": 2, "workers": 2, "backend": ""}
         assert tracefile.run_info([]) is None
 
     def test_stage_totals_filters_by_cell(self):

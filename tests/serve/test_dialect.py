@@ -1,0 +1,131 @@
+"""Dialect-aware serving: the wire ``dialect`` field end to end.
+
+Covers the v2 wire schema additions (optional ``dialect`` on lint and
+execute), the HTTP 400 on unknown dialect names, and the service-level
+semantics: a statement analyzed and executed under the client's dialect.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.api.wire import (
+    WIRE_SCHEMA_VERSION,
+    ExecuteRequest,
+    LintRequest,
+)
+from repro.errors import UnsafeSqlError, WireFormatError
+
+from .test_http import fresh_server, post
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+
+class TestWireDialectField:
+    def test_schema_version_is_two(self):
+        assert WIRE_SCHEMA_VERSION == 2
+
+    def test_dialect_defaults_to_sqlite(self):
+        request = ExecuteRequest.from_json(
+            {"db_id": "concert_singer", "sql": "SELECT count(*) FROM singer"}
+        )
+        assert request.dialect == "sqlite"
+
+    @pytest.mark.parametrize("cls", [ExecuteRequest, LintRequest])
+    def test_unknown_dialect_rejected(self, cls):
+        with pytest.raises(WireFormatError, match="unknown dialect"):
+            cls.from_json(
+                {"db_id": "d", "sql": "SELECT 1", "dialect": "oracle"}
+            )
+
+    @pytest.mark.parametrize("cls", [ExecuteRequest, LintRequest])
+    def test_non_string_dialect_rejected(self, cls):
+        with pytest.raises(WireFormatError, match="must be a string"):
+            cls.from_json({"db_id": "d", "sql": "SELECT 1", "dialect": 7})
+
+    @pytest.mark.parametrize("name", ["execute", "lint"])
+    def test_golden_requests_carry_dialect(self, name):
+        payload = json.loads(
+            (GOLDEN_DIR / f"{name}_request.json").read_text()
+        )
+        assert payload["version"] == WIRE_SCHEMA_VERSION
+        assert payload["dialect"] == "sqlite"
+        cls = ExecuteRequest if name == "execute" else LintRequest
+        assert cls.from_json(payload).to_json() == payload
+
+
+class TestServiceDialect:
+    SQL_DQ = 'SELECT name FROM singer WHERE country = "France"'
+
+    def test_lint_applies_dialect_rules(self, shared_service, dev_example):
+        db_id = "concert_singer"
+        reference = shared_service.lint(
+            LintRequest(db_id=db_id, sql=self.SQL_DQ)
+        )
+        assert not reference.fatal
+        postgres = shared_service.lint(
+            LintRequest(db_id=db_id, sql=self.SQL_DQ, dialect="postgres")
+        )
+        assert postgres.fatal
+        assert any(
+            d["rule"] == "dialect.double-quoted-literal"
+            for d in postgres.diagnostics
+        )
+
+    def test_execute_gates_on_request_dialect(self, shared_service):
+        with pytest.raises(UnsafeSqlError):
+            shared_service.execute(
+                ExecuteRequest(db_id="concert_singer", sql=self.SQL_DQ,
+                               dialect="postgres")
+            )
+
+    def test_execute_transpiles_client_dialect(self, shared_service):
+        reference = shared_service.execute(
+            ExecuteRequest(db_id="concert_singer",
+                           sql="SELECT count(*) FROM singer")
+        )
+        tsql = shared_service.execute(
+            ExecuteRequest(db_id="concert_singer",
+                           sql="SELECT count(*) FROM singer",
+                           dialect="tsql")
+        )
+        assert tsql.rows == reference.rows
+
+    def test_execute_quoted_identifier_per_dialect(self, shared_service):
+        plain = shared_service.execute(
+            ExecuteRequest(db_id="concert_singer",
+                           sql="SELECT name FROM singer ORDER BY name")
+        )
+        quoted = shared_service.execute(
+            ExecuteRequest(db_id="concert_singer",
+                           sql='SELECT "name" FROM singer ORDER BY "name"',
+                           dialect="postgres")
+        )
+        assert quoted.rows == plain.rows
+
+
+class TestHttpDialect:
+    def test_unknown_dialect_is_400(self, corpus):
+        with fresh_server(corpus) as instance:
+            status, payload, _ = post(
+                instance.url, "/v1/execute",
+                {"db_id": "concert_singer", "sql": "SELECT 1",
+                 "dialect": "oracle"},
+            )
+            assert status == 400
+            assert payload["error"] == "wire_format"
+            assert "unknown dialect" in payload["message"]
+
+    def test_lint_with_dialect_over_http(self, corpus):
+        with fresh_server(corpus) as instance:
+            status, payload, _ = post(
+                instance.url, "/v1/lint",
+                {"db_id": "concert_singer",
+                 "sql": 'SELECT name FROM singer WHERE country = "France"',
+                 "dialect": "postgres"},
+            )
+            assert status == 200
+            assert payload["fatal"] is True

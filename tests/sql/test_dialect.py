@@ -1,0 +1,179 @@
+"""Dialect profile registry, transpiler and per-dialect rendering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DialectError
+from repro.sql.dialect import (
+    REFERENCE_DIALECT,
+    dialect_names,
+    get_dialect,
+    reference_dialect,
+)
+from repro.sql.parser import parse
+from repro.sql.transpile import (
+    normalize_to_reference,
+    parse_dialect,
+    render,
+    transpile,
+)
+
+
+class TestRegistry:
+    def test_reference_is_registered(self):
+        assert REFERENCE_DIALECT in dialect_names()
+        assert reference_dialect().name == REFERENCE_DIALECT
+        assert reference_dialect().is_reference
+
+    def test_expected_profiles_present(self):
+        for name in ("sqlite", "duckdb", "postgres", "mysql", "tsql"):
+            assert name in dialect_names()
+
+    def test_names_sorted(self):
+        assert dialect_names() == sorted(dialect_names())
+
+    def test_unknown_dialect_raises(self):
+        with pytest.raises(DialectError):
+            get_dialect("oracle")
+
+    def test_fingerprint_tokens_distinct(self):
+        tokens = {get_dialect(n).fingerprint_token() for n in dialect_names()}
+        assert len(tokens) == len(dialect_names())
+
+    def test_function_mapping_round_trips(self):
+        mysql = get_dialect("mysql")
+        assert mysql.dialect_function("LENGTH") == "CHAR_LENGTH"
+        assert mysql.canonical_function("CHAR_LENGTH") == "LENGTH"
+        assert mysql.dialect_function("COUNT") == "COUNT"
+
+
+class TestNormalize:
+    def test_reference_is_identity(self):
+        sql = 'SELECT name FROM singer WHERE country = "France"'
+        assert normalize_to_reference(sql, reference_dialect()) == sql
+
+    def test_postgres_double_quotes_become_identifiers(self):
+        out = normalize_to_reference(
+            'SELECT "name" FROM singer', get_dialect("postgres")
+        )
+        assert out == "SELECT `name` FROM singer"
+
+    def test_keyword_booleans_fold_to_integers(self):
+        out = normalize_to_reference(
+            "SELECT name FROM singer WHERE active = TRUE",
+            get_dialect("postgres"),
+        )
+        assert out.endswith("active = 1")
+
+    def test_tsql_top_becomes_limit(self):
+        query = parse_dialect(
+            "SELECT TOP 3 name FROM singer ORDER BY age", get_dialect("tsql")
+        )
+        assert query.core.limit == 3
+
+    def test_mysql_concat_folds_to_operator(self):
+        query = parse_dialect(
+            "SELECT CONCAT(first_name, last_name) FROM singer",
+            get_dialect("mysql"),
+        )
+        reference = parse("SELECT first_name || last_name FROM singer")
+        assert query == reference
+
+    def test_mysql_char_length_maps_back(self):
+        query = parse_dialect(
+            "SELECT CHAR_LENGTH(name) FROM singer", get_dialect("mysql")
+        )
+        assert query == parse("SELECT LENGTH(name) FROM singer")
+
+    def test_unlexable_text_passes_through(self):
+        broken = "SELECT \x00"
+        assert normalize_to_reference(broken, get_dialect("postgres")) == broken
+
+
+class TestRender:
+    def test_keyword_identifier_quoted_per_profile(self):
+        query = parse("SELECT `order` FROM shipments")
+        assert render(query, get_dialect("sqlite")) == \
+            "SELECT `order` FROM shipments"
+        assert render(query, get_dialect("postgres")) == \
+            'SELECT "order" FROM shipments'
+        assert render(query, get_dialect("tsql")) == \
+            "SELECT [order] FROM shipments"
+
+    def test_tsql_renders_top(self):
+        query = parse("SELECT name FROM singer LIMIT 5")
+        assert render(query, get_dialect("tsql")) == \
+            "SELECT TOP 5 name FROM singer"
+
+    def test_mysql_renders_concat_function(self):
+        query = parse("SELECT a || b FROM t")
+        assert render(query, get_dialect("mysql")) == \
+            "SELECT CONCAT(a, b) FROM t"
+
+    def test_render_without_profile_is_reference(self):
+        sql = "SELECT name FROM singer WHERE age > 40"
+        assert render(parse(sql)) == sql
+
+
+class TestTranspile:
+    def test_same_dialect_is_verbatim(self):
+        sql = "SELECT  name   FROM singer"  # odd spacing survives
+        assert transpile(sql, "sqlite", "sqlite") == sql
+
+    def test_sqlite_to_tsql(self):
+        out = transpile("SELECT name FROM singer LIMIT 3", "sqlite", "tsql")
+        assert out == "SELECT TOP 3 name FROM singer"
+
+    def test_tsql_back_to_sqlite(self):
+        out = transpile("SELECT TOP 3 name FROM singer", "tsql", "sqlite")
+        assert out == "SELECT name FROM singer LIMIT 3"
+
+    def test_postgres_string_semantics(self):
+        # Double quotes are identifiers on postgres: they survive as
+        # identifiers (bare when safe), never as string literals.
+        out = transpile('SELECT "name" FROM singer', "postgres", "mysql")
+        assert out == "SELECT name FROM singer"
+        out = transpile('SELECT "order" FROM shipments', "postgres", "mysql")
+        assert out == "SELECT `order` FROM shipments"
+
+    def test_unknown_dialect_raises(self):
+        with pytest.raises(DialectError):
+            transpile("SELECT 1", "sqlite", "oracle")
+
+
+_SQLS = st.sampled_from([
+    "SELECT name FROM singer",
+    "SELECT DISTINCT country FROM singer WHERE age > 40",
+    "SELECT count(*) FROM singer GROUP BY country HAVING count(*) > 1",
+    "SELECT name FROM singer ORDER BY age DESC LIMIT 3",
+    "SELECT s.name, c.year FROM singer AS s JOIN concert AS c "
+    "ON s.singer_id = c.singer_id",
+    "SELECT name FROM singer WHERE country = 'France' OR age BETWEEN 20 AND 30",
+    "SELECT name FROM singer UNION SELECT concert_name FROM concert LIMIT 2",
+    "SELECT first_name || last_name FROM employee",
+    "SELECT LENGTH(name) FROM singer WHERE name LIKE 'A%'",
+    "SELECT name FROM singer WHERE singer_id IN (SELECT singer_id "
+    "FROM concert WHERE year > 2014)",
+])
+
+
+@given(_SQLS, st.sampled_from(sorted(dialect_names())))
+@settings(max_examples=120, deadline=None)
+def test_render_parse_round_trip_per_dialect(sql, name):
+    """parse → render(profile) → parse_dialect(profile) is the identity."""
+    profile = get_dialect(name)
+    query = parse(sql)
+    rendered = render(query, profile)
+    assert parse_dialect(rendered, profile) == query, (name, rendered)
+
+
+@given(_SQLS, st.sampled_from(sorted(dialect_names())),
+       st.sampled_from(sorted(dialect_names())))
+@settings(max_examples=120, deadline=None)
+def test_transpile_preserves_ast(sql, source, target):
+    """Transpiling between any two profiles preserves query structure."""
+    out = transpile(sql, source=REFERENCE_DIALECT, target=source)
+    back = transpile(out, source=source, target=target)
+    assert parse_dialect(back, get_dialect(target)) == parse(sql), \
+        (source, target, out, back)

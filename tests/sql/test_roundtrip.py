@@ -165,3 +165,39 @@ def test_roundtrip_corpus(corpus):
         for example in dataset:
             query = parse(example.query)
             assert parse(unparse(query)) == query, example.query
+
+
+def test_roundtrip_corpus_every_dialect(corpus):
+    """The transpiler contract over the full gold corpus: for every
+    registered dialect profile, ``parse_dialect(render(ast, p), p)`` is
+    the identity."""
+    from repro.sql.dialect import dialect_names, get_dialect
+    from repro.sql.transpile import parse_dialect, render
+
+    profiles = [get_dialect(name) for name in dialect_names()]
+    for dataset in (corpus.train, corpus.dev):
+        for example in dataset:
+            query = parse(example.query)
+            for profile in profiles:
+                rendered = render(query, profile)
+                assert parse_dialect(rendered, profile) == query, \
+                    (profile.name, example.query, rendered)
+
+
+def test_corpus_dialect_renderings_lint_clean(corpus):
+    """Rendering a gold query in any dialect yields zero fatal analyzer
+    diagnostics when analyzed under that same dialect."""
+    from repro.analysis import analyze
+    from repro.sql.dialect import dialect_names, get_dialect
+    from repro.sql.transpile import render
+
+    profiles = [get_dialect(name) for name in dialect_names()]
+    for example in corpus.dev:
+        schema = corpus.dev.schema(example.db_id)
+        query = parse(example.query)
+        for profile in profiles:
+            result = analyze(schema, render(query, profile),
+                             dialect=profile.name)
+            fatal = [d.to_dict() for d in result.diagnostics
+                     if d.severity == "error"]
+            assert not result.fatal, (profile.name, example.query, fatal)
