@@ -26,6 +26,14 @@ carries the request/latency/coalesce series.
 The service is built with a deliberately generous rate limiter — this
 is a load generator, so the tenant budget must not be the bottleneck
 (`tests/serve` covers 429 behaviour).
+
+``--trace-dir`` turns on request-correlated JSONL tracing for the run
+(every request gets a minted ``req-<n>`` id; ``dail-sql trace
+correlate req-1 <dir>`` reconstructs its span tree afterwards).
+``--baseline-out BENCH_serve.json`` snapshots the warm-pass latency,
+throughput and token-efficiency metrics via :mod:`repro.obs.baseline`;
+``--baseline-compare`` diffs against a prior snapshot and exits
+non-zero when a metric slips past ``--baseline-threshold``.
 """
 
 from __future__ import annotations
@@ -126,7 +134,11 @@ def report(label, stats):
 
 
 def metrics_gate(base):
-    """The /metrics export parses and carries the serving series."""
+    """The /metrics export parses and carries the serving series.
+
+    Returns the parsed samples so the caller can derive baseline
+    metrics (token totals) from the same snapshot it gated on.
+    """
     with urllib.request.urlopen(base + "/metrics", timeout=30) as response:
         text = response.read().decode("utf-8")
     samples = parse_prometheus(text)  # strict: raises on malformed lines
@@ -135,6 +147,7 @@ def metrics_gate(base):
         "repro_http_requests_total",
         "repro_http_request_seconds_count",
         "repro_serve_coalesce_batch_size_count",
+        "repro_build_info",
     }
     missing = sorted(required - names)
     if missing:
@@ -145,6 +158,7 @@ def metrics_gate(base):
     )
     print(f"/metrics: {len(samples)} samples parse cleanly; "
           f"{coalesced:.0f} coalescer dispatches recorded")
+    return samples
 
 
 def main(argv=None):
@@ -167,7 +181,23 @@ def main(argv=None):
     parser.add_argument("--smoke", action="store_true",
                         help="exit non-zero on dropped requests, a warm p99 "
                              "over budget, or a broken /metrics export")
+    parser.add_argument("--trace-dir", default=None,
+                        help="stream a request-correlated JSONL trace of "
+                             "the whole run into this directory")
+    parser.add_argument("--baseline-out", default=None,
+                        help="write the run's latency/QPS/token metrics as "
+                             "a BENCH_serve.json snapshot")
+    parser.add_argument("--baseline-compare", default=None,
+                        help="diff this run against a prior snapshot and "
+                             "exit non-zero on regressions")
+    parser.add_argument("--baseline-threshold", type=float, default=0.1,
+                        help="allowed relative slip per metric before the "
+                             "comparison fails (default 10%%)")
     args = parser.parse_args(argv)
+
+    if args.trace_dir:
+        from repro.obs import configure_trace_dir
+        configure_trace_dir(args.trace_dir)
 
     corpus = build_corpus(CorpusConfig(seed=3, train_per_db=12, dev_per_db=8))
     runner = BenchmarkRunner(corpus.dev, corpus.train, corpus.pool(),
@@ -201,7 +231,7 @@ def main(argv=None):
 
         warm = run_pass(base, requests, args.clients)
         report("warm cache", warm)
-        metrics_gate(base)
+        samples = metrics_gate(base)
 
     budget = args.p99_factor * single
     dropped = cold["dropped"] + warm["dropped"]
@@ -218,6 +248,61 @@ def main(argv=None):
             return 1
         print(f"SMOKE OK: {args.clients} clients sustained, zero dropped, "
               "warm p99 within budget")
+    if args.trace_dir:
+        print(f"trace: {args.trace_dir} "
+              f"(try: dail-sql trace correlate req-1 {args.trace_dir})")
+
+    if args.baseline_out or args.baseline_compare:
+        from repro.obs.baseline import (
+            diff_baselines,
+            format_diff,
+            load_baseline,
+            write_baseline,
+        )
+
+        prompt_tokens = sum(
+            value for name, labels, value in samples
+            if name == "repro_llm_tokens_total"
+            and labels.get("kind") == "prompt"
+        )
+        completed = len(singles) + cold["completed"] + warm["completed"]
+        metrics = {
+            "latency_p50_s": warm["p50"],
+            "latency_p99_s": warm["p99"],
+            "qps": warm["qps"],
+            "dropped": float(dropped),
+            "tokens_per_question": (
+                prompt_tokens / completed if completed else 0.0
+            ),
+        }
+        directions = {
+            "latency_p50_s": "lower",
+            "latency_p99_s": "lower",
+            "qps": "higher",
+            "dropped": "lower",
+            "tokens_per_question": "lower",
+        }
+        meta = {"bench": "bench_serve", "clients": args.clients,
+                "rounds": args.rounds, "latency_s": args.latency,
+                "limit": args.limit}
+        if args.baseline_out:
+            path = write_baseline(args.baseline_out, "serve", metrics,
+                                  directions, meta=meta)
+            print(f"baseline snapshot written: {path}")
+        if args.baseline_compare:
+            baseline = load_baseline(args.baseline_compare)
+            regressions, rows = diff_baselines(
+                baseline, {"metrics": metrics, "directions": directions},
+                threshold=args.baseline_threshold,
+            )
+            print(format_diff(rows))
+            if regressions:
+                names = ", ".join(row.metric for row in regressions)
+                print(f"BASELINE FAIL: regressed vs "
+                      f"{args.baseline_compare}: {names}")
+                return 1
+            print(f"baseline OK vs {args.baseline_compare} "
+                  f"(threshold {args.baseline_threshold:.0%})")
     return 0
 
 

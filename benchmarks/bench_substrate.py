@@ -22,6 +22,13 @@ a Prometheus snapshot for CI upload), then gates the static-analysis
 stage at 5% of pipeline stage wall-clock while verifying its safety
 contract (every fatal diagnostic short-circuits execution, clean
 predictions execute, warm reruns replay analysis from disk).
+
+``--baseline-out BENCH_substrate.json`` snapshots the run's headline
+metrics (engine/cache speedups, instrumentation slowdown ratio,
+analyze and transpile shares) via :mod:`repro.obs.baseline`;
+``--baseline-compare`` diffs against a prior snapshot and exits
+non-zero when any metric slips past ``--baseline-threshold`` in its
+regression direction.  ``dail-sql obs diff`` reads the same files.
 """
 
 import pytest
@@ -768,6 +775,13 @@ def breaker_drill(failure_threshold=3, cooldown_s=30.0):
 def main(argv=None):
     import argparse
 
+    from repro.obs.baseline import (
+        diff_baselines,
+        format_diff,
+        load_baseline,
+        write_baseline,
+    )
+
     parser = argparse.ArgumentParser(
         description="evaluation-engine speedup + artifact-cache replay "
                     "+ instrumentation-overhead + chaos-resilience checks"
@@ -790,28 +804,86 @@ def main(argv=None):
                         help="fault-injection rate for the resilience drill")
     parser.add_argument("--chaos-seed", type=int, default=7,
                         help="seed of the drill's fault schedule")
+    parser.add_argument("--baseline-out", default=None,
+                        help="write this run's headline metrics as a "
+                             "BENCH_substrate.json snapshot")
+    parser.add_argument("--baseline-compare", default=None,
+                        help="diff this run against a prior snapshot and "
+                             "exit non-zero on regressions")
+    parser.add_argument("--baseline-threshold", type=float, default=0.1,
+                        help="allowed relative slip per metric before the "
+                             "comparison fails (default 10%%)")
     args = parser.parse_args(argv)
+    if args.chaos_only and (args.baseline_out or args.baseline_compare):
+        parser.error("baseline snapshots need the full benchmark run; "
+                     "drop --chaos-only")
+    metrics = None
     if not args.chaos_only:
-        engine_speedup(workers=args.workers, latency_s=args.latency,
-                       limit=args.limit, smoke=args.smoke)
+        speedup, _ = engine_speedup(workers=args.workers,
+                                    latency_s=args.latency,
+                                    limit=args.limit, smoke=args.smoke)
         print()
-        cache_roundtrip(latency_s=args.latency, limit=args.limit,
-                        smoke=args.smoke)
+        cache_speedup, _, _ = cache_roundtrip(
+            latency_s=args.latency, limit=args.limit, smoke=args.smoke
+        )
         print()
-        instrumentation_overhead(latency_s=args.latency, limit=args.limit,
-                                 smoke=args.smoke,
-                                 artifacts_dir=args.artifacts_dir)
+        overhead, _, _ = instrumentation_overhead(
+            latency_s=args.latency, limit=args.limit, smoke=args.smoke,
+            artifacts_dir=args.artifacts_dir,
+        )
         print()
-        analyze_overhead(latency_s=args.latency, limit=args.limit,
-                         smoke=args.smoke)
+        analyze_share, _ = analyze_overhead(
+            latency_s=args.latency, limit=args.limit, smoke=args.smoke
+        )
         print()
-        transpile_overhead(latency_s=args.latency, limit=args.limit,
-                           smoke=args.smoke)
+        transpile_share, _ = transpile_overhead(
+            latency_s=args.latency, limit=args.limit, smoke=args.smoke
+        )
         print()
+        # The overhead fraction hovers around zero and can dip negative,
+        # which degenerates relative diffs (a <=0 baseline turns any
+        # increase into an infinite regression) — snapshot the
+        # instrumented/baseline wall-clock ratio (~1.0) instead.
+        metrics = {
+            "engine_speedup": speedup,
+            "cache_speedup": cache_speedup,
+            "instrumentation_slowdown": 1.0 + overhead,
+            "analyze_share": analyze_share,
+            "transpile_share": transpile_share,
+        }
     chaos_resilience(workers=args.workers, limit=args.limit,
                      rate=args.chaos_rate, seed=args.chaos_seed)
     print()
     breaker_drill()
+    if metrics is not None and (args.baseline_out or args.baseline_compare):
+        directions = {
+            "engine_speedup": "higher",
+            "cache_speedup": "higher",
+            "instrumentation_slowdown": "lower",
+            "analyze_share": "lower",
+            "transpile_share": "lower",
+        }
+        meta = {"bench": "bench_substrate", "workers": args.workers,
+                "latency_s": args.latency, "limit": args.limit}
+        if args.baseline_out:
+            path = write_baseline(args.baseline_out, "substrate", metrics,
+                                  directions, meta=meta)
+            print(f"\nbaseline snapshot written: {path}")
+        if args.baseline_compare:
+            baseline = load_baseline(args.baseline_compare)
+            regressions, rows = diff_baselines(
+                baseline, {"metrics": metrics, "directions": directions},
+                threshold=args.baseline_threshold,
+            )
+            print()
+            print(format_diff(rows))
+            if regressions:
+                names = ", ".join(row.metric for row in regressions)
+                print(f"BASELINE FAIL: regressed vs "
+                      f"{args.baseline_compare}: {names}")
+                return 1
+            print(f"baseline OK vs {args.baseline_compare} "
+                  f"(threshold {args.baseline_threshold:.0%})")
     return 0
 
 

@@ -35,7 +35,13 @@ from ..sql.dialect import REFERENCE_DIALECT, dialect_names
 #:
 #: v2: lint/execute requests gained the optional ``dialect`` field (the
 #: SQL dialect the statement is written in; default ``"sqlite"``).
-WIRE_SCHEMA_VERSION = 2
+#:
+#: v3: every response (errors included) gained the ``request_id`` field,
+#: echoing the ``X-Request-Id`` header the server accepted or minted —
+#: the correlation key for traces, access-log lines and journal entries.
+#: Requests are unchanged: the id is transport metadata, carried in the
+#: header, never in request bodies.
+WIRE_SCHEMA_VERSION = 3
 
 #: Ceiling applied to per-request deadline budgets (seconds).
 MAX_DEADLINE_S = 120.0
@@ -286,10 +292,12 @@ class GenerateResponse:
     completion_tokens: int
     n_examples: int
     cached: bool
+    request_id: str = ""
 
     def to_json(self) -> Dict[str, object]:
         return {
             "version": WIRE_SCHEMA_VERSION,
+            "request_id": self.request_id,
             "sql": self.sql,
             "db_id": self.db_id,
             "statement_kind": self.statement_kind,
@@ -313,10 +321,12 @@ class LintResponse:
     final_sql: str
     repaired_sql: str
     diagnostics: List[Dict[str, object]] = field(default_factory=list)
+    request_id: str = ""
 
     def to_json(self) -> Dict[str, object]:
         return {
             "version": WIRE_SCHEMA_VERSION,
+            "request_id": self.request_id,
             "db_id": self.db_id,
             "statement_kind": self.statement_kind,
             "fatal": self.fatal,
@@ -335,10 +345,12 @@ class ExecuteResponse:
     sql: str
     rows: List[List[object]]
     row_count: int
+    request_id: str = ""
 
     def to_json(self) -> Dict[str, object]:
         return {
             "version": WIRE_SCHEMA_VERSION,
+            "request_id": self.request_id,
             "db_id": self.db_id,
             "sql": self.sql,
             "rows": self.rows,
@@ -356,10 +368,12 @@ class ExplainResponse:
     prompt_tokens: int
     n_examples: int
     example_blocks: List[Dict[str, str]] = field(default_factory=list)
+    request_id: str = ""
 
     def to_json(self) -> Dict[str, object]:
         return {
             "version": WIRE_SCHEMA_VERSION,
+            "request_id": self.request_id,
             "db_id": self.db_id,
             "question": self.question,
             "prompt_text": self.prompt_text,
@@ -376,10 +390,12 @@ class ErrorResponse:
     error: str
     message: str
     detail: List[Dict[str, object]] = field(default_factory=list)
+    request_id: str = ""
 
     def to_json(self) -> Dict[str, object]:
         out: Dict[str, object] = {
             "version": WIRE_SCHEMA_VERSION,
+            "request_id": self.request_id,
             "error": self.error,
             "message": self.message,
         }

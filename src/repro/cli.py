@@ -30,7 +30,13 @@ Subcommands:
 * ``trace`` — analyse a run's JSONL trace file: ``summary`` (stage /
   hardness / config-cell tables), ``slowest`` (top spans by duration),
   ``errors`` (failures grouped by error class), ``export`` (Prometheus
-  text snapshot).
+  text snapshot), ``correlate <request-id>`` (one serving request's
+  full span tree — serve, coalesced batches, pipeline stages).
+* ``obs`` — observability v2 tools: ``report`` prints the efficiency
+  view (EX next to metered tokens and simulated cost per system, live
+  runs reconciled exactly against the metrics registry), ``diff``
+  compares two ``BENCH_*.json`` baseline snapshots and exits 1 on
+  regressions beyond the threshold.
 
 Evaluation commands accept ``--cache-dir DIR`` (equivalent to the
 ``REPRO_CACHE_DIR`` environment variable): with a directory configured,
@@ -373,6 +379,25 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     """Analyse a run's JSONL trace file (or a directory of them)."""
     from .obs import tracefile
 
+    if args.action == "correlate":
+        # Here the positional is the request id; the trace location is
+        # the optional second positional (default: configured trace dir).
+        from .obs.trace import resolved_trace_dir
+
+        location = args.path if args.path is not None else resolved_trace_dir()
+        if location is None:
+            print(
+                "error: no trace location given and no trace directory "
+                "configured (pass a path, or set --trace-dir / "
+                "$REPRO_TRACE_DIR)",
+                file=sys.stderr,
+            )
+            return 1
+        spans = tracefile.load_spans(location)
+        tree = tracefile.correlate(spans, args.trace)
+        print(tracefile.format_span_tree(tree))
+        return 0
+
     spans = tracefile.load_spans(args.trace)
 
     if args.action == "export":
@@ -446,6 +471,107 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                 f"{row['count']:>6} {row['total_s']:>8.3f}s "
                 f"{_format_s(row['p50_s'])} {row['errors']:>7}  {row['cell']}"
             )
+    return 0
+
+
+def _print_efficiency_rows(rows: List[dict]) -> None:
+    print(
+        f"{'system':<36} {'n':>4} {'ex':>7} {'prompt':>9} {'compl':>8} "
+        f"{'cost_usd':>10} {'ex/1k tok':>10}"
+    )
+    for row in rows:
+        print(
+            f"{str(row['label'])[:36]:<36} {row['n']:>4} {row['ex']:>7.4f} "
+            f"{row['prompt_tokens']:>9} {row['completion_tokens']:>8} "
+            f"{row['cost_usd']:>10.6f} {row['ex_per_1k_tokens']:>10.4f}"
+        )
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """The efficiency view: EX next to metered tokens/cost per system.
+
+    With a reports directory, reads persisted reports.  Without one,
+    runs a live smoke sweep into a private registry and verifies the
+    per-cell telemetry reconciles *exactly* with the registry's
+    ``repro_llm_*`` counters (exit 1 on any mismatch).
+    """
+    import math
+
+    if args.reports is not None:
+        from .eval.persistence import load_reports
+
+        reports = load_reports(args.reports)
+        if not reports:
+            print(f"no reports in {args.reports}", file=sys.stderr)
+            return 1
+        _print_efficiency_rows([r.efficiency_summary() for r in reports])
+        return 0
+
+    _apply_cache(args)
+    from .eval.engine import GridRunner
+    from .eval.harness import RunConfig
+    from .experiments.context import get_context
+    from .obs.metrics import M_LLM_COST, M_LLM_TOKENS, MetricsRegistry
+
+    context = get_context(args.fast)
+    registry = MetricsRegistry()
+    configs = [
+        RunConfig(model="gpt-4", representation="CR_P",
+                  organization="DAIL_O", selection="DAIL_S", k=4,
+                  foreign_keys=True, label="DAIL-SQL (gpt-4)"),
+        RunConfig(model="gpt-4", representation="CR_P",
+                  label="Zero-shot (gpt-4)"),
+        RunConfig(model="llama-33b", representation="CR_P",
+                  label="Zero-shot (llama-33b)"),
+    ]
+    grid = GridRunner(
+        context.runner, workers=args.workers or 1, registry=registry
+    ).sweep(configs, limit=args.limit)
+    reports = list(grid)
+    _print_efficiency_rows([r.efficiency_summary() for r in reports])
+
+    # Reconcile: per-cell telemetry was frozen *from* this registry, so
+    # the sums must agree to the integer (cost to float epsilon).
+    sum_prompt = sum(r.metered_prompt_tokens for r in reports)
+    sum_completion = sum(r.metered_completion_tokens for r in reports)
+    sum_cost = sum(r.cost_usd for r in reports)
+    reg_prompt = int(registry.counter_value(M_LLM_TOKENS, {"kind": "prompt"}))
+    reg_completion = int(
+        registry.counter_value(M_LLM_TOKENS, {"kind": "completion"})
+    )
+    reg_cost = registry.counter_value(M_LLM_COST)
+    ok = (
+        sum_prompt == reg_prompt
+        and sum_completion == reg_completion
+        and math.isclose(sum_cost, reg_cost, rel_tol=1e-9, abs_tol=1e-12)
+    )
+    print(
+        f"\n/metrics reconciliation: telemetry {sum_prompt}+{sum_completion} "
+        f"tokens / ${sum_cost:.6f} vs registry {reg_prompt}+{reg_completion} "
+        f"tokens / ${reg_cost:.6f} — {'OK' if ok else 'MISMATCH'}"
+    )
+    return 0 if ok else 1
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    """Compare two baseline snapshots; exit 1 on regressions."""
+    from .obs.baseline import diff_baselines, format_diff, load_baseline
+
+    baseline = load_baseline(args.baseline)
+    current = load_baseline(args.current)
+    regressions, rows = diff_baselines(
+        baseline, current, threshold=args.threshold
+    )
+    print(format_diff(rows))
+    if regressions:
+        names = ", ".join(row.metric for row in regressions)
+        print(
+            f"\n{len(regressions)} regression(s) beyond the "
+            f"{args.threshold:g} threshold: {names}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nno regressions")
     return 0
 
 
@@ -584,6 +710,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     _apply_cache(args)
     _apply_backend(args)
+    _apply_trace(args)
     config = None
     if args.model or args.k is not None:
         config = RunConfig(
@@ -595,7 +722,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             foreign_keys=True,
         )
     server = build_server(
-        fast=args.fast, host=args.host, port=args.port, config=config
+        fast=args.fast, host=args.host, port=args.port, config=config,
+        access_log_path=args.access_log,
     )
     host, port = server.address
     model = server.service.plan.config.model
@@ -850,6 +978,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--fast", action="store_true",
                          help="use the reduced benchmark corpus")
     p_serve.add_argument("--cache-dir", default=None, help=cache_help)
+    p_serve.add_argument("--trace-dir", default=None, help=trace_help)
+    p_serve.add_argument(
+        "--access-log", default=None, metavar="PATH",
+        help="append one JSON line per request (request id, tenant, "
+             "status, latency, tokens) to this file; off by default",
+    )
     add_backend_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
@@ -870,14 +1004,22 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="analyse a run's JSONL trace file"
     )
     p_trace.add_argument(
-        "action", choices=("summary", "slowest", "errors", "export"),
+        "action",
+        choices=("summary", "slowest", "errors", "export", "correlate"),
         help="summary: stage/hardness/cell tables; slowest: top spans by "
              "duration; errors: failures grouped by error class; export: "
-             "Prometheus text snapshot",
+             "Prometheus text snapshot; correlate: one serving request's "
+             "full span tree by request id",
     )
     p_trace.add_argument(
         "trace",
-        help="trace .jsonl file, or a directory of them (a --trace-dir)",
+        help="trace .jsonl file, or a directory of them (a --trace-dir); "
+             "for `correlate`, the request id (X-Request-Id) instead",
+    )
+    p_trace.add_argument(
+        "path", nargs="?", default=None,
+        help="for `correlate`: trace file/directory to search "
+             "(default: the configured trace directory)",
     )
     p_trace.add_argument("--top", type=int, default=10,
                          help="rows to show (slowest/errors)")
@@ -889,6 +1031,46 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("-o", "--output", default=None,
                          help="write `export` output to a file")
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="observability v2: cost/efficiency report, baseline diff",
+        description=(
+            "Cross-cutting observability tools: `report` prints the "
+            "EX-per-token efficiency view (from persisted reports, or a "
+            "live smoke sweep whose telemetry is verified against the "
+            "metrics registry); `diff` compares two BENCH_*.json "
+            "baseline snapshots and exits 1 on regressions."
+        ),
+    )
+    obs_sub = p_obs.add_subparsers(dest="obs_command", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report",
+        help="EX next to metered tokens / simulated cost per system",
+    )
+    p_obs_report.add_argument(
+        "reports", nargs="?", default=None,
+        help="directory of persisted report JSON files; omitted → run a "
+             "live smoke sweep and reconcile telemetry against /metrics",
+    )
+    p_obs_report.add_argument("--fast", action="store_true",
+                              help="use the reduced benchmark corpus")
+    p_obs_report.add_argument("--limit", type=int, default=None,
+                              help="examples per config in live mode")
+    p_obs_report.add_argument("--workers", type=int, default=None,
+                              help=workers_help)
+    p_obs_report.add_argument("--cache-dir", default=None, help=cache_help)
+    p_obs_report.set_defaults(func=_cmd_obs_report)
+    p_obs_diff = obs_sub.add_parser(
+        "diff", help="compare two baseline snapshots (exit 1 on regression)"
+    )
+    p_obs_diff.add_argument("baseline", help="reference BENCH_*.json")
+    p_obs_diff.add_argument("current", help="candidate BENCH_*.json")
+    p_obs_diff.add_argument(
+        "--threshold", type=float, default=0.1,
+        help="allowed relative slip per gated metric (default %(default)s)",
+    )
+    p_obs_diff.set_defaults(func=_cmd_obs_diff)
     return parser
 
 

@@ -6,52 +6,22 @@ at a third of the tokens is three times cheaper per question.  This module
 prices an :class:`~repro.eval.metrics.EvalReport` with the public
 mid-2023 price sheet the paper's experiments paid (open-source models cost
 only amortised compute, approximated per 1k tokens).
+
+The price table itself lives in :mod:`repro.obs.cost` — the serving
+layer's :class:`~repro.obs.cost.CostMeter` prices live calls without
+importing the evaluation stack — and is re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
-
 from ..errors import EvaluationError
+from ..obs.cost import PRICES, PriceSheet, price_sheet
 from .metrics import EvalReport
 
-
-@dataclass(frozen=True)
-class PriceSheet:
-    """USD per 1k tokens, split prompt/completion (OpenAI convention)."""
-
-    prompt_per_1k: float
-    completion_per_1k: float
-
-
-#: Mid-2023 public API prices (USD / 1k tokens); open-source entries
-#: approximate amortised GPU cost for self-hosting.
-PRICES: Dict[str, PriceSheet] = {
-    "gpt-4": PriceSheet(0.03, 0.06),
-    "gpt-3.5-turbo": PriceSheet(0.0015, 0.002),
-    "text-davinci-003": PriceSheet(0.02, 0.02),
-    "llama-7b": PriceSheet(0.0002, 0.0002),
-    "llama-13b": PriceSheet(0.0004, 0.0004),
-    "llama-33b": PriceSheet(0.0009, 0.0009),
-    "falcon-40b": PriceSheet(0.0011, 0.0011),
-    "vicuna-7b": PriceSheet(0.0002, 0.0002),
-    "vicuna-13b": PriceSheet(0.0004, 0.0004),
-    "vicuna-33b": PriceSheet(0.0009, 0.0009),
-}
-
-
-def price_sheet(model_id: str) -> PriceSheet:
-    """Price sheet for a model (fine-tuned ids map to their base model).
-
-    Raises:
-        EvaluationError: for unknown models.
-    """
-    base = model_id.split("+", 1)[0]
-    try:
-        return PRICES[base]
-    except KeyError as exc:
-        raise EvaluationError(f"no price sheet for model {model_id!r}") from exc
+__all__ = [
+    "PRICES", "PriceSheet", "price_sheet", "report_cost_usd",
+    "cost_per_question_usd", "accuracy_per_dollar",
+]
 
 
 def report_cost_usd(report: EvalReport, model_id: str, n_samples: int = 1) -> float:

@@ -37,6 +37,8 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Union
 
 from ..dataset.spider import Example
 from ..errors import EvaluationError
+from ..obs import context as obs_context
+from ..obs.build import record_build_info
 from ..obs.metrics import (
     M_DEADLINE_EXCEEDED,
     M_INFLIGHT,
@@ -200,6 +202,8 @@ class EvalEngine:
         own_tracer = self.tracer is None and tracer.enabled
         trace_file = str(tracer.path) if tracer.enabled else ""
         self._attach_metrics(plans, registry)
+        backend_name = getattr(self.runner, "backend_name", "")
+        record_build_info(registry, backend=backend_name)
 
         collectors = [
             TelemetryCollector(
@@ -287,9 +291,12 @@ class EvalEngine:
                     db_id=example.db_id,
                 ) as span:
                     try:
-                        record = self.runner.evaluate_example(
-                            example, plan, collector
-                        )
+                        # Backend attribution for token/cost samples
+                        # recorded while this example evaluates.
+                        with obs_context.bind(backend=backend_name):
+                            record = self.runner.evaluate_example(
+                                example, plan, collector
+                            )
                     except Exception as exc:
                         record = _error_record(example, exc)
                     span.set("hardness", record.hardness)
@@ -319,7 +326,8 @@ class EvalEngine:
             slots[ci][ei] = record
             if journal is not None:
                 journal.append(
-                    cell_keys[ci], example.example_id, asdict(record)
+                    cell_keys[ci], example.example_id, asdict(record),
+                    request_id=obs_context.current_request_id(),
                 )
             tick(plan, example, record)
 

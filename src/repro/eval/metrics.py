@@ -164,6 +164,45 @@ class EvalReport:
             return 0.0
         return self.execution_accuracy / (tokens / 1000.0)
 
+    # -- metered spend (telemetry-backed) --------------------------------------
+
+    @property
+    def metered_prompt_tokens(self) -> int:
+        """Prompt tokens *actually sent* during this run (cache hits are
+        free), read from the run's cost telemetry; 0 for reports
+        persisted before the meter existed."""
+        return self.telemetry.prompt_tokens if self.telemetry else 0
+
+    @property
+    def metered_completion_tokens(self) -> int:
+        """Completion tokens actually received (see
+        :attr:`metered_prompt_tokens`)."""
+        return self.telemetry.completion_tokens if self.telemetry else 0
+
+    @property
+    def cost_usd(self) -> float:
+        """Simulated dollar spend of the run under the paper's price
+        sheet, as metered live by the cost meter (0.0 when unmetered)."""
+        return self.telemetry.cost_usd if self.telemetry else 0.0
+
+    def efficiency_summary(self) -> Dict[str, object]:
+        """The ``dail-sql obs report`` row: accuracy next to spend.
+
+        ``ex_per_1k_tokens`` is :meth:`token_efficiency` (the paper's
+        Fig. 4/5 axis, per-question prompt size); the token/cost columns
+        are the run's *metered* totals, which reconcile exactly with the
+        registry's ``repro_llm_*`` counters.
+        """
+        return {
+            "label": self.label,
+            "n": len(self.records),
+            "ex": round(self.execution_accuracy, 4),
+            "prompt_tokens": self.metered_prompt_tokens,
+            "completion_tokens": self.metered_completion_tokens,
+            "cost_usd": round(self.cost_usd, 6),
+            "ex_per_1k_tokens": round(self.token_efficiency(), 4),
+        }
+
     # -- misc -------------------------------------------------------------------
 
     def failures(self) -> List[PredictionRecord]:

@@ -30,11 +30,15 @@ from .telemetry import RunTelemetry
 #: and the telemetry ``journal_skipped``/``deadline_exceeded`` counters;
 #: v5 added the static-analyzer record fields — ``statement_kind``,
 #: ``diagnostics`` (serialised lint verdicts) and ``repaired_sql`` (""
-#: unless the opt-in repair pass rewrote the prediction).
-FORMAT_VERSION = 5
+#: unless the opt-in repair pass rewrote the prediction);
+#: v6 added the telemetry cost fields — ``prompt_tokens``,
+#: ``completion_tokens`` (tokens the run actually spent; warm cache
+#: replays meter zero) and ``cost_usd`` (the paper's simulated price
+#: sheet applied to them).
+FORMAT_VERSION = 6
 
 #: Versions :func:`report_from_dict` can still read.
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
 
 
 def report_to_dict(report: EvalReport) -> Dict:
@@ -55,9 +59,10 @@ def report_from_dict(payload: Dict) -> EvalReport:
 
     Reads current-format files as well as v1 (predates the ``error``
     field and run telemetry), v2 (predates the telemetry ``trace_file``
-    pointer), v3 (predates the ``partial`` flag and ``error_class``)
-    and v4 (predates the analyzer fields) files — the missing fields
-    take their dataclass defaults.
+    pointer), v3 (predates the ``partial`` flag and ``error_class``),
+    v4 (predates the analyzer fields) and v5 (predates the telemetry
+    token/cost fields) files — the missing fields take their dataclass
+    defaults.
 
     Raises:
         EvaluationError: on version mismatch or malformed payloads.

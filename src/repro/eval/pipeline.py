@@ -335,10 +335,18 @@ class EvalPipeline:
     # -- cached artifact accessors -------------------------------------------
 
     def generation(self, llm, prompt, sample_tag: str, collector) -> Dict:
-        """The ``generate`` artifact: raw text + completion tokens."""
+        """The ``generate`` artifact: raw text + completion tokens.
+
+        Cache misses — the calls that actually hit the model — also feed
+        the collector's cost meter, so token/cost counters reflect real
+        spend and stay zero on warm replays.
+        """
 
         def compute() -> Dict:
             result = llm.generate(prompt, sample_tag=sample_tag)
+            collector.record_tokens(
+                llm.model_id, result.prompt_tokens, result.completion_tokens
+            )
             return {
                 "text": result.text,
                 "completion_tokens": result.completion_tokens,
@@ -419,6 +427,10 @@ class EvalPipeline:
 
         def compute() -> str:
             result = plan.llm.generate(prompt, sample_tag="preliminary")
+            collector.record_tokens(
+                plan.llm.model_id, result.prompt_tokens,
+                result.completion_tokens,
+            )
             return extract_sql(result.text, prompt.response_prefix)
 
         return self.cache.get_or_compute(

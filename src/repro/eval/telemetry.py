@@ -31,6 +31,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..obs import context as obs_context
+from ..obs.cost import CostMeter
 from ..obs.metrics import (
     LATENCY_BUCKETS,
     M_BUSY_SECONDS,
@@ -39,6 +41,8 @@ from ..obs.metrics import (
     M_EXAMPLES,
     M_LINT_DIAGNOSTICS,
     M_LINT_SHORT_CIRCUIT,
+    M_LLM_COST,
+    M_LLM_TOKENS,
     M_STAGE_LATENCY,
     M_STAGE_SECONDS,
     MetricsRegistry,
@@ -81,6 +85,12 @@ class RunTelemetry:
         deadline_exceeded: deadline overruns observed for this cell —
             examples exceeding the per-example budget plus units skipped
             because the run budget expired.
+        prompt_tokens / completion_tokens: tokens actually sent
+            to / received from the LLM for this cell (cache hits cost
+            nothing, so these undercut the per-record sums exactly when
+            the artifact cache was warm).
+        cost_usd: simulated dollar cost of those tokens under the
+            paper's price sheet (0.0 for unpriced models).
     """
 
     workers: int = 1
@@ -94,6 +104,9 @@ class RunTelemetry:
     trace_file: str = ""
     journal_skipped: int = 0
     deadline_exceeded: int = 0
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    cost_usd: float = 0.0
 
     @property
     def utilization(self) -> float:
@@ -137,6 +150,10 @@ class RunTelemetry:
             out[f"{stage}_s"] = round(self.stage_s.get(stage, 0.0), 4)
         for name in sorted(set(self.cache_hits) | set(self.cache_misses)):
             out[f"{name}_cache_hit_rate"] = round(self.cache_hit_rate(name), 3)
+        if self.prompt_tokens or self.completion_tokens:
+            out["prompt_tokens"] = self.prompt_tokens
+            out["completion_tokens"] = self.completion_tokens
+            out["cost_usd"] = round(self.cost_usd, 6)
         return out
 
 
@@ -202,6 +219,7 @@ class TelemetryCollector:
         self.registry = registry if registry is not None else MetricsRegistry()
         self.labels = dict(labels or {})
         self.tracer = tracer
+        self.cost_meter = CostMeter(self.registry)
         self._local = threading.local()
 
     # -- per-thread state ------------------------------------------------------
@@ -256,16 +274,24 @@ class TelemetryCollector:
             example_id = self._example_id()
             if example_id:
                 attrs["example"] = example_id
+            request_id = obs_context.current_request_id()
+            if request_id:
+                attrs["request"] = request_id
             span_cm = self.tracer.span("stage", name, **attrs)
             span = span_cm.__enter__()
         stack = self._stack()
         frame = _StageFrame(span)
         stack.append(frame)
+        # Bind the stage into the ambient context so token/cost samples
+        # recorded while it is open carry a ``stage`` label.
+        ctx_cm = obs_context.bind(stage=name)
+        ctx_cm.__enter__()
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
+            ctx_cm.__exit__(None, None, None)
             stack.pop()
             if stack:
                 stack[-1].child_s += elapsed
@@ -290,6 +316,26 @@ class TelemetryCollector:
         stack = self._stack()
         if stack and stack[-1].span is not None:
             stack[-1].span.inc(f"cache_{name}_{result}")
+
+    def record_tokens(
+        self, model_id: str, prompt_tokens: int, completion_tokens: int
+    ) -> None:
+        """Meter one *actual* LLM call's tokens and simulated cost.
+
+        The pipeline calls this exactly where a generate artifact missed
+        its cache and the client really ran — warm hits stay free, so
+        the counters reflect spend, not corpus size.  Labels: this
+        collector's cell labels plus whatever attribution (tenant,
+        backend, stage) is bound in the calling thread's context.
+        """
+        context = obs_context.snapshot()
+        labels = dict(self.labels)
+        for key in obs_context.METRIC_LABEL_KEYS:
+            if key not in labels and context.get(key):
+                labels[key] = context[key]
+        self.cost_meter.record(
+            model_id, prompt_tokens, completion_tokens, labels=labels
+        )
 
     def record_lint(self, rule: str, severity: str) -> None:
         """Count one analyzer diagnostic (``repro_lint_diagnostics_total``)."""
@@ -355,6 +401,16 @@ class TelemetryCollector:
             M_DEADLINE_EXCEEDED, self.labels
         ):
             deadline_exceeded += int(value)
+        prompt_tokens = 0
+        completion_tokens = 0
+        for labels, value in self.registry.counter_series(
+            M_LLM_TOKENS, self.labels
+        ):
+            if labels.get("kind") == "prompt":
+                prompt_tokens += int(value)
+            elif labels.get("kind") == "completion":
+                completion_tokens += int(value)
+        cost_usd = self.registry.counter_value(M_LLM_COST, self.labels)
         return RunTelemetry(
             workers=workers,
             wall_clock_s=wall_clock_s,
@@ -367,6 +423,9 @@ class TelemetryCollector:
             trace_file=trace_file,
             journal_skipped=journal_skipped,
             deadline_exceeded=deadline_exceeded,
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            cost_usd=cost_usd,
         )
 
 
@@ -400,6 +459,11 @@ class NullCollector(TelemetryCollector):
         yield
 
     def record_cache(self, name: str, hit: bool) -> None:
+        pass
+
+    def record_tokens(
+        self, model_id: str, prompt_tokens: int, completion_tokens: int
+    ) -> None:
         pass
 
     def record_lint(self, rule: str, severity: str) -> None:

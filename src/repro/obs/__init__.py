@@ -14,9 +14,30 @@ anywhere without cycles.  Three pillars:
   the engine's progress events plus registry snapshots.
 
 :mod:`~repro.obs.tracefile` reads trace files back for the ``dail-sql
-trace`` subcommand (summary / slowest / errors / export).
+trace`` subcommand (summary / slowest / errors / export / correlate).
+
+Observability v2 adds three more pillars:
+
+* :mod:`~repro.obs.context` — a thread-local label stack carrying
+  request attribution (cell, tenant, backend, stage, request id)
+  across layers and threads;
+* :mod:`~repro.obs.cost` — the :class:`~repro.obs.cost.CostMeter` and
+  the paper's price sheet: prompt/completion tokens and simulated USD
+  per model, stamped with the ambient context labels;
+* :mod:`~repro.obs.baseline` / :mod:`~repro.obs.build` — benchmark
+  snapshot/diff tooling (``BENCH_*.json``) and the self-describing
+  ``repro_build_info`` gauge.
 """
 
+from .baseline import (
+    BASELINE_VERSION,
+    diff_baselines,
+    format_diff,
+    load_baseline,
+    write_baseline,
+)
+from .build import build_info_labels, record_build_info
+from .cost import PRICES, CostMeter, PriceSheet, price_sheet
 from .metrics import (
     LATENCY_BUCKETS,
     TOKEN_BUCKETS,
@@ -27,6 +48,8 @@ from .progress import ProgressReporter
 from .trace import (
     NULL_TRACER,
     TRACE_DIR_ENV,
+    TRACE_GZIP_ENV,
+    TRACE_MAX_MB_ENV,
     TRACE_SCHEMA_VERSION,
     NullTracer,
     Span,
@@ -37,8 +60,12 @@ from .trace import (
 )
 
 __all__ = [
+    "BASELINE_VERSION", "diff_baselines", "format_diff", "load_baseline",
+    "write_baseline", "build_info_labels", "record_build_info", "PRICES",
+    "CostMeter", "PriceSheet", "price_sheet",
     "LATENCY_BUCKETS", "TOKEN_BUCKETS", "MetricsRegistry",
     "parse_prometheus", "ProgressReporter", "NULL_TRACER", "TRACE_DIR_ENV",
+    "TRACE_GZIP_ENV", "TRACE_MAX_MB_ENV",
     "TRACE_SCHEMA_VERSION", "NullTracer", "Span", "Tracer", "build_tracer",
     "configure_trace_dir", "resolved_trace_dir",
 ]

@@ -1,0 +1,176 @@
+"""Benchmark baselines: ``BENCH_*.json`` snapshots and regression diffs.
+
+The benchmarks (``bench_substrate``, ``bench_serve``) distil each run
+into a flat metric dict — speedups, overhead shares, latency quantiles,
+tokens per question.  ``--baseline-out`` persists that dict as a
+snapshot; ``--baseline-compare`` (and ``dail-sql obs diff``) replays a
+later run against it and fails on regressions.
+
+Snapshot schema (``version`` = :data:`BASELINE_VERSION`)::
+
+    {
+      "version": 1,
+      "kind": "substrate" | "serve",
+      "build": {…},                     # repro_build_info labels
+      "metrics": {"engine_speedup": 2.4, …},
+      "directions": {"engine_speedup": "higher", …},
+      "meta": {…}                       # free-form run facts
+    }
+
+Each metric declares which way is better: ``higher`` (speedups,
+throughput), ``lower`` (overheads, latencies, drop counts) or ``info``
+(recorded for trend lines, never gated — absolute wall-clock numbers
+vary too much across machines to fail CI on).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Tuple, Union
+
+from ..errors import ReproError
+from .build import build_info_labels
+
+#: Bump when the snapshot schema above changes shape.
+BASELINE_VERSION = 1
+
+#: Valid metric directions.
+DIRECTIONS = ("higher", "lower", "info")
+
+
+def write_baseline(
+    path: Union[str, Path],
+    kind: str,
+    metrics: Mapping[str, float],
+    directions: Mapping[str, str],
+    meta: Optional[Mapping[str, object]] = None,
+) -> Path:
+    """Persist one benchmark run as a baseline snapshot.
+
+    Raises:
+        ReproError: on unknown directions or directionless metrics.
+    """
+    for name in metrics:
+        direction = directions.get(name)
+        if direction not in DIRECTIONS:
+            raise ReproError(
+                f"metric {name!r} needs a direction in {DIRECTIONS}, "
+                f"got {direction!r}"
+            )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "version": BASELINE_VERSION,
+        "kind": kind,
+        "build": build_info_labels(),
+        "metrics": {name: float(value) for name, value in metrics.items()},
+        "directions": dict(directions),
+        "meta": dict(meta or {}),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, object]:
+    """Read a snapshot back, validating shape and version.
+
+    Raises:
+        ReproError: on missing files, bad JSON or unknown versions.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ReproError(f"no such baseline file: {path}")
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except ValueError as exc:
+        raise ReproError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "metrics" not in payload:
+        raise ReproError(f"baseline {path} has no metrics dict")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ReproError(
+            f"baseline {path} has version {payload.get('version')!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    return payload
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric compared across two snapshots."""
+
+    metric: str
+    direction: str
+    baseline: float
+    current: float
+    #: Signed relative change, oriented so positive = worse (regression
+    #: direction); ``inf`` when a lower-is-better metric left zero.
+    change: float
+    threshold: float
+    regressed: bool
+
+
+def diff_baselines(
+    baseline: Mapping[str, object],
+    current: Mapping[str, object],
+    threshold: float = 0.1,
+    thresholds: Optional[Mapping[str, float]] = None,
+) -> Tuple[List[MetricDelta], List[MetricDelta]]:
+    """Compare two snapshots metric-by-metric.
+
+    ``threshold`` is the default allowed relative slip; ``thresholds``
+    overrides it per metric.  Only metrics present in *both* snapshots
+    are compared; ``info`` metrics are reported but never regress.
+
+    Returns:
+        ``(regressions, rows)`` — the failing subset, and every
+        compared metric for display.
+    """
+    base_metrics = baseline.get("metrics", {})
+    cur_metrics = current.get("metrics", {})
+    directions = {
+        **baseline.get("directions", {}),  # type: ignore[dict-item]
+        **current.get("directions", {}),  # type: ignore[dict-item]
+    }
+    rows: List[MetricDelta] = []
+    for name in sorted(set(base_metrics) & set(cur_metrics)):
+        direction = directions.get(name, "info")
+        base = float(base_metrics[name])
+        cur = float(cur_metrics[name])
+        allowed = float((thresholds or {}).get(name, threshold))
+        change = _worseness(direction, base, cur)
+        regressed = direction != "info" and change > allowed
+        rows.append(MetricDelta(
+            metric=name, direction=direction, baseline=base, current=cur,
+            change=change, threshold=allowed, regressed=regressed,
+        ))
+    return [row for row in rows if row.regressed], rows
+
+
+def _worseness(direction: str, base: float, cur: float) -> float:
+    """Relative slip in the regression direction (positive = worse)."""
+    if direction == "higher":
+        if base <= 0:
+            return 0.0 if cur >= base else float("inf")
+        return (base - cur) / base
+    if direction == "lower":
+        if base <= 0:
+            return float("inf") if cur > base else 0.0
+        return (cur - base) / base
+    return 0.0
+
+
+def format_diff(rows: List[MetricDelta]) -> str:
+    """Human-readable comparison table, regressions flagged."""
+    header = f"{'metric':<28} {'dir':<6} {'baseline':>12} {'current':>12} {'change':>9}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        change = "   n/a" if row.direction == "info" else f"{row.change:+8.1%}"
+        flag = "  REGRESSED" if row.regressed else ""
+        lines.append(
+            f"{row.metric:<28} {row.direction:<6} {row.baseline:>12.4f} "
+            f"{row.current:>12.4f} {change:>9}{flag}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Build metadata: the ``repro_build_info`` gauge.
+
+Prometheus convention: an info-style gauge pinned to ``1`` whose labels
+carry the interesting facts — package version plus the three wire/disk
+schema versions a scrape or snapshot may need to interpret itself
+(report persistence format, HTTP wire schema, trace schema).  Serving
+registries and sweep registries both record it at startup, so every
+``/metrics`` scrape, JSON snapshot and baseline file is self-describing.
+"""
+
+from __future__ import annotations
+
+import platform
+from typing import Dict
+
+from .metrics import M_BUILD_INFO, MetricsRegistry
+
+
+def build_info_labels(backend: str = "") -> Dict[str, str]:
+    """The label set describing this build (schema versions included).
+
+    Imports are deferred: ``repro.obs`` sits at the bottom of the layer
+    diagram, so reaching up to the persistence/wire modules must happen
+    at call time, never at import time.
+    """
+    from .. import __version__
+    from ..api.wire import WIRE_SCHEMA_VERSION
+    from ..eval.persistence import FORMAT_VERSION
+    from .trace import TRACE_SCHEMA_VERSION
+
+    labels = {
+        "version": __version__,
+        "report_format": str(FORMAT_VERSION),
+        "wire": str(WIRE_SCHEMA_VERSION),
+        "trace": str(TRACE_SCHEMA_VERSION),
+        "python": platform.python_version(),
+    }
+    if backend:
+        labels["backend"] = backend
+    return labels
+
+
+def record_build_info(registry: MetricsRegistry,
+                      backend: str = "") -> Dict[str, str]:
+    """Set ``repro_build_info{…} 1`` on a registry; returns the labels."""
+    labels = build_info_labels(backend)
+    registry.gauge_set(M_BUILD_INFO, 1, labels)
+    return labels

@@ -54,6 +54,9 @@ M_SERVE_COALESCED = "repro_serve_coalesced_requests_total"
 M_SERVE_RATE_LIMITED = "repro_serve_rate_limited_total"
 M_SERVE_INFLIGHT = "repro_serve_inflight_requests"
 M_SQL_TRANSPILE = "repro_sql_transpile_seconds_total"
+M_LLM_TOKENS = "repro_llm_tokens_total"
+M_LLM_COST = "repro_llm_cost_usd_total"
+M_BUILD_INFO = "repro_build_info"
 
 #: Fixed batch-size buckets for the request coalescer histogram.
 BATCH_BUCKETS = (1, 2, 4, 8, 16, 32, 64)

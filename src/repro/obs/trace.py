@@ -35,6 +35,7 @@ I/O failure disables the tracer rather than failing the evaluation.
 
 from __future__ import annotations
 
+import gzip
 import json
 import os
 import threading
@@ -48,6 +49,16 @@ TRACE_SCHEMA_VERSION = 1
 
 #: Environment variable naming the trace-file directory.
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Environment variable capping each trace file's size in megabytes;
+#: when a file crosses the cap it is rotated aside as a numbered
+#: ``<name>.NNN.jsonl`` segment and writing continues in a fresh file.
+#: Unset or ``0`` disables rotation.
+TRACE_MAX_MB_ENV = "REPRO_TRACE_MAX_MB"
+
+#: Environment variable (``1``/``true``/``yes``) gzip-compressing
+#: rotated segments to ``.jsonl.gz``; readers handle both transparently.
+TRACE_GZIP_ENV = "REPRO_TRACE_GZIP"
 
 
 class Span:
@@ -99,14 +110,25 @@ class Tracer:
 
     Args:
         path: the trace file (parents created; appended to if present).
+        max_bytes: rotate the file aside once it grows past this many
+            bytes (``None`` disables rotation — the default).
+        compress: gzip rotated segments (``.jsonl.gz``); the active file
+            stays plain JSONL so a crash never loses a partial window.
     """
 
     enabled = True
 
-    def __init__(self, path: Union[str, Path]):
+    def __init__(self, path: Union[str, Path],
+                 max_bytes: Optional[int] = None, compress: bool = False):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
+        self.compress = compress
         self._handle = open(self.path, "a", encoding="utf-8")
+        self._bytes = self.path.stat().st_size if self.path.exists() else 0
+        self._segment = sum(
+            1 for _ in self.path.parent.glob(self.path.stem + ".[0-9]*")
+        )
         self._lock = threading.Lock()
         self._next_id = 0
         self._local = threading.local()
@@ -164,8 +186,31 @@ class Tracer:
                 return
             try:
                 self._handle.write(line + "\n")
+                self._bytes += len(line) + 1
+                if self.max_bytes is not None and self._bytes >= self.max_bytes:
+                    self._rotate_locked()
             except OSError:  # pragma: no cover - disk full etc.
                 self.enabled = False
+
+    def _rotate_locked(self) -> None:
+        """Move the full file aside as a numbered segment and reopen.
+
+        Called under ``self._lock``.  Rotation is best-effort like every
+        other write: an I/O failure disables the tracer.
+        """
+        self._handle.close()
+        self._segment += 1
+        segment = self.path.with_name(
+            f"{self.path.stem}.{self._segment:03d}.jsonl"
+        )
+        os.replace(self.path, segment)
+        if self.compress:
+            with open(segment, "rb") as plain, \
+                    gzip.open(f"{segment}.gz", "wb") as packed:
+                packed.write(plain.read())
+            os.unlink(segment)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._bytes = 0
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -239,6 +284,23 @@ def resolved_trace_dir() -> Optional[Path]:
     return Path(env) if env else None
 
 
+def _env_rotation() -> tuple:
+    """(max_bytes, compress) from the rotation environment variables."""
+    raw = os.environ.get(TRACE_MAX_MB_ENV, "").strip()
+    max_bytes: Optional[int] = None
+    if raw:
+        try:
+            megabytes = float(raw)
+        except ValueError:
+            megabytes = 0.0
+        if megabytes > 0:
+            max_bytes = int(megabytes * 1024 * 1024)
+    compress = os.environ.get(TRACE_GZIP_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
+    return max_bytes, compress
+
+
 def build_tracer(
     trace_dir: Optional[Union[str, Path]] = None,
 ) -> Union[Tracer, NullTracer]:
@@ -249,7 +311,8 @@ def build_tracer(
     :data:`NULL_TRACER` is returned, so call sites never branch on
     configuration themselves.  Each call gets a fresh file —
     ``trace-<utc stamp>-<pid>-<seq>.jsonl`` — so concurrent runs and
-    repeated sweeps in one process never interleave.
+    repeated sweeps in one process never interleave.  Rotation honours
+    ``REPRO_TRACE_MAX_MB`` / ``REPRO_TRACE_GZIP`` (see :class:`Tracer`).
     """
     global _file_seq
     if trace_dir is None:
@@ -261,4 +324,6 @@ def build_tracer(
         seq = _file_seq
     stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
     name = f"trace-{stamp}-{os.getpid()}-{seq}.jsonl"
-    return Tracer(Path(trace_dir) / name)
+    max_bytes, compress = _env_rotation()
+    return Tracer(Path(trace_dir) / name, max_bytes=max_bytes,
+                  compress=compress)

@@ -11,6 +11,7 @@ the bucketed estimates the live progress line shows.
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Union
@@ -29,8 +30,16 @@ from .trace import TRACE_SCHEMA_VERSION
 Span = Dict[str, object]
 
 
+def _open_trace(path: Path):
+    """Open a trace file for text reading, gunzipping ``.gz`` segments."""
+    if path.name.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
 def load_spans(path: Union[str, Path]) -> List[Span]:
-    """Every span of a trace file, or of every ``*.jsonl`` in a directory.
+    """Every span of a trace file, or of every ``*.jsonl`` /
+    ``*.jsonl.gz`` in a directory (rotated segments included).
 
     Unreadable lines and unknown schema versions are skipped (a trace
     from a crashed run may end mid-line); missing paths raise.
@@ -40,7 +49,7 @@ def load_spans(path: Union[str, Path]) -> List[Span]:
     """
     path = Path(path)
     if path.is_dir():
-        files = sorted(path.glob("*.jsonl"))
+        files = sorted(path.glob("*.jsonl")) + sorted(path.glob("*.jsonl.gz"))
         if not files:
             raise ReproError(f"no *.jsonl trace files in {path}")
     elif path.exists():
@@ -49,7 +58,7 @@ def load_spans(path: Union[str, Path]) -> List[Span]:
         raise ReproError(f"no such trace file or directory: {path}")
     spans: List[Span] = []
     for file in files:
-        with open(file, "r", encoding="utf-8") as handle:
+        with _open_trace(file) as handle:
             for line in handle:
                 line = line.strip()
                 if not line:
@@ -218,6 +227,101 @@ def stage_totals(spans: Iterable[Span],
         name = str(span.get("name"))
         totals[name] = totals.get(name, 0.0) + _exclusive(span)
     return totals
+
+
+# -- request correlation ------------------------------------------------------
+
+def request_ids(spans: Iterable[Span]) -> List[str]:
+    """Distinct serving request ids present in a trace, in first-seen
+    order (the names of ``request``-kind spans)."""
+    seen: Dict[str, None] = {}
+    for span in spans_of_kind(spans, "request"):
+        seen.setdefault(str(span.get("name")), None)
+    return list(seen)
+
+
+def correlate(spans: Iterable[Span], request_id: str) -> Dict[str, object]:
+    """One request's full span tree, rooted at its ``request`` span.
+
+    Children are linked by parent span id — this follows a request
+    across threads, because the coalescer parents its per-member batch
+    spans onto the request's own ``generate`` stage span even though
+    the batch was dispatched elsewhere.  Spans stamped with a matching
+    ``request`` attribute whose parent chain was lost (e.g. a rotated
+    segment) are adopted under the root, so the tree stays single-rooted.
+
+    Returns a nested node dict: ``{"span": <span>, "children": [node…]}``
+    with children ordered by start time.
+
+    Raises:
+        ReproError: when the trace holds no such request (the message
+            lists the ids it does hold).
+    """
+    spans = list(spans)
+    roots = [
+        span for span in spans_of_kind(spans, "request")
+        if str(span.get("name")) == request_id
+    ]
+    if not roots:
+        known = request_ids(spans)
+        listing = ", ".join(known[:20]) if known else "none"
+        raise ReproError(
+            f"no request {request_id!r} in trace (request ids: {listing})"
+        )
+    root = max(roots, key=lambda span: float(span.get("t0", 0.0)))
+    children: Dict[str, List[Span]] = {}
+    for span in spans:
+        children.setdefault(str(span.get("parent", "")), []).append(span)
+
+    reached = set()
+
+    def build(span: Span) -> Dict[str, object]:
+        reached.add(str(span.get("span")))
+        kids = sorted(
+            children.get(str(span.get("span")), []),
+            key=lambda child: float(child.get("t0", 0.0)),
+        )
+        return {"span": span, "children": [build(kid) for kid in kids]}
+
+    tree = build(root)
+    orphans = [
+        span for span in spans
+        if str(_attr(span, "request", "")) == request_id
+        and str(span.get("span")) not in reached
+    ]
+    for orphan in sorted(orphans, key=lambda span: float(span.get("t0", 0.0))):
+        tree["children"].append(build(orphan))
+    return tree
+
+
+def format_span_tree(tree: Dict[str, object]) -> str:
+    """Render a :func:`correlate` tree as indented text lines."""
+    lines: List[str] = []
+
+    def emit(node: Dict[str, object], depth: int) -> None:
+        span = node["span"]
+        attrs = span.get("attrs") or {}
+        decorations = " ".join(
+            f"{key}={_format_attr(value)}"
+            for key, value in sorted(attrs.items())
+        )
+        lines.append(
+            "  " * depth
+            + f"{span.get('kind')} {span.get('name')} "
+            + f"[{_duration(span) * 1000:.1f}ms]"
+            + (f" {decorations}" if decorations else "")
+        )
+        for child in node["children"]:
+            emit(child, depth + 1)
+
+    emit(tree, 0)
+    return "\n".join(lines)
+
+
+def _format_attr(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
 
 
 # -- exporters ---------------------------------------------------------------

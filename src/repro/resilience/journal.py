@@ -15,6 +15,8 @@ The format is deliberately dumb:
 
 - line 1: ``{"kind": "header", "version": 1}``
 - then:   ``{"kind": "record", "cell": <key>, "example_id": ..., "record": {...}}``
+  (plus an optional ``request_id`` correlating the line with the
+  serving request that triggered the work)
 
 Unparseable lines — the classic torn last line of a killed process — are
 skipped on load, never fatal.  ``limit`` is *not* part of the cell key:
@@ -117,19 +119,26 @@ class RunJournal:
         with self._lock:
             return self._entries.get((cell, str(example_id)))
 
-    def append(self, cell: str, example_id: str, record: dict) -> None:
+    def append(self, cell: str, example_id: str, record: dict,
+               request_id: str = "") -> None:
         """Checkpoint one completed record (flushed immediately, so a
-        kill right after loses nothing)."""
+        kill right after loses nothing).
+
+        ``request_id`` stamps the line with the serving request that
+        triggered the work (correlation only — :meth:`lookup` ignores
+        it, so replay semantics are unchanged).
+        """
         with self._lock:
             self._entries[(cell, str(example_id))] = record
-            self._write_line(
-                {
-                    "kind": "record",
-                    "cell": cell,
-                    "example_id": str(example_id),
-                    "record": record,
-                }
-            )
+            line = {
+                "kind": "record",
+                "cell": cell,
+                "example_id": str(example_id),
+                "record": record,
+            }
+            if request_id:
+                line["request_id"] = request_id
+            self._write_line(line)
 
     def __len__(self) -> int:
         with self._lock:

@@ -10,17 +10,26 @@ concerns of its own: request coalescing into ``generate_batch``
 (:mod:`.ratelimit`) and per-request deadline budgets
 (:mod:`.service`).
 
+Observability v2 threads a correlation id through the whole stack:
+the HTTP layer accepts/mints ``X-Request-Id`` (:mod:`.http`), the
+service binds it into the ambient context and opens the root
+``request`` span (:mod:`.service`), the coalescer carries it across
+the batching boundary (:mod:`.coalesce`), and the optional structured
+access log records it per request (:mod:`.access_log`).
+
 Entry points: ``dail-sql serve`` on the command line,
 :func:`~repro.serve.http.build_server` in code, or drive
 :class:`~repro.serve.service.SqlService` directly (no HTTP) in tests.
 """
 
+from .access_log import AccessLog, load_access_log
 from .coalesce import CoalescingClient, GenerateCoalescer
-from .http import SqlServer, build_server
+from .http import SqlServer, build_server, sanitize_request_id
 from .ratelimit import RateLimiter, TokenBucket
 from .service import SqlService
 
 __all__ = [
+    "AccessLog",
     "CoalescingClient",
     "GenerateCoalescer",
     "RateLimiter",
@@ -28,4 +37,6 @@ __all__ = [
     "SqlService",
     "TokenBucket",
     "build_server",
+    "load_access_log",
+    "sanitize_request_id",
 ]

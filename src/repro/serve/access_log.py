@@ -1,0 +1,106 @@
+"""Structured access logging for the HTTP server.
+
+One JSON object per completed request, appended (and flushed) to a
+JSONL file — the serving counterpart of the run journal.  Off by
+default; the CLI's ``serve --access-log PATH`` switches it on.  Each
+line carries the request's correlation id, so an access-log entry, the
+trace file's ``request`` span tree and the journal's ``request_id``
+stamps all join on the same key.
+
+Line schema (``v`` = :data:`ACCESS_LOG_VERSION`)::
+
+    {"v": 1, "ts": <epoch seconds>, "request_id": "...", "tenant": "...",
+     "method": "POST", "path": "/v1/generate", "status": 200,
+     "latency_s": 0.0123, "prompt_tokens": 312, "completion_tokens": 24}
+
+Token fields are 0 for endpoints that spend none (lint/execute) and for
+errors.  Writes are best-effort and lock-serialised: an I/O failure
+disables the log rather than failing the request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+from typing import Union
+
+#: Bump when the line schema above changes shape.
+ACCESS_LOG_VERSION = 1
+
+
+class AccessLog:
+    """Append-only JSONL access log, shared by all handler threads."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._lock = threading.Lock()
+        self.enabled = True
+
+    def record(
+        self,
+        *,
+        ts: float,
+        request_id: str,
+        tenant: str,
+        method: str,
+        path: str,
+        status: int,
+        latency_s: float,
+        prompt_tokens: int = 0,
+        completion_tokens: int = 0,
+    ) -> None:
+        """Append one completed request (flushed immediately)."""
+        if not self.enabled:
+            return
+        line = json.dumps({
+            "v": ACCESS_LOG_VERSION,
+            "ts": round(ts, 6),
+            "request_id": request_id,
+            "tenant": tenant,
+            "method": method,
+            "path": path,
+            "status": status,
+            "latency_s": round(latency_s, 6),
+            "prompt_tokens": prompt_tokens,
+            "completion_tokens": completion_tokens,
+        }, sort_keys=True)
+        with self._lock:
+            if self._handle.closed:
+                return
+            try:
+                self._handle.write(line + "\n")
+                self._handle.flush()
+            except OSError:  # pragma: no cover - disk full etc.
+                self.enabled = False
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def load_access_log(path: Union[str, Path]):
+    """Read an access log back as a list of entry dicts.
+
+    Unparseable lines (the torn tail of a killed server) are skipped,
+    mirroring the run journal's tolerance.
+    """
+    entries = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entries.append(json.loads(line))
+        except ValueError:
+            continue
+    return entries

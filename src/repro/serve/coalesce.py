@@ -29,26 +29,42 @@ from typing import Callable, List, Optional, Sequence
 
 from ..errors import CircuitOpenError, DeadlineExceededError
 from ..llm.interface import GenerationResult, LLMClient
+from ..obs import context as obs_context
 from ..obs.metrics import (
     BATCH_BUCKETS,
     M_SERVE_COALESCE_BATCH,
     M_SERVE_COALESCED,
     MetricsRegistry,
 )
+from ..obs.trace import NULL_TRACER
 from ..resilience.breaker import CircuitBreaker
 
 
 class _Pending:
-    """One enqueued generation awaiting dispatch."""
+    """One enqueued generation awaiting dispatch.
 
-    __slots__ = ("prompt", "sample_tag", "event", "result", "error")
+    ``request_id`` and ``parent_span`` are captured on the *request*
+    thread at enqueue time: the dispatcher thread has neither the
+    ambient context nor the caller's span stack, so the per-member
+    ``coalesce`` spans it emits parent onto these captured ids — the
+    link that keeps a request's trace single-rooted even when its
+    generate ran inside a shared batch.
+    """
 
-    def __init__(self, prompt, sample_tag: str):
+    __slots__ = (
+        "prompt", "sample_tag", "event", "result", "error",
+        "request_id", "parent_span",
+    )
+
+    def __init__(self, prompt, sample_tag: str,
+                 request_id: str = "", parent_span: str = ""):
         self.prompt = prompt
         self.sample_tag = sample_tag
         self.event = threading.Event()
         self.result: Optional[GenerationResult] = None
         self.error: Optional[BaseException] = None
+        self.request_id = request_id
+        self.parent_span = parent_span
 
 
 class GenerateCoalescer:
@@ -62,6 +78,8 @@ class GenerateCoalescer:
         max_wait_s: dispatch at latest this long after the first
             pending request arrived (the batching window).
         metrics: registry for batch-size/coalesce counters (optional).
+        tracer: span sink for per-member ``coalesce`` spans (the
+            default no-op tracer skips them entirely).
     """
 
     def __init__(
@@ -72,6 +90,7 @@ class GenerateCoalescer:
         max_wait_s: float = 0.005,
         metrics: Optional[MetricsRegistry] = None,
         clock: Callable[[], float] = time.monotonic,
+        tracer=NULL_TRACER,
     ):
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -81,6 +100,7 @@ class GenerateCoalescer:
         self.max_wait_s = max_wait_s
         self.metrics = metrics
         self.clock = clock
+        self.tracer = tracer
         self._cond = threading.Condition()
         self._queue: List[_Pending] = []
         self._closed = False
@@ -101,7 +121,12 @@ class GenerateCoalescer:
             CircuitOpenError: the breaker refused the dispatch.
             RuntimeError: the coalescer is closed.
         """
-        entry = _Pending(prompt, sample_tag)
+        parent = self.tracer.current_span() if self.tracer.enabled else None
+        entry = _Pending(
+            prompt, sample_tag,
+            request_id=obs_context.current_request_id(),
+            parent_span=parent.span_id if parent is not None else "",
+        )
         with self._cond:
             if self._closed:
                 raise RuntimeError("coalescer is closed")
@@ -165,10 +190,35 @@ class GenerateCoalescer:
             )
             if len(batch) > 1:
                 self.metrics.counter_add(M_SERVE_COALESCED, len(batch))
+        # One "coalesce" span per batch member, each parented onto the
+        # span its request thread had open at enqueue time — the shared
+        # dispatch stays attributable per request.
+        span_cms: List = []
+        spans: List = []
+        if self.tracer.enabled:
+            for entry in batch:
+                cm = self.tracer.span(
+                    "coalesce", entry.request_id or "generate",
+                    parent_id=entry.parent_span,
+                    batch=len(batch),
+                    coalesced=len(batch) > 1,
+                    request=entry.request_id,
+                )
+                spans.append(cm.__enter__())
+                span_cms.append(cm)
+        try:
+            self._dispatch_batch(batch, spans)
+        finally:
+            for cm in reversed(span_cms):
+                cm.__exit__(None, None, None)
+
+    def _dispatch_batch(self, batch: List[_Pending], spans: List) -> None:
         if self.breaker is not None and not self.breaker.allow():
             error = CircuitOpenError(
                 "llm circuit is open: backend failed repeatedly just now"
             )
+            for span in spans:
+                span.set("error_class", "CircuitOpenError")
             for entry in batch:
                 entry.error = error
                 entry.event.set()
@@ -181,6 +231,8 @@ class GenerateCoalescer:
         except Exception as exc:  # noqa: BLE001 — distributed to waiters
             if self.breaker is not None:
                 self.breaker.record_failure()
+            for span in spans:
+                span.set("error_class", type(exc).__name__)
             for entry in batch:
                 entry.error = exc
                 entry.event.set()

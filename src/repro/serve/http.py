@@ -29,11 +29,19 @@ Every request lands in the shared
 ``repro_serve_inflight_requests`` gauge — the same registry the
 coalescer and pipeline telemetry write to, so one ``/metrics`` scrape
 tells the whole story.
+
+Every request also carries a correlation id: the server honours an
+inbound ``X-Request-Id`` header (sanitised) or mints a deterministic
+``req-<n>``, echoes it in the ``X-Request-Id`` response header (errors
+included), stamps it into every v3 wire response body, and binds it
+into the ambient observability context so trace spans, cost samples,
+journal entries and access-log lines all join on it.
 """
 
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
@@ -56,16 +64,31 @@ from ..errors import (
     UnsafeSqlError,
     WireFormatError,
 )
+from ..obs.build import record_build_info
 from ..obs.metrics import (
     M_HTTP_LATENCY,
     M_HTTP_REQUESTS,
     M_SERVE_INFLIGHT,
     MetricsRegistry,
 )
+from .access_log import AccessLog
 from .service import SqlService
 
 #: Largest accepted request body (bytes) — a crude but effective guard.
 MAX_BODY_BYTES = 1 << 20
+
+#: Correlation ids: client-supplied ids are reduced to this alphabet
+#: and capped, so they are safe as header echoes, JSON values, span
+#: names and log fields alike.
+_REQUEST_ID_CHARS = re.compile(r"[^A-Za-z0-9._-]+")
+MAX_REQUEST_ID_LEN = 64
+
+
+def sanitize_request_id(raw: str) -> str:
+    """A client-supplied ``X-Request-Id`` reduced to the safe alphabet
+    (``[A-Za-z0-9._-]``, at most :data:`MAX_REQUEST_ID_LEN` chars);
+    "" when nothing safe survives — the server then mints its own."""
+    return _REQUEST_ID_CHARS.sub("", raw or "")[:MAX_REQUEST_ID_LEN]
 
 #: POST route → (request parser, service method name).
 _ROUTES = {
@@ -104,18 +127,33 @@ class _Handler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # metrics carry the signal; stderr stays quiet
 
+    def _begin(self) -> str:
+        """Assign this request its correlation id: the sanitised
+        inbound ``X-Request-Id`` or a freshly minted ``req-<n>``."""
+        rid = sanitize_request_id(self.headers.get("X-Request-Id", ""))
+        if not rid:
+            rid = self.server.next_request_id()
+        self._request_id = rid
+        self._tenant = ""
+        self._prompt_tokens = 0
+        self._completion_tokens = 0
+        return rid
+
     def _send_json(self, status: int, payload: dict,
                    extra_headers: Optional[dict] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        rid = getattr(self, "_request_id", "")
+        if rid:
+            self.send_header("X-Request-Id", rid)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
-    def _send_error(self, error: ReproError) -> int:
+    def _error_reply(self, error: ReproError) -> Tuple[int, dict, dict]:
         status, kind = _status_for(error)
         headers = {}
         if isinstance(error, RateLimitedError):
@@ -123,14 +161,21 @@ class _Handler(BaseHTTPRequestHandler):
         detail = (
             error.diagnostics if isinstance(error, UnsafeSqlError) else []
         )
-        self._send_json(
-            status,
-            ErrorResponse(error=kind, message=str(error), detail=detail).to_json(),
-            headers,
-        )
-        return status
+        payload = ErrorResponse(
+            error=kind, message=str(error), detail=detail,
+            request_id=getattr(self, "_request_id", ""),
+        ).to_json()
+        return status, payload, headers
 
-    def _record(self, path: str, status: int, started: float) -> None:
+    def _record(self, path: str, status: int, started: float,
+                method: str = "POST") -> None:
+        """Count the request in the registry and the access log.
+
+        Always called *before* the response bytes flush to the client:
+        a client that has read its reply must find the request already
+        counted on a follow-up ``/metrics`` scrape, even when the
+        handler thread is still unwinding.
+        """
         registry = self.server.metrics
         registry.counter_add(
             M_HTTP_REQUESTS, 1, {"path": path, "status": str(status)}
@@ -138,22 +183,37 @@ class _Handler(BaseHTTPRequestHandler):
         registry.observe(
             M_HTTP_LATENCY, time.monotonic() - started, {"path": path}
         )
+        log = self.server.access_log
+        if log is not None:
+            log.record(
+                ts=time.time(),
+                request_id=getattr(self, "_request_id", ""),
+                tenant=getattr(self, "_tenant", ""),
+                method=method,
+                path=path,
+                status=status,
+                latency_s=time.monotonic() - started,
+                prompt_tokens=getattr(self, "_prompt_tokens", 0),
+                completion_tokens=getattr(self, "_completion_tokens", 0),
+            )
 
     # -- GET -----------------------------------------------------------------
 
     def do_GET(self) -> None:  # noqa: N802 — http.server API
         started = time.monotonic()
+        self._begin()
         path = self.path.split("?", 1)[0]
         if path == "/healthz":
+            self._record(path, 200, started, method="GET")
             self._send_json(200, {
                 "status": "ok",
                 "version": WIRE_SCHEMA_VERSION,
                 "model": self.server.service.plan.config.model,
                 "uptime_s": round(time.monotonic() - self.server.started, 3),
             })
-            self._record(path, 200, started)
             return
         if path == "/metrics":
+            self._record(path, 200, started, method="GET")
             text, _ = self.server.metrics.scrape()
             body = text.encode("utf-8")
             self.send_response(200)
@@ -161,37 +221,40 @@ class _Handler(BaseHTTPRequestHandler):
                 "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
             )
             self.send_header("Content-Length", str(len(body)))
+            self.send_header("X-Request-Id", self._request_id)
             self.end_headers()
             self.wfile.write(body)
-            self._record(path, 200, started)
             return
+        self._record(path, 404, started, method="GET")
         self._send_json(404, ErrorResponse(
-            error="not_found", message=f"no such endpoint: {path}"
+            error="not_found", message=f"no such endpoint: {path}",
+            request_id=self._request_id,
         ).to_json())
-        self._record(path, 404, started)
 
     # -- POST ----------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802 — http.server API
         started = time.monotonic()
+        self._begin()
         path = self.path.split("?", 1)[0]
         route = _ROUTES.get(path)
         if route is None:
-            self._send_json(404, ErrorResponse(
-                error="not_found", message=f"no such endpoint: {path}"
-            ).to_json())
             self._record(path, 404, started)
+            self._send_json(404, ErrorResponse(
+                error="not_found", message=f"no such endpoint: {path}",
+                request_id=self._request_id,
+            ).to_json())
             return
         registry = self.server.metrics
         registry.gauge_add(M_SERVE_INFLIGHT, 1)
-        status = 500  # a write failure below still records something
         try:
-            status = self._handle_post(route)
+            status, payload, headers = self._handle_post(route)
         finally:
             registry.gauge_add(M_SERVE_INFLIGHT, -1)
-            self._record(path, status, started)
+        self._record(path, status, started)
+        self._send_json(status, payload, headers)
 
-    def _handle_post(self, route) -> int:
+    def _handle_post(self, route) -> Tuple[int, dict, dict]:
         parse, method = route
         try:
             length = int(self.headers.get("Content-Length", "0"))
@@ -205,16 +268,20 @@ class _Handler(BaseHTTPRequestHandler):
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise WireFormatError(f"body is not valid JSON: {exc}") from exc
             request = parse(payload)
-            response = getattr(self.server.service, method)(request)
+            self._tenant = getattr(request, "tenant", "")
+            response = getattr(self.server.service, method)(
+                request, request_id=self._request_id
+            )
         except ReproError as error:
-            return self._send_error(error)
+            return self._error_reply(error)
         except Exception as exc:  # noqa: BLE001 — surfaced as a 500 body
-            self._send_json(500, ErrorResponse(
-                error="internal", message=f"{type(exc).__name__}: {exc}"
-            ).to_json())
-            return 500
-        self._send_json(200, response.to_json())
-        return 200
+            return 500, ErrorResponse(
+                error="internal", message=f"{type(exc).__name__}: {exc}",
+                request_id=self._request_id,
+            ).to_json(), {}
+        self._prompt_tokens = int(getattr(response, "prompt_tokens", 0))
+        self._completion_tokens = int(getattr(response, "completion_tokens", 0))
+        return 200, response.to_json(), {}
 
 
 class SqlServer:
@@ -226,6 +293,8 @@ class SqlServer:
         threaded: ``True`` uses :class:`ThreadingHTTPServer` (one thread
             per connection); ``False`` a serial :class:`HTTPServer` —
             the determinism tests assert both produce identical bodies.
+        access_log: structured JSONL access log (``None`` — the
+            default — logs nothing); owned and closed by :meth:`close`.
     """
 
     def __init__(
@@ -234,10 +303,21 @@ class SqlServer:
         host: str = "127.0.0.1",
         port: int = 8765,
         threaded: bool = True,
+        access_log: Optional[AccessLog] = None,
     ):
         self.service = service
         self.metrics = service.metrics
         self.started = time.monotonic()
+        self.access_log = access_log
+        # Minted ids are a plain counter, so sequential traffic gets the
+        # same ids from a threaded and a serial server — the determinism
+        # tests stay byte-for-byte.
+        self._rid_lock = threading.Lock()
+        self._rid = 0
+        record_build_info(
+            self.metrics,
+            backend=getattr(service.runner, "backend_name", ""),
+        )
         server_cls = ThreadingHTTPServer if threaded else HTTPServer
         self._httpd = server_cls((host, port), _Handler)
         self._httpd.daemon_threads = True  # type: ignore[attr-defined]
@@ -245,7 +325,17 @@ class SqlServer:
         self._httpd.service = service  # type: ignore[attr-defined]
         self._httpd.metrics = self.metrics  # type: ignore[attr-defined]
         self._httpd.started = self.started  # type: ignore[attr-defined]
+        self._httpd.access_log = access_log  # type: ignore[attr-defined]
+        self._httpd.next_request_id = (  # type: ignore[attr-defined]
+            self.next_request_id
+        )
         self._thread: Optional[threading.Thread] = None
+
+    def next_request_id(self) -> str:
+        """Mint the next server-assigned correlation id (``req-<n>``)."""
+        with self._rid_lock:
+            self._rid += 1
+            return f"req-{self._rid}"
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -277,6 +367,8 @@ class SqlServer:
             self._thread.join(timeout=5.0)
             self._thread = None
         self.service.close()
+        if self.access_log is not None:
+            self.access_log.close()
 
     def __enter__(self) -> "SqlServer":
         return self
@@ -293,12 +385,14 @@ def build_server(
     config=None,
     metrics: Optional[MetricsRegistry] = None,
     service_factory: Callable[..., SqlService] = SqlService,
+    access_log_path=None,
 ) -> SqlServer:
     """Convenience constructor: shared experiment context → server.
 
     Uses :func:`~repro.experiments.context.get_context`'s corpus and
     runner, so the server's artifact cache is the same one batch
-    sweeps in this process warm up.
+    sweeps in this process warm up.  ``access_log_path`` switches the
+    structured JSONL access log on (off by default).
     """
     from ..experiments.context import get_context
 
@@ -306,4 +400,10 @@ def build_server(
     service = service_factory(
         context.runner, config, metrics=metrics or MetricsRegistry()
     )
-    return SqlServer(service, host=host, port=port, threaded=threaded)
+    access_log = (
+        AccessLog(access_log_path) if access_log_path is not None else None
+    )
+    return SqlServer(
+        service, host=host, port=port, threaded=threaded,
+        access_log=access_log,
+    )

@@ -71,8 +71,11 @@ class RateLimiter:
         self._lock = threading.Lock()
         self._buckets: Dict[str, TokenBucket] = {}
 
-    def acquire(self, tenant: str) -> None:
+    def acquire(self, tenant: str, request_id: str = "") -> None:
         """Spend one token for ``tenant`` or raise.
+
+        ``request_id`` only decorates the refusal message so a 429 in
+        the access log correlates with the client's retry.
 
         Raises:
             RateLimitedError: bucket empty; ``retry_after_s`` says when
@@ -86,9 +89,10 @@ class RateLimiter:
                 self._buckets[tenant] = bucket
             wait = bucket.try_acquire(now)
         if wait > 0.0:
+            suffix = f" [request {request_id}]" if request_id else ""
             raise RateLimitedError(
                 f"tenant {tenant!r} is over its rate limit "
-                f"({self.rate:g} req/s, burst {self.capacity:g})",
+                f"({self.rate:g} req/s, burst {self.capacity:g}){suffix}",
                 retry_after_s=wait,
             )
 

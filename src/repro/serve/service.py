@@ -30,7 +30,8 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from contextlib import contextmanager
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..api.wire import (
     ExecuteRequest,
@@ -46,7 +47,9 @@ from ..errors import DeadlineExceededError, UnsafeSqlError
 from ..eval.harness import BenchmarkRunner, RunConfig, RunPlan
 from ..eval.telemetry import TelemetryCollector
 from ..llm.extract import extract_sql
+from ..obs import context as obs_context
 from ..obs.metrics import MetricsRegistry
+from ..obs.trace import build_tracer
 from ..resilience.breaker import CircuitBreaker
 from ..sql.transpile import transpile
 from .coalesce import CoalescingClient, GenerateCoalescer
@@ -110,8 +113,11 @@ class _ServeCollector(TelemetryCollector):
     """Run collector plus a per-thread 'was the generate a cache hit'
     flag, so responses can report ``cached`` honestly."""
 
-    def __init__(self, registry: MetricsRegistry):
-        super().__init__(registry=registry, labels={"cell": "serve"})
+    def __init__(self, registry: MetricsRegistry, tracer=None):
+        super().__init__(
+            registry=registry, labels={"cell": "serve"},
+            **({"tracer": tracer} if tracer is not None else {}),
+        )
         self._flags = threading.local()
 
     def begin_request(self) -> None:
@@ -139,6 +145,12 @@ class SqlService:
         breaker: circuit breaker on the LLM dispatch path.
         max_batch / max_wait_s: coalescer tuning.
         clock: injectable monotonic clock (tests drive deadlines).
+        tracer: span sink shared by the request scope, the pipeline
+            stages and the coalescer, so ``dail-sql trace correlate``
+            can rebuild one request's tree.  ``None`` builds one from
+            the configured trace directory (a no-op tracer when tracing
+            is off); a tracer built here is owned and closed by
+            :meth:`close`.
     """
 
     def __init__(
@@ -152,6 +164,7 @@ class SqlService:
         max_batch: int = 8,
         max_wait_s: float = 0.005,
         clock: Callable[[], float] = time.monotonic,
+        tracer=None,
     ):
         self.runner = runner
         self.pipeline = runner.pipeline
@@ -163,7 +176,9 @@ class SqlService:
         self.limiter = limiter if limiter is not None else RateLimiter()
         self.breaker = breaker if breaker is not None else CircuitBreaker()
         self.clock = clock
-        self.collector = _ServeCollector(self.metrics)
+        self._own_tracer = tracer is None
+        self.tracer = build_tracer() if tracer is None else tracer
+        self.collector = _ServeCollector(self.metrics, tracer=self.tracer)
         base_plan = runner.prepare(self.config)
         self.coalescer = GenerateCoalescer(
             base_plan.llm,
@@ -172,6 +187,7 @@ class SqlService:
             max_wait_s=max_wait_s,
             metrics=self.metrics,
             clock=clock,
+            tracer=self.tracer,
         )
         #: The served plan: identical to a sweep's except generation is
         #: routed through the coalescer (same cache fingerprint).
@@ -183,9 +199,37 @@ class SqlService:
             n_samples=base_plan.n_samples,
         )
 
+    # -- request scope -------------------------------------------------------
+
+    @contextmanager
+    def _request_scope(
+        self, op: str, request, request_id: str
+    ) -> Iterator[None]:
+        """Everything ambient about one request, in order: the tenant's
+        rate-limit token, the context labels cost samples are stamped
+        with (tenant + request id), and the root ``request`` span the
+        per-stage and coalesce spans hang off — the tree
+        ``dail-sql trace correlate`` reconstructs."""
+        self.limiter.acquire(request.tenant, request_id=request_id)
+        with obs_context.bind(tenant=request.tenant, request_id=request_id):
+            if not self.tracer.enabled:
+                yield
+                return
+            attrs = {
+                "op": op,
+                "tenant": request.tenant,
+                "db_id": getattr(request, "db_id", ""),
+            }
+            if request_id:
+                attrs["request"] = request_id
+            with self.tracer.span("request", request_id or op, **attrs):
+                yield
+
     # -- operations ----------------------------------------------------------
 
-    def generate(self, request: GenerateRequest) -> GenerateResponse:
+    def generate(
+        self, request: GenerateRequest, request_id: str = ""
+    ) -> GenerateResponse:
         """Question → SQL through the full select/build/generate chain.
 
         Raises:
@@ -194,7 +238,12 @@ class SqlService:
             DatasetError: unknown ``db_id``.
             CircuitOpenError: LLM circuit open.
         """
-        self.limiter.acquire(request.tenant)
+        with self._request_scope("generate", request, request_id):
+            return self._generate(request, request_id)
+
+    def _generate(
+        self, request: GenerateRequest, request_id: str
+    ) -> GenerateResponse:
         deadline = _Deadline(self.clock, request.deadline_s)
         collector = self.collector
         collector.begin_request()
@@ -234,37 +283,48 @@ class SqlService:
             completion_tokens=completion_tokens,
             n_examples=prompt.n_examples,
             cached=collector.generate_was_cached(),
+            request_id=request_id,
         )
 
-    def lint(self, request: LintRequest) -> LintResponse:
+    def lint(
+        self, request: LintRequest, request_id: str = ""
+    ) -> LintResponse:
         """Static analysis (and optional repair) without executing."""
-        self.limiter.acquire(request.tenant)
-        deadline = _Deadline(self.clock, request.deadline_s)
-        self.pipeline.dataset.schema(request.db_id)  # 404 on unknown db
-        deadline.check("analyze")
-        with self.collector.stage("analyze"):
-            payload = self.pipeline.analysis(
-                request.db_id, request.sql, self.collector,
-                repair=request.repair, dialect=request.dialect,
+        with self._request_scope("lint", request, request_id):
+            deadline = _Deadline(self.clock, request.deadline_s)
+            self.pipeline.dataset.schema(request.db_id)  # 404 on unknown db
+            deadline.check("analyze")
+            with self.collector.stage("analyze"):
+                payload = self.pipeline.analysis(
+                    request.db_id, request.sql, self.collector,
+                    repair=request.repair, dialect=request.dialect,
+                )
+            return LintResponse(
+                db_id=request.db_id,
+                statement_kind=str(payload.get("statement_kind", "")),
+                fatal=bool(payload.get("fatal")),
+                error_class=str(payload.get("error_class", "")),
+                final_sql=str(payload.get("final_sql") or request.sql),
+                repaired_sql=str(payload.get("repaired_sql", "")),
+                diagnostics=list(payload.get("diagnostics", [])),
+                request_id=request_id,
             )
-        return LintResponse(
-            db_id=request.db_id,
-            statement_kind=str(payload.get("statement_kind", "")),
-            fatal=bool(payload.get("fatal")),
-            error_class=str(payload.get("error_class", "")),
-            final_sql=str(payload.get("final_sql") or request.sql),
-            repaired_sql=str(payload.get("repaired_sql", "")),
-            diagnostics=list(payload.get("diagnostics", [])),
-        )
 
-    def execute(self, request: ExecuteRequest) -> ExecuteResponse:
+    def execute(
+        self, request: ExecuteRequest, request_id: str = ""
+    ) -> ExecuteResponse:
         """Run one statement behind the analyzer safety gate.
 
         Raises:
             UnsafeSqlError: fatal diagnostics — the statement is not a
                 clean read-only SELECT, so it never touches the pool.
         """
-        self.limiter.acquire(request.tenant)
+        with self._request_scope("execute", request, request_id):
+            return self._execute(request, request_id)
+
+    def _execute(
+        self, request: ExecuteRequest, request_id: str
+    ) -> ExecuteResponse:
         deadline = _Deadline(self.clock, request.deadline_s)
         self.pipeline.dataset.schema(request.db_id)
         deadline.check("analyze")
@@ -300,36 +360,42 @@ class SqlService:
             sql=final_sql,
             rows=encoded,
             row_count=len(encoded),
+            request_id=request_id,
         )
 
-    def explain(self, request: ExplainRequest) -> ExplainResponse:
+    def explain(
+        self, request: ExplainRequest, request_id: str = ""
+    ) -> ExplainResponse:
         """The prompt a generate would send — selection + build only."""
-        self.limiter.acquire(request.tenant)
-        deadline = _Deadline(self.clock, request.deadline_s)
-        schema = self.pipeline.dataset.schema(request.db_id)
-        deadline.check("select")
-        with self.collector.stage("select"):
-            blocks = self.pipeline.selection_blocks(
-                self._deadline_plan(deadline), request.question,
-                request.db_id, self.collector,
+        with self._request_scope("explain", request, request_id):
+            deadline = _Deadline(self.clock, request.deadline_s)
+            schema = self.pipeline.dataset.schema(request.db_id)
+            deadline.check("select")
+            with self.collector.stage("select"):
+                blocks = self.pipeline.selection_blocks(
+                    self._deadline_plan(deadline), request.question,
+                    request.db_id, self.collector,
+                )
+            with self.collector.stage("build"):
+                prompt = self.plan.builder.build(
+                    schema, request.question, blocks
+                )
+            return ExplainResponse(
+                db_id=request.db_id,
+                question=request.question,
+                prompt_text=prompt.text,
+                prompt_tokens=prompt.token_count,
+                n_examples=prompt.n_examples,
+                example_blocks=[
+                    {
+                        "db_id": block.schema.db_id,
+                        "question": block.question,
+                        "sql": block.sql,
+                    }
+                    for block in blocks
+                ],
+                request_id=request_id,
             )
-        with self.collector.stage("build"):
-            prompt = self.plan.builder.build(schema, request.question, blocks)
-        return ExplainResponse(
-            db_id=request.db_id,
-            question=request.question,
-            prompt_text=prompt.text,
-            prompt_tokens=prompt.token_count,
-            n_examples=prompt.n_examples,
-            example_blocks=[
-                {
-                    "db_id": block.schema.db_id,
-                    "question": block.question,
-                    "sql": block.sql,
-                }
-                for block in blocks
-            ],
-        )
 
     # -- internals -----------------------------------------------------------
 
@@ -384,8 +450,11 @@ class SqlService:
         return best_sqls[0], total_completion
 
     def close(self) -> None:
-        """Stop the coalescer's dispatcher thread."""
+        """Stop the coalescer's dispatcher thread (and a tracer built
+        here, flushing its spans)."""
         self.coalescer.close()
+        if self._own_tracer:
+            self.tracer.close()
 
     def __enter__(self) -> "SqlService":
         return self

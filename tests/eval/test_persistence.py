@@ -103,8 +103,8 @@ class TestDirectories:
 
 
 class TestVersioning:
-    def test_current_version_is_five(self):
-        assert FORMAT_VERSION == 5
+    def test_current_version_is_six(self):
+        assert FORMAT_VERSION == 6
 
     def test_v1_payload_still_loads(self):
         report = make_report()
@@ -195,6 +195,67 @@ class TestVersioning:
         )
         assert back.records[1].repaired_sql == "SELECT name FROM singer"
         assert back.error_classes() == {"lint:resolve.unknown-column": 1}
+
+    def test_v5_payload_without_cost_fields_still_loads(self):
+        from repro.eval.telemetry import RunTelemetry
+
+        report = make_report()
+        report.telemetry = RunTelemetry(workers=2, examples=3)
+        payload = report_to_dict(report)
+        payload["version"] = 5
+        for field in ("prompt_tokens", "completion_tokens", "cost_usd"):
+            payload["telemetry"].pop(field, None)
+        back = report_from_dict(payload)
+        assert back.telemetry.prompt_tokens == 0
+        assert back.telemetry.completion_tokens == 0
+        assert back.telemetry.cost_usd == 0.0
+
+    def test_every_supported_version_loads(self):
+        # One minimal payload per historical version: strip everything
+        # the later formats added and check the defaults fill back in.
+        from repro.eval.persistence import SUPPORTED_VERSIONS
+
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5, 6)
+        for version in SUPPORTED_VERSIONS:
+            payload = report_to_dict(make_report())
+            payload["version"] = version
+            if version < 6 and "telemetry" in payload:
+                for field in ("prompt_tokens", "completion_tokens",
+                              "cost_usd"):
+                    payload["telemetry"].pop(field, None)
+            if version < 5:
+                for entry in payload["records"]:
+                    entry.pop("statement_kind", None)
+                    entry.pop("repaired_sql", None)
+                    entry.pop("diagnostics", None)
+            if version < 4:
+                payload.pop("partial", None)
+                for entry in payload["records"]:
+                    entry.pop("error_class", None)
+            if version < 3 and "telemetry" in payload:
+                payload["telemetry"].pop("trace_file", None)
+            if version < 2:
+                payload.pop("telemetry", None)
+            back = report_from_dict(payload)
+            assert len(back.records) == len(payload["records"]), version
+
+    def test_v6_cost_fields_roundtrip(self, tmp_path):
+        from repro.eval.telemetry import RunTelemetry
+
+        report = make_report()
+        report.telemetry = RunTelemetry(
+            workers=1, examples=3, prompt_tokens=1234,
+            completion_tokens=56, cost_usd=0.037,
+        )
+        path = save_report(report, tmp_path / "v6.json")
+        payload = json.loads(path.read_text())
+        assert payload["version"] == FORMAT_VERSION
+        assert payload["telemetry"]["prompt_tokens"] == 1234
+        assert payload["telemetry"]["cost_usd"] == pytest.approx(0.037)
+        back = load_report(path)
+        assert back.telemetry == report.telemetry
+        assert back.metered_prompt_tokens == 1234
+        assert back.cost_usd == pytest.approx(0.037)
 
 
 class TestTelemetryAndErrors:

@@ -1,0 +1,133 @@
+"""Benchmark baseline snapshots: write, load, diff, regression gating."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.obs.baseline import (
+    BASELINE_VERSION,
+    diff_baselines,
+    format_diff,
+    load_baseline,
+    write_baseline,
+)
+
+METRICS = {"qps": 100.0, "p99_s": 0.050, "spans": 42.0}
+DIRECTIONS = {"qps": "higher", "p99_s": "lower", "spans": "info"}
+
+
+def snapshot(path, metrics=METRICS, directions=DIRECTIONS):
+    return write_baseline(path, "serve", metrics, directions,
+                          meta={"clients": 8})
+
+
+class TestWriteLoad:
+    def test_roundtrip(self, tmp_path):
+        path = snapshot(tmp_path / "BENCH_serve.json")
+        payload = load_baseline(path)
+        assert payload["version"] == BASELINE_VERSION
+        assert payload["kind"] == "serve"
+        assert payload["metrics"] == METRICS
+        assert payload["directions"] == DIRECTIONS
+        assert payload["meta"] == {"clients": 8}
+
+    def test_embeds_build_info(self, tmp_path):
+        from repro.obs.build import build_info_labels
+
+        payload = load_baseline(snapshot(tmp_path / "b.json"))
+        assert payload["build"] == build_info_labels()
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = snapshot(tmp_path / "deep" / "nest" / "b.json")
+        assert path.exists()
+
+    def test_unknown_direction_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="direction"):
+            write_baseline(tmp_path / "b.json", "x", {"m": 1.0},
+                           {"m": "sideways"})
+
+    def test_directionless_metric_rejected(self, tmp_path):
+        with pytest.raises(ReproError, match="direction"):
+            write_baseline(tmp_path / "b.json", "x", {"m": 1.0}, {})
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(ReproError, match="no such baseline"):
+            load_baseline(tmp_path / "absent.json")
+
+    def test_load_invalid_json_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(ReproError, match="not valid JSON"):
+            load_baseline(path)
+
+    def test_load_foreign_version_raises(self, tmp_path):
+        path = snapshot(tmp_path / "b.json")
+        payload = json.loads(path.read_text())
+        payload["version"] = BASELINE_VERSION + 1
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ReproError, match="version"):
+            load_baseline(path)
+
+
+class TestDiff:
+    def diff(self, current_metrics, threshold=0.1, **kwargs):
+        base = {"metrics": METRICS, "directions": DIRECTIONS}
+        cur = {"metrics": current_metrics, "directions": DIRECTIONS}
+        return diff_baselines(base, cur, threshold=threshold, **kwargs)
+
+    def test_identical_snapshots_pass(self):
+        regressions, rows = self.diff(dict(METRICS))
+        assert regressions == []
+        assert len(rows) == len(METRICS)
+
+    def test_higher_metric_dropping_regresses(self):
+        regressions, _ = self.diff({**METRICS, "qps": 80.0})
+        assert [r.metric for r in regressions] == ["qps"]
+        assert regressions[0].change == pytest.approx(0.2)
+
+    def test_lower_metric_rising_regresses(self):
+        regressions, _ = self.diff({**METRICS, "p99_s": 0.075})
+        assert [r.metric for r in regressions] == ["p99_s"]
+
+    def test_improvements_never_regress(self):
+        regressions, _ = self.diff(
+            {**METRICS, "qps": 500.0, "p99_s": 0.001}
+        )
+        assert regressions == []
+
+    def test_info_metrics_never_gate(self):
+        regressions, rows = self.diff({**METRICS, "spans": 9999.0})
+        assert regressions == []
+        info = next(r for r in rows if r.metric == "spans")
+        assert info.change == 0.0
+
+    def test_threshold_absorbs_slip(self):
+        assert self.diff({**METRICS, "qps": 80.0}, threshold=0.25)[0] == []
+
+    def test_per_metric_threshold_override(self):
+        regressions, _ = self.diff(
+            {**METRICS, "qps": 80.0}, thresholds={"qps": 0.5}
+        )
+        assert regressions == []
+
+    def test_lower_metric_leaving_zero_is_infinite(self):
+        base = {"metrics": {"dropped": 0.0},
+                "directions": {"dropped": "lower"}}
+        cur = {"metrics": {"dropped": 1.0},
+                "directions": {"dropped": "lower"}}
+        regressions, rows = diff_baselines(base, cur, threshold=10.0)
+        assert [r.metric for r in regressions] == ["dropped"]
+        assert rows[0].change == float("inf")
+
+    def test_only_shared_metrics_compared(self):
+        base = {"metrics": {"a": 1.0}, "directions": {"a": "higher"}}
+        cur = {"metrics": {"b": 1.0}, "directions": {"b": "higher"}}
+        regressions, rows = diff_baselines(base, cur)
+        assert regressions == [] and rows == []
+
+    def test_format_diff_flags_regressions(self):
+        regressions, rows = self.diff({**METRICS, "qps": 10.0})
+        table = format_diff(rows)
+        assert "REGRESSED" in table
+        assert "qps" in table and "n/a" in table  # info column renders

@@ -1,0 +1,101 @@
+"""Trace-file rotation and gzip: segments roll, readers stay oblivious."""
+
+import gzip
+import json
+
+from repro.obs import tracefile
+from repro.obs.trace import (
+    TRACE_GZIP_ENV,
+    TRACE_MAX_MB_ENV,
+    Tracer,
+    build_tracer,
+)
+
+
+def burst(tracer, n):
+    for i in range(n):
+        with tracer.span("example", f"e{i}", cell="c", pad="x" * 64):
+            pass
+
+
+class TestRotation:
+    def test_segments_roll_and_reload(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, max_bytes=512) as tracer:
+            burst(tracer, 40)
+        segments = sorted(tmp_path.glob("trace.[0-9]*.jsonl"))
+        assert segments, "no rotated segments were produced"
+        assert path.exists()  # the active file is always plain JSONL
+        spans = tracefile.load_spans(tmp_path)
+        assert len(spans) == 40
+        assert {s["name"] for s in spans} == {f"e{i}" for i in range(40)}
+
+    def test_segment_numbering_continues_across_tracers(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, max_bytes=256) as tracer:
+            burst(tracer, 10)
+        first = {p.name for p in tmp_path.glob("trace.[0-9]*.jsonl")}
+        with Tracer(path, max_bytes=256) as tracer:
+            burst(tracer, 10)
+        second = {p.name for p in tmp_path.glob("trace.[0-9]*.jsonl")}
+        assert first < second  # old segments were not overwritten
+
+    def test_no_rotation_by_default(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path) as tracer:
+            burst(tracer, 40)
+        assert list(tmp_path.glob("trace.[0-9]*")) == []
+        assert len(tracefile.load_spans(path)) == 40
+
+
+class TestGzip:
+    def test_rotated_segments_compress(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, max_bytes=512, compress=True) as tracer:
+            burst(tracer, 40)
+        packed = sorted(tmp_path.glob("trace.[0-9]*.jsonl.gz"))
+        assert packed, "no gzipped segments were produced"
+        assert list(tmp_path.glob("trace.[0-9]*.jsonl")) == []
+        with gzip.open(packed[0], "rt", encoding="utf-8") as handle:
+            record = json.loads(handle.readline())
+        assert record["kind"] == "example"
+
+    def test_load_spans_reads_mixed_plain_and_gz(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer(path, max_bytes=512, compress=True) as tracer:
+            burst(tracer, 40)
+        spans = tracefile.load_spans(tmp_path)
+        assert len(spans) == 40
+
+
+class TestEnvironment:
+    def test_build_tracer_honours_rotation_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_MAX_MB_ENV, "0.0005")  # ~512 bytes
+        monkeypatch.setenv(TRACE_GZIP_ENV, "1")
+        tracer = build_tracer(tmp_path)
+        try:
+            assert tracer.max_bytes == int(0.0005 * 1024 * 1024)
+            assert tracer.compress is True
+            burst(tracer, 40)
+        finally:
+            tracer.close()
+        assert sorted(tmp_path.glob("*.jsonl.gz"))
+        assert len(tracefile.load_spans(tmp_path)) == 40
+
+    def test_unset_env_disables_rotation(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(TRACE_MAX_MB_ENV, raising=False)
+        monkeypatch.delenv(TRACE_GZIP_ENV, raising=False)
+        tracer = build_tracer(tmp_path)
+        try:
+            assert tracer.max_bytes is None
+            assert tracer.compress is False
+        finally:
+            tracer.close()
+
+    def test_garbage_env_value_disables_rotation(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_MAX_MB_ENV, "lots")
+        tracer = build_tracer(tmp_path)
+        try:
+            assert tracer.max_bytes is None
+        finally:
+            tracer.close()

@@ -120,3 +120,90 @@ class TestExport:
                   for name, labels, value in samples}
         assert values[("repro_examples_total", (("cell", "c"),))] == 2.0
         assert values[("repro_errors_total", (("cell", "c"),))] == 1.0
+
+
+def rspan(kind, name, span_id, parent="", t0=0.0, **attrs):
+    """A span with explicit ids — correlate follows parent links."""
+    return {
+        "v": TRACE_SCHEMA_VERSION, "kind": kind, "name": name,
+        "span": span_id, "parent": parent, "t0": t0, "dur_s": 0.01,
+        "attrs": attrs,
+    }
+
+
+REQUEST_TRACE = [
+    rspan("request", "req-1", "1", t0=1.0, op="generate", tenant="default",
+          request="req-1"),
+    rspan("stage", "select", "2", parent="1", t0=1.1, request="req-1"),
+    rspan("stage", "generate", "3", parent="1", t0=1.2, request="req-1"),
+    # the coalescer parents the batch-member span onto the requester's
+    # generate stage even though it ran on the dispatch thread
+    rspan("coalesce", "req-1", "4", parent="3", t0=1.3, batch=2,
+          coalesced=True, request="req-1"),
+    # a stranger sharing the batch: same dispatch, different request
+    rspan("request", "req-2", "5", t0=1.05, request="req-2"),
+    rspan("coalesce", "req-2", "6", parent="7", t0=1.3, request="req-2"),
+]
+
+
+class TestCorrelate:
+    def test_single_rooted_tree_with_nested_coalesce(self):
+        tree = tracefile.correlate(REQUEST_TRACE, "req-1")
+        assert tree["span"]["name"] == "req-1"
+        stages = [node["span"]["name"] for node in tree["children"]]
+        assert stages == ["select", "generate"]
+        generate = tree["children"][1]
+        assert [n["span"]["kind"] for n in generate["children"]] == [
+            "coalesce"
+        ]
+
+    def test_children_ordered_by_start_time(self):
+        shuffled = list(reversed(REQUEST_TRACE))
+        tree = tracefile.correlate(shuffled, "req-1")
+        starts = [node["span"]["t0"] for node in tree["children"]]
+        assert starts == sorted(starts)
+
+    def test_strangers_stay_out_of_the_tree(self):
+        tree = tracefile.correlate(REQUEST_TRACE, "req-1")
+
+        def names(node):
+            yield node["span"]["span"]
+            for child in node["children"]:
+                yield from names(child)
+
+        assert set(names(tree)) == {"1", "2", "3", "4"}
+
+    def test_orphans_with_matching_attr_are_adopted(self):
+        # req-2's coalesce span points at a parent id the trace lost
+        # (rotated segment): adoption keeps the tree single-rooted.
+        tree = tracefile.correlate(REQUEST_TRACE, "req-2")
+        kinds = [node["span"]["kind"] for node in tree["children"]]
+        assert kinds == ["coalesce"]
+
+    def test_unknown_request_raises_listing_known_ids(self):
+        with pytest.raises(ReproError, match="req-1, req-2"):
+            tracefile.correlate(REQUEST_TRACE, "req-404")
+
+    def test_empty_trace_raises_with_none_listing(self):
+        with pytest.raises(ReproError, match="none"):
+            tracefile.correlate([], "req-1")
+
+    def test_duplicate_request_names_pick_latest(self):
+        retried = REQUEST_TRACE + [
+            rspan("request", "req-1", "9", t0=9.0, attempt=2),
+        ]
+        tree = tracefile.correlate(retried, "req-1")
+        assert tree["span"]["span"] == "9"
+
+    def test_request_ids_first_seen_order(self):
+        assert tracefile.request_ids(REQUEST_TRACE) == ["req-1", "req-2"]
+
+    def test_format_span_tree_indents_and_decorates(self):
+        text = tracefile.format_span_tree(
+            tracefile.correlate(REQUEST_TRACE, "req-1")
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("request req-1 [")
+        assert "op=generate" in lines[0]
+        assert lines[1].startswith("  stage select")
+        assert any(line.startswith("    coalesce req-1") for line in lines)

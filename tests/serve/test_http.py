@@ -20,12 +20,12 @@ GOLDEN_DIR = Path(__file__).parent / "goldens"
 ENDPOINTS = ("generate", "lint", "execute", "explain")
 
 
-def post(base: str, path: str, body) -> tuple:
+def post(base: str, path: str, body, headers: dict = None) -> tuple:
     """POST JSON; returns (status, payload, headers) without raising."""
     request = urllib.request.Request(
         base + path,
         data=json.dumps(body).encode("utf-8"),
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
         method="POST",
     )
     try:
@@ -73,6 +73,8 @@ class TestEndpoints:
 
     def test_golden_round_trip_every_endpoint(self, corpus):
         # A cold server: the goldens pin exact bodies incl. cached=False.
+        # Explicit X-Request-Id headers make the pinned request_id echo
+        # independent of request ordering.
         with fresh_server(corpus) as instance:
             for endpoint in ENDPOINTS:
                 request = json.loads(
@@ -81,11 +83,13 @@ class TestEndpoints:
                 expected = json.loads(
                     (GOLDEN_DIR / f"{endpoint}_response.json").read_text()
                 )
-                status, payload, _ = post(
-                    instance.url, f"/v1/{endpoint}", request
+                status, payload, headers = post(
+                    instance.url, f"/v1/{endpoint}", request,
+                    headers={"X-Request-Id": f"golden-{endpoint}"},
                 )
                 assert status == 200, (endpoint, payload)
                 assert payload == expected, endpoint
+                assert headers["X-Request-Id"] == f"golden-{endpoint}"
 
     def test_metrics_exposes_request_latency_and_coalesce_counters(
         self, base, dev_example

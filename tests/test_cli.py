@@ -199,3 +199,95 @@ class TestCommands:
         capsys.readouterr()
         assert main(["validate", str(tmp_path)]) == 1
         assert "PROBLEM" in capsys.readouterr().out
+
+
+class TestObsV2:
+    def test_trace_correlate_args(self):
+        args = build_parser().parse_args(
+            ["trace", "correlate", "req-7", "traces/"]
+        )
+        assert args.action == "correlate"
+        assert args.trace == "req-7"
+        assert args.path == "traces/"
+
+    def test_serve_obs_flags_parse(self):
+        args = build_parser().parse_args([
+            "serve", "--trace-dir", "traces", "--access-log", "a.jsonl",
+        ])
+        assert args.trace_dir == "traces"
+        assert args.access_log == "a.jsonl"
+
+    def test_obs_diff_args(self):
+        args = build_parser().parse_args(
+            ["obs", "diff", "a.json", "b.json", "--threshold", "0.5"]
+        )
+        assert args.obs_command == "diff"
+        assert args.threshold == 0.5
+
+    def test_trace_correlate_prints_tree(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+        trace = tmp_path / "t.jsonl"
+        rows = [
+            {"v": TRACE_SCHEMA_VERSION, "kind": "request", "name": "req-1",
+             "span": "1", "parent": "", "t0": 0.0, "dur_s": 0.2,
+             "attrs": {"op": "generate"}},
+            {"v": TRACE_SCHEMA_VERSION, "kind": "stage", "name": "generate",
+             "span": "2", "parent": "1", "t0": 0.1, "dur_s": 0.1,
+             "attrs": {"request": "req-1"}},
+        ]
+        trace.write_text(
+            "\n".join(json_module.dumps(r) for r in rows) + "\n"
+        )
+        assert main(["trace", "correlate", "req-1", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("request req-1")
+        assert "  stage generate" in out
+
+    def test_trace_correlate_unknown_id_errors(self, tmp_path, capsys):
+        import json as json_module
+
+        from repro.obs.trace import TRACE_SCHEMA_VERSION
+
+        trace = tmp_path / "t.jsonl"
+        trace.write_text(json_module.dumps({
+            "v": TRACE_SCHEMA_VERSION, "kind": "request", "name": "req-1",
+            "span": "1", "parent": "", "t0": 0.0, "dur_s": 0.2, "attrs": {},
+        }) + "\n")
+        assert main(["trace", "correlate", "req-404", str(trace)]) == 1
+        assert "req-1" in capsys.readouterr().err
+
+    def test_obs_report_fast_reconciles(self, capsys):
+        assert main(["obs", "report", "--fast", "--limit", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "ex/1k tok" in out
+        assert "reconciliation" in out and "OK" in out
+        assert "MISMATCH" not in out
+
+    def test_obs_report_over_saved_reports(self, tmp_path, capsys, runner):
+        from repro.eval.harness import RunConfig
+        from repro.eval.persistence import save_reports
+
+        report = runner.run(RunConfig(model="gpt-4", label="saved-run"),
+                            limit=3)
+        save_reports([report], tmp_path)
+        assert main(["obs", "report", str(tmp_path)]) == 0
+        assert "saved-run" in capsys.readouterr().out
+
+    def test_obs_diff_gates_on_regression(self, tmp_path, capsys):
+        from repro.obs.baseline import write_baseline
+
+        write_baseline(tmp_path / "a.json", "serve", {"qps": 100.0},
+                       {"qps": "higher"})
+        write_baseline(tmp_path / "b.json", "serve", {"qps": 10.0},
+                       {"qps": "higher"})
+        assert main(["obs", "diff", str(tmp_path / "a.json"),
+                     str(tmp_path / "b.json")]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out
+        capsys.readouterr()
+        assert main(["obs", "diff", str(tmp_path / "a.json"),
+                     str(tmp_path / "a.json")]) == 0
+        assert "no regressions" in capsys.readouterr().out
