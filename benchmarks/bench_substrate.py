@@ -21,7 +21,10 @@ instrumentation overhead at 5% (``--artifacts-dir`` keeps the trace and
 a Prometheus snapshot for CI upload), then gates the static-analysis
 stage at 5% of pipeline stage wall-clock while verifying its safety
 contract (every fatal diagnostic short-circuits execution, clean
-predictions execute, warm reruns replay analysis from disk).
+predictions execute, warm reruns replay analysis from disk), and
+finally gates the execution-feedback repair loop (EX uplift >= 0,
+bounded generation overhead, byte-identical generation-free warm
+replay, ``repair_recovery_rate`` snapshotted).
 
 ``--baseline-out BENCH_substrate.json`` snapshots the run's headline
 metrics (engine/cache speedups, instrumentation slowdown ratio,
@@ -537,6 +540,126 @@ def transpile_overhead(latency_s=0.02, limit=None, smoke=False,
     return share, grid
 
 
+def repair_loop_gate(latency_s=0.02, limit=None, smoke=False, rounds=2):
+    """Gate the execution-feedback repair loop: uplift, bounds, replay.
+
+    Sweeps one weak-model config (llama-13b zero-shot — sloppy enough
+    SQL that the loop actually fires) at feedback budgets N=0 and
+    N=``rounds`` against one shared disk cache directory, then checks:
+
+    1. **Uplift** — EX(N) >= EX(0).  The loop only ever replaces a dead
+       candidate with a strictly better one, so a regression here means
+       the degradation ladder broke.  At least one candidate must
+       actually recover, or the gate verified nothing.
+    2. **Bounded overhead** — no record exceeds its round budget, and
+       the extra generations of the N=``rounds`` sweep are exactly the
+       charged feedback rounds (the loop cannot generate off the books).
+    3. **Replay** — a second N=``rounds`` pass from a fresh cache
+       instance over the same disk directory is byte-identical and
+       generation-free: feedback artifacts resume like any others.
+
+    Returns ``(recovery_rate, repaired_grid)`` where ``recovery_rate``
+    is recovered / triggered examples — the snapshot metric.
+    """
+    import tempfile
+
+    from dataclasses import asdict
+
+    from repro.cache.store import build_cache
+    from repro.eval.engine import GridRunner
+    from repro.eval.harness import BenchmarkRunner, RunConfig
+    from repro.repair import REPAIR_EXHAUSTED
+
+    config = RunConfig(model="llama-13b", representation="CR_P")
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+
+    def runner_with(feedback_rounds, cache_dir):
+        return BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool(), seed=1,
+            llm_latency_s=latency_s, cache=build_cache(disk_dir=cache_dir),
+            feedback_rounds=feedback_rounds,
+        )
+
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-repair-") as cache_dir:
+            plain_runner = runner_with(0, cache_dir)
+            plain = GridRunner(plain_runner, workers=1).sweep(
+                [config], limit=limit
+            )[0]
+            base_misses = plain_runner.cache.stats().get(
+                "generate", {}
+            ).get("misses", 0)
+
+            repaired_runner = runner_with(rounds, cache_dir)
+            repaired = GridRunner(repaired_runner, workers=1).sweep(
+                [config], limit=limit
+            )[0]
+
+            # 1. uplift: monotone EX, and the loop really fired.
+            if repaired.execution_accuracy < plain.execution_accuracy:
+                raise AssertionError(
+                    f"feedback rounds lost accuracy: "
+                    f"{repaired.execution_accuracy:.3f} < "
+                    f"{plain.execution_accuracy:.3f}"
+                )
+            recovered = sum(
+                1 for r in repaired.records
+                if r.repair_won_round > 0 and not r.error_class
+            )
+            triggered = sum(
+                1 for r in repaired.records
+                if r.repair_rounds > 0 or r.error_class == REPAIR_EXHAUSTED
+            )
+            if not recovered:
+                raise AssertionError(
+                    "no candidate recovered — the uplift gate verified "
+                    "nothing"
+                )
+
+            # 2. bounds: per-record budget and no off-the-books calls.
+            if any(r.repair_rounds > rounds for r in repaired.records):
+                raise AssertionError("a record exceeded its round budget")
+            charged = sum(r.repair_rounds for r in repaired.records)
+            extra = repaired_runner.cache.stats().get(
+                "generate", {}
+            ).get("misses", 0)
+            if extra != charged:
+                raise AssertionError(
+                    f"feedback sweep generated {extra} new artifacts but "
+                    f"charged {charged} rounds"
+                )
+
+            # 3. replay: warm rerun is byte-identical, generation-free.
+            warm_runner = runner_with(rounds, cache_dir)
+            warm = GridRunner(warm_runner, workers=1).sweep(
+                [config], limit=limit
+            )[0]
+            if [asdict(r) for r in warm.records] != \
+                    [asdict(r) for r in repaired.records]:
+                raise AssertionError(
+                    "warm feedback records diverge from cold"
+                )
+            warm_stats = warm_runner.cache.stats().get("generate", {})
+            if warm_stats.get("misses", 0) or not warm_stats.get("hits", 0):
+                raise AssertionError(
+                    f"warm feedback sweep was not generation-free: "
+                    f"{warm_stats}"
+                )
+    finally:
+        corpus.close()
+
+    recovery_rate = recovered / triggered if triggered else 0.0
+    uplift = repaired.execution_accuracy - plain.execution_accuracy
+    print(f"repair loop (N={rounds}): EX {plain.execution_accuracy:.3f} -> "
+          f"{repaired.execution_accuracy:.3f} ({uplift:+.3f})")
+    print(f"recovered {recovered}/{triggered} dead candidates "
+          f"({recovery_rate:.0%}), {charged} feedback rounds charged, "
+          f"{base_misses} round-0 generations shared")
+    print("warm rerun: byte-identical, feedback artifacts replayed "
+          "from disk")
+    return recovery_rate, repaired
+
+
 def chaos_resilience(workers=4, latency_s=0.002, limit=None, rate=0.1,
                      seed=7, kill_at=6):
     """Resilience drill: a grid sweep under a deterministic fault profile.
@@ -840,6 +963,10 @@ def main(argv=None):
             latency_s=args.latency, limit=args.limit, smoke=args.smoke
         )
         print()
+        recovery_rate, _ = repair_loop_gate(
+            latency_s=args.latency, limit=args.limit, smoke=args.smoke
+        )
+        print()
         # The overhead fraction hovers around zero and can dip negative,
         # which degenerates relative diffs (a <=0 baseline turns any
         # increase into an infinite regression) — snapshot the
@@ -850,6 +977,7 @@ def main(argv=None):
             "instrumentation_slowdown": 1.0 + overhead,
             "analyze_share": analyze_share,
             "transpile_share": transpile_share,
+            "repair_recovery_rate": recovery_rate,
         }
     chaos_resilience(workers=args.workers, limit=args.limit,
                      rate=args.chaos_rate, seed=args.chaos_seed)
@@ -862,6 +990,7 @@ def main(argv=None):
             "instrumentation_slowdown": "lower",
             "analyze_share": "lower",
             "transpile_share": "lower",
+            "repair_recovery_rate": "higher",
         }
         meta = {"bench": "bench_substrate", "workers": args.workers,
                 "latency_s": args.latency, "limit": args.limit}

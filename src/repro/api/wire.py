@@ -41,7 +41,12 @@ from ..sql.dialect import REFERENCE_DIALECT, dialect_names
 #: the correlation key for traces, access-log lines and journal entries.
 #: Requests are unchanged: the id is transport metadata, carried in the
 #: header, never in request bodies.
-WIRE_SCHEMA_VERSION = 3
+#:
+#: v4: generate requests gained the optional ``feedback_rounds`` field —
+#: the per-request ceiling on execution-feedback repair rounds (0, the
+#: default, defers to the server's configured default; values above
+#: the loop's hard maximum are rejected with HTTP 400).
+WIRE_SCHEMA_VERSION = 4
 
 #: Ceiling applied to per-request deadline budgets (seconds).
 MAX_DEADLINE_S = 120.0
@@ -110,6 +115,18 @@ def _get_int(
     return value
 
 
+def _get_feedback_rounds(payload: Mapping[str, object]) -> int:
+    from ..repair.feedback import MAX_FEEDBACK_ROUNDS
+
+    value = _get_int(payload, "feedback_rounds", 0, minimum=0)
+    if value > MAX_FEEDBACK_ROUNDS:
+        raise WireFormatError(
+            f"'feedback_rounds' must be <= {MAX_FEEDBACK_ROUNDS}, "
+            f"got {value}"
+        )
+    return value
+
+
 def _get_dialect(payload: Mapping[str, object]) -> str:
     value = _get_str(payload, "dialect", REFERENCE_DIALECT)
     if value not in dialect_names():
@@ -141,8 +158,14 @@ class GenerateRequest:
     tenant: str = "default"
     n_samples: int = 1
     deadline_s: float = 30.0
+    #: Per-request cap on execution-feedback repair rounds; 0 defers to
+    #: the server's configured default.
+    feedback_rounds: int = 0
 
-    _FIELDS = ("question", "db_id", "tenant", "n_samples", "deadline_s")
+    _FIELDS = (
+        "question", "db_id", "tenant", "n_samples", "deadline_s",
+        "feedback_rounds",
+    )
 
     @classmethod
     def from_json(cls, payload: object) -> "GenerateRequest":
@@ -155,6 +178,7 @@ class GenerateRequest:
             tenant=_get_str(body, "tenant", "default"),
             n_samples=_get_int(body, "n_samples", 1),
             deadline_s=_get_deadline(body, 30.0),
+            feedback_rounds=_get_feedback_rounds(body),
         )
 
     def to_json(self) -> Dict[str, object]:
@@ -165,6 +189,7 @@ class GenerateRequest:
             "tenant": self.tenant,
             "n_samples": self.n_samples,
             "deadline_s": self.deadline_s,
+            "feedback_rounds": self.feedback_rounds,
         }
 
 

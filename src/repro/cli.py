@@ -112,6 +112,23 @@ def _apply_repair(args: argparse.Namespace) -> None:
         set_default_repair(True)
 
 
+def _apply_feedback_rounds(args: argparse.Namespace) -> None:
+    """Honour a ``--feedback-rounds N`` flag by enabling the
+    execution-feedback repair loop on subsequently built contexts."""
+    rounds = getattr(args, "feedback_rounds", None)
+    if rounds is not None:
+        from .errors import ExperimentError
+        from .experiments.context import set_default_feedback_rounds
+        from .repair.feedback import MAX_FEEDBACK_ROUNDS
+
+        if not 0 <= rounds <= MAX_FEEDBACK_ROUNDS:
+            raise ExperimentError(
+                f"--feedback-rounds must be in [0, {MAX_FEEDBACK_ROUNDS}], "
+                f"got {rounds}"
+            )
+        set_default_feedback_rounds(rounds)
+
+
 def _apply_backend(args: argparse.Namespace) -> None:
     """Honour a ``--backend NAME`` flag: evaluation pools execute on
     that backend (SQLite reference, DuckDB, or a dialect emulation)."""
@@ -160,6 +177,7 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     _apply_trace(args)
     _apply_progress(args)
     _apply_repair(args)
+    _apply_feedback_rounds(args)
     _apply_backend(args)
     _apply_resilience(args)
     result = run_experiment(args.artifact, fast=args.fast, limit=args.limit)
@@ -175,6 +193,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     _apply_trace(args)
     _apply_progress(args)
     _apply_repair(args)
+    _apply_feedback_rounds(args)
     _apply_backend(args)
     _apply_resilience(args)
     for result in run_all(fast=args.fast, limit=args.limit):
@@ -219,6 +238,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     _apply_trace(args)
     _apply_progress(args)
     _apply_repair(args)
+    _apply_feedback_rounds(args)
     _apply_backend(args)
     _apply_resilience(args)
     context = get_context(fast=args.fast)
@@ -304,6 +324,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
     _apply_trace(args)
     _apply_progress(args)
     _apply_repair(args)
+    _apply_feedback_rounds(args)
     _apply_backend(args)
     _apply_resilience(args)
     path = write_report(
@@ -711,6 +732,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     _apply_cache(args)
     _apply_backend(args)
     _apply_trace(args)
+    _apply_feedback_rounds(args)
     config = None
     if args.model or args.k is not None:
         config = RunConfig(
@@ -793,6 +815,14 @@ def build_parser() -> argparse.ArgumentParser:
     def add_repair_flag(sub_parser: argparse.ArgumentParser) -> None:
         sub_parser.add_argument(
             "--repair", action="store_true", help=repair_help
+        )
+        sub_parser.add_argument(
+            "--feedback-rounds", type=int, default=None, metavar="N",
+            help="enable the execution-feedback repair loop: candidates "
+                 "that die (fatal lint diagnostic or execution error) "
+                 "are regenerated from their structured diagnostics, up "
+                 "to N rounds per example (0 disables; deterministic "
+                 "and fully cached/journaled)",
         )
 
     def add_backend_flag(sub_parser: argparse.ArgumentParser) -> None:
@@ -983,6 +1013,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--access-log", default=None, metavar="PATH",
         help="append one JSON line per request (request id, tenant, "
              "status, latency, tokens) to this file; off by default",
+    )
+    p_serve.add_argument(
+        "--feedback-rounds", type=int, default=None, metavar="N",
+        help="server default for the execution-feedback repair loop on "
+             "/v1/generate (requests may override per call via the wire "
+             "'feedback_rounds' field)",
     )
     add_backend_flag(p_serve)
     p_serve.set_defaults(func=_cmd_serve)

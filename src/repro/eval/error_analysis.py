@@ -17,6 +17,12 @@ predicted AST against the gold AST per clause:
 
 One failure can exhibit several divergences; the *primary* category is the
 first in the order above, which mirrors how the paper attributes errors.
+
+Records whose error class is *transient* (an injected chaos fault such as
+``exec:locked``, see :mod:`repro.repair.taxonomy`) are attributed to the
+separate ``transient-fault`` bucket instead of any model-error category:
+the prediction never got a fair execution, so diffing its AST against
+gold would count infrastructure noise as a model mistake.
 """
 
 from __future__ import annotations
@@ -28,8 +34,13 @@ from typing import Dict, List, Optional, Sequence
 from ..sql.ast_nodes import Literal, Query, iter_conditions, iter_subqueries
 from ..sql.normalize import resolve_aliases
 from ..sql.parser import try_parse
+from ..repair.taxonomy import is_transient_class
 from .exact_match import component_match
 from .metrics import PredictionRecord
+
+#: Failures caused by injected/transient faults, not the model — kept
+#: out of the model-error categories below.
+TRANSIENT_CATEGORY = "transient-fault"
 
 #: Categories in attribution priority order.
 ERROR_CATEGORIES = (
@@ -83,6 +94,10 @@ def diagnose(record: PredictionRecord) -> Optional[ErrorDiagnosis]:
     """Categorise one failed prediction (``None`` for correct ones)."""
     if record.exec_match:
         return None
+    if is_transient_class(record.error_class):
+        return ErrorDiagnosis(
+            record.example_id, TRANSIENT_CATEGORY, (record.error_class,)
+        )
     pred_query = try_parse(record.predicted_sql)
     if pred_query is None:
         return ErrorDiagnosis(record.example_id, "unparseable", ("unparseable",))
@@ -126,7 +141,8 @@ def error_breakdown(records: Sequence[PredictionRecord]) -> Dict[str, int]:
         diagnosis = diagnose(record)
         if diagnosis is not None:
             counts[diagnosis.primary] += 1
-    return {c: counts.get(c, 0) for c in ERROR_CATEGORIES if counts.get(c)}
+    ordered = ERROR_CATEGORIES + (TRANSIENT_CATEGORY,)
+    return {c: counts.get(c, 0) for c in ordered if counts.get(c)}
 
 
 def breakdown_rows(
@@ -137,7 +153,7 @@ def breakdown_rows(
     for system, counts in breakdowns.items():
         total = sum(counts.values())
         row: Dict[str, object] = {"system": system, "failures": total}
-        for category in ERROR_CATEGORIES:
+        for category in ERROR_CATEGORIES + (TRANSIENT_CATEGORY,):
             if any(category in c for c in breakdowns.values()):
                 row[category] = counts.get(category, 0)
         rows.append(row)
@@ -181,20 +197,24 @@ def lint_rows(records: Sequence[PredictionRecord]) -> List[Dict[str, object]]:
     One row per fired rule: total firings, how many executions the rule
     gated, how many diagnosed predictions still matched gold, and how
     many failed at runtime — plus the rule's *precision* as a wrongness
-    signal (flagged-and-wrong / flagged).
+    signal (flagged-and-wrong / flagged).  Transient-fault records are
+    excluded from both sides of the precision ratio: a chaos-killed
+    execution says nothing about whether the rule's warning was right.
     """
     rows: List[Dict[str, object]] = []
     for rule, cells in lint_cross_tab(records).items():
         total = sum(cells.values())
         gated = cells.get("lint-gated", 0)
         correct = cells.get("correct", 0)
-        wrong = total - correct
+        transient = cells.get(TRANSIENT_CATEGORY, 0)
+        wrong = total - correct - transient
+        judged = total - transient
         rows.append({
             "rule": rule,
             "fired": total,
             "gated": gated,
             "correct": correct,
             "wrong": wrong,
-            "precision": round(wrong / total, 3) if total else 0.0,
+            "precision": round(wrong / judged, 3) if judged else 0.0,
         })
     return rows

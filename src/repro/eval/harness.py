@@ -153,6 +153,13 @@ class BenchmarkRunner:
             re-analyzed before execution.  Part of the ``analyze``
             artifact's cache key, so repaired and plain runs never share
             analysis artifacts.
+        feedback_rounds: maximum execution-feedback regeneration rounds
+            per example (the ``--feedback-rounds`` flag).  Zero — the
+            default — disables the repair loop entirely; positive values
+            are clamped to
+            :data:`~repro.repair.feedback.MAX_FEEDBACK_ROUNDS`.
+            Feedback runs journal under a distinct cell key, but share
+            every round-0 artifact with plain runs.
     """
 
     def __init__(
@@ -165,6 +172,7 @@ class BenchmarkRunner:
         cache: Optional[ArtifactCache] = None,
         chaos=None,
         repair: bool = False,
+        feedback_rounds: int = 0,
     ):
         self.eval_dataset = eval_dataset
         self.candidates = candidates
@@ -190,8 +198,10 @@ class BenchmarkRunner:
             if self.cache.disk is not None:
                 self.cache.disk = ChaoticDiskTier(self.cache.disk.root, chaos)
         self.pipeline = EvalPipeline(
-            eval_dataset, candidates, self.pool, self.cache, repair=repair
+            eval_dataset, candidates, self.pool, self.cache, repair=repair,
+            feedback_rounds=feedback_rounds,
         )
+        self.feedback_rounds = self.pipeline.feedback_rounds
         annotate = getattr(self.cache, "annotate_backend", None)
         if annotate is not None:
             annotate(self.backend_name)

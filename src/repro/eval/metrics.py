@@ -34,6 +34,13 @@ class PredictionRecord:
     that was scored; ``repaired_sql`` is non-empty only when the opt-in
     repair pass changed the text, in which case ``predicted_sql`` keeps
     the original extraction and ``repaired_sql`` is what executed.
+
+    The ``repair_*`` fields are execution-feedback loop provenance:
+    ``repair_rounds`` counts feedback rounds actually generated,
+    ``repair_won_round`` names the round whose candidate was scored
+    (0 = the original), and ``repair_round_classes`` lists each round's
+    resulting ``error_class`` ("" = clean execution).  All three stay
+    at their defaults when the loop is off or never triggered.
     """
 
     example_id: str
@@ -53,6 +60,9 @@ class PredictionRecord:
     statement_kind: str = ""
     repaired_sql: str = ""
     diagnostics: List[Dict[str, object]] = field(default_factory=list)
+    repair_rounds: int = 0
+    repair_won_round: int = 0
+    repair_round_classes: List[str] = field(default_factory=list)
 
 
 @dataclass

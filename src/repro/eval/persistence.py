@@ -34,11 +34,14 @@ from .telemetry import RunTelemetry
 #: v6 added the telemetry cost fields — ``prompt_tokens``,
 #: ``completion_tokens`` (tokens the run actually spent; warm cache
 #: replays meter zero) and ``cost_usd`` (the paper's simulated price
-#: sheet applied to them).
-FORMAT_VERSION = 6
+#: sheet applied to them);
+#: v7 added the execution-feedback repair provenance fields —
+#: ``repair_rounds``, ``repair_won_round`` and ``repair_round_classes``
+#: (all defaulted when the repair loop is off or never triggered).
+FORMAT_VERSION = 7
 
 #: Versions :func:`report_from_dict` can still read.
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
 
 
 def report_to_dict(report: EvalReport) -> Dict:
@@ -60,9 +63,9 @@ def report_from_dict(payload: Dict) -> EvalReport:
     Reads current-format files as well as v1 (predates the ``error``
     field and run telemetry), v2 (predates the telemetry ``trace_file``
     pointer), v3 (predates the ``partial`` flag and ``error_class``),
-    v4 (predates the analyzer fields) and v5 (predates the telemetry
-    token/cost fields) files — the missing fields take their dataclass
-    defaults.
+    v4 (predates the analyzer fields), v5 (predates the telemetry
+    token/cost fields) and v6 (predates the repair provenance fields)
+    files — the missing fields take their dataclass defaults.
 
     Raises:
         EvaluationError: on version mismatch or malformed payloads.

@@ -34,6 +34,16 @@ happens, and the record carries a structured ``lint:<rule>``
 stage also runs the deterministic repair pass and re-analyzes, so the
 record shows the original and the repaired SQL side by side.
 
+With ``feedback_rounds > 0`` a candidate that *dies* — fatal lint
+diagnostic or execution failure — enters the bounded
+execution-feedback repair loop (:mod:`repro.repair`) between the
+execute and score stages: the structured diagnostics are rendered into
+a feedback turn, the model regenerates under sample tag ``fb-<round>``,
+and the best candidate on the degradation ladder wins.  Feedback
+generations are ordinary ``generate`` artifacts keyed on the feedback
+prompt's content, so repair cycles replay byte-identically from cache
+and journal.
+
 ``build``, ``extract`` and ``score`` are cheap pure functions and are
 always recomputed.  Because keys are pure content hashes, artifacts are
 shared across grid configs within a sweep (the DAIL preliminary pass
@@ -50,11 +60,12 @@ cover every stage uniformly.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..analysis.analyzer import ANALYZER_VERSION, analyze
 from ..analysis.repair import repair as repair_sql
-from ..errors import SQLSyntaxError
+from ..errors import ExecutionError, ModelError, SQLSyntaxError
 from ..cache.store import ArtifactCache
 from ..dataset.spider import Example, SpiderDataset
 from ..db.execution import results_match
@@ -64,6 +75,16 @@ from ..llm.interface import client_fingerprint
 from ..prompt.builder import PromptBuilder
 from ..prompt.organization import ExampleBlock, get_organization
 from ..prompt.representation import RepresentationOptions, get_representation
+from ..repair.feedback import (
+    FEEDBACK_EXAMPLE_TOKEN_BUDGET,
+    MAX_FEEDBACK_ROUNDS,
+    feedback_prompt,
+)
+from ..repair.taxonomy import (
+    REPAIR_EXHAUSTED,
+    classify_execution_error,
+    is_transient_class,
+)
 from ..selection.strategies import DailSelection
 from ..sql.dialect import REFERENCE_DIALECT
 from ..sql.transpile import transpile
@@ -197,14 +218,20 @@ class ExecuteStage(PipelineStage):
         if analysis.get("fatal"):
             collector.record_short_circuit()
             state["exec_match"] = False
+            state["exec_ok"] = False
+            state["exec_error_class"] = ""
             return
         final_sql = str(state.get("final_sql") or state["predicted_sql"])
         gold_rows = self.pipeline.gold_rows(example, collector)
-        pred_rows = self.pipeline.predicted_rows(
+        outcome = self.pipeline.execution_outcome(
             example.db_id, final_sql, collector
         )
-        state["exec_match"] = pred_rows is not None and results_match(
-            gold_rows, pred_rows, example.query
+        state["exec_ok"] = bool(outcome["ok"])
+        state["exec_error_class"] = (
+            "" if outcome["ok"] else str(outcome["error_class"])
+        )
+        state["exec_match"] = bool(outcome["ok"]) and results_match(
+            gold_rows, outcome["rows"], example.query
         )
 
 
@@ -225,6 +252,17 @@ class ScoreStage(PipelineStage):
         final_sql = str(state.get("final_sql") or predicted_sql)
         em_ok = exact_match(example.query, final_sql)
         state["exact_match"] = em_ok
+        # Lint gates outrank execution failures (a fatally-diagnosed
+        # statement never executed); the feedback loop, when it ran,
+        # resolves the final class itself (``repair:exhausted``, the
+        # preserved transient class, or "" on recovery).
+        error_class = (
+            str(analysis.get("error_class", ""))
+            or str(state.get("exec_error_class", ""))
+        )
+        override = state.get("repair_error_class")
+        if override is not None:
+            error_class = str(override)
         state["record"] = PredictionRecord(
             example_id=example.example_id,
             db_id=example.db_id,
@@ -238,11 +276,39 @@ class ScoreStage(PipelineStage):
             prompt_tokens=prompt.token_count,
             completion_tokens=state["completion_tokens"],
             n_examples=prompt.n_examples,
-            error_class=str(analysis.get("error_class", "")),
+            error_class=error_class,
             statement_kind=str(analysis.get("statement_kind", "")),
             repaired_sql=str(analysis.get("repaired_sql", "")),
             diagnostics=list(analysis.get("diagnostics", [])),
+            repair_rounds=int(state.get("repair_rounds", 0)),
+            repair_won_round=int(state.get("repair_won_round", 0)),
+            repair_round_classes=list(state.get("repair_round_classes", [])),
         )
+
+
+@dataclass
+class _Candidate:
+    """One complete candidate (round 0 or a feedback regeneration)."""
+
+    raw_output: str
+    predicted_sql: str
+    analysis: Dict
+    final_sql: str
+    exec_ok: bool
+    exec_match: bool
+    error_class: str
+
+
+def _candidate_rank(candidate: _Candidate) -> int:
+    """The degradation ladder: executing-and-matching beats executing,
+    which beats lint-clean-but-failing, which beats fatally-diagnosed."""
+    if candidate.exec_match:
+        return 3
+    if candidate.exec_ok:
+        return 2
+    if not candidate.analysis.get("fatal"):
+        return 1
+    return 0
 
 
 #: Stage classes in pipeline order.
@@ -273,6 +339,11 @@ class EvalPipeline:
             predictions (the ``--repair`` flag); the repair outcome is
             part of the ``analyze`` artifact's cache key, so repaired
             and unrepaired runs never share analysis artifacts.
+        feedback_rounds: maximum execution-feedback regeneration rounds
+            per example (the ``--feedback-rounds`` flag; clamped to
+            [0, :data:`~repro.repair.feedback.MAX_FEEDBACK_ROUNDS`]).
+            Zero disables the loop entirely — the pipeline behaves and
+            fingerprints exactly as before the loop existed.
     """
 
     def __init__(
@@ -282,12 +353,15 @@ class EvalPipeline:
         pool: DatabasePool,
         cache: ArtifactCache,
         repair: bool = False,
+        feedback_rounds: int = 0,
     ):
         self.dataset = dataset
         self.candidates = candidates
         self.pool = pool
         self.cache = cache
         self.repair = repair
+        self.feedback_rounds = max(0, min(int(feedback_rounds),
+                                          MAX_FEEDBACK_ROUNDS))
         self.stages = tuple(cls(self) for cls in STAGE_CLASSES)
 
     def stage(self, name: str) -> PipelineStage:
@@ -328,6 +402,8 @@ class EvalPipeline:
                 continue
             if voting and stage.name == "extract":
                 continue  # the voting loop already extracted per sample
+            if stage.name == "score" and self.feedback_rounds > 0:
+                self._feedback_loop(state, collector)
             with collector.stage(stage.name):
                 stage.run(state, collector)
         return state["record"]
@@ -541,22 +617,59 @@ class EvalPipeline:
             decode=lambda rows: [tuple(row) for row in rows],
         )
 
-    def predicted_rows(self, db_id: str, sql: str, collector):
-        """The ``execute`` artifact: predicted-query rows (``None`` on
-        execution failure — failures are results too, and cacheable)."""
+    def execution_outcome(self, db_id: str, sql: str, collector) -> Dict:
+        """The ``execute`` artifact: a structured execution outcome.
 
-        def compute():
-            return self.pool.get(db_id).try_execute(sql)
+        The runtime value is a dict — ``ok``, ``rows`` (tuples, or
+        ``None`` on failure), ``error_class`` (``exec:*`` taxonomy; ""
+        on success) and ``transient`` — because failures are results
+        too, and cacheable: the repair loop and error analysis need to
+        know *how* an execution failed, not just that it did.  Disk
+        entries written before the taxonomy landed (bare
+        ``{"ok": false}``) decode with an empty class.
+        """
 
-        def encode(rows):
-            if rows is None:
-                return {"ok": False}
-            return {"ok": True, "rows": [list(row) for row in rows]}
+        def compute() -> Dict:
+            try:
+                rows = self.pool.get(db_id).execute(sql)
+            except ExecutionError as exc:
+                return {
+                    "ok": False,
+                    "rows": None,
+                    "error_class": classify_execution_error(
+                        str(exc), exc.transient
+                    ),
+                    "transient": exc.transient,
+                }
+            return {"ok": True, "rows": rows, "error_class": "",
+                    "transient": False}
+
+        def encode(outcome):
+            if not outcome["ok"]:
+                return {
+                    "ok": False,
+                    "error_class": outcome["error_class"],
+                    "transient": outcome["transient"],
+                }
+            return {
+                "ok": True,
+                "rows": [list(row) for row in outcome["rows"]],
+            }
 
         def decode(payload):
             if not payload.get("ok"):
-                return None
-            return [tuple(row) for row in payload.get("rows", [])]
+                return {
+                    "ok": False,
+                    "rows": None,
+                    "error_class": str(payload.get("error_class", "")),
+                    "transient": bool(payload.get("transient", False)),
+                }
+            return {
+                "ok": True,
+                "rows": [tuple(row) for row in payload.get("rows", [])],
+                "error_class": "",
+                "transient": False,
+            }
 
         return self.cache.get_or_compute(
             "execute",
@@ -566,6 +679,15 @@ class EvalPipeline:
             encode=encode,
             decode=decode,
         )
+
+    def predicted_rows(self, db_id: str, sql: str, collector):
+        """Predicted-query rows (``None`` on execution failure).
+
+        Thin view over :meth:`execution_outcome` kept for callers that
+        only care *whether* execution produced rows (self-consistency
+        voting, tests)."""
+        outcome = self.execution_outcome(db_id, sql, collector)
+        return outcome["rows"] if outcome["ok"] else None
 
     # -- self-consistency ------------------------------------------------------
 
@@ -617,3 +739,180 @@ class EvalPipeline:
         state["raw_output"] = first_raw
         state["predicted_sql"] = best_sqls[0]
         state["completion_tokens"] = total_completion
+
+    # -- execution-feedback repair ---------------------------------------------
+
+    def _feedback_loop(self, state: State, collector) -> None:
+        """Bounded regenerate-from-diagnostics cycle for dead candidates.
+
+        Runs between the execute and score stages when
+        ``feedback_rounds > 0`` and the candidate died (fatal lint
+        diagnostic or execution failure).  Each round renders the
+        failure into a feedback turn (:func:`feedback_prompt`),
+        regenerates under sample tag ``fb-<round>``, and re-runs
+        analyze/execute on the result; the best candidate on the
+        degradation ladder wins, earliest round first.
+
+        Determinism rules:
+
+        * Every expensive step goes through the artifact cache under the
+          ordinary stage names, keyed on the feedback prompt's *content*
+          — a warm rerun or a journal resume mid-loop replays the whole
+          cycle byte-identically, and serial == parallel.
+        * The per-example budget is token-based, never wall-clock, so
+          the loop cuts at the same round everywhere.
+        * Transient faults are infrastructure, not model errors: a
+          transient execution class triggers one in-place re-execute,
+          and a :class:`ModelError` that survives the client's own
+          retry policy aborts the loop — neither consumes a feedback
+          round.
+
+        Exhausted budgets degrade gracefully: the best prior candidate
+        is kept and the record's class becomes ``repair:exhausted``
+        (transient aborts preserve their transient class instead).
+        """
+        example, plan, prompt = state["example"], state["plan"], state["prompt"]
+        analysis = state.get("analysis") or {}
+        if state.get("exec_ok", False):
+            return  # candidate executed — wrong answers are not repairable
+        current = _Candidate(
+            raw_output=str(state["raw_output"]),
+            predicted_sql=str(state["predicted_sql"]),
+            analysis=analysis,
+            final_sql=str(state.get("final_sql") or state["predicted_sql"]),
+            exec_ok=False,
+            exec_match=bool(state["exec_match"]),
+            error_class=(
+                str(analysis.get("error_class", ""))
+                or str(state.get("exec_error_class", ""))
+            ),
+        )
+        trigger_class = current.error_class or "unknown"
+        best = current
+        won_round = 0
+        rounds_attempted = 0
+        round_classes: List[str] = []
+        spent = 0
+        recovered = False
+        aborted_transient = False
+        gold = None
+        for round_index in range(1, self.feedback_rounds + 1):
+            with collector.stage("repair"):
+                if is_transient_class(current.error_class):
+                    # Infrastructure condition (locked DB, chaos fault):
+                    # retry the same SQL in place; regenerating different
+                    # SQL cannot help, so no feedback round is charged.
+                    with collector.stage("execute"):
+                        outcome = self.execution_outcome(
+                            example.db_id, current.final_sql, collector
+                        )
+                    if outcome["ok"]:
+                        if gold is None:
+                            gold = self.gold_rows(example, collector)
+                        current.exec_ok = True
+                        current.error_class = ""
+                        current.exec_match = results_match(
+                            gold, outcome["rows"], example.query
+                        )
+                        recovered = True
+                        if _candidate_rank(current) > _candidate_rank(best):
+                            best = current
+                            won_round = rounds_attempted
+                    collector.record_repair_round("transient")
+                    aborted_transient = not recovered
+                    break
+                fb_prompt = feedback_prompt(
+                    prompt,
+                    current.final_sql,
+                    current.error_class,
+                    current.analysis.get("diagnostics", []),
+                    round_index=round_index,
+                )
+                if spent + fb_prompt.token_count > FEEDBACK_EXAMPLE_TOKEN_BUDGET:
+                    break  # token budget exhausted — deterministic cut
+                try:
+                    with collector.stage("generate"):
+                        generation = self.generation(
+                            plan.llm, fb_prompt, f"fb-{round_index}", collector
+                        )
+                except ModelError:
+                    # API fault that survived the client's own retry
+                    # policy: infrastructure, not the model's SQL.
+                    collector.record_repair_round("transient")
+                    aborted_transient = True
+                    break
+                completion = int(generation["completion_tokens"])
+                spent += fb_prompt.token_count + completion
+                state["completion_tokens"] = (
+                    int(state["completion_tokens"]) + completion
+                )
+                rounds_attempted = round_index
+                sql = extract_sql(generation["text"], fb_prompt.response_prefix)
+                with collector.stage("analyze"):
+                    payload = self.analysis(example.db_id, sql, collector)
+                final_sql = str(payload.get("final_sql") or sql)
+                if payload.get("fatal"):
+                    collector.record_short_circuit()
+                    candidate = _Candidate(
+                        raw_output=str(generation["text"]),
+                        predicted_sql=sql,
+                        analysis=payload,
+                        final_sql=final_sql,
+                        exec_ok=False,
+                        exec_match=False,
+                        error_class=str(payload.get("error_class", "")),
+                    )
+                else:
+                    if gold is None:
+                        gold = self.gold_rows(example, collector)
+                    with collector.stage("execute"):
+                        outcome = self.execution_outcome(
+                            example.db_id, final_sql, collector
+                        )
+                    exec_ok = bool(outcome["ok"])
+                    candidate = _Candidate(
+                        raw_output=str(generation["text"]),
+                        predicted_sql=sql,
+                        analysis=payload,
+                        final_sql=final_sql,
+                        exec_ok=exec_ok,
+                        exec_match=exec_ok and results_match(
+                            gold, outcome["rows"], example.query
+                        ),
+                        error_class=(
+                            "" if exec_ok else str(outcome["error_class"])
+                        ),
+                    )
+                round_classes.append(candidate.error_class)
+                if _candidate_rank(candidate) > _candidate_rank(best):
+                    best = candidate
+                    won_round = round_index
+                if candidate.exec_ok:
+                    recovered = True
+                    collector.record_repair_round("recovered")
+                    collector.record_repair_recovered(trigger_class)
+                    break
+                collector.record_repair_round("failed")
+                current = candidate
+        if not recovered:
+            collector.record_repair_round("exhausted")
+        state["raw_output"] = best.raw_output
+        state["predicted_sql"] = best.predicted_sql
+        state["analysis"] = best.analysis
+        state["final_sql"] = best.final_sql
+        state["exec_ok"] = best.exec_ok
+        state["exec_match"] = best.exec_match
+        state["exec_error_class"] = (
+            best.error_class
+            if not best.exec_ok and not best.analysis.get("fatal")
+            else ""
+        )
+        state["repair_rounds"] = rounds_attempted
+        state["repair_won_round"] = won_round
+        state["repair_round_classes"] = round_classes
+        if recovered:
+            state["repair_error_class"] = ""
+        elif aborted_transient:
+            state["repair_error_class"] = best.error_class
+        else:
+            state["repair_error_class"] = REPAIR_EXHAUSTED

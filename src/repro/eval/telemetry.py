@@ -43,6 +43,8 @@ from ..obs.metrics import (
     M_LINT_SHORT_CIRCUIT,
     M_LLM_COST,
     M_LLM_TOKENS,
+    M_REPAIR_RECOVERED,
+    M_REPAIR_ROUNDS,
     M_STAGE_LATENCY,
     M_STAGE_SECONDS,
     MetricsRegistry,
@@ -51,8 +53,14 @@ from ..obs.trace import NULL_TRACER
 
 logger = logging.getLogger(__name__)
 
-#: Pipeline stages timed per example, in pipeline order.
-STAGES = ("select", "build", "generate", "extract", "analyze", "execute", "score")
+#: Pipeline stages timed per example, in pipeline order.  ``repair``
+#: wraps each execution-feedback round; its exclusive time is loop
+#: overhead only — the nested generate/analyze/execute re-entries bill
+#: to their own stage names.
+STAGES = (
+    "select", "build", "generate", "extract",
+    "analyze", "execute", "repair", "score",
+)
 
 #: Slack before busy-time accounting is flagged as inconsistent: timer
 #: granularity can push ``busy_s`` epsilon past capacity legitimately.
@@ -348,6 +356,25 @@ class TelemetryCollector:
         """Count one execution skipped by a fatal lint diagnostic."""
         self.registry.counter_add(M_LINT_SHORT_CIRCUIT, 1, self.labels)
 
+    def record_repair_round(self, outcome: str) -> None:
+        """Count one feedback-repair round event
+        (``repro_repair_rounds_total``).  Outcomes: ``recovered``
+        (round produced an executing candidate), ``failed`` (round
+        consumed, candidate still dead), ``transient`` (infrastructure
+        fault — no round consumed), ``exhausted`` (one per example
+        whose loop ended without recovery)."""
+        self.registry.counter_add(
+            M_REPAIR_ROUNDS, 1, {**self.labels, "outcome": outcome}
+        )
+
+    def record_repair_recovered(self, error_class: str) -> None:
+        """Count one repair-loop recovery, labelled by the error class
+        that triggered the loop (``repro_repair_recovered_total``)."""
+        self.registry.counter_add(
+            M_REPAIR_RECOVERED, 1,
+            {**self.labels, "error_class": error_class or "unknown"},
+        )
+
     def example_done(self, elapsed_s: float, error: bool = False) -> None:
         self.registry.counter_add(M_BUSY_SECONDS, elapsed_s, self.labels)
         self.registry.counter_add(M_EXAMPLES, 1, self.labels)
@@ -366,7 +393,10 @@ class TelemetryCollector:
         telemetry record, and assert-log (never clamp) busy-time
         accounting: ``busy_s`` beyond ``workers * wall_clock_s`` means
         some example was double-counted."""
-        stage_s: Dict[str, float] = {}
+        # Every declared stage gets a key, even when it never ran
+        # ("repair" with the loop off): summaries and diffs stay
+        # shape-stable across configurations.
+        stage_s: Dict[str, float] = {stage: 0.0 for stage in STAGES}
         for labels, value in self.registry.counter_series(
             M_STAGE_SECONDS, self.labels
         ):
@@ -470,6 +500,12 @@ class NullCollector(TelemetryCollector):
         pass
 
     def record_short_circuit(self) -> None:
+        pass
+
+    def record_repair_round(self, outcome: str) -> None:
+        pass
+
+    def record_repair_recovered(self, error_class: str) -> None:
         pass
 
     def example_done(self, elapsed_s: float, error: bool = False) -> None:

@@ -133,6 +133,26 @@ def default_repair() -> bool:
     return _DEFAULT_REPAIR
 
 
+#: Execution-feedback repair rounds for runners built by
+#: :func:`get_context` (``--feedback-rounds``); 0 = loop disabled.
+_DEFAULT_FEEDBACK_ROUNDS = 0
+
+
+def set_default_feedback_rounds(rounds: int) -> None:
+    """Set the execution-feedback round budget on every subsequently
+    built context (the CLI's ``--feedback-rounds`` flag).  Cached
+    contexts are dropped: their pipelines were built without it.
+    """
+    global _DEFAULT_FEEDBACK_ROUNDS
+    _DEFAULT_FEEDBACK_ROUNDS = max(0, int(rounds))
+    clear_cache()
+
+
+def default_feedback_rounds() -> int:
+    """The execution-feedback round budget for new contexts."""
+    return _DEFAULT_FEEDBACK_ROUNDS
+
+
 def set_default_journal(path: Optional[str], resume: bool = False) -> None:
     """Configure run journaling for subsequent sweeps (the CLI's
     ``--journal``/``--resume`` flags).  ``None`` disables it."""
@@ -270,6 +290,7 @@ class ExperimentContext:
             seed=seed,
             cache=self.runner.cache,
             repair=self.runner.repair,
+            feedback_rounds=self.runner.feedback_rounds,
         )
 
 
@@ -284,7 +305,8 @@ def get_context(fast: bool = False) -> ExperimentContext:
         pool = corpus.pool(backend=_DEFAULT_BACKEND)
         runner = BenchmarkRunner(corpus.dev, corpus.train, pool,
                                  seed=BENCHMARK_SEED, chaos=_DEFAULT_CHAOS,
-                                 repair=_DEFAULT_REPAIR)
+                                 repair=_DEFAULT_REPAIR,
+                                 feedback_rounds=_DEFAULT_FEEDBACK_ROUNDS)
         context = ExperimentContext(corpus=corpus, runner=runner)
         _CACHE[fast] = context
     return context

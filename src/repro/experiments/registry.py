@@ -9,6 +9,7 @@ from . import (
     exp_ablation,
     exp_cross_dialect,
     exp_extras,
+    exp_feedback,
     exp_fewshot_curve,
     exp_leaderboard,
     exp_open_source,
@@ -47,6 +48,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "pound_sign": exp_extras.run_pound_sign,
     "token_budget": exp_extras.run_token_budget,
     "cross_dialect": exp_cross_dialect.run,
+    "feedback": exp_feedback.run,
 }
 
 #: The paper's numbered artifacts (subset of EXPERIMENTS).

@@ -135,6 +135,7 @@ class SimulatedLLM:
         p += self._linking_term(prompt)
         p += self._example_term(prompt, gold)
         p += self._context_term(prompt)
+        p += self._feedback_term(prompt)
         return min(max(p, _P_FLOOR), _P_CEIL)
 
     def _base_competence(self, prompt: Prompt) -> float:
@@ -224,6 +225,19 @@ class SimulatedLLM:
         if tokens > self.profile.max_context:
             return -0.30  # truncated prompt: catastrophic
         return -self.profile.context_burden * tokens / 1000.0
+
+    def _feedback_term(self, prompt: Prompt) -> float:
+        """Uplift from an execution-feedback turn in the prompt.
+
+        Diagnosed failures are strong hints (ExeSQL-style feedback
+        works); more-aligned models exploit them better.  Keyed on the
+        feedback sentinel line so ordinary prompts are unaffected.
+        """
+        from ..repair.feedback import FEEDBACK_MARKER
+
+        if FEEDBACK_MARKER not in prompt.text:
+            return 0.0
+        return 0.10 + 0.10 * self.profile.alignment
 
     # -- generation ---------------------------------------------------------------
 

@@ -56,6 +56,8 @@ M_SERVE_INFLIGHT = "repro_serve_inflight_requests"
 M_SQL_TRANSPILE = "repro_sql_transpile_seconds_total"
 M_LLM_TOKENS = "repro_llm_tokens_total"
 M_LLM_COST = "repro_llm_cost_usd_total"
+M_REPAIR_ROUNDS = "repro_repair_rounds_total"
+M_REPAIR_RECOVERED = "repro_repair_recovered_total"
 M_BUILD_INFO = "repro_build_info"
 
 #: Fixed batch-size buckets for the request coalescer histogram.

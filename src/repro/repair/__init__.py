@@ -1,0 +1,46 @@
+"""Execution-feedback repair: bounded retry-with-diagnostics loops.
+
+The analyzer and executor already *describe* failures precisely — rule
+ids, spans, suggested fixes, structured ``exec:*`` error classes.  This
+package closes the loop: it renders those descriptions into a feedback
+turn, re-generates, and keeps the best candidate seen, under strict
+determinism rules (feedback prompts are content-fingerprinted, so
+repaired candidates live in the artifact cache and run journal like any
+other generation).
+
+Modules:
+
+* :mod:`repro.repair.taxonomy` — the transient-vs-deterministic
+  ``exec:*`` error-class split shared by the executor, the repair loop
+  and error analysis.
+* :mod:`repro.repair.feedback` — deterministic, token-budgeted
+  rendering of diagnostics into a feedback prompt turn.
+"""
+
+from .feedback import (
+    FEEDBACK_MARKER,
+    FEEDBACK_TOKEN_BUDGET,
+    MAX_FEEDBACK_ROUNDS,
+    feedback_prompt,
+    render_feedback,
+)
+from .taxonomy import (
+    EXEC_ERROR_PREFIX,
+    REPAIR_EXHAUSTED,
+    TRANSIENT_CLASS,
+    classify_execution_error,
+    is_transient_class,
+)
+
+__all__ = [
+    "EXEC_ERROR_PREFIX",
+    "FEEDBACK_MARKER",
+    "FEEDBACK_TOKEN_BUDGET",
+    "MAX_FEEDBACK_ROUNDS",
+    "REPAIR_EXHAUSTED",
+    "TRANSIENT_CLASS",
+    "classify_execution_error",
+    "feedback_prompt",
+    "is_transient_class",
+    "render_feedback",
+]

@@ -1,0 +1,148 @@
+"""Deterministic rendering of failure diagnostics into a feedback turn.
+
+One feedback round appends a structured block to the original prompt:
+the failing SQL, the executor's ``exec:*`` class, and the analyzer's
+diagnostics (rule id, severity, span, suggested fix), followed by a
+regeneration instruction.  The block is pure text — its content *is*
+the cache key of the regenerated candidate, so identical failures
+produce identical feedback prompts and hence identical repaired
+candidates, serially, in parallel, and across processes.
+
+Two hard properties:
+
+* **Bounded.** The rendered block never exceeds
+  :data:`FEEDBACK_TOKEN_BUDGET` tokens (measured with the same
+  :class:`~repro.tokenizer.counter.TokenCounter` the prompt builder
+  uses).  Diagnostics are dropped whole from the tail — never truncated
+  mid-entry — and the failing SQL is elided before the instruction is,
+  so wide-schema databases with dozens of findings cannot blow the
+  prompt window.
+* **Deterministic.** Rendering depends only on its arguments.  The
+  round number is part of the text, so round 2's prompt differs from
+  round 1's even when the diagnostics repeat — each round gets an
+  independent generation draw and an independent cache slot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from ..prompt.builder import Prompt
+from ..tokenizer.counter import TokenCounter
+
+#: Sentinel line opening every feedback block.  The simulated LLM keys
+#: its feedback-uptake term on this marker, and tests grep for it.
+FEEDBACK_MARKER = "### Execution feedback"
+
+#: Token ceiling for one rendered feedback block.
+FEEDBACK_TOKEN_BUDGET = 256
+
+#: Ceiling on ``--feedback-rounds`` / wire ``feedback_rounds`` — the
+#: point of the loop is a *bounded* cycle, and past a handful of rounds
+#: the simulated (and, per ExeSQL, the real) recovery curve is flat.
+MAX_FEEDBACK_ROUNDS = 5
+
+#: Per-example ceiling on tokens spent across all feedback rounds
+#: (feedback prompt + completion); deterministic, so the budget cuts the
+#: loop at the same round serially and in parallel.
+FEEDBACK_EXAMPLE_TOKEN_BUDGET = 4096
+
+#: Module-shared counter (bounded thread-safe LRU; see PromptBuilder).
+_COUNTER = TokenCounter()
+
+
+def render_feedback(
+    sql: str,
+    error_class: str,
+    diagnostics: Sequence[Dict[str, object]] = (),
+    round_index: int = 1,
+    counter: Optional[TokenCounter] = None,
+    max_tokens: int = FEEDBACK_TOKEN_BUDGET,
+) -> str:
+    """The feedback block for one failed candidate.
+
+    Args:
+        sql: the SQL that failed (analyzer-final text).
+        error_class: structured failure class (``lint:<rule>`` or
+            ``exec:<kind>``; "" renders as ``unknown``).
+        diagnostics: serialised analyzer diagnostics (rule, severity,
+            message, span, fix), rendered in order until the token
+            budget is reached.
+        round_index: 1-based feedback round (part of the text, so each
+            round's prompt is content-distinct).
+        counter: token counter (module-shared memo by default).
+        max_tokens: block-level token ceiling.
+    """
+    counter = counter or _COUNTER
+    header = f"{FEEDBACK_MARKER} (round {round_index})"
+    instruction = (
+        "Rewrite the SQL to fix the problems above. "
+        "Respond with the corrected SQL only."
+    )
+    failure = f"The previous SQL failed [{error_class or 'unknown'}]."
+
+    # The skeleton (header + failure class + instruction) always fits;
+    # the SQL echo and the diagnostics compete for what remains.
+    lines: List[str] = [header, failure]
+    skeleton_cost = counter.count("\n".join(lines + [instruction]))
+    budget = max_tokens - skeleton_cost
+
+    sql_line = f"SQL: {sql}"
+    sql_cost = counter.count(sql_line) + 1
+    if sql and sql_cost <= budget:
+        lines.append(sql_line)
+        budget -= sql_cost
+
+    for entry in diagnostics:
+        line = _diagnostic_line(entry)
+        cost = counter.count(line) + 1
+        if cost > budget:
+            break  # drop the tail whole — never mid-entry
+        lines.append(line)
+        budget -= cost
+
+    lines.append(instruction)
+    return "\n".join(lines)
+
+
+def _diagnostic_line(entry: Dict[str, object]) -> str:
+    """One diagnostic as a stable single line (mirrors Diagnostic.format)."""
+    rule = str(entry.get("rule", ""))
+    severity = str(entry.get("severity", ""))
+    message = str(entry.get("message", ""))
+    text = f"- {severity}[{rule}] {message}"
+    span = entry.get("span") or ()
+    if isinstance(span, (list, tuple)) and len(span) == 2 and span != [0, 0] \
+            and tuple(span) != (0, 0):
+        text += f" @ {int(span[0])}..{int(span[1])}"
+    fix = str(entry.get("fix", ""))
+    if fix:
+        text += f" (fix: {fix})"
+    return text
+
+
+def feedback_prompt(
+    prompt: Prompt,
+    sql: str,
+    error_class: str,
+    diagnostics: Sequence[Dict[str, object]] = (),
+    round_index: int = 1,
+    counter: Optional[TokenCounter] = None,
+) -> Prompt:
+    """The original prompt extended with one feedback block.
+
+    The returned prompt shares every structured field with the original
+    (schema, examples, flags — the outcome model still sees them) but
+    carries the new text and its token count, so generation artifacts
+    key on the feedback content automatically.
+    """
+    counter = counter or _COUNTER
+    block = render_feedback(
+        sql, error_class, diagnostics,
+        round_index=round_index, counter=counter,
+    )
+    text = f"{prompt.text}\n\n{block}"
+    return dataclasses.replace(
+        prompt, text=text, token_count=counter.count(text)
+    )

@@ -1,0 +1,77 @@
+"""The structured execution error-class taxonomy.
+
+``error_class`` values follow three conventions across the codebase:
+exception type names for engine faults, ``lint:<rule>`` for analyzer
+gates, and — since the repair loop landed — ``exec:<kind>`` for
+execution failures.  The executor-side split matters because the two
+halves need opposite handling:
+
+* **transient** classes (:data:`TRANSIENT_CLASS`) describe infrastructure
+  conditions — a locked or busy database, an injected chaos fault.  A
+  retry of the *same* SQL could succeed; regenerating different SQL is
+  pointless.  The repair loop retries these in place and never charges
+  them against the feedback-round budget, and error-analysis cross-tabs
+  keep them out of the model-error columns.
+* **deterministic** classes (``exec:no-such-column`` and friends)
+  describe properties of the SQL itself.  Retrying identically is
+  pointless; feeding the diagnosis back into generation is exactly what
+  the repair loop is for.
+
+:data:`REPAIR_EXHAUSTED` marks records whose repair loop ran out of
+rounds (or budget) without producing a cleanly-executing candidate; the
+per-round classes remain on the record's ``repair_round_classes``.
+"""
+
+from __future__ import annotations
+
+#: ``error_class`` prefix for execution failures (mirrors the analyzer's
+#: ``lint:`` prefix convention).
+EXEC_ERROR_PREFIX = "exec"
+
+#: The transient execution class: locked/busy database, injected chaos
+#: fault — conditions a retry of the same SQL could clear.
+TRANSIENT_CLASS = "exec:locked"
+
+#: Stamped on records whose feedback-repair loop exhausted its round or
+#: token budget without recovering a cleanly-executing candidate.
+REPAIR_EXHAUSTED = "repair:exhausted"
+
+#: Deterministic failure fragments, checked in order against the
+#: lower-cased executor message.  SQLite spells these stably ("no such
+#: column: x", "ambiguous column name: y", 'near "FROM": syntax error'),
+#: and the emulated dialect backends reuse the reference executor, so
+#: fragment matching is portable across every pool flavor.
+_DETERMINISTIC_FRAGMENTS = (
+    ("no such column", "exec:no-such-column"),
+    ("no such table", "exec:no-such-table"),
+    ("ambiguous column", "exec:ambiguous-column"),
+    ("syntax error", "exec:syntax"),
+    ("no such function", "exec:no-such-function"),
+    ("more than", "exec:row-budget"),
+)
+
+
+def classify_execution_error(message: str, transient: bool = False) -> str:
+    """The ``exec:*`` class of one execution failure.
+
+    Args:
+        message: the :class:`~repro.errors.ExecutionError` text.
+        transient: the error's transient flag — set by the sqlite
+            backend for locked/busy conditions and by the chaos layer
+            for injected database faults.  Transient wins over any
+            message fragment: an injected "database is locked" must
+            never be misfiled as a model error.
+    """
+    if transient:
+        return TRANSIENT_CLASS
+    lowered = message.lower()
+    for fragment, error_class in _DETERMINISTIC_FRAGMENTS:
+        if fragment in lowered:
+            return error_class
+    return "exec:error"
+
+
+def is_transient_class(error_class: str) -> bool:
+    """True when ``error_class`` names an infrastructure condition the
+    repair loop should retry in place rather than regenerate around."""
+    return error_class == TRANSIENT_CLASS

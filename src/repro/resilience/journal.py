@@ -60,6 +60,13 @@ def journal_cell_key(plan, runner) -> str:
         # and cache faults change records without touching it — the
         # whole policy is part of the cell identity.
         parts.append(chaos.fingerprint())
+    feedback_rounds = getattr(runner, "feedback_rounds", 0)
+    if feedback_rounds:
+        # The repair loop changes records (provenance fields, recovered
+        # candidates) — feedback cells must never replay into plain
+        # ones.  Appended only when enabled so pre-existing journals of
+        # plain runs keep resuming.
+        parts.append(f"feedback:{feedback_rounds}")
     return stable_digest("journal-cell", *parts)
 
 

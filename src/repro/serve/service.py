@@ -151,6 +151,13 @@ class SqlService:
             the configured trace directory (a no-op tracer when tracing
             is off); a tracer built here is owned and closed by
             :meth:`close`.
+        feedback_rounds: server default for the execution-feedback
+            repair loop on ``/v1/generate`` (requests may raise or
+            lower it per call via the wire ``feedback_rounds`` field).
+            ``None`` inherits the runner's configured rounds.  The
+            generate path never executes, so the serve-side loop
+            triggers on fatal lint diagnostics only — on the same
+            feedback-prompt artifacts the batch loop produces.
     """
 
     def __init__(
@@ -165,8 +172,13 @@ class SqlService:
         max_wait_s: float = 0.005,
         clock: Callable[[], float] = time.monotonic,
         tracer=None,
+        feedback_rounds: Optional[int] = None,
     ):
         self.runner = runner
+        self.feedback_rounds = (
+            getattr(runner, "feedback_rounds", 0)
+            if feedback_rounds is None else max(0, int(feedback_rounds))
+        )
         self.pipeline = runner.pipeline
         self.config = config if config is not None else RunConfig(
             model="gpt-4", representation="CR_P", organization="DAIL_O",
@@ -272,6 +284,15 @@ class SqlService:
         deadline.check("analyze")
         with collector.stage("analyze"):
             payload = self.pipeline.analysis(request.db_id, sql, collector)
+        rounds = (
+            request.feedback_rounds
+            if request.feedback_rounds > 0 else self.feedback_rounds
+        )
+        if rounds > 0 and payload.get("fatal"):
+            sql, payload, completion_tokens = self._lint_feedback(
+                client, prompt, sql, payload, rounds,
+                request, deadline, collector, completion_tokens,
+            )
         final_sql = str(payload.get("final_sql") or sql)
         return GenerateResponse(
             sql=final_sql,
@@ -410,6 +431,59 @@ class SqlService:
             strategy=self.plan.strategy,
             n_samples=self.plan.n_samples,
         )
+
+    def _lint_feedback(
+        self, client, prompt, sql, payload, rounds: int,
+        request: GenerateRequest, deadline: _Deadline, collector,
+        completion_tokens: int,
+    ):
+        """The serve-side execution-feedback loop (lint gate only — the
+        generate path never executes).
+
+        Mirrors the batch pipeline's ``_feedback_loop``: feedback
+        prompts are built by the same renderer from the same
+        (sql, error class, diagnostics, round) inputs, so every round's
+        ``generate`` artifact is shared with sweeps that repaired the
+        same failure.  The request deadline is checked before each
+        round — the loop composes with the engine deadline budget
+        instead of adding its own clock.
+        """
+        from ..repair.feedback import feedback_prompt
+
+        trigger_class = str(payload.get("error_class", "")) or "unknown"
+        current_sql, current_payload = sql, payload
+        for round_index in range(1, rounds + 1):
+            deadline.check(f"feedback round {round_index}")
+            with collector.stage("repair"):
+                fb_prompt = feedback_prompt(
+                    prompt,
+                    str(current_payload.get("final_sql") or current_sql),
+                    str(current_payload.get("error_class", "")),
+                    current_payload.get("diagnostics", []),
+                    round_index=round_index,
+                )
+                with collector.stage("generate"):
+                    generation = self.pipeline.generation(
+                        client, fb_prompt, f"fb-{round_index}", collector
+                    )
+                completion_tokens += int(generation["completion_tokens"])
+                candidate_sql = extract_sql(
+                    generation["text"], fb_prompt.response_prefix
+                )
+                with collector.stage("analyze"):
+                    candidate = self.pipeline.analysis(
+                        request.db_id, candidate_sql, collector
+                    )
+                if not candidate.get("fatal"):
+                    collector.record_repair_round("recovered")
+                    collector.record_repair_recovered(trigger_class)
+                    return candidate_sql, candidate, completion_tokens
+                collector.record_repair_round("failed")
+                current_sql, current_payload = candidate_sql, candidate
+        # Exhausted: every candidate is equally fatal, so the earliest
+        # (the original) wins the degradation ladder.
+        collector.record_repair_round("exhausted")
+        return sql, payload, completion_tokens
 
     def _vote(
         self, client, prompt, request: GenerateRequest,

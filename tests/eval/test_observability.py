@@ -148,10 +148,13 @@ class TestReconciliation:
         )
         for report in grid:
             cell_totals = tracefile.stage_totals(spans, cell=report.label)
-            assert set(cell_totals) == set(report.telemetry.stage_s)
-            for stage, total in cell_totals.items():
-                assert total == pytest.approx(
-                    report.telemetry.stage_s[stage], abs=1e-9
+            # Telemetry is shape-stable (every declared stage, zero when
+            # it never ran — e.g. "repair" with the loop off); the trace
+            # only holds spans for stages that actually ran.
+            assert set(cell_totals) <= set(report.telemetry.stage_s)
+            for stage, stage_seconds in report.telemetry.stage_s.items():
+                assert cell_totals.get(stage, 0.0) == pytest.approx(
+                    stage_seconds, abs=1e-9
                 )
         # whole-run registry totals also reconcile with the trace
         for stage, total in tracefile.stage_totals(spans).items():

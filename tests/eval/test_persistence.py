@@ -103,8 +103,8 @@ class TestDirectories:
 
 
 class TestVersioning:
-    def test_current_version_is_six(self):
-        assert FORMAT_VERSION == 6
+    def test_current_version_is_seven(self):
+        assert FORMAT_VERSION == 7
 
     def test_v1_payload_still_loads(self):
         report = make_report()
@@ -215,10 +215,15 @@ class TestVersioning:
         # the later formats added and check the defaults fill back in.
         from repro.eval.persistence import SUPPORTED_VERSIONS
 
-        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5, 6)
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5, 6, 7)
         for version in SUPPORTED_VERSIONS:
             payload = report_to_dict(make_report())
             payload["version"] = version
+            if version < 7:
+                for entry in payload["records"]:
+                    entry.pop("repair_rounds", None)
+                    entry.pop("repair_won_round", None)
+                    entry.pop("repair_round_classes", None)
             if version < 6 and "telemetry" in payload:
                 for field in ("prompt_tokens", "completion_tokens",
                               "cost_usd"):
@@ -256,6 +261,34 @@ class TestVersioning:
         assert back.telemetry == report.telemetry
         assert back.metered_prompt_tokens == 1234
         assert back.cost_usd == pytest.approx(0.037)
+
+    def test_v6_payload_without_repair_fields_still_loads(self):
+        report = make_report()
+        payload = report_to_dict(report)
+        payload["version"] = 6
+        for entry in payload["records"]:
+            entry.pop("repair_rounds")
+            entry.pop("repair_won_round")
+            entry.pop("repair_round_classes")
+        back = report_from_dict(payload)
+        assert all(r.repair_rounds == 0 for r in back.records)
+        assert all(r.repair_won_round == 0 for r in back.records)
+        assert all(r.repair_round_classes == [] for r in back.records)
+
+    def test_v7_repair_provenance_roundtrips(self, tmp_path):
+        report = make_report()
+        report.records[0].repair_rounds = 2
+        report.records[0].repair_won_round = 2
+        report.records[0].repair_round_classes = ["exec:no-such-column", ""]
+        path = save_report(report, tmp_path / "v7.json")
+        payload = json.loads(path.read_text())
+        assert payload["version"] == FORMAT_VERSION
+        assert payload["records"][0]["repair_won_round"] == 2
+        back = load_report(path)
+        assert back.records[0].repair_rounds == 2
+        assert back.records[0].repair_round_classes == [
+            "exec:no-such-column", ""
+        ]
 
 
 class TestTelemetryAndErrors:

@@ -28,7 +28,11 @@ def record_dicts(report):
 
 class TestStageContracts:
     def test_stage_order_matches_telemetry(self):
-        assert tuple(cls.name for cls in STAGE_CLASSES) == STAGES
+        # "repair" is timed like a stage but runs as a loop between
+        # execute and score, not as a stage class.
+        timed = tuple(name for name in STAGES if name != "repair")
+        assert tuple(cls.name for cls in STAGE_CLASSES) == timed
+        assert "repair" in STAGES
 
     def test_declared_inputs_are_satisfied_by_prior_outputs(self):
         """Each stage's declared inputs must be produced by an earlier

@@ -16,7 +16,8 @@ EXPECTED_ARTIFACTS = {
 
 SUPPLEMENTARY = {"hardness", "cost", "sc_sweep", "dail_threshold",
                  "self_correction", "errors", "lint", "calibration",
-                 "pound_sign", "token_budget", "cross_dialect"}
+                 "pound_sign", "token_budget", "cross_dialect",
+                 "feedback"}
 
 
 class TestRegistry:

@@ -1,0 +1,133 @@
+"""Feedback rendering and the ``exec:*`` error-class taxonomy.
+
+The renderer's contract is load-bearing for determinism: the rendered
+block *is* the cache key of the regenerated candidate, so it must be a
+pure bounded function of its arguments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import RunConfig
+from repro.repair.feedback import (
+    FEEDBACK_MARKER,
+    FEEDBACK_TOKEN_BUDGET,
+    MAX_FEEDBACK_ROUNDS,
+    feedback_prompt,
+    render_feedback,
+)
+from repro.repair.taxonomy import (
+    REPAIR_EXHAUSTED,
+    TRANSIENT_CLASS,
+    classify_execution_error,
+    is_transient_class,
+)
+from repro.tokenizer.counter import TokenCounter
+
+
+def diag(i: int, message: str = "") -> dict:
+    return {
+        "rule": f"rule.{i}",
+        "severity": "warning",
+        "message": message or f"finding number {i} about a column name",
+        "span": [i, i + 7],
+        "fix": f"rename column c{i}",
+    }
+
+
+class TestRenderFeedback:
+    def test_block_never_exceeds_budget(self):
+        counter = TokenCounter()
+        block = render_feedback(
+            "SELECT " + ", ".join(f"col_{i}" for i in range(80)),
+            "exec:no-such-column",
+            [diag(i, "a rather long diagnostic message " * 4)
+             for i in range(200)],
+        )
+        assert counter.count(block) <= FEEDBACK_TOKEN_BUDGET
+
+    def test_rendering_is_deterministic(self):
+        args = ("SELECT 1", "exec:syntax", [diag(1), diag(2)], 3)
+        assert render_feedback(*args) == render_feedback(*args)
+
+    def test_round_index_makes_rounds_distinct(self):
+        one = render_feedback("SELECT 1", "exec:syntax", [diag(1)], 1)
+        two = render_feedback("SELECT 1", "exec:syntax", [diag(1)], 2)
+        assert one != two
+        assert "(round 1)" in one and "(round 2)" in two
+
+    def test_marker_and_skeleton_always_present(self):
+        block = render_feedback(
+            "SELECT " + "x, " * 500, "lint:some.rule",
+            [diag(i) for i in range(50)], max_tokens=20,
+        )
+        assert block.startswith(FEEDBACK_MARKER)
+        assert "lint:some.rule" in block
+        assert block.rstrip().endswith("corrected SQL only.")
+
+    def test_sql_elided_under_tight_budget(self):
+        block = render_feedback(
+            "SELECT " + "x, " * 500, "exec:syntax", [], max_tokens=20
+        )
+        assert "SQL:" not in block
+
+    def test_diagnostics_dropped_whole_not_truncated(self):
+        diags = [diag(i) for i in range(50)]
+        block = render_feedback("SELECT 1", "exec:syntax", diags,
+                                max_tokens=60)
+        rendered = [line for line in block.splitlines()
+                    if line.startswith("- ")]
+        assert len(rendered) < len(diags)  # the tail was dropped
+        # Every rendered entry is complete — it carries its fix suffix.
+        assert all(line.endswith(")") and "(fix:" in line
+                   for line in rendered)
+
+    def test_empty_error_class_renders_unknown(self):
+        assert "[unknown]" in render_feedback("SELECT 1", "", [])
+
+
+class TestFeedbackPrompt:
+    def test_appends_block_and_recounts_tokens(self, runner):
+        plan = runner.prepare(RunConfig(model="gpt-4"))
+        example = runner.eval_dataset.examples[0]
+        schema = runner.eval_dataset.schema(example.db_id)
+        prompt = plan.builder.build(schema, example.question)
+        counter = TokenCounter()
+        fb = feedback_prompt(prompt, "SELECT wrong", "exec:no-such-column",
+                             [diag(1)], round_index=1)
+        assert fb.text.startswith(prompt.text)
+        assert FEEDBACK_MARKER in fb.text
+        assert fb.token_count == counter.count(fb.text)
+        assert fb.token_count > prompt.token_count
+        # The original prompt is untouched (dataclasses.replace).
+        assert FEEDBACK_MARKER not in prompt.text
+
+
+class TestTaxonomy:
+    def test_transient_flag_wins_over_fragments(self):
+        assert classify_execution_error(
+            "no such column: x", transient=True
+        ) == TRANSIENT_CLASS
+
+    @pytest.mark.parametrize("message,expected", [
+        ("no such column: singer.agee", "exec:no-such-column"),
+        ("no such table: singers", "exec:no-such-table"),
+        ("ambiguous column name: name", "exec:ambiguous-column"),
+        ('near "FROM": syntax error', "exec:syntax"),
+        ("no such function: median", "exec:no-such-function"),
+        ("query returned more than 100000 rows", "exec:row-budget"),
+        ("disk I/O error", "exec:error"),
+    ])
+    def test_deterministic_fragments(self, message, expected):
+        assert classify_execution_error(message) == expected
+
+    def test_is_transient_class(self):
+        assert is_transient_class(TRANSIENT_CLASS)
+        assert not is_transient_class("exec:no-such-column")
+        assert not is_transient_class(REPAIR_EXHAUSTED)
+        assert not is_transient_class("")
+
+    def test_round_cap_is_small(self):
+        # The loop's point is boundedness; a runaway cap would defeat it.
+        assert 1 <= MAX_FEEDBACK_ROUNDS <= 10

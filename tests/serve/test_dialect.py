@@ -25,8 +25,8 @@ GOLDEN_DIR = Path(__file__).parent / "goldens"
 
 
 class TestWireDialectField:
-    def test_schema_version_is_three(self):
-        assert WIRE_SCHEMA_VERSION == 3
+    def test_schema_version_is_four(self):
+        assert WIRE_SCHEMA_VERSION == 4
 
     def test_dialect_defaults_to_sqlite(self):
         request = ExecuteRequest.from_json(
