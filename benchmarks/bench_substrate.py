@@ -660,6 +660,101 @@ def repair_loop_gate(latency_s=0.02, limit=None, smoke=False, rounds=2):
     return recovery_rate, repaired
 
 
+def semantic_dedup_gate(latency_s=0.02, limit=None, smoke=False,
+                        n_samples=5):
+    """Gate equivalence-class dedup: fewer executions, same report.
+
+    Sweeps one weak-model config (llama-13b zero-shot — noisy enough
+    that self-consistency samples collide) at ``n_samples`` with
+    semantic dedup on and off, from fresh caches, then checks:
+
+    1. **Effect** — the dedup-on sweep actually coalesced candidates
+       (``telemetry.semantic_dedup > 0``) and its execute-stage lookup
+       total is lower by exactly that count: every dedup event is one
+       statement that never reached the execution layer.
+    2. **Transparency** — the two reports are byte-identical record for
+       record.  Dedup is an optimisation, never a scoring change.
+    3. **Soundness** — on every record ``semantic_match`` implies
+       ``exec_match`` (the prover never credits a wrong result), so the
+       report-level rates bracket as sem <= ex.
+
+    Returns ``(dedup_saving, deduped_grid)`` where ``dedup_saving`` is
+    the fraction of execute-stage lookups the dedup removed — the
+    snapshot metric.
+    """
+    from dataclasses import asdict
+
+    from repro.eval.engine import GridRunner
+    from repro.eval.harness import BenchmarkRunner, RunConfig
+
+    config = RunConfig(model="llama-13b", representation="CR_P")
+    corpus = build_corpus(CorpusConfig(seed=1, train_per_db=6, dev_per_db=4))
+
+    def runner_with(semantic_dedup):
+        return BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool(), seed=1,
+            llm_latency_s=latency_s, semantic_dedup=semantic_dedup,
+        )
+
+    def execute_lookups(runner):
+        stats = runner.cache.stats().get("execute", {})
+        return stats.get("hits", 0) + stats.get("misses", 0)
+
+    try:
+        on_runner = runner_with(True)
+        deduped = GridRunner(on_runner, workers=1).sweep(
+            [config], limit=limit, n_samples=n_samples
+        )[0]
+        off_runner = runner_with(False)
+        plain = GridRunner(off_runner, workers=1).sweep(
+            [config], limit=limit, n_samples=n_samples
+        )[0]
+
+        # 1. effect: classes collapsed, executions saved one-for-one.
+        saved = deduped.telemetry.semantic_dedup
+        if not saved:
+            raise AssertionError(
+                "semantic dedup never fired — the gate verified nothing"
+            )
+        on_lookups = execute_lookups(on_runner)
+        off_lookups = execute_lookups(off_runner)
+        if on_lookups + saved != off_lookups:
+            raise AssertionError(
+                f"dedup bookkeeping off: {on_lookups} lookups + {saved} "
+                f"deduped != {off_lookups} without dedup"
+            )
+
+        # 2. transparency: scoring is unchanged byte for byte.
+        if [asdict(r) for r in deduped.records] != \
+                [asdict(r) for r in plain.records]:
+            raise AssertionError(
+                "dedup-on records diverge from dedup-off"
+            )
+
+        # 3. soundness: the prover never out-credits execution.
+        unsound = [r.example_id for r in deduped.records
+                   if r.semantic_match and not r.exec_match]
+        if unsound:
+            raise AssertionError(
+                f"semantic_match without exec_match on {unsound}"
+            )
+        if deduped.semantic_accuracy > deduped.execution_accuracy + 1e-9:
+            raise AssertionError(
+                f"sem {deduped.semantic_accuracy:.3f} exceeds "
+                f"ex {deduped.execution_accuracy:.3f}"
+            )
+    finally:
+        corpus.close()
+
+    dedup_saving = saved / off_lookups if off_lookups else 0.0
+    print(f"semantic dedup (n={n_samples}): {saved} of {off_lookups} "
+          f"candidate executions removed ({dedup_saving:.0%})")
+    print(f"reports byte-identical; sem {deduped.semantic_accuracy:.3f} "
+          f"<= ex {deduped.execution_accuracy:.3f} "
+          f"(em {deduped.exact_match_accuracy:.3f})")
+    return dedup_saving, deduped
+
+
 def chaos_resilience(workers=4, latency_s=0.002, limit=None, rate=0.1,
                      seed=7, kill_at=6):
     """Resilience drill: a grid sweep under a deterministic fault profile.
@@ -967,6 +1062,10 @@ def main(argv=None):
             latency_s=args.latency, limit=args.limit, smoke=args.smoke
         )
         print()
+        dedup_saving, _ = semantic_dedup_gate(
+            latency_s=args.latency, limit=args.limit, smoke=args.smoke
+        )
+        print()
         # The overhead fraction hovers around zero and can dip negative,
         # which degenerates relative diffs (a <=0 baseline turns any
         # increase into an infinite regression) — snapshot the
@@ -978,6 +1077,7 @@ def main(argv=None):
             "analyze_share": analyze_share,
             "transpile_share": transpile_share,
             "repair_recovery_rate": recovery_rate,
+            "semantic_dedup_saving": dedup_saving,
         }
     chaos_resilience(workers=args.workers, limit=args.limit,
                      rate=args.chaos_rate, seed=args.chaos_seed)
@@ -991,6 +1091,7 @@ def main(argv=None):
             "analyze_share": "lower",
             "transpile_share": "lower",
             "repair_recovery_rate": "higher",
+            "semantic_dedup_saving": "higher",
         }
         meta = {"bench": "bench_substrate", "workers": args.workers,
                 "latency_s": args.latency, "limit": args.limit}

@@ -19,20 +19,36 @@ from .diagnostics import (
 )
 from .repair import REPAIR_RULES, RepairResult, repair
 from .safety import STATEMENT_KINDS, classify_statement, split_statements
+from .semantics import (
+    DISTINCT,
+    EQUAL,
+    UNKNOWN,
+    SemanticFinding,
+    condition_findings,
+    equivalent,
+    satisfiable,
+)
 
 __all__ = [
     "ANALYZER_VERSION",
     "AnalysisResult",
+    "DISTINCT",
     "Diagnostic",
+    "EQUAL",
     "LINT_ERROR_PREFIX",
     "REPAIR_RULES",
     "RepairResult",
     "SEVERITIES",
     "STATEMENT_KINDS",
+    "SemanticFinding",
     "SqlAnalyzer",
+    "UNKNOWN",
     "analyze",
     "classify_statement",
+    "condition_findings",
+    "equivalent",
     "repair",
+    "satisfiable",
     "sort_diagnostics",
     "split_statements",
 ]

@@ -45,7 +45,21 @@ rule                                  severity  fires when
                                                 more than one column
 ``nest.setop-arity``                  error     set-operation arms project
                                                 different column counts
+``sem:always-empty``                  warning   WHERE/HAVING can never be
+                                                TRUE (contradictory bounds,
+                                                ``x = NULL``, out-of-domain
+                                                literal, …)
+``sem:tautology``                     warning   OR branches cover every
+                                                (non-NULL) value
+``sem:redundant-predicate``           warning   a conjunct is implied by a
+                                                sibling conjunct
 ====================================  ========  ===========================
+
+The ``sem:*`` rules come from the satisfiability pass in
+:mod:`repro.analysis.semantics` (interval/domain reasoning over typed
+columns after canonicalization).  They are warnings by construction:
+under three-valued logic a "tautology" still excludes NULLs, and an
+always-empty query is valid SQL that simply returns nothing.
 
 Scope resolution mirrors SQLite: unqualified columns resolve innermost
 scope first (correlated subqueries may reach outer scopes), derived
@@ -98,10 +112,11 @@ from ..sql.tokens import AGGREGATES, TokenType, tokenize
 from ..sql.transpile import normalize_to_reference
 from .diagnostics import AnalysisResult, Diagnostic, sort_diagnostics
 from .safety import classify_statement, split_statements
+from .semantics import condition_findings
 
 #: Version stamp folded into analysis cache keys — bump when rules change
 #: so stale cached verdicts are never replayed.
-ANALYZER_VERSION = "2"
+ANALYZER_VERSION = "3"
 
 _NUMERIC_RE = re.compile(r"-?\d+(\.\d+)?")
 
@@ -349,7 +364,34 @@ class SqlAnalyzer:
 
         self._check_aggregation(core, scope, sql, diags)
         self._check_joins(core, scope, sql, diags)
+        self._check_semantics(core, scope, sql, diags)
         return scope
+
+    def _check_semantics(
+        self,
+        core: SelectCore,
+        scope: _Scope,
+        sql: str,
+        diags: List[Diagnostic],
+    ) -> None:
+        """Satisfiability findings over WHERE/HAVING (``sem:*`` rules)."""
+
+        def resolver(ref: ColumnRef) -> Optional[Column]:
+            return self._quiet_resolve(ref, scope)
+
+        for clause, condition in (
+            ("WHERE", core.where), ("HAVING", core.having),
+        ):
+            if condition is None:
+                continue
+            for finding in condition_findings(condition, resolver):
+                diags.append(Diagnostic(
+                    rule=f"sem:{finding.kind}",
+                    severity="warning",
+                    message=f"{clause} {finding.message}",
+                    span=self._span(sql, finding.column),
+                    fix=finding.fix,
+                ))
 
     def _build_scope(
         self,

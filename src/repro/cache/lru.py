@@ -15,6 +15,7 @@ from functools import wraps
 from typing import Callable, TypeVar
 
 T = TypeVar("T")
+F = TypeVar("F", bound=Callable)
 
 _MISSING = object()
 
@@ -104,18 +105,19 @@ class LRUCache:
             return dict(self._data)
 
 
-def memoize(max_entries: int = 10_000):
+def memoize(max_entries: int = 10_000) -> Callable[[F], F]:
     """Decorator: memoise a single-argument pure function with an LRU.
 
     A bounded, thread-safe drop-in for ``functools.lru_cache`` on hot
     single-key paths.  The cache is exposed as ``wrapper.cache``.
+    Preserves the decorated function's signature for type checkers.
     """
 
-    def decorate(fn: Callable) -> Callable:
+    def decorate(fn: F) -> F:
         cache = LRUCache(max_entries)
 
         @wraps(fn)
-        def wrapper(arg):
+        def wrapper(arg):  # type: ignore[no-untyped-def]
             value = cache.get(arg, _MISSING)
             if value is not _MISSING:
                 return value
@@ -124,6 +126,6 @@ def memoize(max_entries: int = 10_000):
             return value
 
         wrapper.cache = cache  # type: ignore[attr-defined]
-        return wrapper
+        return wrapper  # type: ignore[return-value]
 
     return decorate

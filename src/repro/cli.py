@@ -676,6 +676,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             "analysis": result.to_dict(),
             "fatal": result.fatal,
         }
+        # Canonicalization (like repair) assumes the reference grammar.
+        if (
+            getattr(args, "semantic", False)
+            and (dialect or REFERENCE_DIALECT) == REFERENCE_DIALECT
+        ):
+            from .sql.canonical import canonical_fingerprint, canonicalize
+            from .sql.unparse import unparse
+
+            fingerprint = canonical_fingerprint(sql.strip(), schema)
+            if fingerprint is not None:
+                entry["canonical_sql"] = unparse(
+                    canonicalize(sql.strip(), schema)
+                )
+                entry["fingerprint"] = fingerprint
         # The repair pass rewrites reference-dialect SQL only.
         do_repair = (
             args.repair and (dialect or REFERENCE_DIALECT) == REFERENCE_DIALECT
@@ -700,6 +714,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         diagnostics = entry["analysis"]["diagnostics"]
         if not diagnostics and "repaired_sql" not in entry:
             clean += 1
+            if "canonical_sql" in entry:
+                print(f"{entry['source']} ({entry['db_id']}): clean")
+                print(f"  canonical: {entry['canonical_sql']}")
             continue
         if entry["fatal"]:
             verdict = "FATAL"
@@ -713,6 +730,8 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             fix = f" (fix: {diag['fix']})" if diag["fix"] else ""
             print(f"  {diag['severity']}[{diag['rule']}] "
                   f"{diag['message']}{fix}")
+        if "canonical_sql" in entry:
+            print(f"  canonical: {entry['canonical_sql']}")
         if "repaired_sql" in entry:
             applied = ", ".join(entry["repair_applied"])
             print(f"  repaired [{applied}]: {entry['repaired_sql']}")
@@ -973,6 +992,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("--repair", action="store_true",
                         help="also run the deterministic repair pass and "
                              "show the rewritten SQL + its re-analysis")
+    p_lint.add_argument("--semantic", action="store_true",
+                        help="also show each statement's canonical "
+                             "logical form and equivalence-class "
+                             "fingerprint (sem:* satisfiability rules "
+                             "run either way; reference dialect only)")
     from .sql.dialect import REFERENCE_DIALECT, dialect_names
 
     p_lint.add_argument("--dialect", default=REFERENCE_DIALECT,

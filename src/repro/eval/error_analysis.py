@@ -218,3 +218,60 @@ def lint_rows(records: Sequence[PredictionRecord]) -> List[Dict[str, object]]:
             "precision": round(wrong / judged, 3) if judged else 0.0,
         })
     return rows
+
+
+def metric_cross_tab(
+    records: Sequence[PredictionRecord],
+) -> List[Dict[str, object]]:
+    """Cross-tabulate the three accuracy metrics per hardness bucket.
+
+    One row per hardness level that has records, plus an ``all`` total
+    row.  Beyond the three headline rates the disagreement columns are
+    the point of the table:
+
+    * ``ex_not_sem`` — executed correctly but unproven: the ceiling on
+      how many EX wins *could* be single-instance false positives.
+    * ``sem_not_em`` — proved equivalent yet failing exact match: EM
+      false negatives (alias/ordering/rewrite noise the canonicalizer
+      sees through).
+    * ``em_not_sem`` — exact-match hits the prover would not certify
+      (typically value-masked EM hiding a wrong literal).
+    * ``sem_not_ex`` — should be **zero** (the prover is sound w.r.t.
+      execution); reported so regressions surface in the tables
+      instead of silently corrupting the metric.
+    """
+    from ..sql.hardness import HARDNESS_LEVELS
+
+    def row(label: str, bucket: Sequence[PredictionRecord]) -> Dict[str, object]:
+        n = len(bucket)
+        ex = sum(r.exec_match for r in bucket)
+        em = sum(r.exact_match for r in bucket)
+        sem = sum(r.semantic_match for r in bucket)
+        return {
+            "hardness": label,
+            "n": n,
+            "ex": round(ex / n, 4),
+            "em": round(em / n, 4),
+            "sem": round(sem / n, 4),
+            "ex_not_sem": sum(
+                r.exec_match and not r.semantic_match for r in bucket
+            ),
+            "sem_not_em": sum(
+                r.semantic_match and not r.exact_match for r in bucket
+            ),
+            "em_not_sem": sum(
+                r.exact_match and not r.semantic_match for r in bucket
+            ),
+            "sem_not_ex": sum(
+                r.semantic_match and not r.exec_match for r in bucket
+            ),
+        }
+
+    rows: List[Dict[str, object]] = []
+    for level in HARDNESS_LEVELS:
+        bucket = [r for r in records if r.hardness == level]
+        if bucket:
+            rows.append(row(level, bucket))
+    if records:
+        rows.append(row("all", list(records)))
+    return rows

@@ -6,136 +6,28 @@ and case folding, **ignoring literal values** inside conditions (the
 official metric's convention — value correctness is what execution
 accuracy measures).
 
+The component-key scheme (expression keys, flattened condition-leaf
+sets, per-clause query keys) lives in :mod:`repro.sql.canonical` and is
+shared with the semantic-equivalence engine — exact match uses it with
+literal values masked, equivalence with values visible, so the two
+metrics can never disagree about *structure*.
+
 :func:`component_match` exposes the per-clause verdicts the official
 script reports as partial matching.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Union
+from typing import Dict, Optional
 
-from ..sql.ast_nodes import (
-    BetweenCondition,
-    BinaryExpr,
-    CaseExpr,
-    ColumnRef,
-    Comparison,
-    Condition,
-    ExistsCondition,
-    Expr,
-    FuncCall,
-    InCondition,
-    IsNullCondition,
-    LikeCondition,
-    Literal,
-    NotCondition,
-    Query,
-    SelectCore,
-    iter_conditions,
-)
+from ..sql.canonical import core_components, query_key
 from ..sql.normalize import resolve_aliases
 from ..sql.parser import try_parse
+from ..sql.ast_nodes import Query
 
 COMPONENTS = (
     "select", "from", "where", "group", "having", "order", "limit", "set_op",
 )
-
-_VALUE_MASK = "value"
-
-
-def _expr_key(expr: Union[Expr, Query]) -> str:
-    """Canonical string key of an expression, with literals masked."""
-    if isinstance(expr, Query):
-        return f"({_query_key(expr)})"
-    if isinstance(expr, ColumnRef):
-        return expr.key()
-    if isinstance(expr, Literal):
-        return _VALUE_MASK
-    if isinstance(expr, FuncCall):
-        distinct = "distinct " if expr.distinct else ""
-        return f"{expr.name.lower()}({distinct}{_expr_key(expr.arg)})"
-    if isinstance(expr, BinaryExpr):
-        return f"{_expr_key(expr.left)}{expr.op}{_expr_key(expr.right)}"
-    if isinstance(expr, CaseExpr):
-        branches = ";".join(
-            f"{_leaf_keys_of(cond)}:{_expr_key(value)}"
-            for cond, value in expr.whens
-        )
-        tail = _expr_key(expr.else_) if expr.else_ is not None else ""
-        return f"case({branches})else({tail})"
-    raise TypeError(f"not an expression: {expr!r}")
-
-
-def _leaf_keys_of(condition: Condition) -> str:
-    return "&".join(sorted(_condition_keys(condition)))
-
-
-def _condition_keys(condition: Optional[Condition]) -> frozenset:
-    """Set of leaf-predicate keys (AND/OR structure flattened, Spider-style)."""
-    keys = []
-    for leaf in iter_conditions(condition):
-        keys.append(_leaf_key(leaf))
-    return frozenset(keys)
-
-
-def _leaf_key(leaf: Condition) -> str:
-    if isinstance(leaf, Comparison):
-        return f"{_expr_key(leaf.left)} {leaf.op} {_expr_key(leaf.right)}"
-    if isinstance(leaf, InCondition):
-        op = "not in" if leaf.negated else "in"
-        if isinstance(leaf.values, Query):
-            return f"{_expr_key(leaf.expr)} {op} ({_query_key(leaf.values)})"
-        return f"{_expr_key(leaf.expr)} {op} {_VALUE_MASK}"
-    if isinstance(leaf, LikeCondition):
-        op = "not like" if leaf.negated else "like"
-        return f"{_expr_key(leaf.expr)} {op} {_VALUE_MASK}"
-    if isinstance(leaf, BetweenCondition):
-        op = "not between" if leaf.negated else "between"
-        return f"{_expr_key(leaf.expr)} {op}"
-    if isinstance(leaf, IsNullCondition):
-        op = "is not null" if leaf.negated else "is null"
-        return f"{_expr_key(leaf.expr)} {op}"
-    if isinstance(leaf, ExistsCondition):
-        op = "not exists" if leaf.negated else "exists"
-        return f"{op} ({_query_key(leaf.query)})"
-    if isinstance(leaf, NotCondition):
-        return f"not {_leaf_key(leaf.operand)}"
-    raise TypeError(f"not a condition leaf: {leaf!r}")
-
-
-def _core_components(core: SelectCore) -> Dict[str, object]:
-    select_key = frozenset(
-        (_expr_key(item.expr), core.distinct) for item in core.items
-    )
-    from_key = frozenset(
-        core.from_clause.table_names() if core.from_clause else ()
-    )
-    order_key = tuple(
-        (_expr_key(o.expr), o.direction.lower()) for o in core.order_by
-    )
-    return {
-        "select": select_key,
-        "from": from_key,
-        "where": _condition_keys(core.where),
-        "group": frozenset(_expr_key(e) for e in core.group_by),
-        "having": _condition_keys(core.having),
-        "order": order_key,
-        "limit": core.limit is not None,
-        "set_op": None,  # filled at query level
-    }
-
-
-def _query_key(query: Query) -> str:
-    """Canonical key of a whole query (used for nested comparison)."""
-    parts = []
-    for op, core in query.flatten_set_ops():
-        comp = _core_components(core)
-        parts.append(
-            f"{op or ''}|{sorted(comp['select'])}|{sorted(comp['from'])}|"
-            f"{sorted(comp['where'])}|{sorted(comp['group'])}|"
-            f"{sorted(comp['having'])}|{comp['order']}|{comp['limit']}"
-        )
-    return "&&".join(parts)
 
 
 def component_match(gold_sql: str, pred_sql: str) -> Optional[Dict[str, bool]]:
@@ -159,8 +51,8 @@ def component_match(gold_sql: str, pred_sql: str) -> Optional[Dict[str, bool]]:
     pred_ops = tuple(op for op, _ in pred_parts[1:])
     verdict["set_op"] = gold_ops == pred_ops
 
-    gold_comp = _core_components(gold_parts[0][1])
-    pred_comp = _core_components(pred_parts[0][1])
+    gold_comp = core_components(gold_parts[0][1])
+    pred_comp = core_components(pred_parts[0][1])
     for name in COMPONENTS:
         if name == "set_op":
             continue
@@ -169,10 +61,10 @@ def component_match(gold_sql: str, pred_sql: str) -> Optional[Dict[str, bool]]:
     # Set-operation tails must match wholesale.
     if gold_ops and verdict["set_op"]:
         gold_tail = "&&".join(
-            _query_key(Query(core=core)) for _, core in gold_parts[1:]
+            query_key(Query(core=core)) for _, core in gold_parts[1:]
         )
         pred_tail = "&&".join(
-            _query_key(Query(core=core)) for _, core in pred_parts[1:]
+            query_key(Query(core=core)) for _, core in pred_parts[1:]
         )
         verdict["set_op"] = gold_tail == pred_tail
     return verdict

@@ -160,6 +160,12 @@ class BenchmarkRunner:
             :data:`~repro.repair.feedback.MAX_FEEDBACK_ROUNDS`.
             Feedback runs journal under a distinct cell key, but share
             every round-0 artifact with plain runs.
+        semantic_dedup: group candidate statements into semantic
+            equivalence classes before execution in self-consistency
+            voting and the feedback loop (on by default; reports stay
+            byte-identical either way).  Forced off under chaos: fault
+            injection makes two executions of equivalent SQL observably
+            different, which is exactly what chaos runs must observe.
     """
 
     def __init__(
@@ -173,6 +179,7 @@ class BenchmarkRunner:
         chaos=None,
         repair: bool = False,
         feedback_rounds: int = 0,
+        semantic_dedup: bool = True,
     ):
         self.eval_dataset = eval_dataset
         self.candidates = candidates
@@ -200,8 +207,10 @@ class BenchmarkRunner:
         self.pipeline = EvalPipeline(
             eval_dataset, candidates, self.pool, self.cache, repair=repair,
             feedback_rounds=feedback_rounds,
+            semantic_dedup=semantic_dedup and chaos is None,
         )
         self.feedback_rounds = self.pipeline.feedback_rounds
+        self.semantic_dedup = self.pipeline.semantic_dedup
         annotate = getattr(self.cache, "annotate_backend", None)
         if annotate is not None:
             annotate(self.backend_name)

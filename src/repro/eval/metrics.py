@@ -41,6 +41,14 @@ class PredictionRecord:
     (0 = the original), and ``repair_round_classes`` lists each round's
     resulting ``error_class`` ("" = clean execution).  All three stay
     at their defaults when the loop is off or never triggered.
+
+    ``semantic_match`` is true when the semantic-equivalence engine
+    *proved* the scored SQL equivalent to gold
+    (:func:`repro.analysis.semantics.equivalent` returned ``EQUAL``) —
+    a verdict quantified over all database instances, so it implies
+    ``exec_match`` record by record while ``exec_match`` alone can be
+    a single-instance false positive.  Records persisted before the
+    metric existed load with ``False``.
     """
 
     example_id: str
@@ -55,6 +63,7 @@ class PredictionRecord:
     prompt_tokens: int
     completion_tokens: int
     n_examples: int
+    semantic_match: bool = False
     error: str = ""
     error_class: str = ""
     statement_kind: str = ""
@@ -97,6 +106,17 @@ class EvalReport:
         self._require_records()
         return sum(r.exact_match for r in self.records) / len(self.records)
 
+    @property
+    def semantic_accuracy(self) -> float:
+        """Fraction *proved* equivalent to gold by the semantic engine.
+
+        A lower bound on true accuracy (the prover is sound but
+        incomplete): per record ``semantic_match`` implies
+        ``exec_match``, so this never exceeds execution accuracy.
+        """
+        self._require_records()
+        return sum(r.semantic_match for r in self.records) / len(self.records)
+
     # -- breakdowns ----------------------------------------------------------
 
     def by_hardness(self, metric: str = "exec") -> Dict[str, float]:
@@ -111,6 +131,8 @@ class EvalReport:
                 out[level] = sum(r.exec_match for r in bucket) / len(bucket)
             elif metric == "exact":
                 out[level] = sum(r.exact_match for r in bucket) / len(bucket)
+            elif metric == "semantic":
+                out[level] = sum(r.semantic_match for r in bucket) / len(bucket)
             else:
                 raise EvaluationError(f"unknown metric {metric!r}")
         return out
@@ -127,6 +149,8 @@ class EvalReport:
                 out[db_id] = sum(r.exec_match for r in records) / len(records)
             elif metric == "exact":
                 out[db_id] = sum(r.exact_match for r in records) / len(records)
+            elif metric == "semantic":
+                out[db_id] = sum(r.semantic_match for r in records) / len(records)
             else:
                 raise EvaluationError(f"unknown metric {metric!r}")
         return out
@@ -251,6 +275,7 @@ class EvalReport:
             "n": len(self.records),
             "ex": round(self.execution_accuracy, 4),
             "em": round(self.exact_match_accuracy, 4),
+            "sem": round(self.semantic_accuracy, 4),
             "avg_prompt_tokens": round(self.avg_prompt_tokens, 1),
             "avg_examples": round(self.avg_examples, 2),
             "efficiency": round(self.token_efficiency(), 4),

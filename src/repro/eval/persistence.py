@@ -37,11 +37,15 @@ from .telemetry import RunTelemetry
 #: sheet applied to them);
 #: v7 added the execution-feedback repair provenance fields —
 #: ``repair_rounds``, ``repair_won_round`` and ``repair_round_classes``
-#: (all defaulted when the repair loop is off or never triggered).
-FORMAT_VERSION = 7
+#: (all defaulted when the repair loop is off or never triggered);
+#: v8 added the per-record ``semantic_match`` flag (prediction *proved*
+#: equivalent to gold by the semantic engine) and the telemetry
+#: ``semantic_dedup`` counter (executions skipped by equivalence-class
+#: dedup).
+FORMAT_VERSION = 8
 
 #: Versions :func:`report_from_dict` can still read.
-SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6, 7)
+SUPPORTED_VERSIONS = (1, 2, 3, 4, 5, 6, 7, 8)
 
 
 def report_to_dict(report: EvalReport) -> Dict:
@@ -64,8 +68,9 @@ def report_from_dict(payload: Dict) -> EvalReport:
     field and run telemetry), v2 (predates the telemetry ``trace_file``
     pointer), v3 (predates the ``partial`` flag and ``error_class``),
     v4 (predates the analyzer fields), v5 (predates the telemetry
-    token/cost fields) and v6 (predates the repair provenance fields)
-    files — the missing fields take their dataclass defaults.
+    token/cost fields), v6 (predates the repair provenance fields) and
+    v7 (predates the semantic-match flag and dedup counter) files — the
+    missing fields take their dataclass defaults.
 
     Raises:
         EvaluationError: on version mismatch or malformed payloads.

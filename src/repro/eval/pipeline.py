@@ -65,6 +65,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..analysis.analyzer import ANALYZER_VERSION, analyze
 from ..analysis.repair import repair as repair_sql
+from ..analysis.semantics import EQUAL, equivalent
 from ..errors import ExecutionError, ModelError, SQLSyntaxError
 from ..cache.store import ArtifactCache
 from ..dataset.spider import Example, SpiderDataset
@@ -86,6 +87,7 @@ from ..repair.taxonomy import (
     is_transient_class,
 )
 from ..selection.strategies import DailSelection
+from ..sql.canonical import canonical_fingerprint
 from ..sql.dialect import REFERENCE_DIALECT
 from ..sql.transpile import transpile
 from .exact_match import exact_match
@@ -236,14 +238,14 @@ class ExecuteStage(PipelineStage):
 
 
 class ScoreStage(PipelineStage):
-    """Exact match plus record assembly (pure)."""
+    """Exact match, semantic equivalence, and record assembly (pure)."""
 
     name = "score"
     inputs = (
         "example", "prompt", "raw_output", "predicted_sql",
         "analysis", "final_sql", "exec_match", "completion_tokens",
     )
-    outputs = ("exact_match", "record")
+    outputs = ("exact_match", "semantic_match", "record")
 
     def run(self, state: State, collector) -> None:
         example, prompt = state["example"], state["prompt"]
@@ -252,6 +254,10 @@ class ScoreStage(PipelineStage):
         final_sql = str(state.get("final_sql") or predicted_sql)
         em_ok = exact_match(example.query, final_sql)
         state["exact_match"] = em_ok
+        sem_ok = self.pipeline.semantic_match(
+            example.db_id, example.query, final_sql
+        )
+        state["semantic_match"] = sem_ok
         # Lint gates outrank execution failures (a fatally-diagnosed
         # statement never executed); the feedback loop, when it ran,
         # resolves the final class itself (``repair:exhausted``, the
@@ -272,6 +278,7 @@ class ScoreStage(PipelineStage):
             predicted_sql=predicted_sql,
             exec_match=state["exec_match"],
             exact_match=em_ok,
+            semantic_match=sem_ok,
             hardness=example.hardness,
             prompt_tokens=prompt.token_count,
             completion_tokens=state["completion_tokens"],
@@ -344,6 +351,16 @@ class EvalPipeline:
             [0, :data:`~repro.repair.feedback.MAX_FEEDBACK_ROUNDS`]).
             Zero disables the loop entirely — the pipeline behaves and
             fingerprints exactly as before the loop existed.
+        semantic_dedup: group candidate statements into semantic
+            equivalence classes (canonical fingerprints) before the
+            database round-trip in self-consistency voting and the
+            feedback loop — one representative per class executes, the
+            rest reuse its outcome.  Sound because two statements with
+            the same canonical form return the same rows on every
+            database instance; reports are byte-identical with the
+            flag off, only the execution count changes.  Only active
+            against the reference dialect (the canonicalizer assumes
+            the reference grammar).
     """
 
     def __init__(
@@ -354,6 +371,7 @@ class EvalPipeline:
         cache: ArtifactCache,
         repair: bool = False,
         feedback_rounds: int = 0,
+        semantic_dedup: bool = True,
     ):
         self.dataset = dataset
         self.candidates = candidates
@@ -362,6 +380,7 @@ class EvalPipeline:
         self.repair = repair
         self.feedback_rounds = max(0, min(int(feedback_rounds),
                                           MAX_FEEDBACK_ROUNDS))
+        self.semantic_dedup = semantic_dedup
         self.stages = tuple(cls(self) for cls in STAGE_CLASSES)
 
     def stage(self, name: str) -> PipelineStage:
@@ -380,6 +399,45 @@ class EvalPipeline:
         """The pool backend's dialect name (reference when untracked)."""
         profile = getattr(self.pool, "profile", None)
         return profile.name if profile is not None else REFERENCE_DIALECT
+
+    # -- semantic analysis -----------------------------------------------------
+
+    @property
+    def dedup_active(self) -> bool:
+        """Whether equivalence-class dedup applies to this pipeline.
+
+        The canonicalizer's soundness argument is stated against the
+        reference grammar and SQLite semantics, so dedup switches off
+        automatically on non-reference backends.
+        """
+        return self.semantic_dedup and self.dialect_name == REFERENCE_DIALECT
+
+    def semantic_fingerprint(self, db_id: str, sql: str) -> str:
+        """The statement's equivalence-class key.
+
+        Canonical fingerprints collide exactly when two statements have
+        the same canonical logical form; statements outside the parser's
+        grammar fall back to their raw text (a singleton class — never
+        wrongly merged, merely never deduplicated).
+        """
+        fingerprint = canonical_fingerprint(sql, self.dataset.schema(db_id))
+        return fingerprint if fingerprint is not None else f"raw:{sql}"
+
+    def semantic_match(self, db_id: str, gold_sql: str, pred_sql: str) -> bool:
+        """Whether the prediction is *provably* equivalent to gold.
+
+        ``True`` only on an :data:`~repro.analysis.semantics.EQUAL`
+        verdict — a proof quantified over all database instances, so
+        per-record ``semantic_match`` implies ``exec_match`` (the
+        converse does not hold: execution accuracy can be a false
+        positive on one particular database instance).  Any internal
+        error counts as unproven, never as a crash.
+        """
+        try:
+            schema = self.dataset.schema(db_id)
+            return equivalent(gold_sql, pred_sql, schema) == EQUAL
+        except Exception:
+            return False
 
     # -- the chain -----------------------------------------------------------
 
@@ -698,11 +756,22 @@ class EvalPipeline:
         winner) and ``completion_tokens`` (sum over samples); the
         execute stage then scores the winner — whose execution is
         already a cache hit from the voting pass.
+
+        With :attr:`dedup_active`, samples are grouped into semantic
+        equivalence classes before the database round-trip: the first
+        member of each class executes, later members reuse its rows (a
+        vote for the same result set — exactly what executing them
+        would have produced, since equal canonical forms return equal
+        rows on every instance).  Vote keys are result sets either way,
+        so the winning SQL and the report are byte-identical with
+        dedup off; only executed-statement counts change.
         """
         example, plan, prompt = state["example"], state["plan"], state["prompt"]
         votes: Dict[str, List[str]] = {}
         first_raw = ""
         total_completion = 0
+        dedup = self.dedup_active
+        class_rows: Dict[str, object] = {}
         for index in range(plan.n_samples):
             with collector.stage("generate"):
                 generation = self.generation(
@@ -723,10 +792,20 @@ class EvalPipeline:
                 collector.record_short_circuit()
                 rows = None
             else:
-                with collector.stage("execute"):
-                    rows = self.predicted_rows(
-                        example.db_id, final_sql, collector
-                    )
+                fingerprint = (
+                    self.semantic_fingerprint(example.db_id, str(final_sql))
+                    if dedup else ""
+                )
+                if dedup and fingerprint in class_rows:
+                    rows = class_rows[fingerprint]
+                    collector.record_semantic_dedup("voting")
+                else:
+                    with collector.stage("execute"):
+                        rows = self.predicted_rows(
+                            example.db_id, final_sql, collector
+                        )
+                    if dedup:
+                        class_rows[fingerprint] = rows
             key = "<error>" if rows is None else repr(sorted(map(repr, rows)))
             votes.setdefault(key, []).append(sql)
 
@@ -796,6 +875,25 @@ class EvalPipeline:
         recovered = False
         aborted_transient = False
         gold = None
+        # Equivalence-class memo: a regeneration that canonicalizes to a
+        # statement this loop already executed reuses that outcome
+        # instead of a fresh round-trip.  Round 0's dead statement seeds
+        # the map — the most common repair failure is the model echoing
+        # a trivial rewrite of its own broken SQL.  Transient outcomes
+        # are never stored or reused (retrying them is the point).
+        dedup = self.dedup_active
+        fp_outcomes: Dict[str, Dict] = {}
+        if dedup and not current.analysis.get("fatal") and (
+            not is_transient_class(current.error_class)
+        ):
+            fp_outcomes[
+                self.semantic_fingerprint(example.db_id, current.final_sql)
+            ] = {
+                "ok": False,
+                "rows": None,
+                "error_class": current.error_class,
+                "transient": False,
+            }
         for round_index in range(1, self.feedback_rounds + 1):
             with collector.stage("repair"):
                 if is_transient_class(current.error_class):
@@ -865,10 +963,20 @@ class EvalPipeline:
                 else:
                     if gold is None:
                         gold = self.gold_rows(example, collector)
-                    with collector.stage("execute"):
-                        outcome = self.execution_outcome(
-                            example.db_id, final_sql, collector
-                        )
+                    fingerprint = (
+                        self.semantic_fingerprint(example.db_id, final_sql)
+                        if dedup else ""
+                    )
+                    if dedup and fingerprint in fp_outcomes:
+                        outcome = fp_outcomes[fingerprint]
+                        collector.record_semantic_dedup("repair")
+                    else:
+                        with collector.stage("execute"):
+                            outcome = self.execution_outcome(
+                                example.db_id, final_sql, collector
+                            )
+                        if dedup and not outcome["transient"]:
+                            fp_outcomes[fingerprint] = outcome
                     exec_ok = bool(outcome["ok"])
                     candidate = _Candidate(
                         raw_output=str(generation["text"]),

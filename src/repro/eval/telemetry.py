@@ -45,6 +45,7 @@ from ..obs.metrics import (
     M_LLM_TOKENS,
     M_REPAIR_RECOVERED,
     M_REPAIR_ROUNDS,
+    M_SEMANTIC_DEDUP,
     M_STAGE_LATENCY,
     M_STAGE_SECONDS,
     MetricsRegistry,
@@ -99,6 +100,10 @@ class RunTelemetry:
             the artifact cache was warm).
         cost_usd: simulated dollar cost of those tokens under the
             paper's price sheet (0.0 for unpriced models).
+        semantic_dedup: database round-trips skipped because a
+            candidate statement fell into an equivalence class the
+            pipeline had already executed (voting + repair contexts
+            summed).
     """
 
     workers: int = 1
@@ -115,6 +120,7 @@ class RunTelemetry:
     prompt_tokens: int = 0
     completion_tokens: int = 0
     cost_usd: float = 0.0
+    semantic_dedup: int = 0
 
     @property
     def utilization(self) -> float:
@@ -162,6 +168,8 @@ class RunTelemetry:
             out["prompt_tokens"] = self.prompt_tokens
             out["completion_tokens"] = self.completion_tokens
             out["cost_usd"] = round(self.cost_usd, 6)
+        if self.semantic_dedup:
+            out["semantic_dedup"] = self.semantic_dedup
         return out
 
 
@@ -375,6 +383,16 @@ class TelemetryCollector:
             {**self.labels, "error_class": error_class or "unknown"},
         )
 
+    def record_semantic_dedup(self, context: str) -> None:
+        """Count one execution skipped by equivalence-class dedup
+        (``repro_semantic_dedup_total``).  Contexts: ``voting``
+        (self-consistency sample shared a class with an earlier
+        sample), ``repair`` (feedback regeneration canonicalized to a
+        statement the loop already executed)."""
+        self.registry.counter_add(
+            M_SEMANTIC_DEDUP, 1, {**self.labels, "context": context}
+        )
+
     def example_done(self, elapsed_s: float, error: bool = False) -> None:
         self.registry.counter_add(M_BUSY_SECONDS, elapsed_s, self.labels)
         self.registry.counter_add(M_EXAMPLES, 1, self.labels)
@@ -441,6 +459,11 @@ class TelemetryCollector:
             elif labels.get("kind") == "completion":
                 completion_tokens += int(value)
         cost_usd = self.registry.counter_value(M_LLM_COST, self.labels)
+        semantic_dedup = 0
+        for _, value in self.registry.counter_series(
+            M_SEMANTIC_DEDUP, self.labels
+        ):
+            semantic_dedup += int(value)
         return RunTelemetry(
             workers=workers,
             wall_clock_s=wall_clock_s,
@@ -456,6 +479,7 @@ class TelemetryCollector:
             prompt_tokens=prompt_tokens,
             completion_tokens=completion_tokens,
             cost_usd=cost_usd,
+            semantic_dedup=semantic_dedup,
         )
 
 
@@ -506,6 +530,9 @@ class NullCollector(TelemetryCollector):
         pass
 
     def record_repair_recovered(self, error_class: str) -> None:
+        pass
+
+    def record_semantic_dedup(self, context: str) -> None:
         pass
 
     def example_done(self, elapsed_s: float, error: bool = False) -> None:

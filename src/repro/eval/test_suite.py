@@ -16,11 +16,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from ..analysis.semantics import EQUAL, equivalent
 from ..dataset.generator.domains import DomainSpec, build_schema, domain_by_id
 from ..dataset.generator.populate import populate
 from ..db.execution import results_match
 from ..db.sqlite_backend import Database
 from ..errors import EvaluationError
+from ..schema.model import DatabaseSchema
 
 
 class TestSuite:
@@ -32,6 +34,11 @@ class TestSuite:
             plus ``n_instances - 1`` re-populations).
         base_seed: seed of the primary instance (must match the corpus
             seed so instance 0 equals the benchmark database).
+        use_equivalence: short-circuit :meth:`matches` with the semantic
+            prover — a pair proved ``EQUAL`` matches on *every* database
+            instance by definition of the verdict, so no instance needs
+            to execute.  :attr:`equivalence_skips` counts the pairs
+            settled this way.
     """
 
     def __init__(
@@ -39,13 +46,19 @@ class TestSuite:
         domains: Sequence[DomainSpec],
         n_instances: int = 5,
         base_seed: int = 0,
+        use_equivalence: bool = True,
     ):
         if n_instances < 1:
             raise EvaluationError("test suite needs at least one instance")
         self.n_instances = n_instances
+        self.use_equivalence = use_equivalence
+        #: Pairs settled by the equivalence prover instead of execution.
+        self.equivalence_skips = 0
         self._databases: Dict[str, List[Database]] = {}
+        self._schemas: Dict[str, DatabaseSchema] = {}
         for spec in domains:
             schema = build_schema(spec)
+            self._schemas[spec.db_id] = schema
             instances = []
             for index in range(n_instances):
                 seed = base_seed if index == 0 else base_seed * 1000 + 7919 * index
@@ -55,10 +68,12 @@ class TestSuite:
 
     @classmethod
     def for_db_ids(cls, db_ids: Sequence[str], n_instances: int = 5,
-                   base_seed: int = 0) -> "TestSuite":
+                   base_seed: int = 0,
+                   use_equivalence: bool = True) -> "TestSuite":
         """Build a suite from catalogue db_ids."""
         return cls([domain_by_id(db_id) for db_id in db_ids],
-                   n_instances=n_instances, base_seed=base_seed)
+                   n_instances=n_instances, base_seed=base_seed,
+                   use_equivalence=use_equivalence)
 
     def instances(self, db_id: str) -> List[Database]:
         """All instances of one database.
@@ -77,8 +92,25 @@ class TestSuite:
         Gold must execute on every instance (it is the benchmark's own
         query); a gold failure raises.  A prediction failure on any
         instance scores False.
+
+        With :attr:`use_equivalence`, pairs the semantic prover settles
+        as ``EQUAL`` skip execution entirely: the verdict is quantified
+        over all instances of the schema, which is exactly the TS
+        metric's quantifier.  ``DISTINCT``/``UNKNOWN`` pairs fall
+        through to the full per-instance check (a ``DISTINCT`` proof
+        speaks about *some* instance, not necessarily the suite's).
         """
-        for database in self.instances(db_id):
+        instances = self.instances(db_id)  # validates db_id up front
+        if self.use_equivalence:
+            schema = self._schemas.get(db_id)
+            try:
+                verdict = equivalent(gold_sql, predicted_sql, schema)
+            except Exception:
+                verdict = None
+            if verdict == EQUAL:
+                self.equivalence_skips += 1
+                return True
+        for database in instances:
             gold_rows = database.execute(gold_sql)
             pred_rows = database.try_execute(predicted_sql)
             if pred_rows is None:

@@ -44,6 +44,7 @@ EXPERIMENTS: Dict[str, Callable] = {
     "self_correction": exp_extras.run_self_correction,
     "errors": exp_extras.run_error_analysis,
     "lint": exp_extras.run_lint_summary,
+    "metric_audit": exp_extras.run_metric_audit,
     "calibration": exp_extras.run_calibration,
     "pound_sign": exp_extras.run_pound_sign,
     "token_budget": exp_extras.run_token_budget,

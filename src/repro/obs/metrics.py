@@ -58,6 +58,7 @@ M_LLM_TOKENS = "repro_llm_tokens_total"
 M_LLM_COST = "repro_llm_cost_usd_total"
 M_REPAIR_ROUNDS = "repro_repair_rounds_total"
 M_REPAIR_RECOVERED = "repro_repair_recovered_total"
+M_SEMANTIC_DEDUP = "repro_semantic_dedup_total"
 M_BUILD_INFO = "repro_build_info"
 
 #: Fixed batch-size buckets for the request coalescer histogram.

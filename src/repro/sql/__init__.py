@@ -30,6 +30,16 @@ from .ast_nodes import (
     iter_conditions,
     iter_subqueries,
 )
+from .canonical import (
+    canonical_fingerprint,
+    canonicalize,
+    canonicalize_condition,
+    condition_keys,
+    core_components,
+    expr_key,
+    leaf_key,
+    query_key,
+)
 from .dialect import (
     REFERENCE_DIALECT,
     DialectProfile,
@@ -70,4 +80,6 @@ __all__ = [
     "DialectProfile", "REFERENCE_DIALECT", "dialect_names", "get_dialect",
     "reference_dialect", "register_dialect", "normalize_to_reference",
     "parse_dialect", "render", "transpile",
+    "canonical_fingerprint", "canonicalize", "canonicalize_condition",
+    "condition_keys", "core_components", "expr_key", "leaf_key", "query_key",
 ]

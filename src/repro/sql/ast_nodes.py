@@ -20,7 +20,7 @@ the exact-match evaluator and the skeleton extractor rely on.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Iterator, Optional, Tuple, Union
 
 # ---------------------------------------------------------------------------
 # Expressions
@@ -314,7 +314,7 @@ class Query:
 # ---------------------------------------------------------------------------
 
 
-def iter_conditions(condition: Optional[Condition]):
+def iter_conditions(condition: Optional[Condition]) -> Iterator[Condition]:
     """Yield every leaf predicate in a condition tree (AND/OR/NOT expanded)."""
     if condition is None:
         return
@@ -329,13 +329,13 @@ def iter_conditions(condition: Optional[Condition]):
             yield node
 
 
-def iter_subqueries(query: Query):
+def iter_subqueries(query: Query) -> Iterator[Query]:
     """Yield every nested :class:`Query` inside ``query`` (not query itself)."""
     for _, core in query.flatten_set_ops():
         yield from _iter_core_subqueries(core)
 
 
-def _iter_core_subqueries(core: SelectCore):
+def _iter_core_subqueries(core: SelectCore) -> Iterator[Query]:
     if core.from_clause is not None:
         for source in core.from_clause.sources():
             if isinstance(source, SubqueryTable):
@@ -347,7 +347,7 @@ def _iter_core_subqueries(core: SelectCore):
     yield from _iter_condition_subqueries(core.having)
 
 
-def _iter_condition_subqueries(condition: Optional[Condition]):
+def _iter_condition_subqueries(condition: Optional[Condition]) -> Iterator[Query]:
     for leaf in iter_conditions(condition):
         if isinstance(leaf, Comparison) and isinstance(leaf.right, Query):
             yield leaf.right
@@ -365,7 +365,7 @@ def _iter_condition_subqueries(condition: Optional[Condition]):
                     yield from iter_subqueries(side)
 
 
-def iter_column_refs(query: Query):
+def iter_column_refs(query: Query) -> Iterator[ColumnRef]:
     """Yield every :class:`ColumnRef` appearing anywhere in ``query``,
     including inside nested subqueries."""
     cores = [core for _, core in query.flatten_set_ops()]
@@ -375,7 +375,7 @@ def iter_column_refs(query: Query):
         yield from _core_columns(core)
 
 
-def _core_columns(core: SelectCore):
+def _core_columns(core: SelectCore) -> Iterator[ColumnRef]:
     for item in core.items:
         yield from _expr_columns(item.expr)
     for expr in core.group_by:
@@ -391,7 +391,7 @@ def _core_columns(core: SelectCore):
                 yield from _leaf_columns(leaf)
 
 
-def _expr_columns(expr: Expr):
+def _expr_columns(expr: Expr) -> Iterator[ColumnRef]:
     if isinstance(expr, ColumnRef):
         yield expr
     elif isinstance(expr, FuncCall):
@@ -408,7 +408,7 @@ def _expr_columns(expr: Expr):
             yield from _expr_columns(expr.else_)
 
 
-def _leaf_columns(leaf: Condition):
+def _leaf_columns(leaf: Condition) -> Iterator[ColumnRef]:
     if isinstance(leaf, Comparison):
         yield from _expr_columns(leaf.left)
         if not isinstance(leaf.right, Query):

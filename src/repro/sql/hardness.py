@@ -14,7 +14,7 @@ and buckets exactly as the official ``evaluation.py`` does.
 
 from __future__ import annotations
 
-from typing import Union
+from typing import Optional, Union
 
 from .ast_nodes import (
     Comparison,
@@ -49,7 +49,7 @@ def count_component1(query: Query) -> int:
     return count
 
 
-def _count_or(condition) -> int:
+def _count_or(condition: Optional[Condition]) -> int:
     if condition is None:
         return 0
     total = 0
@@ -66,7 +66,7 @@ def _count_or(condition) -> int:
     return total
 
 
-def _count_like(condition) -> int:
+def _count_like(condition: Optional[Condition]) -> int:
     return sum(
         1 for leaf in iter_conditions(condition) if isinstance(leaf, LikeCondition)
     )

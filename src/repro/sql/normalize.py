@@ -38,6 +38,7 @@ from .ast_nodes import (
     SelectItem,
     SubqueryTable,
     TableRef,
+    TableSource,
 )
 from .parser import parse
 from .unparse import unparse
@@ -107,7 +108,7 @@ def _resolve_core(core: SelectCore) -> SelectCore:
             return CaseExpr(whens=whens, else_=else_value)
         return expr
 
-    def fix_operand(value):
+    def fix_operand(value: Union[Expr, Query]) -> Union[Expr, Query]:
         if isinstance(value, Query):
             return _resolve_query(value)
         return fix_expr(value)
@@ -150,7 +151,7 @@ def _resolve_core(core: SelectCore) -> SelectCore:
 
     from_clause = None
     if core.from_clause is not None:
-        def fix_source(source):
+        def fix_source(source: TableSource) -> TableSource:
             if isinstance(source, TableRef):
                 return TableRef(name=source.name.lower(), alias=None)
             return SubqueryTable(query=_resolve_query(source.query),

@@ -77,7 +77,7 @@ _SET_OPS = frozenset({"UNION", "INTERSECT", "EXCEPT"})
 class _Parser:
     """Stateful cursor over a token list."""
 
-    def __init__(self, tokens: List[Token], sql: str):
+    def __init__(self, tokens: List[Token], sql: str) -> None:
         self._tokens = tokens
         self._sql = sql
         self._index = 0
@@ -261,7 +261,7 @@ class _Parser:
             return "LEFT JOIN"
         return None
 
-    def _parse_table_source(self):
+    def _parse_table_source(self) -> Union[TableRef, SubqueryTable]:
         if self._accept_punct("("):
             query = self.parse_query()
             self._expect_punct(")")

@@ -16,13 +16,14 @@ Two skeletons are produced:
 
 from __future__ import annotations
 
-from typing import List, Set, Union
+from typing import FrozenSet, List, Set, Tuple, Union
 
 from ..cache.lru import memoize
 
 from .ast_nodes import (
     BetweenCondition,
     Comparison,
+    Condition,
     ExistsCondition,
     FuncCall,
     InCondition,
@@ -150,7 +151,7 @@ def query_signature(query: Union[str, Query]) -> Set[str]:
     return features
 
 
-def _leaf_op(leaf) -> str:
+def _leaf_op(leaf: Condition) -> str:
     if isinstance(leaf, Comparison):
         suffix = ":sub" if isinstance(leaf.right, Query) else ""
         return leaf.op + suffix
@@ -168,7 +169,7 @@ def _leaf_op(leaf) -> str:
 
 
 @memoize(max_entries=50_000)
-def _features_cached(sql: str):
+def _features_cached(sql: str) -> Tuple[FrozenSet[str], FrozenSet[str]]:
     """(signature, skeleton bigrams) of a SQL string, memoised.
 
     Selection strategies compare every target against every candidate;
@@ -180,7 +181,7 @@ def _features_cached(sql: str):
     return frozenset(query_signature(sql)), frozenset(_bigrams(skeleton_tokens(sql)))
 
 
-def _features(query: Union[str, Query]):
+def _features(query: Union[str, Query]) -> Tuple[FrozenSet[str], FrozenSet[str]]:
     if isinstance(query, str):
         return _features_cached(query)
     return (

@@ -196,7 +196,9 @@ def _fold_concat(spans: List[_Span]) -> List[_Span]:
     return spans
 
 
-def _find_concat(spans: List[_Span]):
+def _find_concat(
+    spans: List[_Span],
+) -> Optional[Tuple[int, int, int, List[List[_Span]]]]:
     """Locate the first CONCAT call; returns
     ``(word_index, open_index, close_index, arg_span_groups)`` or None."""
     for i, (kind, text) in enumerate(spans):

@@ -253,6 +253,71 @@ class TestNesting:
         assert "schema.unknown-column" in rules(result)
 
 
+class TestSemanticRules:
+    def test_always_empty_is_nonfatal_warning(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE age > 5 AND age < 3"
+        )
+        assert "sem:always-empty" in rules(result)
+        assert not result.fatal
+        finding = next(
+            d for d in result.diagnostics if d.rule == "sem:always-empty"
+        )
+        assert finding.severity == "warning"
+        assert finding.message.startswith("WHERE ")
+        assert finding.span is not None
+        # the span points at the offending column
+        start, end = finding.span
+        assert "age" in "SELECT name FROM singer WHERE age > 5 AND age < 3"[
+            start:end
+        ].lower()
+
+    def test_tautology_warning(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE age = 1 OR age != 1"
+        )
+        assert "sem:tautology" in rules(result)
+        assert not result.fatal
+
+    def test_redundant_predicate_carries_fix(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE age > 10 AND age > 5"
+        )
+        assert "sem:redundant-predicate" in rules(result)
+        finding = next(
+            d for d in result.diagnostics
+            if d.rule == "sem:redundant-predicate"
+        )
+        assert finding.fix is not None
+        assert "age > 5" in finding.fix
+
+    def test_having_contradiction_labelled_having(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT age, count(*) FROM singer GROUP BY age "
+            "HAVING age > 5 AND age < 2"
+        )
+        assert "sem:always-empty" in rules(result)
+        finding = next(
+            d for d in result.diagnostics if d.rule == "sem:always-empty"
+        )
+        assert finding.message.startswith("HAVING ")
+
+    def test_type_aware_contradiction(self, analyzer):
+        # The resolver pins country to text: equality with two distinct
+        # pinned values on the same column is dead.
+        result = analyzer.analyze(
+            "SELECT name FROM singer "
+            "WHERE country = 'France' AND country = 'Japan'"
+        )
+        assert "sem:always-empty" in rules(result)
+
+    def test_satisfiable_ranges_stay_clean(self, analyzer):
+        result = analyzer.analyze(
+            "SELECT name FROM singer WHERE age > 20 AND age < 30"
+        )
+        assert result.clean, rules(result)
+
+
 class TestSafetyGate:
     def test_ddl_fatal(self, analyzer):
         result = analyzer.analyze("DROP TABLE singer")

@@ -1,0 +1,205 @@
+"""The semantic prover: satisfiability, findings, equivalence verdicts,
+and their algebraic laws (symmetry, transitivity, soundness vs EX)."""
+
+import itertools
+
+import pytest
+
+from repro.analysis.semantics import (
+    DISTINCT,
+    EQUAL,
+    UNKNOWN,
+    condition_findings,
+    equivalent,
+    satisfiable,
+)
+from repro.db.execution import results_match
+from repro.sql.parser import parse
+
+
+def where(sql_fragment):
+    return parse(f"SELECT a FROM t WHERE {sql_fragment}").core.where
+
+
+def null_resolver(ref):
+    return None
+
+
+def kinds(condition):
+    return sorted({f.kind for f in condition_findings(condition)})
+
+
+class TestSatisfiable:
+    @pytest.mark.parametrize("fragment", [
+        "x > 5 AND x < 3",
+        "x = 1 AND x = 2",
+        "x = 1 AND x != 1",
+        "x IN (1, 2) AND x = 3",
+        "x BETWEEN 5 AND 3",
+        "x IS NULL AND x = 1",
+        "x IS NULL AND x IS NOT NULL",
+        "x > 5 AND x <= 5",
+    ])
+    def test_contradictions_are_false(self, fragment):
+        assert satisfiable(where(fragment), null_resolver) is False
+
+    @pytest.mark.parametrize("fragment", [
+        "x > 5 AND x < 10",
+        "x = 1",
+        "x IN (1, 2, 3)",
+        "x IS NULL",
+        "x > 5 OR x < 3",
+        "x = 'abc' AND y = 1",
+    ])
+    def test_consistent_bounds_are_satisfiable(self, fragment):
+        assert satisfiable(where(fragment), null_resolver) is not False
+
+    def test_opaque_predicates_do_not_prove(self):
+        # LIKE is outside the domain engine: no contradiction proof.
+        assert satisfiable(
+            where("x LIKE '%a%' AND x LIKE '%b%'"), null_resolver
+        ) is not False
+
+    def test_contradiction_inside_or_branch_is_not_global(self):
+        # One dead disjunct does not kill the whole condition.
+        assert satisfiable(
+            where("(x > 5 AND x < 3) OR y = 1"), null_resolver
+        ) is not False
+
+    def test_none_condition_is_satisfiable(self):
+        assert satisfiable(None, null_resolver) is not False
+
+
+class TestConditionFindings:
+    def test_contradiction_yields_always_empty(self):
+        findings = condition_findings(where("age > 5 AND age < 3"))
+        assert [f.kind for f in findings] == ["always-empty"]
+        assert "never" in findings[0].message
+        assert findings[0].column == "age"
+
+    def test_implied_conjunct_yields_redundant_predicate(self):
+        findings = condition_findings(where("age > 10 AND age > 5"))
+        assert [f.kind for f in findings] == ["redundant-predicate"]
+        assert findings[0].fix is not None
+        assert "age > 5" in findings[0].fix
+
+    def test_equality_implies_bound(self):
+        assert kinds(where("age = 7 AND age < 10")) == ["redundant-predicate"]
+
+    def test_complement_disjunction_yields_tautology(self):
+        findings = condition_findings(where("x = 1 OR x != 1"))
+        assert [f.kind for f in findings] == ["tautology"]
+        assert "non-NULL" in findings[0].message
+
+    def test_covering_halflines_yield_tautology(self):
+        assert kinds(where("x < 10 OR x > 5")) == ["tautology"]
+
+    def test_null_complement_is_unconditional_tautology(self):
+        findings = condition_findings(where("x IS NULL OR x IS NOT NULL"))
+        assert [f.kind for f in findings] == ["tautology"]
+        assert "always true" in findings[0].message
+
+    def test_nested_contradiction_found_inside_or(self):
+        assert "always-empty" in kinds(where("(x > 5 AND x < 3) OR y = 1"))
+
+    @pytest.mark.parametrize("fragment", [
+        "x > 5 AND y < 3",        # different columns
+        "x > 5 AND x < 10",       # consistent interval
+        "x = 1 OR x = 2",         # plain disjunction
+        "x < 5 OR x > 10",        # gap between half-lines
+        "x LIKE '%a%'",           # opaque predicate
+    ])
+    def test_clean_conditions_have_no_findings(self, fragment):
+        assert condition_findings(where(fragment)) == []
+
+
+class TestEquivalentVerdicts:
+    @pytest.mark.parametrize("a, b", [
+        ("SELECT a FROM t WHERE x = 1 AND y = 2",
+         "SELECT a FROM t WHERE y = 2 AND x = 1"),
+        ("SELECT a FROM t WHERE NOT (x = 1 OR y = 2)",
+         "SELECT a FROM t WHERE x != 1 AND y != 2"),
+        ("SELECT T1.a FROM t AS T1 WHERE T1.x BETWEEN 1 AND 9",
+         "SELECT a FROM t WHERE x >= 1 AND x <= 9"),
+    ])
+    def test_rewrites_are_equal(self, a, b):
+        assert equivalent(a, b) == EQUAL
+
+    def test_both_provably_empty_are_equal(self):
+        assert equivalent(
+            "SELECT a FROM t WHERE x > 5 AND x < 3",
+            "SELECT a FROM t WHERE x = 1 AND x = 2",
+        ) == EQUAL
+
+    def test_empty_vs_satisfiable_is_distinct(self):
+        assert equivalent(
+            "SELECT a FROM t WHERE x > 5 AND x < 3",
+            "SELECT a FROM t",
+        ) == DISTINCT
+
+    def test_single_row_arity_mismatch_is_distinct(self):
+        assert equivalent(
+            "SELECT COUNT(*) FROM t",
+            "SELECT COUNT(*), MAX(x) FROM t",
+        ) == DISTINCT
+
+    @pytest.mark.parametrize("a, b", [
+        # Same skeleton, different literals: honest UNKNOWN.
+        ("SELECT a FROM t WHERE x = 1", "SELECT a FROM t WHERE x = 2"),
+        # Different projections over live rows: could coincide or not.
+        ("SELECT a FROM t WHERE x > 1", "SELECT b FROM t WHERE x > 1"),
+        # Unparseable input never proves anything.
+        ("SELEC garbage", "SELECT a FROM t"),
+    ])
+    def test_honest_unknowns(self, a, b):
+        assert equivalent(a, b) == UNKNOWN
+
+    def test_identical_text_is_equal_even_if_unparseable(self):
+        assert equivalent("SELEC garbage", "SELEC garbage") == EQUAL
+
+
+class TestVerdictLaws:
+    """Algebraic laws checked over the generated gold corpus."""
+
+    def pairs(self, corpus, count=40):
+        examples = corpus.dev.examples
+        return list(itertools.islice(
+            itertools.combinations(examples, 2), count
+        ))
+
+    def test_symmetry_on_gold_pairs(self, corpus):
+        for left, right in self.pairs(corpus):
+            schema = corpus.dev.schema(left.db_id)
+            assert equivalent(left.query, right.query, schema) == \
+                equivalent(right.query, left.query, schema)
+
+    def test_reflexivity_on_gold(self, corpus):
+        for example in corpus.dev.examples:
+            schema = corpus.dev.schema(example.db_id)
+            assert equivalent(example.query, example.query, schema) == EQUAL
+
+    def test_equal_transitivity_on_sampled_triples(self, corpus):
+        examples = corpus.dev.examples[:12]
+        for a, b, c in itertools.combinations(examples, 3):
+            schema = corpus.dev.schema(a.db_id)
+            ab = equivalent(a.query, b.query, schema)
+            bc = equivalent(b.query, c.query, schema)
+            if ab == EQUAL and bc == EQUAL:
+                assert equivalent(a.query, c.query, schema) == EQUAL
+
+    def test_equal_verdicts_sound_against_execution(self, corpus):
+        """EQUAL is a proof: any EQUAL pair must agree on the reference
+        databases (a strict subset of 'every instance')."""
+        pool = corpus.pool()
+        for left, right in self.pairs(corpus, count=200):
+            if left.db_id != right.db_id:
+                continue
+            schema = corpus.dev.schema(left.db_id)
+            if equivalent(left.query, right.query, schema) != EQUAL:
+                continue
+            database = pool.get(left.db_id)
+            assert results_match(
+                database.execute(left.query),
+                database.execute(right.query),
+                left.query,
+            ), (left.query, right.query)

@@ -103,8 +103,8 @@ class TestDirectories:
 
 
 class TestVersioning:
-    def test_current_version_is_seven(self):
-        assert FORMAT_VERSION == 7
+    def test_current_version_is_eight(self):
+        assert FORMAT_VERSION == 8
 
     def test_v1_payload_still_loads(self):
         report = make_report()
@@ -215,10 +215,15 @@ class TestVersioning:
         # the later formats added and check the defaults fill back in.
         from repro.eval.persistence import SUPPORTED_VERSIONS
 
-        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5, 6, 7)
+        assert SUPPORTED_VERSIONS == (1, 2, 3, 4, 5, 6, 7, 8)
         for version in SUPPORTED_VERSIONS:
             payload = report_to_dict(make_report())
             payload["version"] = version
+            if version < 8:
+                for entry in payload["records"]:
+                    entry.pop("semantic_match", None)
+                if "telemetry" in payload:
+                    payload["telemetry"].pop("semantic_dedup", None)
             if version < 7:
                 for entry in payload["records"]:
                     entry.pop("repair_rounds", None)
@@ -289,6 +294,37 @@ class TestVersioning:
         assert back.records[0].repair_round_classes == [
             "exec:no-such-column", ""
         ]
+
+    def test_v7_payload_without_semantic_fields_still_loads(self):
+        from repro.eval.telemetry import RunTelemetry
+
+        report = make_report()
+        report.telemetry = RunTelemetry(workers=1, examples=3)
+        payload = report_to_dict(report)
+        payload["version"] = 7
+        for entry in payload["records"]:
+            entry.pop("semantic_match")
+        payload["telemetry"].pop("semantic_dedup")
+        back = report_from_dict(payload)
+        assert all(r.semantic_match is False for r in back.records)
+        assert back.telemetry.semantic_dedup == 0
+
+    def test_v8_semantic_fields_roundtrip(self, tmp_path):
+        from repro.eval.telemetry import RunTelemetry
+
+        report = make_report()
+        report.records[0].semantic_match = True
+        report.telemetry = RunTelemetry(workers=1, examples=3,
+                                        semantic_dedup=4)
+        path = save_report(report, tmp_path / "v8.json")
+        payload = json.loads(path.read_text())
+        assert payload["version"] == FORMAT_VERSION
+        assert payload["records"][0]["semantic_match"] is True
+        assert payload["telemetry"]["semantic_dedup"] == 4
+        back = load_report(path)
+        assert back.records[0].semantic_match is True
+        assert back.telemetry.semantic_dedup == 4
+        assert back.semantic_accuracy == pytest.approx(1 / 3)
 
 
 class TestTelemetryAndErrors:

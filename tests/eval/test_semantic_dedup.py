@@ -1,0 +1,154 @@
+"""Equivalence-class dedup in voting and repair: fewer executions,
+byte-identical reports, and a sound ``semantic_match`` column."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.eval.harness import BenchmarkRunner, RunConfig
+from repro.resilience import ChaosPolicy
+
+#: Weak models produce enough duplicate candidates to exercise dedup.
+VOTING_CONFIG = RunConfig(model="llama-13b", representation="CR_P")
+REPAIR_CONFIG = RunConfig(model="vicuna-33b", representation="CR_P")
+VOTING_LIMIT = 16
+N_SAMPLES = 5
+
+
+def fresh_runner(corpus, **kwargs):
+    return BenchmarkRunner(
+        corpus.dev, corpus.train, corpus.pool(), seed=3, **kwargs
+    )
+
+
+def records_of(report):
+    return [asdict(record) for record in report.records]
+
+
+@pytest.fixture(scope="module")
+def voting_on(corpus):
+    runner = fresh_runner(corpus)
+    report = runner.run(VOTING_CONFIG, limit=VOTING_LIMIT, n_samples=N_SAMPLES)
+    return runner, report
+
+
+@pytest.fixture(scope="module")
+def voting_off(corpus):
+    runner = fresh_runner(corpus, semantic_dedup=False)
+    report = runner.run(VOTING_CONFIG, limit=VOTING_LIMIT, n_samples=N_SAMPLES)
+    return runner, report
+
+
+@pytest.fixture(scope="module")
+def repair_on(corpus):
+    runner = fresh_runner(corpus, feedback_rounds=2)
+    return runner, runner.run(REPAIR_CONFIG)
+
+
+@pytest.fixture(scope="module")
+def repair_off(corpus):
+    runner = fresh_runner(corpus, feedback_rounds=2, semantic_dedup=False)
+    return runner, runner.run(REPAIR_CONFIG)
+
+
+class TestVotingDedup:
+    def test_dedup_fires_and_is_counted(self, voting_on, voting_off):
+        _, on = voting_on
+        _, off = voting_off
+        assert on.telemetry.semantic_dedup > 0
+        assert off.telemetry.semantic_dedup == 0
+        # summary only carries the key when the feature did something
+        assert "semantic_dedup" in on.telemetry.summary()
+        assert "semantic_dedup" not in off.telemetry.summary()
+
+    def test_reports_byte_identical(self, voting_on, voting_off):
+        _, on = voting_on
+        _, off = voting_off
+        assert records_of(on) == records_of(off)
+
+    def test_fewer_statements_executed(self, voting_on, voting_off):
+        runner_on, report_on = voting_on
+        runner_off, _ = voting_off
+        on_stats = runner_on.cache.stats()["execute"]
+        off_stats = runner_off.cache.stats()["execute"]
+        saved = report_on.telemetry.semantic_dedup
+        # Every dedup event is one execute-stage lookup that never
+        # happened: the lookup totals differ by exactly that much.
+        assert on_stats["hits"] + on_stats["misses"] + saved == \
+            off_stats["hits"] + off_stats["misses"]
+
+    def test_parallel_matches_serial_with_dedup(self, corpus, voting_on):
+        _, serial = voting_on
+        parallel = fresh_runner(corpus).run(
+            VOTING_CONFIG, limit=VOTING_LIMIT, n_samples=N_SAMPLES, workers=4
+        )
+        assert records_of(parallel) == records_of(serial)
+
+
+class TestRepairDedup:
+    def test_dedup_fires_in_feedback_loop(self, repair_on):
+        _, report = repair_on
+        assert report.telemetry.semantic_dedup > 0
+
+    def test_reports_byte_identical(self, repair_on, repair_off):
+        _, on = repair_on
+        _, off = repair_off
+        assert records_of(on) == records_of(off)
+
+
+class TestActivationGates:
+    def test_active_by_default_on_reference_backend(self, corpus):
+        runner = fresh_runner(corpus)
+        assert runner.semantic_dedup
+        assert runner.pipeline.dedup_active
+
+    def test_inactive_on_emulated_dialect(self, corpus):
+        # Canonical-form equality is proven against reference semantics;
+        # an emulated backend must not reuse rows across a transpiler.
+        runner = BenchmarkRunner(
+            corpus.dev, corpus.train, corpus.pool("postgres"), seed=3
+        )
+        assert runner.semantic_dedup
+        assert not runner.pipeline.dedup_active
+
+    def test_chaos_forces_dedup_off(self, corpus):
+        # Under fault injection the same statement can fail once and
+        # succeed on retry — class members are no longer interchangeable.
+        runner = fresh_runner(corpus, chaos=ChaosPolicy(seed=7, db_rate=0.2))
+        assert not runner.semantic_dedup
+        assert not runner.pipeline.dedup_active
+
+    def test_fingerprint_falls_back_to_raw_sql(self, corpus):
+        pipeline = fresh_runner(corpus).pipeline
+        db_id = corpus.dev.examples[0].db_id
+        assert pipeline.semantic_fingerprint(
+            db_id, "SELEC garbage"
+        ) == "raw:SELEC garbage"
+        good = pipeline.semantic_fingerprint(db_id, "SELECT 1 AS x")
+        assert not good.startswith("raw:")
+
+
+class TestSemanticMatchColumn:
+    def test_sem_implies_ex_per_record(self, voting_on, repair_on):
+        for _, report in (voting_on, repair_on):
+            for record in report.records:
+                if record.semantic_match:
+                    assert record.exec_match, record.example_id
+
+    def test_sem_bracketed_by_ex(self, voting_on, repair_on):
+        for _, report in (voting_on, repair_on):
+            assert report.semantic_accuracy <= report.execution_accuracy
+
+    def test_strong_model_earns_semantic_credit(self, corpus):
+        report = fresh_runner(corpus).run(
+            RunConfig(model="gpt-4", representation="CR_P"), limit=16
+        )
+        assert report.semantic_accuracy > 0
+        assert report.semantic_accuracy <= report.execution_accuracy
+
+    def test_summary_carries_sem_rate(self, voting_on):
+        _, report = voting_on
+        summary = report.summary()
+        assert summary["sem"] == round(report.semantic_accuracy, 4)

@@ -85,6 +85,49 @@ class TestMatching:
         assert suite.matches("pets_1", gold, trick) == expected
 
 
+class TestEquivalencePrefilter:
+    def test_proven_pair_skips_execution(self, suite):
+        before = suite.equivalence_skips
+        assert suite.matches(
+            "pets_1",
+            "SELECT count(*) FROM student WHERE age > 10 AND sex = 'F'",
+            "SELECT count(*) FROM student WHERE sex = 'F' AND age > 10",
+        )
+        assert suite.equivalence_skips == before + 1
+
+    def test_unproven_pair_still_executes(self, suite):
+        before = suite.equivalence_skips
+        gold = "SELECT count(*) FROM student"
+        wrong = "SELECT count(*) FROM pet"
+        assert not suite.matches("pets_1", gold, wrong)
+        assert suite.equivalence_skips == before
+
+    def test_prefilter_agrees_with_execution(self, corpus):
+        """The shortcut never changes a verdict: every gold/gold and
+        gold/perturbed pair scores the same with the prover off."""
+        examples = [e for e in corpus.dev if e.db_id == "pets_1"][:5]
+        pairs = [(e.query, e.query) for e in examples]
+        pairs += [
+            (a.query, b.query)
+            for a in examples[:3] for b in examples[:3]
+        ]
+        with SuiteFactory(
+            [domain_by_id("pets_1")], n_instances=3, base_seed=3
+        ) as fast, SuiteFactory(
+            [domain_by_id("pets_1")], n_instances=3, base_seed=3,
+            use_equivalence=False,
+        ) as slow:
+            for gold, predicted in pairs:
+                assert fast.matches("pets_1", gold, predicted) == \
+                    slow.matches("pets_1", gold, predicted), (gold, predicted)
+            assert fast.equivalence_skips > 0
+            assert slow.equivalence_skips == 0
+
+    def test_unknown_db_still_rejected_with_prefilter(self, suite):
+        with pytest.raises(EvaluationError):
+            suite.matches("unknown_db", "SELECT 1", "SELECT 1")
+
+
 class TestAccuracy:
     def test_ts_leq_ex(self, corpus, runner):
         from repro.eval.harness import RunConfig

@@ -17,7 +17,7 @@ EXPECTED_ARTIFACTS = {
 SUPPLEMENTARY = {"hardness", "cost", "sc_sweep", "dail_threshold",
                  "self_correction", "errors", "lint", "calibration",
                  "pound_sign", "token_budget", "cross_dialect",
-                 "feedback"}
+                 "feedback", "metric_audit"}
 
 
 class TestRegistry:

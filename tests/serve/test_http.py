@@ -141,6 +141,25 @@ class TestStatusMapping:
         assert status == 404
         assert get(base, "/nope")[0] == 404
 
+    def test_semantic_rules_flow_through_lint_endpoint(self, base):
+        # A contradictory WHERE reaches the wire as a sem:* warning:
+        # non-fatal (the statement executes, returning no rows), with
+        # the analyzer's span/fix structure intact.
+        status, payload, _ = post(base, "/v1/lint", {
+            "db_id": "concert_singer",
+            "sql": "SELECT name FROM singer WHERE age > 5 AND age < 3",
+        })
+        assert status == 200
+        assert payload["fatal"] is False
+        rules = [d["rule"] for d in payload["diagnostics"]]
+        assert "sem:always-empty" in rules
+        finding = next(
+            d for d in payload["diagnostics"]
+            if d["rule"] == "sem:always-empty"
+        )
+        assert finding["severity"] == "warning"
+        assert "never" in finding["message"]
+
     def test_unsafe_sql_is_422_with_diagnostics(self, base, dev_example):
         status, payload, _ = post(base, "/v1/execute", {
             "db_id": dev_example.db_id, "sql": "DROP TABLE singer",

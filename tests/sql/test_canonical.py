@@ -1,0 +1,188 @@
+"""Canonicalizer tests: rewrite pairs, soundness gates, execution
+equivalence over the generated gold corpus, and the shared component-key
+scheme exact match is built on."""
+
+import pytest
+
+from repro.db.execution import results_match
+from repro.eval.exact_match import exact_match
+from repro.sql.canonical import (
+    canonical_fingerprint,
+    canonicalize,
+    query_key,
+)
+from repro.sql.parser import parse
+from repro.sql.unparse import unparse
+
+
+def fp(sql, schema=None):
+    fingerprint = canonical_fingerprint(sql, schema)
+    assert fingerprint is not None, sql
+    return fingerprint
+
+
+class TestRewritePairs:
+    """Equivalent spellings collapse to one fingerprint."""
+
+    @pytest.mark.parametrize("a, b", [
+        # Commutative predicate ordering.
+        ("SELECT a FROM t WHERE x = 1 AND y = 2",
+         "SELECT a FROM t WHERE y = 2 AND x = 1"),
+        # De Morgan + double negation.
+        ("SELECT a FROM t WHERE NOT (x = 1 OR y = 2)",
+         "SELECT a FROM t WHERE x != 1 AND y != 2"),
+        # NOT over a comparison flips the operator.
+        ("SELECT a FROM t WHERE NOT x < 5",
+         "SELECT a FROM t WHERE x >= 5"),
+        # Literal moves to the right-hand side, operator mirrored.
+        ("SELECT a FROM t WHERE 5 < x",
+         "SELECT a FROM t WHERE x > 5"),
+        # BETWEEN is sugar for a bound pair.
+        ("SELECT a FROM t WHERE x BETWEEN 1 AND 9",
+         "SELECT a FROM t WHERE x >= 1 AND x <= 9"),
+        # NOT BETWEEN is the disjunction of the complements.
+        ("SELECT a FROM t WHERE x NOT BETWEEN 1 AND 9",
+         "SELECT a FROM t WHERE x < 1 OR x > 9"),
+        # Single-element IN is equality.
+        ("SELECT a FROM t WHERE x IN (3)",
+         "SELECT a FROM t WHERE x = 3"),
+        # IN value lists dedupe and sort.
+        ("SELECT a FROM t WHERE x IN (3, 1, 3, 2)",
+         "SELECT a FROM t WHERE x IN (1, 2, 3)"),
+        # Constant folding (integer + - * only).
+        ("SELECT a FROM t WHERE x = 2 + 3",
+         "SELECT a FROM t WHERE x = 5"),
+        # Duplicate conjuncts collapse.
+        ("SELECT a FROM t WHERE x = 1 AND x = 1",
+         "SELECT a FROM t WHERE x = 1"),
+        # Alias erasure.
+        ("SELECT T1.a FROM t AS T1",
+         "SELECT a FROM t"),
+        # Function-name case.
+        ("SELECT count(*) FROM t",
+         "SELECT COUNT(*) FROM t"),
+    ])
+    def test_pair_fingerprints_equal(self, a, b):
+        assert fp(a) == fp(b)
+
+    def test_inner_join_order_erased(self):
+        a = ("SELECT s.name FROM singer AS s JOIN concert AS c "
+             "ON s.id = c.singer_id WHERE c.year = 2020")
+        b = ("SELECT singer.name FROM concert JOIN singer "
+             "ON concert.singer_id = singer.id WHERE concert.year = 2020")
+        assert fp(a) == fp(b)
+
+    def test_union_arms_sorted(self):
+        a = "SELECT a FROM t UNION SELECT b FROM u"
+        b = "SELECT b FROM u UNION SELECT a FROM t"
+        assert fp(a) == fp(b)
+
+    def test_fingerprint_is_valid_sql(self, corpus):
+        example = corpus.dev.examples[0]
+        schema = corpus.dev.schema(example.db_id)
+        text = fp(example.query, schema)
+        # The fingerprint is rendered SQL: it reparses and is a fixpoint.
+        assert fp(text, schema) == text
+
+
+class TestSoundnessGates:
+    """Rewrites that would change results are NOT applied."""
+
+    def test_order_by_blocks_arm_sort(self):
+        a = "SELECT a FROM t UNION SELECT b FROM u ORDER BY a"
+        b = "SELECT b FROM u UNION SELECT a FROM t ORDER BY a"
+        assert fp(a) != fp(b)
+
+    def test_except_arms_not_sorted(self):
+        a = "SELECT a FROM t EXCEPT SELECT b FROM u"
+        b = "SELECT b FROM u EXCEPT SELECT a FROM t"
+        assert fp(a) != fp(b)
+
+    def test_left_join_not_reordered(self):
+        a = "SELECT t.a FROM t LEFT JOIN u ON t.id = u.id"
+        b = "SELECT t.a FROM u LEFT JOIN t ON t.id = u.id"
+        assert fp(a) != fp(b)
+
+    def test_division_not_folded(self):
+        # SQLite integer division truncates; folding would change it.
+        out = unparse(canonicalize("SELECT a FROM t WHERE x = 7 / 2"))
+        assert "/" in out
+
+    def test_select_items_never_sorted(self):
+        a = fp("SELECT a, b FROM t")
+        b = fp("SELECT b, a FROM t")
+        assert a != b
+
+    def test_null_comparison_not_rewritten_to_true(self):
+        # x = x is not a tautology under 3VL (NULL rows don't match).
+        a = fp("SELECT a FROM t WHERE x = x")
+        b = fp("SELECT a FROM t")
+        assert a != b
+
+    def test_unparseable_fingerprint_is_none(self):
+        assert canonical_fingerprint("SELEC nonsense FROM") is None
+
+
+class TestGoldCorpusProperties:
+    """Corpus-wide properties: canonicalization preserves execution."""
+
+    def test_canonical_form_execution_equivalent(self, corpus):
+        pool = corpus.pool()
+        checked = 0
+        for example in corpus.dev.examples + corpus.train.examples:
+            schema = corpus.dev.schemas.get(example.db_id) or \
+                corpus.train.schema(example.db_id)
+            canonical = canonical_fingerprint(example.query, schema)
+            assert canonical is not None, example.query
+            database = pool.get(example.db_id)
+            gold_rows = database.execute(example.query)
+            canon_rows = database.execute(canonical)
+            assert results_match(gold_rows, canon_rows, example.query), (
+                example.query, canonical
+            )
+            checked += 1
+        assert checked > 0
+
+    def test_exact_match_reflexive_on_gold(self, corpus):
+        for example in corpus.dev.examples:
+            assert exact_match(example.query, example.query), example.query
+
+    def test_canonicalization_idempotent_on_gold(self, corpus):
+        for example in corpus.dev.examples:
+            schema = corpus.dev.schema(example.db_id)
+            once = canonical_fingerprint(example.query, schema)
+            assert once is not None
+            assert canonical_fingerprint(once, schema) == once
+
+
+class TestQueryKeyFormat:
+    """The EM component-key byte format is pinned: these exact strings
+    are shared with persisted analyses and must never drift."""
+
+    def test_simple_query_key_bytes(self):
+        key = query_key(parse("SELECT name FROM singer WHERE age > 20"))
+        assert key == (
+            "|[('name', False)]|['singer']|['age > value']|[]|[]|()|False"
+        )
+
+    def test_value_masking_in_where(self):
+        a = query_key(parse("SELECT a FROM t WHERE x = 1"))
+        b = query_key(parse("SELECT a FROM t WHERE x = 2"))
+        assert a == b
+
+    def test_unmasked_keys_differ_on_values(self):
+        a = query_key(parse("SELECT a FROM t WHERE x = 1"), mask_values=False)
+        b = query_key(parse("SELECT a FROM t WHERE x = 2"), mask_values=False)
+        assert a != b
+
+    def test_em_invariant_under_aliasing(self):
+        assert exact_match(
+            "SELECT T1.name FROM singer AS T1 WHERE T1.age > 20",
+            "SELECT name FROM singer WHERE age > 20",
+        )
+
+    def test_em_still_masks_values(self):
+        assert exact_match(
+            "SELECT name FROM singer WHERE age > 20",
+            "SELECT name FROM singer WHERE age > 99",
+        )
